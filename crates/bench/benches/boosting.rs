@@ -1,0 +1,75 @@
+//! Criterion benches for the BStump training path: quantile binning,
+//! single-round stump search, and full training throughput.
+//!
+//! The paper trains 800 iterations on 1M records in ~2h on a 2009 server;
+//! these benches track the per-iteration cost that claim scales from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nevermind_ml::boost::{BStump, BoostConfig};
+use nevermind_ml::data::{Dataset, FeatureMatrix, FeatureMeta};
+use nevermind_ml::stump::{best_stump, BinnedDataset};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn synth(n_rows: usize, n_cols: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let meta: Vec<FeatureMeta> =
+        (0..n_cols).map(|c| FeatureMeta::continuous(format!("f{c}"))).collect();
+    let mut values = Vec::with_capacity(n_rows * n_cols);
+    let mut labels = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let signal: f32 = rng.random();
+        for c in 0..n_cols {
+            let v = if c == 0 { signal } else { rng.random() };
+            values.push(if rng.random_bool(0.05) { f32::NAN } else { v });
+        }
+        labels.push(signal > 0.8 && rng.random_bool(0.9));
+    }
+    Dataset::new(FeatureMatrix::new(n_rows, meta, values), labels)
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binning");
+    g.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let data = synth(n, 25, 1);
+        g.bench_with_input(BenchmarkId::new("bin_25_cols", n), &n, |b, _| {
+            b.iter(|| black_box(BinnedDataset::from_matrix(&data.x, 64)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stump_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stump_search");
+    g.sample_size(20);
+    for &n in &[10_000usize, 50_000] {
+        let data = synth(n, 25, 2);
+        let binned = BinnedDataset::from_matrix(&data.x, 64);
+        let features: Vec<usize> = (0..25).collect();
+        let w = vec![1.0 / n as f64; n];
+        g.bench_with_input(BenchmarkId::new("one_round_25_cols", n), &n, |b, _| {
+            b.iter(|| black_box(best_stump(&binned, &features, &data.y, &w, 1e-6)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    let data = synth(20_000, 40, 3);
+    for &iters in &[50usize, 200] {
+        let cfg = BoostConfig { iterations: iters, parallel: false, ..BoostConfig::default() };
+        g.bench_with_input(
+            BenchmarkId::new("bstump_20k_rows_40_cols", iters),
+            &iters,
+            |b, _| b.iter(|| black_box(BStump::fit(&data, &cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_binning, bench_stump_search, bench_training);
+criterion_main!(benches);

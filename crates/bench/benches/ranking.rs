@@ -1,0 +1,62 @@
+//! Criterion benches for population ranking — the paper's operational
+//! claim that scoring several million lines takes under 15 minutes.
+//! We measure lines/second on the trained model so the claim can be
+//! extrapolated to any population.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+use nevermind_dslsim::SimConfig;
+use std::hint::black_box;
+
+struct Fixture {
+    data: ExperimentData,
+    split: SplitSpec,
+    predictor: TicketPredictor,
+}
+
+fn fixture() -> Fixture {
+    let mut sim = SimConfig::small(11);
+    sim.n_lines = 4_000;
+    sim.days = 270;
+    let data = ExperimentData::simulate(sim);
+    let split = SplitSpec::paper_like(&data);
+    let cfg = PredictorConfig {
+        iterations: 120,
+        selection_row_cap: 8_000,
+        ..PredictorConfig::default()
+    };
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+    Fixture { data, split, predictor }
+}
+
+fn bench_rank_population(c: &mut Criterion) {
+    let f = fixture();
+    let n_rows = f.data.config.n_lines * f.split.test_days.len();
+
+    let mut g = c.benchmark_group("rank_population");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_rows as u64));
+    g.bench_function("encode_assemble_score_sort", |b| {
+        b.iter(|| black_box(f.predictor.rank(&f.data, &f.split.test_days)))
+    });
+    g.finish();
+}
+
+fn bench_score_only(c: &mut Criterion) {
+    let f = fixture();
+    let encoder = f.data.encoder(nevermind_features::encode::EncoderConfig::default());
+    let base = encoder.encode(&f.split.test_days);
+    let assembled = f.predictor.assemble(&base);
+
+    let mut g = c.benchmark_group("score_only");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(assembled.len() as u64));
+    g.bench_function("margins_over_assembled", |b| {
+        b.iter(|| black_box(f.predictor.model().margins(&assembled.x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank_population, bench_score_only);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the DSL-plant simulator: world generation and
+//! full-year throughput at several population sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nevermind_dslsim::{SimConfig, World};
+use std::hint::black_box;
+
+fn cfg(n_lines: usize, days: u32, seed: u64) -> SimConfig {
+    SimConfig { seed, n_lines, days, ..SimConfig::default() }
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_generate");
+    g.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(World::generate(cfg(n, 120, 1))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_run_quarter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_run_90_days");
+    g.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(World::generate(cfg(n, 90, 2)).run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_step_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_step_day");
+    g.sample_size(20);
+    g.bench_function("10k_lines_one_week", |b| {
+        b.iter_batched(
+            || World::generate(cfg(10_000, 120, 3)),
+            |mut w| {
+                for _ in 0..7 {
+                    w.step_day();
+                }
+                black_box(w.day())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_run_quarter, bench_step_day);
+criterion_main!(benches);

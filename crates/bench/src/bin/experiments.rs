@@ -1,0 +1,98 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation from one simulated world.
+//!
+//! ```text
+//! experiments [--scale quick|full] [--seed N] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment names, runs everything. Results print to stdout and
+//! are persisted as JSON under `results/`.
+
+use nevermind_bench::ctx::{Ctx, Scale};
+use nevermind_bench::exp;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "fig4", "fig6", "fig7", "fig8", "table5", "notonsite",
+    "weekly", "summary", "locator_data", "fig9", "fig10", "locator50", "locator_cost",
+    "ablation_models", "selection_overlap", "location_confusion",
+];
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut seed = 0x5EED_CA11u64;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (expected quick|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--scale quick|full] [--seed N] [EXPERIMENT ...]");
+                println!("experiments: {}", ALL.join(" "));
+                return;
+            }
+            name => wanted.push(name.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for w in &wanted {
+        if !ALL.contains(&w.as_str()) {
+            eprintln!("unknown experiment '{w}'; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!("[harness] simulating world (scale {scale:?}, seed {seed}) ...");
+    let start = std::time::Instant::now();
+    let ctx = Ctx::new(scale, seed);
+    eprintln!(
+        "[harness] world ready in {:.1}s: {} lines, {} days, {} measurements, {} tickets",
+        start.elapsed().as_secs_f64(),
+        ctx.data.config.n_lines,
+        ctx.data.config.days,
+        ctx.data.output.measurements.len(),
+        ctx.data.output.tickets.len()
+    );
+
+    for name in &wanted {
+        let t = std::time::Instant::now();
+        match name.as_str() {
+            "table1" => drop(exp::table1(&ctx)),
+            "table2" => drop(exp::table2(&ctx)),
+            "table3" => drop(exp::table3(&ctx)),
+            "fig4" => drop(exp::fig4(&ctx)),
+            "fig6" => drop(exp::fig6(&ctx)),
+            "fig7" => drop(exp::fig7(&ctx)),
+            "fig8" => drop(exp::fig8(&ctx)),
+            "table5" => drop(exp::table5(&ctx)),
+            "notonsite" => drop(exp::notonsite(&ctx)),
+            "fig9" => drop(exp::fig9(&ctx)),
+            "fig10" => drop(exp::fig10(&ctx)),
+            "locator50" => drop(exp::locator50(&ctx)),
+            "locator_cost" => drop(exp::locator_cost(&ctx)),
+            "ablation_models" => drop(exp::ablation_models(&ctx)),
+            "selection_overlap" => drop(exp::selection_overlap(&ctx)),
+            "location_confusion" => drop(exp::location_confusion(&ctx)),
+            "locator_data" => drop(exp::locator_data(&ctx)),
+            "weekly" => drop(exp::weekly(&ctx)),
+            "summary" => drop(exp::summary(&ctx)),
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[harness] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+}

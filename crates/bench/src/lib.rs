@@ -1,0 +1,13 @@
+//! Shared infrastructure for the experiment harness and criterion benches.
+//!
+//! [`ctx::Ctx`] simulates one world and lazily fits/caches the predictor,
+//! ranking, and locator that most experiments share; [`report`] holds the
+//! plain-text table/histogram rendering and JSON persistence; [`exp`]
+//! implements one regeneration function per table/figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod exp;
+pub mod report;

@@ -1,0 +1,126 @@
+//! Plain-text rendering (tables, ASCII histograms) and JSON persistence
+//! for the experiment harness.
+
+use std::fs;
+use std::path::Path;
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(n) {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Renders an ASCII histogram of `values` over `n_bins` equal-width bins
+/// between `lo` and `hi`. Returns `(bin_lo, count)` pairs for JSON export.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<(f64, usize)> {
+    let mut counts = vec![0usize; n_bins];
+    let width = (hi - lo) / n_bins as f64;
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        let b = (((v - lo) / width).floor() as isize).clamp(0, n_bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (b, &c) in counts.iter().enumerate() {
+        let bar = "#".repeat((c * 50).div_ceil(max).min(50));
+        println!("{:>7.3} | {:<50} {}", lo + b as f64 * width, bar, c);
+    }
+    counts.iter().enumerate().map(|(b, &c)| (lo + b as f64 * width, c)).collect()
+}
+
+/// Formats a float with three decimals, rendering NaN as "-".
+pub fn f3(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_cover_range_and_count_everything() {
+        let values = [0.05, 0.15, 0.15, 0.95, f64::NAN];
+        let bins = histogram(&values, 0.0, 1.0, 10);
+        assert_eq!(bins.len(), 10);
+        let total: usize = bins.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4, "NaN dropped, everything else counted");
+        assert_eq!(bins[0].1, 1);
+        assert_eq!(bins[1].1, 2);
+        assert_eq!(bins[9].1, 1);
+        assert!((bins[1].0 - 0.1).abs() < 1e-12, "bin lower edges are spaced by width");
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let values = [-5.0, 5.0];
+        let bins = histogram(&values, 0.0, 1.0, 4);
+        assert_eq!(bins[0].1, 1);
+        assert_eq!(bins[3].1, 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(f64::NAN), "-");
+        assert_eq!(pct(0.375), "37.5%");
+        assert_eq!(pct(f64::NAN), "-");
+    }
+}
+
+/// Persists an experiment's JSON record under `results/`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        eprintln!("[report] could not create results/; skipping JSON for {name}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("[report] write {path:?} failed: {e}");
+            } else {
+                eprintln!("[report] wrote {path:?}");
+            }
+        }
+        Err(e) => eprintln!("[report] serialize {name} failed: {e}"),
+    }
+}

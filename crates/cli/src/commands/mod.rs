@@ -1,0 +1,49 @@
+//! CLI subcommand implementations.
+
+pub mod locate;
+pub mod rank;
+pub mod simulate;
+pub mod train;
+pub mod trial;
+
+use nevermind_dslsim::scenario::Scenario;
+
+/// Shared error type: user-facing message strings.
+pub type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `nevermind scenarios` — list the named presets.
+pub fn scenarios() -> CliResult {
+    println!("{:<18} description", "scenario");
+    println!("{:<18} -----------", "--------");
+    for s in Scenario::ALL {
+        println!("{:<18} {}", s.name(), s.description());
+    }
+    Ok(())
+}
+
+/// Resolves a scenario flag into a simulator config.
+pub fn sim_config_from(
+    args: &crate::args::Args,
+) -> Result<nevermind_dslsim::SimConfig, Box<dyn std::error::Error>> {
+    let name = args.get_or("scenario", "baseline");
+    let scenario = Scenario::parse(&name)
+        .ok_or_else(|| format!("unknown scenario '{name}' (see 'nevermind scenarios')"))?;
+    let lines = args.get_parsed_or("lines", 4_000usize)?;
+    let days = args.get_parsed_or("days", 330u32)?;
+    let seed = args.get_parsed_or("seed", 0x5EED_CA11u64)?;
+    let cfg = scenario.config(seed, lines, days);
+    cfg.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(cfg)
+}
+
+/// Loads a dataset written by `nevermind simulate`.
+pub fn load_dataset(
+    path: &str,
+) -> Result<nevermind::pipeline::ExperimentData, Box<dyn std::error::Error>> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| format!("cannot open dataset '{path}': {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let data: nevermind::pipeline::ExperimentData = serde_json::from_reader(reader)
+        .map_err(|e| format!("cannot parse dataset '{path}': {e}"))?;
+    Ok(data)
+}

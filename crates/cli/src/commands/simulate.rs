@@ -1,0 +1,38 @@
+//! `nevermind simulate` — generate a dataset and write it to disk.
+
+use super::{sim_config_from, CliResult};
+use crate::args::Args;
+use nevermind::pipeline::ExperimentData;
+use nevermind_dslsim::export::export_csv_dir;
+use nevermind_dslsim::summary::OutputSummary;
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> CliResult {
+    args.reject_unknown(&["out", "scenario", "lines", "days", "seed"])?;
+    let out_dir = std::path::PathBuf::from(args.require("out")?);
+    let cfg = sim_config_from(args)?;
+
+    eprintln!(
+        "simulating {} lines over {} days (seed {}) ...",
+        cfg.n_lines, cfg.days, cfg.seed
+    );
+    let started = std::time::Instant::now();
+    let data = ExperimentData::simulate(cfg.clone());
+    eprintln!("simulation finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    let summary = OutputSummary::compute(&data.output, cfg.n_lines);
+    println!("{summary}");
+
+    std::fs::create_dir_all(&out_dir)?;
+    export_csv_dir(&out_dir, &data.output)?;
+
+    let dataset_path = out_dir.join("dataset.json");
+    let file = std::io::BufWriter::new(std::fs::File::create(&dataset_path)?);
+    serde_json::to_writer(file, &data)?;
+    println!(
+        "\nwrote {} (self-contained; feed it to 'nevermind train') plus CSV tables in {}/",
+        dataset_path.display(),
+        out_dir.display()
+    );
+    Ok(())
+}

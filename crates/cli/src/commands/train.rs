@@ -1,0 +1,75 @@
+//! `nevermind train` — fit the ticket predictor on a saved dataset.
+
+use super::{load_dataset, CliResult};
+use crate::args::Args;
+use nevermind::pipeline::SplitSpec;
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "data",
+        "model",
+        "iterations",
+        "budget-fraction",
+        "n-base",
+        "n-quadratic",
+        "n-product",
+        "selection-row-cap",
+    ])?;
+    let data_path = args.require("data")?;
+    let model_path = args.require("model")?;
+
+    let data = load_dataset(&data_path)?;
+    let split = SplitSpec::paper_like(&data);
+    let config = PredictorConfig {
+        iterations: args.get_parsed_or("iterations", 150usize)?,
+        budget_fraction: args.get_parsed_or("budget-fraction", 0.01f64)?,
+        n_base: args.get_parsed_or("n-base", 40usize)?,
+        n_quadratic: args.get_parsed_or("n-quadratic", 25usize)?,
+        n_product: args.get_parsed_or("n-product", 25usize)?,
+        selection_row_cap: args.get_parsed_or("selection-row-cap", 12_000usize)?,
+        ..PredictorConfig::default()
+    };
+
+    eprintln!(
+        "training on {:?} (selection eval {:?}) ...",
+        split.train_days, split.selection_eval_days
+    );
+    let started = std::time::Instant::now();
+    let (predictor, report) = TicketPredictor::fit(&data, &split, &config);
+    eprintln!("fit finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!(
+        "selected {} features ({} base + {} derived); selection AP budget {}",
+        report.n_selected(),
+        report.selected_base.len(),
+        report.selected_derived.len(),
+        report.selection_budget
+    );
+    println!("top selected features by single-feature AP:");
+    let mut all: Vec<_> = report
+        .base
+        .iter()
+        .chain(report.quadratic.iter())
+        .chain(report.product.iter())
+        .collect();
+    all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    for f in all.iter().take(10) {
+        println!("  {:<40} AP = {:.3}", f.name, f.score);
+    }
+
+    let file = std::io::BufWriter::new(std::fs::File::create(&model_path)?);
+    serde_json::to_writer(file, &predictor)?;
+    println!("\nwrote model to {model_path}");
+
+    // Quick self-check on the held-out test window.
+    let ranking = predictor.rank(&data, &split.test_days);
+    let budget = config.budget(ranking.len());
+    println!(
+        "held-out check: precision@{budget} = {:.1}% over {} (line, week) pairs",
+        100.0 * ranking.precision_at(budget),
+        ranking.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! `nevermind trial` — proactive-vs-reactive twin-world comparison.
+
+use super::{sim_config_from, CliResult};
+use crate::args::Args;
+use nevermind::pipeline::run_proactive_trial;
+use nevermind::predictor::PredictorConfig;
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "scenario",
+        "lines",
+        "days",
+        "seed",
+        "warmup-weeks",
+        "budget-fraction",
+        "iterations",
+    ])?;
+    let cfg = sim_config_from(args)?;
+    let warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;
+    let predictor_cfg = PredictorConfig {
+        iterations: args.get_parsed_or("iterations", 120usize)?,
+        budget_fraction: args.get_parsed_or("budget-fraction", 0.01f64)?,
+        selection_row_cap: 8_000,
+        ..PredictorConfig::default()
+    };
+
+    eprintln!(
+        "running twin worlds: {} lines, {} days, policy starts week {warmup} ...",
+        cfg.n_lines, cfg.days
+    );
+    let started = std::time::Instant::now();
+    let outcome = run_proactive_trial(cfg, &predictor_cfg, warmup);
+    eprintln!("trial finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("policy active from day {}", outcome.policy_start_day);
+    println!("reactive twin : {} customer-edge tickets", outcome.reactive_tickets);
+    println!("proactive twin: {} customer-edge tickets", outcome.proactive_tickets);
+    println!("ticket reduction: {:.1}%", 100.0 * outcome.ticket_reduction());
+    println!(
+        "proactive dispatches: {} ({} found a fault; {:.1}% precision)",
+        outcome.proactive_dispatches,
+        outcome.proactive_hits,
+        100.0 * outcome.dispatch_precision()
+    );
+    println!(
+        "churned customers: {} reactive vs {} proactive",
+        outcome.reactive_churn, outcome.proactive_churn
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! `nevermind` — command-line interface to the NEVERMIND reproduction.
+//!
+//! ```text
+//! nevermind simulate --out DIR [--scenario S] [--lines N] [--days D] [--seed S]
+//! nevermind train    --data DIR/dataset.json --model FILE [--iterations N] ...
+//! nevermind rank     --data DIR/dataset.json --model FILE [--top N] [--explain N]
+//! nevermind locate   --data DIR/dataset.json [--line ID] [--top N]
+//! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W]
+//! nevermind scenarios
+//! ```
+//!
+//! `simulate` writes a self-contained `dataset.json` (plus CSV tables);
+//! `train` fits the Sec.-4 pipeline and writes a portable model JSON;
+//! `rank` spends the ATDS budget and can explain each pick; `locate` fits
+//! the Sec.-6 trouble locator and prints ranked dispositions for dispatches;
+//! `trial` runs the proactive-vs-reactive twin-world comparison.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if !parsed.positional().is_empty() {
+        eprintln!(
+            "error: unexpected argument '{}' (every option is a --flag)\n\n{USAGE}",
+            parsed.positional()[0]
+        );
+        std::process::exit(2);
+    }
+
+    let result = match command.as_str() {
+        "simulate" => commands::simulate::run(&parsed),
+        "train" => commands::train::run(&parsed),
+        "rank" => commands::rank::run(&parsed),
+        "locate" => commands::locate::run(&parsed),
+        "trial" => commands::trial::run(&parsed),
+        "scenarios" => commands::scenarios(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+nevermind — proactive DSL troubleshooting (CoNEXT 2010 reproduction)
+
+USAGE:
+  nevermind simulate --out DIR [--scenario NAME] [--lines N] [--days D] [--seed S]
+  nevermind train    --data FILE --model FILE [--iterations N] [--budget-fraction F]
+  nevermind rank     --data FILE --model FILE [--top N] [--explain N]
+  nevermind locate   --data FILE [--top N] [--dispatches N]
+  nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
+  nevermind scenarios
+
+Run 'nevermind scenarios' to list the named scenarios.";

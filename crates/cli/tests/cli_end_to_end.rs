@@ -1,0 +1,161 @@
+//! End-to-end CLI test: simulate → train → rank → locate → trial on a tiny
+//! world, driving the actual binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nevermind"))
+}
+
+fn work_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nevermind-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create work dir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = work_dir();
+    let dataset = dir.join("dataset.json");
+    let model = dir.join("model.json");
+
+    // simulate
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            dir.to_str().expect("utf8"),
+            "--lines",
+            "1200",
+            "--days",
+            "270",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tickets:"), "summary printed: {stdout}");
+    assert!(dataset.exists(), "dataset.json written");
+    assert!(dir.join("measurements.csv").exists());
+
+    // train
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            dataset.to_str().expect("utf8"),
+            "--model",
+            model.to_str().expect("utf8"),
+            "--iterations",
+            "40",
+            "--selection-row-cap",
+            "4000",
+            "--n-base",
+            "15",
+            "--n-quadratic",
+            "5",
+            "--n-product",
+            "5",
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selected"), "selection report printed: {stdout}");
+    assert!(stdout.contains("precision@"), "held-out check printed: {stdout}");
+    assert!(model.exists(), "model.json written");
+
+    // rank (+ explain)
+    let out = bin()
+        .args([
+            "rank",
+            "--data",
+            dataset.to_str().expect("utf8"),
+            "--model",
+            model.to_str().expect("utf8"),
+            "--top",
+            "5",
+            "--explain",
+            "1",
+        ])
+        .output()
+        .expect("run rank");
+    assert!(out.status.success(), "rank failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("P(ticket in 4 wks)"), "{stdout}");
+    assert!(stdout.contains("why the top 1"), "{stdout}");
+
+    // locate
+    let out = bin()
+        .args([
+            "locate",
+            "--data",
+            dataset.to_str().expect("utf8"),
+            "--iterations",
+            "25",
+            "--dispatches",
+            "1",
+        ])
+        .output()
+        .expect("run locate");
+    assert!(out.status.success(), "locate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tests to locate 50%"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenarios_lists_presets() {
+    let out = bin().arg("scenarios").output().expect("run scenarios");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["baseline", "storm-season", "aging-plant", "overprovisioned", "quiet-network"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = bin().arg("simulate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // Unknown flag.
+    let out = bin()
+        .args(["simulate", "--out", "/tmp/x", "--bogus", "1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+
+    // Unknown scenario.
+    let out = bin()
+        .args(["simulate", "--out", "/tmp/x", "--scenario", "nope"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+
+    // Stray positional.
+    let out = bin().args(["rank", "stray"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}

@@ -1,0 +1,313 @@
+//! The Sec.-5.2 evaluation analyses.
+//!
+//! The paper is careful to note that its "accuracy" metric is conservative:
+//! a prediction that never becomes a ticket may still be a real problem.
+//! Three analyses quantify that:
+//!
+//! * **time-to-ticket** (Fig. 8) — how long after a prediction the ticket
+//!   actually arrives, i.e. how much time the operator has to fix things;
+//! * **outage + IVR** (Table 5) — "incorrect" predictions concentrated at
+//!   DSLAMs with imminent outages, where the customer did call but the IVR
+//!   swallowed the ticket; including a logistic regression of prediction
+//!   counts onto future outages with Wald p-values;
+//! * **not on site** — "incorrect" predictions on lines with zero traffic a
+//!   week either side of the prediction: the customer wasn't home to
+//!   notice.
+
+use crate::pipeline::ExperimentData;
+use crate::predictor::RankedPredictions;
+use nevermind_dslsim::DslamId;
+use nevermind_features::TicketIndex;
+use nevermind_ml::logistic::LogisticRegression;
+use nevermind_ml::stats::Ecdf;
+use serde::{Deserialize, Serialize};
+
+/// Fig.-8 series: the ECDF of days from prediction to the arriving ticket,
+/// for the true predictions within one top-N cut.
+#[derive(Debug, Clone)]
+pub struct TimeToTicket {
+    /// The top-N cut this series describes.
+    pub top_n: usize,
+    /// Days from prediction day to the first ticket, one entry per true
+    /// prediction.
+    pub days: Vec<f64>,
+    /// The ECDF over `days`.
+    pub cdf: Ecdf,
+}
+
+/// Computes time-to-ticket ECDFs for several top-N cuts.
+pub fn time_to_ticket(
+    data: &ExperimentData,
+    ranking: &RankedPredictions,
+    horizon_days: u32,
+    top_ns: &[usize],
+) -> Vec<TimeToTicket> {
+    let tickets = TicketIndex::build(&data.output.tickets, data.topology.lines.len());
+    top_ns
+        .iter()
+        .map(|&n| {
+            let days: Vec<f64> = ranking
+                .top_rows(n)
+                .into_iter()
+                .filter(|(_, _, y)| *y)
+                .filter_map(|(key, _, _)| {
+                    tickets
+                        .first_within(key.line, key.day, horizon_days)
+                        .map(|t| f64::from(t - key.day))
+                })
+                .collect();
+            TimeToTicket { top_n: n, cdf: Ecdf::new(days.clone()), days }
+        })
+        .collect()
+}
+
+/// One row of the Table-5 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutageIvrRow {
+    /// Look-ahead window in weeks (the paper varies T = 1..4).
+    pub weeks: u32,
+    /// Fraction of incorrect top-budget predictions whose DSLAM has an
+    /// outage starting within the window.
+    pub incorrect_explained: f64,
+    /// Logistic-regression coefficient of the per-DSLAM prediction count
+    /// on the future-outage indicator.
+    pub coefficient: f64,
+    /// Two-sided Wald p-value of that coefficient.
+    pub p_value: f64,
+}
+
+/// Runs the Table-5 analysis for each window length.
+pub fn outage_ivr_analysis(
+    data: &ExperimentData,
+    ranking: &RankedPredictions,
+    budget: usize,
+    weeks_list: &[u32],
+) -> Vec<OutageIvrRow> {
+    let incorrect = ranking.incorrect_in_top(budget);
+    let top = ranking.top_rows(budget);
+
+    // Count top-budget predictions per (DSLAM, prediction day).
+    let prediction_days: Vec<u32> = {
+        let mut ds: Vec<u32> = ranking.rows.iter().map(|r| r.day).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    };
+    let n_dslams = data.topology.dslams.len();
+    let mut counts = vec![0f64; n_dslams * prediction_days.len()];
+    for (key, _, _) in &top {
+        let dslam = data.topology.dslam_of(key.line);
+        let di = prediction_days.binary_search(&key.day).expect("day known");
+        counts[dslam.index() * prediction_days.len() + di] += 1.0;
+    }
+
+    weeks_list
+        .iter()
+        .map(|&weeks| {
+            let window = weeks * 7;
+            // Fraction of incorrect predictions explained by IVR/outage.
+            let explained = incorrect
+                .iter()
+                .filter(|key| {
+                    let dslam = data.topology.dslam_of(key.line);
+                    outage_starting_within(data, dslam, key.day, key.day + window)
+                })
+                .count();
+            let incorrect_explained = if incorrect.is_empty() {
+                f64::NAN
+            } else {
+                explained as f64 / incorrect.len() as f64
+            };
+
+            // Logistic regression over (DSLAM, prediction day) units.
+            let mut x = Vec::with_capacity(counts.len());
+            let mut y = Vec::with_capacity(counts.len());
+            for (d, dslam) in data.topology.dslams.iter().enumerate() {
+                for (di, &day) in prediction_days.iter().enumerate() {
+                    x.push(vec![counts[d * prediction_days.len() + di]]);
+                    y.push(outage_starting_within(data, dslam.id, day, day + window));
+                }
+            }
+            // A firmer ridge than the default: prediction counts can be
+            // quasi-separating (every heavily-flagged DSLAM-day fails), and
+            // an exploding coefficient would make the Wald p-value
+            // meaningless.
+            let reg = LogisticRegression { ridge: 1e-2, ..LogisticRegression::default() };
+            let model = reg.fit(&x, &y);
+            OutageIvrRow {
+                weeks,
+                incorrect_explained,
+                coefficient: model.coefficients[0],
+                p_value: model.p_value(0),
+            }
+        })
+        .collect()
+}
+
+fn outage_starting_within(data: &ExperimentData, dslam: DslamId, from: u32, to: u32) -> bool {
+    data.output
+        .outage_events
+        .iter()
+        .any(|e| e.dslam == dslam && e.start >= from && e.start < to)
+}
+
+/// Result of the not-on-site analysis.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NotOnSiteResult {
+    /// Incorrect predictions whose line has traffic coverage.
+    pub covered: usize,
+    /// Of those, how many had zero traffic ±1 week around the prediction.
+    pub not_on_site: usize,
+}
+
+impl NotOnSiteResult {
+    /// Fraction of covered incorrect predictions attributable to absence.
+    pub fn fraction(&self) -> f64 {
+        if self.covered == 0 {
+            f64::NAN
+        } else {
+            self.not_on_site as f64 / self.covered as f64
+        }
+    }
+}
+
+/// The Sec.-5.2 "customers not on site" analysis over the traffic sample.
+pub fn not_on_site_analysis(
+    data: &ExperimentData,
+    ranking: &RankedPredictions,
+    budget: usize,
+) -> NotOnSiteResult {
+    let mut covered = 0usize;
+    let mut not_on_site = 0usize;
+    for key in ranking.incorrect_in_top(budget) {
+        if let Some(absent) = data.output.traffic.not_on_site(key.line, key.day) {
+            covered += 1;
+            if absent {
+                not_on_site += 1;
+            }
+        }
+    }
+    NotOnSiteResult { covered, not_on_site }
+}
+
+/// Customer-edge ticket counts by day of week (0 = Sunday … 6 = Saturday) —
+/// the Sec.-3.3 weekly trend.
+pub fn weekly_ticket_histogram(data: &ExperimentData) -> [usize; 7] {
+    let mut hist = [0usize; 7];
+    for t in data.output.customer_edge_tickets() {
+        hist[(t.day % 7) as usize] += 1;
+    }
+    hist
+}
+
+/// Groups the top-budget predictions by DSLAM, descending by count — the
+/// paper's suggestion to "group predictions by DSLAMs and send one truck to
+/// resolve most of the problems in a given DSLAM", which doubles as an
+/// outage early-warning signal.
+pub fn predictions_by_dslam(
+    data: &ExperimentData,
+    ranking: &RankedPredictions,
+    budget: usize,
+) -> Vec<(DslamId, usize)> {
+    let mut counts = vec![0usize; data.topology.dslams.len()];
+    for (key, _, _) in ranking.top_rows(budget) {
+        counts[data.topology.dslam_of(key.line).index()] += 1;
+    }
+    let mut out: Vec<(DslamId, usize)> = counts
+        .into_iter()
+        .enumerate()
+        .filter(|(_, c)| *c > 0)
+        .map(|(i, c)| (DslamId(i as u32), c))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SplitSpec;
+    use crate::predictor::{PredictorConfig, TicketPredictor};
+    use nevermind_dslsim::SimConfig;
+
+    fn setup() -> (ExperimentData, RankedPredictions, usize) {
+        let mut cfg = SimConfig::small(101);
+        cfg.outages_per_dslam_year = 4.0; // make the Table-5 signal visible
+        let data = ExperimentData::simulate(cfg);
+        let split = SplitSpec::paper_like(&data);
+        let pcfg = PredictorConfig {
+            iterations: 60,
+            selection_iterations: 4,
+            n_base: 20,
+            n_quadratic: 8,
+            n_product: 8,
+            selection_row_cap: 6_000,
+            ..PredictorConfig::default()
+        };
+        let (predictor, _) = TicketPredictor::fit(&data, &split, &pcfg);
+        let ranking = predictor.rank(&data, &split.test_days);
+        let budget = pcfg.budget(ranking.len());
+        (data, ranking, budget)
+    }
+
+    #[test]
+    fn time_to_ticket_cdf_is_bounded_by_horizon() {
+        let (data, ranking, budget) = setup();
+        let series = time_to_ticket(&data, &ranking, 28, &[budget / 2, budget]);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert!(!s.days.is_empty(), "no true predictions in top {}", s.top_n);
+            for &d in &s.days {
+                assert!(d >= 1.0 && d <= 28.0, "day {d} outside horizon");
+            }
+            assert!((s.cdf.eval(28.0) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outage_rows_cover_requested_weeks() {
+        let (data, ranking, budget) = setup();
+        let rows = outage_ivr_analysis(&data, &ranking, budget, &[1, 2, 3, 4]);
+        assert_eq!(rows.len(), 4);
+        // Explained fraction is monotone non-decreasing in the window.
+        for w in rows.windows(2) {
+            if !w[0].incorrect_explained.is_nan() && !w[1].incorrect_explained.is_nan() {
+                assert!(w[1].incorrect_explained >= w[0].incorrect_explained - 1e-12);
+            }
+        }
+        for r in &rows {
+            assert!(r.coefficient.is_finite());
+            assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+
+    #[test]
+    fn not_on_site_counts_are_consistent() {
+        let (data, ranking, budget) = setup();
+        let res = not_on_site_analysis(&data, &ranking, budget);
+        assert!(res.not_on_site <= res.covered);
+        if res.covered > 0 {
+            assert!((0.0..=1.0).contains(&res.fraction()));
+        }
+    }
+
+    #[test]
+    fn weekly_histogram_shows_monday_peak() {
+        let (data, _, _) = setup();
+        let hist = weekly_ticket_histogram(&data);
+        let total: usize = hist.iter().sum();
+        assert!(total > 0);
+        assert!(hist[1] > hist[6], "Monday {} vs Saturday {}", hist[1], hist[6]);
+    }
+
+    #[test]
+    fn dslam_grouping_sums_to_budget() {
+        let (data, ranking, budget) = setup();
+        let groups = predictions_by_dslam(&data, &ranking, budget);
+        let total: usize = groups.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, budget.min(ranking.len()));
+        for w in groups.windows(2) {
+            assert!(w[0].1 >= w[1].1, "descending counts");
+        }
+    }
+}

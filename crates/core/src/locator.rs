@@ -1,0 +1,803 @@
+//! The trouble locator (Sec. 6): ranking the 52 dispositions for a
+//! dispatched technician.
+//!
+//! Three rankers are implemented, exactly as compared in the paper:
+//!
+//! * **basic** — the simple experience model: dispositions ordered by their
+//!   historical frequency (prior probability);
+//! * **flat** — a one-vs-rest BStump per disposition, logistic-calibrated,
+//!   ranked by `P(C_ij | x)`;
+//! * **combined** — Eq. 2: for each disposition, a logistic regression
+//!   fuses the disposition classifier's score with its parent major
+//!   location classifier's score, exploiting the HN/F2/F1/DS hierarchy so
+//!   rare dispositions borrow strength from their location.
+
+use crate::pipeline::ExperimentData;
+use nevermind_dslsim::dispatch::DispositionNote;
+use nevermind_dslsim::disposition::{DispositionId, MajorLocation, N_DISPOSITIONS};
+use nevermind_dslsim::LineId;
+use nevermind_features::encode::{all_quadratics, EncodedDataset, EncoderConfig, RowKey};
+use nevermind_features::registry::DerivedFeature;
+use nevermind_ml::boost::{BStump, BoostConfig};
+use nevermind_ml::calibrate::PlattScale;
+use nevermind_ml::cv::k_folds;
+use nevermind_ml::data::Dataset;
+use nevermind_ml::logistic::{LogisticModel, LogisticRegression};
+use serde::{Deserialize, Serialize};
+
+/// Trouble-locator hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocatorConfig {
+    /// Boosting iterations per one-vs-rest model (paper: 200 via CV).
+    pub iterations: usize,
+    /// Minimum training examples for a disposition to get its own model
+    /// (paper: dispositions appearing ≥ 20 times).
+    pub min_examples: usize,
+    /// Stump threshold-search bins.
+    pub n_bins: usize,
+    /// Include quadratic derived features ("all the line features presented
+    /// in Table 3").
+    pub include_quadratics: bool,
+    /// Feature-encoder settings.
+    pub encoder: EncoderConfig,
+}
+
+impl Default for LocatorConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 200,
+            min_examples: 20,
+            n_bins: 64,
+            include_quadratics: true,
+            encoder: EncoderConfig::default(),
+        }
+    }
+}
+
+/// One labelled dispatch: the line, the Saturday whose measurements the
+/// technician would have had, and the recorded disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchExample {
+    /// The dispatched line.
+    pub line: LineId,
+    /// The most recent test Saturday at or before the dispatch.
+    pub day: u32,
+    /// The technician's recorded disposition (noisy ground truth).
+    pub disposition: DispositionId,
+}
+
+/// Extracts labelled dispatch examples from disposition notes whose day
+/// falls in `[from, to)`. Notes without a disposition (no trouble found)
+/// are skipped, as are dispatches too early to have a preceding Saturday.
+pub fn collect_dispatch_examples(
+    notes: &[DispositionNote],
+    from: u32,
+    to: u32,
+) -> Vec<DispatchExample> {
+    notes
+        .iter()
+        .filter(|n| n.day >= from && n.day < to)
+        .filter_map(|n| {
+            let disposition = n.disposition?;
+            let day = saturday_at_or_before(n.day)?;
+            Some(DispatchExample { line: n.line, day, disposition })
+        })
+        .collect()
+}
+
+/// The most recent Saturday at or before `day` (`None` if none exists yet).
+pub fn saturday_at_or_before(day: u32) -> Option<u32> {
+    let r = day % 7;
+    let sat = if r == 6 { day } else { day.checked_sub(r + 1)? };
+    Some(sat)
+}
+
+/// A per-disposition posterior, ready to be ranked.
+#[derive(Debug, Clone, Copy)]
+pub struct DispositionScore {
+    /// The disposition.
+    pub disposition: DispositionId,
+    /// Posterior probability (model or prior fallback).
+    pub probability: f64,
+}
+
+/// A fitted trouble locator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TroubleLocator {
+    /// Dispositions with enough examples to carry their own model.
+    modeled: Vec<DispositionId>,
+    flat_models: Vec<BStump>,
+    flat_cal: Vec<PlattScale>,
+    location_models: Vec<BStump>,
+    location_cal: Vec<PlattScale>,
+    /// Eq.-2 fusion per modeled disposition.
+    combine: Vec<LogisticModel>,
+    /// Training frequency per disposition (basic ranks + fallback scores).
+    priors: Vec<f64>,
+    selected_derived: Vec<DerivedFeature>,
+    encoder_config: EncoderConfig,
+    config: LocatorConfig,
+}
+
+impl TroubleLocator {
+    /// Fits flat and combined models on dispatches in `[from, to)`.
+    ///
+    /// # Panics
+    /// Panics if the window contains no usable dispatch examples.
+    pub fn fit(data: &ExperimentData, from: u32, to: u32, config: &LocatorConfig) -> Self {
+        let examples = collect_dispatch_examples(&data.output.notes, from, to);
+        assert!(!examples.is_empty(), "no dispatch examples in [{from}, {to})");
+
+        let encoder = data.encoder(config.encoder.clone());
+        let keys: Vec<RowKey> =
+            examples.iter().map(|e| RowKey { line: e.line, day: e.day }).collect();
+        let base = encoder.encode_rows(&keys);
+        let selected_derived: Vec<DerivedFeature> =
+            if config.include_quadratics { all_quadratics(&base) } else { Vec::new() };
+        let assembled = assemble(&base, &selected_derived);
+
+        // Priors = training frequency.
+        let mut priors = vec![0f64; N_DISPOSITIONS];
+        for e in &examples {
+            priors[e.disposition.0 as usize] += 1.0;
+        }
+        let total = examples.len() as f64;
+
+        let boost_cfg = BoostConfig {
+            iterations: config.iterations,
+            n_bins: config.n_bins,
+            smoothing: None,
+            parallel: true,
+        };
+
+        // One-vs-rest flat models for modeled dispositions. Calibration
+        // (and the Eq.-2 fusion below) must NOT see training margins — a
+        // boosted model separates its own training set almost perfectly, so
+        // Platt fitted in-sample turns every rare-class model into an
+        // overconfident 0-or-1 oracle and cross-class ranking collapses.
+        // Out-of-fold margins give honest score distributions.
+        let modeled: Vec<DispositionId> = (0..N_DISPOSITIONS as u8)
+            .map(DispositionId)
+            .filter(|d| priors[d.0 as usize] >= config.min_examples as f64)
+            .collect();
+        let mut flat_models = Vec::with_capacity(modeled.len());
+        let mut flat_cal = Vec::with_capacity(modeled.len());
+        let mut flat_oof = Vec::with_capacity(modeled.len());
+        for &d in &modeled {
+            let y: Vec<bool> = examples.iter().map(|e| e.disposition == d).collect();
+            let (model, oof) =
+                fit_with_oof_margins(&assembled, &y, &boost_cfg, 0xD15_0000 + d.0 as u64);
+            flat_cal.push(PlattScale::fit(&oof, &y));
+            flat_models.push(model);
+            flat_oof.push(oof);
+        }
+
+        // Major-location models (always enough data: four classes).
+        let mut location_models = Vec::with_capacity(4);
+        let mut location_cal = Vec::with_capacity(4);
+        let mut location_oof = Vec::with_capacity(4);
+        for loc in MajorLocation::ALL {
+            let y: Vec<bool> =
+                examples.iter().map(|e| e.disposition.location() == loc).collect();
+            let (model, oof) =
+                fit_with_oof_margins(&assembled, &y, &boost_cfg, 0x10C_0000 + loc as u64);
+            location_cal.push(PlattScale::fit(&oof, &y));
+            location_models.push(model);
+            location_oof.push(oof);
+        }
+
+        // Eq. 2: logistic fusion of (disposition margin, location margin),
+        // fitted on the out-of-fold margins.
+        let mut combine = Vec::with_capacity(modeled.len());
+        for (mi, &d) in modeled.iter().enumerate() {
+            let loc_idx = location_index(d.location());
+            let x: Vec<Vec<f64>> = flat_oof[mi]
+                .iter()
+                .zip(&location_oof[loc_idx])
+                .map(|(&a, &b)| vec![a, b])
+                .collect();
+            let y: Vec<bool> = examples.iter().map(|e| e.disposition == d).collect();
+            combine.push(LogisticRegression::default().fit(&x, &y));
+        }
+
+        for p in priors.iter_mut() {
+            *p /= total;
+        }
+
+        Self {
+            modeled,
+            flat_models,
+            flat_cal,
+            location_models,
+            location_cal,
+            combine,
+            priors,
+            selected_derived,
+            encoder_config: config.encoder.clone(),
+            config: config.clone(),
+        }
+    }
+
+    /// Dispositions that carry their own model.
+    pub fn modeled_dispositions(&self) -> &[DispositionId] {
+        &self.modeled
+    }
+
+    /// Training prevalence of each disposition.
+    pub fn priors(&self) -> &[f64] {
+        &self.priors
+    }
+
+    /// The basic (experience-model) ranking: dispositions by descending
+    /// training frequency, ties by table order.
+    pub fn basic_ranking(&self) -> Vec<DispositionId> {
+        let mut ids: Vec<usize> = (0..N_DISPOSITIONS).collect();
+        ids.sort_by(|&a, &b| {
+            self.priors[b].partial_cmp(&self.priors[a]).expect("finite").then(a.cmp(&b))
+        });
+        ids.into_iter().map(|i| DispositionId(i as u8)).collect()
+    }
+
+    /// Encodes dispatch examples into the locator's feature space.
+    pub fn encode_examples(
+        &self,
+        data: &ExperimentData,
+        examples: &[DispatchExample],
+    ) -> Dataset {
+        let encoder = data.encoder(self.encoder_config.clone());
+        let keys: Vec<RowKey> =
+            examples.iter().map(|e| RowKey { line: e.line, day: e.day }).collect();
+        let base = encoder.encode_rows(&keys);
+        assemble(&base, &self.selected_derived)
+    }
+
+    /// Flat-model posterior ranking for one assembled feature row,
+    /// descending. Unmodeled dispositions fall back to their prior rate.
+    pub fn rank_flat(&self, row: &[f32]) -> Vec<DispositionScore> {
+        let mut scores = self.prior_scores();
+        for (mi, &d) in self.modeled.iter().enumerate() {
+            let margin = self.flat_models[mi].margin(row);
+            scores[d.0 as usize].probability = self.flat_cal[mi].probability(margin);
+        }
+        sort_scores(scores)
+    }
+
+    /// Combined-model (Eq. 2) posterior ranking for one assembled row.
+    pub fn rank_combined(&self, row: &[f32]) -> Vec<DispositionScore> {
+        let mut scores = self.prior_scores();
+        let loc_margins: Vec<f64> =
+            self.location_models.iter().map(|m| m.margin(row)).collect();
+        for (mi, &d) in self.modeled.iter().enumerate() {
+            let flat_margin = self.flat_models[mi].margin(row);
+            let loc_margin = loc_margins[location_index(d.location())];
+            scores[d.0 as usize].probability =
+                self.combine[mi].probability(&[flat_margin, loc_margin]);
+        }
+        sort_scores(scores)
+    }
+
+    /// Cost-aware ranking — the paper's *second improvement* (Sec. 6.1),
+    /// which it leaves as future work: "if these locations have equal prior
+    /// probabilities of being the cause of failures, a technician will save
+    /// time by starting with the one which is the fastest to test." We
+    /// implement it here: dispositions ordered by expected value per minute,
+    /// `P(C_ij|x) / test_minutes(C_ij)`, using the combined-model
+    /// posteriors. This is the greedy optimum for minimizing expected total
+    /// testing time when test outcomes are independent.
+    pub fn rank_cost_aware(&self, row: &[f32]) -> Vec<DispositionScore> {
+        let mut scores = self.rank_combined(row);
+        scores.sort_by(|a, b| {
+            let ua = a.probability / a.disposition.info().test_minutes;
+            let ub = b.probability / b.disposition.info().test_minutes;
+            ub.partial_cmp(&ua)
+                .expect("finite utilities")
+                .then(a.disposition.0.cmp(&b.disposition.0))
+        });
+        scores
+    }
+
+    /// Calibrated major-location posteriors for one assembled row.
+    pub fn location_probabilities(&self, row: &[f32]) -> [(MajorLocation, f64); 4] {
+        let mut out = [(MajorLocation::HomeNetwork, 0.0); 4];
+        for (i, loc) in MajorLocation::ALL.into_iter().enumerate() {
+            let m = self.location_models[i].margin(row);
+            out[i] = (loc, self.location_cal[i].probability(m));
+        }
+        out
+    }
+
+    /// The flat model and location model backing one disposition, if
+    /// modeled — used to render the Fig. 9 combined-model structure.
+    pub fn model_pair(&self, d: DispositionId) -> Option<(&BStump, &BStump, &LogisticModel)> {
+        let mi = self.modeled.iter().position(|&m| m == d)?;
+        Some((
+            &self.flat_models[mi],
+            &self.location_models[location_index(d.location())],
+            &self.combine[mi],
+        ))
+    }
+
+    fn prior_scores(&self) -> Vec<DispositionScore> {
+        (0..N_DISPOSITIONS)
+            .map(|i| DispositionScore {
+                disposition: DispositionId(i as u8),
+                // Prior-rate fallback: on an uninformative row a modeled
+                // disposition's calibrated posterior also reverts to its
+                // base rate, so the mixed ranking degrades gracefully to
+                // the basic (experience) order.
+                probability: self.priors[i],
+            })
+            .collect()
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> &LocatorConfig {
+        &self.config
+    }
+}
+
+/// Trains a model on all rows and returns it together with 3-fold
+/// out-of-fold margins (honest score estimates for calibration/fusion).
+fn fit_with_oof_margins(
+    data: &Dataset,
+    y: &[bool],
+    boost_cfg: &BoostConfig,
+    seed: u64,
+) -> (BStump, Vec<f64>) {
+    let n = data.x.n_rows();
+    let ds = Dataset::new(data.x.clone(), y.to_vec());
+    let final_model = BStump::fit(&ds, boost_cfg);
+
+    let k = 3.min(n);
+    if k < 2 {
+        return (final_model.clone(), final_model.margins(&ds.x));
+    }
+    let mut oof = vec![0.0f64; n];
+    for fold in k_folds(n, k, seed) {
+        let train = ds.select_rows(&fold.train);
+        // A fold may lose every positive of a rare class; the resulting
+        // single-class fit simply emits strongly negative margins, which is
+        // an honest "not this class" signal for the held-out rows.
+        let model = BStump::fit(&train, boost_cfg);
+        for &row in &fold.validation {
+            oof[row] = model.margin(ds.x.row(row));
+        }
+    }
+    (final_model, oof)
+}
+
+fn assemble(base: &EncodedDataset, derived_feats: &[DerivedFeature]) -> Dataset {
+    if derived_feats.is_empty() {
+        base.data.clone()
+    } else {
+        let derived = nevermind_features::encode::derive(base, derived_feats);
+        base.hconcat(&derived).data
+    }
+}
+
+fn location_index(loc: MajorLocation) -> usize {
+    MajorLocation::ALL.iter().position(|&l| l == loc).expect("location in ALL")
+}
+
+fn sort_scores(mut scores: Vec<DispositionScore>) -> Vec<DispositionScore> {
+    scores.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("finite probabilities")
+            .then(a.disposition.0.cmp(&b.disposition.0))
+    });
+    scores
+}
+
+/// Ranks of the true disposition under each ranker, for one test dispatch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExampleRanks {
+    /// The recorded (true) disposition.
+    pub disposition: DispositionId,
+    /// 1-based rank under the basic experience model.
+    pub basic: usize,
+    /// 1-based rank under the flat model.
+    pub flat: usize,
+    /// 1-based rank under the combined model.
+    pub combined: usize,
+    /// 1-based rank under the cost-aware extension.
+    pub cost_aware: usize,
+    /// Major location of the true disposition.
+    pub true_location: MajorLocation,
+    /// Major location of the combined model's top-1 disposition.
+    pub predicted_location: MajorLocation,
+    /// Minutes a technician walking the basic order would spend testing.
+    pub basic_minutes: f64,
+    /// Minutes under the flat model's order.
+    pub flat_minutes: f64,
+    /// Minutes under the combined model's order.
+    pub combined_minutes: f64,
+    /// Minutes under the cost-aware order.
+    pub cost_aware_minutes: f64,
+}
+
+/// Minutes spent testing while walking `order` until `truth` is found: the
+/// sum of each tested disposition's
+/// [`test_minutes`](nevermind_dslsim::disposition::DispositionInfo::test_minutes).
+fn minutes_walked(order: impl Iterator<Item = DispositionId>, truth: DispositionId) -> f64 {
+    let mut minutes = 0.0;
+    for d in order {
+        minutes += d.info().test_minutes;
+        if d == truth {
+            break;
+        }
+    }
+    minutes
+}
+
+/// Locator evaluation over a set of test dispatches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocatorEvaluation {
+    /// Per-dispatch ranks.
+    pub per_example: Vec<ExampleRanks>,
+}
+
+impl LocatorEvaluation {
+    /// Evaluates a locator on dispatches in `[from, to)`.
+    pub fn run(
+        locator: &TroubleLocator,
+        data: &ExperimentData,
+        from: u32,
+        to: u32,
+    ) -> LocatorEvaluation {
+        let examples = collect_dispatch_examples(&data.output.notes, from, to);
+        let ds = locator.encode_examples(data, &examples);
+        let basic = locator.basic_ranking();
+        let per_example = examples
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let row = ds.x.row(i);
+                let truth = e.disposition;
+                let flat_scores = locator.rank_flat(row);
+                let combined_scores = locator.rank_combined(row);
+                let cost_scores = locator.rank_cost_aware(row);
+                let flat = rank_of(&flat_scores, truth);
+                let combined = rank_of(&combined_scores, truth);
+                let cost_aware = rank_of(&cost_scores, truth);
+                let basic_rank = basic
+                    .iter()
+                    .position(|&d| d == truth)
+                    .expect("all dispositions ranked")
+                    + 1;
+                ExampleRanks {
+                    disposition: truth,
+                    basic: basic_rank,
+                    flat,
+                    combined,
+                    cost_aware,
+                    true_location: truth.location(),
+                    predicted_location: combined_scores[0].disposition.location(),
+                    basic_minutes: minutes_walked(basic.iter().copied(), truth),
+                    flat_minutes: minutes_walked(
+                        flat_scores.iter().map(|s| s.disposition),
+                        truth,
+                    ),
+                    combined_minutes: minutes_walked(
+                        combined_scores.iter().map(|s| s.disposition),
+                        truth,
+                    ),
+                    cost_aware_minutes: minutes_walked(
+                        cost_scores.iter().map(|s| s.disposition),
+                        truth,
+                    ),
+                }
+            })
+            .collect();
+        LocatorEvaluation { per_example }
+    }
+
+    /// 4x4 confusion matrix over major locations: rows = true location,
+    /// columns = the combined model's top-1 location, both in
+    /// [`MajorLocation::ALL`] order. The paper motivates the locator with
+    /// exactly this decision ("if the technician has enough evidence to
+    /// believe a problem happens at DS, she can save time by skipping
+    /// testing other three locations").
+    pub fn location_confusion(&self) -> [[usize; 4]; 4] {
+        let idx = |l: MajorLocation| {
+            MajorLocation::ALL.iter().position(|&m| m == l).expect("known location")
+        };
+        let mut m = [[0usize; 4]; 4];
+        for e in &self.per_example {
+            m[idx(e.true_location)][idx(e.predicted_location)] += 1;
+        }
+        m
+    }
+
+    /// Fraction of dispatches whose top-1 predicted location matches the
+    /// true one.
+    pub fn location_accuracy(&self) -> f64 {
+        if self.per_example.is_empty() {
+            return f64::NAN;
+        }
+        let hits = self
+            .per_example
+            .iter()
+            .filter(|e| e.true_location == e.predicted_location)
+            .count();
+        hits as f64 / self.per_example.len() as f64
+    }
+
+    /// Mean technician testing minutes under each ranking:
+    /// `(basic, flat, combined, cost_aware)`.
+    pub fn mean_minutes(&self) -> (f64, f64, f64, f64) {
+        let n = self.per_example.len().max(1) as f64;
+        let sum = |f: &dyn Fn(&ExampleRanks) -> f64| {
+            self.per_example.iter().map(|e| f(e)).sum::<f64>() / n
+        };
+        (
+            sum(&|e| e.basic_minutes),
+            sum(&|e| e.flat_minutes),
+            sum(&|e| e.combined_minutes),
+            sum(&|e| e.cost_aware_minutes),
+        )
+    }
+
+    /// Smallest number of tests that locates at least `fraction` of the
+    /// problems, per ranker: `(basic, flat, combined)`.
+    pub fn tests_to_locate(&self, fraction: f64) -> (usize, usize, usize) {
+        (
+            quantile_rank(self.per_example.iter().map(|e| e.basic), fraction),
+            quantile_rank(self.per_example.iter().map(|e| e.flat), fraction),
+            quantile_rank(self.per_example.iter().map(|e| e.combined), fraction),
+        )
+    }
+
+    /// Fig.-10 series: for each basic-rank bin `[lo, hi]`, the mean rank
+    /// improvement (basic − model) under the flat and combined models.
+    pub fn rank_change_by_bin(&self, bins: &[(usize, usize)]) -> Vec<RankChangeBin> {
+        bins.iter()
+            .map(|&(lo, hi)| {
+                let in_bin: Vec<&ExampleRanks> = self
+                    .per_example
+                    .iter()
+                    .filter(|e| e.basic >= lo && e.basic <= hi)
+                    .collect();
+                let n = in_bin.len();
+                let mean = |f: &dyn Fn(&ExampleRanks) -> f64| {
+                    if n == 0 {
+                        f64::NAN
+                    } else {
+                        in_bin.iter().map(|e| f(e)).sum::<f64>() / n as f64
+                    }
+                };
+                RankChangeBin {
+                    lo,
+                    hi,
+                    n,
+                    flat_boost: mean(&|e| e.basic as f64 - e.flat as f64),
+                    combined_boost: mean(&|e| e.basic as f64 - e.combined as f64),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One Fig.-10 bin.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RankChangeBin {
+    /// Bin lower bound (basic rank, inclusive).
+    pub lo: usize,
+    /// Bin upper bound (inclusive).
+    pub hi: usize,
+    /// Dispatches in the bin.
+    pub n: usize,
+    /// Mean rank boost of the flat model over basic.
+    pub flat_boost: f64,
+    /// Mean rank boost of the combined model over basic.
+    pub combined_boost: f64,
+}
+
+fn rank_of(scores: &[DispositionScore], d: DispositionId) -> usize {
+    scores.iter().position(|s| s.disposition == d).expect("all dispositions scored") + 1
+}
+
+fn quantile_rank(ranks: impl Iterator<Item = usize>, fraction: f64) -> usize {
+    let mut v: Vec<usize> = ranks.collect();
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    let idx = ((v.len() as f64 * fraction).ceil() as usize).clamp(1, v.len());
+    v[idx - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nevermind_dslsim::SimConfig;
+
+    fn quick_cfg() -> LocatorConfig {
+        LocatorConfig { iterations: 40, min_examples: 10, ..LocatorConfig::default() }
+    }
+
+    /// A denser world than `SimConfig::small`: the locator trains one model
+    /// per disposition, so it needs a realistic dispatch volume (the paper
+    /// has 7 weeks of a multi-million-line network).
+    fn locator_world(seed: u64) -> ExperimentData {
+        let mut cfg = SimConfig::small(seed);
+        cfg.n_lines = 6_000;
+        cfg.faults_per_line_year = 1.3;
+        ExperimentData::simulate(cfg)
+    }
+
+    fn fitted() -> (ExperimentData, TroubleLocator) {
+        let data = locator_world(91);
+        let days = data.config.days;
+        let locator = TroubleLocator::fit(&data, 30, days / 2, &quick_cfg());
+        (data, locator)
+    }
+
+    #[test]
+    fn saturday_helper() {
+        assert_eq!(saturday_at_or_before(6), Some(6));
+        assert_eq!(saturday_at_or_before(7), Some(6));
+        assert_eq!(saturday_at_or_before(12), Some(6));
+        assert_eq!(saturday_at_or_before(13), Some(13));
+        assert_eq!(saturday_at_or_before(3), None);
+    }
+
+    #[test]
+    fn collects_examples_in_window() {
+        let data = ExperimentData::simulate(SimConfig::small(92));
+        let ex = collect_dispatch_examples(&data.output.notes, 30, 200);
+        assert!(!ex.is_empty());
+        for e in &ex {
+            assert_eq!(e.day % 7, 6);
+        }
+    }
+
+    #[test]
+    fn rankings_cover_all_dispositions_once() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let ex = collect_dispatch_examples(&data.output.notes, days / 2, days);
+        let ds = locator.encode_examples(&data, &ex[..1.min(ex.len())]);
+        let row = ds.x.row(0);
+        for ranking in [locator.rank_flat(row), locator.rank_combined(row)] {
+            assert_eq!(ranking.len(), N_DISPOSITIONS);
+            let mut seen: Vec<u8> = ranking.iter().map(|s| s.disposition.0).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), N_DISPOSITIONS);
+            // Descending probabilities.
+            for w in ranking.windows(2) {
+                assert!(w[0].probability >= w[1].probability);
+            }
+        }
+        assert_eq!(locator.basic_ranking().len(), N_DISPOSITIONS);
+    }
+
+    #[test]
+    fn models_beat_basic_ranking() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let eval = LocatorEvaluation::run(&locator, &data, days / 2, days);
+        assert!(!eval.per_example.is_empty());
+        let mean = |f: &dyn Fn(&ExampleRanks) -> usize| {
+            eval.per_example.iter().map(|e| f(e) as f64).sum::<f64>()
+                / eval.per_example.len() as f64
+        };
+        let basic = mean(&|e| e.basic);
+        let flat = mean(&|e| e.flat);
+        let combined = mean(&|e| e.combined);
+        assert!(flat < basic, "flat {flat} vs basic {basic}");
+        assert!(combined < basic, "combined {combined} vs basic {basic}");
+    }
+
+    #[test]
+    fn tests_to_locate_half() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let eval = LocatorEvaluation::run(&locator, &data, days / 2, days);
+        let (basic, flat, combined) = eval.tests_to_locate(0.5);
+        assert!(basic >= 1 && flat >= 1 && combined >= 1);
+        assert!(flat <= basic);
+        assert!(combined <= basic);
+    }
+
+    #[test]
+    fn rank_change_bins_partition() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let eval = LocatorEvaluation::run(&locator, &data, days / 2, days);
+        let bins = eval.rank_change_by_bin(&[(1, 5), (6, 10), (11, 20), (21, 52)]);
+        let total: usize = bins.iter().map(|b| b.n).sum();
+        assert_eq!(total, eval.per_example.len());
+    }
+
+    #[test]
+    fn cost_aware_reduces_expected_minutes() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let eval = LocatorEvaluation::run(&locator, &data, days / 2, days);
+        let (basic_min, _, combined_min, cost_min) = eval.mean_minutes();
+        assert!(combined_min < basic_min, "combined {combined_min} vs basic {basic_min}");
+        // The cost-aware order optimizes minutes, so it must not be worse
+        // than the combined order it reweights (allowing small noise).
+        assert!(
+            cost_min <= combined_min * 1.05,
+            "cost-aware {cost_min} vs combined {combined_min}"
+        );
+    }
+
+    #[test]
+    fn cost_aware_is_a_permutation_of_dispositions() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let ex = collect_dispatch_examples(&data.output.notes, days / 2, days);
+        let ds = locator.encode_examples(&data, &ex[..1]);
+        let ranking = locator.rank_cost_aware(ds.x.row(0));
+        assert_eq!(ranking.len(), N_DISPOSITIONS);
+        let mut seen: Vec<u8> = ranking.iter().map(|s| s.disposition.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), N_DISPOSITIONS);
+        // Expected-value-per-minute must descend along the list.
+        for w in ranking.windows(2) {
+            let ua = w[0].probability / w[0].disposition.info().test_minutes;
+            let ub = w[1].probability / w[1].disposition.info().test_minutes;
+            assert!(ua >= ub - 1e-12);
+        }
+    }
+
+    #[test]
+    fn location_confusion_sums_and_beats_prior() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let eval = LocatorEvaluation::run(&locator, &data, days / 2, days);
+        let m = eval.location_confusion();
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, eval.per_example.len());
+        let acc = eval.location_accuracy();
+        // The majority class share is the accuracy of always guessing the
+        // most common location; the model must beat it.
+        let mut true_counts = [0usize; 4];
+        for row in 0..4 {
+            true_counts[row] = m[row].iter().sum();
+        }
+        let majority = *true_counts.iter().max().expect("4 rows") as f64 / total as f64;
+        assert!(acc > majority, "location accuracy {acc:.3} vs majority {majority:.3}");
+    }
+
+    #[test]
+    fn minutes_walked_accumulates_prefix() {
+        let order: Vec<DispositionId> = (0..3).map(DispositionId).collect();
+        let truth = DispositionId(1);
+        let expected: f64 =
+            order[..2].iter().map(|d| d.info().test_minutes).sum();
+        assert!((minutes_walked(order.iter().copied(), truth) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn location_probabilities_are_probabilities() {
+        let (data, locator) = fitted();
+        let days = data.config.days;
+        let ex = collect_dispatch_examples(&data.output.notes, days / 2, days);
+        let ds = locator.encode_examples(&data, &ex[..1]);
+        let probs = locator.location_probabilities(ds.x.row(0));
+        for (_, p) in probs {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn model_pair_available_for_modeled() {
+        let (_, locator) = fitted();
+        let d = locator.modeled_dispositions()[0];
+        assert!(locator.model_pair(d).is_some());
+    }
+
+    #[test]
+    fn quantile_rank_math() {
+        let ranks = vec![1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(quantile_rank(ranks.iter().copied(), 0.5), 5);
+        assert_eq!(quantile_rank(ranks.iter().copied(), 1.0), 10);
+        assert_eq!(quantile_rank(std::iter::empty(), 0.5), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Experiment plumbing: simulated datasets, paper-style time splits, and
+//! the operational proactive loop.
+//!
+//! The paper's timeline (Sec. 5): measurements from 01/01–07/31 are history
+//! for the time-series features; 08/01–09/30 is training; four contiguous
+//! weeks from 10/31 are the test period. [`SplitSpec::paper_like`] carves
+//! the simulated horizon with the same proportions and ordering — training
+//! strictly precedes selection evaluation, which strictly precedes the test
+//! window.
+
+use nevermind_dslsim::topology::Topology;
+use nevermind_dslsim::{SimConfig, SimOutput, World};
+use nevermind_features::encode::EncoderConfig;
+use nevermind_features::BaseEncoder;
+use serde::{Deserialize, Serialize};
+
+/// A simulated dataset plus the plant it came from.
+///
+/// Serializable as one JSON document, which is how the CLI persists a
+/// dataset between `simulate`, `train` and `rank` invocations.
+#[derive(Serialize, Deserialize)]
+pub struct ExperimentData {
+    /// Simulator configuration used.
+    pub config: SimConfig,
+    /// The static plant (lines, DSLAMs, BRAS hierarchy).
+    pub topology: Topology,
+    /// The year of operational logs.
+    pub output: SimOutput,
+}
+
+impl ExperimentData {
+    /// Simulates a full reactive horizon (the paper's offline setting).
+    pub fn simulate(config: SimConfig) -> Self {
+        let world = World::generate(config.clone());
+        let topology = world.topology().clone();
+        let output = world.run();
+        Self { config, topology, output }
+    }
+
+    /// Builds the feature encoder over these logs.
+    pub fn encoder(&self, encoder_config: EncoderConfig) -> BaseEncoder<'_> {
+        BaseEncoder::new(
+            &self.topology.lines,
+            &self.output.measurements,
+            &self.output.tickets,
+            encoder_config,
+        )
+    }
+
+    /// All Saturdays inside the horizon, ascending.
+    pub fn saturdays(&self) -> Vec<u32> {
+        (0..self.config.days).filter(|d| d % 7 == 6).collect()
+    }
+
+    /// Saturdays whose 4-week label window fits inside the horizon.
+    pub fn label_complete_saturdays(&self, horizon_days: u32) -> Vec<u32> {
+        self.saturdays().into_iter().filter(|&d| d + horizon_days <= self.config.days).collect()
+    }
+}
+
+/// The three time windows of the paper's evaluation protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// Training Saturdays (the paper's 08/01–09/30, nine Saturdays).
+    pub train_days: Vec<u32>,
+    /// Held-out Saturdays used to *evaluate single-feature models* during
+    /// feature selection (selection must reward generalization).
+    pub selection_eval_days: Vec<u32>,
+    /// Final test Saturdays (the paper's four contiguous weeks).
+    pub test_days: Vec<u32>,
+}
+
+impl SplitSpec {
+    /// Paper-proportioned split: the last four label-complete Saturdays
+    /// test; four Saturdays whose label windows end before the test period
+    /// drive selection; the nine Saturdays before those train. Earlier
+    /// weeks remain as history for the time-series features.
+    ///
+    /// # Panics
+    /// Panics if the horizon is too short to fit the protocol.
+    pub fn paper_like(data: &ExperimentData) -> Self {
+        Self::with_horizon(data, 28)
+    }
+
+    /// [`SplitSpec::paper_like`] with an explicit label horizon.
+    pub fn with_horizon(data: &ExperimentData, horizon_days: u32) -> Self {
+        let usable = data.label_complete_saturdays(horizon_days);
+        assert!(
+            usable.len() >= 2,
+            "horizon too short: only {} label-complete Saturdays",
+            usable.len()
+        );
+        let n_test = 4.min(usable.len() / 4).max(1);
+        let test_days: Vec<u32> = usable[usable.len() - n_test..].to_vec();
+        let test_start = test_days[0];
+
+        // Selection-eval windows must close before testing begins.
+        let eval_candidates: Vec<u32> =
+            usable.iter().copied().filter(|&d| d + horizon_days <= test_start).collect();
+        assert!(
+            !eval_candidates.is_empty(),
+            "horizon too short for a selection-eval window before day {test_start}"
+        );
+        let n_eval = 4.min(eval_candidates.len() / 2).max(1);
+        let selection_eval_days: Vec<u32> =
+            eval_candidates[eval_candidates.len() - n_eval..].to_vec();
+        let eval_start = selection_eval_days[0];
+
+        let train_candidates: Vec<u32> =
+            eval_candidates.iter().copied().filter(|&d| d < eval_start).collect();
+        assert!(
+            !train_candidates.is_empty(),
+            "horizon too short for a training window before day {eval_start}"
+        );
+        let n_train = 9.min(train_candidates.len());
+        let train_days: Vec<u32> = train_candidates[train_candidates.len() - n_train..].to_vec();
+
+        Self { train_days, selection_eval_days, test_days }
+    }
+}
+
+/// Outcome of a proactive-vs-reactive operational trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProactiveOutcome {
+    /// Day the proactive policy switched on.
+    pub policy_start_day: u32,
+    /// Customer-edge tickets after the policy start, reactive baseline.
+    pub reactive_tickets: usize,
+    /// Customer-edge tickets after the policy start, proactive run.
+    pub proactive_tickets: usize,
+    /// Proactive dispatches sent.
+    pub proactive_dispatches: usize,
+    /// Proactive dispatches that found (and fixed) a real fault.
+    pub proactive_hits: usize,
+    /// Customers lost to churn after the policy start, reactive baseline.
+    pub reactive_churn: usize,
+    /// Customers lost to churn after the policy start, proactive run.
+    pub proactive_churn: usize,
+}
+
+impl ProactiveOutcome {
+    /// Fractional reduction in customer-edge tickets.
+    pub fn ticket_reduction(&self) -> f64 {
+        if self.reactive_tickets == 0 {
+            return 0.0;
+        }
+        1.0 - self.proactive_tickets as f64 / self.reactive_tickets as f64
+    }
+
+    /// Fraction of proactive dispatches that found a real fault.
+    pub fn dispatch_precision(&self) -> f64 {
+        if self.proactive_dispatches == 0 {
+            return f64::NAN;
+        }
+        self.proactive_hits as f64 / self.proactive_dispatches as f64
+    }
+}
+
+/// Runs the operational NEVERMIND loop against a twin reactive baseline.
+///
+/// Both runs share the simulator seed, so the plant, customers, faults and
+/// weather are identical; the only difference is the weekly proactive
+/// dispatches. The predictor is trained once, on the logs available at the
+/// end of the warm-up window, then applied every following Saturday.
+pub fn run_proactive_trial(
+    sim_config: SimConfig,
+    predictor_config: &crate::predictor::PredictorConfig,
+    warmup_weeks: u32,
+) -> ProactiveOutcome {
+    let policy_start_day = warmup_weeks * 7;
+    assert!(policy_start_day < sim_config.days, "warm-up longer than the horizon");
+
+    // Reactive baseline.
+    let baseline = World::generate(sim_config.clone()).run();
+    let reactive_tickets = baseline
+        .customer_edge_tickets()
+        .filter(|t| t.day >= policy_start_day)
+        .count();
+    let reactive_churn = baseline
+        .churn_events
+        .iter()
+        .filter(|c| c.day >= policy_start_day)
+        .count();
+
+    // Proactive run.
+    let mut world = World::generate(sim_config.clone());
+    while world.day() < policy_start_day {
+        world.step_day();
+    }
+
+    // Train on the warm-up logs.
+    let warmup_data = ExperimentData {
+        config: sim_config.clone(),
+        topology: world.topology().clone(),
+        output: world.output().clone(),
+    };
+    let mut warmup_for_split = warmup_data;
+    // The split machinery needs the horizon to reflect data actually seen.
+    warmup_for_split.config.days = policy_start_day;
+    let split = SplitSpec::paper_like(&warmup_for_split);
+    let (predictor, _) =
+        crate::predictor::TicketPredictor::fit(&warmup_for_split, &split, predictor_config);
+
+    let budget = predictor_config.budget(world.topology().lines.len());
+    while world.day() < sim_config.days {
+        world.step_day();
+        let just_finished = world.day() - 1;
+        if just_finished % 7 == 6 {
+            // Rank on everything measured so far, dispatch the top budget.
+            let to_dispatch: Vec<nevermind_dslsim::LineId> = {
+                let data = ExperimentData {
+                    config: sim_config.clone(),
+                    topology: world.topology().clone(),
+                    output: world.output().clone(),
+                };
+                let ranking = predictor.rank(&data, &[just_finished]);
+                ranking.top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect()
+            };
+            for line in to_dispatch {
+                world.schedule_proactive_dispatch(line, 2);
+            }
+        }
+    }
+
+    let out = world.into_output();
+    let proactive_tickets =
+        out.customer_edge_tickets().filter(|t| t.day >= policy_start_day).count();
+    let proactive_notes: Vec<_> = out.notes.iter().filter(|n| n.proactive).collect();
+    let proactive_dispatches = proactive_notes.len();
+    let proactive_hits = proactive_notes.iter().filter(|n| n.disposition.is_some()).count();
+    let proactive_churn =
+        out.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
+
+    ProactiveOutcome {
+        policy_start_day,
+        reactive_tickets,
+        proactive_tickets,
+        proactive_dispatches,
+        proactive_hits,
+        reactive_churn,
+        proactive_churn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_data() -> ExperimentData {
+        ExperimentData::simulate(SimConfig::small(31))
+    }
+
+    #[test]
+    fn split_windows_are_ordered_and_disjoint() {
+        let data = small_data();
+        let split = SplitSpec::paper_like(&data);
+        assert!(!split.train_days.is_empty());
+        assert!(!split.selection_eval_days.is_empty());
+        assert!(!split.test_days.is_empty());
+        let last_train = *split.train_days.last().expect("non-empty");
+        let first_eval = split.selection_eval_days[0];
+        let last_eval = *split.selection_eval_days.last().expect("non-empty");
+        let first_test = split.test_days[0];
+        assert!(last_train < first_eval, "training must precede selection eval");
+        assert!(last_eval + 28 <= first_test, "eval labels must close before testing");
+    }
+
+    #[test]
+    fn split_days_are_saturdays_with_complete_labels() {
+        let data = small_data();
+        let split = SplitSpec::paper_like(&data);
+        for &d in split
+            .train_days
+            .iter()
+            .chain(&split.selection_eval_days)
+            .chain(&split.test_days)
+        {
+            assert_eq!(d % 7, 6, "day {d} not a Saturday");
+            assert!(d + 28 <= data.config.days, "label window of {d} is truncated");
+        }
+    }
+
+    #[test]
+    fn full_default_horizon_gets_paper_sized_windows() {
+        // Default 420-day horizon should afford the full 9/4/4 protocol.
+        let data = ExperimentData {
+            config: SimConfig::default(),
+            topology: Topology::generate(&SimConfig::default(), 1),
+            output: SimOutput {
+                measurements: vec![],
+                tickets: vec![],
+                notes: vec![],
+                outage_events: vec![],
+                traffic: nevermind_dslsim::traffic::TrafficTable::new(vec![], 420),
+                ivr_calls: vec![],
+                churn_events: vec![],
+                days: 420,
+            },
+        };
+        let split = SplitSpec::paper_like(&data);
+        assert_eq!(split.train_days.len(), 9);
+        assert_eq!(split.selection_eval_days.len(), 4);
+        assert_eq!(split.test_days.len(), 4);
+    }
+
+    #[test]
+    fn saturday_enumeration() {
+        let data = small_data();
+        let sats = data.saturdays();
+        assert!(sats.iter().all(|d| d % 7 == 6));
+        assert_eq!(sats.len(), (data.config.days as usize).div_ceil(7).min(sats.len()));
+        let usable = data.label_complete_saturdays(28);
+        assert!(usable.len() < sats.len());
+    }
+
+    #[test]
+    fn proactive_outcome_math() {
+        let outcome = ProactiveOutcome {
+            policy_start_day: 100,
+            reactive_tickets: 200,
+            proactive_tickets: 150,
+            proactive_dispatches: 80,
+            proactive_hits: 40,
+            reactive_churn: 20,
+            proactive_churn: 12,
+        };
+        assert!((outcome.ticket_reduction() - 0.25).abs() < 1e-12);
+        assert!((outcome.dispatch_precision() - 0.5).abs() < 1e-12);
+
+        let degenerate = ProactiveOutcome {
+            policy_start_day: 0,
+            reactive_tickets: 0,
+            proactive_tickets: 0,
+            proactive_dispatches: 0,
+            proactive_hits: 0,
+            reactive_churn: 0,
+            proactive_churn: 0,
+        };
+        assert_eq!(degenerate.ticket_reduction(), 0.0);
+        assert!(degenerate.dispatch_precision().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon too short")]
+    fn split_rejects_tiny_horizons() {
+        let mut cfg = SimConfig::small(1);
+        cfg.days = 60;
+        let data = ExperimentData {
+            config: cfg.clone(),
+            topology: Topology::generate(&cfg, 1),
+            output: SimOutput {
+                measurements: vec![],
+                tickets: vec![],
+                notes: vec![],
+                outage_events: vec![],
+                traffic: nevermind_dslsim::traffic::TrafficTable::new(vec![], 60),
+                ivr_calls: vec![],
+                churn_events: vec![],
+                days: 60,
+            },
+        };
+        let _ = SplitSpec::paper_like(&data);
+    }
+}

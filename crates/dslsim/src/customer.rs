@@ -1,0 +1,252 @@
+//! Customer behaviour: usage, presence, tolerance, and reporting.
+//!
+//! Two behaviours matter for the paper's analyses:
+//!
+//! * customers only notice problems **while using the service**, and many
+//!   are away from home for stretches (vacations) — the Sec. 5.2 "customer
+//!   not on site" scenario where a real problem never becomes a ticket;
+//! * once a problem is noticed, the *call* happens with a day-of-week
+//!   pattern (Monday peak) and a severity-dependent urgency — hard outages
+//!   are reported within a day or two, slow-speed problems linger for weeks
+//!   (the Fig. 8 time-to-ticket CDF).
+
+use crate::config::{DayOfWeek, SimConfig};
+use crate::ids::LineId;
+use rand::{Rng, RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One subscriber's behavioural profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Customer {
+    /// The customer's line.
+    pub line: LineId,
+    /// Probability of actively using the service on a weekday.
+    pub usage_rate: f64,
+    /// Whether the modem is habitually powered off when idle.
+    pub off_when_idle: bool,
+    /// Perceived-severity threshold above which the customer considers the
+    /// service broken.
+    pub tolerance: f64,
+    /// Vacation windows `[start, end)` in simulation days.
+    pub vacations: Vec<(u32, u32)>,
+    /// Weekend-heavy usage pattern (weekday usage discounted).
+    pub weekend_heavy: bool,
+    /// Propensity to terminate the contract when a problem drags on
+    /// unresolved (the paper's churn motivation).
+    pub churn_propensity: f64,
+}
+
+impl Customer {
+    /// Whether the customer is away on `day`.
+    pub fn is_away(&self, day: u32) -> bool {
+        self.vacations.iter().any(|&(s, e)| day >= s && day < e)
+    }
+
+    /// Effective probability of using the service on `day` (0 when away).
+    pub fn usage_prob(&self, day: u32) -> f64 {
+        if self.is_away(day) {
+            return 0.0;
+        }
+        let dow = DayOfWeek::of(day);
+        let weekend = matches!(dow, DayOfWeek::Saturday | DayOfWeek::Sunday);
+        match (self.weekend_heavy, weekend) {
+            (true, true) => (self.usage_rate * 1.6).min(1.0),
+            (true, false) => self.usage_rate * 0.7,
+            (false, _) => self.usage_rate,
+        }
+    }
+
+    /// Draws whether the customer actively uses the service on `day`.
+    pub fn uses_service<R: Rng>(&self, day: u32, rng: &mut R) -> bool {
+        rng.random_bool(self.usage_prob(day))
+    }
+
+    /// Probability the modem is off (does not answer the line test) on
+    /// `day`, before any fault effects, given whether the customer used the
+    /// service around test time.
+    pub fn modem_off_prob(&self, day: u32, used_today: bool) -> f64 {
+        if self.is_away(day) {
+            // Most households leave the modem powered while away; the line
+            // stays measurable even though nobody would notice a problem.
+            if self.off_when_idle {
+                0.85
+            } else {
+                0.10
+            }
+        } else if self.off_when_idle {
+            if used_today {
+                0.15
+            } else {
+                0.65
+            }
+        } else {
+            0.02
+        }
+    }
+
+    /// Probability of placing the call on `day` once the problem has been
+    /// noticed, combining the base rate, the weekly calling pattern and the
+    /// problem's perceived severity.
+    pub fn call_prob(&self, day: u32, perceived_severity: f64, base_prob: f64) -> f64 {
+        if self.is_away(day) {
+            return 0.0;
+        }
+        let urgency = (0.25 + 0.75 * perceived_severity.clamp(0.0, 1.0)).min(1.0);
+        (base_prob * DayOfWeek::of(day).call_weight() * urgency).clamp(0.0, 1.0)
+    }
+}
+
+/// Generates the customer population deterministically.
+pub fn generate_customers(config: &SimConfig, seed: u64) -> Vec<Customer> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weeks = config.days.div_ceil(7);
+    (0..config.n_lines as u32)
+        .map(|i| {
+            // A slice of lines is nearly dark (seasonal homes, vacant
+            // premises, lines kept for a fax that never rings). Nobody is
+            // there to report their problems, so faults accumulate and the
+            // predictor flags them — the paper's "conservative metric"
+            // population and most of its not-on-site cases.
+            let dark = rng.random_bool(0.05);
+            let usage_rate = if dark {
+                rng.random_range(0.005..0.05)
+            } else {
+                rng.random_range(0.15..0.95)
+            };
+            let off_when_idle = rng.random_bool(config.off_when_idle_fraction);
+            let tolerance = rng.random_range(0.08..0.55);
+            let weekend_heavy = rng.random_bool(0.3);
+
+            // Vacation windows: per week a small chance to start a 1-2 week
+            // absence; a few customers (snowbirds, long work trips) leave
+            // for a month or more — the population behind the paper's
+            // "customer not on site" false-incorrect predictions.
+            let mut vacations = Vec::new();
+            if rng.random_bool(0.06) {
+                let len_weeks = rng.random_range(3..=8u32);
+                let start_week = rng.random_range(0..weeks.max(1));
+                let start = start_week * 7 + rng.random_range(0..7u32);
+                vacations.push((start, start + len_weeks * 7));
+            }
+            let mut w = 0u32;
+            while w < weeks {
+                let in_long = vacations
+                    .iter()
+                    .any(|&(s, e)| w * 7 >= s.saturating_sub(7) && w * 7 < e);
+                if !in_long && rng.random_bool(config.vacation_week_prob) {
+                    let len_weeks = rng.random_range(1..=2u32);
+                    let start = w * 7 + rng.random_range(0..7u32);
+                    vacations.push((start, start + len_weeks * 7));
+                    w += len_weeks;
+                } else {
+                    w += 1;
+                }
+            }
+
+            Customer {
+                line: LineId(i),
+                usage_rate,
+                off_when_idle,
+                tolerance,
+                vacations,
+                weekend_heavy,
+                churn_propensity: rng.random_range(0.05..0.5),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_customer() -> Customer {
+        Customer {
+            line: LineId(0),
+            usage_rate: 0.6,
+            off_when_idle: false,
+            tolerance: 0.2,
+            vacations: vec![(10, 17)],
+            weekend_heavy: false,
+            churn_propensity: 0.2,
+        }
+    }
+
+    #[test]
+    fn away_window_is_half_open() {
+        let c = base_customer();
+        assert!(!c.is_away(9));
+        assert!(c.is_away(10));
+        assert!(c.is_away(16));
+        assert!(!c.is_away(17));
+    }
+
+    #[test]
+    fn no_usage_while_away() {
+        let c = base_customer();
+        assert_eq!(c.usage_prob(12), 0.0);
+        assert!(c.usage_prob(20) > 0.0);
+    }
+
+    #[test]
+    fn weekend_heavy_users_shift_usage() {
+        let mut c = base_customer();
+        c.weekend_heavy = true;
+        c.vacations.clear();
+        let saturday = 6;
+        let wednesday = 3;
+        assert!(c.usage_prob(saturday) > c.usage_prob(wednesday));
+    }
+
+    #[test]
+    fn modem_off_probability_orders_sensibly() {
+        let mut c = base_customer();
+        c.vacations.clear();
+        // Always-on household barely ever misses a test.
+        assert!(c.modem_off_prob(20, false) < 0.05);
+        c.off_when_idle = true;
+        let idle_off = c.modem_off_prob(20, false);
+        let used_off = c.modem_off_prob(20, true);
+        assert!(idle_off > used_off, "idle {idle_off} vs used {used_off}");
+        c.vacations = vec![(18, 25)];
+        assert!(c.modem_off_prob(20, false) > idle_off, "vacation maximizes off-prob");
+    }
+
+    #[test]
+    fn call_prob_peaks_monday_scales_with_severity() {
+        let mut c = base_customer();
+        c.vacations.clear();
+        let monday = 1u32;
+        let saturday = 6u32;
+        let base = 0.4;
+        assert!(c.call_prob(monday, 0.8, base) > c.call_prob(saturday, 0.8, base));
+        assert!(c.call_prob(monday, 0.9, base) > c.call_prob(monday, 0.1, base));
+        c.vacations = vec![(10, 17)];
+        assert_eq!(c.call_prob(12, 1.0, base), 0.0, "no calls from vacation");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let cfg = SimConfig::small(5);
+        let a = generate_customers(&cfg, 11);
+        let b = generate_customers(&cfg, 11);
+        assert_eq!(a.len(), cfg.n_lines);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.usage_rate, y.usage_rate);
+            assert_eq!(x.vacations, y.vacations);
+        }
+    }
+
+    #[test]
+    fn population_has_behavioural_diversity() {
+        let cfg = SimConfig::small(6);
+        let cs = generate_customers(&cfg, 12);
+        let off_idle = cs.iter().filter(|c| c.off_when_idle).count();
+        assert!(off_idle > 0 && off_idle < cs.len());
+        let with_vacation = cs.iter().filter(|c| !c.vacations.is_empty()).count();
+        assert!(with_vacation > 0, "someone must take a vacation");
+        let frac = with_vacation as f64 / cs.len() as f64;
+        assert!(frac < 0.9, "vacations should be occasional, got {frac}");
+    }
+}

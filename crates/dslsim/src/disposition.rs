@@ -1,0 +1,311 @@
+//! The disposition taxonomy — Table 1 / Fig. 2 of the paper.
+//!
+//! Field technicians close every dispatch with a *disposition code* naming
+//! the repaired component or the configuration change. The paper groups 52
+//! such codes (those appearing ≥ 20 times, covering 81.9% of customer-edge
+//! problems) into four *major locations* along the line:
+//!
+//! * **HN** — the home network (modem, filters, inside wiring, jacks, …);
+//! * **F2** — the path from the home network to the crossbox (drop wire,
+//!   protector, DEMARC, …);
+//! * **F1** — the path from the crossbox to the DSLAM (cable pairs,
+//!   bridge taps, wet conductors, …);
+//! * **DS** — the DSLAM itself (cards, wiring, transport, speed profile).
+//!
+//! The paper lists representative dispositions per location; this module
+//! fills the taxonomy out to the full 52 codes with operationally plausible
+//! variants, each carrying the attributes the simulator and the trouble
+//! locator need: prevalence weight, symptom class, degradation ramp, and
+//! the technician's per-test cost.
+
+use serde::{Deserialize, Serialize};
+
+/// The four major trouble locations (Fig. 2), ordered by distance from the
+/// end host — the order matters for the paper's label-noise rule ("if a
+/// problem is caused by multiple devices, the code is always associated with
+/// the device closest to the end host").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MajorLocation {
+    /// Home network.
+    HomeNetwork,
+    /// Between the home network and the crossbox.
+    F2,
+    /// Between the crossbox and the DSLAM.
+    F1,
+    /// The DSLAM (and immediate upstream transport).
+    Dslam,
+}
+
+impl MajorLocation {
+    /// All four locations, closest-to-host first.
+    pub const ALL: [MajorLocation; 4] =
+        [MajorLocation::HomeNetwork, MajorLocation::F2, MajorLocation::F1, MajorLocation::Dslam];
+
+    /// Short operator label ("HN", "F2", "F1", "DS").
+    pub fn label(self) -> &'static str {
+        match self {
+            MajorLocation::HomeNetwork => "HN",
+            MajorLocation::F2 => "F2",
+            MajorLocation::F1 => "F1",
+            MajorLocation::Dslam => "DS",
+        }
+    }
+
+    /// Whether the location is on the outside plant (exposed to weather).
+    pub fn is_outside(self) -> bool {
+        matches!(self, MajorLocation::F2 | MajorLocation::F1)
+    }
+}
+
+/// How a fully-developed fault manifests to the customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Connection is lost outright (pair cut, dead modem): noticed on first
+    /// use, reported quickly.
+    Hard,
+    /// Connection drops sporadically (moisture, corrosion, flaky card):
+    /// noticed probabilistically, tolerated for a while, repeat tickets.
+    Intermittent,
+    /// Line stays up but slow/unstable (bridge tap, profile mismatch):
+    /// noticed slowly, reported late or never.
+    Degraded,
+}
+
+/// Index into [`DISPOSITIONS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DispositionId(pub u8);
+
+impl DispositionId {
+    /// The static record for this disposition.
+    #[inline]
+    pub fn info(self) -> &'static DispositionInfo {
+        &DISPOSITIONS[self.0 as usize]
+    }
+
+    /// The disposition's major location.
+    #[inline]
+    pub fn location(self) -> MajorLocation {
+        self.info().location
+    }
+}
+
+/// Static attributes of one disposition code.
+#[derive(Debug, Clone, Serialize)]
+pub struct DispositionInfo {
+    /// Operator short code, e.g. `HN-MODEM`.
+    pub code: &'static str,
+    /// Major location the repair happens at.
+    pub location: MajorLocation,
+    /// Free-text description, in the style of Table 1.
+    pub description: &'static str,
+    /// Customer-facing symptom class.
+    pub class: FaultClass,
+    /// Relative prevalence weight (arbitrary units; larger = more common).
+    pub weight: f64,
+    /// Mean days from fault onset to full development (the degradation ramp
+    /// that makes proactive prediction possible).
+    pub ramp_days: f64,
+    /// Whether weather (rain/moisture episodes) multiplies this fault's
+    /// hazard. Only meaningful for outside-plant locations.
+    pub weather_sensitive: bool,
+    /// Minutes a technician needs to test for (and if found, fix) this
+    /// disposition during a dispatch.
+    pub test_minutes: f64,
+}
+
+/// Number of disposition codes (the paper's 52).
+pub const N_DISPOSITIONS: usize = 52;
+
+macro_rules! d {
+    ($code:literal, $loc:ident, $desc:literal, $class:ident, $w:literal, $ramp:literal, $wx:literal, $mins:literal) => {
+        DispositionInfo {
+            code: $code,
+            location: MajorLocation::$loc,
+            description: $desc,
+            class: FaultClass::$class,
+            weight: $w,
+            ramp_days: $ramp,
+            weather_sensitive: $wx,
+            test_minutes: $mins,
+        }
+    };
+}
+
+/// The full disposition table. Order groups the four major locations
+/// (HN 0–13, F2 14–26, F1 27–39, DS 40–51); code strings are stable and
+/// used in exported datasets.
+pub const DISPOSITIONS: [DispositionInfo; N_DISPOSITIONS] = [
+    // --- Home network (14) ---
+    d!("HN-MODEM", HomeNetwork, "Defective DSL modem replaced", Intermittent, 6.0, 10.0, false, 10.0),
+    d!("HN-MODEM-CFG", HomeNetwork, "DSL modem reconfigured / firmware reloaded", Degraded, 3.5, 6.0, false, 8.0),
+    d!("HN-FILTER", HomeNetwork, "Missing or defective micro-filter", Degraded, 4.0, 4.0, false, 5.0),
+    d!("HN-SPLITTER", HomeNetwork, "Defective POTS splitter", Degraded, 2.5, 7.0, false, 6.0),
+    d!("HN-NETCABLE", HomeNetwork, "Defective network cable between modem and host", Hard, 2.5, 2.0, false, 5.0),
+    d!("HN-IW-WET", HomeNetwork, "Inside wire wet or water damaged", Intermittent, 3.0, 12.0, true, 20.0),
+    d!("HN-IW-CORRODED", HomeNetwork, "Inside wire corroded", Intermittent, 3.0, 21.0, false, 20.0),
+    d!("HN-IW-CUT", HomeNetwork, "Inside wire cut or broken", Hard, 2.0, 1.0, false, 18.0),
+    d!("HN-JACK", HomeNetwork, "Defective wall jack re-terminated", Intermittent, 2.5, 9.0, false, 8.0),
+    d!("HN-NIC", HomeNetwork, "Defective network interface card", Hard, 1.5, 3.0, false, 12.0),
+    d!("HN-SOFTWARE", HomeNetwork, "Host software or driver misconfiguration", Degraded, 3.0, 2.0, false, 15.0),
+    d!("HN-ROUTER", HomeNetwork, "Defective home router or gateway", Intermittent, 2.5, 8.0, false, 10.0),
+    d!("HN-POWER", HomeNetwork, "Modem power supply failure", Hard, 1.5, 2.0, false, 6.0),
+    d!("HN-WIRING-REARRANGE", HomeNetwork, "Home wiring rearranged, extension removed", Degraded, 2.0, 5.0, false, 16.0),
+    // --- F2: home network to crossbox (13) ---
+    d!("F2-AERIAL-DROP", F2, "Aerial drop wire replaced", Intermittent, 2.5, 14.0, true, 25.0),
+    d!("F2-BURIED-DROP", F2, "Repaired existing buried service wire", Intermittent, 2.0, 18.0, true, 30.0),
+    d!("F2-DEMARC", F2, "Access point (DEMARC/NID) repaired", Intermittent, 2.5, 10.0, true, 12.0),
+    d!("F2-PROTECTOR", F2, "Defect in protector unit", Intermittent, 2.0, 12.0, true, 12.0),
+    d!("F2-PROT-DEMARC-WIRE", F2, "Wire from protector to DEMARC replaced", Degraded, 1.5, 9.0, false, 14.0),
+    d!("F2-JUMPER", F2, "Jumper wire re-terminated", Degraded, 1.5, 8.0, false, 10.0),
+    d!("F2-MTU", F2, "Defective MTU removed", Degraded, 1.0, 11.0, false, 12.0),
+    d!("F2-TERMINAL", F2, "Defective ready-access terminal on the drop side", Intermittent, 1.5, 13.0, true, 18.0),
+    d!("F2-DROP-CONN", F2, "Corroded drop connector resealed", Intermittent, 1.5, 16.0, true, 10.0),
+    d!("F2-SQUIRREL", F2, "Drop wire chewed or abraded (wildlife damage)", Hard, 1.0, 5.0, false, 22.0),
+    d!("F2-TREE", F2, "Drop wire strained by vegetation", Intermittent, 1.0, 15.0, true, 20.0),
+    d!("F2-GROUND", F2, "Faulty grounding at the NID", Degraded, 1.0, 14.0, true, 12.0),
+    d!("F2-SPLICE", F2, "Defective splice in the service wire", Intermittent, 1.0, 17.0, true, 24.0),
+    // --- F1: crossbox to DSLAM (13) ---
+    d!("F1-PAIR-TRANSFER", F1, "Transferred service to another cable pair", Intermittent, 2.5, 15.0, true, 28.0),
+    d!("F1-BRIDGE-TAP", F1, "Bridge tap removed from the customer's facilities", Degraded, 2.0, 25.0, false, 26.0),
+    d!("F1-WET-CONDUCTOR", F1, "Wet or corroded wire conductor dried or replaced", Intermittent, 3.0, 14.0, true, 24.0),
+    d!("F1-CROSSBOX", F1, "Defect found and repaired in a crossbox", Intermittent, 2.0, 12.0, true, 18.0),
+    d!("F1-BURIED-TERM", F1, "Defective buried ready-access terminal", Intermittent, 1.5, 16.0, true, 26.0),
+    d!("F1-PAIR-CUT", F1, "Cable pair cut repaired", Hard, 2.0, 1.0, false, 30.0),
+    d!("F1-DEFECT-CABLE", F1, "Defective cable section replaced", Intermittent, 1.5, 13.0, true, 32.0),
+    d!("F1-STUB", F1, "Cable stub removed", Degraded, 1.0, 22.0, false, 24.0),
+    d!("F1-BINDER", F1, "Binder-group noise isolated (crosstalk)", Degraded, 1.5, 18.0, false, 22.0),
+    d!("F1-LOAD-COIL", F1, "Load coil removed", Degraded, 1.0, 20.0, false, 25.0),
+    d!("F1-SPLICE-CASE", F1, "Water pumped out of a splice case and resealed", Intermittent, 1.5, 11.0, true, 28.0),
+    d!("F1-XBOX-JUMPER", F1, "Crossbox jumper re-run", Degraded, 1.0, 10.0, false, 15.0),
+    d!("F1-PRESSURE", F1, "Cable pressurization restored", Intermittent, 1.0, 13.0, true, 26.0),
+    // --- DSLAM (12) ---
+    d!("DS-SPEED-DOWN", Dslam, "Reduced speed to stabilize the line (profile downgrade)", Degraded, 3.0, 20.0, false, 10.0),
+    d!("DS-TRANSPORT", Dslam, "Digital stream transport repaired", Intermittent, 1.5, 8.0, false, 20.0),
+    d!("DS-WIRING", Dslam, "Wiring at the DSLAM re-terminated", Intermittent, 2.0, 10.0, false, 16.0),
+    d!("DS-PRONTO-ABCU", Dslam, "DSLAM pronto card ABCU replaced", Intermittent, 1.5, 9.0, false, 18.0),
+    d!("DS-PRONTO-ADLU", Dslam, "DSLAM pronto card ADLU replaced", Intermittent, 1.5, 9.0, false, 18.0),
+    d!("DS-PORT", Dslam, "Moved subscriber to another DSLAM port", Intermittent, 1.5, 7.0, false, 14.0),
+    d!("DS-ATM", Dslam, "ATM switch or uplink issue resolved", Intermittent, 1.0, 6.0, false, 20.0),
+    d!("DS-DIGITAL-STREAM", Dslam, "Digital stream reprovisioned", Degraded, 1.0, 8.0, false, 15.0),
+    d!("DS-PROFILE-CFG", Dslam, "Port profile misconfiguration corrected", Degraded, 1.5, 5.0, false, 10.0),
+    d!("DS-CARD-SEAT", Dslam, "Line card reseated", Intermittent, 1.0, 6.0, false, 12.0),
+    d!("DS-SHELF-POWER", Dslam, "Shelf power or fan fault serviced", Hard, 0.8, 4.0, false, 20.0),
+    d!("DS-SYNC", Dslam, "Port resynchronization / firmware reset", Degraded, 1.2, 5.0, false, 8.0),
+];
+
+/// All disposition ids, in table order.
+pub fn all_dispositions() -> impl Iterator<Item = DispositionId> {
+    (0..N_DISPOSITIONS as u8).map(DispositionId)
+}
+
+/// Disposition ids belonging to a major location, in table order.
+pub fn dispositions_at(location: MajorLocation) -> Vec<DispositionId> {
+    all_dispositions().filter(|d| d.location() == location).collect()
+}
+
+/// Looks up a disposition by its code string.
+pub fn by_code(code: &str) -> Option<DispositionId> {
+    DISPOSITIONS
+        .iter()
+        .position(|d| d.code == code)
+        .map(|i| DispositionId(i as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_52_dispositions() {
+        assert_eq!(DISPOSITIONS.len(), 52);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = DISPOSITIONS.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 52, "duplicate disposition codes");
+    }
+
+    #[test]
+    fn every_location_has_multiple_dispositions() {
+        for loc in MajorLocation::ALL {
+            let n = dispositions_at(loc).len();
+            assert!(n >= 10, "{} has only {n} dispositions", loc.label());
+        }
+        let total: usize = MajorLocation::ALL.iter().map(|&l| dispositions_at(l).len()).sum();
+        assert_eq!(total, 52);
+    }
+
+    #[test]
+    fn no_dominant_disposition_within_location() {
+        // Paper: "there is no dominant disposition in these major locations".
+        for loc in MajorLocation::ALL {
+            let ids = dispositions_at(loc);
+            let total: f64 = ids.iter().map(|d| d.info().weight).sum();
+            for d in ids {
+                assert!(
+                    d.info().weight / total < 0.5,
+                    "{} dominates {}",
+                    d.info().code,
+                    loc.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn location_order_is_closest_to_host_first() {
+        assert!(MajorLocation::HomeNetwork < MajorLocation::F2);
+        assert!(MajorLocation::F2 < MajorLocation::F1);
+        assert!(MajorLocation::F1 < MajorLocation::Dslam);
+    }
+
+    #[test]
+    fn outside_plant_flag() {
+        assert!(!MajorLocation::HomeNetwork.is_outside());
+        assert!(MajorLocation::F2.is_outside());
+        assert!(MajorLocation::F1.is_outside());
+        assert!(!MajorLocation::Dslam.is_outside());
+    }
+
+    #[test]
+    fn weather_sensitivity_only_on_outside_or_home_moisture() {
+        for d in &DISPOSITIONS {
+            if d.weather_sensitive {
+                assert!(
+                    d.location.is_outside() || d.code == "HN-IW-WET",
+                    "{} is weather sensitive but inside",
+                    d.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        let id = by_code("F1-BRIDGE-TAP").expect("exists");
+        assert_eq!(id.location(), MajorLocation::F1);
+        assert_eq!(id.info().class, FaultClass::Degraded);
+        assert!(by_code("NOPE").is_none());
+    }
+
+    #[test]
+    fn hard_faults_have_short_ramps() {
+        for d in &DISPOSITIONS {
+            if d.class == FaultClass::Hard {
+                assert!(d.ramp_days <= 5.0, "{} is Hard but ramps {} days", d.code, d.ramp_days);
+            }
+        }
+    }
+
+    #[test]
+    fn positive_attributes() {
+        for d in &DISPOSITIONS {
+            assert!(d.weight > 0.0);
+            assert!(d.ramp_days > 0.0);
+            assert!(d.test_minutes > 0.0);
+        }
+    }
+}

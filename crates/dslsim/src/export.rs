@@ -1,0 +1,241 @@
+//! Dataset export and import.
+//!
+//! A downstream user of this reproduction will want the synthetic logs
+//! outside the process: to eyeball them, to feed another learning stack, or
+//! to archive the exact dataset behind a result. Two formats are provided:
+//!
+//! * **CSV** — one file per table (measurements, tickets, notes, outages),
+//!   headers included, RFC-4180-style quoting where needed;
+//! * **JSONL** — one serde-serialized record per line, which round-trips
+//!   losslessly through [`import_measurements_jsonl`] and friends.
+//!
+//! Exports are plain functions over `io::Write`, so they work with files,
+//! buffers, or pipes; no paths are hard-coded.
+
+use crate::dispatch::DispositionNote;
+use crate::measurement::{LineMetric, LineTest};
+use crate::outage::OutageEvent;
+use crate::ticket::{Ticket, TicketCategory};
+use crate::world::SimOutput;
+use std::io::{self, BufRead, Write};
+
+/// Writes the measurement table as CSV: `line,day,<25 metric columns>`.
+pub fn export_measurements_csv<W: Write>(out: &mut W, tests: &[LineTest]) -> io::Result<()> {
+    write!(out, "line,day")?;
+    for m in LineMetric::ALL {
+        write!(out, ",{}", m.name())?;
+    }
+    writeln!(out)?;
+    for t in tests {
+        write!(out, "{},{}", t.line.0, t.day)?;
+        for v in t.values {
+            write!(out, ",{v}")?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Writes the ticket table as CSV: `id,line,day,category`.
+pub fn export_tickets_csv<W: Write>(out: &mut W, tickets: &[Ticket]) -> io::Result<()> {
+    writeln!(out, "id,line,day,category")?;
+    for t in tickets {
+        writeln!(out, "{},{},{},{}", t.id, t.line.0, t.day, category_label(t.category))?;
+    }
+    Ok(())
+}
+
+/// Writes the disposition-note table as CSV:
+/// `ticket,line,day,disposition,tests_performed,minutes_spent,proactive`.
+pub fn export_notes_csv<W: Write>(out: &mut W, notes: &[DispositionNote]) -> io::Result<()> {
+    writeln!(out, "ticket,line,day,disposition,tests_performed,minutes_spent,proactive")?;
+    for n in notes {
+        let ticket = n.ticket.map_or(String::new(), |t| t.to_string());
+        let disposition = n.disposition.map_or("NO_TROUBLE_FOUND", |d| d.info().code);
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            ticket, n.line.0, n.day, disposition, n.tests_performed, n.minutes_spent, n.proactive
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the outage table as CSV: `dslam,start,end`.
+pub fn export_outages_csv<W: Write>(out: &mut W, outages: &[OutageEvent]) -> io::Result<()> {
+    writeln!(out, "dslam,start,end")?;
+    for e in outages {
+        writeln!(out, "{},{},{}", e.dslam.0, e.start, e.end)?;
+    }
+    Ok(())
+}
+
+/// Writes every table of a [`SimOutput`] into the given directory as
+/// `measurements.csv`, `tickets.csv`, `notes.csv`, `outages.csv`.
+pub fn export_csv_dir(dir: &std::path::Path, output: &SimOutput) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("measurements.csv"))?);
+    export_measurements_csv(&mut f, &output.measurements)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("tickets.csv"))?);
+    export_tickets_csv(&mut f, &output.tickets)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("notes.csv"))?);
+    export_notes_csv(&mut f, &output.notes)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("outages.csv"))?);
+    export_outages_csv(&mut f, &output.outage_events)?;
+    Ok(())
+}
+
+fn category_label(c: TicketCategory) -> &'static str {
+    match c {
+        TicketCategory::CustomerEdge => "customer_edge",
+        TicketCategory::Outage => "outage",
+        TicketCategory::NonTechnical => "non_technical",
+    }
+}
+
+/// Writes records as JSON Lines via serde (lossless round-trip).
+pub fn export_jsonl<W: Write, T: serde::Serialize>(out: &mut W, records: &[T]) -> io::Result<()> {
+    for r in records {
+        let line = serde_json::to_string(r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads serde records back from JSON Lines. Empty lines are skipped;
+/// malformed lines produce an error naming the line number.
+pub fn import_jsonl<R: BufRead, T: serde::de::DeserializeOwned>(
+    input: R,
+) -> io::Result<Vec<T>> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: T = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+        })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Convenience: round-trips measurements through JSONL.
+pub fn import_measurements_jsonl<R: BufRead>(input: R) -> io::Result<Vec<LineTest>> {
+    import_jsonl(input)
+}
+
+/// Convenience: round-trips tickets through JSONL.
+pub fn import_tickets_jsonl<R: BufRead>(input: R) -> io::Result<Vec<Ticket>> {
+    import_jsonl(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::world::World;
+    use std::io::BufReader;
+
+    fn sample_output() -> SimOutput {
+        let mut cfg = SimConfig::small(17);
+        cfg.n_lines = 300;
+        cfg.days = 120;
+        World::generate(cfg).run()
+    }
+
+    #[test]
+    fn measurements_csv_has_header_and_rows() {
+        let out = sample_output();
+        let mut buf = Vec::new();
+        export_measurements_csv(&mut buf, &out.measurements).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let mut lines = text.lines();
+        let header = lines.next().expect("header");
+        assert!(header.starts_with("line,day,state,dnbr,"));
+        assert_eq!(header.split(',').count(), 2 + 25);
+        let n_rows = lines.count();
+        assert_eq!(n_rows, out.measurements.len());
+    }
+
+    #[test]
+    fn tickets_csv_categories_are_labelled() {
+        let out = sample_output();
+        let mut buf = Vec::new();
+        export_tickets_csv(&mut buf, &out.tickets).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.lines().count() == out.tickets.len() + 1);
+        assert!(text.contains("customer_edge"));
+    }
+
+    #[test]
+    fn notes_csv_handles_no_trouble_found() {
+        let out = sample_output();
+        let mut buf = Vec::new();
+        export_notes_csv(&mut buf, &out.notes).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), out.notes.len() + 1);
+        // Every data row has the full column count.
+        for row in text.lines().skip(1) {
+            assert_eq!(row.split(',').count(), 7, "row {row}");
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_measurements() {
+        let out = sample_output();
+        let sample = &out.measurements[..100.min(out.measurements.len())];
+        let mut buf = Vec::new();
+        export_jsonl(&mut buf, sample).expect("write");
+        let back = import_measurements_jsonl(BufReader::new(&buf[..])).expect("read");
+        assert_eq!(back.len(), sample.len());
+        for (a, b) in sample.iter().zip(&back) {
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_tickets() {
+        let out = sample_output();
+        let mut buf = Vec::new();
+        export_jsonl(&mut buf, &out.tickets).expect("write");
+        let back = import_tickets_jsonl(BufReader::new(&buf[..])).expect("read");
+        assert_eq!(back.len(), out.tickets.len());
+        for (a, b) in out.tickets.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.category, b.category);
+        }
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_reports_bad_ones() {
+        let good = r#"{"id":1,"line":2,"day":3,"category":"CustomerEdge"}
+
+{"id":2,"line":5,"day":9,"category":"Outage"}"#;
+        let back: Vec<Ticket> =
+            import_jsonl(BufReader::new(good.as_bytes())).expect("parse");
+        assert_eq!(back.len(), 2);
+
+        let bad = "{\"id\":1}\nnot json\n";
+        let err = import_jsonl::<_, Ticket>(BufReader::new(bad.as_bytes()))
+            .expect_err("must fail");
+        assert!(err.to_string().contains("line 1"), "error names the line: {err}");
+    }
+
+    #[test]
+    fn csv_dir_writes_all_tables() {
+        let out = sample_output();
+        let dir = std::env::temp_dir().join(format!("nevermind-export-{}", std::process::id()));
+        export_csv_dir(&dir, &out).expect("export dir");
+        for name in ["measurements.csv", "tickets.csv", "notes.csv", "outages.csv"] {
+            let p = dir.join(name);
+            assert!(p.exists(), "{name} missing");
+            assert!(std::fs::metadata(&p).expect("meta").len() > 0, "{name} empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,408 @@
+//! Component faults: lifecycle, hazards, and measurement signatures.
+//!
+//! The central modelling commitment — the one the whole reproduction leans
+//! on — is that faults are *progressive*: a component degrades over a ramp
+//! of days-to-weeks before it is fully symptomatic. During the ramp the
+//! Saturday line test already shows elevated code violations, depressed
+//! noise margin, reduced sync rate, etc., while the customer has not yet
+//! complained. That gap between measurable degradation and the eventual
+//! ticket is precisely the window NEVERMIND's ticket predictor exploits.
+
+use crate::disposition::{DispositionId, FaultClass, MajorLocation, DISPOSITIONS, N_DISPOSITIONS};
+use crate::topology::Line;
+use serde::{Deserialize, Serialize};
+
+/// One fault instance on a line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fault {
+    /// What a technician would ultimately record.
+    pub disposition: DispositionId,
+    /// Day degradation begins.
+    pub onset_day: u32,
+    /// Realized ramp length in days (onset → full severity).
+    pub ramp_days: f64,
+    /// Severity at full development, in (0, 1].
+    pub severity_cap: f64,
+    /// Day the fault was repaired (dispatch outcome), if any.
+    pub repaired_day: Option<u32>,
+}
+
+impl Fault {
+    /// Severity at a given day: 0 before onset and after repair, ramping
+    /// linearly up to [`Fault::severity_cap`] over [`Fault::ramp_days`].
+    pub fn severity(&self, day: u32) -> f64 {
+        if day < self.onset_day {
+            return 0.0;
+        }
+        if let Some(r) = self.repaired_day {
+            if day >= r {
+                return 0.0;
+            }
+        }
+        let elapsed = (day - self.onset_day) as f64;
+        let frac = if self.ramp_days <= 0.0 { 1.0 } else { (elapsed / self.ramp_days).min(1.0) };
+        self.severity_cap * frac
+    }
+
+    /// Whether the fault is unrepaired and past onset at `day`.
+    pub fn active(&self, day: u32) -> bool {
+        self.severity(day) > 0.0
+    }
+
+    /// Customer-perceived symptom severity at `day` (class-dependent: a
+    /// hard fault at full severity is far more noticeable than a slowdown).
+    pub fn perceived_severity(&self, day: u32) -> f64 {
+        let s = self.severity(day);
+        match self.disposition.info().class {
+            FaultClass::Hard => s,
+            FaultClass::Intermittent => 0.55 * s,
+            FaultClass::Degraded => 0.28 * s,
+        }
+    }
+}
+
+/// How a fully developed fault perturbs the 25 line metrics; the physics
+/// model scales every field by the current severity.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSignature {
+    /// Multiplies the achievable sync rate (≤ 1; 0 = line down).
+    pub rate_factor: f64,
+    /// Multiplies the max attainable rate estimate.
+    pub attain_factor: f64,
+    /// dB subtracted from the noise margin.
+    pub nmr_delta_db: f64,
+    /// Multiplies the code-violation rate.
+    pub cv_mult: f64,
+    /// Multiplies the errored-seconds rate.
+    pub es_mult: f64,
+    /// Multiplies the FEC-event rate.
+    pub fec_mult: f64,
+    /// Probability the modem fails to answer the Saturday test at full
+    /// severity (dead modem / power fault / line fully cut).
+    pub no_answer_prob: f64,
+    /// Probability the test completes but reports `state = 0` (modem
+    /// answering erratically).
+    pub state_flap_prob: f64,
+    /// dB added to the measured signal attenuation (series resistance from
+    /// moisture, corrosion, or bad splices on the copper path).
+    pub aten_delta_db: f64,
+    /// Feet added to the *estimated* loop length (impedance anomalies skew
+    /// the estimator).
+    pub loop_est_bias_ft: f64,
+    /// Whether the test detects a bridge tap.
+    pub sets_bt: bool,
+    /// Whether the test detects crosstalk.
+    pub sets_crosstalk: bool,
+    /// Multiplies the rolling cell counts (customers use a broken line
+    /// less; a dead line passes no cells).
+    pub cells_factor: f64,
+}
+
+impl Default for FaultSignature {
+    fn default() -> Self {
+        Self {
+            rate_factor: 1.0,
+            attain_factor: 1.0,
+            nmr_delta_db: 0.0,
+            cv_mult: 1.0,
+            es_mult: 1.0,
+            fec_mult: 1.0,
+            no_answer_prob: 0.0,
+            state_flap_prob: 0.0,
+            aten_delta_db: 0.0,
+            loop_est_bias_ft: 0.0,
+            sets_bt: false,
+            sets_crosstalk: false,
+            cells_factor: 1.0,
+        }
+    }
+}
+
+/// The measurement signature of a disposition, derived from its class and
+/// location plus a few code-specific touches.
+pub fn signature_of(d: DispositionId) -> FaultSignature {
+    let info = d.info();
+    let mut sig = match info.class {
+        FaultClass::Hard => FaultSignature {
+            rate_factor: 0.05,
+            attain_factor: 0.4,
+            nmr_delta_db: 12.0,
+            cv_mult: 30.0,
+            es_mult: 40.0,
+            fec_mult: 15.0,
+            no_answer_prob: 0.75,
+            state_flap_prob: 0.2,
+            cells_factor: 0.05,
+            ..FaultSignature::default()
+        },
+        FaultClass::Intermittent => FaultSignature {
+            rate_factor: 0.6,
+            attain_factor: 0.75,
+            nmr_delta_db: 7.0,
+            cv_mult: 18.0,
+            es_mult: 22.0,
+            fec_mult: 10.0,
+            no_answer_prob: 0.12,
+            state_flap_prob: 0.25,
+            cells_factor: 0.55,
+            ..FaultSignature::default()
+        },
+        FaultClass::Degraded => FaultSignature {
+            rate_factor: 0.75,
+            attain_factor: 0.8,
+            nmr_delta_db: 4.0,
+            cv_mult: 8.0,
+            es_mult: 8.0,
+            fec_mult: 6.0,
+            no_answer_prob: 0.0,
+            state_flap_prob: 0.05,
+            cells_factor: 0.8,
+            ..FaultSignature::default()
+        },
+    };
+
+    // Location flavour — this is what the trouble locator has to learn.
+    // Home-network faults live behind the modem: the copper itself looks
+    // healthy from the DSLAM (muted line-error counters) but the modem
+    // answers erratically and usage collapses. Outside-plant faults add
+    // series resistance (attenuation) and skew the loop estimator, more so
+    // on F1 (longer exposed section) than F2. DSLAM-side faults spike FEC
+    // and eat noise margin while the copper metrics stay clean.
+    match info.location {
+        MajorLocation::HomeNetwork => {
+            sig.cv_mult = 1.0 + (sig.cv_mult - 1.0) * 0.35;
+            sig.es_mult = 1.0 + (sig.es_mult - 1.0) * 0.35;
+            sig.fec_mult = 1.0 + (sig.fec_mult - 1.0) * 0.3;
+            sig.nmr_delta_db *= 0.4;
+            sig.state_flap_prob = (sig.state_flap_prob + 0.15).min(0.6);
+            sig.cells_factor *= 0.75;
+        }
+        MajorLocation::F2 => {
+            sig.aten_delta_db = 2.0;
+            sig.loop_est_bias_ft = 900.0;
+            sig.cv_mult *= 1.3;
+        }
+        MajorLocation::F1 => {
+            sig.aten_delta_db = 3.5;
+            sig.loop_est_bias_ft = 2_200.0;
+            sig.es_mult *= 1.5;
+        }
+        MajorLocation::Dslam => {
+            sig.nmr_delta_db += 2.5;
+            sig.fec_mult *= 2.2;
+        }
+    }
+
+    // Code-specific touches that give the locator something to separate
+    // dispositions within a location.
+    match info.code {
+        "HN-MODEM" | "HN-POWER" => {
+            sig.no_answer_prob = sig.no_answer_prob.max(0.5);
+            sig.state_flap_prob = 0.4;
+        }
+        "HN-MODEM-CFG" | "HN-SOFTWARE" => {
+            // Line metrics look almost healthy; only throughput suffers.
+            sig.nmr_delta_db = 1.0;
+            sig.cv_mult = 2.0;
+            sig.es_mult = 2.0;
+            sig.cells_factor = 0.5;
+        }
+        "HN-FILTER" | "HN-SPLITTER" => {
+            sig.cv_mult *= 1.6;
+            sig.nmr_delta_db += 1.5;
+        }
+        "F1-BRIDGE-TAP" | "F1-STUB" => {
+            sig.sets_bt = true;
+            sig.attain_factor = 0.6;
+            sig.loop_est_bias_ft = 2_500.0;
+        }
+        "F1-BINDER" => {
+            sig.sets_crosstalk = true;
+            sig.cv_mult *= 1.5;
+        }
+        "F1-LOAD-COIL" => {
+            sig.attain_factor = 0.5;
+            sig.loop_est_bias_ft = 3_000.0;
+        }
+        "DS-SPEED-DOWN" => {
+            // Profile/loop mismatch: chronically thin margin, high relative
+            // capacity, bursts of violations under load.
+            sig.rate_factor = 0.9;
+            sig.nmr_delta_db = 5.0;
+            sig.cv_mult = 12.0;
+            sig.es_mult = 10.0;
+        }
+        "F1-PAIR-CUT" | "F2-SQUIRREL" | "HN-IW-CUT" => {
+            sig.no_answer_prob = 0.9;
+            sig.rate_factor = 0.0;
+            sig.cells_factor = 0.0;
+        }
+        _ => {}
+    }
+
+    sig
+}
+
+/// Per-line relative hazard weights over the 52 dispositions, folding in
+/// the line's static attributes. Returned weights are unnormalized.
+pub fn disposition_weights(line: &Line) -> [f64; N_DISPOSITIONS] {
+    let mut w = [0f64; N_DISPOSITIONS];
+    let mismatch = line.loop_length_ft / line.profile.marginal_loop_ft();
+    for (i, info) in DISPOSITIONS.iter().enumerate() {
+        let mut weight = info.weight;
+        match info.code {
+            // Speed downgrades concentrate on over-provisioned long loops.
+            "DS-SPEED-DOWN" => {
+                weight *= if mismatch > 1.0 { 6.0 * mismatch * mismatch } else { 0.15 };
+            }
+            // Bridge-tap removals need a bridge tap to exist.
+            "F1-BRIDGE-TAP" => {
+                weight *= if line.has_bridge_tap { 6.0 } else { 0.0 };
+            }
+            _ => {}
+        }
+        // Long outside plant is proportionally more exposed.
+        if info.location.is_outside() {
+            weight *= 0.5 + line.loop_length_ft / 12_000.0;
+        }
+        w[i] = weight;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disposition::by_code;
+    use crate::ids::{CrossboxId, DslamId, LineId};
+    use crate::profile::ServiceProfile;
+
+    fn fault(code: &str, onset: u32, ramp: f64) -> Fault {
+        Fault {
+            disposition: by_code(code).expect("code exists"),
+            onset_day: onset,
+            ramp_days: ramp,
+            severity_cap: 1.0,
+            repaired_day: None,
+        }
+    }
+
+    fn line(loop_ft: f64, profile: ServiceProfile, bt: bool) -> Line {
+        Line {
+            id: LineId(0),
+            dslam: DslamId(0),
+            crossbox: CrossboxId(0),
+            loop_length_ft: loop_ft,
+            profile,
+            has_bridge_tap: bt,
+        }
+    }
+
+    #[test]
+    fn severity_ramps_linearly() {
+        let f = fault("F1-WET-CONDUCTOR", 10, 10.0);
+        assert_eq!(f.severity(9), 0.0);
+        assert!((f.severity(15) - 0.5).abs() < 1e-12);
+        assert!((f.severity(20) - 1.0).abs() < 1e-12);
+        assert!((f.severity(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severity_zero_after_repair() {
+        let mut f = fault("HN-MODEM", 5, 4.0);
+        f.repaired_day = Some(12);
+        assert!(f.severity(11) > 0.0);
+        assert_eq!(f.severity(12), 0.0);
+        assert!(!f.active(12));
+    }
+
+    #[test]
+    fn zero_ramp_means_immediate() {
+        let f = fault("F1-PAIR-CUT", 8, 0.0);
+        assert_eq!(f.severity(8), 1.0);
+    }
+
+    #[test]
+    fn perceived_severity_orders_classes() {
+        let hard = fault("F1-PAIR-CUT", 0, 0.0);
+        let inter = fault("F1-WET-CONDUCTOR", 0, 0.0);
+        let degr = fault("F1-BRIDGE-TAP", 0, 0.0);
+        let day = 60;
+        assert!(hard.perceived_severity(day) > inter.perceived_severity(day));
+        assert!(inter.perceived_severity(day) > degr.perceived_severity(day));
+    }
+
+    #[test]
+    fn hard_signatures_kill_the_line() {
+        let sig = signature_of(by_code("F1-PAIR-CUT").expect("exists"));
+        assert!(sig.no_answer_prob > 0.8);
+        assert_eq!(sig.rate_factor, 0.0);
+        assert_eq!(sig.cells_factor, 0.0);
+    }
+
+    #[test]
+    fn degraded_signatures_keep_line_up() {
+        let sig = signature_of(by_code("DS-SPEED-DOWN").expect("exists"));
+        assert_eq!(sig.no_answer_prob, 0.0);
+        assert!(sig.rate_factor > 0.5);
+        assert!(sig.cv_mult > 5.0, "should still be measurably noisy");
+    }
+
+    #[test]
+    fn bridge_tap_signature_sets_flag() {
+        let sig = signature_of(by_code("F1-BRIDGE-TAP").expect("exists"));
+        assert!(sig.sets_bt);
+        assert!(sig.attain_factor < 0.8);
+    }
+
+    #[test]
+    fn every_disposition_has_a_nontrivial_signature() {
+        for i in 0..N_DISPOSITIONS {
+            let sig = signature_of(DispositionId(i as u8));
+            let perturbs = sig.rate_factor < 1.0
+                || sig.nmr_delta_db > 0.0
+                || sig.cv_mult > 1.0
+                || sig.no_answer_prob > 0.0
+                || sig.sets_bt
+                || sig.sets_crosstalk;
+            assert!(perturbs, "{} has a no-op signature", DISPOSITIONS[i].code);
+        }
+    }
+
+    #[test]
+    fn speed_downgrade_targets_mismatched_lines() {
+        let idx = by_code("DS-SPEED-DOWN").expect("exists").0 as usize;
+        let matched = line(5_000.0, ServiceProfile::Basic, false);
+        let mismatched = line(16_000.0, ServiceProfile::Advanced, false);
+        let w_ok = disposition_weights(&matched)[idx];
+        let w_bad = disposition_weights(&mismatched)[idx];
+        assert!(w_bad > 10.0 * w_ok, "mismatch weight {w_bad} vs {w_ok}");
+    }
+
+    #[test]
+    fn bridge_tap_removal_requires_tap() {
+        let idx = by_code("F1-BRIDGE-TAP").expect("exists").0 as usize;
+        let no_tap = line(8_000.0, ServiceProfile::Basic, false);
+        let tap = line(8_000.0, ServiceProfile::Basic, true);
+        assert_eq!(disposition_weights(&no_tap)[idx], 0.0);
+        assert!(disposition_weights(&tap)[idx] > 0.0);
+    }
+
+    #[test]
+    fn long_loops_raise_outside_hazard() {
+        let short = line(2_000.0, ServiceProfile::Basic, false);
+        let long = line(18_000.0, ServiceProfile::Basic, false);
+        let ws = disposition_weights(&short);
+        let wl = disposition_weights(&long);
+        let outside =
+            |w: &[f64; N_DISPOSITIONS]| -> f64 {
+                DISPOSITIONS
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.location.is_outside())
+                    .map(|(i, _)| w[i])
+                    .sum()
+            };
+        assert!(outside(&wl) > outside(&ws));
+    }
+}

@@ -1,0 +1,66 @@
+//! Strongly-typed identifiers for plant elements.
+//!
+//! Newtypes keep line/DSLAM/BRAS indices from being mixed up across the
+//! simulator and the learning pipeline (the Table-5 analysis groups
+//! predictions by DSLAM; the traffic analysis samples by BRAS).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "#{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A dedicated DSL line (equivalently, a subscriber).
+    LineId(u32)
+);
+id_type!(
+    /// A DSL access multiplexer terminating a few dozen lines.
+    DslamId(u32)
+);
+id_type!(
+    /// A crossbox on the F1/F2 boundary serving a subset of a DSLAM's lines.
+    CrossboxId(u32)
+);
+id_type!(
+    /// A broadband remote access server aggregating many DSLAMs.
+    BrasId(u16)
+);
+id_type!(
+    /// A geographic region (weather and construction act at this scope).
+    RegionId(u16)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare_and_display() {
+        assert_eq!(LineId(3), LineId(3));
+        assert_ne!(LineId(3), LineId(4));
+        assert!(DslamId(1) < DslamId(2));
+        assert_eq!(LineId(7).to_string(), "LineId#7");
+        assert_eq!(BrasId(2).index(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! # nevermind-dslsim
+//!
+//! A generative simulator of a DSL access network, built as the data
+//! substrate for the NEVERMIND reproduction (CoNEXT 2010). The paper's
+//! evaluation runs on a year of proprietary operational data from a major US
+//! DSL provider; this crate synthesizes the same *kinds* of records with the
+//! same statistical couplings the paper relies on:
+//!
+//! * a hierarchical plant — region → BRAS → DSLAM → crossbox → line → home
+//!   network ([`topology`]);
+//! * progressive component faults whose measurable degradation *precedes*
+//!   customer complaints ([`fault`], [`weather`]);
+//! * weekly Saturday line tests producing the paper's 25 Table-2 metrics,
+//!   with records missing whenever the modem is off ([`physics`],
+//!   [`measurement`]);
+//! * customers who only notice problems when they use the service, tolerate
+//!   soft symptoms for a while, go on vacation, and call mostly on Mondays
+//!   ([`customer`], [`ticket`]);
+//! * DSLAM outages with IVR suppression of subsequent calls ([`outage`]);
+//! * ATDS-style dispatches where a technician tests locations in rank order
+//!   and writes a (noisy) disposition note ([`dispatch`], [`disposition`]);
+//! * per-line daily traffic counters for a sample of BRAS servers
+//!   ([`traffic`]).
+//!
+//! The whole simulation is deterministic given [`config::SimConfig::seed`]:
+//! every subsystem draws from its own ChaCha8 stream, so changing one
+//! subsystem's draw pattern does not perturb the others.
+//!
+//! The entry point is [`world::World`]: build one with
+//! [`world::World::generate`], then either [`world::World::run`] it for a
+//! full reactive year (the paper's offline setting) or drive it day by day
+//! with [`world::World::step_day`] and inject proactive dispatches (the
+//! operational NEVERMIND loop).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod customer;
+pub mod dispatch;
+pub mod export;
+pub mod disposition;
+pub mod fault;
+pub mod ids;
+pub mod measurement;
+pub mod outage;
+pub mod physics;
+pub mod profile;
+pub mod scenario;
+pub mod summary;
+pub mod ticket;
+pub mod topology;
+pub mod traffic;
+pub mod weather;
+pub mod world;
+
+pub use config::SimConfig;
+pub use disposition::{DispositionId, MajorLocation, DISPOSITIONS, N_DISPOSITIONS};
+pub use ids::{BrasId, CrossboxId, DslamId, LineId, RegionId};
+pub use measurement::{LineMetric, LineTest, N_METRICS};
+pub use ticket::{Ticket, TicketCategory};
+pub use world::{SimOutput, World};

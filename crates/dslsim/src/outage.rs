@@ -1,0 +1,187 @@
+//! DSLAM outages and their precursors.
+//!
+//! An outage takes down every line behind a DSLAM for a day or three. Two
+//! paper-relevant behaviours hang off this module:
+//!
+//! * **precursor stress** — a failing card degrades the whole DSLAM's line
+//!   metrics for about a week *before* the outage. Saturday tests pick this
+//!   up, the ticket predictor flags many lines at that DSLAM, and then the
+//!   outage (not individual line problems) materializes. This is the causal
+//!   chain behind the paper's Table-5 observation that "incorrect"
+//!   predictions concentrate at DSLAMs with imminent outages;
+//! * **IVR suppression** — once the outage is known (after the first few
+//!   calls), subsequent callers hear an automated announcement and *no
+//!   ticket is issued*, so the prediction is counted as incorrect even
+//!   though the customer did have a real problem.
+
+use crate::ids::DslamId;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One DSLAM outage `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageEvent {
+    /// The failing DSLAM.
+    pub dslam: DslamId,
+    /// First day of the hard outage.
+    pub start: u32,
+    /// First day after restoration.
+    pub end: u32,
+}
+
+/// Pre-scheduled outages with fast per-day stress lookup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    events: Vec<OutageEvent>,
+    /// Event indices per DSLAM.
+    by_dslam: Vec<Vec<usize>>,
+    precursor_days: f64,
+}
+
+impl OutageSchedule {
+    /// Schedules outages: each DSLAM fails as a Poisson process with the
+    /// given annual rate; outages last 1–3 days.
+    pub fn generate(
+        n_dslams: usize,
+        days: u32,
+        outages_per_year: f64,
+        precursor_days: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let daily_p = (outages_per_year / 365.0).clamp(0.0, 1.0);
+        let mut events = Vec::new();
+        let mut by_dslam = vec![Vec::new(); n_dslams];
+        for d in 0..n_dslams {
+            let mut day = 0u32;
+            while day < days {
+                if rng.random_bool(daily_p) {
+                    let len = rng.random_range(1..=3u32);
+                    let ev = OutageEvent {
+                        dslam: DslamId(d as u32),
+                        start: day,
+                        end: (day + len).min(days),
+                    };
+                    by_dslam[d].push(events.len());
+                    events.push(ev);
+                    // Refractory period: a freshly repaired DSLAM doesn't
+                    // fail again immediately.
+                    day += len + 30;
+                } else {
+                    day += 1;
+                }
+            }
+        }
+        Self { events, by_dslam, precursor_days }
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[OutageEvent] {
+        &self.events
+    }
+
+    /// Stress level of a DSLAM on `day`: 1.0 during the outage, ramping
+    /// from 0 toward ~0.8 over the precursor window, 0 otherwise.
+    pub fn stress(&self, dslam: DslamId, day: u32) -> f64 {
+        let mut s: f64 = 0.0;
+        for &idx in &self.by_dslam[dslam.index()] {
+            let ev = &self.events[idx];
+            if day >= ev.start && day < ev.end {
+                return 1.0;
+            }
+            if day < ev.start && self.precursor_days > 0.0 {
+                let lead = (ev.start - day) as f64;
+                if lead <= self.precursor_days {
+                    // Square-root ramp: degradation is already substantial
+                    // early in the precursor window (a card does not fail
+                    // linearly), which is what lets the Saturday tests a
+                    // week or two out see it.
+                    s = s.max(0.85 * (1.0 - lead / self.precursor_days).sqrt());
+                }
+            }
+        }
+        s
+    }
+
+    /// Whether the DSLAM has at least one outage starting in `[from, to)`.
+    pub fn outage_starting_within(&self, dslam: DslamId, from: u32, to: u32) -> bool {
+        self.by_dslam[dslam.index()]
+            .iter()
+            .any(|&i| self.events[i].start >= from && self.events[i].start < to)
+    }
+
+    /// Whether the DSLAM is hard-down on `day`.
+    pub fn is_down(&self, dslam: DslamId, day: u32) -> bool {
+        self.by_dslam[dslam.index()]
+            .iter()
+            .any(|&i| day >= self.events[i].start && day < self.events[i].end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule_with_event() -> (OutageSchedule, OutageEvent) {
+        for seed in 0..100 {
+            let s = OutageSchedule::generate(30, 365, 0.8, 10.0, seed);
+            if let Some(&ev) = s.events().iter().find(|e| e.start > 15) {
+                return (s, ev);
+            }
+        }
+        panic!("no outage generated in 100 seeds");
+    }
+
+    #[test]
+    fn stress_profile_around_outage() {
+        let (s, ev) = schedule_with_event();
+        // Hard-down during the event.
+        assert_eq!(s.stress(ev.dslam, ev.start), 1.0);
+        assert!(s.is_down(ev.dslam, ev.start));
+        // Ramping precursor before it.
+        let two_before = s.stress(ev.dslam, ev.start - 2);
+        let nine_before = s.stress(ev.dslam, ev.start.saturating_sub(9));
+        assert!(two_before > 0.4, "close precursor stress {two_before}");
+        assert!(two_before > nine_before, "{two_before} vs {nine_before}");
+        // Calm long before.
+        if ev.start > 40 {
+            assert_eq!(s.stress(ev.dslam, ev.start - 40), 0.0);
+        }
+    }
+
+    #[test]
+    fn outage_window_queries() {
+        let (s, ev) = schedule_with_event();
+        assert!(s.outage_starting_within(ev.dslam, ev.start, ev.start + 1));
+        assert!(s.outage_starting_within(ev.dslam, ev.start.saturating_sub(5), ev.start + 1));
+        assert!(!s.outage_starting_within(ev.dslam, ev.end + 1, ev.end + 2));
+    }
+
+    #[test]
+    fn annual_rate_is_respected() {
+        let s = OutageSchedule::generate(200, 365, 0.8, 10.0, 3);
+        let per_dslam = s.events().len() as f64 / 200.0;
+        // Refractory period slightly depresses the effective rate.
+        assert!(per_dslam > 0.3 && per_dslam < 1.2, "outages/DSLAM/yr = {per_dslam}");
+    }
+
+    #[test]
+    fn unaffected_dslams_are_calm() {
+        let s = OutageSchedule::generate(50, 365, 0.8, 10.0, 5);
+        if let Some(calm) = (0..50).map(|i| DslamId(i)).find(|d| {
+            !s.events().iter().any(|e| e.dslam == *d)
+        }) {
+            for day in (0..365).step_by(13) {
+                assert_eq!(s.stress(calm, day), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = OutageSchedule::generate(40, 365, 0.8, 10.0, 9);
+        let b = OutageSchedule::generate(40, 365, 0.8, 10.0, 9);
+        assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,467 @@
+//! Physical-layer model: from loop length, profile, active faults and
+//! DSLAM stress to the 25 Table-2 metrics.
+//!
+//! This is deliberately a *behavioural* model, not an ADSL transceiver
+//! simulation: what matters for the reproduction is that the metric
+//! couplings the paper's operators rely on hold —
+//!
+//! * attenuation grows with loop length, attainable rate falls with it;
+//! * sync rate is the provisioned rate unless the copper can't carry it;
+//! * relative capacity near 100% and loop estimates past 15 kft mark
+//!   marginal lines (the operators' manual escalation rules, Sec. 3.3);
+//! * developing faults raise code violations / errored seconds / FEC
+//!   counts and depress the noise margin *before* customers complain;
+//! * dead lines stop answering the test at all.
+
+use crate::disposition::MajorLocation;
+use crate::fault::{signature_of, Fault};
+use crate::measurement::{LineMetric, N_METRICS};
+use crate::topology::Line;
+use rand::{Rng, RngExt};
+
+/// Max attainable downstream rate (kbps) for a clean loop of given length.
+///
+/// Calibrated so the profile marginal lengths in
+/// [`crate::profile::ServiceProfile::marginal_loop_ft`] hold: the curve
+/// crosses 768 kbps near 17 kft and 2.56 Mbps near 11.5 kft.
+pub fn attainable_down_kbps(loop_ft: f64) -> f64 {
+    (31_600.0 * (-loop_ft / 4_570.0).exp()).min(9_500.0)
+}
+
+/// Max attainable upstream rate (kbps) for a clean loop.
+pub fn attainable_up_kbps(loop_ft: f64) -> f64 {
+    (3_500.0 * (-loop_ft / 6_500.0).exp()).min(1_200.0)
+}
+
+/// Aggregate severity-scaled effect of all active faults plus DSLAM stress.
+#[derive(Debug, Clone, Copy)]
+pub struct Effects {
+    /// Multiplies sync rates (1 = healthy, 0 = dead).
+    pub rate_factor: f64,
+    /// Multiplies attainable-rate estimates.
+    pub attain_factor: f64,
+    /// dB knocked off the noise margin.
+    pub nmr_delta_db: f64,
+    /// Multiplies code-violation intensity.
+    pub cv_mult: f64,
+    /// Multiplies errored-seconds intensity.
+    pub es_mult: f64,
+    /// Multiplies FEC-event intensity.
+    pub fec_mult: f64,
+    /// Probability the modem does not answer the test.
+    pub no_answer_prob: f64,
+    /// Probability the test reports `state = 0`.
+    pub state_flap_prob: f64,
+    /// dB added to measured attenuation.
+    pub aten_delta_db: f64,
+    /// Bias added to the loop-length estimate (ft).
+    pub loop_est_bias_ft: f64,
+    /// Bridge tap detected.
+    pub bt: bool,
+    /// Crosstalk detected.
+    pub crosstalk: bool,
+    /// Multiplies rolling cell counts.
+    pub cells_factor: f64,
+}
+
+impl Effects {
+    /// The no-fault, no-stress identity.
+    pub fn healthy() -> Self {
+        Self {
+            rate_factor: 1.0,
+            attain_factor: 1.0,
+            nmr_delta_db: 0.0,
+            cv_mult: 1.0,
+            es_mult: 1.0,
+            fec_mult: 1.0,
+            no_answer_prob: 0.0,
+            state_flap_prob: 0.0,
+            aten_delta_db: 0.0,
+            loop_est_bias_ft: 0.0,
+            bt: false,
+            crosstalk: false,
+            cells_factor: 1.0,
+        }
+    }
+}
+
+/// Linear interpolation of a multiplicative factor by severity.
+#[inline]
+fn lerp_factor(factor: f64, severity: f64) -> f64 {
+    1.0 + (factor - 1.0) * severity
+}
+
+/// Combines every active fault (severity-scaled) and the DSLAM-level stress
+/// (0 = healthy, 1 = outage in progress) into one [`Effects`].
+pub fn combine_effects(line: &Line, faults: &[Fault], day: u32, dslam_stress: f64) -> Effects {
+    let mut e = Effects::healthy();
+    e.bt = line.has_bridge_tap;
+
+    for fault in faults {
+        let s = fault.severity(day);
+        if s <= 0.0 {
+            continue;
+        }
+        let sig = signature_of(fault.disposition);
+        e.rate_factor *= lerp_factor(sig.rate_factor, s);
+        e.attain_factor *= lerp_factor(sig.attain_factor, s);
+        e.nmr_delta_db += sig.nmr_delta_db * s;
+        e.cv_mult *= lerp_factor(sig.cv_mult, s);
+        e.es_mult *= lerp_factor(sig.es_mult, s);
+        e.fec_mult *= lerp_factor(sig.fec_mult, s);
+        e.no_answer_prob = 1.0 - (1.0 - e.no_answer_prob) * (1.0 - sig.no_answer_prob * s);
+        e.state_flap_prob = 1.0 - (1.0 - e.state_flap_prob) * (1.0 - sig.state_flap_prob * s);
+        e.aten_delta_db += sig.aten_delta_db * s;
+        e.loop_est_bias_ft += sig.loop_est_bias_ft * s;
+        e.cells_factor *= lerp_factor(sig.cells_factor, s);
+        if s > 0.3 {
+            e.bt |= sig.sets_bt;
+            e.crosstalk |= sig.sets_crosstalk;
+        }
+        // A developed DSLAM-side fault can also take the modem's answer
+        // path down occasionally — handled by the class signature already.
+        let _ = MajorLocation::Dslam;
+    }
+
+    if dslam_stress > 0.0 {
+        // Precursor stress is deliberately calibrated to *resemble* an
+        // ordinary intermittent line fault rather than a distinctive
+        // DSLAM-wide pattern: if it were separable, the ticket predictor
+        // would learn that the pattern yields no customer-edge ticket and
+        // avoid it — the opposite of the paper's Table-5 observation.
+        let s = dslam_stress.clamp(0.0, 1.0);
+        e.nmr_delta_db += 6.0 * s;
+        e.cv_mult *= 1.0 + 20.0 * s;
+        e.es_mult *= 1.0 + 22.0 * s;
+        e.fec_mult *= 1.0 + 10.0 * s;
+        e.rate_factor *= 1.0 - 0.45 * s;
+        // A full outage stops the test from completing for most lines.
+        if s >= 0.99 {
+            e.no_answer_prob = 1.0 - (1.0 - e.no_answer_prob) * 0.1;
+        }
+        e.cells_factor *= 1.0 - 0.7 * s;
+    }
+
+    e
+}
+
+/// Standard-normal draw (Box–Muller).
+pub fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Poisson draw: Knuth's method for small λ, normal approximation above.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerical guard; unreachable for λ < 30
+            }
+        }
+    }
+    let x = lambda + lambda.sqrt() * gauss(rng);
+    x.max(0.0).round() as u32
+}
+
+/// Whether the modem answers the Saturday test, given the combined effects.
+/// (Customer-side reasons for silence — modem habitually off, vacation —
+/// are decided by the caller before asking the physics.)
+pub fn modem_answers<R: Rng>(effects: &Effects, rng: &mut R) -> bool {
+    !rng.random_bool(effects.no_answer_prob.clamp(0.0, 1.0))
+}
+
+/// Synthesizes the 25 metric values for one completed test.
+///
+/// `weekly_usage` is the fraction of the past week the customer actively
+/// used the service (drives the rolling cell counts).
+pub fn synthesize<R: Rng>(
+    line: &Line,
+    effects: &Effects,
+    weekly_usage: f64,
+    rng: &mut R,
+) -> [f32; N_METRICS] {
+    let l_ft = line.loop_length_ft;
+    let mut v = [0f32; N_METRICS];
+    let mut set = |m: LineMetric, x: f64| v[m.index()] = x as f32;
+
+    // Attenuation: dB, grows with loop length; path faults add series
+    // resistance on top.
+    let dnaten = 0.75 * l_ft / 1000.0 * (1.0 + 0.02 * gauss(rng)) + effects.aten_delta_db;
+    let upaten = 0.50 * l_ft / 1000.0 * (1.0 + 0.02 * gauss(rng)) + effects.aten_delta_db * 0.8;
+
+    // Attainable rates: clean-loop curve × fault-degraded factor.
+    let attain_dn_raw = attainable_down_kbps(l_ft);
+    let attain_up_raw = attainable_up_kbps(l_ft);
+    let attain_dn = attain_dn_raw * effects.attain_factor * (1.0 + 0.03 * gauss(rng));
+    let attain_up = attain_up_raw * effects.attain_factor * (1.0 + 0.03 * gauss(rng));
+
+    // Sync rates: provisioned rate unless the copper or a fault caps it.
+    let dn_br = (line.profile.down_kbps().min(attain_dn * 0.95) * effects.rate_factor).max(0.0);
+    let up_br = (line.profile.up_kbps().min(attain_up * 0.95) * effects.rate_factor).max(0.0);
+
+    // Noise margin: headroom between clean-loop attainable and provisioned
+    // rate, minus fault/stress-induced noise.
+    let headroom_db = 10.0 * (attain_dn_raw.max(1.0) / line.profile.down_kbps()).log10();
+    let dnnmr = (6.0 + headroom_db - effects.nmr_delta_db + 0.8 * gauss(rng)).clamp(-2.0, 32.0);
+    let upnmr = (6.0 + 10.0 * (attain_up_raw.max(1.0) / line.profile.up_kbps()).log10()
+        - effects.nmr_delta_db * 0.8
+        + 0.8 * gauss(rng))
+    .clamp(-2.0, 32.0);
+
+    // Relative capacity (%): used rate over what the line can currently do.
+    let dnrelcap = (100.0 * line.profile.down_kbps() / attain_dn.max(1.0)).clamp(0.0, 130.0);
+    let uprelcap = (100.0 * line.profile.up_kbps() / attain_up.max(1.0)).clamp(0.0, 130.0);
+
+    // Error counters over the test interval.
+    let cv1 = poisson(rng, 1.5 * effects.cv_mult) as f64;
+    let cv2 = poisson(rng, 0.35 * effects.cv_mult) as f64;
+    let cv3 = poisson(rng, 0.10 * effects.cv_mult) as f64;
+    let es1 = poisson(rng, 1.0 * effects.es_mult) as f64;
+    let es2 = poisson(rng, 0.25 * effects.es_mult) as f64;
+    let fec = poisson(rng, 3.0 * effects.fec_mult) as f64;
+
+    // Rolling cell counts: proportional to realized usage and sync rate.
+    let usage = weekly_usage.clamp(0.0, 1.0);
+    let dncells = (dn_br * usage * effects.cells_factor * 90.0 * (0.6 + 0.4 * rng.random::<f64>()))
+        .max(0.0);
+    let upcells = dncells * 0.15 * (0.8 + 0.4 * rng.random::<f64>());
+
+    let state = if rng.random_bool(effects.state_flap_prob.clamp(0.0, 1.0)) { 0.0 } else { 1.0 };
+
+    set(LineMetric::State, state);
+    set(LineMetric::DnBr, dn_br);
+    set(LineMetric::UpBr, up_br);
+    set(LineMetric::DnPwr, 19.0 - 0.10 * dnaten + 0.5 * gauss(rng));
+    set(LineMetric::UpPwr, 12.0 - 0.08 * upaten + 0.5 * gauss(rng));
+    set(LineMetric::DnNmr, dnnmr);
+    set(LineMetric::UpNmr, upnmr);
+    set(LineMetric::DnAten, dnaten);
+    set(LineMetric::UpAten, upaten);
+    set(LineMetric::DnRelCap, dnrelcap);
+    set(LineMetric::UpRelCap, uprelcap);
+    set(LineMetric::DnCvCnt1, cv1);
+    set(LineMetric::DnCvCnt2, cv2);
+    set(LineMetric::DnCvCnt3, cv3);
+    set(LineMetric::DnEsCnt1, es1);
+    set(LineMetric::DnEsCnt2, es2);
+    set(LineMetric::DnFecCnt1, fec);
+    set(LineMetric::HiCar, (440.0 - 14.0 * dnaten + 5.0 * gauss(rng)).clamp(60.0, 480.0));
+    set(LineMetric::Bt, if effects.bt { 1.0 } else { 0.0 });
+    set(
+        LineMetric::Crosstalk,
+        if effects.crosstalk || rng.random_bool(0.02) { 1.0 } else { 0.0 },
+    );
+    set(LineMetric::LoopLength, l_ft * (1.0 + 0.03 * gauss(rng)) + effects.loop_est_bias_ft);
+    set(LineMetric::DnMaxAttainFbr, attain_dn.max(0.0));
+    set(LineMetric::UpMaxAttainFbr, attain_up.max(0.0));
+    set(LineMetric::DnCells, dncells);
+    set(LineMetric::UpCells, upcells);
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disposition::by_code;
+    use crate::ids::{CrossboxId, DslamId, LineId};
+    use crate::profile::ServiceProfile;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line(loop_ft: f64, profile: ServiceProfile) -> Line {
+        Line {
+            id: LineId(0),
+            dslam: DslamId(0),
+            crossbox: CrossboxId(0),
+            loop_length_ft: loop_ft,
+            profile,
+            has_bridge_tap: false,
+        }
+    }
+
+    fn developed(code: &str) -> Fault {
+        Fault {
+            disposition: by_code(code).expect("exists"),
+            onset_day: 0,
+            ramp_days: 1.0,
+            severity_cap: 1.0,
+            repaired_day: None,
+        }
+    }
+
+    #[test]
+    fn attainable_matches_profile_margins() {
+        // Curve crosses the provisioned rate near each tier's marginal loop.
+        for p in ServiceProfile::ALL {
+            let at_margin = attainable_down_kbps(p.marginal_loop_ft());
+            let ratio = at_margin / p.down_kbps();
+            assert!(
+                (0.8..=1.3).contains(&ratio),
+                "{:?}: attainable at marginal loop = {at_margin}, ratio {ratio}",
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn attainable_decreases_with_length() {
+        let a = attainable_down_kbps(2_000.0);
+        let b = attainable_down_kbps(10_000.0);
+        let c = attainable_down_kbps(18_000.0);
+        assert!(a > b && b > c);
+        let ua = attainable_up_kbps(2_000.0);
+        let uc = attainable_up_kbps(18_000.0);
+        assert!(ua > uc);
+    }
+
+    #[test]
+    fn healthy_short_line_syncs_at_profile() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let l = line(3_000.0, ServiceProfile::Advanced);
+        let e = combine_effects(&l, &[], 0, 0.0);
+        let v = synthesize(&l, &e, 0.5, &mut rng);
+        let dn = v[LineMetric::DnBr.index()] as f64;
+        assert!((dn - 2560.0).abs() < 1.0, "dnbr = {dn}");
+        assert!(v[LineMetric::State.index()] == 1.0);
+        assert!(v[LineMetric::DnNmr.index()] > 6.0, "healthy margin should have headroom");
+        assert!(v[LineMetric::DnRelCap.index()] < 60.0);
+    }
+
+    #[test]
+    fn long_mismatched_line_shows_marginal_metrics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let l = line(15_000.0, ServiceProfile::Advanced);
+        let e = combine_effects(&l, &[], 0, 0.0);
+        let v = synthesize(&l, &e, 0.5, &mut rng);
+        assert!(
+            (v[LineMetric::DnBr.index()] as f64) < ServiceProfile::Advanced.down_kbps(),
+            "long loop cannot sustain the advanced profile"
+        );
+        assert!(v[LineMetric::DnRelCap.index()] > 85.0, "relcap = {}", v[LineMetric::DnRelCap.index()]);
+        assert!(v[LineMetric::DnNmr.index()] < 6.0, "thin margin expected");
+    }
+
+    #[test]
+    fn developing_fault_degrades_before_full_severity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let l = line(5_000.0, ServiceProfile::Mid);
+        let f = Fault {
+            disposition: by_code("F1-WET-CONDUCTOR").expect("exists"),
+            onset_day: 10,
+            ramp_days: 14.0,
+            severity_cap: 1.0,
+            repaired_day: None,
+        };
+        let healthy = combine_effects(&l, std::slice::from_ref(&f), 5, 0.0);
+        let halfway = combine_effects(&l, std::slice::from_ref(&f), 17, 0.0);
+        let full = combine_effects(&l, std::slice::from_ref(&f), 40, 0.0);
+        assert_eq!(healthy.cv_mult, 1.0);
+        assert!(halfway.cv_mult > 2.0, "partial development must be measurable");
+        assert!(full.cv_mult > halfway.cv_mult);
+
+        // And the measurable degradation shows up in the counters.
+        let v_half = synthesize(&l, &halfway, 0.5, &mut rng);
+        let mut cv_healthy_total = 0f32;
+        let mut rng2 = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let v = synthesize(&l, &healthy, 0.5, &mut rng2);
+            cv_healthy_total += v[LineMetric::DnCvCnt1.index()];
+        }
+        assert!(
+            v_half[LineMetric::DnCvCnt1.index()] > cv_healthy_total / 20.0,
+            "halfway-fault CV count should exceed the healthy mean"
+        );
+    }
+
+    #[test]
+    fn hard_fault_usually_prevents_answer() {
+        let l = line(5_000.0, ServiceProfile::Basic);
+        let f = developed("F1-PAIR-CUT");
+        let e = combine_effects(&l, std::slice::from_ref(&f), 30, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let answers = (0..200).filter(|_| modem_answers(&e, &mut rng)).count();
+        assert!(answers < 60, "dead line answered {answers}/200 tests");
+    }
+
+    #[test]
+    fn bridge_tap_fault_sets_flag_and_cuts_attainable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let l = line(6_000.0, ServiceProfile::Basic);
+        let f = developed("F1-BRIDGE-TAP");
+        let e = combine_effects(&l, std::slice::from_ref(&f), 60, 0.0);
+        let v = synthesize(&l, &e, 0.5, &mut rng);
+        assert_eq!(v[LineMetric::Bt.index()], 1.0);
+        let clean = combine_effects(&l, &[], 0, 0.0);
+        let v_clean = synthesize(&l, &clean, 0.5, &mut rng);
+        assert!(v[LineMetric::DnMaxAttainFbr.index()] < v_clean[LineMetric::DnMaxAttainFbr.index()]);
+        assert!(
+            v[LineMetric::LoopLength.index()] > v_clean[LineMetric::LoopLength.index()],
+            "bridge tap skews the loop estimate upward"
+        );
+    }
+
+    #[test]
+    fn dslam_stress_degrades_all_error_counters() {
+        let l = line(4_000.0, ServiceProfile::Mid);
+        let calm = combine_effects(&l, &[], 0, 0.0);
+        let stressed = combine_effects(&l, &[], 0, 0.6);
+        assert!(stressed.cv_mult > 5.0 * calm.cv_mult);
+        assert!(stressed.nmr_delta_db > 2.0);
+        let outage = combine_effects(&l, &[], 0, 1.0);
+        assert!(outage.no_answer_prob > 0.85);
+    }
+
+    #[test]
+    fn cells_track_usage() {
+        let l = line(4_000.0, ServiceProfile::Mid);
+        let e = combine_effects(&l, &[], 0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut heavy = 0f64;
+        let mut light = 0f64;
+        for _ in 0..30 {
+            heavy += synthesize(&l, &e, 1.0, &mut rng)[LineMetric::DnCells.index()] as f64;
+            light += synthesize(&l, &e, 0.1, &mut rng)[LineMetric::DnCells.index()] as f64;
+        }
+        assert!(heavy > 3.0 * light, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for &lambda in &[0.5f64, 5.0, 80.0] {
+            let n = 4000;
+            let total: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum();
+            let mean = total / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn gauss_has_zero_mean_unit_var() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

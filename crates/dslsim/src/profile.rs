@@ -1,0 +1,93 @@
+//! Subscriber service profiles (Sec. 3.3, item 4).
+//!
+//! A profile specifies the expected values of rate-like line features for
+//! the service tier a customer subscribed to — the paper's examples are a
+//! basic 768/384 kbps tier and an advanced 2.5 Mbps/768 kbps tier. Profiles
+//! matter twice: the physics model syncs a line at
+//! `min(profile rate, attainable rate)`, and the feature encoder divides
+//! measured values by profile expectations ("profile features", Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Service tier of a subscriber line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceProfile {
+    /// 768 kbps down / 384 kbps up (the paper's basic profile).
+    Basic,
+    /// 1.5 Mbps down / 512 kbps up.
+    Mid,
+    /// 2.5 Mbps down / 768 kbps up (the paper's advanced profile).
+    Advanced,
+}
+
+impl ServiceProfile {
+    /// All tiers, slowest first.
+    pub const ALL: [ServiceProfile; 3] =
+        [ServiceProfile::Basic, ServiceProfile::Mid, ServiceProfile::Advanced];
+
+    /// Provisioned downstream rate in kbps.
+    pub fn down_kbps(self) -> f64 {
+        match self {
+            ServiceProfile::Basic => 768.0,
+            ServiceProfile::Mid => 1536.0,
+            ServiceProfile::Advanced => 2560.0,
+        }
+    }
+
+    /// Provisioned upstream rate in kbps.
+    pub fn up_kbps(self) -> f64 {
+        match self {
+            ServiceProfile::Basic => 384.0,
+            ServiceProfile::Mid => 512.0,
+            ServiceProfile::Advanced => 768.0,
+        }
+    }
+
+    /// Loop length (ft) beyond which this tier is marginal: attainable rate
+    /// at that distance roughly equals the provisioned rate, so longer loops
+    /// run with no margin and tend to need a speed downgrade (the paper's
+    /// 15,000 ft rule of thumb for unsupported profiles).
+    pub fn marginal_loop_ft(self) -> f64 {
+        match self {
+            ServiceProfile::Basic => 17_000.0,
+            ServiceProfile::Mid => 14_000.0,
+            ServiceProfile::Advanced => 11_500.0,
+        }
+    }
+
+    /// Short label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceProfile::Basic => "basic",
+            ServiceProfile::Mid => "mid",
+            ServiceProfile::Advanced => "advanced",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_increase_with_tier() {
+        let rates: Vec<f64> = ServiceProfile::ALL.iter().map(|p| p.down_kbps()).collect();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        let ups: Vec<f64> = ServiceProfile::ALL.iter().map(|p| p.up_kbps()).collect();
+        assert!(ups.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn faster_tiers_need_shorter_loops() {
+        let margins: Vec<f64> = ServiceProfile::ALL.iter().map(|p| p.marginal_loop_ft()).collect();
+        assert!(margins.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn paper_example_rates() {
+        assert_eq!(ServiceProfile::Basic.down_kbps(), 768.0);
+        assert_eq!(ServiceProfile::Basic.up_kbps(), 384.0);
+        assert_eq!(ServiceProfile::Advanced.down_kbps(), 2560.0);
+        assert_eq!(ServiceProfile::Advanced.up_kbps(), 768.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Named scenario presets.
+//!
+//! Each preset is a [`SimConfig`] tuned to stress a different part of the
+//! system, so users (and the CLI) can explore behaviour beyond the baseline
+//! without hand-tuning a dozen knobs.
+
+use crate::config::SimConfig;
+
+/// A named simulation scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The calibrated default: the paper-shaped operational year.
+    Baseline,
+    /// Frequent rain and construction: outside-plant (F1/F2) faults
+    /// dominate, rewarding the locator's location models.
+    StormSeason,
+    /// Aging plant: higher fault rates everywhere and more DSLAM outages —
+    /// a stress test for the ATDS budget and the Table-5 radar.
+    AgingPlant,
+    /// Aggressive sales on long loops: many over-provisioned lines, so
+    /// `DS-SPEED-DOWN` and chronic marginality dominate the predictions.
+    Overprovisioned,
+    /// A quiet, healthy network: low fault volume; tests behaviour when
+    /// positives are extremely rare.
+    QuietNetwork,
+}
+
+impl Scenario {
+    /// All presets.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Baseline,
+        Scenario::StormSeason,
+        Scenario::AgingPlant,
+        Scenario::Overprovisioned,
+        Scenario::QuietNetwork,
+    ];
+
+    /// Parses a scenario name (kebab-case, as the CLI exposes them).
+    pub fn parse(name: &str) -> Option<Scenario> {
+        match name {
+            "baseline" => Some(Scenario::Baseline),
+            "storm-season" => Some(Scenario::StormSeason),
+            "aging-plant" => Some(Scenario::AgingPlant),
+            "overprovisioned" => Some(Scenario::Overprovisioned),
+            "quiet-network" => Some(Scenario::QuietNetwork),
+            _ => None,
+        }
+    }
+
+    /// The preset's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::StormSeason => "storm-season",
+            Scenario::AgingPlant => "aging-plant",
+            Scenario::Overprovisioned => "overprovisioned",
+            Scenario::QuietNetwork => "quiet-network",
+        }
+    }
+
+    /// One-line description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "the calibrated paper-shaped operational year",
+            Scenario::StormSeason => "wet regions and digging crews: outside plant suffers",
+            Scenario::AgingPlant => "worn plant: more faults, more DSLAM outages",
+            Scenario::Overprovisioned => "fast profiles sold onto long loops",
+            Scenario::QuietNetwork => "healthy plant with rare problems",
+        }
+    }
+
+    /// Materializes the preset into a configuration.
+    pub fn config(self, seed: u64, n_lines: usize, days: u32) -> SimConfig {
+        let base = SimConfig { seed, n_lines, days, ..SimConfig::default() };
+        match self {
+            Scenario::Baseline => base,
+            Scenario::StormSeason => SimConfig {
+                // Wetter year: weather-sensitive hazards fire more often
+                // (the calendar itself is seeded; raising the base fault
+                // rate plus more regions concentrates episodes).
+                faults_per_line_year: base.faults_per_line_year * 1.5,
+                n_regions: 2,
+                ..base
+            },
+            Scenario::AgingPlant => SimConfig {
+                faults_per_line_year: base.faults_per_line_year * 2.0,
+                outages_per_dslam_year: base.outages_per_dslam_year * 2.5,
+                ..base
+            },
+            Scenario::Overprovisioned => SimConfig {
+                // Aggressive sales: fast profiles pushed onto loops that
+                // cannot carry them, feeding the DS-SPEED-DOWN disposition.
+                overprovision_bias: 0.6,
+                faults_per_line_year: base.faults_per_line_year * 1.2,
+                ..base
+            },
+            Scenario::QuietNetwork => SimConfig {
+                faults_per_line_year: base.faults_per_line_year * 0.35,
+                outages_per_dslam_year: base.outages_per_dslam_year * 0.3,
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::OutputSummary;
+    use crate::world::World;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+            assert!(!s.description().is_empty());
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_presets_validate_and_run() {
+        for s in Scenario::ALL {
+            let cfg = s.config(5, 800, 120);
+            assert!(cfg.validate().is_ok(), "{} invalid", s.name());
+            let out = World::generate(cfg.clone()).run();
+            assert!(!out.measurements.is_empty(), "{} produced no measurements", s.name());
+            let _ = OutputSummary::compute(&out, cfg.n_lines);
+        }
+    }
+
+    #[test]
+    fn aging_plant_is_busier_than_quiet_network() {
+        let aging = World::generate(Scenario::AgingPlant.config(9, 1_500, 180)).run();
+        let quiet = World::generate(Scenario::QuietNetwork.config(9, 1_500, 180)).run();
+        let ce = |o: &crate::world::SimOutput| o.customer_edge_tickets().count();
+        assert!(
+            ce(&aging) > 2 * ce(&quiet),
+            "aging {} vs quiet {}",
+            ce(&aging),
+            ce(&quiet)
+        );
+        assert!(aging.outage_events.len() > quiet.outage_events.len());
+    }
+}

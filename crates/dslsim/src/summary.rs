@@ -1,0 +1,228 @@
+//! One-stop descriptive statistics over a simulation's logs.
+//!
+//! Useful for sanity-checking a configuration before spending compute on
+//! model training, and for the dataset documentation the export module
+//! ships alongside the CSV tables.
+
+use crate::config::DayOfWeek;
+use crate::disposition::{MajorLocation, N_DISPOSITIONS};
+use crate::ticket::TicketCategory;
+use crate::world::SimOutput;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutputSummary {
+    /// Simulated horizon in days.
+    pub days: u32,
+    /// Number of lines the summary was computed against.
+    pub n_lines: usize,
+    /// Completed line tests.
+    pub n_measurements: usize,
+    /// Fraction of expected weekly tests that completed (modems answer).
+    pub measurement_coverage: f64,
+    /// Customer-edge tickets.
+    pub customer_edge_tickets: usize,
+    /// Outage tickets.
+    pub outage_tickets: usize,
+    /// Non-technical tickets.
+    pub non_technical_tickets: usize,
+    /// Customer-edge tickets per line per week.
+    pub weekly_ce_rate: f64,
+    /// Customer-edge tickets by day of week (Sun..Sat).
+    pub dow_histogram: [usize; 7],
+    /// Disposition notes filed.
+    pub notes_total: usize,
+    /// Notes where a fault was found and repaired.
+    pub notes_found: usize,
+    /// "No trouble found" dispatches.
+    pub notes_no_trouble: usize,
+    /// Remote (zero-test) resolutions.
+    pub remote_fixes: usize,
+    /// Found-note counts per disposition (table order).
+    pub disposition_counts: Vec<usize>,
+    /// Found-note counts per major location (HN, F2, F1, DS).
+    pub location_counts: [usize; 4],
+    /// DSLAM outages inside the horizon.
+    pub outages: usize,
+    /// IVR-suppressed calls.
+    pub ivr_calls: usize,
+    /// Customers who terminated their contracts.
+    pub churned: usize,
+}
+
+impl OutputSummary {
+    /// Computes the summary.
+    pub fn compute(output: &SimOutput, n_lines: usize) -> Self {
+        let n_saturdays = (0..output.days).filter(|&d| DayOfWeek::of(d).is_test_day()).count();
+        let expected_tests = n_lines * n_saturdays;
+
+        let mut ce = 0;
+        let mut outage_t = 0;
+        let mut nt = 0;
+        let mut dow = [0usize; 7];
+        for t in &output.tickets {
+            match t.category {
+                TicketCategory::CustomerEdge => {
+                    ce += 1;
+                    dow[(t.day % 7) as usize] += 1;
+                }
+                TicketCategory::Outage => outage_t += 1,
+                TicketCategory::NonTechnical => nt += 1,
+            }
+        }
+
+        let mut disposition_counts = vec![0usize; N_DISPOSITIONS];
+        let mut location_counts = [0usize; 4];
+        let mut found = 0;
+        let mut no_trouble = 0;
+        let mut remote = 0;
+        for n in &output.notes {
+            match n.disposition {
+                Some(d) => {
+                    found += 1;
+                    disposition_counts[d.0 as usize] += 1;
+                    let li = MajorLocation::ALL
+                        .iter()
+                        .position(|&l| l == d.location())
+                        .expect("known location");
+                    location_counts[li] += 1;
+                    if n.tests_performed == 0 {
+                        remote += 1;
+                    }
+                }
+                None => no_trouble += 1,
+            }
+        }
+
+        let weeks = f64::from(output.days) / 7.0;
+        Self {
+            days: output.days,
+            n_lines,
+            n_measurements: output.measurements.len(),
+            measurement_coverage: if expected_tests == 0 {
+                0.0
+            } else {
+                output.measurements.len() as f64 / expected_tests as f64
+            },
+            customer_edge_tickets: ce,
+            outage_tickets: outage_t,
+            non_technical_tickets: nt,
+            weekly_ce_rate: if n_lines == 0 || weeks == 0.0 {
+                0.0
+            } else {
+                ce as f64 / weeks / n_lines as f64
+            },
+            dow_histogram: dow,
+            notes_total: output.notes.len(),
+            notes_found: found,
+            notes_no_trouble: no_trouble,
+            remote_fixes: remote,
+            disposition_counts,
+            location_counts,
+            outages: output.outage_events.len(),
+            ivr_calls: output.ivr_calls.len(),
+            churned: output.churn_events.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for OutputSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "simulated {} lines over {} days", self.n_lines, self.days)?;
+        writeln!(
+            f,
+            "line tests: {} ({:.1}% of scheduled Saturdays answered)",
+            self.n_measurements,
+            100.0 * self.measurement_coverage
+        )?;
+        writeln!(
+            f,
+            "tickets: {} customer-edge ({:.2}%/line/week), {} outage, {} non-technical",
+            self.customer_edge_tickets,
+            100.0 * self.weekly_ce_rate,
+            self.outage_tickets,
+            self.non_technical_tickets
+        )?;
+        writeln!(
+            f,
+            "dispatch notes: {} ({} found, {} no-trouble, {} remote fixes)",
+            self.notes_total, self.notes_found, self.notes_no_trouble, self.remote_fixes
+        )?;
+        writeln!(
+            f,
+            "found by location: HN {} / F2 {} / F1 {} / DS {}",
+            self.location_counts[0],
+            self.location_counts[1],
+            self.location_counts[2],
+            self.location_counts[3]
+        )?;
+        write!(
+            f,
+            "outages: {} (IVR swallowed {} calls); churned customers: {}",
+            self.outages, self.ivr_calls, self.churned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::world::World;
+
+    fn summary() -> (SimConfig, OutputSummary) {
+        let cfg = SimConfig::small(23);
+        let out = World::generate(cfg.clone()).run();
+        let s = OutputSummary::compute(&out, cfg.n_lines);
+        (cfg, s)
+    }
+
+    #[test]
+    fn counts_are_internally_consistent() {
+        let (_, s) = summary();
+        assert_eq!(s.notes_total, s.notes_found + s.notes_no_trouble);
+        assert_eq!(s.dow_histogram.iter().sum::<usize>(), s.customer_edge_tickets);
+        assert_eq!(
+            s.disposition_counts.iter().sum::<usize>(),
+            s.notes_found,
+            "dispositions partition the found notes"
+        );
+        assert_eq!(s.location_counts.iter().sum::<usize>(), s.notes_found);
+        assert!(s.remote_fixes <= s.notes_found);
+    }
+
+    #[test]
+    fn coverage_and_rates_are_plausible() {
+        let (_, s) = summary();
+        assert!(s.measurement_coverage > 0.5 && s.measurement_coverage < 1.0);
+        assert!(s.weekly_ce_rate > 0.0005 && s.weekly_ce_rate < 0.02);
+    }
+
+    #[test]
+    fn display_renders_every_section() {
+        let (_, s) = summary();
+        let text = s.to_string();
+        for needle in ["line tests", "tickets", "dispatch notes", "by location", "outages"] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_output_is_safe() {
+        let out = SimOutput {
+            measurements: vec![],
+            tickets: vec![],
+            notes: vec![],
+            outage_events: vec![],
+            traffic: crate::traffic::TrafficTable::new(vec![], 0),
+            ivr_calls: vec![],
+            churn_events: vec![],
+            days: 0,
+        };
+        let s = OutputSummary::compute(&out, 0);
+        assert_eq!(s.n_measurements, 0);
+        assert_eq!(s.weekly_ce_rate, 0.0);
+        assert_eq!(s.measurement_coverage, 0.0);
+    }
+}

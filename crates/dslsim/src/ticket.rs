@@ -1,0 +1,55 @@
+//! Trouble tickets, as issued by customer agents.
+//!
+//! Agents assign each ticket a coarse category label; the learning pipeline
+//! keeps only [`TicketCategory::CustomerEdge`] tickets, mirroring the
+//! paper's use of the agent label to separate customer-edge problems from
+//! billing issues and network outages.
+
+use crate::ids::LineId;
+use serde::{Deserialize, Serialize};
+
+/// Coarse agent-assigned ticket category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TicketCategory {
+    /// A customer-edge technical problem (the paper's subject).
+    CustomerEdge,
+    /// A report attributed to a known/emerging DSLAM outage.
+    Outage,
+    /// Billing or other non-technical issue.
+    NonTechnical,
+}
+
+/// One customer trouble ticket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Unique ticket id (issue order).
+    pub id: u32,
+    /// The reporting customer's line.
+    pub line: LineId,
+    /// Day the ticket was issued.
+    pub day: u32,
+    /// Agent-assigned category.
+    pub category: TicketCategory,
+}
+
+impl Ticket {
+    /// Whether this ticket counts as a customer-edge problem for labelling.
+    pub fn is_customer_edge(&self) -> bool {
+        self.category == TicketCategory::CustomerEdge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_filter() {
+        let t = Ticket { id: 0, line: LineId(1), day: 5, category: TicketCategory::CustomerEdge };
+        assert!(t.is_customer_edge());
+        let b = Ticket { id: 1, line: LineId(1), day: 6, category: TicketCategory::NonTechnical };
+        assert!(!b.is_customer_edge());
+        let o = Ticket { id: 2, line: LineId(1), day: 7, category: TicketCategory::Outage };
+        assert!(!o.is_customer_edge());
+    }
+}

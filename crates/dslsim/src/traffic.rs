@@ -1,0 +1,144 @@
+//! Per-line daily traffic counters for a sample of BRAS servers.
+//!
+//! The paper collects "daily aggregated byte information for individual
+//! customers under two BRAS servers" and uses it to show that ~16.7% of the
+//! predictor's "incorrect" predictions belong to customers who were simply
+//! not on site (no traffic for a week on either side of the prediction).
+//! This table is the synthetic counterpart.
+
+use crate::ids::LineId;
+use serde::{Deserialize, Serialize};
+
+/// Daily byte counters for a covered subset of lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficTable {
+    days: u32,
+    /// Covered lines in ascending id order.
+    lines: Vec<LineId>,
+    /// `bytes[line_slot * days + day]`, kilobytes (fits u32 comfortably).
+    kilobytes: Vec<u32>,
+}
+
+impl TrafficTable {
+    /// Creates an empty table covering the given lines.
+    pub fn new(mut lines: Vec<LineId>, days: u32) -> Self {
+        lines.sort_unstable();
+        lines.dedup();
+        let kilobytes = vec![0u32; lines.len() * days as usize];
+        Self { days, lines, kilobytes }
+    }
+
+    /// Number of covered lines.
+    pub fn n_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The covered lines.
+    pub fn lines(&self) -> &[LineId] {
+        &self.lines
+    }
+
+    /// Whether a line is covered by the sample.
+    pub fn covers(&self, line: LineId) -> bool {
+        self.slot(line).is_some()
+    }
+
+    fn slot(&self, line: LineId) -> Option<usize> {
+        self.lines.binary_search(&line).ok()
+    }
+
+    /// Records a day's traffic for a covered line (no-op otherwise).
+    pub fn record(&mut self, line: LineId, day: u32, kilobytes: u32) {
+        if day >= self.days {
+            return;
+        }
+        if let Some(s) = self.slot(line) {
+            self.kilobytes[s * self.days as usize + day as usize] = kilobytes;
+        }
+    }
+
+    /// Kilobytes on one day, if the line is covered.
+    pub fn kilobytes_on(&self, line: LineId, day: u32) -> Option<u32> {
+        if day >= self.days {
+            return None;
+        }
+        self.slot(line).map(|s| self.kilobytes[s * self.days as usize + day as usize])
+    }
+
+    /// Total kilobytes in `[from, to)`, if the line is covered.
+    pub fn total_in_window(&self, line: LineId, from: u32, to: u32) -> Option<u64> {
+        let s = self.slot(line)?;
+        let from = from.min(self.days);
+        let to = to.min(self.days);
+        let base = s * self.days as usize;
+        Some(
+            self.kilobytes[base + from as usize..base + to as usize]
+                .iter()
+                .map(|&k| k as u64)
+                .sum(),
+        )
+    }
+
+    /// The paper's "not on site" test: zero traffic from one week before
+    /// `day` to one week after. `None` when the line is not covered.
+    pub fn not_on_site(&self, line: LineId, day: u32) -> Option<bool> {
+        let from = day.saturating_sub(7);
+        let to = day + 8;
+        self.total_in_window(line, from, to).map(|total| total == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_and_recording() {
+        let mut t = TrafficTable::new(vec![LineId(5), LineId(2)], 30);
+        assert!(t.covers(LineId(2)));
+        assert!(!t.covers(LineId(3)));
+        t.record(LineId(2), 10, 500);
+        t.record(LineId(3), 10, 999); // uncovered: ignored
+        assert_eq!(t.kilobytes_on(LineId(2), 10), Some(500));
+        assert_eq!(t.kilobytes_on(LineId(3), 10), None);
+        assert_eq!(t.kilobytes_on(LineId(2), 11), Some(0));
+    }
+
+    #[test]
+    fn window_totals() {
+        let mut t = TrafficTable::new(vec![LineId(0)], 20);
+        t.record(LineId(0), 3, 10);
+        t.record(LineId(0), 4, 20);
+        t.record(LineId(0), 10, 100);
+        assert_eq!(t.total_in_window(LineId(0), 0, 5), Some(30));
+        assert_eq!(t.total_in_window(LineId(0), 5, 20), Some(100));
+        assert_eq!(t.total_in_window(LineId(0), 0, 100), Some(130), "clamps to table end");
+    }
+
+    #[test]
+    fn not_on_site_detection() {
+        let mut t = TrafficTable::new(vec![LineId(1)], 40);
+        // Active before day 10, silent afterwards.
+        for d in 0..10 {
+            t.record(LineId(1), d, 50);
+        }
+        assert_eq!(t.not_on_site(LineId(1), 5), Some(false));
+        assert_eq!(t.not_on_site(LineId(1), 25), Some(true));
+        assert_eq!(t.not_on_site(LineId(99), 25), None);
+    }
+
+    #[test]
+    fn out_of_range_days_are_safe() {
+        let mut t = TrafficTable::new(vec![LineId(0)], 10);
+        t.record(LineId(0), 50, 10); // ignored
+        assert_eq!(t.kilobytes_on(LineId(0), 50), None);
+        assert_eq!(t.total_in_window(LineId(0), 5, 50), Some(0));
+    }
+
+    #[test]
+    fn duplicate_lines_deduped() {
+        let t = TrafficTable::new(vec![LineId(1), LineId(1), LineId(0)], 5);
+        assert_eq!(t.n_lines(), 2);
+        assert_eq!(t.lines(), &[LineId(0), LineId(1)]);
+    }
+}

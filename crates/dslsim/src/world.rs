@@ -1,0 +1,886 @@
+//! The simulated world: a day-by-day event loop over the whole plant.
+//!
+//! Each simulated day the world advances customers (usage, awareness,
+//! calls), fault processes (onsets, self-healing), outages (precursor
+//! stress, hard-down, IVR), dispatches (technician visits, repairs,
+//! disposition notes), traffic counters, and — on Saturdays — the weekly
+//! line tests.
+//!
+//! Two modes of use:
+//!
+//! * **Offline (the paper's evaluation setting):** [`World::run`] simulates
+//!   the full horizon reactively and returns the accumulated [`SimOutput`]
+//!   logs, which the learning pipeline then splits into train/test windows.
+//! * **Operational (the NEVERMIND loop):** drive [`World::step_day`]
+//!   yourself, inspect [`World::output`] after each Saturday, and inject
+//!   [`World::schedule_proactive_dispatch`] calls for the predictor's
+//!   top-ranked lines.
+
+use crate::config::{DayOfWeek, SimConfig};
+use crate::customer::{generate_customers, Customer};
+use crate::dispatch::{basic_order, run_dispatch, taxonomy_priors, DispositionNote};
+use crate::disposition::{DispositionId, FaultClass, N_DISPOSITIONS};
+use crate::fault::{disposition_weights, Fault};
+use crate::ids::{DslamId, LineId};
+use crate::measurement::LineTest;
+use crate::outage::{OutageEvent, OutageSchedule};
+use crate::physics::{combine_effects, modem_answers, synthesize};
+use crate::ticket::{Ticket, TicketCategory};
+use crate::topology::Topology;
+use crate::traffic::TrafficTable;
+use crate::weather::{ExogenousCalendar, CONSTRUCTION_MULTIPLIER, WET_MULTIPLIER};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A customer call suppressed by the outage IVR (the call happened, the
+/// ticket did not — Sec. 5.2's first scenario).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IvrCall {
+    /// Calling customer's line.
+    pub line: LineId,
+    /// Day of the suppressed call.
+    pub day: u32,
+}
+
+/// A customer terminating their contract after a problem dragged on —
+/// the churn the paper's proactive approach is motivated by ("a lengthy
+/// resolution can lead to customer dissatisfaction and ultimately lead to
+/// churn").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// The departing customer's line.
+    pub line: LineId,
+    /// Day of the termination.
+    pub day: u32,
+}
+
+/// Accumulated logs of one simulation run — the synthetic counterparts of
+/// the paper's four data sources (plus the outage and IVR side-channels).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// Completed weekly line tests.
+    pub measurements: Vec<LineTest>,
+    /// All tickets (customer edge, outage, non-technical).
+    pub tickets: Vec<Ticket>,
+    /// Disposition notes from dispatches and remote resolutions.
+    pub notes: Vec<DispositionNote>,
+    /// Scheduled DSLAM outages that fell inside the horizon.
+    pub outage_events: Vec<OutageEvent>,
+    /// Daily traffic counters for the sampled BRAS servers.
+    pub traffic: TrafficTable,
+    /// IVR-suppressed calls.
+    pub ivr_calls: Vec<IvrCall>,
+    /// Contract terminations after unresolved problems.
+    pub churn_events: Vec<ChurnEvent>,
+    /// Simulated horizon in days.
+    pub days: u32,
+}
+
+impl SimOutput {
+    /// Customer-edge tickets only (what the predictor trains against).
+    pub fn customer_edge_tickets(&self) -> impl Iterator<Item = &Ticket> {
+        self.tickets.iter().filter(|t| t.is_customer_edge())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingDispatch {
+    due_day: u32,
+    line: LineId,
+    ticket: Option<u32>,
+    proactive: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineHazard {
+    /// Σ of base disposition weights.
+    sum_base: f64,
+    /// Extra weight when the region is wet: (mult−1)·Σ weather-sensitive.
+    extra_wet: f64,
+    /// Extra weight during construction: (mult−1)·Σ outside hard cuts.
+    extra_construction: f64,
+}
+
+/// The running simulation.
+pub struct World {
+    config: SimConfig,
+    topology: Topology,
+    customers: Vec<Customer>,
+    calendar: ExogenousCalendar,
+    outages: OutageSchedule,
+
+    faults: Vec<Vec<Fault>>,
+    hazards: Vec<LineHazard>,
+    mean_base_hazard: f64,
+
+    aware_since: Vec<Option<u32>>,
+    churned: Vec<bool>,
+    usage_bits: Vec<u8>,
+    dispatch_scheduled: Vec<bool>,
+    pending: Vec<PendingDispatch>,
+    priors: [f64; N_DISPOSITIONS],
+
+    outage_reports: Vec<u8>,
+    outage_known: Vec<bool>,
+
+    day: u32,
+    next_ticket: u32,
+    out: SimOutput,
+
+    rng_fault: ChaCha8Rng,
+    rng_customer: ChaCha8Rng,
+    rng_measure: ChaCha8Rng,
+    rng_dispatch: ChaCha8Rng,
+    rng_misc: ChaCha8Rng,
+}
+
+/// Samples the disposition for a new fault under current conditions.
+fn sample_new_fault(
+    line: &crate::topology::Line,
+    existing: &[Fault],
+    day: u32,
+    wet: bool,
+    constr: bool,
+    rng: &mut ChaCha8Rng,
+) -> Option<Fault> {
+    let mut w = disposition_weights(line);
+    for (i, info) in crate::disposition::DISPOSITIONS.iter().enumerate() {
+        if wet && info.weather_sensitive {
+            w[i] *= WET_MULTIPLIER;
+        }
+        if constr && info.class == FaultClass::Hard && info.location.is_outside() {
+            w[i] *= CONSTRUCTION_MULTIPLIER;
+        }
+    }
+    // Avoid stacking a second copy of an already-active disposition.
+    for f in existing {
+        if f.active(day) {
+            w[f.disposition.0 as usize] = 0.0;
+        }
+    }
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut pick = rng.random_range(0.0..total);
+    let mut chosen = N_DISPOSITIONS - 1;
+    for (i, &wi) in w.iter().enumerate() {
+        if pick < wi {
+            chosen = i;
+            break;
+        }
+        pick -= wi;
+    }
+    let disposition = DispositionId(chosen as u8);
+    let info = disposition.info();
+    let ramp = info.ramp_days * rng.random_range(0.5..1.5);
+    let severity_cap = rng.random_range(0.7..1.0);
+    Some(Fault { disposition, onset_day: day, ramp_days: ramp, severity_cap, repaired_day: None })
+}
+
+/// Per-line susceptibility to DSLAM-level stress, in [0.25, 1.0].
+///
+/// A failing card does not degrade every port equally; heterogeneity keeps
+/// the precursor pattern from being a trivially separable DSLAM-wide
+/// signature (see `physics::combine_effects`).
+fn stress_susceptibility(line: LineId) -> f64 {
+    let h = subseed(0xCAFE_F00D, line.0 as u64);
+    0.5 + 0.5 * (h as f64 / u64::MAX as f64)
+}
+
+/// Derives a subsystem seed from the master seed (SplitMix64 step).
+fn subseed(master: u64, stream: u64) -> u64 {
+    let mut z = master.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl World {
+    /// Builds a world from the configuration. Deterministic in
+    /// `config.seed`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn generate(config: SimConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let topology = Topology::generate(&config, subseed(config.seed, 1));
+        let customers = generate_customers(&config, subseed(config.seed, 2));
+        let calendar = ExogenousCalendar::generate(
+            config.n_regions,
+            topology.dslams.len(),
+            config.days,
+            subseed(config.seed, 3),
+        );
+        let outages = OutageSchedule::generate(
+            topology.dslams.len(),
+            config.days,
+            config.outages_per_dslam_year,
+            config.outage_precursor_days,
+            subseed(config.seed, 4),
+        );
+
+        let hazards: Vec<LineHazard> = topology
+            .lines
+            .iter()
+            .map(|line| {
+                let w = disposition_weights(line);
+                let mut h = LineHazard::default();
+                for (i, info) in crate::disposition::DISPOSITIONS.iter().enumerate() {
+                    h.sum_base += w[i];
+                    if info.weather_sensitive {
+                        h.extra_wet += (WET_MULTIPLIER - 1.0) * w[i];
+                    }
+                    if info.class == FaultClass::Hard && info.location.is_outside() {
+                        h.extra_construction += (CONSTRUCTION_MULTIPLIER - 1.0) * w[i];
+                    }
+                }
+                h
+            })
+            .collect();
+        let mean_base_hazard =
+            hazards.iter().map(|h| h.sum_base).sum::<f64>() / hazards.len().max(1) as f64;
+
+        // Traffic is sampled for the lines under the first N BRAS servers.
+        let sampled_lines: Vec<LineId> = topology
+            .lines
+            .iter()
+            .filter(|l| topology.bras_of(l.id).index() < config.traffic_bras_sample)
+            .map(|l| l.id)
+            .collect();
+        let traffic = TrafficTable::new(sampled_lines, config.days);
+
+        let n_lines = topology.lines.len();
+        let n_dslams = topology.dslams.len();
+        let outage_events = outages.events().to_vec();
+
+        Self {
+            customers,
+            calendar,
+            outages,
+            faults: vec![Vec::new(); n_lines],
+            hazards,
+            mean_base_hazard,
+            aware_since: vec![None; n_lines],
+            churned: vec![false; n_lines],
+            usage_bits: vec![0; n_lines],
+            dispatch_scheduled: vec![false; n_lines],
+            pending: Vec::new(),
+            priors: taxonomy_priors(),
+            outage_reports: vec![0; n_dslams],
+            outage_known: vec![false; n_dslams],
+            day: 0,
+            next_ticket: 0,
+            out: SimOutput {
+                measurements: Vec::new(),
+                tickets: Vec::new(),
+                notes: Vec::new(),
+                outage_events,
+                traffic,
+                ivr_calls: Vec::new(),
+                churn_events: Vec::new(),
+                days: config.days,
+            },
+            rng_fault: ChaCha8Rng::seed_from_u64(subseed(config.seed, 5)),
+            rng_customer: ChaCha8Rng::seed_from_u64(subseed(config.seed, 6)),
+            rng_measure: ChaCha8Rng::seed_from_u64(subseed(config.seed, 7)),
+            rng_dispatch: ChaCha8Rng::seed_from_u64(subseed(config.seed, 8)),
+            rng_misc: ChaCha8Rng::seed_from_u64(subseed(config.seed, 9)),
+            topology,
+            config,
+        }
+    }
+
+    /// The configuration the world was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The static plant.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The customer population.
+    pub fn customers(&self) -> &[Customer] {
+        &self.customers
+    }
+
+    /// Current simulation day (the next day to be stepped).
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Logs accumulated so far.
+    pub fn output(&self) -> &SimOutput {
+        &self.out
+    }
+
+    /// Consumes the world, returning the logs.
+    pub fn into_output(self) -> SimOutput {
+        self.out
+    }
+
+    /// Whether the customer on a line has churned.
+    pub fn has_churned(&self, line: LineId) -> bool {
+        self.churned[line.index()]
+    }
+
+    /// Ground-truth view: live (active, unrepaired) faults on a line.
+    /// Used by evaluation code, never by the learning pipeline.
+    pub fn live_faults(&self, line: LineId) -> Vec<&Fault> {
+        self.faults[line.index()].iter().filter(|f| f.active(self.day)).collect()
+    }
+
+    /// Full fault history of a line (ground truth for evaluation).
+    pub fn fault_history(&self, line: LineId) -> &[Fault] {
+        &self.faults[line.index()]
+    }
+
+    /// Schedules a proactive (NEVERMIND) dispatch for `line`, `delay_days`
+    /// from now. Ignored if a dispatch is already scheduled for the line.
+    pub fn schedule_proactive_dispatch(&mut self, line: LineId, delay_days: u32) {
+        if self.dispatch_scheduled[line.index()] {
+            return;
+        }
+        self.dispatch_scheduled[line.index()] = true;
+        self.pending.push(PendingDispatch {
+            due_day: self.day + delay_days.max(1),
+            line,
+            ticket: None,
+            proactive: true,
+        });
+    }
+
+    /// Runs the remaining horizon reactively and returns the logs.
+    pub fn run(mut self) -> SimOutput {
+        while self.day < self.config.days {
+            self.step_day();
+        }
+        self.out
+    }
+
+    /// Advances the simulation by one day.
+    ///
+    /// # Panics
+    /// Panics if stepped past the configured horizon.
+    pub fn step_day(&mut self) {
+        assert!(self.day < self.config.days, "stepped past the simulation horizon");
+        let day = self.day;
+        let dow = DayOfWeek::of(day);
+
+        self.refresh_outage_state(day);
+        self.advance_lines(day);
+        self.process_dispatches(day);
+        if dow.is_test_day() {
+            self.run_line_tests(day);
+        }
+
+        self.day += 1;
+    }
+
+    /// Resets IVR counters at outage boundaries.
+    fn refresh_outage_state(&mut self, day: u32) {
+        for dslam in 0..self.topology.dslams.len() {
+            let down = self.outages.is_down(DslamId(dslam as u32), day);
+            if !down {
+                self.outage_reports[dslam] = 0;
+                self.outage_known[dslam] = false;
+            }
+        }
+    }
+
+    /// Per-line daily processing: usage, fault onsets/healing, awareness,
+    /// calls and tickets, traffic.
+    fn advance_lines(&mut self, day: u32) {
+        let n_lines = self.topology.lines.len();
+        let daily_rate = self.config.faults_per_line_year / 365.0;
+
+        for li in 0..n_lines {
+            let line_id = LineId(li as u32);
+
+            // Churned customers are gone: no usage, no problems noticed,
+            // no calls. The copper stays in the plant but the service is
+            // disconnected.
+            if self.churned[li] {
+                self.usage_bits[li] <<= 1;
+                self.record_traffic(li, day, false);
+                continue;
+            }
+
+            let dslam = self.topology.lines[li].dslam;
+            let region = self.topology.dslam(dslam).region;
+
+            // --- usage ---
+            let used = self.customers[li].uses_service(day, &mut self.rng_customer);
+            self.usage_bits[li] = (self.usage_bits[li] << 1) | u8::from(used);
+
+            // --- fault self-healing ---
+            for f in self.faults[li].iter_mut() {
+                if f.repaired_day.is_none() && f.onset_day <= day {
+                    let heal_p = match f.disposition.info().class {
+                        FaultClass::Hard => 0.002,
+                        FaultClass::Intermittent => 0.02,
+                        FaultClass::Degraded => 0.018,
+                    };
+                    if self.rng_fault.random_bool(heal_p) {
+                        f.repaired_day = Some(day);
+                    }
+                }
+            }
+
+            // --- fault onset ---
+            let active_count = self.faults[li].iter().filter(|f| f.active(day)).count();
+            if active_count < 3 {
+                let h = &self.hazards[li];
+                let wet = self.calendar.is_wet(region, day);
+                let constr = self.calendar.is_construction(dslam, day);
+                let mut total = h.sum_base;
+                if wet {
+                    total += h.extra_wet;
+                }
+                if constr {
+                    total += h.extra_construction;
+                }
+                let p = (daily_rate * total / self.mean_base_hazard).clamp(0.0, 1.0);
+                if self.rng_fault.random_bool(p) {
+                    if let Some(fault) = sample_new_fault(
+                        &self.topology.lines[li],
+                        &self.faults[li],
+                        day,
+                        wet,
+                        constr,
+                        &mut self.rng_fault,
+                    ) {
+                        self.faults[li].push(fault);
+                    }
+                }
+            }
+
+            // --- outage handling (overrides individual awareness) ---
+            let di = dslam.index();
+            if self.outages.is_down(dslam, day) {
+                if used && !self.customers[li].is_away(day) {
+                    // The service is dead; the customer calls with outage
+                    // urgency modulated by the weekly pattern.
+                    let p = self.customers[li].call_prob(
+                        day,
+                        1.0,
+                        self.config.report_base_prob * 1.6,
+                    );
+                    if self.rng_customer.random_bool(p) {
+                        if self.outage_known[di] {
+                            self.out.ivr_calls.push(IvrCall { line: line_id, day });
+                        } else {
+                            self.issue_ticket(line_id, day, TicketCategory::Outage);
+                            self.outage_reports[di] += 1;
+                            if self.outage_reports[di] >= 3 {
+                                self.outage_known[di] = true;
+                            }
+                        }
+                    }
+                }
+                // No individual fault reporting while the DSLAM is down.
+                self.record_traffic(li, day, false);
+                continue;
+            }
+
+            // --- awareness & reporting of line faults ---
+            // A degrading DSLAM card is user-visible too: sporadic drops in
+            // the precursor window produce some genuine pre-outage
+            // customer-edge tickets (and keep the measurement pattern from
+            // being a pure no-ticket signature).
+            let stress_perceived = 0.55
+                * self.outages.stress(dslam, day)
+                * stress_susceptibility(line_id);
+            let perceived = self.faults[li]
+                .iter()
+                .map(|f| f.perceived_severity(day))
+                .fold(stress_perceived, f64::max);
+            if perceived <= 0.0 {
+                self.aware_since[li] = None;
+            } else {
+                if self.aware_since[li].is_none()
+                    && used
+                    && perceived > self.customers[li].tolerance
+                {
+                    self.aware_since[li] = Some(day);
+                }
+                if let Some(since) = self.aware_since[li] {
+                    let p =
+                        self.customers[li].call_prob(day, perceived, self.config.report_base_prob);
+                    if self.rng_customer.random_bool(p) {
+                        let ticket_id =
+                            self.issue_ticket(line_id, day, TicketCategory::CustomerEdge);
+                        self.handle_customer_edge_ticket(li, day, ticket_id);
+                    }
+                    // A problem the customer has been living with for more
+                    // than a week starts burning goodwill; eventually they
+                    // terminate the contract.
+                    if day.saturating_sub(since) > 7 {
+                        let p_churn = self.customers[li].churn_propensity * 0.012;
+                        if self.rng_customer.random_bool(p_churn) {
+                            self.churned[li] = true;
+                            self.out.churn_events.push(ChurnEvent { line: line_id, day });
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // --- non-technical tickets ---
+            let p_nt = self.config.non_technical_tickets_per_line_year / 365.0;
+            if self.rng_misc.random_bool(p_nt.clamp(0.0, 1.0)) {
+                self.issue_ticket(line_id, day, TicketCategory::NonTechnical);
+            }
+
+            // --- traffic ---
+            let hard_down = self.faults[li].iter().any(|f| {
+                f.active(day)
+                    && f.disposition.info().class == FaultClass::Hard
+                    && f.severity(day) > 0.8
+            });
+            self.record_traffic(li, day, used && !hard_down);
+        }
+    }
+
+    fn issue_ticket(&mut self, line: LineId, day: u32, category: TicketCategory) -> u32 {
+        let id = self.next_ticket;
+        self.next_ticket += 1;
+        self.out.tickets.push(Ticket { id, line, day, category });
+        id
+    }
+
+    /// ATDS triage of a fresh customer-edge ticket: remote resolution or a
+    /// field dispatch in 1–3 days (unless one is already scheduled).
+    fn handle_customer_edge_ticket(&mut self, li: usize, day: u32, ticket_id: u32) {
+        if self.dispatch_scheduled[li] {
+            return; // repeat ticket while a visit is pending
+        }
+        // Remote resolution path (configuration fixes, reboots).
+        if self.rng_dispatch.random_bool(0.15) {
+            let live_closest = self.faults[li]
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.active(day))
+                .min_by_key(|(_, f)| f.disposition.location())
+                .map(|(i, _)| i);
+            if let Some(fi) = live_closest {
+                let disposition = self.faults[li][fi].disposition;
+                // Remote fixes reliably handle only configuration-style
+                // problems; hardware faults bounce back to a dispatch.
+                if matches!(disposition.info().class, FaultClass::Degraded) {
+                    self.faults[li][fi].repaired_day = Some(day + 1);
+                    self.priors[disposition.0 as usize] += 1.0;
+                    self.out.notes.push(DispositionNote {
+                        ticket: Some(ticket_id),
+                        line: LineId(li as u32),
+                        day: day + 1,
+                        disposition: Some(disposition),
+                        tests_performed: 0,
+                        minutes_spent: 0.0,
+                        proactive: false,
+                    });
+                    return;
+                }
+            }
+        }
+        self.dispatch_scheduled[li] = true;
+        let delay = self.rng_dispatch.random_range(1..=3u32);
+        self.pending.push(PendingDispatch {
+            due_day: day + delay,
+            line: LineId(li as u32),
+            ticket: Some(ticket_id),
+            proactive: false,
+        });
+    }
+
+    /// Runs all dispatches due today.
+    fn process_dispatches(&mut self, day: u32) {
+        let mut due = Vec::new();
+        self.pending.retain(|p| {
+            if p.due_day <= day {
+                due.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for p in due {
+            let li = p.line.index();
+            let order = basic_order(&self.priors);
+            let outcome = run_dispatch(
+                p.line,
+                &mut self.faults[li],
+                day,
+                &order,
+                p.ticket,
+                p.proactive,
+                &mut self.rng_dispatch,
+            );
+            if let Some(d) = outcome.note.disposition {
+                self.priors[d.0 as usize] += 1.0;
+            }
+            self.out.notes.push(outcome.note);
+            self.dispatch_scheduled[li] = false;
+        }
+    }
+
+    /// Saturday line tests across the whole plant.
+    fn run_line_tests(&mut self, day: u32) {
+        for li in 0..self.topology.lines.len() {
+            if self.churned[li] {
+                continue; // service disconnected: the test gets no answer
+            }
+            let line = &self.topology.lines[li];
+            let customer = &self.customers[li];
+            let used_today = self.usage_bits[li] & 1 == 1;
+
+            // Customer-side modem silence first.
+            let p_off = customer.modem_off_prob(day, used_today);
+            if self.rng_measure.random_bool(p_off) {
+                continue;
+            }
+
+            let raw_stress = self.outages.stress(line.dslam, day);
+            let stress = if self.outages.is_down(line.dslam, day) {
+                1.0
+            } else {
+                raw_stress * stress_susceptibility(line.id)
+            };
+            let effects = combine_effects(line, &self.faults[li], day, stress);
+            if !modem_answers(&effects, &mut self.rng_measure) {
+                continue;
+            }
+            let weekly_usage = f64::from(self.usage_bits[li].count_ones()) / 7.0;
+            let values = synthesize(line, &effects, weekly_usage, &mut self.rng_measure);
+            self.out.measurements.push(LineTest { line: line.id, day, values });
+        }
+    }
+
+    fn record_traffic(&mut self, li: usize, day: u32, active: bool) {
+        let line_id = LineId(li as u32);
+        if !self.out.traffic.covers(line_id) {
+            return;
+        }
+        let kb = if active {
+            self.rng_misc.random_range(200..8_000u32)
+        } else {
+            0
+        };
+        self.out.traffic.record(line_id, day, kb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_small(seed: u64) -> (SimConfig, SimOutput) {
+        let cfg = SimConfig::small(seed);
+        let out = World::generate(cfg.clone()).run();
+        (cfg, out)
+    }
+
+    #[test]
+    fn produces_all_record_types() {
+        let (_, out) = run_small(1);
+        assert!(!out.measurements.is_empty(), "no measurements");
+        assert!(out.customer_edge_tickets().count() > 0, "no customer-edge tickets");
+        assert!(!out.notes.is_empty(), "no disposition notes");
+        assert!(out.traffic.n_lines() > 0, "no traffic sample");
+    }
+
+    #[test]
+    fn measurements_only_on_saturdays() {
+        let (_, out) = run_small(2);
+        for m in &out.measurements {
+            assert!(DayOfWeek::of(m.day).is_test_day(), "measurement on day {}", m.day);
+        }
+    }
+
+    #[test]
+    fn weekly_measurement_coverage_is_high_but_incomplete() {
+        let (cfg, out) = run_small(3);
+        let n_saturdays = (0..cfg.days).filter(|&d| DayOfWeek::of(d).is_test_day()).count();
+        let expected_full = cfg.n_lines * n_saturdays;
+        let coverage = out.measurements.len() as f64 / expected_full as f64;
+        assert!(coverage > 0.5, "coverage {coverage}");
+        assert!(coverage < 0.999, "some records must be missing (modem off)");
+    }
+
+    #[test]
+    fn ticket_volume_is_operationally_plausible() {
+        let (cfg, out) = run_small(4);
+        let ce = out.customer_edge_tickets().count() as f64;
+        let weeks = cfg.days as f64 / 7.0;
+        let weekly_rate = ce / weeks / cfg.n_lines as f64;
+        // Roughly 0.1%–1.5% of lines ticket per week.
+        assert!(
+            (0.001..0.015).contains(&weekly_rate),
+            "weekly customer-edge ticket rate {weekly_rate}"
+        );
+    }
+
+    #[test]
+    fn tickets_peak_early_week() {
+        let (_, out) = run_small(5);
+        let mut by_dow = [0usize; 7];
+        for t in out.customer_edge_tickets() {
+            by_dow[(t.day % 7) as usize] += 1;
+        }
+        let monday = by_dow[1];
+        let saturday = by_dow[6];
+        let sunday = by_dow[0];
+        assert!(monday > saturday, "Mon {monday} vs Sat {saturday}");
+        assert!(monday > sunday, "Mon {monday} vs Sun {sunday}");
+    }
+
+    #[test]
+    fn dispatches_repair_faults() {
+        let (_, out) = run_small(6);
+        let found = out.notes.iter().filter(|n| n.disposition.is_some()).count();
+        assert!(found > 0, "no successful repairs");
+        // Reactive notes must reference tickets; remote fixes have 0 tests.
+        for n in &out.notes {
+            if !n.proactive {
+                assert!(n.ticket.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = run_small(7);
+        let (_, b) = run_small(7);
+        assert_eq!(a.measurements.len(), b.measurements.len());
+        assert_eq!(a.tickets.len(), b.tickets.len());
+        assert_eq!(a.notes.len(), b.notes.len());
+        for (x, y) in a.measurements.iter().zip(&b.measurements).take(500) {
+            assert_eq!(x.line, y.line);
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.values, y.values);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, a) = run_small(8);
+        let (_, b) = run_small(9);
+        assert_ne!(a.tickets.len(), b.tickets.len());
+    }
+
+    #[test]
+    fn outages_suppress_tickets_via_ivr() {
+        // Crank outage rate so the small world reliably sees several.
+        let mut cfg = SimConfig::small(10);
+        cfg.outages_per_dslam_year = 6.0;
+        let out = World::generate(cfg).run();
+        assert!(!out.outage_events.is_empty(), "no outages scheduled");
+        assert!(!out.ivr_calls.is_empty(), "IVR never engaged");
+        let outage_tickets = out
+            .tickets
+            .iter()
+            .filter(|t| t.category == TicketCategory::Outage)
+            .count();
+        assert!(outage_tickets > 0, "no outage tickets before IVR kicked in");
+    }
+
+    #[test]
+    fn proactive_dispatch_repairs_and_notes() {
+        let cfg = SimConfig::small(11);
+        let mut world = World::generate(cfg);
+        // Step until some line has a live fault, then dispatch proactively.
+        let mut target = None;
+        for _ in 0..120 {
+            world.step_day();
+            if target.is_none() {
+                let day = world.day();
+                if let Some(li) = (0..world.topology().lines.len()).find(|&li| {
+                    world.fault_history(LineId(li as u32)).iter().any(|f| f.active(day))
+                }) {
+                    target = Some(LineId(li as u32));
+                    world.schedule_proactive_dispatch(LineId(li as u32), 1);
+                }
+            }
+        }
+        let line = target.expect("a fault should appear within 120 days");
+        let out = world.output();
+        let note = out
+            .notes
+            .iter()
+            .find(|n| n.proactive && n.line == line)
+            .expect("proactive dispatch note");
+        assert!(note.disposition.is_some(), "proactive dispatch should find the fault");
+        assert!(note.ticket.is_none());
+    }
+
+    #[test]
+    fn unresolved_problems_cause_churn() {
+        let (_, out) = run_small(40);
+        assert!(
+            !out.churn_events.is_empty(),
+            "a year of operations should lose some customers"
+        );
+        // Churn must be rarer than tickets (it is the tail outcome).
+        assert!(out.churn_events.len() < out.customer_edge_tickets().count());
+    }
+
+    #[test]
+    fn churned_lines_go_quiet() {
+        let (_, out) = run_small(41);
+        let Some(churn) = out.churn_events.first().copied() else {
+            panic!("expected at least one churn event");
+        };
+        // No customer-edge tickets from that line after the churn day.
+        let later_tickets = out
+            .customer_edge_tickets()
+            .filter(|t| t.line == churn.line && t.day > churn.day)
+            .count();
+        assert_eq!(later_tickets, 0, "churned customer must stop calling");
+        // And no completed line tests after disconnection.
+        let later_tests = out
+            .measurements
+            .iter()
+            .filter(|m| m.line == churn.line && m.day > churn.day)
+            .count();
+        assert_eq!(later_tests, 0, "disconnected line must stop answering tests");
+    }
+
+    #[test]
+    fn traffic_sample_covers_configured_bras() {
+        let (cfg, out) = run_small(12);
+        assert!(out.traffic.n_lines() > 0);
+        // All covered lines belong to the first `traffic_bras_sample` BRASes.
+        let world = World::generate(SimConfig::small(12));
+        for &l in out.traffic.lines() {
+            assert!(world.topology().bras_of(l).index() < cfg.traffic_bras_sample);
+        }
+    }
+
+    #[test]
+    fn vacationing_customers_show_traffic_gaps() {
+        let cfg = SimConfig::small(13);
+        let world = World::generate(cfg.clone());
+        // Find a covered customer with a vacation inside the horizon.
+        let candidate = world
+            .customers()
+            .iter()
+            .find(|c| {
+                world.output().traffic.covers(c.line)
+                    && c.vacations.iter().any(|&(s, e)| e < cfg.days && s > 7)
+            })
+            .map(|c| (c.line, c.vacations.clone()));
+        let Some((line, vacations)) = candidate else {
+            // Statistically rare with small populations; nothing to assert.
+            return;
+        };
+        let out = world.run();
+        let (s, e) = vacations[0];
+        let total = out.traffic.total_in_window(line, s, e).expect("covered");
+        assert_eq!(total, 0, "traffic during vacation");
+    }
+}

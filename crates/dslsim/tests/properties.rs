@@ -1,0 +1,146 @@
+//! Property-based tests for the simulator's physical and fault models.
+
+use nevermind_dslsim::disposition::{DispositionId, N_DISPOSITIONS};
+use nevermind_dslsim::fault::{disposition_weights, signature_of, Fault};
+use nevermind_dslsim::ids::{CrossboxId, DslamId, LineId};
+use nevermind_dslsim::measurement::{LineMetric, N_METRICS};
+use nevermind_dslsim::physics::{
+    attainable_down_kbps, attainable_up_kbps, combine_effects, synthesize,
+};
+use nevermind_dslsim::profile::ServiceProfile;
+use nevermind_dslsim::topology::Line;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_profile() -> impl Strategy<Value = ServiceProfile> {
+    prop_oneof![
+        Just(ServiceProfile::Basic),
+        Just(ServiceProfile::Mid),
+        Just(ServiceProfile::Advanced),
+    ]
+}
+
+fn any_line() -> impl Strategy<Value = Line> {
+    (500.0f64..24_000.0, any_profile(), any::<bool>()).prop_map(|(ft, profile, bt)| Line {
+        id: LineId(0),
+        dslam: DslamId(0),
+        crossbox: CrossboxId(0),
+        loop_length_ft: ft,
+        profile,
+        has_bridge_tap: bt,
+    })
+}
+
+fn any_fault() -> impl Strategy<Value = Fault> {
+    (0u8..N_DISPOSITIONS as u8, 0u32..200, 0.0f64..30.0, 0.3f64..1.0).prop_map(
+        |(d, onset, ramp, cap)| Fault {
+            disposition: DispositionId(d),
+            onset_day: onset,
+            ramp_days: ramp,
+            severity_cap: cap,
+            repaired_day: None,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Severity is 0 before onset, bounded by the cap, non-decreasing while
+    /// the fault is unrepaired, and 0 after repair.
+    #[test]
+    fn fault_severity_is_well_behaved(mut fault in any_fault(), probe in 0u32..400) {
+        prop_assert_eq!(fault.severity(fault.onset_day.saturating_sub(1).min(fault.onset_day)), if fault.onset_day == 0 { fault.severity(0) } else { 0.0 });
+        let s = fault.severity(probe);
+        prop_assert!((0.0..=fault.severity_cap + 1e-12).contains(&s));
+        if probe >= fault.onset_day {
+            let s_next = fault.severity(probe + 1);
+            prop_assert!(s_next >= s - 1e-12, "severity must not decay before repair");
+        }
+        fault.repaired_day = Some(probe);
+        prop_assert_eq!(fault.severity(probe), 0.0);
+        prop_assert_eq!(fault.severity(probe + 100), 0.0);
+    }
+
+    /// Attainable-rate curves are positive and non-increasing in loop length.
+    #[test]
+    fn attainable_rates_monotone(a in 0.0f64..30_000.0, b in 0.0f64..30_000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(attainable_down_kbps(lo) >= attainable_down_kbps(hi));
+        prop_assert!(attainable_up_kbps(lo) >= attainable_up_kbps(hi));
+        prop_assert!(attainable_down_kbps(hi) > 0.0);
+        prop_assert!(attainable_up_kbps(hi) > 0.0);
+    }
+
+    /// Whatever the fault set and stress level, a completed test produces
+    /// 25 finite metrics with categorical metrics in {0, 1} and counters
+    /// non-negative.
+    #[test]
+    fn synthesized_tests_are_sane(
+        line in any_line(),
+        faults in prop::collection::vec(any_fault(), 0..3),
+        day in 0u32..300,
+        stress in 0.0f64..1.0,
+        usage in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let effects = combine_effects(&line, &faults, day, stress);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let v = synthesize(&line, &effects, usage, &mut rng);
+        prop_assert_eq!(v.len(), N_METRICS);
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert!(x.is_finite(), "metric {i} = {x}");
+        }
+        for m in [LineMetric::State, LineMetric::Bt, LineMetric::Crosstalk] {
+            let x = v[m.index()];
+            prop_assert!(x == 0.0 || x == 1.0, "{} = {x}", m.name());
+        }
+        for m in [
+            LineMetric::DnBr,
+            LineMetric::UpBr,
+            LineMetric::DnCvCnt1,
+            LineMetric::DnEsCnt1,
+            LineMetric::DnFecCnt1,
+            LineMetric::DnCells,
+            LineMetric::UpCells,
+            LineMetric::DnMaxAttainFbr,
+        ] {
+            prop_assert!(v[m.index()] >= 0.0, "{} negative", m.name());
+        }
+    }
+
+    /// Fault effects only ever degrade: any active fault weakly increases
+    /// error counters and weakly decreases the rate factor, relative to the
+    /// healthy line.
+    #[test]
+    fn faults_only_degrade(line in any_line(), fault in any_fault(), day in 0u32..400) {
+        let healthy = combine_effects(&line, &[], day, 0.0);
+        let faulty = combine_effects(&line, std::slice::from_ref(&fault), day, 0.0);
+        prop_assert!(faulty.rate_factor <= healthy.rate_factor + 1e-12);
+        prop_assert!(faulty.cv_mult >= healthy.cv_mult - 1e-12);
+        prop_assert!(faulty.es_mult >= healthy.es_mult - 1e-12);
+        prop_assert!(faulty.nmr_delta_db >= healthy.nmr_delta_db - 1e-12);
+        prop_assert!(faulty.no_answer_prob >= healthy.no_answer_prob - 1e-12);
+    }
+
+    /// Hazard weights are non-negative for every plant configuration, and
+    /// the total is positive (every line can fail somehow).
+    #[test]
+    fn hazard_weights_are_valid(line in any_line()) {
+        let w = disposition_weights(&line);
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        prop_assert!(w.iter().sum::<f64>() > 0.0);
+    }
+
+    /// Every disposition's signature keeps probabilities in [0, 1].
+    #[test]
+    fn signatures_have_valid_probabilities(d in 0u8..N_DISPOSITIONS as u8) {
+        let sig = signature_of(DispositionId(d));
+        prop_assert!((0.0..=1.0).contains(&sig.no_answer_prob));
+        prop_assert!((0.0..=1.0).contains(&sig.state_flap_prob));
+        prop_assert!(sig.rate_factor >= 0.0 && sig.rate_factor <= 1.0);
+        prop_assert!(sig.attain_factor > 0.0 && sig.attain_factor <= 1.0);
+        prop_assert!(sig.cells_factor >= 0.0 && sig.cells_factor <= 1.0);
+    }
+}

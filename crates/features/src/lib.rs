@@ -1,0 +1,35 @@
+//! # nevermind-features
+//!
+//! The Table-3 feature encoder: turns each line's sparse weekly measurement
+//! history into the feature vector the ticket predictor consumes.
+//!
+//! The paper defines three families (Sec. 4.2):
+//!
+//! * **history features** — *basic* (this Saturday's 25 metrics), *delta*
+//!   (change vs last week), and *time-series* (z-score vs the long-term
+//!   history);
+//! * **customer features** — *profile* (measured value ÷ the subscribed
+//!   profile's expectation), *ticket* (days since the most recent trouble
+//!   ticket), and *modem* (fraction of weekly tests the modem missed);
+//! * **derived features** — *quadratic* (squares) and *product* (pairwise
+//!   products) of the above, which let the linear BStump model capture
+//!   variances and interactions.
+//!
+//! Categorical metrics are binary already (`state`, `bt`, `crosstalk`), so
+//! the paper's binary expansion is the identity here; they are excluded
+//! from quadratic derivation (a 0/1 squared is itself).
+//!
+//! [`indexes`] holds the measurement/ticket lookup structures shared with
+//! the core crate, [`encode`] the encoder, [`registry`] the feature
+//! taxonomy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod indexes;
+pub mod registry;
+
+pub use encode::{BaseEncoder, EncodedDataset};
+pub use indexes::{MeasurementIndex, TicketIndex};
+pub use registry::{DerivedFeature, FeatureClass};

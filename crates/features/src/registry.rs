@@ -1,0 +1,112 @@
+//! Feature taxonomy: the Table-3 classes and derived-feature descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// The Table-3 feature classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureClass {
+    /// This Saturday's raw metric value (`l_i^K`).
+    Basic,
+    /// Change vs the previous week (`l_i^K − l_i^{K−1}`).
+    Delta,
+    /// Z-score vs the long-term history (`(l_i^K − l̄_i)/σ(l_i)`).
+    TimeSeries,
+    /// Measured value ÷ the profile expectation (`l_i^K / profile(l_i)`).
+    Profile,
+    /// Days since the most recent trouble ticket.
+    Ticket,
+    /// Fraction of weekly tests the modem missed.
+    Modem,
+    /// Square of a history/customer feature (`(l_i^t)²`).
+    Quadratic,
+    /// Product of two history/customer features (`l_i^t · l_j^t`).
+    Product,
+}
+
+impl FeatureClass {
+    /// Whether the class belongs to the paper's "history features" group.
+    pub fn is_history(self) -> bool {
+        matches!(self, FeatureClass::Basic | FeatureClass::Delta | FeatureClass::TimeSeries)
+    }
+
+    /// Whether the class belongs to the "customer features" group.
+    pub fn is_customer(self) -> bool {
+        matches!(self, FeatureClass::Profile | FeatureClass::Ticket | FeatureClass::Modem)
+    }
+
+    /// Whether the class is derived (Table 3 rows 7–8).
+    pub fn is_derived(self) -> bool {
+        matches!(self, FeatureClass::Quadratic | FeatureClass::Product)
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureClass::Basic => "basic",
+            FeatureClass::Delta => "delta",
+            FeatureClass::TimeSeries => "time-series",
+            FeatureClass::Profile => "profile",
+            FeatureClass::Ticket => "ticket",
+            FeatureClass::Modem => "modem",
+            FeatureClass::Quadratic => "quadratic",
+            FeatureClass::Product => "product",
+        }
+    }
+}
+
+/// A derived feature built from base (history + customer) columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DerivedFeature {
+    /// `base[col]²`.
+    Quadratic {
+        /// Base column index.
+        col: usize,
+    },
+    /// `base[a] · base[b]` with `a < b`.
+    Product {
+        /// First base column.
+        a: usize,
+        /// Second base column.
+        b: usize,
+    },
+}
+
+impl DerivedFeature {
+    /// The class of the derived feature.
+    pub fn class(self) -> FeatureClass {
+        match self {
+            DerivedFeature::Quadratic { .. } => FeatureClass::Quadratic,
+            DerivedFeature::Product { .. } => FeatureClass::Product,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_predicates_partition_classes() {
+        let all = [
+            FeatureClass::Basic,
+            FeatureClass::Delta,
+            FeatureClass::TimeSeries,
+            FeatureClass::Profile,
+            FeatureClass::Ticket,
+            FeatureClass::Modem,
+            FeatureClass::Quadratic,
+            FeatureClass::Product,
+        ];
+        for c in all {
+            let groups =
+                usize::from(c.is_history()) + usize::from(c.is_customer()) + usize::from(c.is_derived());
+            assert_eq!(groups, 1, "{} must belong to exactly one group", c.label());
+        }
+    }
+
+    #[test]
+    fn derived_descriptor_class() {
+        assert_eq!(DerivedFeature::Quadratic { col: 3 }.class(), FeatureClass::Quadratic);
+        assert_eq!(DerivedFeature::Product { a: 1, b: 2 }.class(), FeatureClass::Product);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the Table-3 encoder over synthetic
+//! measurement/ticket logs.
+
+use nevermind_dslsim::ids::{CrossboxId, DslamId, LineId};
+use nevermind_dslsim::measurement::{LineTest, N_METRICS};
+use nevermind_dslsim::profile::ServiceProfile;
+use nevermind_dslsim::ticket::{Ticket, TicketCategory};
+use nevermind_dslsim::topology::Line;
+use nevermind_features::encode::{BaseEncoder, EncoderConfig};
+use proptest::prelude::*;
+
+const N_LINES: usize = 6;
+
+fn lines() -> Vec<Line> {
+    (0..N_LINES as u32)
+        .map(|i| Line {
+            id: LineId(i),
+            dslam: DslamId(0),
+            crossbox: CrossboxId(0),
+            loop_length_ft: 3_000.0 + 2_000.0 * f64::from(i),
+            profile: ServiceProfile::ALL[i as usize % 3],
+            has_bridge_tap: i % 4 == 0,
+        })
+        .collect()
+}
+
+/// Random sparse measurement logs: each (line, week) pair may or may not
+/// have a test, with slowly varying values.
+fn measurements() -> impl Strategy<Value = Vec<LineTest>> {
+    prop::collection::vec(
+        (0u32..N_LINES as u32, 0u32..30, -10.0f32..10.0),
+        0..120,
+    )
+    .prop_map(|tuples| {
+        let mut seen = std::collections::HashSet::new();
+        tuples
+            .into_iter()
+            .filter(|(l, w, _)| seen.insert((*l, *w)))
+            .map(|(l, w, v)| LineTest {
+                line: LineId(l),
+                day: w * 7 + 6,
+                values: [v; N_METRICS],
+            })
+            .collect()
+    })
+}
+
+fn tickets() -> impl Strategy<Value = Vec<Ticket>> {
+    prop::collection::vec((0u32..N_LINES as u32, 0u32..220, any::<bool>()), 0..40).prop_map(
+        |v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (l, d, edge))| Ticket {
+                    id: i as u32,
+                    line: LineId(l),
+                    day: d,
+                    category: if edge {
+                        TicketCategory::CustomerEdge
+                    } else {
+                        TicketCategory::NonTechnical
+                    },
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The encoder never panics, always yields one row per (line, day),
+    /// finite-or-NaN values only, and deterministic output.
+    #[test]
+    fn encoder_is_total_and_deterministic(
+        meas in measurements(),
+        tkts in tickets(),
+        week in 4u32..28,
+    ) {
+        let lines = lines();
+        let day = week * 7 + 6;
+        let enc = BaseEncoder::new(&lines, &meas, &tkts, EncoderConfig::default());
+        let a = enc.encode(&[day]);
+        let b = enc.encode(&[day]);
+        prop_assert_eq!(a.data.len(), lines.len());
+        for r in 0..a.data.len() {
+            for c in 0..a.data.x.n_cols() {
+                let va = a.data.x.get(r, c);
+                let vb = b.data.x.get(r, c);
+                prop_assert!(va.is_nan() == vb.is_nan());
+                if !va.is_nan() {
+                    prop_assert_eq!(va, vb);
+                    prop_assert!(va.is_finite());
+                }
+            }
+            prop_assert_eq!(a.data.y[r], b.data.y[r]);
+        }
+    }
+
+    /// Labels depend only on customer-edge tickets strictly after the
+    /// prediction day within the horizon.
+    #[test]
+    fn labels_match_ticket_window(tkts in tickets(), week in 4u32..26) {
+        let lines = lines();
+        let day = week * 7 + 6;
+        let cfg = EncoderConfig::default();
+        let horizon = cfg.horizon_days;
+        let enc = BaseEncoder::new(&lines, &[], &tkts, cfg);
+        let ds = enc.encode(&[day]);
+        for (r, key) in ds.rows.iter().enumerate() {
+            let expected = tkts.iter().any(|t| {
+                t.line == key.line
+                    && t.category == TicketCategory::CustomerEdge
+                    && t.day > day
+                    && t.day <= day + horizon
+            });
+            prop_assert_eq!(ds.data.y[r], expected);
+        }
+    }
+
+    /// The modem-off fraction is a valid proportion and equals 1 for lines
+    /// with no measurements at all.
+    #[test]
+    fn modem_fraction_is_a_proportion(meas in measurements(), week in 6u32..28) {
+        let lines = lines();
+        let day = week * 7 + 6;
+        let enc = BaseEncoder::new(&lines, &meas, &[], EncoderConfig::default());
+        let ds = enc.encode(&[day]);
+        let modem_col = ds.data.x.n_cols() - 1;
+        for (r, key) in ds.rows.iter().enumerate() {
+            let v = ds.data.x.get(r, modem_col);
+            prop_assert!((0.0..=1.0).contains(&v), "modem fraction {v}");
+            let has_any = meas.iter().any(|m| m.line == key.line && m.day <= day);
+            if !has_any {
+                prop_assert_eq!(v, 1.0, "all tests missed must give fraction 1");
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Gaussian Naive Bayes — a second cheap baseline ranker for the model
+//! ablation (BStump vs linear vs NB vs deep tree).
+//!
+//! Per-class Gaussians per feature, fitted NaN-aware; at prediction time a
+//! missing feature simply contributes no likelihood term (the NB analogue
+//! of the stump's abstention). Variances are floored to keep degenerate
+//! features from dominating the log-odds.
+
+use crate::data::{Dataset, FeatureMatrix};
+use crate::stats::RunningMoments;
+use serde::{Deserialize, Serialize};
+
+/// A fitted Gaussian Naive Bayes model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianNb {
+    prior_log_odds: f64,
+    /// Per-feature (mean, variance) under the positive class.
+    pos: Vec<(f64, f64)>,
+    /// Per-feature (mean, variance) under the negative class.
+    neg: Vec<(f64, f64)>,
+}
+
+impl GaussianNb {
+    /// Fits class-conditional Gaussians.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or one without both classes.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let n_pos = data.n_positive();
+        let n_neg = data.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "need both classes to fit Naive Bayes");
+
+        let p = data.x.n_cols();
+        let mut pos_stats = vec![RunningMoments::new(); p];
+        let mut neg_stats = vec![RunningMoments::new(); p];
+        for r in 0..data.len() {
+            let row = data.x.row(r);
+            let stats = if data.y[r] { &mut pos_stats } else { &mut neg_stats };
+            for (c, stat) in stats.iter_mut().enumerate() {
+                stat.push(f64::from(row[c]));
+            }
+        }
+
+        // Variance floor: a pooled fraction of the overall spread keeps
+        // near-constant features from producing infinite log-likelihoods.
+        let moments = |stats: &[RunningMoments]| -> Vec<(f64, f64)> {
+            stats
+                .iter()
+                .map(|s| {
+                    let mean = if s.count() > 0 { s.mean() } else { 0.0 };
+                    let var = if s.count() > 1 { s.variance() } else { f64::NAN };
+                    (mean, var)
+                })
+                .collect()
+        };
+        let mut pos = moments(&pos_stats);
+        let mut neg = moments(&neg_stats);
+        for c in 0..p {
+            let pooled = match (pos[c].1.is_nan(), neg[c].1.is_nan()) {
+                (false, false) => (pos[c].1 + neg[c].1) / 2.0,
+                (false, true) => pos[c].1,
+                (true, false) => neg[c].1,
+                (true, true) => 1.0,
+            };
+            let floor = (pooled * 1e-3).max(1e-9);
+            pos[c].1 = if pos[c].1.is_nan() { pooled.max(floor) } else { pos[c].1.max(floor) };
+            neg[c].1 = if neg[c].1.is_nan() { pooled.max(floor) } else { neg[c].1.max(floor) };
+        }
+
+        Self {
+            prior_log_odds: (n_pos as f64 / n_neg as f64).ln(),
+            pos,
+            neg,
+        }
+    }
+
+    /// Log-odds `log P(y=1|x) − log P(y=0|x)` for one row; missing features
+    /// are skipped.
+    pub fn log_odds(&self, row: &[f32]) -> f64 {
+        let mut score = self.prior_log_odds;
+        for (c, &v) in row.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            let v = f64::from(v);
+            score += log_gauss(v, self.pos[c].0, self.pos[c].1)
+                - log_gauss(v, self.neg[c].0, self.neg[c].1);
+        }
+        score
+    }
+
+    /// Posterior probability via the logistic of the log-odds.
+    pub fn probability(&self, row: &[f32]) -> f64 {
+        crate::stats::sigmoid(self.log_odds(row))
+    }
+
+    /// Log-odds for every row of a matrix.
+    pub fn log_odds_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|r| self.log_odds(x.row(r))).collect()
+    }
+}
+
+fn log_gauss(x: f64, mean: f64, var: f64) -> f64 {
+    let d = x - mean;
+    -0.5 * (d * d / var) - 0.5 * var.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::FeatureMeta;
+    use crate::metrics::auc;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+        let u1: f64 = rng.random_range(1e-12..1.0);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn shifted_gaussians(n: usize, shift: f64, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let meta = vec![FeatureMeta::continuous("a"), FeatureMeta::continuous("b")];
+        let mut values = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.random_bool(0.3);
+            let mu = if y { shift } else { 0.0 };
+            values.push((mu + gauss(&mut rng)) as f32);
+            values.push(gauss(&mut rng) as f32);
+            labels.push(y);
+        }
+        Dataset::new(FeatureMatrix::new(n, meta, values), labels)
+    }
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let train = shifted_gaussians(4000, 2.0, 1);
+        let test = shifted_gaussians(2000, 2.0, 2);
+        let nb = GaussianNb::fit(&train);
+        let scores = nb.log_odds_batch(&test.x);
+        let a = auc(&scores, &test.y);
+        assert!(a > 0.9, "AUC {a}");
+    }
+
+    #[test]
+    fn prior_dominates_with_no_signal() {
+        let train = shifted_gaussians(4000, 0.0, 3);
+        let nb = GaussianNb::fit(&train);
+        // With identical class conditionals, the posterior stays near the
+        // base rate for typical rows.
+        let p = nb.probability(&[0.0, 0.0]);
+        assert!((p - 0.3).abs() < 0.1, "posterior {p}");
+    }
+
+    #[test]
+    fn missing_features_are_skipped() {
+        let train = shifted_gaussians(2000, 2.0, 4);
+        let nb = GaussianNb::fit(&train);
+        let with_signal = nb.log_odds(&[3.0, 0.0]);
+        let missing_signal = nb.log_odds(&[f32::NAN, 0.0]);
+        assert!(with_signal > missing_signal, "signal must move the score");
+        // All-missing row falls back to the prior.
+        let all_missing = nb.log_odds(&[f32::NAN, f32::NAN]);
+        assert!((all_missing - nb.prior_log_odds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let meta = vec![FeatureMeta::continuous("const"), FeatureMeta::continuous("sig")];
+        let n = 200;
+        let mut values = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            values.push(5.0f32);
+            values.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+            labels.push(i % 2 == 0);
+        }
+        let data = Dataset::new(FeatureMatrix::new(n, meta, values), labels);
+        let nb = GaussianNb::fit(&data);
+        let s = nb.log_odds(&[5.0, 1.0]);
+        assert!(s.is_finite());
+        assert!(nb.probability(&[5.0, 1.0]) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class() {
+        let meta = vec![FeatureMeta::continuous("f")];
+        let data = Dataset::new(FeatureMatrix::new(2, meta, vec![1.0, 2.0]), vec![true, true]);
+        let _ = GaussianNb::fit(&data);
+    }
+}

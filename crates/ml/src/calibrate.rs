@@ -1,0 +1,301 @@
+//! Platt scaling — the paper's "logistic calibration" step that converts
+//! boosting margins into posterior probabilities `P(Tkt(u)|x)`.
+//!
+//! Implementation follows Platt (1999) with the numerically robust Newton
+//! iteration of Lin, Lin & Weng (2007), including the prior-corrected target
+//! probabilities that keep the fit well-behaved on heavily imbalanced data —
+//! exactly the regime of ticket prediction, where positives are below 1%.
+
+use crate::stats::sigmoid;
+use serde::{Deserialize, Serialize};
+
+/// A fitted sigmoid map `p = σ(a·margin + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlattScale {
+    /// Slope applied to the margin.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScale {
+    /// Fits the sigmoid on `(margin, label)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn fit(margins: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(margins.len(), labels.len(), "margin/label mismatch");
+        assert!(!margins.is_empty(), "cannot calibrate on empty data");
+
+        let n_pos = labels.iter().filter(|&&y| y).count() as f64;
+        let n_neg = labels.len() as f64 - n_pos;
+        // Prior-corrected targets (Platt 1999, Sec. 2.2).
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels.iter().map(|&y| if y { t_pos } else { t_neg }).collect();
+
+        // Newton iterations on (a, b); start from the prior log-odds.
+        // (In this crate's parametrization p = σ(a·m + b), so the neutral
+        // starting point has σ(b) equal to the base rate.)
+        let mut a = 0.0f64;
+        let mut b = ((n_pos + 1.0) / (n_neg + 1.0)).ln();
+        const MAX_ITER: usize = 100;
+        const MIN_STEP: f64 = 1e-10;
+        const SIGMA: f64 = 1e-12; // Levenberg–Marquardt style damping
+
+        let nll = |a: f64, b: f64| -> f64 {
+            margins
+                .iter()
+                .zip(&targets)
+                .map(|(&m, &t)| {
+                    let z = a * m + b;
+                    // Stable cross-entropy: t*log(p) + (1-t)*log(1-p).
+                    let log_p = -softplus(-z);
+                    let log_1p = -softplus(z);
+                    -(t * log_p + (1.0 - t) * log_1p)
+                })
+                .sum()
+        };
+
+        let mut f_val = nll(a, b);
+        for _ in 0..MAX_ITER {
+            // Gradient and Hessian of the NLL.
+            let (mut g_a, mut g_b) = (0.0f64, 0.0f64);
+            let (mut h_aa, mut h_ab, mut h_bb) = (SIGMA, 0.0f64, SIGMA);
+            for (&m, &t) in margins.iter().zip(&targets) {
+                let p = sigmoid(a * m + b);
+                let d = p - t;
+                g_a += d * m;
+                g_b += d;
+                let w = p * (1.0 - p);
+                h_aa += w * m * m;
+                h_ab += w * m;
+                h_bb += w;
+            }
+            if g_a.abs() < 1e-9 && g_b.abs() < 1e-9 {
+                break;
+            }
+            let det = h_aa * h_bb - h_ab * h_ab;
+            let d_a = -(h_bb * g_a - h_ab * g_b) / det;
+            let d_b = -(h_aa * g_b - h_ab * g_a) / det;
+
+            // Backtracking line search.
+            let mut step = 1.0f64;
+            let mut improved = false;
+            while step >= MIN_STEP {
+                let (na, nb) = (a + step * d_a, b + step * d_b);
+                let nf = nll(na, nb);
+                if nf < f_val - 1e-12 {
+                    a = na;
+                    b = nb;
+                    f_val = nf;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        Self { a, b }
+    }
+
+    /// Maps a raw margin to a calibrated probability.
+    #[inline]
+    pub fn probability(&self, margin: f64) -> f64 {
+        sigmoid(self.a * margin + self.b)
+    }
+
+    /// Maps a batch of margins to probabilities.
+    pub fn probabilities(&self, margins: &[f64]) -> Vec<f64> {
+        margins.iter().map(|&m| self.probability(m)).collect()
+    }
+}
+
+/// One bin of a reliability (calibration) curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Mean predicted probability of the examples in the bin.
+    pub mean_predicted: f64,
+    /// Empirical positive rate of the examples in the bin.
+    pub empirical_rate: f64,
+    /// Number of examples in the bin.
+    pub count: usize,
+}
+
+/// Reliability curve: predictions bucketed into `n_bins` equal-width
+/// probability bins, comparing the mean prediction against the realized
+/// positive rate. A well-calibrated model tracks the diagonal.
+///
+/// Empty bins are omitted.
+pub fn reliability_curve(
+    probabilities: &[f64],
+    labels: &[bool],
+    n_bins: usize,
+) -> Vec<ReliabilityBin> {
+    assert_eq!(probabilities.len(), labels.len(), "probability/label mismatch");
+    assert!(n_bins >= 2, "need at least two bins");
+    let mut sums = vec![0.0f64; n_bins];
+    let mut hits = vec![0usize; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    for (&p, &y) in probabilities.iter().zip(labels) {
+        if p.is_nan() {
+            continue;
+        }
+        let b = ((p * n_bins as f64).floor() as usize).min(n_bins - 1);
+        sums[b] += p;
+        counts[b] += 1;
+        if y {
+            hits[b] += 1;
+        }
+    }
+    (0..n_bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| ReliabilityBin {
+            mean_predicted: sums[b] / counts[b] as f64,
+            empirical_rate: hits[b] as f64 / counts[b] as f64,
+            count: counts[b],
+        })
+        .collect()
+}
+
+/// `log(1 + exp(x))` computed without overflow.
+#[inline]
+fn softplus(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Margins drawn so that `P(y=1|m) = σ(2m - 1)`; Platt should recover
+    /// roughly (a, b) ≈ (2, -1).
+    fn synthetic(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut margins = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m: f64 = rng.random_range(-3.0..3.0);
+            let p = sigmoid(2.0 * m - 1.0);
+            margins.push(m);
+            labels.push(rng.random_bool(p));
+        }
+        (margins, labels)
+    }
+
+    #[test]
+    fn recovers_generating_sigmoid() {
+        let (m, y) = synthetic(20_000, 1);
+        let platt = PlattScale::fit(&m, &y);
+        assert!((platt.a - 2.0).abs() < 0.15, "a = {}", platt.a);
+        assert!((platt.b + 1.0).abs() < 0.15, "b = {}", platt.b);
+    }
+
+    #[test]
+    fn probabilities_monotone_in_margin() {
+        let (m, y) = synthetic(5000, 2);
+        let platt = PlattScale::fit(&m, &y);
+        assert!(platt.a > 0.0, "positive slope expected");
+        let lo = platt.probability(-1.0);
+        let hi = platt.probability(1.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn calibrated_probabilities_are_in_range() {
+        let (m, y) = synthetic(1000, 3);
+        let platt = PlattScale::fit(&m, &y);
+        for &margin in &m {
+            let p = platt.probability(margin);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn handles_imbalanced_data() {
+        // 1% positives, like the ticket-prediction base rate.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut margins = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..10_000 {
+            let y = rng.random_bool(0.01);
+            let m: f64 = if y { rng.random_range(0.0..2.0) } else { rng.random_range(-2.0..0.5) };
+            margins.push(m);
+            labels.push(y);
+        }
+        let platt = PlattScale::fit(&margins, &labels);
+        // Average predicted probability should be near the base rate.
+        let avg: f64 =
+            margins.iter().map(|&m| platt.probability(m)).sum::<f64>() / margins.len() as f64;
+        assert!((avg - 0.01).abs() < 0.01, "avg calibrated prob {avg}");
+    }
+
+    #[test]
+    fn handles_degenerate_single_class() {
+        // All negatives: the fit must not diverge and must emit low probs.
+        let margins = vec![-1.0, 0.0, 1.0, 2.0];
+        let labels = vec![false; 4];
+        let platt = PlattScale::fit(&margins, &labels);
+        for &m in &margins {
+            assert!(platt.probability(m) < 0.5);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let (m, y) = synthetic(200, 5);
+        let platt = PlattScale::fit(&m, &y);
+        let batch = platt.probabilities(&m);
+        for (i, &margin) in m.iter().enumerate() {
+            assert_eq!(batch[i], platt.probability(margin));
+        }
+    }
+
+    #[test]
+    fn reliability_curve_tracks_a_calibrated_model() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..20_000 {
+            let p: f64 = rng.random();
+            probs.push(p);
+            labels.push(rng.random_bool(p));
+        }
+        let bins = reliability_curve(&probs, &labels, 10);
+        assert!(bins.len() == 10);
+        for b in &bins {
+            assert!(
+                (b.mean_predicted - b.empirical_rate).abs() < 0.05,
+                "bin off the diagonal: {b:?}"
+            );
+        }
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn reliability_curve_flags_overconfidence() {
+        // A model that says 0.9 when the truth is 0.5 lands far off-diagonal.
+        let probs = vec![0.9; 1000];
+        let labels: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let bins = reliability_curve(&probs, &labels, 10);
+        assert_eq!(bins.len(), 1);
+        assert!((bins[0].mean_predicted - 0.9).abs() < 1e-9);
+        assert!((bins[0].empirical_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_input() {
+        let _ = PlattScale::fit(&[], &[]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Entropy-based feature criteria: information gain and gain ratio —
+//! the last of the Table-4 baseline feature-selection methods ("the total
+//! entropy decrease of the result attribute by knowing one particular
+//! feature").
+//!
+//! Continuous features are discretized into quantile bins; missing values
+//! get their own bin (they may well be informative — a modem that is off
+//! during the line test is itself a signal).
+
+use crate::stats::xlogx;
+
+/// Binary (Shannon) entropy of a label slice, in nats.
+pub fn label_entropy(labels: &[bool]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let n = labels.len() as f64;
+    let pos = labels.iter().filter(|&&y| y).count() as f64;
+    entropy2(pos / n)
+}
+
+fn entropy2(p: f64) -> f64 {
+    -(xlogx(p) + xlogx(1.0 - p))
+}
+
+/// Discretizes a column into `n_bins` quantile bins; missing (`NaN`) values
+/// map to bin `n_bins` (an extra bucket). Returns per-row bin ids and the
+/// number of buckets actually used (including the missing bucket if hit).
+pub fn quantile_bins(values: &[f64], n_bins: usize) -> (Vec<usize>, usize) {
+    assert!(n_bins >= 2, "need at least two bins");
+    let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+
+    // Quantile edges, deduplicated.
+    let mut edges: Vec<f64> = Vec::new();
+    if !present.is_empty() {
+        for b in 1..n_bins {
+            let pos = (b * present.len()) / n_bins;
+            let e = present[pos.min(present.len() - 1)];
+            if edges.last().map_or(true, |&last| e > last) {
+                edges.push(e);
+            }
+        }
+    }
+    let missing_bucket = edges.len() + 1;
+    let ids: Vec<usize> = values
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                missing_bucket
+            } else {
+                edges.partition_point(|&e| e <= v)
+            }
+        })
+        .collect();
+    let used = ids.iter().copied().max().map_or(1, |m| m + 1);
+    (ids, used)
+}
+
+/// Information gain of the label from a pre-binned feature.
+pub fn information_gain_binned(bins: &[usize], n_buckets: usize, labels: &[bool]) -> f64 {
+    assert_eq!(bins.len(), labels.len(), "bin/label mismatch");
+    if bins.is_empty() {
+        return 0.0;
+    }
+    let n = bins.len() as f64;
+    let mut count = vec![0f64; n_buckets];
+    let mut pos = vec![0f64; n_buckets];
+    for (&b, &y) in bins.iter().zip(labels) {
+        count[b] += 1.0;
+        if y {
+            pos[b] += 1.0;
+        }
+    }
+    let h = label_entropy(labels);
+    let mut cond = 0.0f64;
+    for b in 0..n_buckets {
+        if count[b] > 0.0 {
+            cond += (count[b] / n) * entropy2(pos[b] / count[b]);
+        }
+    }
+    (h - cond).max(0.0)
+}
+
+/// Split information (entropy of the bin distribution itself).
+pub fn split_information(bins: &[usize], n_buckets: usize) -> f64 {
+    if bins.is_empty() {
+        return 0.0;
+    }
+    let n = bins.len() as f64;
+    let mut count = vec![0f64; n_buckets];
+    for &b in bins {
+        count[b] += 1.0;
+    }
+    -count.iter().map(|&c| xlogx(c / n)).sum::<f64>()
+}
+
+/// Gain ratio of a continuous feature for a binary label:
+/// `IG(feature; label) / SplitInfo(feature)` after quantile binning.
+///
+/// Returns 0 for constant features (no split information).
+pub fn gain_ratio(values: &[f64], labels: &[bool], n_bins: usize) -> f64 {
+    assert_eq!(values.len(), labels.len(), "value/label mismatch");
+    let (bins, buckets) = quantile_bins(values, n_bins);
+    let si = split_information(&bins, buckets);
+    if si <= 1e-12 {
+        return 0.0;
+    }
+    information_gain_binned(&bins, buckets, labels) / si
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(label_entropy(&[true, true, true]), 0.0);
+        assert_eq!(label_entropy(&[false, false]), 0.0);
+        let h = label_entropy(&[true, false]);
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_bins_partition_range() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (bins, used) = quantile_bins(&vals, 4);
+        assert!(used >= 4, "expected ~4 buckets, got {used}");
+        // Monotone: higher values get same-or-higher bins.
+        for w in bins.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn quantile_bins_missing_bucket() {
+        let vals = vec![1.0, f64::NAN, 2.0, 3.0];
+        let (bins, used) = quantile_bins(&vals, 2);
+        let missing_bucket = bins[1];
+        assert_eq!(bins.iter().filter(|&&b| b == missing_bucket).count(), 1);
+        assert!(used > 2);
+    }
+
+    #[test]
+    fn perfect_feature_has_max_gain() {
+        let vals: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 10.0 }).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let (bins, used) = quantile_bins(&vals, 4);
+        let ig = information_gain_binned(&bins, used, &labels);
+        assert!((ig - std::f64::consts::LN_2).abs() < 1e-9, "ig = {ig}");
+    }
+
+    #[test]
+    fn useless_feature_has_no_gain() {
+        let vals: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let labels: Vec<bool> = (0..100).map(|i| (i / 2) % 2 == 0).collect();
+        let (bins, used) = quantile_bins(&vals, 4);
+        let ig = information_gain_binned(&bins, used, &labels);
+        assert!(ig < 1e-9, "ig = {ig}");
+    }
+
+    #[test]
+    fn gain_ratio_orders_signal_over_noise() {
+        let n = 400;
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let signal: Vec<f64> = labels.iter().map(|&y| if y { 1.0 } else { 0.0 }).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i as u64 * 2654435761) % 97) as f64).collect();
+        assert!(gain_ratio(&signal, &labels, 8) > gain_ratio(&noise, &labels, 8));
+    }
+
+    #[test]
+    fn gain_ratio_zero_for_constant() {
+        let vals = vec![1.0; 50];
+        let labels: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        assert_eq!(gain_ratio(&vals, &labels, 8), 0.0);
+    }
+
+    #[test]
+    fn gain_ratio_penalizes_high_cardinality() {
+        // Both features fully determine the label here, but the many-valued
+        // one has larger split info, hence smaller ratio.
+        let n = 64;
+        let labels: Vec<bool> = (0..n).map(|i| i < n / 2).collect();
+        let binaryish: Vec<f64> = labels.iter().map(|&y| f64::from(y)).collect();
+        let manyvalued: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let g_bin = gain_ratio(&binaryish, &labels, 32);
+        let g_many = gain_ratio(&manyvalued, &labels, 32);
+        assert!(g_bin > g_many, "g_bin={g_bin} g_many={g_many}");
+    }
+
+    #[test]
+    fn split_information_uniform_bins() {
+        let bins = vec![0, 1, 2, 3];
+        let si = split_information(&bins, 4);
+        assert!((si - (4.0f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! Small dense linear algebra: just enough for IRLS logistic regression
+//! (symmetric solves) and PCA (covariance + power iteration).
+//!
+//! These are textbook routines for *small* systems (tens of unknowns — the
+//! logistic models here have at most a handful of covariates and PCA runs on
+//! the ~80-column history-feature covariance), so simplicity and numerical
+//! hygiene beat asymptotic cleverness.
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add_assign(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            let d = a[col * n + col];
+            for r in col + 1..n {
+                let factor = a[r * n + col] / d;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut v = x[col];
+            for c in col + 1..n {
+                v -= a[col * n + c] * x[c];
+            }
+            x[col] = v / a[col * n + col];
+        }
+        Some(x)
+    }
+
+    /// Inverse via repeated solves against identity columns. Returns `None`
+    /// if singular. Intended for the small Hessians of IRLS (standard
+    /// errors need the full inverse).
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for (r, v) in x.into_iter().enumerate() {
+                inv.set(r, col, v);
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// Dominant eigenpair of a symmetric matrix by power iteration.
+///
+/// `start` seeds the iteration deterministically (callers pass a fixed
+/// pattern). Returns `(eigenvalue, unit eigenvector)`.
+pub fn power_iteration(a: &Matrix, start: &[f64], max_iter: usize, tol: f64) -> (f64, Vec<f64>) {
+    assert_eq!(a.rows(), a.cols(), "power iteration requires a square matrix");
+    assert_eq!(start.len(), a.cols(), "start vector length mismatch");
+    let mut v = start.to_vec();
+    normalize(&mut v);
+    let mut lambda = 0.0f64;
+    for _ in 0..max_iter {
+        let mut w = a.mul_vec(&v);
+        let norm = normalize(&mut w);
+        if norm == 0.0 {
+            return (0.0, v);
+        }
+        let new_lambda: f64 = dot(&w, &a.mul_vec(&w));
+        let delta: f64 = v.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
+        let delta_flip: f64 = v.iter().zip(&w).map(|(a, b)| (a + b).abs()).sum();
+        v = w;
+        lambda = new_lambda;
+        if delta.min(delta_flip) < tol {
+            break;
+        }
+    }
+    (lambda, v)
+}
+
+/// Removes an eigencomponent: `A ← A − λ v vᵀ` (Hotelling deflation).
+pub fn deflate(a: &mut Matrix, lambda: f64, v: &[f64]) {
+    let n = a.rows();
+    assert_eq!(v.len(), n, "eigenvector length mismatch");
+    for r in 0..n {
+        for c in 0..n {
+            let delta = lambda * v[r] * v[c];
+            a.set(r, c, a.get(r, c) - delta);
+        }
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Normalizes a vector in place; returns its original L2 norm.
+pub fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5]
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[3.0, 5.0]).expect("nonsingular");
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 3.0]).expect("nonsingular");
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(2, 2, vec![4.0, 7.0, 2.0, 6.0]);
+        let inv = a.inverse().expect("nonsingular");
+        // A * A^-1 ≈ I
+        for r in 0..2 {
+            for c in 0..2 {
+                let v: f64 = (0..2).map(|k| a.get(r, k) * inv.get(k, c)).sum();
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_basic() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]);
+        let out = a.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(out, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenpair() {
+        // Symmetric with eigenvalues 3 and 1, dominant eigenvector (1,1)/√2.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (lambda, v) = power_iteration(&a, &[1.0, 0.3], 500, 1e-12);
+        assert!((lambda - 3.0).abs() < 1e-6, "lambda = {lambda}");
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-5);
+        assert!((v[1].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deflation_reveals_second_eigenpair() {
+        let mut a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (l1, v1) = power_iteration(&a, &[1.0, 0.3], 500, 1e-12);
+        deflate(&mut a, l1, &v1);
+        let (l2, v2) = power_iteration(&a, &[1.0, 0.3], 500, 1e-12);
+        assert!((l2 - 1.0).abs() < 1e-5, "second eigenvalue = {l2}");
+        // Second eigenvector of this matrix is (1,-1)/√2.
+        assert!((v2[0] + v2[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = Matrix::identity(3);
+        let v = vec![1.0, -2.0, 0.5];
+        assert_eq!(i.mul_vec(&v), v);
+    }
+}

@@ -1,0 +1,294 @@
+//! Logistic regression with Wald inference.
+//!
+//! Two places in the paper need a logistic regression rather than boosting:
+//!
+//! 1. the **combined trouble-locator model** (Eq. 2) that fuses a
+//!    disposition classifier with its parent major-location classifier —
+//!    two covariates plus an intercept;
+//! 2. the **Table-5 outage analysis**, a regression of per-DSLAM prediction
+//!    counts onto future outage indicators, where the paper reports the
+//!    coefficient *and its p-value*.
+//!
+//! The fit is iteratively reweighted least squares (Newton–Raphson on the
+//! log-likelihood) with a small ridge term for stability on separable data;
+//! standard errors come from the inverse Hessian at the optimum, giving the
+//! usual Wald z-statistics and two-sided p-values.
+
+use crate::linalg::Matrix;
+use crate::stats::{sigmoid, two_sided_p};
+use serde::{Deserialize, Serialize};
+
+/// `log(1 + exp(x))` computed without overflow.
+#[inline]
+fn softplus(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Configuration for [`LogisticRegression::fit`].
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Maximum IRLS iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the max absolute coefficient change.
+    pub tol: f64,
+    /// Ridge penalty added to the Hessian diagonal (not the intercept's
+    /// standard-error story of a real penalized fit — just enough to keep
+    /// separable data from diverging).
+    pub ridge: f64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self { max_iter: 100, tol: 1e-8, ridge: 1e-4 }
+    }
+}
+
+/// A fitted logistic model `P(y=1|x) = σ(β₀ + βᵀx)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticModel {
+    /// Intercept β₀.
+    pub intercept: f64,
+    /// Covariate coefficients β.
+    pub coefficients: Vec<f64>,
+    /// Standard error of the intercept.
+    pub intercept_std_err: f64,
+    /// Standard errors of the coefficients.
+    pub std_errors: Vec<f64>,
+    /// Number of IRLS iterations performed.
+    pub iterations: usize,
+    /// Whether the fit converged within tolerance.
+    pub converged: bool,
+}
+
+impl LogisticModel {
+    /// Predicted probability for one covariate vector.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "covariate count mismatch");
+        let z = self.intercept
+            + self.coefficients.iter().zip(x).map(|(b, v)| b * v).sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Wald z-statistic for coefficient `i`.
+    pub fn z_statistic(&self, i: usize) -> f64 {
+        self.coefficients[i] / self.std_errors[i]
+    }
+
+    /// Two-sided Wald p-value for coefficient `i`.
+    pub fn p_value(&self, i: usize) -> f64 {
+        two_sided_p(self.z_statistic(i))
+    }
+}
+
+impl LogisticRegression {
+    /// Fits the model on rows `x[i]` with labels `y[i]`.
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged rows, or a label/row mismatch.
+    pub fn fit(&self, x: &[Vec<f64>], y: &[bool]) -> LogisticModel {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        assert_eq!(x.len(), y.len(), "label/row mismatch");
+        let p = x[0].len();
+        assert!(x.iter().all(|r| r.len() == p), "ragged covariate rows");
+        let n = x.len();
+        let dim = p + 1; // intercept first
+
+        let mut beta = vec![0.0f64; dim];
+        // Warm-start the intercept at the empirical log-odds.
+        let n_pos = y.iter().filter(|&&v| v).count() as f64;
+        let n_neg = n as f64 - n_pos;
+        beta[0] = ((n_pos + 0.5) / (n_neg + 0.5)).ln();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut hessian = Matrix::zeros(dim, dim);
+        while iterations < self.max_iter {
+            iterations += 1;
+            // Gradient of the log-likelihood and (negative) Hessian.
+            let mut grad = vec![0.0f64; dim];
+            hessian = Matrix::zeros(dim, dim);
+            for i in 0..dim {
+                hessian.set(i, i, self.ridge);
+            }
+            for (row, &label) in x.iter().zip(y) {
+                let z = beta[0] + row.iter().zip(&beta[1..]).map(|(v, b)| v * b).sum::<f64>();
+                let mu = sigmoid(z);
+                let resid = f64::from(label) - mu;
+                let w = (mu * (1.0 - mu)).max(1e-12);
+                grad[0] += resid;
+                for (j, &v) in row.iter().enumerate() {
+                    grad[j + 1] += resid * v;
+                }
+                // Hessian (of the NLL) entries H = Σ w · x xᵀ with x₀ = 1.
+                hessian.add_assign(0, 0, w);
+                for (j, &vj) in row.iter().enumerate() {
+                    hessian.add_assign(0, j + 1, w * vj);
+                    hessian.add_assign(j + 1, 0, w * vj);
+                    for (k, &vk) in row.iter().enumerate() {
+                        hessian.add_assign(j + 1, k + 1, w * vj * vk);
+                    }
+                }
+            }
+            let Some(step) = hessian.solve(&grad) else { break };
+
+            // Backtracking line search on the penalized log-likelihood:
+            // plain Newton steps explode under (quasi-)separation, which the
+            // Table-5 regression can hit when prediction counts concentrate
+            // at failing DSLAMs.
+            let ll = |beta: &[f64]| -> f64 {
+                let mut ll = 0.0;
+                for (row, &label) in x.iter().zip(y) {
+                    let z = beta[0]
+                        + row.iter().zip(&beta[1..]).map(|(v, b)| v * b).sum::<f64>();
+                    ll += if label { -softplus(-z) } else { -softplus(z) };
+                }
+                ll - 0.5 * self.ridge * beta.iter().map(|b| b * b).sum::<f64>()
+            };
+            let current_ll = ll(&beta);
+            let mut scale = 1.0f64;
+            let mut accepted = false;
+            let mut max_change = 0.0f64;
+            for _ in 0..30 {
+                let candidate: Vec<f64> =
+                    beta.iter().zip(&step).map(|(b, s)| b + scale * s).collect();
+                if ll(&candidate) >= current_ll - 1e-12 {
+                    max_change = step.iter().fold(0.0f64, |m, s| m.max((scale * s).abs()));
+                    beta = candidate;
+                    accepted = true;
+                    break;
+                }
+                scale *= 0.5;
+            }
+            if !accepted {
+                converged = true; // cannot improve further
+                break;
+            }
+            if max_change < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Standard errors from the inverse Hessian at the optimum.
+        let (intercept_se, ses) = match hessian.inverse() {
+            Some(cov) => {
+                let se0 = cov.get(0, 0).max(0.0).sqrt();
+                let ses = (1..dim).map(|i| cov.get(i, i).max(0.0).sqrt()).collect();
+                (se0, ses)
+            }
+            None => (f64::NAN, vec![f64::NAN; p]),
+        };
+
+        LogisticModel {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+            intercept_std_err: intercept_se,
+            std_errors: ses,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn simulate(n: usize, beta0: f64, beta: &[f64], seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row: Vec<f64> = beta.iter().map(|_| rng.random_range(-2.0..2.0)).collect();
+            let z = beta0 + row.iter().zip(beta).map(|(x, b)| x * b).sum::<f64>();
+            ys.push(rng.random_bool(sigmoid(z)));
+            xs.push(row);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_coefficients() {
+        let (x, y) = simulate(20_000, -0.5, &[1.5, -2.0], 1);
+        let model = LogisticRegression::default().fit(&x, &y);
+        assert!(model.converged);
+        assert!((model.intercept + 0.5).abs() < 0.1, "b0 = {}", model.intercept);
+        assert!((model.coefficients[0] - 1.5).abs() < 0.1);
+        assert!((model.coefficients[1] + 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn true_effect_is_significant_null_is_not() {
+        // x0 has a real effect, x1 is pure noise.
+        let (x, y) = simulate(8000, 0.0, &[1.0, 0.0], 2);
+        let model = LogisticRegression::default().fit(&x, &y);
+        assert!(model.p_value(0) < 1e-6, "p0 = {}", model.p_value(0));
+        assert!(model.p_value(1) > 0.01, "p1 = {}", model.p_value(1));
+    }
+
+    #[test]
+    fn intercept_only_matches_base_rate() {
+        let x: Vec<Vec<f64>> = (0..1000).map(|_| vec![]).collect();
+        let y: Vec<bool> = (0..1000).map(|i| i % 4 == 0).collect();
+        let model = LogisticRegression::default().fit(&x, &y);
+        let p = sigmoid(model.intercept);
+        assert!((p - 0.25).abs() < 0.01, "base-rate prob = {p}");
+    }
+
+    #[test]
+    fn probability_uses_all_terms() {
+        let model = LogisticModel {
+            intercept: 0.5,
+            coefficients: vec![1.0, -1.0],
+            intercept_std_err: 0.0,
+            std_errors: vec![0.0, 0.0],
+            iterations: 0,
+            converged: true,
+        };
+        let p = model.probability(&[2.0, 1.0]);
+        assert!((p - sigmoid(0.5 + 2.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separable_data_does_not_diverge() {
+        // Perfectly separable: ridge keeps coefficients finite.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![if i < 50 { -1.0 } else { 1.0 }]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let model = LogisticRegression::default().fit(&x, &y);
+        assert!(model.coefficients[0].is_finite());
+        assert!(model.coefficients[0] > 0.0);
+        assert!(model.probability(&[1.0]) > 0.9);
+        assert!(model.probability(&[-1.0]) < 0.1);
+    }
+
+    #[test]
+    fn positive_correlation_detected_like_table5() {
+        // Mimic the Table-5 setup: outcome = future outage, covariate =
+        // number of top-B predictions from that DSLAM. Higher counts →
+        // higher outage odds.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..3000 {
+            let count: f64 = rng.random_range(0.0..30.0);
+            let p = sigmoid(-2.0 + 0.08 * count);
+            x.push(vec![count]);
+            y.push(rng.random_bool(p));
+        }
+        let model = LogisticRegression::default().fit(&x, &y);
+        assert!(model.coefficients[0] > 0.0, "coef = {}", model.coefficients[0]);
+        assert!(model.p_value(0) < 0.05, "p = {}", model.p_value(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = LogisticRegression::default().fit(&[], &[]);
+    }
+}

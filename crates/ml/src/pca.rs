@@ -1,0 +1,214 @@
+//! Principal component analysis over standardized features — one of the
+//! Table-4 baseline feature-selection criteria ("top principal components").
+//!
+//! Columns are z-scored (NaN-aware), the covariance matrix is formed over
+//! pairwise-present entries, and the leading eigenpairs are extracted by
+//! power iteration with Hotelling deflation. A feature's selection score is
+//! its largest eigenvalue-weighted loading magnitude across the retained
+//! components, which is the usual way to turn component loadings into a
+//! per-feature ranking.
+
+use crate::data::FeatureMatrix;
+use crate::linalg::{deflate, power_iteration, Matrix};
+use crate::stats::RunningMoments;
+
+/// Result of a PCA decomposition.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Eigenvalues of the retained components, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Unit-norm component loadings, one `Vec` per component.
+    pub components: Vec<Vec<f64>>,
+}
+
+impl Pca {
+    /// Runs PCA on the standardized columns of `x`, retaining
+    /// `n_components` components.
+    ///
+    /// Columns that are constant or entirely missing get zero loadings.
+    pub fn fit(x: &FeatureMatrix, n_components: usize) -> Self {
+        let p = x.n_cols();
+        let n_components = n_components.min(p);
+
+        // Column means and standard deviations (NaN-aware).
+        let mut stats = vec![RunningMoments::new(); p];
+        for r in 0..x.n_rows() {
+            let row = x.row(r);
+            for (c, stat) in stats.iter_mut().enumerate() {
+                stat.push(f64::from(row[c]));
+            }
+        }
+        let means: Vec<f64> = stats.iter().map(|s| s.mean()).collect();
+        let sds: Vec<f64> =
+            stats.iter().map(|s| if s.std_dev() > 1e-12 { s.std_dev() } else { 0.0 }).collect();
+
+        // Covariance of standardized columns over pairwise-present rows.
+        let mut cov = Matrix::zeros(p, p);
+        let mut counts = Matrix::zeros(p, p);
+        for r in 0..x.n_rows() {
+            let row = x.row(r);
+            for i in 0..p {
+                let vi = f64::from(row[i]);
+                if vi.is_nan() || sds[i] == 0.0 {
+                    continue;
+                }
+                let zi = (vi - means[i]) / sds[i];
+                for j in i..p {
+                    let vj = f64::from(row[j]);
+                    if vj.is_nan() || sds[j] == 0.0 {
+                        continue;
+                    }
+                    let zj = (vj - means[j]) / sds[j];
+                    cov.add_assign(i, j, zi * zj);
+                    counts.add_assign(i, j, 1.0);
+                }
+            }
+        }
+        for i in 0..p {
+            for j in i..p {
+                let c = counts.get(i, j);
+                let v = if c > 0.0 { cov.get(i, j) / c } else { 0.0 };
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+
+        // Leading eigenpairs by power iteration + deflation. The start
+        // vector is a fixed deterministic pattern that is extremely unlikely
+        // to be orthogonal to the dominant eigenvector.
+        let mut eigenvalues = Vec::with_capacity(n_components);
+        let mut components = Vec::with_capacity(n_components);
+        let start: Vec<f64> = (0..p).map(|i| 1.0 + (i as f64 * 0.7369).sin() * 0.5).collect();
+        for _ in 0..n_components {
+            let (lambda, v) = power_iteration(&cov, &start, 1000, 1e-10);
+            if lambda <= 1e-10 {
+                break;
+            }
+            deflate(&mut cov, lambda, &v);
+            eigenvalues.push(lambda);
+            components.push(v);
+        }
+
+        Self { eigenvalues, components }
+    }
+
+    /// Per-feature selection score: the maximum `eigenvalue·|loading|`
+    /// across retained components.
+    pub fn feature_scores(&self, n_features: usize) -> Vec<f64> {
+        let mut scores = vec![0.0f64; n_features];
+        for (lambda, comp) in self.eigenvalues.iter().zip(&self.components) {
+            for (f, &loading) in comp.iter().enumerate() {
+                let s = lambda * loading.abs();
+                if s > scores[f] {
+                    scores[f] = s;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Fraction of total variance explained by the retained components,
+    /// assuming standardized columns (total variance = #features).
+    pub fn explained_variance_ratio(&self, n_features: usize) -> f64 {
+        if n_features == 0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().sum::<f64>() / n_features as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::FeatureMeta;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Three columns: two highly correlated (shared latent factor), one
+    /// independent noise.
+    fn correlated_matrix(n: usize, seed: u64) -> FeatureMatrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let meta = vec![
+            FeatureMeta::continuous("a"),
+            FeatureMeta::continuous("b"),
+            FeatureMeta::continuous("noise"),
+        ];
+        let mut values = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            let latent: f32 = rng.random_range(-1.0..1.0);
+            values.push(latent + rng.random_range(-0.05..0.05));
+            values.push(-latent + rng.random_range(-0.05..0.05));
+            values.push(rng.random_range(-1.0..1.0));
+        }
+        FeatureMatrix::new(n, meta, values)
+    }
+
+    #[test]
+    fn dominant_component_captures_correlation() {
+        let x = correlated_matrix(5000, 1);
+        let pca = Pca::fit(&x, 2);
+        assert!(pca.eigenvalues[0] > pca.eigenvalues[1]);
+        // First component should load on columns 0 and 1 with opposite signs
+        // and barely on the noise column.
+        let c0 = &pca.components[0];
+        assert!(c0[0].abs() > 0.5 && c0[1].abs() > 0.5);
+        assert!(c0[2].abs() < 0.2, "noise loading {}", c0[2]);
+        assert!(c0[0] * c0[1] < 0.0, "anticorrelated pair should have opposite loadings");
+    }
+
+    #[test]
+    fn eigenvalues_descend_and_sum_to_trace() {
+        let x = correlated_matrix(3000, 2);
+        let pca = Pca::fit(&x, 3);
+        for w in pca.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        // Standardized 3-column matrix has trace 3.
+        let total: f64 = pca.eigenvalues.iter().sum();
+        assert!((total - 3.0).abs() < 0.05, "total variance {total}");
+    }
+
+    #[test]
+    fn feature_scores_rank_correlated_columns_higher() {
+        let x = correlated_matrix(3000, 3);
+        let pca = Pca::fit(&x, 1);
+        let scores = pca.feature_scores(3);
+        assert!(scores[0] > scores[2]);
+        assert!(scores[1] > scores[2]);
+    }
+
+    #[test]
+    fn tolerates_missing_and_constant_columns() {
+        let meta = vec![
+            FeatureMeta::continuous("ok"),
+            FeatureMeta::continuous("const"),
+            FeatureMeta::continuous("gappy"),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 500;
+        let mut values = Vec::with_capacity(n * 3);
+        for i in 0..n {
+            values.push(rng.random_range(-1.0f32..1.0));
+            values.push(5.0);
+            values.push(if i % 3 == 0 { f32::NAN } else { rng.random_range(-1.0..1.0) });
+        }
+        let x = FeatureMatrix::new(n, meta, values);
+        let pca = Pca::fit(&x, 3);
+        assert!(!pca.eigenvalues.is_empty());
+        for ev in &pca.eigenvalues {
+            assert!(ev.is_finite());
+        }
+        // The constant column must not attract loadings.
+        for comp in &pca.components {
+            assert!(comp[1].abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn explained_variance_ratio_bounded() {
+        let x = correlated_matrix(1000, 5);
+        let pca = Pca::fit(&x, 2);
+        let r = pca.explained_variance_ratio(3);
+        assert!(r > 0.0 && r <= 1.0 + 1e-9, "ratio {r}");
+    }
+}

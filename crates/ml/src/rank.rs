@@ -1,0 +1,80 @@
+//! Ranking utilities: deterministic, `NaN`-tolerant argsorts used by the
+//! metrics, the predictor's top-`B` budget selection, and the locator's
+//! disposition lists.
+
+/// Indices that sort `scores` in descending order.
+///
+/// The sort is stable, so ties keep their original order (deterministic
+/// rankings for the budgeted top-`B` selection). `NaN` scores sort last.
+pub fn argsort_desc(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| cmp_desc(scores[a], scores[b]));
+    idx
+}
+
+/// Indices of the `k` highest scores, best first. `k` larger than the input
+/// is clamped.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx = argsort_desc(scores);
+    idx.truncate(k.min(scores.len()));
+    idx
+}
+
+/// 1-based rank of each item under descending score order (rank 1 = best).
+/// Ties receive distinct ranks in original order (competition-free ranking).
+pub fn ranks_desc(scores: &[f64]) -> Vec<usize> {
+    let order = argsort_desc(scores);
+    let mut ranks = vec![0usize; scores.len()];
+    for (r, &i) in order.iter().enumerate() {
+        ranks[i] = r + 1;
+    }
+    ranks
+}
+
+fn cmp_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    // Descending; NaN is worse than everything.
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater, // NaN after b
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.partial_cmp(&a).expect("both finite or inf"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_descends() {
+        let s = [0.1, 0.9, 0.5];
+        assert_eq!(argsort_desc(&s), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_stable_on_ties() {
+        let s = [0.5, 0.9, 0.5, 0.5];
+        assert_eq!(argsort_desc(&s), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let s = [f64::NAN, 0.2, 0.8];
+        assert_eq!(argsort_desc(&s), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let s = [0.3, 0.7];
+        assert_eq!(top_k(&s, 10), vec![1, 0]);
+        assert_eq!(top_k(&s, 1), vec![1]);
+        assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn ranks_are_one_based_inverse_of_argsort() {
+        let s = [0.1, 0.9, 0.5];
+        let r = ranks_desc(&s);
+        assert_eq!(r, vec![3, 1, 2]);
+    }
+}

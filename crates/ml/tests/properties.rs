@@ -1,0 +1,80 @@
+//! Property-based tests for the ml crate's core data structures: quantile
+//! binning, stump search, boosting weight dynamics, and calibration.
+
+use nevermind_ml::boost::{BStump, BoostConfig};
+use nevermind_ml::data::{Dataset, FeatureMatrix, FeatureMeta};
+use nevermind_ml::stump::{best_stump_for_feature, BinnedFeature, MISSING_BIN};
+use proptest::prelude::*;
+
+/// A column with optional NaNs.
+fn column() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (-1e5f32..1e5).prop_map(|v| v),
+            1 => Just(f32::NAN),
+        ],
+        2..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every non-missing value lands in a bin whose edges bound it; missing
+    /// values get the missing bin; edges are strictly increasing.
+    #[test]
+    fn binning_respects_edges(values in column(), n_bins in 2usize..64) {
+        let bf = BinnedFeature::from_column(&values, n_bins);
+        for w in bf.edges.windows(2) {
+            prop_assert!(w[0] < w[1], "edges must strictly increase");
+        }
+        prop_assert!(bf.edges.len() <= n_bins + 1);
+        for (i, &v) in values.iter().enumerate() {
+            let b = bf.bin_of_row[i];
+            if v.is_nan() {
+                prop_assert_eq!(b, MISSING_BIN);
+            } else {
+                let b = b as usize;
+                prop_assert!(b < bf.edges.len());
+                prop_assert!(v <= bf.edges[b], "value above its bin edge");
+                if b > 0 {
+                    prop_assert!(v > bf.edges[b - 1], "value under the previous edge");
+                }
+            }
+        }
+    }
+
+    /// The best stump's Z is within [0, 1 + ε] for normalized weights, and
+    /// its scores send the heavier class side positive.
+    #[test]
+    fn stump_search_z_is_bounded(values in column()) {
+        let n = values.len();
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let weights = vec![1.0 / n as f64; n];
+        let bf = BinnedFeature::from_column(&values, 32);
+        if let Some(res) = best_stump_for_feature(0, &bf, &labels, &weights, 1e-6) {
+            prop_assert!(res.z >= 0.0);
+            prop_assert!(res.z <= 1.0 + 1e-9, "Z = {}", res.z);
+            prop_assert!(res.stump.s_le.is_finite());
+            prop_assert!(res.stump.s_gt.is_finite());
+        }
+    }
+
+    /// Training margins never blow up to non-finite values, whatever the
+    /// feature distribution, and the model is invariant to retraining.
+    #[test]
+    fn boosting_is_finite_and_reproducible(values in column()) {
+        let n = values.len();
+        let meta = vec![FeatureMeta::continuous("f")];
+        let x = FeatureMatrix::new(n, meta, values);
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let data = Dataset::new(x, labels);
+        let cfg = BoostConfig { iterations: 20, parallel: false, ..BoostConfig::default() };
+        let a = BStump::fit(&data, &cfg);
+        let b = BStump::fit(&data, &cfg);
+        prop_assert_eq!(a.stumps(), b.stumps());
+        for r in 0..n {
+            prop_assert!(a.margin(data.x.row(r)).is_finite());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Determinism guarantees across the whole stack: identical seeds must
+//! produce bit-identical worlds, models, and rankings — the property every
+//! experiment in EXPERIMENTS.md relies on.
+
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+use nevermind_dslsim::SimConfig;
+
+fn sim(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small(seed);
+    cfg.n_lines = 1_500;
+    cfg.days = 270;
+    cfg
+}
+
+fn quick_predictor_cfg() -> PredictorConfig {
+    PredictorConfig {
+        iterations: 50,
+        selection_iterations: 4,
+        n_base: 15,
+        n_quadratic: 5,
+        n_product: 5,
+        selection_row_cap: 4_000,
+        ..PredictorConfig::default()
+    }
+}
+
+#[test]
+fn identical_seeds_identical_worlds() {
+    let a = ExperimentData::simulate(sim(11));
+    let b = ExperimentData::simulate(sim(11));
+    assert_eq!(a.output.measurements.len(), b.output.measurements.len());
+    assert_eq!(a.output.tickets.len(), b.output.tickets.len());
+    assert_eq!(a.output.notes.len(), b.output.notes.len());
+    assert_eq!(a.output.ivr_calls.len(), b.output.ivr_calls.len());
+    for (x, y) in a.output.measurements.iter().zip(&b.output.measurements) {
+        assert_eq!(x.line, y.line);
+        assert_eq!(x.day, y.day);
+        assert_eq!(x.values, y.values);
+    }
+    for (x, y) in a.output.tickets.iter().zip(&b.output.tickets) {
+        assert_eq!(x.line, y.line);
+        assert_eq!(x.day, y.day);
+        assert_eq!(x.category, y.category);
+    }
+}
+
+#[test]
+fn different_seeds_different_worlds() {
+    let a = ExperimentData::simulate(sim(21));
+    let b = ExperimentData::simulate(sim(22));
+    assert_ne!(
+        a.output.tickets.len(),
+        b.output.tickets.len(),
+        "two seeds giving identical ticket counts would be suspicious"
+    );
+}
+
+#[test]
+fn identical_fits_identical_rankings() {
+    let data = ExperimentData::simulate(sim(31));
+    let split = SplitSpec::paper_like(&data);
+    let cfg = quick_predictor_cfg();
+
+    let (p1, r1) = TicketPredictor::fit(&data, &split, &cfg);
+    let (p2, r2) = TicketPredictor::fit(&data, &split, &cfg);
+
+    assert_eq!(r1.selected_base, r2.selected_base);
+    assert_eq!(r1.selected_derived, r2.selected_derived);
+    assert_eq!(p1.model().stumps(), p2.model().stumps());
+
+    let rank1 = p1.rank(&data, &split.test_days);
+    let rank2 = p2.rank(&data, &split.test_days);
+    assert_eq!(rank1.probabilities, rank2.probabilities);
+}
+
+#[test]
+fn serialized_model_reproduces_ranking() {
+    let data = ExperimentData::simulate(sim(41));
+    let split = SplitSpec::paper_like(&data);
+    let (p, _) = TicketPredictor::fit(&data, &split, &quick_predictor_cfg());
+
+    let json = serde_json::to_string(&p).expect("serialize");
+    let restored: TicketPredictor = serde_json::from_str(&json).expect("deserialize");
+
+    let a = p.rank(&data, &split.test_days);
+    let b = restored.rank(&data, &split.test_days);
+    assert_eq!(a.probabilities, b.probabilities);
+    assert_eq!(a.top_rows(25), b.top_rows(25));
+}
+
+#[test]
+fn step_and_run_agree() {
+    // Stepping a world day by day must produce the same logs as run().
+    let cfg = sim(51);
+    let run_out = nevermind_dslsim::World::generate(cfg.clone()).run();
+    let mut world = nevermind_dslsim::World::generate(cfg);
+    while world.day() < world.config().days {
+        world.step_day();
+    }
+    let step_out = world.into_output();
+    assert_eq!(run_out.measurements.len(), step_out.measurements.len());
+    assert_eq!(run_out.tickets.len(), step_out.tickets.len());
+    assert_eq!(run_out.notes.len(), step_out.notes.len());
+    for (a, b) in run_out.measurements.iter().zip(&step_out.measurements).take(2_000) {
+        assert_eq!(a.values, b.values);
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: the full NEVERMIND pipeline from simulator to
+//! analyses, asserting the paper-shape invariants end to end.
+
+use nevermind::analysis;
+use nevermind::locator::{LocatorConfig, LocatorEvaluation, TroubleLocator};
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, RankedPredictions, SelectionReport, TicketPredictor};
+use nevermind_dslsim::SimConfig;
+use std::sync::OnceLock;
+
+struct Fixture {
+    data: ExperimentData,
+    split: SplitSpec,
+    cfg: PredictorConfig,
+    predictor: TicketPredictor,
+    report: SelectionReport,
+    ranking: RankedPredictions,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut sim = SimConfig::small(1234);
+        sim.n_lines = 4_000;
+        sim.days = 300;
+        sim.outages_per_dslam_year = 2.0;
+        let data = ExperimentData::simulate(sim);
+        let split = SplitSpec::paper_like(&data);
+        let cfg = PredictorConfig {
+            iterations: 100,
+            selection_iterations: 6,
+            n_base: 25,
+            n_quadratic: 10,
+            n_product: 10,
+            selection_row_cap: 8_000,
+            ..PredictorConfig::default()
+        };
+        let (predictor, report) = TicketPredictor::fit(&data, &split, &cfg);
+        let ranking = predictor.rank(&data, &split.test_days);
+        Fixture { data, split, cfg, predictor, report, ranking }
+    })
+}
+
+#[test]
+fn predictor_beats_base_rate_at_budget() {
+    let f = fixture();
+    let budget = f.cfg.budget(f.ranking.len());
+    let precision = f.ranking.precision_at(budget);
+    let base_rate = f.ranking.labels.iter().filter(|&&y| y).count() as f64
+        / f.ranking.labels.len() as f64;
+    // This fixture runs a hot plant (extra outages for the Table-5 test
+    // below), which legitimately depresses precision: outage-area
+    // predictions are IVR-suppressed into "incorrect". A 2.5x lift at a
+    // 1% budget is still a strong ranking signal for a 4k-line world.
+    assert!(
+        precision > 2.5 * base_rate,
+        "precision@{budget} = {precision:.3} vs base rate {base_rate:.3}"
+    );
+    // The paper's regime: a meaningful fraction of the budget is correct,
+    // but nowhere near all of it (unreported problems exist).
+    assert!(precision > 0.15 && precision < 0.95, "precision {precision}");
+}
+
+#[test]
+fn selection_report_covers_all_feature_classes() {
+    let f = fixture();
+    assert!(f.report.base.len() >= 50, "base candidates {}", f.report.base.len());
+    assert!(!f.report.quadratic.is_empty());
+    assert!(f.report.product.len() > 500, "products {}", f.report.product.len());
+    // Scores are valid AP values.
+    for s in f.report.base.iter().chain(&f.report.quadratic).chain(&f.report.product) {
+        assert!((0.0..=1.0).contains(&s.score), "{} score {}", s.name, s.score);
+    }
+}
+
+#[test]
+fn precision_decays_with_cutoff_depth() {
+    let f = fixture();
+    let budget = f.cfg.budget(f.ranking.len());
+    let curve = f.ranking.precision_curve(&[budget, budget * 4, budget * 16]);
+    assert!(
+        curve[0].1 > curve[2].1,
+        "precision should decay with depth: {curve:?}"
+    );
+}
+
+#[test]
+fn time_to_ticket_cdf_within_horizon() {
+    let f = fixture();
+    let budget = f.cfg.budget(f.ranking.len());
+    let series = analysis::time_to_ticket(&f.data, &f.ranking, 28, &[budget]);
+    let s = &series[0];
+    assert!(!s.days.is_empty());
+    assert!((s.cdf.eval(28.0) - 1.0).abs() < 1e-9, "all tickets inside the horizon");
+    // The operator must get *some* lead time: not everything arrives in
+    // the first two days.
+    assert!(s.cdf.eval(2.0) < 0.6, "2-day CDF {}", s.cdf.eval(2.0));
+}
+
+#[test]
+fn outage_analysis_produces_finite_regression() {
+    let f = fixture();
+    let budget = f.cfg.budget(f.ranking.len());
+    let rows = analysis::outage_ivr_analysis(&f.data, &f.ranking, budget, &[1, 4]);
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        assert!(r.coefficient.is_finite());
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+    // More weeks can only explain at least as many incorrect predictions.
+    if !rows[0].incorrect_explained.is_nan() && !rows[1].incorrect_explained.is_nan() {
+        assert!(rows[1].incorrect_explained >= rows[0].incorrect_explained);
+    }
+}
+
+#[test]
+fn locator_improves_on_experience_ranking() {
+    let f = fixture();
+    let days = f.data.config.days;
+    let mid = days * 2 / 3;
+    let cfg = LocatorConfig { iterations: 50, min_examples: 10, ..LocatorConfig::default() };
+    let locator = TroubleLocator::fit(&f.data, 30, mid, &cfg);
+    let eval = LocatorEvaluation::run(&locator, &f.data, mid, days);
+    assert!(!eval.per_example.is_empty());
+    let mean_basic: f64 = eval.per_example.iter().map(|e| e.basic as f64).sum::<f64>()
+        / eval.per_example.len() as f64;
+    let mean_combined: f64 = eval.per_example.iter().map(|e| e.combined as f64).sum::<f64>()
+        / eval.per_example.len() as f64;
+    assert!(
+        mean_combined < mean_basic,
+        "combined {mean_combined:.2} vs basic {mean_basic:.2}"
+    );
+    let (b50, _, c50) = eval.tests_to_locate(0.5);
+    assert!(c50 <= b50, "tests-to-50%: combined {c50} vs basic {b50}");
+}
+
+#[test]
+fn proactive_loop_reduces_tickets() {
+    // Independent of the shared fixture: twin worlds with/without the
+    // proactive policy.
+    let mut sim = SimConfig::small(555);
+    sim.n_lines = 3_000;
+    sim.days = 290;
+    let cfg = PredictorConfig {
+        iterations: 80,
+        selection_iterations: 4,
+        n_base: 20,
+        n_quadratic: 8,
+        n_product: 8,
+        selection_row_cap: 6_000,
+        budget_fraction: 0.015,
+        ..PredictorConfig::default()
+    };
+    let outcome = nevermind::pipeline::run_proactive_trial(sim, &cfg, 28);
+    assert!(outcome.proactive_dispatches > 0);
+    assert!(
+        outcome.proactive_tickets < outcome.reactive_tickets,
+        "proactive {} vs reactive {}",
+        outcome.proactive_tickets,
+        outcome.reactive_tickets
+    );
+}
+
+#[test]
+fn weekly_histogram_and_dslam_grouping_consistent() {
+    let f = fixture();
+    let hist = analysis::weekly_ticket_histogram(&f.data);
+    assert_eq!(
+        hist.iter().sum::<usize>(),
+        f.data.output.customer_edge_tickets().count()
+    );
+    let budget = f.cfg.budget(f.ranking.len());
+    let groups = analysis::predictions_by_dslam(&f.data, &f.ranking, budget);
+    assert_eq!(groups.iter().map(|(_, c)| c).sum::<usize>(), budget);
+}

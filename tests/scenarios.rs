@@ -1,0 +1,91 @@
+//! The full pipeline must stay healthy across the named scenario presets —
+//! including the stress cases (very rare positives, very dense faults).
+
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+use nevermind_dslsim::scenario::Scenario;
+
+fn quick_cfg() -> PredictorConfig {
+    PredictorConfig {
+        iterations: 60,
+        selection_iterations: 4,
+        n_base: 15,
+        n_quadratic: 6,
+        n_product: 6,
+        selection_row_cap: 5_000,
+        ..PredictorConfig::default()
+    }
+}
+
+fn run_scenario(s: Scenario) -> (f64, f64) {
+    let data = ExperimentData::simulate(s.config(71, 2_000, 270));
+    let split = SplitSpec::paper_like(&data);
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &quick_cfg());
+    let ranking = predictor.rank(&data, &split.test_days);
+    let budget = quick_cfg().budget(ranking.len());
+    let base_rate =
+        ranking.labels.iter().filter(|&&y| y).count() as f64 / ranking.labels.len() as f64;
+    (ranking.precision_at(budget), base_rate)
+}
+
+#[test]
+fn baseline_scenario_beats_base_rate() {
+    let (p, base) = run_scenario(Scenario::Baseline);
+    assert!(p > 3.0 * base, "precision {p:.3} vs base {base:.3}");
+}
+
+#[test]
+fn aging_plant_still_ranks_well() {
+    let (p, base) = run_scenario(Scenario::AgingPlant);
+    assert!(base > 0.01, "aging plant should be busy (base {base:.3})");
+    assert!(p > 2.0 * base, "precision {p:.3} vs base {base:.3}");
+}
+
+#[test]
+fn storm_season_runs_and_ranks() {
+    let (p, base) = run_scenario(Scenario::StormSeason);
+    assert!(p > 2.0 * base, "precision {p:.3} vs base {base:.3}");
+}
+
+#[test]
+fn quiet_network_with_rare_positives_does_not_collapse() {
+    // The stress case: very few positives. The pipeline must neither panic
+    // nor emit NaN probabilities, and should still enrich the top of the
+    // ranking.
+    let data = ExperimentData::simulate(Scenario::QuietNetwork.config(72, 2_000, 270));
+    let split = SplitSpec::paper_like(&data);
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &quick_cfg());
+    let ranking = predictor.rank(&data, &split.test_days);
+    assert!(ranking.probabilities.iter().all(|p| p.is_finite()));
+    let base_rate =
+        ranking.labels.iter().filter(|&&y| y).count() as f64 / ranking.labels.len() as f64;
+    assert!(base_rate < 0.02, "quiet network should be quiet, got {base_rate:.3}");
+    let budget = quick_cfg().budget(ranking.len());
+    assert!(
+        ranking.precision_at(budget) > base_rate,
+        "even on a quiet plant the ranking should enrich positives"
+    );
+}
+
+#[test]
+fn overprovisioned_scenario_flags_speed_downgrades() {
+    // Long loops sold fast profiles: DS-SPEED-DOWN should be among the more
+    // common dispositions in the dispatch notes.
+    let data = ExperimentData::simulate(Scenario::Overprovisioned.config(73, 2_000, 270));
+    let speed_down = nevermind_dslsim::disposition::by_code("DS-SPEED-DOWN").expect("exists");
+    let mut counts = vec![0usize; nevermind_dslsim::N_DISPOSITIONS];
+    for n in &data.output.notes {
+        if let Some(d) = n.disposition {
+            counts[d.0 as usize] += 1;
+        }
+    }
+    let rank = {
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
+        order.iter().position(|&i| i == speed_down.0 as usize).expect("present")
+    };
+    assert!(
+        rank < 26,
+        "DS-SPEED-DOWN should rank in the top half of dispositions, got #{rank}"
+    );
+}
