@@ -38,12 +38,8 @@ fn bench_bin_resolution(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_bins");
     g.sample_size(10);
     for &bins in &[16usize, 64, 256] {
-        let cfg = BoostConfig {
-            iterations: 60,
-            n_bins: bins,
-            parallel: false,
-            ..BoostConfig::default()
-        };
+        let cfg =
+            BoostConfig { iterations: 60, n_bins: bins, parallel: false, ..BoostConfig::default() };
         g.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
             b.iter(|| black_box(BStump::fit(&data, &cfg)))
         });
@@ -73,12 +69,8 @@ fn bench_smoothing(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_smoothing");
     g.sample_size(10);
     for (name, smoothing) in [("default_1_over_2n", None), ("fixed_1e-3", Some(1e-3))] {
-        let cfg = BoostConfig {
-            iterations: 60,
-            smoothing,
-            parallel: false,
-            ..BoostConfig::default()
-        };
+        let cfg =
+            BoostConfig { iterations: 60, smoothing, parallel: false, ..BoostConfig::default() };
         g.bench_function(name, |b| b.iter(|| black_box(BStump::fit(&data, &cfg))));
     }
     g.finish();

@@ -62,11 +62,9 @@ fn bench_training(c: &mut Criterion) {
     let data = synth(20_000, 40, 3);
     for &iters in &[50usize, 200] {
         let cfg = BoostConfig { iterations: iters, parallel: false, ..BoostConfig::default() };
-        g.bench_with_input(
-            BenchmarkId::new("bstump_20k_rows_40_cols", iters),
-            &iters,
-            |b, _| b.iter(|| black_box(BStump::fit(&data, &cfg))),
-        );
+        g.bench_with_input(BenchmarkId::new("bstump_20k_rows_40_cols", iters), &iters, |b, _| {
+            b.iter(|| black_box(BStump::fit(&data, &cfg)))
+        });
     }
     g.finish();
 }

@@ -22,9 +22,7 @@ fn bench_encode(c: &mut Criterion) {
     let mut g = c.benchmark_group("encode_base");
     g.sample_size(10);
     g.throughput(Throughput::Elements(data.config.n_lines as u64));
-    g.bench_function("one_saturday_4k_lines", |b| {
-        b.iter(|| black_box(encoder.encode(&[day])))
-    });
+    g.bench_function("one_saturday_4k_lines", |b| b.iter(|| black_box(encoder.encode(&[day]))));
     g.finish();
 }
 
@@ -38,9 +36,7 @@ fn bench_derive(c: &mut Criterion) {
     let mut g = c.benchmark_group("derive_products");
     g.sample_size(10);
     g.throughput(Throughput::Elements((base.data.len() * chunk.len()) as u64));
-    g.bench_function("256_products_4k_rows", |b| {
-        b.iter(|| black_box(derive(&base, chunk)))
-    });
+    g.bench_function("256_products_4k_rows", |b| b.iter(|| black_box(derive(&base, chunk))));
     g.finish();
 }
 

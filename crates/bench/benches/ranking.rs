@@ -21,11 +21,8 @@ fn fixture() -> Fixture {
     sim.days = 270;
     let data = ExperimentData::simulate(sim);
     let split = SplitSpec::paper_like(&data);
-    let cfg = PredictorConfig {
-        iterations: 120,
-        selection_row_cap: 8_000,
-        ..PredictorConfig::default()
-    };
+    let cfg =
+        PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
     let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
     Fixture { data, split, predictor }
 }

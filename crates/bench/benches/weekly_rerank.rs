@@ -1,0 +1,133 @@
+//! Weekly population re-ranking: the operational loop's hot path.
+//!
+//! Every simulated Saturday the proactive policy re-ranks the whole line
+//! population and dispatches the top-budget. The original implementation
+//! cloned the accumulated logs, rebuilt the batch encoder's indexes,
+//! walked every stump per row serially and fully sorted the population —
+//! every single week, at a cost growing with elapsed time. The incremental
+//! engine ([`WeeklyScorer`]) ingests only each week's fresh events into
+//! rolling per-line state, scores through compiled lookup tables on scoped
+//! threads, and partially selects the budgeted head.
+//!
+//! Both paths produce identical dispatch lists (pinned by tests in the
+//! `scoring` and `incremental` modules); this bench measures 20 consecutive
+//! Saturdays at 10k- and 100k-line populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+use nevermind::scoring::WeeklyScorer;
+use nevermind_dslsim::topology::Topology;
+use nevermind_dslsim::{SimConfig, SimOutput, World};
+use nevermind_ml::rank::argsort_desc;
+use std::hint::black_box;
+
+const WEEKS: usize = 20;
+
+/// Trains one predictor on a small world; the bench then applies it to
+/// larger populations (features are per-line, so the model transfers).
+fn trained_predictor() -> TicketPredictor {
+    let data = ExperimentData::simulate(SimConfig::small(11));
+    let split = SplitSpec::paper_like(&data);
+    let cfg =
+        PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
+    TicketPredictor::fit(&data, &split, &cfg).0
+}
+
+struct Population {
+    sim_config: SimConfig,
+    topology: Topology,
+    output: SimOutput,
+    /// The 20 Saturdays being re-ranked, ascending.
+    saturdays: Vec<u32>,
+    budget: usize,
+}
+
+fn population(n_lines: usize) -> Population {
+    let mut sim_config = SimConfig::small(12);
+    sim_config.n_lines = n_lines;
+    sim_config.days = 420;
+    let world = World::generate(sim_config.clone());
+    let topology = world.topology().clone();
+    let output = world.run();
+    let saturdays: Vec<u32> = (6..output.days)
+        .step_by(7)
+        .collect::<Vec<_>>()
+        .split_off((output.days as usize / 7).saturating_sub(WEEKS));
+    assert_eq!(saturdays.len(), WEEKS);
+    let budget = PredictorConfig::default().budget(n_lines);
+    Population { sim_config, topology, output, saturdays, budget }
+}
+
+/// Log prefixes visible at the end of `day` (global logs are day-ordered).
+fn frontier(out: &SimOutput, day: u32) -> (usize, usize) {
+    (
+        out.measurements.partition_point(|m| m.day <= day),
+        out.tickets.partition_point(|t| t.day <= day),
+    )
+}
+
+/// The pre-incremental weekly path, as `run_proactive_trial` used to do it:
+/// clone the world's accumulated output (all log streams, as
+/// `world.output().clone()` did), rebuild the batch encoder over it, score
+/// serially, fully sort, take the budget head.
+fn rebuild_each_week(p: &Population, predictor: &TicketPredictor) -> usize {
+    let mut dispatched = 0;
+    for &day in &p.saturdays {
+        let (m_end, t_end) = frontier(&p.output, day);
+        let data = ExperimentData {
+            config: p.sim_config.clone(),
+            topology: p.topology.clone(),
+            output: SimOutput {
+                measurements: p.output.measurements[..m_end].to_vec(),
+                tickets: p.output.tickets[..t_end].to_vec(),
+                notes: p.output.notes[..p.output.notes.partition_point(|n| n.day <= day)].to_vec(),
+                outage_events: p.output.outage_events.clone(),
+                traffic: p.output.traffic.clone(),
+                ivr_calls: p.output.ivr_calls
+                    [..p.output.ivr_calls.partition_point(|c| c.day <= day)]
+                    .to_vec(),
+                churn_events: p.output.churn_events
+                    [..p.output.churn_events.partition_point(|c| c.day <= day)]
+                    .to_vec(),
+                days: day + 1,
+            },
+        };
+        let ranking = predictor.rank(&data, &[day]);
+        dispatched += argsort_desc(&ranking.probabilities).into_iter().take(p.budget).count();
+    }
+    dispatched
+}
+
+/// The incremental weekly path: ingest the fresh suffix, encode from
+/// rolling state, score through compiled LUTs in parallel, partially select.
+fn incremental(p: &Population, predictor: &TicketPredictor) -> usize {
+    let mut scorer = WeeklyScorer::new(predictor, &p.topology.lines);
+    let mut dispatched = 0;
+    for &day in &p.saturdays {
+        let (m_end, t_end) = frontier(&p.output, day);
+        scorer.observe(&p.output.measurements[..m_end], &p.output.tickets[..t_end]);
+        dispatched += scorer.top_lines(day, p.budget).len();
+    }
+    dispatched
+}
+
+fn bench_weekly_rerank(c: &mut Criterion) {
+    let predictor = trained_predictor();
+    for n_lines in [10_000usize, 100_000] {
+        let p = population(n_lines);
+        let mut g = c.benchmark_group("weekly_rerank");
+        g.sample_size(if n_lines >= 100_000 { 2 } else { 5 });
+        g.throughput(Throughput::Elements((n_lines * WEEKS) as u64));
+        g.bench_with_input(BenchmarkId::new("rebuild_each_week", n_lines), &p, |b, p| {
+            b.iter(|| black_box(rebuild_each_week(p, &predictor)))
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", n_lines), &p, |b, p| {
+            b.iter(|| black_box(incremental(p, &predictor)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_weekly_rerank);
+criterion_main!(benches);

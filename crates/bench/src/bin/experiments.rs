@@ -12,9 +12,25 @@ use nevermind_bench::ctx::{Ctx, Scale};
 use nevermind_bench::exp;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "fig4", "fig6", "fig7", "fig8", "table5", "notonsite",
-    "weekly", "summary", "locator_data", "fig9", "fig10", "locator50", "locator_cost",
-    "ablation_models", "selection_overlap", "location_confusion",
+    "table1",
+    "table2",
+    "table3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table5",
+    "notonsite",
+    "weekly",
+    "summary",
+    "locator_data",
+    "fig9",
+    "fig10",
+    "locator50",
+    "locator_cost",
+    "ablation_models",
+    "selection_overlap",
+    "location_confusion",
 ];
 
 fn main() {

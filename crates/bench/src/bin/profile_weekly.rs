@@ -1,0 +1,70 @@
+//! Temporary profiling harness for the weekly path components.
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+use nevermind::scoring::WeeklyScorer;
+use nevermind_dslsim::{SimConfig, World};
+use std::time::Instant;
+
+fn main() {
+    let data = ExperimentData::simulate(SimConfig::small(11));
+    let split = SplitSpec::paper_like(&data);
+    let cfg =
+        PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg).into();
+
+    let mut sim = SimConfig::small(12);
+    sim.n_lines = 100_000;
+    sim.days = 210;
+    let world = World::generate(sim.clone());
+    let topology = world.topology().clone();
+    let out = world.run();
+    let day = 202u32; // a late Saturday
+    assert_eq!(day % 7, 6);
+
+    let mut scorer = WeeklyScorer::new(&predictor, &topology.lines);
+    let t = Instant::now();
+    scorer.observe(&out.measurements, &out.tickets);
+    println!("observe(all): {:?}", t.elapsed());
+
+    // Component timings via the underlying pieces.
+    let mut enc = nevermind_features::IncrementalEncoder::new(
+        &topology.lines,
+        predictor.encoder_config().clone(),
+    );
+    enc.ingest(&out.measurements, &out.tickets);
+    let t = Instant::now();
+    let base = enc.encode_day(day);
+    println!("encode_day: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let assembled = predictor.assemble(&base);
+    println!("assemble: {:?}", t.elapsed());
+
+    let scorer2 = nevermind_ml::score::BatchScorer::new(predictor.model());
+    let t = Instant::now();
+    let margins = scorer2.margins_parallel(&assembled.x, 0);
+    println!("margins_parallel: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let m2 = predictor.model().margins(&assembled.x);
+    println!("margins_serial(old): {:?}", t.elapsed());
+    assert_eq!(margins.len(), m2.len());
+
+    let t = Instant::now();
+    let probs = predictor.calibration().probabilities(&margins);
+    println!("calibrate: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let top = nevermind_ml::rank::top_k(&probs, 1000);
+    println!("top_k: {:?}", t.elapsed());
+    let t = Instant::now();
+    let full = nevermind_ml::rank::argsort_desc(&probs);
+    println!("argsort(old): {:?}", t.elapsed());
+    assert_eq!(top[..10], full[..10]);
+
+    for d in [day - 14, day - 7, day] {
+        let t = Instant::now();
+        let _ = scorer.rank_week(d);
+        println!("rank_week({d}): {:?}", t.elapsed());
+    }
+}

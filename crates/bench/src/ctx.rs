@@ -3,9 +3,7 @@
 
 use nevermind::locator::{LocatorConfig, LocatorEvaluation, TroubleLocator};
 use nevermind::pipeline::{ExperimentData, SplitSpec};
-use nevermind::predictor::{
-    PredictorConfig, RankedPredictions, SelectionReport, TicketPredictor,
-};
+use nevermind::predictor::{PredictorConfig, RankedPredictions, SelectionReport, TicketPredictor};
 use nevermind_dslsim::SimConfig;
 use std::cell::OnceCell;
 
@@ -136,8 +134,7 @@ impl Ctx {
         self.locator.get_or_init(|| {
             eprintln!("[ctx] fitting trouble locator ...");
             let (from, mid, end) = self.locator_windows();
-            let locator =
-                TroubleLocator::fit(&self.data, from, mid, &self.scale.locator_config());
+            let locator = TroubleLocator::fit(&self.data, from, mid, &self.scale.locator_config());
             let eval = LocatorEvaluation::run(&locator, &self.data, mid, end);
             (locator, eval)
         })

@@ -98,10 +98,8 @@ pub fn table3(_ctx: &Ctx) -> serde_json::Value {
     for c in &classes {
         *per_class.entry(c.label()).or_default() += 1;
     }
-    let n_cont = meta
-        .iter()
-        .filter(|m| m.kind == nevermind_ml::data::FeatureKind::Continuous)
-        .count();
+    let n_cont =
+        meta.iter().filter(|m| m.kind == nevermind_ml::data::FeatureKind::Continuous).count();
     let n_quad = n_cont;
     let n_prod = n_cont * (n_cont - 1) / 2;
     per_class.insert("quadratic", n_quad);
@@ -125,13 +123,7 @@ pub fn fig4(ctx: &Ctx) -> serde_json::Value {
     let base = collect(&report.base);
     let quad = collect(&report.quadratic);
     let prod = collect(&report.product);
-    let hi = base
-        .iter()
-        .chain(&quad)
-        .chain(&prod)
-        .copied()
-        .fold(0.0f64, f64::max)
-        .max(1e-6);
+    let hi = base.iter().chain(&quad).chain(&prod).copied().fold(0.0f64, f64::max).max(1e-6);
 
     println!("\n[a] history + customer features (n = {}):", base.len());
     let ha = histogram(&base, 0.0, hi, 12);
@@ -177,17 +169,11 @@ pub fn fig6(ctx: &Ctx) -> serde_json::Value {
         ("PCA", SelectionCriterion::Pca { components: 10 }),
         ("gain ratio", SelectionCriterion::GainRatio { bins: 32 }),
     ];
-    let cutoffs: Vec<usize> = vec![
-        budget / 4,
-        budget / 2,
-        budget,
-        budget * 2,
-        budget * 5,
-        budget * 10,
-    ]
-    .into_iter()
-    .filter(|&c| c > 0)
-    .collect();
+    let cutoffs: Vec<usize> =
+        vec![budget / 4, budget / 2, budget, budget * 2, budget * 5, budget * 10]
+            .into_iter()
+            .filter(|&c| c > 0)
+            .collect();
 
     let mut rows = Vec::new();
     let mut curves = serde_json::Map::new();
@@ -230,11 +216,10 @@ pub fn fig6(ctx: &Ctx) -> serde_json::Value {
 pub fn fig7(ctx: &Ctx) -> serde_json::Value {
     heading("Fig. 7 — ticket prediction with vs without derived features");
     let budget = ctx.budget();
-    let cutoffs: Vec<usize> =
-        vec![budget / 4, budget / 2, budget, budget * 2, budget * 5]
-            .into_iter()
-            .filter(|&c| c > 0)
-            .collect();
+    let cutoffs: Vec<usize> = vec![budget / 4, budget / 2, budget, budget * 2, budget * 5]
+        .into_iter()
+        .filter(|&c| c > 0)
+        .collect();
 
     // Full pipeline (with derived features): the shared ctx predictor.
     let full_curve = ctx.ranking().precision_curve(&cutoffs);
@@ -257,11 +242,7 @@ pub fn fig7(ctx: &Ctx) -> serde_json::Value {
 
     let mut rows = Vec::new();
     for (i, &k) in cutoffs.iter().enumerate() {
-        rows.push(vec![
-            k.to_string(),
-            f3(base_curve[i].1),
-            f3(full_curve[i].1),
-        ]);
+        rows.push(vec![k.to_string(), f3(base_curve[i].1), f3(full_curve[i].1)]);
     }
     table(&["top-k", "history+customer only", "all selected features"], &rows);
     let p_base = base_curve[cutoffs.iter().position(|&c| c == budget).unwrap_or(0)].1;
@@ -340,8 +321,7 @@ pub fn fig8(ctx: &Ctx) -> serde_json::Value {
 pub fn table5(ctx: &Ctx) -> serde_json::Value {
     heading("Table 5 — incorrect predictions explained by outages (IVR scenario)");
     let budget = ctx.budget();
-    let rows_data =
-        analysis::outage_ivr_analysis(&ctx.data, ctx.ranking(), budget, &[1, 2, 3, 4]);
+    let rows_data = analysis::outage_ivr_analysis(&ctx.data, ctx.ranking(), budget, &[1, 2, 3, 4]);
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {
@@ -399,8 +379,7 @@ pub fn notonsite(ctx: &Ctx) -> serde_json::Value {
 pub fn fig9(ctx: &Ctx) -> serde_json::Value {
     heading("Fig. 9 — combined model structure for inside wiring at HN");
     let (locator, _) = ctx.locator();
-    let target = nevermind_dslsim::disposition::by_code("HN-IW-WET")
-        .expect("disposition exists");
+    let target = nevermind_dslsim::disposition::by_code("HN-IW-WET").expect("disposition exists");
     let chosen = if locator.model_pair(target).is_some() {
         target
     } else {
@@ -543,12 +522,8 @@ pub fn ablation_models(ctx: &Ctx) -> serde_json::Value {
     heading("Ablation — model choice under noisy ticket labels (Sec. 4.4)");
     let (predictor, _) = ctx.predictor();
     eprintln!("[ablation_models] training alternative models ...");
-    let results = nevermind::comparison::compare_models(
-        &ctx.data,
-        &ctx.split,
-        &ctx.predictor_cfg,
-        predictor,
-    );
+    let results =
+        nevermind::comparison::compare_models(&ctx.data, &ctx.split, &ctx.predictor_cfg, predictor);
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -560,10 +535,7 @@ pub fn ablation_models(ctx: &Ctx) -> serde_json::Value {
             ]
         })
         .collect();
-    table(
-        &["model", "train precision@B", "test precision@B", "generalization gap"],
-        &rows,
-    );
+    table(&["model", "train precision@B", "test precision@B", "generalization gap"], &rows);
     println!(
         "\nShape check (paper: \"sophisticated non-linear models overfit easily, we hence \
          choose a linear model\"): the unconstrained tree memorizes the noisy labels \
@@ -588,10 +560,7 @@ pub fn selection_overlap(ctx: &Ctx) -> serde_json::Value {
     let encoder = ctx.data.encoder(ctx.predictor_cfg.encoder.clone());
     let base_train = encoder.encode(&ctx.split.train_days);
     let base_eval = encoder.encode(&ctx.split.selection_eval_days);
-    let n_eval_rows = ctx
-        .predictor_cfg
-        .selection_row_cap
-        .min(base_eval.data.len());
+    let n_eval_rows = ctx.predictor_cfg.selection_row_cap.min(base_eval.data.len());
     let sel_budget = ctx.predictor_cfg.budget(n_eval_rows);
     let select_cfg = nevermind_ml::select::SelectConfig {
         model_iterations: ctx.predictor_cfg.selection_iterations,
@@ -677,16 +646,15 @@ pub fn weekly(ctx: &Ctx) -> serde_json::Value {
     heading("Sec. 3.3 — customer-edge tickets by day of week");
     let hist = analysis::weekly_ticket_histogram(&ctx.data);
     let names = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
-    let rows: Vec<Vec<String>> = names
+    let rows: Vec<Vec<String>> =
+        names.iter().zip(&hist).map(|(n, c)| vec![n.to_string(), c.to_string()]).collect();
+    table(&["day", "tickets"], &rows);
+    println!("\nShape check (paper: tickets peak on Monday and bottom out over the weekend).");
+    let v = json!(names
         .iter()
         .zip(&hist)
-        .map(|(n, c)| vec![n.to_string(), c.to_string()])
-        .collect();
-    table(&["day", "tickets"], &rows);
-    println!(
-        "\nShape check (paper: tickets peak on Monday and bottom out over the weekend)."
-    );
-    let v = json!(names.iter().zip(&hist).map(|(n, c)| json!({"day": n, "tickets": c})).collect::<Vec<_>>());
+        .map(|(n, c)| json!({"day": n, "tickets": c}))
+        .collect::<Vec<_>>());
     save_json("weekly", &v);
     v
 }

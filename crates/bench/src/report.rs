@@ -71,6 +71,26 @@ pub fn pct(x: f64) -> String {
     }
 }
 
+/// Persists an experiment's JSON record under `results/`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        eprintln!("[report] could not create results/; skipping JSON for {name}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("[report] write {path:?} failed: {e}");
+            } else {
+                eprintln!("[report] wrote {path:?}");
+            }
+        }
+        Err(e) => eprintln!("[report] serialize {name} failed: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,25 +122,5 @@ mod tests {
         assert_eq!(f3(f64::NAN), "-");
         assert_eq!(pct(0.375), "37.5%");
         assert_eq!(pct(f64::NAN), "-");
-    }
-}
-
-/// Persists an experiment's JSON record under `results/`.
-pub fn save_json(name: &str, value: &serde_json::Value) {
-    let dir = Path::new("results");
-    if fs::create_dir_all(dir).is_err() {
-        eprintln!("[report] could not create results/; skipping JSON for {name}");
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("[report] write {path:?} failed: {e}");
-            } else {
-                eprintln!("[report] wrote {path:?}");
-            }
-        }
-        Err(e) => eprintln!("[report] serialize {name} failed: {e}"),
     }
 }

@@ -81,9 +81,7 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
         }
     }
 

@@ -60,9 +60,6 @@ pub fn run(args: &Args) -> CliResult {
     println!(
         "mean technician minutes: basic {bm:.0} / flat {fm:.0} / combined {cm:.0} / cost-aware {costm:.0}"
     );
-    println!(
-        "major-location accuracy: {:.1}%",
-        100.0 * eval.location_accuracy()
-    );
+    println!("major-location accuracy: {:.1}%", 100.0 * eval.location_accuracy());
     Ok(())
 }

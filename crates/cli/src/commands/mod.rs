@@ -40,8 +40,8 @@ pub fn sim_config_from(
 pub fn load_dataset(
     path: &str,
 ) -> Result<nevermind::pipeline::ExperimentData, Box<dyn std::error::Error>> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| format!("cannot open dataset '{path}': {e}"))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open dataset '{path}': {e}"))?;
     let reader = std::io::BufReader::new(file);
     let data: nevermind::pipeline::ExperimentData = serde_json::from_reader(reader)
         .map_err(|e| format!("cannot parse dataset '{path}': {e}"))?;

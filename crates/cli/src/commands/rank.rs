@@ -23,10 +23,7 @@ pub fn run(args: &Args) -> CliResult {
     eprintln!("ranking test Saturdays {:?} ...", split.test_days);
     let ranking = predictor.rank(&data, &split.test_days);
 
-    println!(
-        "{:<12} {:>5} {:>22} {:>8}",
-        "line", "day", "P(ticket in 4 wks)", "outcome"
-    );
+    println!("{:<12} {:>5} {:>22} {:>8}", "line", "day", "P(ticket in 4 wks)", "outcome");
     for (key, prob, label) in ranking.top_rows(top) {
         println!(
             "{:<12} {:>5} {:>22.3} {:>8}",
@@ -37,10 +34,7 @@ pub fn run(args: &Args) -> CliResult {
         );
     }
     let budget = ((ranking.len() as f64) * 0.01).ceil() as usize;
-    println!(
-        "\nprecision@{budget} (1% budget) = {:.1}%",
-        100.0 * ranking.precision_at(budget)
-    );
+    println!("\nprecision@{budget} (1% budget) = {:.1}%", 100.0 * ranking.precision_at(budget));
 
     if explain > 0 {
         let encoder = data.encoder(Default::default());
@@ -57,10 +51,7 @@ pub fn run(args: &Args) -> CliResult {
             let contributions = predictor.explain(assembled.x.row(row_idx));
             println!("\n{} @ day {} (P = {prob:.3}):", key.line, key.day);
             for c in contributions.iter().take(5) {
-                println!(
-                    "  {:<40} value {:>12.3}  margin {:+.3}",
-                    c.name, c.value, c.contribution
-                );
+                println!("  {:<40} value {:>12.3}  margin {:+.3}", c.name, c.value, c.contribution);
             }
         }
     }

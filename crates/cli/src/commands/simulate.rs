@@ -12,10 +12,7 @@ pub fn run(args: &Args) -> CliResult {
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;
 
-    eprintln!(
-        "simulating {} lines over {} days (seed {}) ...",
-        cfg.n_lines, cfg.days, cfg.seed
-    );
+    eprintln!("simulating {} lines over {} days (seed {}) ...", cfg.n_lines, cfg.days, cfg.seed);
     let started = std::time::Instant::now();
     let data = ExperimentData::simulate(cfg.clone());
     eprintln!("simulation finished in {:.1}s", started.elapsed().as_secs_f64());

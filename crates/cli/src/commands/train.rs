@@ -48,12 +48,8 @@ pub fn run(args: &Args) -> CliResult {
         report.selection_budget
     );
     println!("top selected features by single-feature AP:");
-    let mut all: Vec<_> = report
-        .base
-        .iter()
-        .chain(report.quadratic.iter())
-        .chain(report.product.iter())
-        .collect();
+    let mut all: Vec<_> =
+        report.base.iter().chain(report.quadratic.iter()).chain(report.product.iter()).collect();
     all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
     for f in all.iter().take(10) {
         println!("  {:<40} AP = {:.3}", f.name, f.score);

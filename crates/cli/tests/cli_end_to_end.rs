@@ -35,11 +35,7 @@ fn full_cli_workflow() {
         ])
         .output()
         .expect("run simulate");
-    assert!(
-        out.status.success(),
-        "simulate failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("tickets:"), "summary printed: {stdout}");
     assert!(dataset.exists(), "dataset.json written");
@@ -66,11 +62,7 @@ fn full_cli_workflow() {
         ])
         .output()
         .expect("run train");
-    assert!(
-        out.status.success(),
-        "train failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("selected"), "selection report printed: {stdout}");
     assert!(stdout.contains("precision@"), "held-out check printed: {stdout}");
@@ -139,18 +131,13 @@ fn bad_invocations_fail_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 
     // Unknown flag.
-    let out = bin()
-        .args(["simulate", "--out", "/tmp/x", "--bogus", "1"])
-        .output()
-        .expect("run");
+    let out = bin().args(["simulate", "--out", "/tmp/x", "--bogus", "1"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
 
     // Unknown scenario.
-    let out = bin()
-        .args(["simulate", "--out", "/tmp/x", "--scenario", "nope"])
-        .output()
-        .expect("run");
+    let out =
+        bin().args(["simulate", "--out", "/tmp/x", "--scenario", "nope"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
 

@@ -145,10 +145,7 @@ pub fn outage_ivr_analysis(
 }
 
 fn outage_starting_within(data: &ExperimentData, dslam: DslamId, from: u32, to: u32) -> bool {
-    data.output
-        .outage_events
-        .iter()
-        .any(|e| e.dslam == dslam && e.start >= from && e.start < to)
+    data.output.outage_events.iter().any(|e| e.dslam == dslam && e.start >= from && e.start < to)
 }
 
 /// Result of the not-on-site analysis.
@@ -258,7 +255,7 @@ mod tests {
         for s in &series {
             assert!(!s.days.is_empty(), "no true predictions in top {}", s.top_n);
             for &d in &s.days {
-                assert!(d >= 1.0 && d <= 28.0, "day {d} outside horizon");
+                assert!((1.0..=28.0).contains(&d), "day {d} outside horizon");
             }
             assert!((s.cdf.eval(28.0) - 1.0).abs() < 1e-9);
         }

@@ -100,11 +100,7 @@ pub fn compare_models(
             &train.y,
             train_budget,
         ),
-        test_precision: nevermind_ml::metrics::precision_at_k(
-            &bstump_test,
-            &test.y,
-            test_budget,
-        ),
+        test_precision: nevermind_ml::metrics::precision_at_k(&bstump_test, &test.y, test_budget),
     });
 
     for alt in AlternativeModel::ALL {
@@ -253,7 +249,12 @@ mod tests {
                 r.model,
                 r.train_precision
             );
-            assert!((0.0..=1.0).contains(&r.test_precision), "{}: test {}", r.model, r.test_precision);
+            assert!(
+                (0.0..=1.0).contains(&r.test_precision),
+                "{}: test {}",
+                r.model,
+                r.test_precision
+            );
         }
     }
 
@@ -289,13 +290,8 @@ mod tests {
     #[test]
     fn alternative_ranking_api_aligns_with_population() {
         let (data, split, cfg, predictor) = setup();
-        let ranking = rank_with_alternative(
-            &data,
-            &split,
-            &cfg,
-            &predictor,
-            AlternativeModel::NaiveBayes,
-        );
+        let ranking =
+            rank_with_alternative(&data, &split, &cfg, &predictor, AlternativeModel::NaiveBayes);
         assert_eq!(ranking.len(), data.config.n_lines * split.test_days.len());
         let budget = cfg.budget(ranking.len());
         let p = ranking.precision_at(budget);

@@ -22,9 +22,11 @@
 //! [`analysis`] reproduces the paper's evaluation analyses (time-to-ticket
 //! CDFs, the Table-5 outage/IVR attribution, the not-on-site traffic
 //! check), [`comparison`] measures the Sec.-4.4 model-choice claim
-//! (BStump vs linear, Naive Bayes and CART under label noise), and
-//! [`pipeline`] wires everything to the simulator for the operational
-//! proactive loop.
+//! (BStump vs linear, Naive Bayes and CART under label noise), [`scoring`]
+//! holds the incremental weekly scoring engine (streaming encoder +
+//! compiled parallel scorer + partial top-`B` selection) that the
+//! operational loop re-ranks the population with, and [`pipeline`] wires
+//! everything to the simulator for the operational proactive loop.
 //!
 //! ## Quickstart
 //!
@@ -54,7 +56,9 @@ pub mod comparison;
 pub mod locator;
 pub mod pipeline;
 pub mod predictor;
+pub mod scoring;
 
 pub use locator::{LocatorConfig, TroubleLocator};
 pub use pipeline::{ExperimentData, SplitSpec};
 pub use predictor::{PredictorConfig, RankedPredictions, TicketPredictor};
+pub use scoring::WeeklyScorer;

@@ -177,8 +177,7 @@ impl TroubleLocator {
         let mut location_cal = Vec::with_capacity(4);
         let mut location_oof = Vec::with_capacity(4);
         for loc in MajorLocation::ALL {
-            let y: Vec<bool> =
-                examples.iter().map(|e| e.disposition.location() == loc).collect();
+            let y: Vec<bool> = examples.iter().map(|e| e.disposition.location() == loc).collect();
             let (model, oof) =
                 fit_with_oof_margins(&assembled, &y, &boost_cfg, 0x10C_0000 + loc as u64);
             location_cal.push(PlattScale::fit(&oof, &y));
@@ -239,11 +238,7 @@ impl TroubleLocator {
     }
 
     /// Encodes dispatch examples into the locator's feature space.
-    pub fn encode_examples(
-        &self,
-        data: &ExperimentData,
-        examples: &[DispatchExample],
-    ) -> Dataset {
+    pub fn encode_examples(&self, data: &ExperimentData, examples: &[DispatchExample]) -> Dataset {
         let encoder = data.encoder(self.encoder_config.clone());
         let keys: Vec<RowKey> =
             examples.iter().map(|e| RowKey { line: e.line, day: e.day }).collect();
@@ -265,8 +260,7 @@ impl TroubleLocator {
     /// Combined-model (Eq. 2) posterior ranking for one assembled row.
     pub fn rank_combined(&self, row: &[f32]) -> Vec<DispositionScore> {
         let mut scores = self.prior_scores();
-        let loc_margins: Vec<f64> =
-            self.location_models.iter().map(|m| m.margin(row)).collect();
+        let loc_margins: Vec<f64> = self.location_models.iter().map(|m| m.margin(row)).collect();
         for (mi, &d) in self.modeled.iter().enumerate() {
             let flat_margin = self.flat_models[mi].margin(row);
             let loc_margin = loc_margins[location_index(d.location())];
@@ -460,11 +454,8 @@ impl LocatorEvaluation {
                 let flat = rank_of(&flat_scores, truth);
                 let combined = rank_of(&combined_scores, truth);
                 let cost_aware = rank_of(&cost_scores, truth);
-                let basic_rank = basic
-                    .iter()
-                    .position(|&d| d == truth)
-                    .expect("all dispositions ranked")
-                    + 1;
+                let basic_rank =
+                    basic.iter().position(|&d| d == truth).expect("all dispositions ranked") + 1;
                 ExampleRanks {
                     disposition: truth,
                     basic: basic_rank,
@@ -474,10 +465,7 @@ impl LocatorEvaluation {
                     true_location: truth.location(),
                     predicted_location: combined_scores[0].disposition.location(),
                     basic_minutes: minutes_walked(basic.iter().copied(), truth),
-                    flat_minutes: minutes_walked(
-                        flat_scores.iter().map(|s| s.disposition),
-                        truth,
-                    ),
+                    flat_minutes: minutes_walked(flat_scores.iter().map(|s| s.disposition), truth),
                     combined_minutes: minutes_walked(
                         combined_scores.iter().map(|s| s.disposition),
                         truth,
@@ -515,11 +503,8 @@ impl LocatorEvaluation {
         if self.per_example.is_empty() {
             return f64::NAN;
         }
-        let hits = self
-            .per_example
-            .iter()
-            .filter(|e| e.true_location == e.predicted_location)
-            .count();
+        let hits =
+            self.per_example.iter().filter(|e| e.true_location == e.predicted_location).count();
         hits as f64 / self.per_example.len() as f64
     }
 
@@ -527,9 +512,8 @@ impl LocatorEvaluation {
     /// `(basic, flat, combined, cost_aware)`.
     pub fn mean_minutes(&self) -> (f64, f64, f64, f64) {
         let n = self.per_example.len().max(1) as f64;
-        let sum = |f: &dyn Fn(&ExampleRanks) -> f64| {
-            self.per_example.iter().map(|e| f(e)).sum::<f64>() / n
-        };
+        let sum =
+            |f: &dyn Fn(&ExampleRanks) -> f64| self.per_example.iter().map(f).sum::<f64>() / n;
         (
             sum(&|e| e.basic_minutes),
             sum(&|e| e.flat_minutes),
@@ -553,11 +537,8 @@ impl LocatorEvaluation {
     pub fn rank_change_by_bin(&self, bins: &[(usize, usize)]) -> Vec<RankChangeBin> {
         bins.iter()
             .map(|&(lo, hi)| {
-                let in_bin: Vec<&ExampleRanks> = self
-                    .per_example
-                    .iter()
-                    .filter(|e| e.basic >= lo && e.basic <= hi)
-                    .collect();
+                let in_bin: Vec<&ExampleRanks> =
+                    self.per_example.iter().filter(|e| e.basic >= lo && e.basic <= hi).collect();
                 let n = in_bin.len();
                 let mean = |f: &dyn Fn(&ExampleRanks) -> f64| {
                     if n == 0 {
@@ -769,8 +750,7 @@ mod tests {
     fn minutes_walked_accumulates_prefix() {
         let order: Vec<DispositionId> = (0..3).map(DispositionId).collect();
         let truth = DispositionId(1);
-        let expected: f64 =
-            order[..2].iter().map(|d| d.info().test_minutes).sum();
+        let expected: f64 = order[..2].iter().map(|d| d.info().test_minutes).sum();
         assert!((minutes_walked(order.iter().copied(), truth) - expected).abs() < 1e-12);
     }
 

@@ -172,15 +172,9 @@ pub fn run_proactive_trial(
 
     // Reactive baseline.
     let baseline = World::generate(sim_config.clone()).run();
-    let reactive_tickets = baseline
-        .customer_edge_tickets()
-        .filter(|t| t.day >= policy_start_day)
-        .count();
-    let reactive_churn = baseline
-        .churn_events
-        .iter()
-        .filter(|c| c.day >= policy_start_day)
-        .count();
+    let reactive_tickets =
+        baseline.customer_edge_tickets().filter(|t| t.day >= policy_start_day).count();
+    let reactive_churn = baseline.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
 
     // Proactive run.
     let mut world = World::generate(sim_config.clone());
@@ -201,20 +195,22 @@ pub fn run_proactive_trial(
     let (predictor, _) =
         crate::predictor::TicketPredictor::fit(&warmup_for_split, &split, predictor_config);
 
-    let budget = predictor_config.budget(world.topology().lines.len());
+    // The incremental weekly scoring engine: rolling encoder state fed only
+    // each week's fresh log events, compiled parallel stump evaluation, and
+    // partial top-budget selection — bit-identical to ranking from scratch
+    // with `predictor.rank`, without the weekly clone of the growing logs.
+    let lines = world.topology().lines.clone();
+    let mut scorer = crate::scoring::WeeklyScorer::new(&predictor, &lines);
+    let budget = predictor_config.budget(lines.len());
     while world.day() < sim_config.days {
         world.step_day();
         let just_finished = world.day() - 1;
         if just_finished % 7 == 6 {
             // Rank on everything measured so far, dispatch the top budget.
-            let to_dispatch: Vec<nevermind_dslsim::LineId> = {
-                let data = ExperimentData {
-                    config: sim_config.clone(),
-                    topology: world.topology().clone(),
-                    output: world.output().clone(),
-                };
-                let ranking = predictor.rank(&data, &[just_finished]);
-                ranking.top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect()
+            let to_dispatch = {
+                let out = world.output();
+                scorer.observe(&out.measurements, &out.tickets);
+                scorer.top_lines(just_finished, budget)
             };
             for line in to_dispatch {
                 world.schedule_proactive_dispatch(line, 2);
@@ -228,8 +224,7 @@ pub fn run_proactive_trial(
     let proactive_notes: Vec<_> = out.notes.iter().filter(|n| n.proactive).collect();
     let proactive_dispatches = proactive_notes.len();
     let proactive_hits = proactive_notes.iter().filter(|n| n.disposition.is_some()).count();
-    let proactive_churn =
-        out.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
+    let proactive_churn = out.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
 
     ProactiveOutcome {
         policy_start_day,
@@ -269,11 +264,7 @@ mod tests {
     fn split_days_are_saturdays_with_complete_labels() {
         let data = small_data();
         let split = SplitSpec::paper_like(&data);
-        for &d in split
-            .train_days
-            .iter()
-            .chain(&split.selection_eval_days)
-            .chain(&split.test_days)
+        for &d in split.train_days.iter().chain(&split.selection_eval_days).chain(&split.test_days)
         {
             assert_eq!(d % 7, 6, "day {d} not a Saturday");
             assert!(d + 28 <= data.config.days, "label window of {d} is truncated");

@@ -26,7 +26,7 @@ use nevermind_ml::boost::{BStump, BoostConfig};
 use nevermind_ml::calibrate::PlattScale;
 use nevermind_ml::data::Dataset;
 use nevermind_ml::metrics;
-use nevermind_ml::rank::argsort_desc;
+use nevermind_ml::rank::top_k;
 use nevermind_ml::select::{score_features, FeatureScore, SelectConfig, SelectionCriterion};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -133,13 +133,11 @@ pub struct RankedPredictions {
     pub probabilities: Vec<f64>,
     /// Ground-truth labels (ticket within the horizon).
     pub labels: Vec<bool>,
-    order: Vec<usize>,
 }
 
 impl RankedPredictions {
     fn new(rows: Vec<RowKey>, probabilities: Vec<f64>, labels: Vec<bool>) -> Self {
-        let order = argsort_desc(&probabilities);
-        Self { rows, probabilities, labels, order }
+        Self { rows, probabilities, labels }
     }
 
     /// Builds a ranking from raw scores (any monotone score works; they are
@@ -177,11 +175,15 @@ impl RankedPredictions {
     }
 
     /// The top `n` rows, best first, with probability and label.
+    ///
+    /// Uses partial selection (`O(rows + n log n)`) rather than a full sort:
+    /// the weekly operational loop asks for ~1% of the population. The
+    /// result is identical to taking the first `n` of a stable descending
+    /// argsort — ties keep row order, `NaN` sorts last.
     pub fn top_rows(&self, n: usize) -> Vec<(RowKey, f64, bool)> {
-        self.order
-            .iter()
-            .take(n.min(self.len()))
-            .map(|&i| (self.rows[i], self.probabilities[i], self.labels[i]))
+        top_k(&self.probabilities, n)
+            .into_iter()
+            .map(|i| (self.rows[i], self.probabilities[i], self.labels[i]))
             .collect()
     }
 
@@ -235,7 +237,8 @@ impl TicketPredictor {
         // the *evaluation* subsample must stay uniform — AP(N) is a ranking
         // metric and enriching positives would distort exactly the head of
         // the ranking the criterion is supposed to measure.
-        let train_sub = subsample_keep_positives(&base_train, config.selection_row_cap, config.seed);
+        let train_sub =
+            subsample_keep_positives(&base_train, config.selection_row_cap, config.seed);
         let eval_sub = subsample_uniform(&base_eval, config.selection_row_cap, config.seed ^ 1);
         let selection_budget = config.budget(eval_sub.data.len());
 
@@ -256,17 +259,14 @@ impl TicketPredictor {
         let mut selected_derived = Vec::new();
         if config.use_derived {
             let quads = all_quadratics(&base_train);
-            let quad_scores =
-                score_derived(&train_sub, &eval_sub, &quads, criterion, &select_cfg);
+            let quad_scores = score_derived(&train_sub, &eval_sub, &quads, criterion, &select_cfg);
             for (f, s) in quads.iter().zip(&quad_scores) {
                 report_quadratic.push(scored(&base_train, *f, *s));
             }
-            selected_derived
-                .extend(top_derived(&quads, &quad_scores, config.n_quadratic));
+            selected_derived.extend(top_derived(&quads, &quad_scores, config.n_quadratic));
 
             let prods = all_products(&base_train);
-            let prod_scores =
-                score_derived(&train_sub, &eval_sub, &prods, criterion, &select_cfg);
+            let prod_scores = score_derived(&train_sub, &eval_sub, &prods, criterion, &select_cfg);
             for (f, s) in prods.iter().zip(&prod_scores) {
                 report_product.push(scored(&base_train, *f, *s));
             }
@@ -329,11 +329,8 @@ impl TicketPredictor {
         candidates: &[usize],
         k_folds: usize,
     ) -> usize {
-        let (predictor, _) = Self::fit(
-            data,
-            split,
-            &PredictorConfig { iterations: 1, ..config.clone() },
-        );
+        let (predictor, _) =
+            Self::fit(data, split, &PredictorConfig { iterations: 1, ..config.clone() });
         let encoder = data.encoder(config.encoder.clone());
         let base_train = encoder.encode(&split.train_days);
         let assembled = predictor.assemble(&base_train);
@@ -367,7 +364,8 @@ impl TicketPredictor {
         let encoder = data.encoder(config.encoder.clone());
         let base_train = encoder.encode(&split.train_days);
         let base_eval = encoder.encode(&split.selection_eval_days);
-        let train_sub = subsample_keep_positives(&base_train, config.selection_row_cap, config.seed);
+        let train_sub =
+            subsample_keep_positives(&base_train, config.selection_row_cap, config.seed);
         let eval_sub = subsample_uniform(&base_eval, config.selection_row_cap, config.seed ^ 1);
 
         let select_cfg = SelectConfig {
@@ -443,10 +441,7 @@ impl TicketPredictor {
             })
             .collect();
         out.sort_by(|a, b| {
-            b.contribution
-                .abs()
-                .partial_cmp(&a.contribution.abs())
-                .expect("finite contributions")
+            b.contribution.abs().partial_cmp(&a.contribution.abs()).expect("finite contributions")
         });
         out
     }
@@ -486,6 +481,12 @@ impl TicketPredictor {
     /// Selected derived features.
     pub fn selected_derived(&self) -> &[DerivedFeature] {
         &self.selected_derived
+    }
+
+    /// The encoder configuration the predictor was fitted with (the weekly
+    /// scoring engine reuses it for its incremental encoder).
+    pub fn encoder_config(&self) -> &EncoderConfig {
+        &self.encoder_config
     }
 }
 
@@ -565,11 +566,9 @@ fn scored(base: &EncodedDataset, f: DerivedFeature, score: f64) -> ScoredFeature
         DerivedFeature::Quadratic { col } => {
             format!("quad:{}^2", base.data.x.meta()[col].name)
         }
-        DerivedFeature::Product { a, b } => format!(
-            "prod:{}*{}",
-            base.data.x.meta()[a].name,
-            base.data.x.meta()[b].name
-        ),
+        DerivedFeature::Product { a, b } => {
+            format!("prod:{}*{}", base.data.x.meta()[a].name, base.data.x.meta()[b].name)
+        }
     };
     ScoredFeature { name, class: f.class(), score }
 }
@@ -630,8 +629,8 @@ mod tests {
         let ranking = predictor.rank(&data, &split.test_days);
         let budget = quick_config().budget(ranking.len());
         let p_at_budget = ranking.precision_at(budget);
-        let base_rate = ranking.labels.iter().filter(|&&y| y).count() as f64
-            / ranking.labels.len() as f64;
+        let base_rate =
+            ranking.labels.iter().filter(|&&y| y).count() as f64 / ranking.labels.len() as f64;
         assert!(
             p_at_budget > 3.0 * base_rate,
             "precision@{budget} = {p_at_budget}, base rate {base_rate}"
@@ -656,8 +655,8 @@ mod tests {
         // realized rate (calibration was on an earlier window).
         let mean_p: f64 =
             ranking.probabilities.iter().sum::<f64>() / ranking.probabilities.len() as f64;
-        let rate = ranking.labels.iter().filter(|&&y| y).count() as f64
-            / ranking.labels.len() as f64;
+        let rate =
+            ranking.labels.iter().filter(|&&y| y).count() as f64 / ranking.labels.len() as f64;
         assert!(mean_p < rate * 4.0 + 0.02 && mean_p > rate / 5.0, "mean {mean_p} vs rate {rate}");
     }
 
@@ -728,10 +727,7 @@ mod tests {
             }
         }
         // Feature names align with the assembled space.
-        assert_eq!(
-            predictor.assembled_feature_names().len(),
-            assembled.x.n_cols()
-        );
+        assert_eq!(predictor.assembled_feature_names().len(), assembled.x.n_cols());
     }
 
     #[test]
@@ -740,10 +736,9 @@ mod tests {
         let split = SplitSpec::paper_like(&data);
         let mut cfg = quick_config();
         cfg.iterations = 40;
-        let best =
-            TicketPredictor::select_iterations_cv(&data, &split, &cfg, &[2, 60], 3);
-        // A 2-stump model cannot cover the multi-metric signal; CV must
-        // pick the deeper candidate.
+        let best = TicketPredictor::select_iterations_cv(&data, &split, &cfg, &[1, 60], 3);
+        // A single-stump model ranks by one feature only and cannot cover
+        // the multi-metric signal; CV must pick the deeper candidate.
         assert_eq!(best, 60);
     }
 

@@ -1,0 +1,238 @@
+//! The incremental weekly scoring engine behind the operational loop.
+//!
+//! Every Saturday the proactive policy re-ranks the entire line population
+//! with the (fixed, already-trained) ticket predictor and dispatches the
+//! top-`B`. Done naively — clone the accumulated logs, rebuild the
+//! encoder's indexes, walk every stump for every row, fully sort the
+//! population — the weekly cost grows with elapsed time and is dominated by
+//! work whose result never changes.
+//!
+//! [`WeeklyScorer`] glues together the three incremental pieces:
+//!
+//! * [`IncrementalEncoder`] — per-line rolling state fed only the *new*
+//!   log events each week, borrowed straight from the world's output
+//!   (cursors remember how far previous weeks got; nothing is cloned);
+//! * [`BatchScorer`] — the predictor's stump ensemble compiled once into
+//!   per-stump bin→score lookup tables, evaluated over row chunks on
+//!   scoped threads, bit-identical to the serial per-row path;
+//! * partial top-`B` selection — [`RankedPredictions::top_rows`] selects
+//!   the budgeted head without sorting the whole population.
+//!
+//! Each piece is individually bit-compatible with its batch counterpart, so
+//! a [`WeeklyScorer`] ranking is exactly what [`TicketPredictor::rank`]
+//! would produce over the same logs — pinned by the tests below.
+
+use crate::predictor::{RankedPredictions, TicketPredictor};
+use nevermind_dslsim::topology::Line;
+use nevermind_dslsim::{LineId, LineTest, Ticket};
+use nevermind_features::{DerivedFeature, IncrementalEncoder};
+use nevermind_ml::data::{FeatureMatrix, FeatureMeta};
+use nevermind_ml::score::BatchScorer;
+
+/// Where one of the ensemble's used features comes from, in terms of the
+/// *base* encoding — the gather plan that lets [`WeeklyScorer::rank_week`]
+/// skip materialising the full assembled matrix.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// A selected base column, verbatim.
+    Base(usize),
+    /// `row[c] * row[c]` over base columns, exactly as `derive` computes it.
+    Quadratic(usize),
+    /// `row[a] * row[b]` over base columns, exactly as `derive` computes it.
+    Product(usize, usize),
+}
+
+/// Streaming population ranker for the weekly proactive loop.
+pub struct WeeklyScorer<'a> {
+    predictor: &'a TicketPredictor,
+    encoder: IncrementalEncoder<'a>,
+    scorer: BatchScorer,
+    /// Per used-feature slot: how to compute it from a *needed-column* row.
+    plan: Vec<Source>,
+    /// The distinct base columns the plan reads, sorted — the only columns
+    /// the encoder is asked to materialise each week.
+    needed: Vec<usize>,
+    /// Column metadata for the narrow gathered matrix.
+    narrow_meta: Vec<FeatureMeta>,
+    meas_cursor: usize,
+    ticket_cursor: usize,
+}
+
+impl<'a> WeeklyScorer<'a> {
+    /// Builds the engine for a trained predictor over a fixed plant. The
+    /// stump ensemble is compiled to lookup tables here, once, along with a
+    /// gather plan mapping each used feature back to the base columns it is
+    /// derived from — the full assembled feature space (all selected base +
+    /// derived columns) is never materialised per week.
+    pub fn new(predictor: &'a TicketPredictor, lines: &'a [Line]) -> Self {
+        let scorer = BatchScorer::new(predictor.model());
+        let n_base = predictor.selected_base().len();
+        let plan: Vec<Source> = scorer
+            .used_columns()
+            .map(|c| {
+                if c < n_base {
+                    Source::Base(predictor.selected_base()[c])
+                } else {
+                    match predictor.selected_derived()[c - n_base] {
+                        DerivedFeature::Quadratic { col } => Source::Quadratic(col),
+                        DerivedFeature::Product { a, b } => Source::Product(a, b),
+                    }
+                }
+            })
+            .collect();
+        // Collapse the plan's base-column references to the distinct set the
+        // encoder must produce, then rewrite the plan against that narrow
+        // column space.
+        let mut needed: Vec<usize> = plan
+            .iter()
+            .flat_map(|src| match *src {
+                Source::Base(c) | Source::Quadratic(c) => vec![c],
+                Source::Product(a, b) => vec![a, b],
+            })
+            .collect();
+        needed.sort_unstable();
+        needed.dedup();
+        let slot_of = |c: usize| needed.binary_search(&c).expect("needed covers the plan");
+        let plan: Vec<Source> = plan
+            .iter()
+            .map(|src| match *src {
+                Source::Base(c) => Source::Base(slot_of(c)),
+                Source::Quadratic(c) => Source::Quadratic(slot_of(c)),
+                Source::Product(a, b) => Source::Product(slot_of(a), slot_of(b)),
+            })
+            .collect();
+        let narrow_meta =
+            (0..plan.len()).map(|i| FeatureMeta::continuous(format!("used{i}"))).collect();
+        Self {
+            predictor,
+            encoder: IncrementalEncoder::new(lines, predictor.encoder_config().clone()),
+            scorer,
+            plan,
+            needed,
+            narrow_meta,
+            meas_cursor: 0,
+            ticket_cursor: 0,
+        }
+    }
+
+    /// Ingests whatever the logs have accrued since the last call. Pass the
+    /// world's full (growing) log slices each week; internal cursors skip
+    /// everything already seen, so only the fresh suffix is processed.
+    ///
+    /// # Panics
+    /// Panics if a log slice shrank since the previous call.
+    pub fn observe(&mut self, measurements: &[LineTest], tickets: &[Ticket]) {
+        assert!(
+            measurements.len() >= self.meas_cursor && tickets.len() >= self.ticket_cursor,
+            "logs must only grow between observations"
+        );
+        self.encoder.ingest(&measurements[self.meas_cursor..], &tickets[self.ticket_cursor..]);
+        self.meas_cursor = measurements.len();
+        self.ticket_cursor = tickets.len();
+    }
+
+    /// Encodes and ranks the whole population at the given Saturday, from
+    /// rolling state. Equivalent to [`TicketPredictor::rank`] over the
+    /// observed logs, at a per-week cost independent of elapsed time.
+    ///
+    /// Instead of assembling the predictor's full feature space, the encoder
+    /// materialises only the base columns the ensemble reads (time-series
+    /// z-score lanes are independent Welford streams, so the subset stays
+    /// bit-identical per column), and only the ensemble's used features are
+    /// gathered from them (with derived columns computed by the same `f32`
+    /// arithmetic as the batch `derive` pass, so margins stay bit-identical)
+    /// into a narrow matrix scored via
+    /// [`BatchScorer::margins_compact_parallel`].
+    pub fn rank_week(&mut self, day: u32) -> RankedPredictions {
+        let base = self.encoder.encode_day_cols(day, &self.needed);
+        let n_rows = base.data.len();
+        let mut values = Vec::with_capacity(n_rows * self.plan.len());
+        for r in 0..n_rows {
+            let row = base.data.x.row(r);
+            values.extend(self.plan.iter().map(|src| match *src {
+                Source::Base(c) => row[c],
+                Source::Quadratic(c) => row[c] * row[c],
+                Source::Product(a, b) => row[a] * row[b],
+            }));
+        }
+        let narrow = FeatureMatrix::new(n_rows, self.narrow_meta.clone(), values);
+        let margins = self.scorer.margins_compact_parallel(&narrow, 0);
+        let probabilities = self.predictor.calibration().probabilities(&margins);
+        RankedPredictions::from_scores(base.rows, probabilities, base.data.y)
+    }
+
+    /// The week's top-`budget` lines, best first — the dispatch list.
+    pub fn top_lines(&mut self, day: u32, budget: usize) -> Vec<LineId> {
+        self.rank_week(day).top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ExperimentData, SplitSpec};
+    use crate::predictor::PredictorConfig;
+    use nevermind_dslsim::SimConfig;
+
+    #[test]
+    fn weekly_engine_matches_batch_ranking() {
+        let data = ExperimentData::simulate(SimConfig::small(88));
+        let split = SplitSpec::paper_like(&data);
+        let cfg = PredictorConfig {
+            iterations: 40,
+            selection_iterations: 4,
+            n_base: 15,
+            n_quadratic: 6,
+            n_product: 6,
+            selection_row_cap: 5_000,
+            ..PredictorConfig::default()
+        };
+        let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+
+        let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
+        engine.observe(&data.output.measurements, &data.output.tickets);
+
+        for &day in split.test_days.iter().take(2) {
+            let batch = predictor.rank(&data, &[day]);
+            let streaming = engine.rank_week(day);
+            assert_eq!(batch.rows, streaming.rows, "day {day}: rows");
+            assert_eq!(batch.labels, streaming.labels, "day {day}: labels");
+            for (r, (a, b)) in batch.probabilities.iter().zip(&streaming.probabilities).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "day {day} row {r}: {a} vs {b}");
+            }
+            let budget = cfg.budget(batch.len());
+            assert_eq!(batch.top_rows(budget), streaming.top_rows(budget), "day {day}");
+        }
+    }
+
+    #[test]
+    fn observe_is_cursor_idempotent() {
+        let data = ExperimentData::simulate(SimConfig::small(89));
+        let split = SplitSpec::paper_like(&data);
+        let cfg = PredictorConfig {
+            iterations: 20,
+            selection_iterations: 3,
+            n_base: 10,
+            n_quadratic: 4,
+            n_product: 4,
+            selection_row_cap: 4_000,
+            ..PredictorConfig::default()
+        };
+        let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+
+        // Observing the same grown slices repeatedly must not double-ingest.
+        let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
+        let half_m = data.output.measurements.len() / 2;
+        let half_t = data.output.tickets.len() / 2;
+        engine.observe(&data.output.measurements[..half_m], &data.output.tickets[..half_t]);
+        engine.observe(&data.output.measurements[..half_m], &data.output.tickets[..half_t]);
+        engine.observe(&data.output.measurements, &data.output.tickets);
+        engine.observe(&data.output.measurements, &data.output.tickets);
+
+        let day = *split.test_days.last().expect("non-empty");
+        let batch = predictor.rank(&data, &[day]);
+        let streaming = engine.rank_week(day);
+        assert_eq!(batch.probabilities, streaming.probabilities);
+    }
+}

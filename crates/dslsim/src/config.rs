@@ -196,23 +196,25 @@ mod tests {
 
     #[test]
     fn derived_counts() {
-        let cfg = SimConfig { n_lines: 1000, lines_per_dslam: 48, dslams_per_bras: 10, ..SimConfig::default() };
+        let cfg = SimConfig {
+            n_lines: 1000,
+            lines_per_dslam: 48,
+            dslams_per_bras: 10,
+            ..SimConfig::default()
+        };
         assert_eq!(cfg.n_dslams(), 21);
         assert_eq!(cfg.n_bras(), 3);
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = SimConfig::default();
-        cfg.n_lines = 0;
+        let cfg = SimConfig { n_lines: 0, ..SimConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = SimConfig::default();
-        cfg.days = 10;
+        let cfg = SimConfig { days: 10, ..SimConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = SimConfig::default();
-        cfg.report_base_prob = 1.5;
+        let cfg = SimConfig { report_base_prob: 1.5, ..SimConfig::default() };
         assert!(cfg.validate().is_err());
     }
 

@@ -109,11 +109,8 @@ pub fn generate_customers(config: &SimConfig, seed: u64) -> Vec<Customer> {
             // predictor flags them — the paper's "conservative metric"
             // population and most of its not-on-site cases.
             let dark = rng.random_bool(0.05);
-            let usage_rate = if dark {
-                rng.random_range(0.005..0.05)
-            } else {
-                rng.random_range(0.15..0.95)
-            };
+            let usage_rate =
+                if dark { rng.random_range(0.005..0.05) } else { rng.random_range(0.15..0.95) };
             let off_when_idle = rng.random_bool(config.off_when_idle_fraction);
             let tolerance = rng.random_range(0.08..0.55);
             let weekend_heavy = rng.random_bool(0.3);
@@ -131,9 +128,8 @@ pub fn generate_customers(config: &SimConfig, seed: u64) -> Vec<Customer> {
             }
             let mut w = 0u32;
             while w < weeks {
-                let in_long = vacations
-                    .iter()
-                    .any(|&(s, e)| w * 7 >= s.saturating_sub(7) && w * 7 < e);
+                let in_long =
+                    vacations.iter().any(|&(s, e)| w * 7 >= s.saturating_sub(7) && w * 7 < e);
                 if !in_long && rng.random_bool(config.vacation_week_prob) {
                     let len_weeks = rng.random_range(1..=2u32);
                     let start = w * 7 + rng.random_range(0..7u32);

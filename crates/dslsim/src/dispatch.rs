@@ -95,8 +95,7 @@ pub fn run_dispatch<R: Rng>(
     proactive: bool,
     rng: &mut R,
 ) -> DispatchOutcome {
-    let live: Vec<usize> =
-        (0..faults.len()).filter(|&i| faults[i].active(day)).collect();
+    let live: Vec<usize> = (0..faults.len()).filter(|&i| faults[i].active(day)).collect();
 
     let mut tests = 0u32;
     let mut minutes = 0.0f64;
@@ -146,11 +145,8 @@ pub fn run_dispatch<R: Rng>(
         .min_by_key(|d| d.location())
         .expect("live is non-empty");
 
-    let mut recorded = if closest.location() < true_disposition.location() {
-        closest
-    } else {
-        true_disposition
-    };
+    let mut recorded =
+        if closest.location() < true_disposition.location() { closest } else { true_disposition };
 
     // Same-location label noise.
     if rng.random_bool(LABEL_NOISE_PROB) {
@@ -225,8 +221,7 @@ mod tests {
         good_order.extend(basic_order(&taxonomy_priors()).into_iter().filter(|d| *d != target));
         let bad_order = basic_order(&taxonomy_priors());
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let good =
-            run_dispatch(LineId(0), &mut faults_a, 10, &good_order, None, true, &mut rng);
+        let good = run_dispatch(LineId(0), &mut faults_a, 10, &good_order, None, true, &mut rng);
         let bad = run_dispatch(LineId(0), &mut faults_b, 10, &bad_order, None, true, &mut rng);
         assert_eq!(good.note.tests_performed, 1);
         assert!(bad.note.tests_performed >= good.note.tests_performed);
@@ -270,10 +265,7 @@ mod tests {
             }
         }
         assert!(found_runs > runs * 3 / 4, "most dispatches find something");
-        assert!(
-            hn_records > found_runs * 7 / 10,
-            "HN recorded {hn_records}/{found_runs}"
-        );
+        assert!(hn_records > found_runs * 7 / 10, "HN recorded {hn_records}/{found_runs}");
         let _ = &mut faults;
     }
 

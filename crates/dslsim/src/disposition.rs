@@ -136,58 +136,319 @@ macro_rules! d {
 /// used in exported datasets.
 pub const DISPOSITIONS: [DispositionInfo; N_DISPOSITIONS] = [
     // --- Home network (14) ---
-    d!("HN-MODEM", HomeNetwork, "Defective DSL modem replaced", Intermittent, 6.0, 10.0, false, 10.0),
-    d!("HN-MODEM-CFG", HomeNetwork, "DSL modem reconfigured / firmware reloaded", Degraded, 3.5, 6.0, false, 8.0),
-    d!("HN-FILTER", HomeNetwork, "Missing or defective micro-filter", Degraded, 4.0, 4.0, false, 5.0),
+    d!(
+        "HN-MODEM",
+        HomeNetwork,
+        "Defective DSL modem replaced",
+        Intermittent,
+        6.0,
+        10.0,
+        false,
+        10.0
+    ),
+    d!(
+        "HN-MODEM-CFG",
+        HomeNetwork,
+        "DSL modem reconfigured / firmware reloaded",
+        Degraded,
+        3.5,
+        6.0,
+        false,
+        8.0
+    ),
+    d!(
+        "HN-FILTER",
+        HomeNetwork,
+        "Missing or defective micro-filter",
+        Degraded,
+        4.0,
+        4.0,
+        false,
+        5.0
+    ),
     d!("HN-SPLITTER", HomeNetwork, "Defective POTS splitter", Degraded, 2.5, 7.0, false, 6.0),
-    d!("HN-NETCABLE", HomeNetwork, "Defective network cable between modem and host", Hard, 2.5, 2.0, false, 5.0),
-    d!("HN-IW-WET", HomeNetwork, "Inside wire wet or water damaged", Intermittent, 3.0, 12.0, true, 20.0),
+    d!(
+        "HN-NETCABLE",
+        HomeNetwork,
+        "Defective network cable between modem and host",
+        Hard,
+        2.5,
+        2.0,
+        false,
+        5.0
+    ),
+    d!(
+        "HN-IW-WET",
+        HomeNetwork,
+        "Inside wire wet or water damaged",
+        Intermittent,
+        3.0,
+        12.0,
+        true,
+        20.0
+    ),
     d!("HN-IW-CORRODED", HomeNetwork, "Inside wire corroded", Intermittent, 3.0, 21.0, false, 20.0),
     d!("HN-IW-CUT", HomeNetwork, "Inside wire cut or broken", Hard, 2.0, 1.0, false, 18.0),
-    d!("HN-JACK", HomeNetwork, "Defective wall jack re-terminated", Intermittent, 2.5, 9.0, false, 8.0),
+    d!(
+        "HN-JACK",
+        HomeNetwork,
+        "Defective wall jack re-terminated",
+        Intermittent,
+        2.5,
+        9.0,
+        false,
+        8.0
+    ),
     d!("HN-NIC", HomeNetwork, "Defective network interface card", Hard, 1.5, 3.0, false, 12.0),
-    d!("HN-SOFTWARE", HomeNetwork, "Host software or driver misconfiguration", Degraded, 3.0, 2.0, false, 15.0),
-    d!("HN-ROUTER", HomeNetwork, "Defective home router or gateway", Intermittent, 2.5, 8.0, false, 10.0),
+    d!(
+        "HN-SOFTWARE",
+        HomeNetwork,
+        "Host software or driver misconfiguration",
+        Degraded,
+        3.0,
+        2.0,
+        false,
+        15.0
+    ),
+    d!(
+        "HN-ROUTER",
+        HomeNetwork,
+        "Defective home router or gateway",
+        Intermittent,
+        2.5,
+        8.0,
+        false,
+        10.0
+    ),
     d!("HN-POWER", HomeNetwork, "Modem power supply failure", Hard, 1.5, 2.0, false, 6.0),
-    d!("HN-WIRING-REARRANGE", HomeNetwork, "Home wiring rearranged, extension removed", Degraded, 2.0, 5.0, false, 16.0),
+    d!(
+        "HN-WIRING-REARRANGE",
+        HomeNetwork,
+        "Home wiring rearranged, extension removed",
+        Degraded,
+        2.0,
+        5.0,
+        false,
+        16.0
+    ),
     // --- F2: home network to crossbox (13) ---
     d!("F2-AERIAL-DROP", F2, "Aerial drop wire replaced", Intermittent, 2.5, 14.0, true, 25.0),
-    d!("F2-BURIED-DROP", F2, "Repaired existing buried service wire", Intermittent, 2.0, 18.0, true, 30.0),
+    d!(
+        "F2-BURIED-DROP",
+        F2,
+        "Repaired existing buried service wire",
+        Intermittent,
+        2.0,
+        18.0,
+        true,
+        30.0
+    ),
     d!("F2-DEMARC", F2, "Access point (DEMARC/NID) repaired", Intermittent, 2.5, 10.0, true, 12.0),
     d!("F2-PROTECTOR", F2, "Defect in protector unit", Intermittent, 2.0, 12.0, true, 12.0),
-    d!("F2-PROT-DEMARC-WIRE", F2, "Wire from protector to DEMARC replaced", Degraded, 1.5, 9.0, false, 14.0),
+    d!(
+        "F2-PROT-DEMARC-WIRE",
+        F2,
+        "Wire from protector to DEMARC replaced",
+        Degraded,
+        1.5,
+        9.0,
+        false,
+        14.0
+    ),
     d!("F2-JUMPER", F2, "Jumper wire re-terminated", Degraded, 1.5, 8.0, false, 10.0),
     d!("F2-MTU", F2, "Defective MTU removed", Degraded, 1.0, 11.0, false, 12.0),
-    d!("F2-TERMINAL", F2, "Defective ready-access terminal on the drop side", Intermittent, 1.5, 13.0, true, 18.0),
+    d!(
+        "F2-TERMINAL",
+        F2,
+        "Defective ready-access terminal on the drop side",
+        Intermittent,
+        1.5,
+        13.0,
+        true,
+        18.0
+    ),
     d!("F2-DROP-CONN", F2, "Corroded drop connector resealed", Intermittent, 1.5, 16.0, true, 10.0),
-    d!("F2-SQUIRREL", F2, "Drop wire chewed or abraded (wildlife damage)", Hard, 1.0, 5.0, false, 22.0),
+    d!(
+        "F2-SQUIRREL",
+        F2,
+        "Drop wire chewed or abraded (wildlife damage)",
+        Hard,
+        1.0,
+        5.0,
+        false,
+        22.0
+    ),
     d!("F2-TREE", F2, "Drop wire strained by vegetation", Intermittent, 1.0, 15.0, true, 20.0),
     d!("F2-GROUND", F2, "Faulty grounding at the NID", Degraded, 1.0, 14.0, true, 12.0),
-    d!("F2-SPLICE", F2, "Defective splice in the service wire", Intermittent, 1.0, 17.0, true, 24.0),
+    d!(
+        "F2-SPLICE",
+        F2,
+        "Defective splice in the service wire",
+        Intermittent,
+        1.0,
+        17.0,
+        true,
+        24.0
+    ),
     // --- F1: crossbox to DSLAM (13) ---
-    d!("F1-PAIR-TRANSFER", F1, "Transferred service to another cable pair", Intermittent, 2.5, 15.0, true, 28.0),
-    d!("F1-BRIDGE-TAP", F1, "Bridge tap removed from the customer's facilities", Degraded, 2.0, 25.0, false, 26.0),
-    d!("F1-WET-CONDUCTOR", F1, "Wet or corroded wire conductor dried or replaced", Intermittent, 3.0, 14.0, true, 24.0),
-    d!("F1-CROSSBOX", F1, "Defect found and repaired in a crossbox", Intermittent, 2.0, 12.0, true, 18.0),
-    d!("F1-BURIED-TERM", F1, "Defective buried ready-access terminal", Intermittent, 1.5, 16.0, true, 26.0),
+    d!(
+        "F1-PAIR-TRANSFER",
+        F1,
+        "Transferred service to another cable pair",
+        Intermittent,
+        2.5,
+        15.0,
+        true,
+        28.0
+    ),
+    d!(
+        "F1-BRIDGE-TAP",
+        F1,
+        "Bridge tap removed from the customer's facilities",
+        Degraded,
+        2.0,
+        25.0,
+        false,
+        26.0
+    ),
+    d!(
+        "F1-WET-CONDUCTOR",
+        F1,
+        "Wet or corroded wire conductor dried or replaced",
+        Intermittent,
+        3.0,
+        14.0,
+        true,
+        24.0
+    ),
+    d!(
+        "F1-CROSSBOX",
+        F1,
+        "Defect found and repaired in a crossbox",
+        Intermittent,
+        2.0,
+        12.0,
+        true,
+        18.0
+    ),
+    d!(
+        "F1-BURIED-TERM",
+        F1,
+        "Defective buried ready-access terminal",
+        Intermittent,
+        1.5,
+        16.0,
+        true,
+        26.0
+    ),
     d!("F1-PAIR-CUT", F1, "Cable pair cut repaired", Hard, 2.0, 1.0, false, 30.0),
-    d!("F1-DEFECT-CABLE", F1, "Defective cable section replaced", Intermittent, 1.5, 13.0, true, 32.0),
+    d!(
+        "F1-DEFECT-CABLE",
+        F1,
+        "Defective cable section replaced",
+        Intermittent,
+        1.5,
+        13.0,
+        true,
+        32.0
+    ),
     d!("F1-STUB", F1, "Cable stub removed", Degraded, 1.0, 22.0, false, 24.0),
-    d!("F1-BINDER", F1, "Binder-group noise isolated (crosstalk)", Degraded, 1.5, 18.0, false, 22.0),
+    d!(
+        "F1-BINDER",
+        F1,
+        "Binder-group noise isolated (crosstalk)",
+        Degraded,
+        1.5,
+        18.0,
+        false,
+        22.0
+    ),
     d!("F1-LOAD-COIL", F1, "Load coil removed", Degraded, 1.0, 20.0, false, 25.0),
-    d!("F1-SPLICE-CASE", F1, "Water pumped out of a splice case and resealed", Intermittent, 1.5, 11.0, true, 28.0),
+    d!(
+        "F1-SPLICE-CASE",
+        F1,
+        "Water pumped out of a splice case and resealed",
+        Intermittent,
+        1.5,
+        11.0,
+        true,
+        28.0
+    ),
     d!("F1-XBOX-JUMPER", F1, "Crossbox jumper re-run", Degraded, 1.0, 10.0, false, 15.0),
     d!("F1-PRESSURE", F1, "Cable pressurization restored", Intermittent, 1.0, 13.0, true, 26.0),
     // --- DSLAM (12) ---
-    d!("DS-SPEED-DOWN", Dslam, "Reduced speed to stabilize the line (profile downgrade)", Degraded, 3.0, 20.0, false, 10.0),
-    d!("DS-TRANSPORT", Dslam, "Digital stream transport repaired", Intermittent, 1.5, 8.0, false, 20.0),
-    d!("DS-WIRING", Dslam, "Wiring at the DSLAM re-terminated", Intermittent, 2.0, 10.0, false, 16.0),
-    d!("DS-PRONTO-ABCU", Dslam, "DSLAM pronto card ABCU replaced", Intermittent, 1.5, 9.0, false, 18.0),
-    d!("DS-PRONTO-ADLU", Dslam, "DSLAM pronto card ADLU replaced", Intermittent, 1.5, 9.0, false, 18.0),
-    d!("DS-PORT", Dslam, "Moved subscriber to another DSLAM port", Intermittent, 1.5, 7.0, false, 14.0),
+    d!(
+        "DS-SPEED-DOWN",
+        Dslam,
+        "Reduced speed to stabilize the line (profile downgrade)",
+        Degraded,
+        3.0,
+        20.0,
+        false,
+        10.0
+    ),
+    d!(
+        "DS-TRANSPORT",
+        Dslam,
+        "Digital stream transport repaired",
+        Intermittent,
+        1.5,
+        8.0,
+        false,
+        20.0
+    ),
+    d!(
+        "DS-WIRING",
+        Dslam,
+        "Wiring at the DSLAM re-terminated",
+        Intermittent,
+        2.0,
+        10.0,
+        false,
+        16.0
+    ),
+    d!(
+        "DS-PRONTO-ABCU",
+        Dslam,
+        "DSLAM pronto card ABCU replaced",
+        Intermittent,
+        1.5,
+        9.0,
+        false,
+        18.0
+    ),
+    d!(
+        "DS-PRONTO-ADLU",
+        Dslam,
+        "DSLAM pronto card ADLU replaced",
+        Intermittent,
+        1.5,
+        9.0,
+        false,
+        18.0
+    ),
+    d!(
+        "DS-PORT",
+        Dslam,
+        "Moved subscriber to another DSLAM port",
+        Intermittent,
+        1.5,
+        7.0,
+        false,
+        14.0
+    ),
     d!("DS-ATM", Dslam, "ATM switch or uplink issue resolved", Intermittent, 1.0, 6.0, false, 20.0),
     d!("DS-DIGITAL-STREAM", Dslam, "Digital stream reprovisioned", Degraded, 1.0, 8.0, false, 15.0),
-    d!("DS-PROFILE-CFG", Dslam, "Port profile misconfiguration corrected", Degraded, 1.5, 5.0, false, 10.0),
+    d!(
+        "DS-PROFILE-CFG",
+        Dslam,
+        "Port profile misconfiguration corrected",
+        Degraded,
+        1.5,
+        5.0,
+        false,
+        10.0
+    ),
     d!("DS-CARD-SEAT", Dslam, "Line card reseated", Intermittent, 1.0, 6.0, false, 12.0),
     d!("DS-SHELF-POWER", Dslam, "Shelf power or fan fault serviced", Hard, 0.8, 4.0, false, 20.0),
     d!("DS-SYNC", Dslam, "Port resynchronization / firmware reset", Degraded, 1.2, 5.0, false, 8.0),
@@ -205,10 +466,7 @@ pub fn dispositions_at(location: MajorLocation) -> Vec<DispositionId> {
 
 /// Looks up a disposition by its code string.
 pub fn by_code(code: &str) -> Option<DispositionId> {
-    DISPOSITIONS
-        .iter()
-        .position(|d| d.code == code)
-        .map(|i| DispositionId(i as u8))
+    DISPOSITIONS.iter().position(|d| d.code == code).map(|i| DispositionId(i as u8))
 }
 
 #[cfg(test)]

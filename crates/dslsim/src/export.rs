@@ -96,8 +96,8 @@ fn category_label(c: TicketCategory) -> &'static str {
 /// Writes records as JSON Lines via serde (lossless round-trip).
 pub fn export_jsonl<W: Write, T: serde::Serialize>(out: &mut W, records: &[T]) -> io::Result<()> {
     for r in records {
-        let line = serde_json::to_string(r)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let line =
+            serde_json::to_string(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         writeln!(out, "{line}")?;
     }
     Ok(())
@@ -105,9 +105,7 @@ pub fn export_jsonl<W: Write, T: serde::Serialize>(out: &mut W, records: &[T]) -
 
 /// Reads serde records back from JSON Lines. Empty lines are skipped;
 /// malformed lines produce an error naming the line number.
-pub fn import_jsonl<R: BufRead, T: serde::de::DeserializeOwned>(
-    input: R,
-) -> io::Result<Vec<T>> {
+pub fn import_jsonl<R: BufRead, T: serde::de::DeserializeOwned>(input: R) -> io::Result<Vec<T>> {
     let mut out = Vec::new();
     for (i, line) in input.lines().enumerate() {
         let line = line?;
@@ -216,13 +214,11 @@ mod tests {
         let good = r#"{"id":1,"line":2,"day":3,"category":"CustomerEdge"}
 
 {"id":2,"line":5,"day":9,"category":"Outage"}"#;
-        let back: Vec<Ticket> =
-            import_jsonl(BufReader::new(good.as_bytes())).expect("parse");
+        let back: Vec<Ticket> = import_jsonl(BufReader::new(good.as_bytes())).expect("parse");
         assert_eq!(back.len(), 2);
 
         let bad = "{\"id\":1}\nnot json\n";
-        let err = import_jsonl::<_, Ticket>(BufReader::new(bad.as_bytes()))
-            .expect_err("must fail");
+        let err = import_jsonl::<_, Ticket>(BufReader::new(bad.as_bytes())).expect_err("must fail");
         assert!(err.to_string().contains("line 1"), "error names the line: {err}");
     }
 

@@ -357,7 +357,7 @@ mod tests {
 
     #[test]
     fn every_disposition_has_a_nontrivial_signature() {
-        for i in 0..N_DISPOSITIONS {
+        for (i, disposition) in DISPOSITIONS.iter().enumerate() {
             let sig = signature_of(DispositionId(i as u8));
             let perturbs = sig.rate_factor < 1.0
                 || sig.nmr_delta_db > 0.0
@@ -365,7 +365,7 @@ mod tests {
                 || sig.no_answer_prob > 0.0
                 || sig.sets_bt
                 || sig.sets_crosstalk;
-            assert!(perturbs, "{} has a no-op signature", DISPOSITIONS[i].code);
+            assert!(perturbs, "{} has a no-op signature", disposition.code);
         }
     }
 
@@ -394,15 +394,14 @@ mod tests {
         let long = line(18_000.0, ServiceProfile::Basic, false);
         let ws = disposition_weights(&short);
         let wl = disposition_weights(&long);
-        let outside =
-            |w: &[f64; N_DISPOSITIONS]| -> f64 {
-                DISPOSITIONS
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, d)| d.location.is_outside())
-                    .map(|(i, _)| w[i])
-                    .sum()
-            };
+        let outside = |w: &[f64; N_DISPOSITIONS]| -> f64 {
+            DISPOSITIONS
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.location.is_outside())
+                .map(|(i, _)| w[i])
+                .sum()
+        };
         assert!(outside(&wl) > outside(&ws));
     }
 }

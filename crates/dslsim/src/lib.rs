@@ -38,8 +38,8 @@
 pub mod config;
 pub mod customer;
 pub mod dispatch;
-pub mod export;
 pub mod disposition;
+pub mod export;
 pub mod fault;
 pub mod ids;
 pub mod measurement;

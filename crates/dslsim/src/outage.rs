@@ -53,7 +53,7 @@ impl OutageSchedule {
         let daily_p = (outages_per_year / 365.0).clamp(0.0, 1.0);
         let mut events = Vec::new();
         let mut by_dslam = vec![Vec::new(); n_dslams];
-        for d in 0..n_dslams {
+        for (d, dslam_events) in by_dslam.iter_mut().enumerate() {
             let mut day = 0u32;
             while day < days {
                 if rng.random_bool(daily_p) {
@@ -63,7 +63,7 @@ impl OutageSchedule {
                         start: day,
                         end: (day + len).min(days),
                     };
-                    by_dslam[d].push(events.len());
+                    dslam_events.push(events.len());
                     events.push(ev);
                     // Refractory period: a freshly repaired DSLAM doesn't
                     // fail again immediately.
@@ -169,9 +169,9 @@ mod tests {
     #[test]
     fn unaffected_dslams_are_calm() {
         let s = OutageSchedule::generate(50, 365, 0.8, 10.0, 5);
-        if let Some(calm) = (0..50).map(|i| DslamId(i)).find(|d| {
-            !s.events().iter().any(|e| e.dslam == *d)
-        }) {
+        if let Some(calm) =
+            (0..50).map(DslamId).find(|d| !s.events().iter().any(|e| e.dslam == *d))
+        {
             for day in (0..365).step_by(13) {
                 assert_eq!(s.stress(calm, day), 0.0);
             }

@@ -235,8 +235,8 @@ pub fn synthesize<R: Rng>(
 
     // Rolling cell counts: proportional to realized usage and sync rate.
     let usage = weekly_usage.clamp(0.0, 1.0);
-    let dncells = (dn_br * usage * effects.cells_factor * 90.0 * (0.6 + 0.4 * rng.random::<f64>()))
-        .max(0.0);
+    let dncells =
+        (dn_br * usage * effects.cells_factor * 90.0 * (0.6 + 0.4 * rng.random::<f64>())).max(0.0);
     let upcells = dncells * 0.15 * (0.8 + 0.4 * rng.random::<f64>());
 
     let state = if rng.random_bool(effects.state_flap_prob.clamp(0.0, 1.0)) { 0.0 } else { 1.0 };
@@ -260,10 +260,7 @@ pub fn synthesize<R: Rng>(
     set(LineMetric::DnFecCnt1, fec);
     set(LineMetric::HiCar, (440.0 - 14.0 * dnaten + 5.0 * gauss(rng)).clamp(60.0, 480.0));
     set(LineMetric::Bt, if effects.bt { 1.0 } else { 0.0 });
-    set(
-        LineMetric::Crosstalk,
-        if effects.crosstalk || rng.random_bool(0.02) { 1.0 } else { 0.0 },
-    );
+    set(LineMetric::Crosstalk, if effects.crosstalk || rng.random_bool(0.02) { 1.0 } else { 0.0 });
     set(LineMetric::LoopLength, l_ft * (1.0 + 0.03 * gauss(rng)) + effects.loop_est_bias_ft);
     set(LineMetric::DnMaxAttainFbr, attain_dn.max(0.0));
     set(LineMetric::UpMaxAttainFbr, attain_up.max(0.0));
@@ -351,7 +348,11 @@ mod tests {
             (v[LineMetric::DnBr.index()] as f64) < ServiceProfile::Advanced.down_kbps(),
             "long loop cannot sustain the advanced profile"
         );
-        assert!(v[LineMetric::DnRelCap.index()] > 85.0, "relcap = {}", v[LineMetric::DnRelCap.index()]);
+        assert!(
+            v[LineMetric::DnRelCap.index()] > 85.0,
+            "relcap = {}",
+            v[LineMetric::DnRelCap.index()]
+        );
         assert!(v[LineMetric::DnNmr.index()] < 6.0, "thin margin expected");
     }
 
@@ -407,7 +408,9 @@ mod tests {
         assert_eq!(v[LineMetric::Bt.index()], 1.0);
         let clean = combine_effects(&l, &[], 0, 0.0);
         let v_clean = synthesize(&l, &clean, 0.5, &mut rng);
-        assert!(v[LineMetric::DnMaxAttainFbr.index()] < v_clean[LineMetric::DnMaxAttainFbr.index()]);
+        assert!(
+            v[LineMetric::DnMaxAttainFbr.index()] < v_clean[LineMetric::DnMaxAttainFbr.index()]
+        );
         assert!(
             v[LineMetric::LoopLength.index()] > v_clean[LineMetric::LoopLength.index()],
             "bridge tap skews the loop estimate upward"
@@ -446,10 +449,7 @@ mod tests {
             let n = 4000;
             let total: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum();
             let mean = total / n as f64;
-            assert!(
-                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
-                "lambda {lambda}: mean {mean}"
-            );
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.1, "lambda {lambda}: mean {mean}");
         }
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }

@@ -134,12 +134,7 @@ mod tests {
         let aging = World::generate(Scenario::AgingPlant.config(9, 1_500, 180)).run();
         let quiet = World::generate(Scenario::QuietNetwork.config(9, 1_500, 180)).run();
         let ce = |o: &crate::world::SimOutput| o.customer_edge_tickets().count();
-        assert!(
-            ce(&aging) > 2 * ce(&quiet),
-            "aging {} vs quiet {}",
-            ce(&aging),
-            ce(&quiet)
-        );
+        assert!(ce(&aging) > 2 * ce(&quiet), "aging {} vs quiet {}", ce(&aging), ce(&quiet));
         assert!(aging.outage_events.len() > quiet.outage_events.len());
     }
 }

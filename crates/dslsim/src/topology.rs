@@ -103,15 +103,15 @@ impl Topology {
                 // Right-skewed spread around the hub: some subscribers sit
                 // much further out than the neighbourhood center.
                 let spread: f64 = rng.random_range(0.0f64..1.0);
-                let loop_length_ft = (hub_ft + 8_000.0 * spread * spread * spread
-                    + rng.random_range(0.0..1_500.0))
-                .clamp(500.0, 24_000.0);
+                let loop_length_ft =
+                    (hub_ft + 8_000.0 * spread * spread * spread + rng.random_range(0.0..1_500.0))
+                        .clamp(500.0, 24_000.0);
 
                 // Profile assignment: longer loops skew toward slower tiers,
                 // but provisioning is imperfect — a fraction of long loops
                 // still get fast profiles (future speed-downgrade cases).
-                let p_fast = (1.2 - loop_length_ft / 16_000.0 + config.overprovision_bias)
-                    .clamp(0.05, 0.95);
+                let p_fast =
+                    (1.2 - loop_length_ft / 16_000.0 + config.overprovision_bias).clamp(0.05, 0.95);
                 let profile = if rng.random_bool(p_fast) {
                     if rng.random_bool(0.5) {
                         ServiceProfile::Advanced
@@ -124,7 +124,14 @@ impl Topology {
 
                 let has_bridge_tap = rng.random_bool(0.08);
 
-                lines.push(Line { id, dslam: dslam_id, crossbox, loop_length_ft, profile, has_bridge_tap });
+                lines.push(Line {
+                    id,
+                    dslam: dslam_id,
+                    crossbox,
+                    loop_length_ft,
+                    profile,
+                    has_bridge_tap,
+                });
             }
 
             dslams.push(Dslam { id: dslam_id, bras, region, first_line, n_lines: n_here });
@@ -243,11 +250,8 @@ mod tests {
     fn some_fast_profiles_on_long_loops() {
         // The provisioning mismatch that feeds DS-SPEED-DOWN must exist.
         let (_, topo) = small();
-        let mismatched = topo
-            .lines
-            .iter()
-            .filter(|l| l.loop_length_ft > l.profile.marginal_loop_ft())
-            .count();
+        let mismatched =
+            topo.lines.iter().filter(|l| l.loop_length_ft > l.profile.marginal_loop_ft()).count();
         assert!(mismatched > 0, "no profile/loop mismatches generated");
     }
 
@@ -272,8 +276,7 @@ mod tests {
     fn crossboxes_subdivide_dslams() {
         let (cfg, topo) = small();
         for dslam in &topo.dslams {
-            let mut boxes: Vec<u32> =
-                dslam.lines().map(|l| topo.line(l).crossbox.0).collect();
+            let mut boxes: Vec<u32> = dslam.lines().map(|l| topo.line(l).crossbox.0).collect();
             boxes.sort_unstable();
             boxes.dedup();
             assert!(boxes.len() <= cfg.crossboxes_per_dslam);

@@ -138,12 +138,10 @@ mod tests {
     #[test]
     fn multiplier_applies_only_when_wet_and_sensitive() {
         let cal = ExogenousCalendar::generate(2, 10, 365, 3);
-        let wet_day = (0..365)
-            .find(|&d| cal.is_wet(RegionId(0), d))
-            .expect("some wet day in a year");
-        let dry_day = (0..365)
-            .find(|&d| !cal.is_wet(RegionId(0), d))
-            .expect("some dry day in a year");
+        let wet_day =
+            (0..365).find(|&d| cal.is_wet(RegionId(0), d)).expect("some wet day in a year");
+        let dry_day =
+            (0..365).find(|&d| !cal.is_wet(RegionId(0), d)).expect("some dry day in a year");
 
         let sensitive = by_code("F1-WET-CONDUCTOR").expect("exists");
         let insensitive = by_code("HN-SOFTWARE").expect("exists");
@@ -176,8 +174,7 @@ mod tests {
         let cut = by_code("F1-PAIR-CUT").expect("exists");
         let inside_cut = by_code("HN-IW-CUT").expect("exists");
         let region = RegionId(0);
-        let base = if cal.is_wet(region, day) { 1.0 } else { 1.0 };
-        let m = cal.hazard_multiplier(cut, region, DslamId(dslam), day) / base;
+        let m = cal.hazard_multiplier(cut, region, DslamId(dslam), day);
         assert!(m >= CONSTRUCTION_MULTIPLIER, "outside cut multiplier {m}");
         // HN cuts are inside and unaffected by street construction.
         assert_eq!(cal.hazard_multiplier(inside_cut, region, DslamId(dslam), day), 1.0);

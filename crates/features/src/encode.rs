@@ -207,88 +207,139 @@ impl<'a> BaseEncoder<'a> {
     }
 
     fn encode_row(&self, line: &Line, day: u32, slot: &mut [f32]) {
-        let cur = self.measurements.at(line.id, day);
+        let cur = self.measurements.at(line.id, day).map(|t| &t.values);
         let prev = self
             .measurements
             .before(line.id, day)
             .last()
-            .filter(|t| day - t.day <= self.config.delta_max_lookback_days);
+            .filter(|t| day - t.day <= self.config.delta_max_lookback_days)
+            .map(|t| &t.values);
 
         // History window for time-series and modem features.
         let window_start = day.saturating_sub(self.config.history_weeks as u32 * 7);
-        let history: Vec<&LineTest> = self
+        let history: Vec<&[f32; N_METRICS]> = self
             .measurements
             .before(line.id, day)
             .iter()
-            .copied()
             .filter(|t| t.day >= window_start)
+            .map(|t| &t.values)
             .collect();
 
-        // --- basic + delta ---
-        if let Some(cur) = cur {
-            for (i, &v) in cur.values.iter().enumerate() {
-                slot[i] = v;
-            }
-            if let Some(prev) = prev {
-                for i in 0..N_METRICS {
-                    slot[N_METRICS + i] = cur.values[i] - prev.values[i];
-                }
-            }
-        }
-
-        // --- time-series z-scores ---
-        if let Some(cur) = cur {
-            if history.len() >= self.config.min_history_tests {
-                for i in 0..N_METRICS {
-                    let mut mom = RunningMoments::new();
-                    for t in &history {
-                        mom.push(f64::from(t.values[i]));
-                    }
-                    let sd = mom.std_dev();
-                    let z = if sd > 1e-6 {
-                        (f64::from(cur.values[i]) - mom.mean()) / sd
-                    } else if (f64::from(cur.values[i]) - mom.mean()).abs() < 1e-6 {
-                        0.0
-                    } else {
-                        f64::NAN
-                    };
-                    slot[2 * N_METRICS + i] = z as f32;
-                }
-            }
-        }
-
-        // --- profile features ---
-        let pbase = 3 * N_METRICS;
-        if let Some(cur) = cur {
-            let down = line.profile.down_kbps() as f32;
-            let up = line.profile.up_kbps() as f32;
-            slot[pbase] = cur.get(LineMetric::DnBr) / down;
-            slot[pbase + 1] = cur.get(LineMetric::UpBr) / up;
-            slot[pbase + 2] = cur.get(LineMetric::DnMaxAttainFbr) / down;
-            slot[pbase + 3] = cur.get(LineMetric::UpMaxAttainFbr) / up;
-            slot[pbase + 4] =
-                cur.get(LineMetric::LoopLength) / line.profile.marginal_loop_ft() as f32;
-        }
-
-        // --- ticket recency ---
-        let days_since = match self.tickets.last_before(line.id, day + 1) {
-            Some(t) => (day + 1 - t).min(365),
-            None => 365,
-        };
-        slot[pbase + 5] = days_since as f32;
-
-        // --- modem-off fraction ---
-        // Expected Saturdays in the window (Saturdays are day % 7 == 6).
-        let first_sat = if window_start % 7 <= 6 {
-            window_start + (6 - window_start % 7)
-        } else {
-            window_start
-        };
-        let expected = if day > first_sat { ((day - first_sat) / 7 + 1) as usize } else { 1 };
-        let present = history.len() + usize::from(cur.is_some());
-        let frac_off = 1.0 - (present as f64 / expected as f64).min(1.0);
-        slot[pbase + 6] = frac_off as f32;
+        let days_since = days_since_ticket(self.tickets.last_before(line.id, day + 1), day);
+        fill_base_row(line, day, cur, prev, &history, days_since, &self.config, slot);
     }
+}
+
+/// The `cust:days_since_ticket` value from the most recent ticket at or
+/// before `day` (pass the result of a `last_before(line, day + 1)` lookup).
+pub(crate) fn days_since_ticket(last_ticket: Option<u32>, day: u32) -> u32 {
+    match last_ticket {
+        Some(t) => (day + 1 - t).min(365),
+        None => 365,
+    }
+}
+
+/// Fills one base-feature row from its ingredients.
+///
+/// Shared by [`BaseEncoder`] (which gathers the ingredients from full-log
+/// indexes) and [`crate::incremental::IncrementalEncoder`] (which keeps them
+/// as per-line rolling state), so the two encoders agree bit for bit.
+///
+/// `history` holds the metric vectors of the tests strictly before `day`
+/// within the `history_weeks` window, in chronological order; `prev` must
+/// already be filtered by `delta_max_lookback_days`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_base_row(
+    line: &Line,
+    day: u32,
+    cur: Option<&[f32; N_METRICS]>,
+    prev: Option<&[f32; N_METRICS]>,
+    history: &[&[f32; N_METRICS]],
+    days_since: u32,
+    config: &EncoderConfig,
+    slot: &mut [f32],
+) {
+    fill_row_except_ts(line, day, cur, prev, history.len(), days_since, config, slot);
+
+    // --- time-series z-scores (reference implementation) ---
+    // The incremental encoder computes the same z-scores with a fused
+    // 25-lane pass (`incremental::fill_ts_fused`) whose per-metric update
+    // sequence is identical to `RunningMoments::push`, so the two paths
+    // agree bit for bit (pinned by the incremental equivalence tests).
+    if let Some(cur) = cur {
+        if history.len() >= config.min_history_tests {
+            for i in 0..N_METRICS {
+                let mut mom = RunningMoments::new();
+                for t in history {
+                    mom.push(f64::from(t[i]));
+                }
+                let sd = mom.std_dev();
+                let z = if sd > 1e-6 {
+                    (f64::from(cur[i]) - mom.mean()) / sd
+                } else if (f64::from(cur[i]) - mom.mean()).abs() < 1e-6 {
+                    0.0
+                } else {
+                    f64::NAN
+                };
+                slot[2 * N_METRICS + i] = z as f32;
+            }
+        }
+    }
+}
+
+/// Everything in a base row except the time-series z-score block: basic,
+/// delta, profile, ticket-recency and modem-off features. Shared between the
+/// batch and incremental encoders (which differ only in how they compute the
+/// z-scores and gather the ingredients).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_row_except_ts(
+    line: &Line,
+    day: u32,
+    cur: Option<&[f32; N_METRICS]>,
+    prev: Option<&[f32; N_METRICS]>,
+    history_count: usize,
+    days_since: u32,
+    config: &EncoderConfig,
+    slot: &mut [f32],
+) {
+    let window_start = day.saturating_sub(config.history_weeks as u32 * 7);
+
+    // --- basic + delta ---
+    if let Some(cur) = cur {
+        for (i, &v) in cur.iter().enumerate() {
+            slot[i] = v;
+        }
+        if let Some(prev) = prev {
+            for i in 0..N_METRICS {
+                slot[N_METRICS + i] = cur[i] - prev[i];
+            }
+        }
+    }
+
+    // --- profile features ---
+    let pbase = 3 * N_METRICS;
+    if let Some(cur) = cur {
+        let down = line.profile.down_kbps() as f32;
+        let up = line.profile.up_kbps() as f32;
+        slot[pbase] = cur[LineMetric::DnBr.index()] / down;
+        slot[pbase + 1] = cur[LineMetric::UpBr.index()] / up;
+        slot[pbase + 2] = cur[LineMetric::DnMaxAttainFbr.index()] / down;
+        slot[pbase + 3] = cur[LineMetric::UpMaxAttainFbr.index()] / up;
+        slot[pbase + 4] =
+            cur[LineMetric::LoopLength.index()] / line.profile.marginal_loop_ft() as f32;
+    }
+
+    // --- ticket recency ---
+    slot[pbase + 5] = days_since as f32;
+
+    // --- modem-off fraction ---
+    // Expected Saturdays in the window (Saturdays are day % 7 == 6).
+    let first_sat =
+        if window_start % 7 <= 6 { window_start + (6 - window_start % 7) } else { window_start };
+    let expected = if day > first_sat { ((day - first_sat) / 7 + 1) as usize } else { 1 };
+    let present = history_count + usize::from(cur.is_some());
+    let frac_off = 1.0 - (present as f64 / expected as f64).min(1.0);
+    slot[pbase + 6] = frac_off as f32;
 }
 
 /// Every quadratic over continuous base columns.
@@ -330,10 +381,9 @@ pub fn derive(base: &EncodedDataset, features: &[DerivedFeature]) -> EncodedData
     let meta: Vec<FeatureMeta> = features
         .iter()
         .map(|f| match f {
-            DerivedFeature::Quadratic { col } => FeatureMeta::continuous(format!(
-                "quad:{}^2",
-                base.data.x.meta()[*col].name
-            )),
+            DerivedFeature::Quadratic { col } => {
+                FeatureMeta::continuous(format!("quad:{}^2", base.data.x.meta()[*col].name))
+            }
             DerivedFeature::Product { a, b } => FeatureMeta::continuous(format!(
                 "prod:{}*{}",
                 base.data.x.meta()[*a].name,
@@ -356,10 +406,7 @@ pub fn derive(base: &EncodedDataset, features: &[DerivedFeature]) -> EncodedData
     }
 
     EncodedDataset {
-        data: Dataset::new(
-            FeatureMatrix::new(n_rows, meta, values),
-            base.data.y.clone(),
-        ),
+        data: Dataset::new(FeatureMatrix::new(n_rows, meta, values), base.data.y.clone()),
         rows: base.rows.clone(),
         classes,
     }
@@ -380,7 +427,8 @@ mod tests {
     #[test]
     fn encodes_expected_shape() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let day = 27 * 7 + 6; // a mid-run Saturday
         let ds = enc.encode(&[day]);
         assert_eq!(ds.data.len(), lines.len());
@@ -394,22 +442,21 @@ mod tests {
     #[should_panic(expected = "not a Saturday")]
     fn rejects_non_saturdays() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let _ = enc.encode(&[100]);
     }
 
     #[test]
     fn basic_features_match_measurements() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let day = 20 * 7 + 6;
         let ds = enc.encode(&[day]);
         // Find a row whose line measured that day and check value passthrough.
-        let m = out
-            .measurements
-            .iter()
-            .find(|m| m.day == day)
-            .expect("someone measured that Saturday");
+        let m =
+            out.measurements.iter().find(|m| m.day == day).expect("someone measured that Saturday");
         let row_idx = ds.rows.iter().position(|r| r.line == m.line).expect("row exists");
         for i in 0..N_METRICS {
             let v = ds.data.x.get(row_idx, i);
@@ -420,16 +467,14 @@ mod tests {
     #[test]
     fn missing_test_yields_nan_basics_but_customer_features() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let day = 20 * 7 + 6;
         let measured: std::collections::HashSet<LineId> =
             out.measurements.iter().filter(|m| m.day == day).map(|m| m.line).collect();
         let ds = enc.encode(&[day]);
-        let row_idx = ds
-            .rows
-            .iter()
-            .position(|r| !measured.contains(&r.line))
-            .expect("some modem was off");
+        let row_idx =
+            ds.rows.iter().position(|r| !measured.contains(&r.line)).expect("some modem was off");
         assert!(ds.data.x.get(row_idx, 0).is_nan(), "basic must be missing");
         // Ticket-recency and modem features never go missing.
         let n = ds.data.x.n_cols();
@@ -448,9 +493,9 @@ mod tests {
         let day = 15 * 7 + 6;
         let ds = enc.encode(&[day]);
         for (row, key) in ds.rows.iter().enumerate() {
-            let expected = out.customer_edge_tickets().any(|t| {
-                t.line == key.line && t.day > day && t.day <= day + cfg.horizon_days
-            });
+            let expected = out
+                .customer_edge_tickets()
+                .any(|t| t.line == key.line && t.day > day && t.day <= day + cfg.horizon_days);
             assert_eq!(ds.data.y[row], expected, "label mismatch line {}", key.line);
         }
         assert!(ds.data.n_positive() > 0, "some positives expected");
@@ -459,7 +504,8 @@ mod tests {
     #[test]
     fn delta_is_current_minus_previous() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let day = 20 * 7 + 6;
         let ds = enc.encode(&[day]);
         // A line measured both this week and last week.
@@ -484,15 +530,14 @@ mod tests {
     #[test]
     fn time_series_zscores_are_standardized_for_stable_lines() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let day = 30 * 7 + 6;
         let ds = enc.encode(&[day]);
         // Across the healthy majority, z-scores should mostly be modest.
         let ts_col = 2 * N_METRICS + LineMetric::DnNmr.index();
-        let zs: Vec<f32> = (0..ds.data.len())
-            .map(|r| ds.data.x.get(r, ts_col))
-            .filter(|z| !z.is_nan())
-            .collect();
+        let zs: Vec<f32> =
+            (0..ds.data.len()).map(|r| ds.data.x.get(r, ts_col)).filter(|z| !z.is_nan()).collect();
         assert!(zs.len() > lines.len() / 2, "most lines should have enough history");
         let small = zs.iter().filter(|z| z.abs() < 3.0).count();
         assert!(
@@ -505,12 +550,11 @@ mod tests {
     #[test]
     fn derived_columns_compute_squares_and_products() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let ds = enc.encode(&[20 * 7 + 6]);
-        let feats = vec![
-            DerivedFeature::Quadratic { col: 1 },
-            DerivedFeature::Product { a: 1, b: 2 },
-        ];
+        let feats =
+            vec![DerivedFeature::Quadratic { col: 1 }, DerivedFeature::Product { a: 1, b: 2 }];
         let der = derive(&ds, &feats);
         assert_eq!(der.data.x.n_cols(), 2);
         for r in 0..ds.data.len().min(50) {
@@ -536,15 +580,10 @@ mod tests {
     #[test]
     fn derived_enumerations_cover_continuous_columns() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let ds = enc.encode(&[20 * 7 + 6]);
-        let n_cont = ds
-            .data
-            .x
-            .meta()
-            .iter()
-            .filter(|m| m.kind == FeatureKind::Continuous)
-            .count();
+        let n_cont = ds.data.x.meta().iter().filter(|m| m.kind == FeatureKind::Continuous).count();
         assert_eq!(all_quadratics(&ds).len(), n_cont);
         assert_eq!(all_products(&ds).len(), n_cont * (n_cont - 1) / 2);
     }
@@ -552,7 +591,8 @@ mod tests {
     #[test]
     fn base_columns_are_all_base() {
         let (lines, out) = sim();
-        let enc = BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
+        let enc =
+            BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let ds = enc.encode(&[20 * 7 + 6]);
         assert_eq!(ds.base_columns().len(), ds.data.x.n_cols());
     }

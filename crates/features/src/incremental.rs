@@ -1,0 +1,440 @@
+//! Incremental weekly encoder for the operational proactive loop.
+//!
+//! [`crate::BaseEncoder`] is built for offline experiments: it indexes a
+//! *fixed* log once and answers arbitrary `(line, Saturday)` queries by
+//! re-scanning each line's full prefix. The operational loop has a
+//! different shape — every Saturday it encodes the *whole* population at
+//! the *current frontier*, over logs that only ever grow at the end. Doing
+//! that with `BaseEncoder` means cloning the accumulated logs and
+//! rebuilding the indexes every single week, with cost growing linearly in
+//! elapsed time.
+//!
+//! [`IncrementalEncoder`] keeps per-line rolling state instead:
+//!
+//! * a bounded window of recent tests (the `history_weeks` time-series
+//!   window, which also serves the delta baseline and the modem-off
+//!   denominator), pruned as the frontier advances;
+//! * the line's customer-edge ticket days (for recency and labels).
+//!
+//! [`IncrementalEncoder::ingest`] appends one batch of fresh log events
+//! (typically a week); [`IncrementalEncoder::encode_day`] then encodes the
+//! population in O(lines × window) regardless of how long the simulation
+//! has been running. The produced rows are bit-identical to what
+//! `BaseEncoder` would compute over the same ingested logs — both encoders
+//! funnel into the same row-fill routine, and the equivalence is pinned by
+//! tests.
+
+use crate::encode::{days_since_ticket, fill_row_except_ts, EncodedDataset, EncoderConfig, RowKey};
+use crate::BaseEncoder;
+use nevermind_dslsim::topology::Line;
+use nevermind_dslsim::{LineTest, Ticket, N_METRICS};
+use nevermind_ml::data::{Dataset, FeatureMatrix};
+use std::collections::VecDeque;
+
+/// Per-line rolling state.
+struct LineState {
+    /// `(day, metrics)` of recent tests, chronological; pruned to the
+    /// time-series window of the most recent encode day.
+    tests: VecDeque<(u32, [f32; N_METRICS])>,
+    /// Customer-edge ticket days, ascending (never pruned: ticket recency
+    /// saturates at 365 days but labels may look arbitrarily far back).
+    tickets: Vec<u32>,
+}
+
+/// Streaming counterpart of [`BaseEncoder`]: ingest log events as they
+/// happen, encode the population at the current Saturday from rolling
+/// per-line state.
+pub struct IncrementalEncoder<'a> {
+    lines: &'a [Line],
+    config: EncoderConfig,
+    state: Vec<LineState>,
+    last_encoded: u32,
+}
+
+impl<'a> IncrementalEncoder<'a> {
+    /// Creates an encoder with empty state for the given plant.
+    pub fn new(lines: &'a [Line], config: EncoderConfig) -> Self {
+        debug_assert!(lines.iter().enumerate().all(|(i, l)| l.id.index() == i));
+        let state = lines
+            .iter()
+            .map(|_| LineState { tests: VecDeque::new(), tickets: Vec::new() })
+            .collect();
+        Self { lines, config, state, last_encoded: 0 }
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Appends a batch of fresh log events (e.g. one week of the world's
+    /// output). Non-customer-edge tickets are ignored, mirroring the ticket
+    /// index `BaseEncoder` builds.
+    ///
+    /// # Panics
+    /// Panics if a line's measurements arrive out of chronological order.
+    pub fn ingest(&mut self, measurements: &[LineTest], tickets: &[Ticket]) {
+        for m in measurements {
+            let st = &mut self.state[m.line.index()];
+            if let Some(&(last_day, _)) = st.tests.back() {
+                assert!(
+                    m.day >= last_day,
+                    "line {} measurements must arrive in day order ({} after {})",
+                    m.line,
+                    m.day,
+                    last_day
+                );
+            }
+            st.tests.push_back((m.day, m.values));
+        }
+        for t in tickets {
+            if !t.is_customer_edge() {
+                continue;
+            }
+            let days = &mut self.state[t.line.index()].tickets;
+            match days.last() {
+                // Tolerate mildly out-of-order ticket batches by insertion.
+                Some(&last) if t.day < last => {
+                    let pos = days.partition_point(|&d| d <= t.day);
+                    days.insert(pos, t.day);
+                }
+                _ => days.push(t.day),
+            }
+        }
+    }
+
+    /// Encodes one row per line at the given Saturday, exactly as
+    /// [`BaseEncoder::encode`] would over the ingested logs. Labels reflect
+    /// only tickets ingested so far — at the live frontier the label window
+    /// is still open, just as it is for the batch encoder on truncated logs.
+    ///
+    /// # Panics
+    /// Panics if `day` is not a Saturday, or decreases between calls (the
+    /// rolling windows prune tests the frontier has left behind).
+    pub fn encode_day(&mut self, day: u32) -> EncodedDataset {
+        let n_cols = BaseEncoder::base_meta().0.len();
+        let cols: Vec<usize> = (0..n_cols).collect();
+        self.encode_day_cols(day, &cols)
+    }
+
+    /// [`IncrementalEncoder::encode_day`] restricted to the requested base
+    /// columns, in the given order. Every returned column is bit-identical
+    /// to the same column of the full encoding, but the per-week cost
+    /// scales with what is asked for — in particular, only the requested
+    /// time-series lanes run their Welford pass over the window (lanes are
+    /// independent, so skipping some cannot perturb the others). This is
+    /// the encoder the weekly scoring engine drives: a trained ensemble
+    /// reads a couple dozen base columns, not all of them.
+    ///
+    /// # Panics
+    /// Panics under [`IncrementalEncoder::encode_day`]'s conditions, or if
+    /// a column index is out of range.
+    pub fn encode_day_cols(&mut self, day: u32, cols: &[usize]) -> EncodedDataset {
+        assert_eq!(day % 7, 6, "prediction day {day} is not a Saturday");
+        assert!(
+            day >= self.last_encoded,
+            "encode days must be non-decreasing ({} after {})",
+            day,
+            self.last_encoded
+        );
+        self.last_encoded = day;
+
+        let (meta_full, classes_full) = BaseEncoder::base_meta();
+        let n_full = meta_full.len();
+        assert!(cols.iter().all(|&c| c < n_full), "column index out of range");
+        let meta: Vec<_> = cols.iter().map(|&c| meta_full[c].clone()).collect();
+        let classes: Vec<_> = cols.iter().map(|&c| classes_full[c]).collect();
+        // The time-series lanes the requested columns need.
+        let lanes: Vec<usize> = cols
+            .iter()
+            .filter(|&&c| (2 * N_METRICS..3 * N_METRICS).contains(&c))
+            .map(|&c| c - 2 * N_METRICS)
+            .collect();
+
+        let n_rows = self.lines.len();
+        let mut values = Vec::with_capacity(n_rows * cols.len());
+        let mut rows = Vec::with_capacity(n_rows);
+        let mut labels = Vec::with_capacity(n_rows);
+        let mut scratch = vec![f32::NAN; n_full];
+        let window_start = day.saturating_sub(self.config.history_weeks as u32 * 7);
+
+        for line in self.lines.iter() {
+            let st = &mut self.state[line.id.index()];
+            while st.tests.front().is_some_and(|&(d, _)| d < window_start) {
+                st.tests.pop_front();
+            }
+            let st = &self.state[line.id.index()];
+
+            // Tests strictly before `day` are history; one at `day` is the
+            // current test (ingesting ahead of the encode day is allowed —
+            // later events are simply not visible yet).
+            let cut = st.tests.partition_point(|&(d, _)| d < day);
+            let cur = st.tests.get(cut).filter(|&&(d, _)| d == day).map(|(_, v)| v);
+            let prev = cut
+                .checked_sub(1)
+                .map(|i| &st.tests[i])
+                .filter(|&&(d, _)| day - d <= self.config.delta_max_lookback_days)
+                .map(|(_, v)| v);
+            let last_ticket = {
+                let c = st.tickets.partition_point(|&d| d < day + 1);
+                c.checked_sub(1).map(|i| st.tickets[i])
+            };
+            scratch.fill(f32::NAN);
+            fill_row_except_ts(
+                line,
+                day,
+                cur,
+                prev,
+                cut,
+                days_since_ticket(last_ticket, day),
+                &self.config,
+                &mut scratch,
+            );
+            if let Some(cur) = cur {
+                if !lanes.is_empty() && cut >= self.config.min_history_tests {
+                    // The window's first `cut` tests, as the deque's (up to
+                    // two) contiguous runs — plain slices keep the fused
+                    // lane loop vectorisable.
+                    let (a, b) = st.tests.as_slices();
+                    let (ha, hb) =
+                        if cut <= a.len() { (&a[..cut], &b[..0]) } else { (a, &b[..cut - a.len()]) };
+                    fill_ts_fused(ha, hb, cur, &lanes, &mut scratch);
+                }
+            }
+            values.extend(cols.iter().map(|&c| scratch[c]));
+            rows.push(RowKey { line: line.id, day });
+
+            // The paper's label window `(day, day + horizon]`.
+            let c = st.tickets.partition_point(|&d| d <= day);
+            labels.push(st.tickets.get(c).is_some_and(|&d| d <= day + self.config.horizon_days));
+        }
+
+        EncodedDataset {
+            data: Dataset::new(FeatureMatrix::new(n_rows, meta, values), labels),
+            rows,
+            classes,
+        }
+    }
+}
+
+/// Fills the requested time-series z-score lanes of a base row from the
+/// window tests in `history` (the deque's two contiguous runs, already
+/// truncated to the tests strictly before the encode day), in a single
+/// fused pass.
+///
+/// Each lane performs *exactly* the floating-point operation sequence of
+/// [`nevermind_ml::stats::RunningMoments`] (`push` per non-NaN sample, then
+/// population `std_dev`), and lanes never interact — so every computed lane
+/// is bit-identical to the reference z-score loop in `fill_base_row`
+/// regardless of which other lanes are requested. The window is traversed
+/// once instead of once per metric, and the NaN skip is a branchless select
+/// over plain slices the compiler can vectorise.
+fn fill_ts_fused(
+    history_front: &[(u32, [f32; N_METRICS])],
+    history_back: &[(u32, [f32; N_METRICS])],
+    cur: &[f32; N_METRICS],
+    lanes: &[usize],
+    slot: &mut [f32],
+) {
+    assert!(lanes.len() <= N_METRICS);
+    let mut n = [0.0f64; N_METRICS];
+    let mut mean = [0.0f64; N_METRICS];
+    let mut m2 = [0.0f64; N_METRICS];
+    for part in [history_front, history_back] {
+        for (_, v) in part {
+            for (j, &lane) in lanes.iter().enumerate() {
+                let x = f64::from(v[lane]);
+                // RunningMoments::push, with the NaN skip as a select:
+                //   n += 1; delta = x - mean; mean += delta / n; m2 += delta * (x - mean)
+                let miss = x.is_nan();
+                let n1 = n[j] + 1.0;
+                let delta = x - mean[j];
+                let mean1 = mean[j] + delta / n1;
+                let m21 = m2[j] + delta * (x - mean1);
+                n[j] = if miss { n[j] } else { n1 };
+                mean[j] = if miss { mean[j] } else { mean1 };
+                m2[j] = if miss { m2[j] } else { m21 };
+            }
+        }
+    }
+    for (j, &lane) in lanes.iter().enumerate() {
+        // RunningMoments: mean() and variance() are NaN while empty;
+        // variance is the population m2 / n.
+        let (mu, sd) =
+            if n[j] == 0.0 { (f64::NAN, f64::NAN) } else { (mean[j], (m2[j] / n[j]).sqrt()) };
+        let c = f64::from(cur[lane]);
+        let z = if sd > 1e-6 {
+            (c - mu) / sd
+        } else if (c - mu).abs() < 1e-6 {
+            0.0
+        } else {
+            f64::NAN
+        };
+        slot[2 * N_METRICS + lane] = z as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nevermind_dslsim::{SimConfig, SimOutput, World};
+
+    fn sim(seed: u64) -> (Vec<Line>, SimOutput) {
+        let cfg = SimConfig::small(seed);
+        let world = World::generate(cfg);
+        let lines = world.topology().lines.clone();
+        (lines, world.run())
+    }
+
+    fn assert_encodings_identical(a: &EncodedDataset, b: &EncodedDataset, ctx: &str) {
+        assert_eq!(a.rows, b.rows, "{ctx}: row keys");
+        assert_eq!(a.data.y, b.data.y, "{ctx}: labels");
+        assert_eq!(a.classes, b.classes, "{ctx}: classes");
+        assert_eq!(a.data.x.n_cols(), b.data.x.n_cols(), "{ctx}: columns");
+        for r in 0..a.data.len() {
+            for c in 0..a.data.x.n_cols() {
+                let (va, vb) = (a.data.x.get(r, c), b.data.x.get(r, c));
+                assert_eq!(va.to_bits(), vb.to_bits(), "{ctx}: row {r} col {c}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_batch_encoder_over_full_logs() {
+        let (lines, out) = sim(21);
+        let cfg = EncoderConfig::default();
+        let batch = BaseEncoder::new(&lines, &out.measurements, &out.tickets, cfg.clone());
+        let mut inc = IncrementalEncoder::new(&lines, cfg);
+        inc.ingest(&out.measurements, &out.tickets);
+
+        // Early (thin history), mid-run, and late Saturdays.
+        for day in [6, 6 * 7 + 6, 20 * 7 + 6, 30 * 7 + 6] {
+            let a = batch.encode(&[day]);
+            let b = inc.encode_day(day);
+            assert_encodings_identical(&a, &b, &format!("day {day}"));
+        }
+    }
+
+    #[test]
+    fn weekly_ingestion_matches_batch_encoder_on_truncated_logs() {
+        // The operational pattern: ingest one week at a time, encode at the
+        // frontier. Each week's encoding must equal a batch encoder built
+        // from scratch over exactly the logs seen so far.
+        let (lines, out) = sim(22);
+        let cfg = EncoderConfig::default();
+        let mut inc = IncrementalEncoder::new(&lines, cfg.clone());
+        let (mut m_cursor, mut t_cursor) = (0usize, 0usize);
+
+        for day in (6..out.days).step_by(7).skip(4).take(10) {
+            let m_end = out.measurements.partition_point(|m| m.day <= day);
+            let t_end = out.tickets.partition_point(|t| t.day <= day);
+            inc.ingest(&out.measurements[m_cursor..m_end], &out.tickets[t_cursor..t_end]);
+            (m_cursor, t_cursor) = (m_end, t_end);
+
+            let truncated = BaseEncoder::new(
+                &lines,
+                &out.measurements[..m_end],
+                &out.tickets[..t_end],
+                cfg.clone(),
+            );
+            let a = truncated.encode(&[day]);
+            let b = inc.encode_day(day);
+            assert_encodings_identical(&a, &b, &format!("frontier day {day}"));
+        }
+    }
+
+    #[test]
+    fn column_subset_encoding_matches_full() {
+        let (lines, out) = sim(24);
+        let cfg = EncoderConfig::default();
+        let mut full_enc = IncrementalEncoder::new(&lines, cfg.clone());
+        let mut sub_enc = IncrementalEncoder::new(&lines, cfg);
+        full_enc.ingest(&out.measurements, &out.tickets);
+        sub_enc.ingest(&out.measurements, &out.tickets);
+
+        let day = 20 * 7 + 6;
+        let full = full_enc.encode_day(day);
+        // A spread across every feature block, deliberately out of order:
+        // two ts lanes, basic, delta, profile, ticket recency, modem-off.
+        let n = N_METRICS;
+        let cols = vec![2 * n + 7, 0, 3, n + 1, 2 * n, 3 * n + 2, 3 * n + 5, 3 * n + 6];
+        let sub = sub_enc.encode_day_cols(day, &cols);
+
+        assert_eq!(sub.rows, full.rows);
+        assert_eq!(sub.data.y, full.data.y);
+        assert_eq!(sub.data.x.n_cols(), cols.len());
+        for (j, &c) in cols.iter().enumerate() {
+            assert_eq!(sub.data.x.meta()[j], full.data.x.meta()[c], "col {c} meta");
+            assert_eq!(sub.classes[j], full.classes[c], "col {c} class");
+            for r in 0..full.data.len() {
+                let (a, b) = (sub.data.x.get(r, j), full.data.x.get(r, c));
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r} col {c}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_lanes_match_running_moments_with_nan_gaps() {
+        use nevermind_ml::stats::RunningMoments;
+        // Windows with NaN holes, constant lanes, and an all-NaN lane — the
+        // corner cases of the z-score branches.
+        let mk = |vals: [f32; 4]| {
+            let mut m = [f32::NAN; N_METRICS];
+            m[0] = vals[0]; // ordinary lane
+            m[1] = vals[1]; // lane with NaN gaps
+            m[2] = 7.25; // constant lane (sd == 0)
+            m[3] = vals[3]; // all-NaN lane stays NaN
+            m
+        };
+        let tests: Vec<(u32, [f32; N_METRICS])> = vec![
+            (6, mk([1.0, f32::NAN, 0.0, f32::NAN])),
+            (13, mk([2.5, 4.0, 0.0, f32::NAN])),
+            (20, mk([-3.0, f32::NAN, 0.0, f32::NAN])),
+            (27, mk([0.5, 9.5, 0.0, f32::NAN])),
+        ];
+        let cur = mk([1.75, 5.0, 0.0, f32::NAN]);
+        let all_lanes: Vec<usize> = (0..N_METRICS).collect();
+        let mut slot = vec![f32::NAN; 3 * N_METRICS];
+        // Split across the two "deque runs" to exercise both slice args.
+        fill_ts_fused(&tests[..1], &tests[1..], &cur, &all_lanes, &mut slot);
+
+        for i in 0..N_METRICS {
+            let mut mom = RunningMoments::new();
+            for (_, v) in &tests {
+                mom.push(f64::from(v[i]));
+            }
+            let sd = mom.std_dev();
+            let want = if sd > 1e-6 {
+                (f64::from(cur[i]) - mom.mean()) / sd
+            } else if (f64::from(cur[i]) - mom.mean()).abs() < 1e-6 {
+                0.0
+            } else {
+                f64::NAN
+            } as f32;
+            let got = slot[2 * N_METRICS + i];
+            assert_eq!(got.to_bits(), want.to_bits(), "lane {i}: {got} vs {want}");
+        }
+        // Sanity on the branch coverage itself.
+        assert!(slot[2 * N_METRICS].is_finite());
+        assert_eq!(slot[2 * N_METRICS + 2], 0.0);
+        assert!(slot[2 * N_METRICS + 3].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Saturday")]
+    fn rejects_non_saturdays() {
+        let (lines, _) = sim(23);
+        let mut inc = IncrementalEncoder::new(&lines, EncoderConfig::default());
+        let _ = inc.encode_day(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_rewinding_the_frontier() {
+        let (lines, out) = sim(23);
+        let mut inc = IncrementalEncoder::new(&lines, EncoderConfig::default());
+        inc.ingest(&out.measurements, &out.tickets);
+        let _ = inc.encode_day(30 * 7 + 6);
+        let _ = inc.encode_day(10 * 7 + 6);
+    }
+}

@@ -20,16 +20,20 @@
 //! from quadratic derivation (a 0/1 squared is itself).
 //!
 //! [`indexes`] holds the measurement/ticket lookup structures shared with
-//! the core crate, [`encode`] the encoder, [`registry`] the feature
-//! taxonomy.
+//! the core crate, [`encode`] the offline batch encoder, [`incremental`]
+//! its streaming counterpart for the weekly operational loop (rolling
+//! per-line state instead of full-log re-scans), and [`registry`] the
+//! feature taxonomy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod encode;
+pub mod incremental;
 pub mod indexes;
 pub mod registry;
 
 pub use encode::{BaseEncoder, EncodedDataset};
+pub use incremental::IncrementalEncoder;
 pub use indexes::{MeasurementIndex, TicketIndex};
 pub use registry::{DerivedFeature, FeatureClass};

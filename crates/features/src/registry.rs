@@ -98,8 +98,9 @@ mod tests {
             FeatureClass::Product,
         ];
         for c in all {
-            let groups =
-                usize::from(c.is_history()) + usize::from(c.is_customer()) + usize::from(c.is_derived());
+            let groups = usize::from(c.is_history())
+                + usize::from(c.is_customer())
+                + usize::from(c.is_derived());
             assert_eq!(groups, 1, "{} must belong to exactly one group", c.label());
         }
     }

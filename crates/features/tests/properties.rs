@@ -27,42 +27,38 @@ fn lines() -> Vec<Line> {
 /// Random sparse measurement logs: each (line, week) pair may or may not
 /// have a test, with slowly varying values.
 fn measurements() -> impl Strategy<Value = Vec<LineTest>> {
-    prop::collection::vec(
-        (0u32..N_LINES as u32, 0u32..30, -10.0f32..10.0),
-        0..120,
-    )
-    .prop_map(|tuples| {
-        let mut seen = std::collections::HashSet::new();
-        tuples
-            .into_iter()
-            .filter(|(l, w, _)| seen.insert((*l, *w)))
-            .map(|(l, w, v)| LineTest {
-                line: LineId(l),
-                day: w * 7 + 6,
-                values: [v; N_METRICS],
-            })
-            .collect()
-    })
-}
-
-fn tickets() -> impl Strategy<Value = Vec<Ticket>> {
-    prop::collection::vec((0u32..N_LINES as u32, 0u32..220, any::<bool>()), 0..40).prop_map(
-        |v| {
-            v.into_iter()
-                .enumerate()
-                .map(|(i, (l, d, edge))| Ticket {
-                    id: i as u32,
+    prop::collection::vec((0u32..N_LINES as u32, 0u32..30, -10.0f32..10.0), 0..120).prop_map(
+        |tuples| {
+            let mut seen = std::collections::HashSet::new();
+            tuples
+                .into_iter()
+                .filter(|(l, w, _)| seen.insert((*l, *w)))
+                .map(|(l, w, v)| LineTest {
                     line: LineId(l),
-                    day: d,
-                    category: if edge {
-                        TicketCategory::CustomerEdge
-                    } else {
-                        TicketCategory::NonTechnical
-                    },
+                    day: w * 7 + 6,
+                    values: [v; N_METRICS],
                 })
                 .collect()
         },
     )
+}
+
+fn tickets() -> impl Strategy<Value = Vec<Ticket>> {
+    prop::collection::vec((0u32..N_LINES as u32, 0u32..220, any::<bool>()), 0..40).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (l, d, edge))| Ticket {
+                id: i as u32,
+                line: LineId(l),
+                day: d,
+                category: if edge {
+                    TicketCategory::CustomerEdge
+                } else {
+                    TicketCategory::NonTechnical
+                },
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -68,11 +68,7 @@ impl GaussianNb {
             neg[c].1 = if neg[c].1.is_nan() { pooled.max(floor) } else { neg[c].1.max(floor) };
         }
 
-        Self {
-            prior_log_odds: (n_pos as f64 / n_neg as f64).ln(),
-            pos,
-            neg,
-        }
+        Self { prior_log_odds: (n_pos as f64 / n_neg as f64).ln(), pos, neg }
     }
 
     /// Log-odds `log P(y=1|x) − log P(y=0|x)` for one row; missing features

@@ -10,7 +10,7 @@
 //! negatives).
 //!
 //! The trainer can fan the per-iteration stump search out across threads
-//! with `crossbeam` scoped threads; results are bit-identical to the serial
+//! with `std::thread` scoped threads; results are bit-identical to the serial
 //! path because ties are broken by `(Z, feature index)` in both.
 
 use crate::data::{Dataset, FeatureMatrix};
@@ -247,16 +247,15 @@ fn search_parallel(
     }
     let chunk = features.len().div_ceil(n_threads);
     let mut per_chunk: Vec<Option<StumpSearchResult>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = features
             .chunks(chunk)
-            .map(|fs| scope.spawn(move |_| search_serial(binned, fs, y, weights, smoothing)))
+            .map(|fs| scope.spawn(move || search_serial(binned, fs, y, weights, smoothing)))
             .collect();
         for h in handles {
             per_chunk.push(h.join().expect("stump search thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     // Deterministic reduction: ties break on the lowest feature index,
     // matching the serial path (chunks are in feature order).
@@ -335,11 +334,7 @@ mod tests {
 
     fn accuracy(model: &BStump, data: &Dataset) -> f64 {
         let margins = model.margins(&data.x);
-        let correct = margins
-            .iter()
-            .zip(&data.y)
-            .filter(|(&m, &y)| (m > 0.0) == y)
-            .count();
+        let correct = margins.iter().zip(&data.y).filter(|(&m, &y)| (m > 0.0) == y).count();
         correct as f64 / data.len() as f64
     }
 

@@ -37,8 +37,7 @@ pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<Fold> {
         let lo = f * n / k;
         let hi = (f + 1) * n / k;
         let validation: Vec<usize> = order[lo..hi].to_vec();
-        let train: Vec<usize> =
-            order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+        let train: Vec<usize> = order[..lo].iter().chain(order[hi..].iter()).copied().collect();
         folds.push(Fold { train, validation });
     }
     folds
@@ -111,7 +110,7 @@ mod tests {
     fn folds_partition_all_rows() {
         let folds = k_folds(103, 5, 7);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for f in &folds {
             for &i in &f.validation {
                 assert!(!seen[i], "row {i} validated twice");

@@ -45,13 +45,7 @@ pub fn quantile_bins(values: &[f64], n_bins: usize) -> (Vec<usize>, usize) {
     let missing_bucket = edges.len() + 1;
     let ids: Vec<usize> = values
         .iter()
-        .map(|&v| {
-            if v.is_nan() {
-                missing_bucket
-            } else {
-                edges.partition_point(|&e| e <= v)
-            }
-        })
+        .map(|&v| if v.is_nan() { missing_bucket } else { edges.partition_point(|&e| e <= v) })
         .collect();
     let used = ids.iter().copied().max().map_or(1, |m| m + 1);
     (ids, used)

@@ -20,6 +20,9 @@
 //! * [`metrics`] — ranking metrics: ROC AUC, average precision, precision@K
 //!   curves and the paper's novel **top-N average precision** `AP(N)`
 //!   (Sec. 4.3).
+//! * [`score`] — **BatchScorer**: the trained ensemble compiled into
+//!   per-stump bin→score lookup tables for fast (and optionally parallel)
+//!   population-scale margin evaluation, bit-identical to the per-row path.
 //! * [`select`] — the single-feature-model feature-selection framework that
 //!   ranks every candidate feature under any of the five criteria of Table 4.
 //! * [`tree`], [`bayes`] — a CART decision tree and Gaussian Naive Bayes,
@@ -48,6 +51,7 @@ pub mod logistic;
 pub mod metrics;
 pub mod pca;
 pub mod rank;
+pub mod score;
 pub mod select;
 pub mod stats;
 pub mod stump;
@@ -59,6 +63,7 @@ pub use calibrate::PlattScale;
 pub use data::{Dataset, FeatureKind, FeatureMatrix, FeatureMeta};
 pub use logistic::{LogisticModel, LogisticRegression};
 pub use metrics::{auc, average_precision, precision_at_k, top_n_average_precision};
+pub use score::BatchScorer;
 pub use select::{FeatureScore, SelectionCriterion};
 pub use stump::Stump;
 pub use tree::{DecisionTree, TreeConfig};

@@ -72,12 +72,12 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
-        }
-        out
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect()
     }
 
     /// Solves `A x = b` by Gaussian elimination with partial pivoting.

@@ -68,8 +68,7 @@ impl LogisticModel {
     /// Predicted probability for one covariate vector.
     pub fn probability(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.coefficients.len(), "covariate count mismatch");
-        let z = self.intercept
-            + self.coefficients.iter().zip(x).map(|(b, v)| b * v).sum::<f64>();
+        let z = self.intercept + self.coefficients.iter().zip(x).map(|(b, v)| b * v).sum::<f64>();
         sigmoid(z)
     }
 
@@ -142,8 +141,7 @@ impl LogisticRegression {
             let ll = |beta: &[f64]| -> f64 {
                 let mut ll = 0.0;
                 for (row, &label) in x.iter().zip(y) {
-                    let z = beta[0]
-                        + row.iter().zip(&beta[1..]).map(|(v, b)| v * b).sum::<f64>();
+                    let z = beta[0] + row.iter().zip(&beta[1..]).map(|(v, b)| v * b).sum::<f64>();
                     ll += if label { -softplus(-z) } else { -softplus(z) };
                 }
                 ll - 0.5 * self.ridge * beta.iter().map(|b| b * b).sum::<f64>()

@@ -336,9 +336,7 @@ mod tests {
         let front = [0.9, 0.8, 0.2, 0.1];
         let y2 = [false, false, true, true];
         let back = [0.9, 0.8, 0.2, 0.1];
-        assert!(
-            top_n_average_precision(&front, &y, 4) > top_n_average_precision(&back, &y2, 4)
-        );
+        assert!(top_n_average_precision(&front, &y, 4) > top_n_average_precision(&back, &y2, 4));
     }
 
     #[test]

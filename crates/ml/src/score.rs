@@ -1,0 +1,356 @@
+//! Batch margin evaluation for trained [`BStump`] ensembles.
+//!
+//! [`BStump::margins`] walks every stump for every row: each stump fetches
+//! its feature value again, re-checks `NaN`, and branches on the threshold.
+//! The weekly population re-ranking evaluates a ~300-stump model over the
+//! whole plant every Saturday, and the ensemble references only a few dozen
+//! distinct features, so almost all of that work is redundant.
+//!
+//! [`BatchScorer`] compiles the ensemble once:
+//!
+//! * the distinct features used by any stump, each with its sorted list of
+//!   distinct stump thresholds — a row is reduced to one small *bin index*
+//!   per used feature (binary search over the thresholds, `NaN` → a
+//!   dedicated missing bin);
+//! * per stump, a bin→score lookup table over that feature's bins:
+//!   `lut[bin]` is `s_le` for bins at or below the stump's own threshold,
+//!   `s_gt` above it, and `0` (abstain) for the missing bin.
+//!
+//! Scoring a row is then one table load per stump, added **in boosting
+//! order** — the same left-to-right summation as [`BStump::margin`], so the
+//! result is bit-identical to the serial per-row path. Rows are independent,
+//! which lets [`BatchScorer::margins_parallel`] fan row chunks out across
+//! scoped threads with no effect on the output.
+
+use crate::boost::BStump;
+use crate::data::FeatureMatrix;
+
+/// One compiled stump: which reduced feature it reads and its bin→score
+/// table.
+#[derive(Debug, Clone)]
+struct CompiledStump {
+    /// Index into [`BatchScorer::features`] (not the raw column index).
+    slot: u32,
+    /// Score per bin of that feature; the last entry is the missing bin's
+    /// zero, so scoring needs no branch at all.
+    lut: Vec<f64>,
+}
+
+/// How a scored matrix lays out the ensemble's features.
+#[derive(Debug, Clone, Copy)]
+enum ColumnLayout {
+    /// Training-width matrix: slot `j` reads its original column.
+    Full,
+    /// Narrow matrix of only the used features: slot `j` reads column `j`.
+    Compact,
+}
+
+/// A [`BStump`] compiled into per-feature threshold grids and per-stump
+/// bin→score lookup tables for fast batch evaluation.
+#[derive(Debug, Clone)]
+pub struct BatchScorer {
+    /// Distinct feature columns used by the ensemble, with each feature's
+    /// sorted distinct thresholds.
+    features: Vec<(usize, Vec<f32>)>,
+    /// Compiled stumps in boosting order.
+    stumps: Vec<CompiledStump>,
+    /// Minimum column count a scored matrix must have.
+    n_features: usize,
+}
+
+impl BatchScorer {
+    /// Compiles a trained ensemble.
+    pub fn new(model: &BStump) -> Self {
+        // Distinct (feature, thresholds) grids, in first-use order.
+        let mut features: Vec<(usize, Vec<f32>)> = Vec::new();
+        for s in model.stumps() {
+            match features.iter_mut().find(|(f, _)| *f == s.feature) {
+                Some((_, ts)) => {
+                    if let Err(pos) = ts.binary_search_by(|t| {
+                        t.partial_cmp(&s.threshold).expect("finite threshold")
+                    }) {
+                        ts.insert(pos, s.threshold);
+                    }
+                }
+                None => features.push((s.feature, vec![s.threshold])),
+            }
+        }
+
+        // bin(v) = #thresholds < v, so `v <= thresholds[p]` ⟺ `bin(v) <= p`.
+        let stumps = model
+            .stumps()
+            .iter()
+            .map(|s| {
+                let slot = features.iter().position(|(f, _)| *f == s.feature).expect("compiled");
+                let ts = &features[slot].1;
+                let p = ts
+                    .binary_search_by(|t| t.partial_cmp(&s.threshold).expect("finite"))
+                    .expect("own threshold present");
+                let mut lut: Vec<f64> =
+                    (0..=ts.len()).map(|b| if b <= p { s.s_le } else { s.s_gt }).collect();
+                lut.push(0.0); // missing bin
+                CompiledStump { slot: slot as u32, lut }
+            })
+            .collect();
+
+        Self { features, stumps, n_features: model.n_features() }
+    }
+
+    /// Margins for every row, identical to [`BStump::margins`] bit for bit.
+    ///
+    /// # Panics
+    /// Panics if the matrix has fewer columns than the training data.
+    pub fn margins(&self, x: &FeatureMatrix) -> Vec<f64> {
+        self.check_width(x);
+        let mut out = vec![0.0f64; x.n_rows()];
+        self.score_rows(x, 0, &mut out, ColumnLayout::Full);
+        out
+    }
+
+    /// [`BatchScorer::margins`] with row chunks spread over `n_threads`
+    /// scoped threads (`0` = available parallelism). Each thread writes a
+    /// disjoint output slice and per-row sums don't depend on chunking, so
+    /// the result is bit-identical to the serial path for any thread count.
+    pub fn margins_parallel(&self, x: &FeatureMatrix, n_threads: usize) -> Vec<f64> {
+        self.check_width(x);
+        self.margins_parallel_with(x, n_threads, ColumnLayout::Full)
+    }
+
+    /// Margins over a *compact* matrix whose column `j` is the ensemble's
+    /// `j`-th used feature ([`BatchScorer::used_columns`] order), skipping
+    /// the full training-width layout entirely. Bit-identical to
+    /// [`BatchScorer::margins`] on a full matrix with the same values in
+    /// the used columns.
+    ///
+    /// # Panics
+    /// Panics if the matrix doesn't have exactly
+    /// [`BatchScorer::n_used_features`] columns.
+    pub fn margins_compact(&self, x: &FeatureMatrix) -> Vec<f64> {
+        self.check_compact_width(x);
+        let mut out = vec![0.0f64; x.n_rows()];
+        self.score_rows(x, 0, &mut out, ColumnLayout::Compact);
+        out
+    }
+
+    /// [`BatchScorer::margins_compact`] spread over `n_threads` scoped
+    /// threads, bit-identical for any thread count.
+    pub fn margins_compact_parallel(&self, x: &FeatureMatrix, n_threads: usize) -> Vec<f64> {
+        self.check_compact_width(x);
+        self.margins_parallel_with(x, n_threads, ColumnLayout::Compact)
+    }
+
+    fn margins_parallel_with(
+        &self,
+        x: &FeatureMatrix,
+        n_threads: usize,
+        layout: ColumnLayout,
+    ) -> Vec<f64> {
+        let n_rows = x.n_rows();
+        let n_threads = if n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            n_threads
+        }
+        .min(n_rows.max(1));
+        let mut out = vec![0.0f64; n_rows];
+        if n_threads <= 1 {
+            self.score_rows(x, 0, &mut out, layout);
+            return out;
+        }
+
+        let chunk = n_rows.div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f64] = &mut out;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let len = chunk.min(rest.len());
+                let (slice, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let first_row = start;
+                scope.spawn(move || self.score_rows(x, first_row, slice, layout));
+                start += len;
+            }
+        });
+        out
+    }
+
+    /// Scores rows `first_row..first_row + out.len()` into `out`.
+    ///
+    /// Works in cache-sized row blocks: bin every used feature for the
+    /// block, then accumulate the stump LUT loads in boosting order.
+    fn score_rows(&self, x: &FeatureMatrix, first_row: usize, out: &mut [f64], layout: ColumnLayout) {
+        const BLOCK: usize = 256;
+        let n_feat = self.features.len();
+        let mut bins = vec![0u32; BLOCK * n_feat];
+        for (block_idx, block) in out.chunks_mut(BLOCK).enumerate() {
+            let base = first_row + block_idx * BLOCK;
+            for (i, acc) in block.iter_mut().enumerate() {
+                let row = x.row(base + i);
+                let row_bins = &mut bins[i * n_feat..(i + 1) * n_feat];
+                for (slot, (col, ts)) in self.features.iter().enumerate() {
+                    let v = match layout {
+                        ColumnLayout::Full => row[*col],
+                        ColumnLayout::Compact => row[slot],
+                    };
+                    row_bins[slot] = if v.is_nan() {
+                        ts.len() as u32 + 1 // missing bin: last LUT entry
+                    } else {
+                        ts.partition_point(|&t| t < v) as u32
+                    };
+                }
+                let mut m = 0.0f64;
+                for s in &self.stumps {
+                    m += s.lut[row_bins[s.slot as usize] as usize];
+                }
+                *acc = m;
+            }
+        }
+    }
+
+    /// Number of distinct features the compiled ensemble reads.
+    pub fn n_used_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The distinct (training-space) columns the ensemble reads, in slot
+    /// order — the column layout [`BatchScorer::margins_compact`] expects.
+    pub fn used_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.features.iter().map(|(col, _)| *col)
+    }
+
+    fn check_width(&self, x: &FeatureMatrix) {
+        assert!(
+            x.n_cols() >= self.n_features,
+            "matrix has {} columns, model expects {}",
+            x.n_cols(),
+            self.n_features
+        );
+    }
+
+    fn check_compact_width(&self, x: &FeatureMatrix) {
+        assert_eq!(
+            x.n_cols(),
+            self.features.len(),
+            "compact matrix must have exactly one column per used feature"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::BoostConfig;
+    use crate::data::{Dataset, FeatureMeta};
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Random dataset with NaN holes and deliberate threshold-equal values.
+    fn noisy_dataset(n: usize, n_cols: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let meta = (0..n_cols).map(|c| FeatureMeta::continuous(format!("f{c}"))).collect();
+        let mut values = Vec::with_capacity(n * n_cols);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut signal = 0.0f32;
+            for c in 0..n_cols {
+                // Coarse grid: many values land exactly on stump thresholds.
+                let v = if rng.random_bool(0.15) {
+                    f32::NAN
+                } else {
+                    (rng.random_range(0..32u32) as f32) / 32.0
+                };
+                if c < 2 && !v.is_nan() {
+                    signal += v;
+                }
+                values.push(v);
+            }
+            labels.push(signal + rng.random_range(-0.3..0.3f32) > 1.0);
+        }
+        Dataset::new(FeatureMatrix::new(n, meta, values), labels)
+    }
+
+    #[test]
+    fn compiled_margins_are_bit_identical_to_model() {
+        let train = noisy_dataset(1500, 6, 42);
+        let model = BStump::fit(&train, &BoostConfig::with_iterations(120));
+        assert!(model.stumps().len() > 20, "model should be non-trivial");
+        let scorer = BatchScorer::new(&model);
+        assert!(scorer.n_used_features() <= 6);
+
+        let test = noisy_dataset(700, 6, 43);
+        let reference = model.margins(&test.x);
+        let compiled = scorer.margins(&test.x);
+        assert_eq!(reference.len(), compiled.len());
+        for (r, (a, b)) in reference.iter().zip(&compiled).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {r}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_margins_are_bit_identical_for_any_thread_count() {
+        let train = noisy_dataset(1200, 5, 44);
+        let model = BStump::fit(&train, &BoostConfig::with_iterations(80));
+        let scorer = BatchScorer::new(&model);
+        let test = noisy_dataset(997, 5, 45); // odd count: uneven chunks
+        let serial = scorer.margins(&test.x);
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let parallel = scorer.margins_parallel(&test.x, threads);
+            for (r, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_margins_match_full_matrix() {
+        let train = noisy_dataset(1000, 6, 47);
+        let model = BStump::fit(&train, &BoostConfig::with_iterations(90));
+        let scorer = BatchScorer::new(&model);
+        let test = noisy_dataset(431, 6, 48);
+        let full = scorer.margins(&test.x);
+
+        // Gather only the used columns, in slot order.
+        let cols: Vec<usize> = scorer.used_columns().collect();
+        let meta = cols.iter().map(|c| FeatureMeta::continuous(format!("f{c}"))).collect();
+        let mut values = Vec::with_capacity(test.len() * cols.len());
+        for r in 0..test.len() {
+            let row = test.x.row(r);
+            values.extend(cols.iter().map(|&c| row[c]));
+        }
+        let narrow = FeatureMatrix::new(test.len(), meta, values);
+
+        for (serial, label) in [
+            (scorer.margins_compact(&narrow), "serial"),
+            (scorer.margins_compact_parallel(&narrow, 3), "parallel"),
+        ] {
+            for (r, (a, b)) in full.iter().zip(&serial).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label} row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_missing_rows_abstain_to_zero() {
+        let train = noisy_dataset(600, 4, 46);
+        let model = BStump::fit(&train, &BoostConfig::with_iterations(40));
+        let scorer = BatchScorer::new(&model);
+        let meta = (0..4).map(|c| FeatureMeta::continuous(format!("f{c}"))).collect();
+        let x = FeatureMatrix::new(3, meta, vec![f32::NAN; 12]);
+        assert!(scorer.margins(&x).iter().all(|&m| m == 0.0));
+        assert!(scorer.margins_parallel(&x, 2).iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn empty_model_scores_zero() {
+        // A dataset no stump can split trains zero stumps.
+        let meta = vec![FeatureMeta::continuous("f")];
+        let x = FeatureMatrix::new(4, meta.clone(), vec![0.0, 0.0, 1.0, 1.0]);
+        let y = vec![true, false, true, false];
+        let cfg = BoostConfig { parallel: false, ..BoostConfig::with_iterations(10) };
+        let model = BStump::fit_weighted(&x, &y, &[0.25; 4], &cfg);
+        assert!(model.stumps().is_empty());
+        let scorer = BatchScorer::new(&model);
+        let probe = FeatureMatrix::new(2, meta, vec![0.3, 0.9]);
+        assert_eq!(scorer.margins(&probe), vec![0.0, 0.0]);
+    }
+}

@@ -7,7 +7,7 @@
 //! budget; the baselines (Table 4) are ROC AUC, classic average precision,
 //! PCA loadings and gain ratio.
 //!
-//! Model-based criteria parallelize across features with `crossbeam` scoped
+//! Model-based criteria parallelize across features with `std::thread` scoped
 //! threads; results are deterministic because each feature's score depends
 //! only on its own column.
 
@@ -84,11 +84,7 @@ pub fn score_features(
     criterion: SelectionCriterion,
     config: &SelectConfig,
 ) -> Vec<FeatureScore> {
-    assert_eq!(
-        train.x.n_cols(),
-        eval.x.n_cols(),
-        "train and eval must share the feature space"
-    );
+    assert_eq!(train.x.n_cols(), eval.x.n_cols(), "train and eval must share the feature space");
     match criterion {
         SelectionCriterion::Pca { components } => {
             let pca = Pca::fit(&train.x, components);
@@ -106,9 +102,7 @@ pub fn score_features(
             .collect(),
         SelectionCriterion::TopNAp { .. }
         | SelectionCriterion::Auc
-        | SelectionCriterion::AveragePrecision => {
-            score_model_based(train, eval, criterion, config)
-        }
+        | SelectionCriterion::AveragePrecision => score_model_based(train, eval, criterion, config),
     }
 }
 
@@ -123,10 +117,7 @@ pub fn select_top_k(
 ) -> Vec<usize> {
     let mut scores = score_features(train, eval, criterion, config);
     scores.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then(a.feature.cmp(&b.feature))
+        b.score.partial_cmp(&a.score).expect("scores are finite").then(a.feature.cmp(&b.feature))
     });
     scores.into_iter().take(k).map(|s| s.feature).collect()
 }
@@ -189,25 +180,20 @@ fn score_model_based(
         }
     } else {
         let chunk = n_features.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_idx, slot_chunk) in scores.chunks_mut(chunk).enumerate() {
                 let start = chunk_idx * chunk;
                 let score_one = &score_one;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         *slot = score_one(start + off);
                     }
                 });
             }
-        })
-        .expect("crossbeam scope");
+        });
     }
 
-    scores
-        .into_iter()
-        .enumerate()
-        .map(|(feature, score)| FeatureScore { feature, score })
-        .collect()
+    scores.into_iter().enumerate().map(|(feature, score)| FeatureScore { feature, score }).collect()
 }
 
 #[cfg(test)]
@@ -229,7 +215,8 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
             let y = rng.random_bool(0.3);
-            let strong: f32 = if y { rng.random_range(0.5..1.0) } else { rng.random_range(0.0..0.6) };
+            let strong: f32 =
+                if y { rng.random_range(0.5..1.0) } else { rng.random_range(0.0..0.6) };
             let weak: f32 = if y { rng.random_range(0.3..1.0) } else { rng.random_range(0.0..0.9) };
             values.extend_from_slice(&[strong, weak, rng.random()]);
             labels.push(y);
@@ -245,8 +232,7 @@ mod tests {
     fn top_n_ap_ranks_strong_first() {
         let train = graded_dataset(3000, 1);
         let eval = graded_dataset(1500, 2);
-        let order =
-            select_top_k(&train, &eval, SelectionCriterion::TopNAp { n: 150 }, 3, &cfg());
+        let order = select_top_k(&train, &eval, SelectionCriterion::TopNAp { n: 150 }, 3, &cfg());
         assert_eq!(order[0], 0, "strong feature must rank first: {order:?}");
         assert_eq!(*order.last().expect("three features"), 2, "noise last: {order:?}");
     }
@@ -293,8 +279,7 @@ mod tests {
         let serial_cfg = SelectConfig { threads: 1, ..SelectConfig::default() };
         let parallel_cfg = SelectConfig { threads: 4, ..SelectConfig::default() };
         let a = score_features(&train, &eval, SelectionCriterion::TopNAp { n: 60 }, &serial_cfg);
-        let b =
-            score_features(&train, &eval, SelectionCriterion::TopNAp { n: 60 }, &parallel_cfg);
+        let b = score_features(&train, &eval, SelectionCriterion::TopNAp { n: 60 }, &parallel_cfg);
         assert_eq!(a, b);
     }
 
@@ -316,8 +301,7 @@ mod tests {
         let x = FeatureMatrix::new(n, meta, vec![1.0; n]);
         let y: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let data = Dataset::new(x, y);
-        let scores =
-            score_features(&data, &data.clone(), SelectionCriterion::Auc, &cfg());
+        let scores = score_features(&data, &data.clone(), SelectionCriterion::Auc, &cfg());
         assert_eq!(scores[0].score, 0.0);
     }
 }

@@ -215,12 +215,7 @@ pub fn best_stump_for_feature(
     let s_gt = 0.5 * ((gt_pos + smoothing) / (gt_neg + smoothing)).ln();
 
     Some(StumpSearchResult {
-        stump: Stump {
-            feature: feature_idx,
-            threshold: feature.edges[split_bin],
-            s_le,
-            s_gt,
-        },
+        stump: Stump { feature: feature_idx, threshold: feature.edges[split_bin], s_le, s_gt },
         z,
     })
 }
@@ -324,10 +319,8 @@ mod tests {
 
     #[test]
     fn search_prefers_informative_feature() {
-        let x = matrix(vec![
-            ("noise", vec![1.0, 2.0, 1.0, 2.0]),
-            ("signal", vec![0.0, 0.0, 9.0, 9.0]),
-        ]);
+        let x =
+            matrix(vec![("noise", vec![1.0, 2.0, 1.0, 2.0]), ("signal", vec![0.0, 0.0, 9.0, 9.0])]);
         let binned = BinnedDataset::from_matrix(&x, 16);
         let labels = [false, false, true, true];
         let w = [0.25; 4];

@@ -79,8 +79,7 @@ impl DecisionTree {
                 Node::Leaf { probability } => return *probability,
                 Node::Split { feature, threshold, missing_left, left, right } => {
                     let v = row[*feature];
-                    let go_left =
-                        if v.is_nan() { *missing_left } else { v <= *threshold };
+                    let go_left = if v.is_nan() { *missing_left } else { v <= *threshold };
                     node = if go_left { left } else { right };
                 }
             }
@@ -140,11 +139,7 @@ fn grow(
     let n = rows.len();
     let pos = rows.iter().filter(|&&r| y[r]).count();
     let probability = pos as f64 / n.max(1) as f64;
-    if depth >= config.max_depth
-        || n < config.min_samples_split
-        || pos == 0
-        || pos == n
-    {
+    if depth >= config.max_depth || n < config.min_samples_split || pos == 0 || pos == n {
         return Node::Leaf { probability };
     }
 
@@ -229,20 +224,15 @@ fn find_best_split(
             }
             // Route missing to the heavier branch.
             let missing_left = lp + ln >= rp + rn;
-            let (lp, ln, rp, rn) = if missing_left {
-                (lp + mp, ln + mn, rp, rn)
-            } else {
-                (lp, ln, rp + mp, rn + mn)
-            };
+            let (lp, ln, rp, rn) =
+                if missing_left { (lp + mp, ln + mn, rp, rn) } else { (lp, ln, rp + mp, rn + mn) };
             let lt = lp + ln;
             let rt = rp + rn;
             if lt == 0.0 || rt == 0.0 {
                 continue;
             }
             let impurity = (lt / n) * gini(lp, lt) + (rt / n) * gini(rp, rt);
-            if impurity < parent - 1e-12
-                && best.as_ref().map_or(true, |b| impurity < b.impurity)
-            {
+            if impurity < parent - 1e-12 && best.as_ref().map_or(true, |b| impurity < b.impurity) {
                 best = Some(BestSplit { feature, threshold, missing_left, impurity });
             }
         }
@@ -318,9 +308,15 @@ mod tests {
         let test = xor_dataset(2000, 0.0, 5);
         let deep = DecisionTree::fit(
             &train,
-            &TreeConfig { max_depth: 20, min_samples_split: 2, min_samples_leaf: 1, n_candidates: 64 },
+            &TreeConfig {
+                max_depth: 20,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                n_candidates: 64,
+            },
         );
-        let shallow = DecisionTree::fit(&train, &TreeConfig { max_depth: 4, ..TreeConfig::default() });
+        let shallow =
+            DecisionTree::fit(&train, &TreeConfig { max_depth: 4, ..TreeConfig::default() });
         let train_deep = accuracy(&deep, &train);
         let test_deep = accuracy(&deep, &test);
         let test_shallow = accuracy(&shallow, &test);
@@ -355,8 +351,8 @@ mod tests {
         let data = xor_dataset(300, 0.1, 6);
         let tree = DecisionTree::fit(&data, &TreeConfig::default());
         let batch = tree.probabilities(&data.x);
-        for r in 0..data.len() {
-            assert_eq!(batch[r], tree.probability(data.x.row(r)));
+        for (r, &p) in batch.iter().enumerate() {
+            assert_eq!(p, tree.probability(data.x.row(r)));
         }
     }
 

@@ -34,15 +34,10 @@ fn main() {
     println!("\n--- sample dispatches from the held-out window ---");
     for (i, e) in examples.iter().take(5).enumerate() {
         let truth = e.disposition;
-        let basic_rank = locator
-            .basic_ranking()
-            .iter()
-            .position(|&d| d == truth)
-            .expect("ranked")
-            + 1;
+        let basic_rank =
+            locator.basic_ranking().iter().position(|&d| d == truth).expect("ranked") + 1;
         let combined = locator.rank_combined(ds.x.row(i));
-        let model_rank =
-            combined.iter().position(|s| s.disposition == truth).expect("ranked") + 1;
+        let model_rank = combined.iter().position(|s| s.disposition == truth).expect("ranked") + 1;
         println!(
             "\ndispatch to {} (day {}): true disposition {} — {}",
             e.line,

@@ -11,9 +11,7 @@ use nevermind_dslsim::{SimConfig, World};
 use std::io::BufReader;
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "dataset_export".to_string());
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "dataset_export".to_string());
     let dir = std::path::PathBuf::from(out_dir);
 
     let mut cfg = SimConfig::small(2026);
@@ -40,10 +38,9 @@ fn main() {
     drop(f);
 
     // Prove the round-trip.
-    let back = import_measurements_jsonl(BufReader::new(
-        std::fs::File::open(&jsonl_path).expect("open"),
-    ))
-    .expect("JSONL import");
+    let back =
+        import_measurements_jsonl(BufReader::new(std::fs::File::open(&jsonl_path).expect("open")))
+            .expect("JSONL import");
     assert_eq!(back.len(), output.measurements.len());
     println!(
         "wrote + verified {} ({} records round-tripped losslessly)",

@@ -24,11 +24,8 @@ fn main() {
     println!("  -> {} DSLAM outages occurred", data.output.outage_events.len());
 
     let split = SplitSpec::paper_like(&data);
-    let cfg = PredictorConfig {
-        iterations: 120,
-        selection_row_cap: 8_000,
-        ..PredictorConfig::default()
-    };
+    let cfg =
+        PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
     println!("fitting the ticket predictor ...");
     let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
     let ranking = predictor.rank(&data, &split.test_days);
@@ -43,9 +40,7 @@ fn main() {
     let last_test_day = *split.test_days.last().expect("test days");
     let had_outage = |dslam: nevermind_dslsim::DslamId| {
         data.output.outage_events.iter().any(|e| {
-            e.dslam == dslam
-                && e.start >= split.test_days[0]
-                && e.start < last_test_day + horizon
+            e.dslam == dslam && e.start >= split.test_days[0] && e.start < last_test_day + horizon
         })
     };
 
@@ -66,8 +61,7 @@ fn main() {
     // Hit rate of clustered vs unclustered DSLAMs.
     let dense: Vec<_> = clusters.iter().filter(|&&(_, c)| c >= 3).collect();
     let dense_hits = dense.iter().filter(|&&&(d, _)| had_outage(d)).count();
-    let all_hits =
-        data.topology.dslams.iter().filter(|d| had_outage(d.id)).count();
+    let all_hits = data.topology.dslams.iter().filter(|d| had_outage(d.id)).count();
     println!(
         "\ndense clusters (≥3 predictions): {} — {} preceded an outage; \
          base rate over all DSLAMs: {}/{}",

@@ -36,10 +36,7 @@ fn main() {
     println!("\n--- outcome after day {} ---", outcome.policy_start_day);
     println!("reactive twin   : {} customer-edge tickets", outcome.reactive_tickets);
     println!("proactive twin  : {} customer-edge tickets", outcome.proactive_tickets);
-    println!(
-        "ticket reduction: {:.1}%",
-        100.0 * outcome.ticket_reduction()
-    );
+    println!("ticket reduction: {:.1}%", 100.0 * outcome.ticket_reduction());
     println!(
         "proactive dispatches: {} ({} found a real fault, {:.1}% precision)",
         outcome.proactive_dispatches,

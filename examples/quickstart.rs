@@ -51,12 +51,9 @@ fn main() {
     // 4. Rank the whole population over the test weeks and spend the budget.
     let ranking = predictor.rank(&data, &split.test_days);
     let budget = cfg.budget(ranking.len());
-    let base_rate = ranking.labels.iter().filter(|&&y| y).count() as f64
-        / ranking.labels.len() as f64;
-    println!(
-        "\nranked {} (line, week) pairs; ATDS budget = {budget}",
-        ranking.len()
-    );
+    let base_rate =
+        ranking.labels.iter().filter(|&&y| y).count() as f64 / ranking.labels.len() as f64;
+    println!("\nranked {} (line, week) pairs; ATDS budget = {budget}", ranking.len());
     println!(
         "precision@budget = {:.1}%  (base rate {:.1}%, lift {:.1}x)",
         100.0 * ranking.precision_at(budget),

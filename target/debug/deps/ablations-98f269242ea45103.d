@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-98f269242ea45103.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-98f269242ea45103: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

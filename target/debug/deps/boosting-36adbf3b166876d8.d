@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boosting-36adbf3b166876d8.d: crates/bench/benches/boosting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboosting-36adbf3b166876d8.rmeta: crates/bench/benches/boosting.rs Cargo.toml
+
+crates/bench/benches/boosting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boosting-c936b7606e022d6b.d: crates/bench/benches/boosting.rs
+
+/root/repo/target/debug/deps/boosting-c936b7606e022d6b: crates/bench/benches/boosting.rs
+
+crates/bench/benches/boosting.rs:

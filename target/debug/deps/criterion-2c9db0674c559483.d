@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2c9db0674c559483.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-2c9db0674c559483: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-7456d5d9baefbad4.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7456d5d9baefbad4.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7456d5d9baefbad4.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-a38d1376d241bdb2.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a38d1376d241bdb2.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a38d1376d241bdb2.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d8c46f38da22c316.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-d8c46f38da22c316: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

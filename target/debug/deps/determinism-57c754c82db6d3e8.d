@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-57c754c82db6d3e8.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-57c754c82db6d3e8: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

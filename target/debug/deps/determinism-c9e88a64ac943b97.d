@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c9e88a64ac943b97.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c9e88a64ac943b97: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

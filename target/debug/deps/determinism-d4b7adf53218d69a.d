@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-d4b7adf53218d69a.d: crates/core/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-d4b7adf53218d69a.rmeta: crates/core/../../tests/determinism.rs Cargo.toml
+
+crates/core/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoder-290e047a2630d71a.d: crates/bench/benches/encoder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoder-290e047a2630d71a.rmeta: crates/bench/benches/encoder.rs Cargo.toml
+
+crates/bench/benches/encoder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encoder-c852c89bf18ab0a8.d: crates/bench/benches/encoder.rs
+
+/root/repo/target/debug/deps/encoder-c852c89bf18ab0a8: crates/bench/benches/encoder.rs
+
+crates/bench/benches/encoder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-406c1afb7952e865.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-406c1afb7952e865: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8b66dce6bbff11db.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8b66dce6bbff11db: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

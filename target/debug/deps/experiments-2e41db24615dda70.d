@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-2e41db24615dda70.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-2e41db24615dda70: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7b8f559e45699a3d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7b8f559e45699a3d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

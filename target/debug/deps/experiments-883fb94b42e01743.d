@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-883fb94b42e01743.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-883fb94b42e01743: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-ae1c8d1cb5ef6255.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-ae1c8d1cb5ef6255.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

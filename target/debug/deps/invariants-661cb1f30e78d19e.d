@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-661cb1f30e78d19e.d: crates/core/../../tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-661cb1f30e78d19e.rmeta: crates/core/../../tests/invariants.rs Cargo.toml
+
+crates/core/../../tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

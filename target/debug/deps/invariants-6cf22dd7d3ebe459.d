@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-6cf22dd7d3ebe459.d: crates/core/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-6cf22dd7d3ebe459: crates/core/../../tests/invariants.rs
+
+crates/core/../../tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-a5b9899092685d4d.d: crates/core/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-a5b9899092685d4d: crates/core/../../tests/invariants.rs
+
+crates/core/../../tests/invariants.rs:

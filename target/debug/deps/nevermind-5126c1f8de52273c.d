@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nevermind-5126c1f8de52273c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/libnevermind-5126c1f8de52273c.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/libnevermind-5126c1f8de52273c.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/comparison.rs:
+crates/core/src/locator.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nevermind-556ee9e4505b2b53.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnevermind-556ee9e4505b2b53.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/comparison.rs:
+crates/core/src/locator.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nevermind-e0905409534e5601.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/libnevermind-e0905409534e5601.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/libnevermind-e0905409534e5601.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/comparison.rs:
+crates/core/src/locator.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:

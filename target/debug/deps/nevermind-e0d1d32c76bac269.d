@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nevermind-e0d1d32c76bac269.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/nevermind-e0d1d32c76bac269: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/comparison.rs:
+crates/core/src/locator.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nevermind_bench-5e92eb8474ac12ab.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libnevermind_bench-5e92eb8474ac12ab.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libnevermind_bench-5e92eb8474ac12ab.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:

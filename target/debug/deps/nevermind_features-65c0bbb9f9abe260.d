@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nevermind_features-65c0bbb9f9abe260.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-65c0bbb9f9abe260.rlib: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-65c0bbb9f9abe260.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nevermind_features-accae0f85f18c92b.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-accae0f85f18c92b.rlib: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-accae0f85f18c92b.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/incremental.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

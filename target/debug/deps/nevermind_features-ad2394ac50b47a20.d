@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nevermind_features-ad2394ac50b47a20.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/nevermind_features-ad2394ac50b47a20: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nevermind_features-dc647e7b98c316b3.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnevermind_features-dc647e7b98c316b3.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs Cargo.toml
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/incremental.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

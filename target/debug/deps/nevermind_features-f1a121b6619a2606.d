@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nevermind_features-f1a121b6619a2606.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-f1a121b6619a2606.rlib: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-f1a121b6619a2606.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_weekly-0baf63af2172786f.d: crates/bench/src/bin/profile_weekly.rs
+
+/root/repo/target/debug/deps/profile_weekly-0baf63af2172786f: crates/bench/src/bin/profile_weekly.rs
+
+crates/bench/src/bin/profile_weekly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-000aeb0e3f842704.d: crates/dslsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-000aeb0e3f842704: crates/dslsim/tests/properties.rs
+
+crates/dslsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0201a2f1b62b4176.d: crates/features/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0201a2f1b62b4176: crates/features/tests/properties.rs
+
+crates/features/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-09705983c0b8f355.d: crates/ml/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-09705983c0b8f355: crates/ml/tests/properties.rs
+
+crates/ml/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-370420bb01a60f8b.d: crates/features/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-370420bb01a60f8b: crates/features/tests/properties.rs
+
+crates/features/tests/properties.rs:

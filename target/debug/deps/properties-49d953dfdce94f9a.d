@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-49d953dfdce94f9a.d: crates/ml/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-49d953dfdce94f9a.rmeta: crates/ml/tests/properties.rs Cargo.toml
+
+crates/ml/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7180fb550b6ba186.d: crates/ml/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7180fb550b6ba186: crates/ml/tests/properties.rs
+
+crates/ml/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b8be24764358117f.d: crates/dslsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b8be24764358117f: crates/dslsim/tests/properties.rs
+
+crates/dslsim/tests/properties.rs:

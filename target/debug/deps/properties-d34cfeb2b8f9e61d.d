@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d34cfeb2b8f9e61d.d: crates/dslsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d34cfeb2b8f9e61d.rmeta: crates/dslsim/tests/properties.rs Cargo.toml
+
+crates/dslsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

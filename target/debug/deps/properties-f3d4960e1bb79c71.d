@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f3d4960e1bb79c71.d: crates/features/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f3d4960e1bb79c71.rmeta: crates/features/tests/properties.rs Cargo.toml
+
+crates/features/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

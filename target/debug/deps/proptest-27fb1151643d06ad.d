@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-27fb1151643d06ad.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-27fb1151643d06ad.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-27fb1151643d06ad.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

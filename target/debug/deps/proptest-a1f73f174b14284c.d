@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a1f73f174b14284c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a1f73f174b14284c: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

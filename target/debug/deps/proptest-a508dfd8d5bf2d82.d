@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a508dfd8d5bf2d82.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a508dfd8d5bf2d82: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d92e36b8b4f0ac28.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d92e36b8b4f0ac28.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d92e36b8b4f0ac28.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-26fcb47ff7c84aa4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-26fcb47ff7c84aa4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

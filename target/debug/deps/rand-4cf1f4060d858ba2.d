@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4cf1f4060d858ba2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4cf1f4060d858ba2.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4cf1f4060d858ba2.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-98b18a7dfc472055.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-98b18a7dfc472055.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-98b18a7dfc472055.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

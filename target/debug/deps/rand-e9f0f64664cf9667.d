@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e9f0f64664cf9667.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-e9f0f64664cf9667: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

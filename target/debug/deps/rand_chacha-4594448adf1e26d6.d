@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-4594448adf1e26d6.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-4594448adf1e26d6: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-6327fbd74aa5f9ce.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-6327fbd74aa5f9ce: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

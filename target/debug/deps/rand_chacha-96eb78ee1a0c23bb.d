@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-96eb78ee1a0c23bb.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-96eb78ee1a0c23bb.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-96eb78ee1a0c23bb.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

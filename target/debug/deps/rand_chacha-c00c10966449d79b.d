@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-c00c10966449d79b.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c00c10966449d79b.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c00c10966449d79b.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ranking-74ead6592258692d.d: crates/bench/benches/ranking.rs
+
+/root/repo/target/debug/deps/ranking-74ead6592258692d: crates/bench/benches/ranking.rs
+
+crates/bench/benches/ranking.rs:

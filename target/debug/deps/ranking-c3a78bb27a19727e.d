@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ranking-c3a78bb27a19727e.d: crates/bench/benches/ranking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libranking-c3a78bb27a19727e.rmeta: crates/bench/benches/ranking.rs Cargo.toml
+
+crates/bench/benches/ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-3fb59d5602aafa7d.d: crates/core/../../tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-3fb59d5602aafa7d: crates/core/../../tests/scenarios.rs
+
+crates/core/../../tests/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-8cfd075c5bf18e72.d: crates/core/../../tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-8cfd075c5bf18e72: crates/core/../../tests/scenarios.rs
+
+crates/core/../../tests/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenarios-fe9c9ade73037fed.d: crates/core/../../tests/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-fe9c9ade73037fed.rmeta: crates/core/../../tests/scenarios.rs Cargo.toml
+
+crates/core/../../tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

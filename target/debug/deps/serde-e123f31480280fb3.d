@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-e123f31480280fb3.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-e123f31480280fb3: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-02d7631e0990d4d7.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-02d7631e0990d4d7: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-708179f442f5179e.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-708179f442f5179e: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-8091f771d74ee739.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8091f771d74ee739.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8091f771d74ee739.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

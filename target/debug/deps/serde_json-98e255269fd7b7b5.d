@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-98e255269fd7b7b5.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-98e255269fd7b7b5.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-98e255269fd7b7b5.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

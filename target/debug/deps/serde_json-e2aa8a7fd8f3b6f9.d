@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-e2aa8a7fd8f3b6f9.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e2aa8a7fd8f3b6f9.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e2aa8a7fd8f3b6f9.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-a0b4b3b8f7aebce5.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-a0b4b3b8f7aebce5: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stump_binning_consistency-ce92bcf6f1f7dac9.d: crates/ml/tests/stump_binning_consistency.rs
+
+/root/repo/target/debug/deps/stump_binning_consistency-ce92bcf6f1f7dac9: crates/ml/tests/stump_binning_consistency.rs
+
+crates/ml/tests/stump_binning_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stump_binning_consistency-fdedc29a355315ef.d: crates/ml/tests/stump_binning_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstump_binning_consistency-fdedc29a355315ef.rmeta: crates/ml/tests/stump_binning_consistency.rs Cargo.toml
+
+crates/ml/tests/stump_binning_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weekly_rerank-d370bdc2f7ee79a6.d: crates/bench/benches/weekly_rerank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweekly_rerank-d370bdc2f7ee79a6.rmeta: crates/bench/benches/weekly_rerank.rs Cargo.toml
+
+crates/bench/benches/weekly_rerank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

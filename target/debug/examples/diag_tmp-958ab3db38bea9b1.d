@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diag_tmp-958ab3db38bea9b1.d: crates/core/examples/diag_tmp.rs
+
+/root/repo/target/debug/examples/diag_tmp-958ab3db38bea9b1: crates/core/examples/diag_tmp.rs
+
+crates/core/examples/diag_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_assistant-16479f63c5ab6dc9.d: crates/core/../../examples/dispatch_assistant.rs
+
+/root/repo/target/debug/examples/dispatch_assistant-16479f63c5ab6dc9: crates/core/../../examples/dispatch_assistant.rs
+
+crates/core/../../examples/dispatch_assistant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dispatch_assistant-64b53b6732be5a1e.d: crates/core/../../examples/dispatch_assistant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdispatch_assistant-64b53b6732be5a1e.rmeta: crates/core/../../examples/dispatch_assistant.rs Cargo.toml
+
+crates/core/../../examples/dispatch_assistant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_assistant-689545bff2ce6a91.d: crates/core/../../examples/dispatch_assistant.rs
+
+/root/repo/target/debug/examples/dispatch_assistant-689545bff2ce6a91: crates/core/../../examples/dispatch_assistant.rs
+
+crates/core/../../examples/dispatch_assistant.rs:

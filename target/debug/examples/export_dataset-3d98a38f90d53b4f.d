@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_dataset-3d98a38f90d53b4f.d: crates/core/../../examples/export_dataset.rs
+
+/root/repo/target/debug/examples/export_dataset-3d98a38f90d53b4f: crates/core/../../examples/export_dataset.rs
+
+crates/core/../../examples/export_dataset.rs:

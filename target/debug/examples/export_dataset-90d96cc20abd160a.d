@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_dataset-90d96cc20abd160a.d: crates/core/../../examples/export_dataset.rs
+
+/root/repo/target/debug/examples/export_dataset-90d96cc20abd160a: crates/core/../../examples/export_dataset.rs
+
+crates/core/../../examples/export_dataset.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_dataset-a2331004e062c17d.d: crates/core/../../examples/export_dataset.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_dataset-a2331004e062c17d.rmeta: crates/core/../../examples/export_dataset.rs Cargo.toml
+
+crates/core/../../examples/export_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

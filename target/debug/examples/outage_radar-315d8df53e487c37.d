@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_radar-315d8df53e487c37.d: crates/core/../../examples/outage_radar.rs
+
+/root/repo/target/debug/examples/outage_radar-315d8df53e487c37: crates/core/../../examples/outage_radar.rs
+
+crates/core/../../examples/outage_radar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_radar-602edb0d2819bba8.d: crates/core/../../examples/outage_radar.rs
+
+/root/repo/target/debug/examples/outage_radar-602edb0d2819bba8: crates/core/../../examples/outage_radar.rs
+
+crates/core/../../examples/outage_radar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/outage_radar-a77bca7b3497c076.d: crates/core/../../examples/outage_radar.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboutage_radar-a77bca7b3497c076.rmeta: crates/core/../../examples/outage_radar.rs Cargo.toml
+
+crates/core/../../examples/outage_radar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proactive_week-546edfa86108946a.d: crates/core/../../examples/proactive_week.rs
+
+/root/repo/target/debug/examples/proactive_week-546edfa86108946a: crates/core/../../examples/proactive_week.rs
+
+crates/core/../../examples/proactive_week.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proactive_week-aa8a5ecf8d6e67db.d: crates/core/../../examples/proactive_week.rs
+
+/root/repo/target/debug/examples/proactive_week-aa8a5ecf8d6e67db: crates/core/../../examples/proactive_week.rs
+
+crates/core/../../examples/proactive_week.rs:

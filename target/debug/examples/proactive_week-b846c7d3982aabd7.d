@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/proactive_week-b846c7d3982aabd7.d: crates/core/../../examples/proactive_week.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproactive_week-b846c7d3982aabd7.rmeta: crates/core/../../examples/proactive_week.rs Cargo.toml
+
+crates/core/../../examples/proactive_week.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

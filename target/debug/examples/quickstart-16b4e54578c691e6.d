@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-16b4e54578c691e6.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-16b4e54578c691e6: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9124f51dbaf4851b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9124f51dbaf4851b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c02679f83b3a465b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c02679f83b3a465b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c02679f83b3a465b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

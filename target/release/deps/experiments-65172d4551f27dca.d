@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-65172d4551f27dca.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-65172d4551f27dca: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

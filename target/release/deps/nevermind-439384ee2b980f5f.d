@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nevermind-439384ee2b980f5f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+
+/root/repo/target/release/deps/libnevermind-439384ee2b980f5f.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+
+/root/repo/target/release/deps/libnevermind-439384ee2b980f5f.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/comparison.rs:
+crates/core/src/locator.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scoring.rs:

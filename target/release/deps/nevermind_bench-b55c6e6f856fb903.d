@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nevermind_bench-b55c6e6f856fb903.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libnevermind_bench-b55c6e6f856fb903.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libnevermind_bench-b55c6e6f856fb903.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:

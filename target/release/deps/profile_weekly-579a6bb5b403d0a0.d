@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_weekly-579a6bb5b403d0a0.d: crates/bench/src/bin/profile_weekly.rs
+
+/root/repo/target/release/deps/profile_weekly-579a6bb5b403d0a0: crates/bench/src/bin/profile_weekly.rs
+
+crates/bench/src/bin/profile_weekly.rs:

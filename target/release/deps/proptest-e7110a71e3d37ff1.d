@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e7110a71e3d37ff1.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e7110a71e3d37ff1.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e7110a71e3d37ff1.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

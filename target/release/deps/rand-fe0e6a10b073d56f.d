@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fe0e6a10b073d56f.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fe0e6a10b073d56f.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fe0e6a10b073d56f.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

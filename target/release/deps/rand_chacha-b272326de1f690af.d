@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-b272326de1f690af.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b272326de1f690af.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b272326de1f690af.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

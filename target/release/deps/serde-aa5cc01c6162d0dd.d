@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-aa5cc01c6162d0dd.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-aa5cc01c6162d0dd.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-aa5cc01c6162d0dd.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

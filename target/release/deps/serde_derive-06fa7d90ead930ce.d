@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-06fa7d90ead930ce.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-06fa7d90ead930ce.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-92818d8ec84e8c59.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-92818d8ec84e8c59.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-92818d8ec84e8c59.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

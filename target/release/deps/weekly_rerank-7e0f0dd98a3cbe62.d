@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weekly_rerank-7e0f0dd98a3cbe62.d: crates/bench/benches/weekly_rerank.rs
+
+/root/repo/target/release/deps/weekly_rerank-7e0f0dd98a3cbe62: crates/bench/benches/weekly_rerank.rs
+
+crates/bench/benches/weekly_rerank.rs:

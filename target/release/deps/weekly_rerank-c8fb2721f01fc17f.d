@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weekly_rerank-c8fb2721f01fc17f.d: crates/bench/benches/weekly_rerank.rs
+
+/root/repo/target/release/deps/weekly_rerank-c8fb2721f01fc17f: crates/bench/benches/weekly_rerank.rs
+
+crates/bench/benches/weekly_rerank.rs:

@@ -10,9 +10,7 @@ use std::sync::OnceLock;
 
 struct Fixture {
     data: ExperimentData,
-    split: SplitSpec,
     cfg: PredictorConfig,
-    predictor: TicketPredictor,
     report: SelectionReport,
     ranking: RankedPredictions,
 }
@@ -37,7 +35,7 @@ fn fixture() -> &'static Fixture {
         };
         let (predictor, report) = TicketPredictor::fit(&data, &split, &cfg);
         let ranking = predictor.rank(&data, &split.test_days);
-        Fixture { data, split, cfg, predictor, report, ranking }
+        Fixture { data, cfg, report, ranking }
     })
 }
 
@@ -46,8 +44,8 @@ fn predictor_beats_base_rate_at_budget() {
     let f = fixture();
     let budget = f.cfg.budget(f.ranking.len());
     let precision = f.ranking.precision_at(budget);
-    let base_rate = f.ranking.labels.iter().filter(|&&y| y).count() as f64
-        / f.ranking.labels.len() as f64;
+    let base_rate =
+        f.ranking.labels.iter().filter(|&&y| y).count() as f64 / f.ranking.labels.len() as f64;
     // This fixture runs a hot plant (extra outages for the Table-5 test
     // below), which legitimately depresses precision: outage-area
     // predictions are IVR-suppressed into "incorrect". A 2.5x lift at a
@@ -78,10 +76,7 @@ fn precision_decays_with_cutoff_depth() {
     let f = fixture();
     let budget = f.cfg.budget(f.ranking.len());
     let curve = f.ranking.precision_curve(&[budget, budget * 4, budget * 16]);
-    assert!(
-        curve[0].1 > curve[2].1,
-        "precision should decay with depth: {curve:?}"
-    );
+    assert!(curve[0].1 > curve[2].1, "precision should decay with depth: {curve:?}");
 }
 
 #[test]
@@ -126,10 +121,7 @@ fn locator_improves_on_experience_ranking() {
         / eval.per_example.len() as f64;
     let mean_combined: f64 = eval.per_example.iter().map(|e| e.combined as f64).sum::<f64>()
         / eval.per_example.len() as f64;
-    assert!(
-        mean_combined < mean_basic,
-        "combined {mean_combined:.2} vs basic {mean_basic:.2}"
-    );
+    assert!(mean_combined < mean_basic, "combined {mean_combined:.2} vs basic {mean_basic:.2}");
     let (b50, _, c50) = eval.tests_to_locate(0.5);
     assert!(c50 <= b50, "tests-to-50%: combined {c50} vs basic {b50}");
 }
@@ -165,10 +157,7 @@ fn proactive_loop_reduces_tickets() {
 fn weekly_histogram_and_dslam_grouping_consistent() {
     let f = fixture();
     let hist = analysis::weekly_ticket_histogram(&f.data);
-    assert_eq!(
-        hist.iter().sum::<usize>(),
-        f.data.output.customer_edge_tickets().count()
-    );
+    assert_eq!(hist.iter().sum::<usize>(), f.data.output.customer_edge_tickets().count());
     let budget = f.cfg.budget(f.ranking.len());
     let groups = analysis::predictions_by_dslam(&f.data, &f.ranking, budget);
     assert_eq!(groups.iter().map(|(_, c)| c).sum::<usize>(), budget);

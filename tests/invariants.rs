@@ -160,10 +160,10 @@ fn boosting_handles_missing_without_nan() {
 /// missing measurements).
 #[test]
 fn derived_features_propagate_nan() {
+    use nevermind_dslsim::LineId;
     use nevermind_features::encode::derive;
     use nevermind_features::encode::{EncodedDataset, RowKey};
     use nevermind_features::registry::{DerivedFeature, FeatureClass};
-    use nevermind_dslsim::LineId;
 
     let meta = vec![FeatureMeta::continuous("x"), FeatureMeta::continuous("y")];
     let x = FeatureMatrix::new(3, meta, vec![1.0, 2.0, f32::NAN, 3.0, 4.0, f32::NAN]);

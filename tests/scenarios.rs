@@ -69,23 +69,35 @@ fn quiet_network_with_rare_positives_does_not_collapse() {
 
 #[test]
 fn overprovisioned_scenario_flags_speed_downgrades() {
-    // Long loops sold fast profiles: DS-SPEED-DOWN should be among the more
-    // common dispositions in the dispatch notes.
-    let data = ExperimentData::simulate(Scenario::Overprovisioned.config(73, 2_000, 270));
+    // Long loops sold fast profiles: DS-SPEED-DOWN must be measurably more
+    // prevalent (by note count and by rank among dispositions) than on an
+    // identically seeded baseline plant. An absolute rank cutoff would be a
+    // bet on one RNG stream; the baseline-relative contrast is the property
+    // the scenario exists to provide.
     let speed_down = nevermind_dslsim::disposition::by_code("DS-SPEED-DOWN").expect("exists");
-    let mut counts = vec![0usize; nevermind_dslsim::N_DISPOSITIONS];
-    for n in &data.output.notes {
-        if let Some(d) = n.disposition {
-            counts[d.0 as usize] += 1;
+    let stats = |scenario: Scenario| {
+        let data = ExperimentData::simulate(scenario.config(73, 2_000, 270));
+        let mut counts = vec![0usize; nevermind_dslsim::N_DISPOSITIONS];
+        for n in &data.output.notes {
+            if let Some(d) = n.disposition {
+                counts[d.0 as usize] += 1;
+            }
         }
-    }
-    let rank = {
         let mut order: Vec<usize> = (0..counts.len()).collect();
         order.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
-        order.iter().position(|&i| i == speed_down.0 as usize).expect("present")
+        let rank = order.iter().position(|&i| i == speed_down.0 as usize).expect("present");
+        (counts[speed_down.0 as usize], rank)
     };
+    let (count_over, rank_over) = stats(Scenario::Overprovisioned);
+    let (count_base, rank_base) = stats(Scenario::Baseline);
     assert!(
-        rank < 26,
-        "DS-SPEED-DOWN should rank in the top half of dispositions, got #{rank}"
+        count_over > count_base,
+        "overprovisioning should produce more DS-SPEED-DOWN notes \
+         ({count_over} vs baseline {count_base})"
+    );
+    assert!(
+        rank_over < rank_base,
+        "DS-SPEED-DOWN should rank higher among dispositions than on the \
+         baseline plant (#{rank_over} vs #{rank_base})"
     );
 }

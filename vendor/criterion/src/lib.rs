@@ -1,0 +1,284 @@
+//! Offline stand-in for `criterion`. Benches compile and run against
+//! the same definition API; measurement is a straightforward
+//! best-of-N-samples wall-clock loop with median reporting, printed as
+//! one line per benchmark:
+//!
+//! ```text
+//! group/id                time: [median 1.234 ms]  thrpt: [8.1 Melem/s]
+//! ```
+//!
+//! There is no statistical analysis, warm-up tuning, or HTML report.
+//! Numbers are good enough for the speedup comparisons recorded in
+//! BENCH_*.json, which compare runs of this same harness.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to each bench function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First CLI arg (if any) filters benchmark ids by substring, like
+        // `cargo bench -- <filter>`. Flag-style args are ignored.
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Units for reporting items-per-second throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup per
+/// measured iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let full_id = self.full_id(&id);
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample.
+        let mut bencher = Bencher { elapsed: Duration::ZERO };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { elapsed: Duration::ZERO };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        report(&full_id, &mut samples, self.throughput);
+    }
+
+    /// Defines and runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group. Nothing to flush in the stub; kept for API parity.
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        }
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+
+    /// Times `routine` on a fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+}
+
+fn report(full_id: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mut line = format!("{full_id:<50} time: [{}]", fmt_duration(median));
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: [{} elem/s]", fmt_rate(per_sec(n))));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: [{} B/s]", fmt_rate(per_sec(n))));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.3}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.3}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.3}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Groups bench functions under one name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter_batched(|| vec![n; 100], |v| v.iter().sum::<u64>(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("no-such-bench".into()) };
+        // Would loop forever if run; filtered out instead.
+        let mut g = c.benchmark_group("skipped");
+        g.bench_function("never", |b| b.iter(|| std::thread::sleep(Duration::from_secs(3600))));
+        g.finish();
+    }
+}

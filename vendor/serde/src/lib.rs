@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde`, API-compatible with the subset this
+//! workspace uses.
+//!
+//! The real serde models serialization as a visitor protocol between a
+//! `Serializer` and the data structure. This stub collapses that protocol
+//! into one concrete data model: [`Value`], an owned JSON tree. `Serialize`
+//! renders a type into a `Value`; `Deserialize` rebuilds the type from one.
+//! The companion `serde_json` stub handles text parsing/printing of the
+//! same tree, and `serde_derive` provides `#[derive(Serialize,
+//! Deserialize)]` with serde's default encoding conventions:
+//!
+//! * structs → JSON objects keyed by field name;
+//! * one-field tuple structs (newtypes) → the inner value, transparently;
+//! * unit enum variants → the variant name as a string;
+//! * struct enum variants → `{"Variant": {fields…}}` (externally tagged).
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+// Derive macros; same names as the traits, as in real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserializer-side re-exports, mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Owned deserialization marker; with an owned value tree every
+    /// `Deserialize` is already owned.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Support helpers used by the generated derive code. Not public API.
+#[doc(hidden)]
+pub mod helpers {
+    use super::{Deserialize, Error, Map, Value};
+
+    /// Looks up and deserializes one struct field. Missing keys read as
+    /// `Null`, so `Option` fields tolerate omission.
+    pub fn field<T: Deserialize>(m: &Map, key: &str, ty: &str) -> Result<T, Error> {
+        T::from_value(m.get(key).unwrap_or(&Value::Null))
+            .map_err(|e| Error::custom(format!("{ty}.{key}: {e}")))
+    }
+
+    /// The object payload of an externally tagged enum variant.
+    pub fn variant_object<'v>(v: &'v Value, ty: &str, variant: &str) -> Result<&'v Map, Error> {
+        match v {
+            Value::Object(m) => Ok(m),
+            other => Err(Error::custom(format!(
+                "expected object payload for {ty}::{variant}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else {
+            // JSON has no NaN/Infinity; mirror serde_json and emit null.
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32→f64 widening is exact, so the round trip back to f32 is
+        // lossless.
+        f64::from(*self).to_value()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys like serde_json's BTreeMap-backed
+        // Map would.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for Map {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => Ok(m.clone()),
+            other => Err(Error::custom(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                let raw = n
+                    .as_i128()
+                    .ok_or_else(|| Error::custom("expected integer, got float"))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Array(items) if items.len() == $len => items,
+                    Value::Array(items) => {
+                        return Err(Error::custom(format!(
+                            "expected {}-tuple, got array of {}",
+                            $len,
+                            items.len()
+                        )))
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected array, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}

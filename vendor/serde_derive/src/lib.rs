@@ -1,0 +1,377 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! The macros parse the item token stream by hand (no `syn`/`quote` —
+//! they are not available offline) and emit impls of the stub's
+//! `serde::Serialize` / `serde::Deserialize` traits. Supported shapes are
+//! exactly what this workspace uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (a one-field newtype serializes as its inner value,
+//!   wider tuples as arrays);
+//! * enums with unit and struct variants (externally tagged).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and abort
+//! with a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item::Struct { name, fields: Fields::Named(fields) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Item::Struct { name, fields: Fields::Tuple(n) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item::Struct { name, fields: Fields::Unit }
+            }
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        kw => panic!("serde stub derive supports struct/enum, found `{kw}`"),
+    }
+}
+
+/// Skips `#[...]` attribute groups (including doc comments).
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, etc.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `{ field: Type, ... }` bodies into field names. Types are never
+/// needed: the generated code lets inference recover them from the struct
+/// literal / trait-method positions.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,`. Commas inside
+/// parens/brackets are hidden by token groups; commas inside generic
+/// arguments are tracked with an explicit `<`/`>` depth counter.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut n = 0usize;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        n += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if let Fields::Tuple(_) = fields {
+            panic!("serde stub derive does not support tuple enum variant `{name}`");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde stub derive does not support explicit discriminants (`{name} = ...`)");
+        }
+        variants.push((name, fields));
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in names {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Fields::Tuple(1) => String::from("::serde::Serialize::to_value(&self.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => String::from("::serde::Value::Null"),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut s = format!(
+                "let m = match v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{}}\", other.kind()))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in names {
+                s.push_str(&format!("{f}: ::serde::helpers::field(m, {f:?}, {name:?})?,\n"));
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let items = match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n}-element array for {name}, got {{}}\", other.kind()))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&items[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Fields::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?})),\n"
+            )),
+            Fields::Named(field_names) => {
+                let pat = field_names.join(", ");
+                let mut inner = String::from("let mut f = ::serde::Map::new();\n");
+                for ff in field_names {
+                    inner.push_str(&format!(
+                        "f.insert(::std::string::String::from({ff:?}), \
+                         ::serde::Serialize::to_value({ff}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {pat} }} => {{\n{inner}\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(::std::string::String::from({vname:?}), ::serde::Value::Object(f));\n\
+                     ::serde::Value::Object(m)\n}}\n"
+                ));
+            }
+            Fields::Tuple(_) => unreachable!("tuple variants rejected during parsing"),
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms
+                .push_str(&format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")),
+            Fields::Named(field_names) => {
+                let ty_variant = format!("{name}::{vname}");
+                let mut build = String::new();
+                for ff in field_names {
+                    build.push_str(&format!(
+                        "{ff}: ::serde::helpers::field(fm, {ff:?}, {ty_variant:?})?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                     let fm = ::serde::helpers::variant_object(payload, {name:?}, {vname:?})?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n{build}}})\n}}\n"
+                ));
+            }
+            Fields::Tuple(_) => unreachable!("tuple variants rejected during parsing"),
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant {{other:?}}\"))),\n\
+         }},\n\
+         ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+         let (tag, payload) = m.iter().next().expect(\"len checked\");\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant {{other:?}}\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"expected {name} variant, got {{}}\", other.kind()))),\n\
+         }}\n}}\n}}"
+    )
+}
