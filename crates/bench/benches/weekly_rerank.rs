@@ -125,6 +125,17 @@ fn bench_weekly_rerank(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("incremental", n_lines), &p, |b, p| {
             b.iter(|| black_box(incremental(p, &predictor)))
         });
+        // Same path with the metrics registry live: spans, counters and
+        // histograms all record. The delta against `incremental` is the
+        // instrumentation overhead on the scoring hot path (budgeted < 2%).
+        g.bench_with_input(BenchmarkId::new("incremental_instrumented", n_lines), &p, |b, p| {
+            b.iter(|| {
+                nevermind_obs::set_enabled(true);
+                let n = black_box(incremental(p, &predictor));
+                nevermind_obs::set_enabled(false);
+                n
+            })
+        });
         g.finish();
     }
 }

@@ -2,11 +2,15 @@
 //! paper's evaluation from one simulated world.
 //!
 //! ```text
-//! experiments [--scale quick|full] [--seed N] [EXPERIMENT ...]
+//! experiments [--scale quick|full] [--seed N] [--metrics PATH] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment names, runs everything. Results print to stdout and
-//! are persisted as JSON under `results/`.
+//! are persisted as JSON under `results/`. With `--metrics PATH`, the
+//! process-global metrics registry (per-phase span timings, counters, one
+//! `bench/<experiment>` span per experiment run) is dumped at PATH in the
+//! same `nevermind-metrics/v1` schema the CLI's `--metrics` flag emits, so
+//! harness runs and CLI runs are directly comparable.
 
 use nevermind_bench::ctx::{Ctx, Scale};
 use nevermind_bench::exp;
@@ -36,11 +40,20 @@ const ALL: &[&str] = &[
 fn main() {
     let mut scale = Scale::Quick;
     let mut seed = 0x5EED_CA11u64;
+    let mut metrics_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--metrics" => {
+                let v = args.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--metrics needs a path");
+                    std::process::exit(2);
+                }
+                metrics_path = Some(v);
+            }
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
@@ -56,7 +69,10 @@ fn main() {
                 });
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--scale quick|full] [--seed N] [EXPERIMENT ...]");
+                println!(
+                    "usage: experiments [--scale quick|full] [--seed N] [--metrics PATH] \
+                     [EXPERIMENT ...]"
+                );
                 println!("experiments: {}", ALL.join(" "));
                 return;
             }
@@ -73,6 +89,7 @@ fn main() {
         }
     }
 
+    nevermind_obs::set_enabled(true);
     eprintln!("[harness] simulating world (scale {scale:?}, seed {seed}) ...");
     let start = std::time::Instant::now();
     let ctx = Ctx::new(scale, seed);
@@ -109,6 +126,23 @@ fn main() {
             "summary" => drop(exp::summary(&ctx)),
             _ => unreachable!("validated above"),
         }
-        eprintln!("[harness] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+        let elapsed = t.elapsed();
+        // One span per experiment; `record_span` takes a dynamic path, so
+        // the 19 experiment names need no static span macro each.
+        nevermind_obs::global().record_span(
+            &format!("bench/{name}"),
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        );
+        eprintln!("[harness] {name} done in {:.1}s", elapsed.as_secs_f64());
+    }
+
+    if let Some(path) = metrics_path {
+        match std::fs::write(&path, nevermind_obs::global().to_json()) {
+            Ok(()) => eprintln!("[harness] wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("[harness] cannot write metrics '{path}': {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@ fn main() {
     let split = SplitSpec::paper_like(&data);
     let cfg =
         PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg).into();
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
 
     let mut sim = SimConfig::small(12);
     sim.n_lines = 100_000;

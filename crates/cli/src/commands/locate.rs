@@ -9,7 +9,8 @@ use nevermind::locator::{
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["data", "top", "dispatches", "iterations"])?;
+    args.reject_unknown(&["data", "top", "dispatches", "iterations", "metrics"])?;
+    let _span = nevermind_obs::span!("cli/locate");
     let data = load_dataset(&args.require("data")?)?;
     let top: usize = args.get_parsed_or("top", 5usize)?;
     let n_show: usize = args.get_parsed_or("dispatches", 3usize)?;

@@ -12,12 +12,22 @@ use nevermind_dslsim::scenario::Scenario;
 pub type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// `nevermind scenarios` — list the named presets.
-pub fn scenarios() -> CliResult {
+pub fn scenarios(args: &crate::args::Args) -> CliResult {
+    args.reject_unknown(&["metrics"])?;
     println!("{:<18} description", "scenario");
     println!("{:<18} -----------", "--------");
     for s in Scenario::ALL {
         println!("{:<18} {}", s.name(), s.description());
     }
+    Ok(())
+}
+
+/// Dumps the global metrics registry as one JSON document at `path`
+/// (the `--metrics` flag every subcommand accepts).
+pub fn write_metrics(path: &str) -> CliResult {
+    std::fs::write(path, nevermind_obs::global().to_json())
+        .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
+    eprintln!("wrote metrics to {path}");
     Ok(())
 }
 

@@ -8,7 +8,8 @@ use nevermind::predictor::TicketPredictor;
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["data", "model", "top", "explain"])?;
+    args.reject_unknown(&["data", "model", "top", "explain", "metrics"])?;
+    let _span = nevermind_obs::span!("cli/rank");
     let data = load_dataset(&args.require("data")?)?;
     let model_path = args.require("model")?;
     let top: usize = args.get_parsed_or("top", 20usize)?;
@@ -43,11 +44,16 @@ pub fn run(args: &Args) -> CliResult {
         // Map row keys back to assembled row indices.
         println!("\n--- why the top {explain} picks ---");
         for (key, prob, _) in ranking.top_rows(explain) {
-            let row_idx = base
-                .rows
-                .iter()
-                .position(|r| *r == key)
-                .expect("ranked row exists in the encoding");
+            // A malformed or mismatched dataset (e.g. edited by hand, or a
+            // model trained against a different plant) can rank a row the
+            // re-encoding does not contain; report it instead of panicking.
+            let row_idx = base.rows.iter().position(|r| *r == key).ok_or_else(|| {
+                format!(
+                    "ranked line {} (day {}) is missing from the dataset's encoding — \
+                     was the dataset modified, or the model trained on different data?",
+                    key.line, key.day
+                )
+            })?;
             let contributions = predictor.explain(assembled.x.row(row_idx));
             println!("\n{} @ day {} (P = {prob:.3}):", key.line, key.day);
             for c in contributions.iter().take(5) {

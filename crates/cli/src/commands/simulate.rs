@@ -8,14 +8,15 @@ use nevermind_dslsim::summary::OutputSummary;
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["out", "scenario", "lines", "days", "seed"])?;
+    args.reject_unknown(&["out", "scenario", "lines", "days", "seed", "metrics"])?;
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;
 
     eprintln!("simulating {} lines over {} days (seed {}) ...", cfg.n_lines, cfg.days, cfg.seed);
-    let started = std::time::Instant::now();
+    let span = nevermind_obs::span!("cli/simulate");
     let data = ExperimentData::simulate(cfg.clone());
-    eprintln!("simulation finished in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("simulation finished in {:.1}s", span.elapsed().as_secs_f64());
+    drop(span);
 
     let summary = OutputSummary::compute(&data.output, cfg.n_lines);
     println!("{summary}");

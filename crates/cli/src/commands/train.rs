@@ -16,6 +16,7 @@ pub fn run(args: &Args) -> CliResult {
         "n-quadratic",
         "n-product",
         "selection-row-cap",
+        "metrics",
     ])?;
     let data_path = args.require("data")?;
     let model_path = args.require("model")?;
@@ -36,9 +37,10 @@ pub fn run(args: &Args) -> CliResult {
         "training on {:?} (selection eval {:?}) ...",
         split.train_days, split.selection_eval_days
     );
-    let started = std::time::Instant::now();
+    let span = nevermind_obs::span!("cli/train");
     let (predictor, report) = TicketPredictor::fit(&data, &split, &config);
-    eprintln!("fit finished in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fit finished in {:.1}s", span.elapsed().as_secs_f64());
+    drop(span);
 
     println!(
         "selected {} features ({} base + {} derived); selection AP budget {}",
@@ -48,11 +50,22 @@ pub fn run(args: &Args) -> CliResult {
         report.selection_budget
     );
     println!("top selected features by single-feature AP:");
-    let mut all: Vec<_> =
+    // A degenerate selection window (single-class labels) yields NaN AP for
+    // every feature scored on it; `total_cmp` keeps the sort panic-free,
+    // and NaN-scored features are reported separately rather than ranked.
+    let all: Vec<_> =
         report.base.iter().chain(report.quadratic.iter()).chain(report.product.iter()).collect();
-    all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
-    for f in all.iter().take(10) {
+    let (unscored, mut scored): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.score.is_nan());
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score));
+    for f in scored.iter().take(10) {
         println!("  {:<40} AP = {:.3}", f.name, f.score);
+    }
+    if !unscored.is_empty() {
+        println!(
+            "note: {} features have undefined AP (degenerate selection window?), e.g. {}",
+            unscored.len(),
+            unscored[0].name
+        );
     }
 
     let file = std::io::BufWriter::new(std::fs::File::create(&model_path)?);

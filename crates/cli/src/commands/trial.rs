@@ -15,9 +15,21 @@ pub fn run(args: &Args) -> CliResult {
         "warmup-weeks",
         "budget-fraction",
         "iterations",
+        "metrics",
     ])?;
     let cfg = sim_config_from(args)?;
-    let warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;
+    let mut warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;
+    // The warm-up must leave room for the policy to run (and the split
+    // machinery needs the warm-up window itself to hold a full protocol);
+    // on short horizons clamp rather than panic inside the trial.
+    let max_warmup = (cfg.days / 7).saturating_sub(1);
+    if warmup > max_warmup {
+        eprintln!(
+            "note: --warmup-weeks {warmup} does not fit the {}-day horizon; using {max_warmup}",
+            cfg.days
+        );
+        warmup = max_warmup;
+    }
     let predictor_cfg = PredictorConfig {
         iterations: args.get_parsed_or("iterations", 120usize)?,
         budget_fraction: args.get_parsed_or("budget-fraction", 0.01f64)?,
@@ -29,19 +41,24 @@ pub fn run(args: &Args) -> CliResult {
         "running twin worlds: {} lines, {} days, policy starts week {warmup} ...",
         cfg.n_lines, cfg.days
     );
-    let started = std::time::Instant::now();
+    let span = nevermind_obs::span!("cli/trial");
     let outcome = run_proactive_trial(cfg, &predictor_cfg, warmup);
-    eprintln!("trial finished in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("trial finished in {:.1}s", span.elapsed().as_secs_f64());
+    drop(span);
 
     println!("policy active from day {}", outcome.policy_start_day);
     println!("reactive twin : {} customer-edge tickets", outcome.reactive_tickets);
     println!("proactive twin: {} customer-edge tickets", outcome.proactive_tickets);
     println!("ticket reduction: {:.1}%", 100.0 * outcome.ticket_reduction());
+    // No dispatch → the precision quotient is undefined; print "n/a"
+    // rather than the NaN sentinel (`NaN%` was a long-standing eyesore).
+    let precision = match outcome.dispatch_precision_checked() {
+        Some(p) => format!("{:.1}% precision", 100.0 * p),
+        None => "precision n/a".to_string(),
+    };
     println!(
-        "proactive dispatches: {} ({} found a fault; {:.1}% precision)",
-        outcome.proactive_dispatches,
-        outcome.proactive_hits,
-        100.0 * outcome.dispatch_precision()
+        "proactive dispatches: {} ({} found a fault; {precision})",
+        outcome.proactive_dispatches, outcome.proactive_hits,
     );
     println!(
         "churned customers: {} reactive vs {} proactive",

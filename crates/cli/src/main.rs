@@ -41,13 +41,19 @@ fn main() {
         std::process::exit(2);
     }
 
+    // The CLI always records metrics (span/counter overhead is negligible at
+    // command granularity); `--metrics PATH` additionally dumps the registry
+    // as one JSON document on successful exit.
+    nevermind_obs::set_enabled(true);
+    let metrics_path = parsed.get("metrics").map(str::to_string);
+
     let result = match command.as_str() {
         "simulate" => commands::simulate::run(&parsed),
         "train" => commands::train::run(&parsed),
         "rank" => commands::rank::run(&parsed),
         "locate" => commands::locate::run(&parsed),
         "trial" => commands::trial::run(&parsed),
-        "scenarios" => commands::scenarios(),
+        "scenarios" => commands::scenarios(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -62,6 +68,12 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+    if let Some(path) = metrics_path {
+        if let Err(e) = commands::write_metrics(&path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -74,5 +86,9 @@ USAGE:
   nevermind locate   --data FILE [--top N] [--dispatches N]
   nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
   nevermind scenarios
+
+Every subcommand also accepts '--metrics PATH' to dump per-phase span
+timings, counters and per-week series as one JSON document on exit
+(see the README's Observability section for the schema).
 
 Run 'nevermind scenarios' to list the named scenarios.";

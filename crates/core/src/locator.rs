@@ -125,6 +125,7 @@ impl TroubleLocator {
     /// # Panics
     /// Panics if the window contains no usable dispatch examples.
     pub fn fit(data: &ExperimentData, from: u32, to: u32, config: &LocatorConfig) -> Self {
+        let _span = nevermind_obs::span!("locator/fit");
         let examples = collect_dispatch_examples(&data.output.notes, from, to);
         assert!(!examples.is_empty(), "no dispatch examples in [{from}, {to})");
 
@@ -249,6 +250,8 @@ impl TroubleLocator {
     /// Flat-model posterior ranking for one assembled feature row,
     /// descending. Unmodeled dispositions fall back to their prior rate.
     pub fn rank_flat(&self, row: &[f32]) -> Vec<DispositionScore> {
+        let _span = nevermind_obs::span!("locator/rank_flat");
+        nevermind_obs::counter_add!("locator/inferences", 1);
         let mut scores = self.prior_scores();
         for (mi, &d) in self.modeled.iter().enumerate() {
             let margin = self.flat_models[mi].margin(row);
@@ -259,6 +262,8 @@ impl TroubleLocator {
 
     /// Combined-model (Eq. 2) posterior ranking for one assembled row.
     pub fn rank_combined(&self, row: &[f32]) -> Vec<DispositionScore> {
+        let _span = nevermind_obs::span!("locator/rank_combined");
+        nevermind_obs::counter_add!("locator/inferences", 1);
         let mut scores = self.prior_scores();
         let loc_margins: Vec<f64> = self.location_models.iter().map(|m| m.margin(row)).collect();
         for (mi, &d) in self.modeled.iter().enumerate() {

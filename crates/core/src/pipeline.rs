@@ -147,12 +147,19 @@ impl ProactiveOutcome {
         1.0 - self.proactive_tickets as f64 / self.reactive_tickets as f64
     }
 
-    /// Fraction of proactive dispatches that found a real fault.
+    /// Fraction of proactive dispatches that found a real fault, or `None`
+    /// when no dispatch was sent — the accessor JSON consumers should use,
+    /// since the quotient is undefined (and JSON cannot represent NaN).
+    pub fn dispatch_precision_checked(&self) -> Option<f64> {
+        (self.proactive_dispatches > 0)
+            .then(|| self.proactive_hits as f64 / self.proactive_dispatches as f64)
+    }
+
+    /// Fraction of proactive dispatches that found a real fault. Returns a
+    /// `NaN` sentinel when no dispatch was sent; display code should prefer
+    /// [`ProactiveOutcome::dispatch_precision_checked`] and print `n/a`.
     pub fn dispatch_precision(&self) -> f64 {
-        if self.proactive_dispatches == 0 {
-            return f64::NAN;
-        }
-        self.proactive_hits as f64 / self.proactive_dispatches as f64
+        self.dispatch_precision_checked().unwrap_or(f64::NAN)
     }
 }
 
@@ -167,19 +174,28 @@ pub fn run_proactive_trial(
     predictor_config: &crate::predictor::PredictorConfig,
     warmup_weeks: u32,
 ) -> ProactiveOutcome {
+    // Named to read cleanly under the CLI's `cli/trial` wrapper span
+    // (`cli/trial/proactive_trial/...`) and standalone alike.
+    let _trial_span = nevermind_obs::span!("proactive_trial");
     let policy_start_day = warmup_weeks * 7;
     assert!(policy_start_day < sim_config.days, "warm-up longer than the horizon");
 
     // Reactive baseline.
-    let baseline = World::generate(sim_config.clone()).run();
+    let baseline = {
+        let _s = nevermind_obs::span!("baseline_world");
+        World::generate(sim_config.clone()).run()
+    };
     let reactive_tickets =
         baseline.customer_edge_tickets().filter(|t| t.day >= policy_start_day).count();
     let reactive_churn = baseline.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
 
     // Proactive run.
     let mut world = World::generate(sim_config.clone());
-    while world.day() < policy_start_day {
-        world.step_day();
+    {
+        let _s = nevermind_obs::span!("warmup");
+        while world.day() < policy_start_day {
+            world.step_day();
+        }
     }
 
     // Train on the warm-up logs.
@@ -192,8 +208,10 @@ pub fn run_proactive_trial(
     // The split machinery needs the horizon to reflect data actually seen.
     warmup_for_split.config.days = policy_start_day;
     let split = SplitSpec::paper_like(&warmup_for_split);
-    let (predictor, _) =
-        crate::predictor::TicketPredictor::fit(&warmup_for_split, &split, predictor_config);
+    let (predictor, _) = {
+        let _s = nevermind_obs::span!("train");
+        crate::predictor::TicketPredictor::fit(&warmup_for_split, &split, predictor_config)
+    };
 
     // The incremental weekly scoring engine: rolling encoder state fed only
     // each week's fresh log events, compiled parallel stump evaluation, and
@@ -202,21 +220,33 @@ pub fn run_proactive_trial(
     let lines = world.topology().lines.clone();
     let mut scorer = crate::scoring::WeeklyScorer::new(&predictor, &lines);
     let budget = predictor_config.budget(lines.len());
+    let _policy_span = nevermind_obs::span!("policy_loop");
     while world.day() < sim_config.days {
         world.step_day();
         let just_finished = world.day() - 1;
         if just_finished % 7 == 6 {
             // Rank on everything measured so far, dispatch the top budget.
+            let week_started = std::time::Instant::now();
             let to_dispatch = {
                 let out = world.output();
                 scorer.observe(&out.measurements, &out.tickets);
                 scorer.top_lines(just_finished, budget)
             };
+            if nevermind_obs::enabled() {
+                // Per-week trajectory: how long each Saturday re-rank took
+                // and how many trucks it sent, keyed by the finished day.
+                let reg = nevermind_obs::global();
+                reg.series("trial/week_rank_ms")
+                    .push(f64::from(just_finished), week_started.elapsed().as_secs_f64() * 1e3);
+                reg.series("trial/week_dispatches")
+                    .push(f64::from(just_finished), to_dispatch.len() as f64);
+            }
             for line in to_dispatch {
                 world.schedule_proactive_dispatch(line, 2);
             }
         }
     }
+    drop(_policy_span);
 
     let out = world.into_output();
     let proactive_tickets =
@@ -299,7 +329,11 @@ mod tests {
         let data = small_data();
         let sats = data.saturdays();
         assert!(sats.iter().all(|d| d % 7 == 6));
-        assert_eq!(sats.len(), (data.config.days as usize).div_ceil(7).min(sats.len()));
+        // Exactly the days d < horizon with d % 7 == 6: one per started
+        // week that reaches its seventh day, i.e. floor(days / 7).
+        assert_eq!(sats.len(), (data.config.days / 7) as usize);
+        assert!(sats.windows(2).all(|w| w[1] == w[0] + 7), "consecutive Saturdays, ascending");
+        assert_eq!(sats.first().copied(), Some(6));
         let usable = data.label_complete_saturdays(28);
         assert!(usable.len() < sats.len());
     }
@@ -317,6 +351,7 @@ mod tests {
         };
         assert!((outcome.ticket_reduction() - 0.25).abs() < 1e-12);
         assert!((outcome.dispatch_precision() - 0.5).abs() < 1e-12);
+        assert_eq!(outcome.dispatch_precision_checked(), Some(0.5));
 
         let degenerate = ProactiveOutcome {
             policy_start_day: 0,
@@ -329,6 +364,7 @@ mod tests {
         };
         assert_eq!(degenerate.ticket_reduction(), 0.0);
         assert!(degenerate.dispatch_precision().is_nan());
+        assert_eq!(degenerate.dispatch_precision_checked(), None);
     }
 
     #[test]

@@ -228,9 +228,12 @@ impl TicketPredictor {
         split: &SplitSpec,
         config: &PredictorConfig,
     ) -> (Self, SelectionReport) {
+        let _fit_span = nevermind_obs::span!("predictor/fit");
         let encoder = data.encoder(config.encoder.clone());
-        let base_train = encoder.encode(&split.train_days);
-        let base_eval = encoder.encode(&split.selection_eval_days);
+        let (base_train, base_eval) = {
+            let _s = nevermind_obs::span!("encode_windows");
+            (encoder.encode(&split.train_days), encoder.encode(&split.selection_eval_days))
+        };
 
         // Deterministic selection subsamples. The *training* subsample keeps
         // every positive (they are <1% and single-feature models need them);
@@ -250,7 +253,10 @@ impl TicketPredictor {
         let criterion = SelectionCriterion::TopNAp { n: selection_budget };
 
         // --- base features ---
-        let base_scores = score_features(&train_sub.data, &eval_sub.data, criterion, &select_cfg);
+        let base_scores = {
+            let _s = nevermind_obs::span!("select_base");
+            score_features(&train_sub.data, &eval_sub.data, criterion, &select_cfg)
+        };
         let selected_base = top_scores(&base_scores, config.n_base);
 
         // --- derived features ---
@@ -259,14 +265,20 @@ impl TicketPredictor {
         let mut selected_derived = Vec::new();
         if config.use_derived {
             let quads = all_quadratics(&base_train);
-            let quad_scores = score_derived(&train_sub, &eval_sub, &quads, criterion, &select_cfg);
+            let quad_scores = {
+                let _s = nevermind_obs::span!("select_quadratic");
+                score_derived(&train_sub, &eval_sub, &quads, criterion, &select_cfg)
+            };
             for (f, s) in quads.iter().zip(&quad_scores) {
                 report_quadratic.push(scored(&base_train, *f, *s));
             }
             selected_derived.extend(top_derived(&quads, &quad_scores, config.n_quadratic));
 
             let prods = all_products(&base_train);
-            let prod_scores = score_derived(&train_sub, &eval_sub, &prods, criterion, &select_cfg);
+            let prod_scores = {
+                let _s = nevermind_obs::span!("select_product");
+                score_derived(&train_sub, &eval_sub, &prods, criterion, &select_cfg)
+            };
             for (f, s) in prods.iter().zip(&prod_scores) {
                 report_product.push(scored(&base_train, *f, *s));
             }
@@ -297,12 +309,22 @@ impl TicketPredictor {
             smoothing: None,
             parallel: true,
         };
-        let model = BStump::fit(&train_assembled, &boost_cfg);
+        let model = {
+            let _s = nevermind_obs::span!("boost_final");
+            BStump::fit(&train_assembled, &boost_cfg)
+        };
 
         // Calibrate on the (unsubsampled) evaluation window.
-        let eval_assembled = assemble_with(&base_eval, &selected_base, &selected_derived);
-        let eval_margins = model.margins(&eval_assembled.x);
-        let calibration = PlattScale::fit(&eval_margins, &eval_assembled.y);
+        let calibration = {
+            let _s = nevermind_obs::span!("calibrate");
+            let eval_assembled = assemble_with(&base_eval, &selected_base, &selected_derived);
+            let eval_margins = model.margins(&eval_assembled.x);
+            PlattScale::fit(&eval_margins, &eval_assembled.y)
+        };
+        nevermind_obs::counter_add!(
+            "predictor/features_selected",
+            selected_base.len() + selected_derived.len()
+        );
 
         let predictor = Self {
             model,
@@ -411,6 +433,8 @@ impl TicketPredictor {
 
     /// Ranks an already base-encoded dataset.
     pub fn rank_encoded(&self, base: &EncodedDataset) -> RankedPredictions {
+        let _span = nevermind_obs::span!("predictor/rank");
+        nevermind_obs::counter_add!("predictor/rows_ranked", base.rows.len());
         let assembled = self.assemble(base);
         let margins = self.model.margins(&assembled.x);
         let probabilities = self.calibration.probabilities(&margins);

@@ -122,6 +122,7 @@ impl<'a> WeeklyScorer<'a> {
     /// # Panics
     /// Panics if a log slice shrank since the previous call.
     pub fn observe(&mut self, measurements: &[LineTest], tickets: &[Ticket]) {
+        let _span = nevermind_obs::span!("weekly/observe");
         assert!(
             measurements.len() >= self.meas_cursor && tickets.len() >= self.ticket_cursor,
             "logs must only grow between observations"
@@ -144,8 +145,10 @@ impl<'a> WeeklyScorer<'a> {
     /// into a narrow matrix scored via
     /// [`BatchScorer::margins_compact_parallel`].
     pub fn rank_week(&mut self, day: u32) -> RankedPredictions {
+        let _span = nevermind_obs::span!("weekly/rank_week");
         let base = self.encoder.encode_day_cols(day, &self.needed);
         let n_rows = base.data.len();
+        nevermind_obs::counter_add!("weekly/lines_scored", n_rows);
         let mut values = Vec::with_capacity(n_rows * self.plan.len());
         for r in 0..n_rows {
             let row = base.data.x.row(r);
@@ -163,7 +166,10 @@ impl<'a> WeeklyScorer<'a> {
 
     /// The week's top-`budget` lines, best first — the dispatch list.
     pub fn top_lines(&mut self, day: u32, budget: usize) -> Vec<LineId> {
-        self.rank_week(day).top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect()
+        let top: Vec<LineId> =
+            self.rank_week(day).top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect();
+        nevermind_obs::counter_add!("weekly/lines_dispatched", top.len());
+        top
     }
 }
 

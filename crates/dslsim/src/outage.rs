@@ -169,8 +169,7 @@ mod tests {
     #[test]
     fn unaffected_dslams_are_calm() {
         let s = OutageSchedule::generate(50, 365, 0.8, 10.0, 5);
-        if let Some(calm) =
-            (0..50).map(DslamId).find(|d| !s.events().iter().any(|e| e.dslam == *d))
+        if let Some(calm) = (0..50).map(DslamId).find(|d| !s.events().iter().any(|e| e.dslam == *d))
         {
             for day in (0..365).step_by(13) {
                 assert_eq!(s.stress(calm, day), 0.0);

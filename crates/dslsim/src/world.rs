@@ -204,6 +204,7 @@ impl World {
     /// # Panics
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn generate(config: SimConfig) -> Self {
+        let _span = nevermind_obs::span!("sim/generate");
         if let Err(e) = config.validate() {
             panic!("invalid SimConfig: {e}");
         }
@@ -347,6 +348,7 @@ impl World {
             return;
         }
         self.dispatch_scheduled[line.index()] = true;
+        nevermind_obs::counter_add!("sim/proactive_scheduled", 1);
         self.pending.push(PendingDispatch {
             due_day: self.day + delay_days.max(1),
             line,
@@ -357,6 +359,7 @@ impl World {
 
     /// Runs the remaining horizon reactively and returns the logs.
     pub fn run(mut self) -> SimOutput {
+        let _span = nevermind_obs::span!("sim/run");
         while self.day < self.config.days {
             self.step_day();
         }
@@ -368,6 +371,8 @@ impl World {
     /// # Panics
     /// Panics if stepped past the configured horizon.
     pub fn step_day(&mut self) {
+        let _span = nevermind_obs::span!("sim/step_day");
+        nevermind_obs::counter_add!("sim/days_stepped", 1);
         assert!(self.day < self.config.days, "stepped past the simulation horizon");
         let day = self.day;
         let dow = DayOfWeek::of(day);

@@ -181,6 +181,8 @@ impl<'a> BaseEncoder<'a> {
     /// # Panics
     /// Panics if a key's day is not a Saturday.
     pub fn encode_rows(&self, keys: &[RowKey]) -> EncodedDataset {
+        let _span = nevermind_obs::span!("features/encode_rows");
+        nevermind_obs::counter_add!("features/rows_encoded", keys.len());
         let (meta, classes) = Self::base_meta();
         let n_cols = meta.len();
         let n_rows = keys.len();

@@ -74,6 +74,8 @@ impl<'a> IncrementalEncoder<'a> {
     /// # Panics
     /// Panics if a line's measurements arrive out of chronological order.
     pub fn ingest(&mut self, measurements: &[LineTest], tickets: &[Ticket]) {
+        let _span = nevermind_obs::span!("features/ingest");
+        nevermind_obs::counter_add!("features/events_ingested", measurements.len() + tickets.len());
         for m in measurements {
             let st = &mut self.state[m.line.index()];
             if let Some(&(last_day, _)) = st.tests.back() {
@@ -130,6 +132,8 @@ impl<'a> IncrementalEncoder<'a> {
     /// Panics under [`IncrementalEncoder::encode_day`]'s conditions, or if
     /// a column index is out of range.
     pub fn encode_day_cols(&mut self, day: u32, cols: &[usize]) -> EncodedDataset {
+        let _span = nevermind_obs::span!("features/encode_day");
+        nevermind_obs::counter_add!("features/rows_encoded", self.lines.len());
         assert_eq!(day % 7, 6, "prediction day {day} is not a Saturday");
         assert!(
             day >= self.last_encoded,
@@ -196,8 +200,11 @@ impl<'a> IncrementalEncoder<'a> {
                     // two) contiguous runs — plain slices keep the fused
                     // lane loop vectorisable.
                     let (a, b) = st.tests.as_slices();
-                    let (ha, hb) =
-                        if cut <= a.len() { (&a[..cut], &b[..0]) } else { (a, &b[..cut - a.len()]) };
+                    let (ha, hb) = if cut <= a.len() {
+                        (&a[..cut], &b[..0])
+                    } else {
+                        (a, &b[..cut - a.len()])
+                    };
                     fill_ts_fused(ha, hb, cur, &lanes, &mut scratch);
                 }
             }

@@ -112,6 +112,8 @@ impl BStump {
         config: &BoostConfig,
         candidate_features: &[usize],
     ) -> Self {
+        let _span = nevermind_obs::span!("ml/bstump_fit");
+        nevermind_obs::counter_add!("ml/boost_rounds", config.iterations);
         let n = binned.n_rows();
         let n_features = binned.n_features();
         let smoothing = config.smoothing.unwrap_or(1.0 / (2.0 * n as f64));

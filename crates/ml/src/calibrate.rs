@@ -24,6 +24,7 @@ impl PlattScale {
     /// # Panics
     /// Panics if the slices differ in length or are empty.
     pub fn fit(margins: &[f64], labels: &[bool]) -> Self {
+        let _span = nevermind_obs::span!("ml/platt_fit");
         assert_eq!(margins.len(), labels.len(), "margin/label mismatch");
         assert!(!margins.is_empty(), "cannot calibrate on empty data");
 

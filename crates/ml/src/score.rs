@@ -178,7 +178,13 @@ impl BatchScorer {
     ///
     /// Works in cache-sized row blocks: bin every used feature for the
     /// block, then accumulate the stump LUT loads in boosting order.
-    fn score_rows(&self, x: &FeatureMatrix, first_row: usize, out: &mut [f64], layout: ColumnLayout) {
+    fn score_rows(
+        &self,
+        x: &FeatureMatrix,
+        first_row: usize,
+        out: &mut [f64],
+        layout: ColumnLayout,
+    ) {
         const BLOCK: usize = 256;
         let n_feat = self.features.len();
         let mut bins = vec![0u32; BLOCK * n_feat];

@@ -85,6 +85,8 @@ pub fn score_features(
     config: &SelectConfig,
 ) -> Vec<FeatureScore> {
     assert_eq!(train.x.n_cols(), eval.x.n_cols(), "train and eval must share the feature space");
+    let _span = nevermind_obs::span!("ml/score_features");
+    nevermind_obs::counter_add!("ml/features_scored", train.x.n_cols());
     match criterion {
         SelectionCriterion::Pca { components } => {
             let pca = Pca::fit(&train.x, components);

@@ -1,0 +1,202 @@
+//! Hand-rolled JSON emission for [`crate::Snapshot`] — the crate's one
+//! output format, shared verbatim by the CLI's `--metrics` dumps and the
+//! bench harness so the two are directly comparable.
+//!
+//! # Schema (`nevermind-metrics/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "nevermind-metrics/v1",
+//!   "counters":   { "<name>": 123 },
+//!   "gauges":     { "<name>": 1.5 },
+//!   "histograms": { "<name>": { "count": 3, "sum": 7, "min": 1, "max": 4,
+//!                                "buckets": [[0, 1], [2, 2]] } },
+//!   "spans":      { "<a/b/c>": { "count": 2, "total_ns": 100,
+//!                                 "mean_ns": 50.0,
+//!                                 "min_ns": 20, "max_ns": 80 } },
+//!   "series":     { "<name>": [[0.0, 1.5], [7.0, 2.5]] }
+//! }
+//! ```
+//!
+//! All five sections are always present (possibly empty). Histogram
+//! buckets are `[lower_bound, count]` pairs for the non-empty log₂
+//! buckets; span paths are `/`-joined nested span names. Non-finite floats
+//! never occur (gauges are the only `f64` inputs and are emitted via
+//! [`fmt_f64`], which maps them to `null`).
+
+use crate::registry::Snapshot;
+
+/// Serializes a snapshot as a pretty-printed (2-space) JSON document.
+pub fn snapshot_to_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"schema\": \"nevermind-metrics/v1\",\n");
+
+    out.push_str("  \"counters\": {");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        push_key(&mut out, i, k);
+        out.push_str(&v.to_string());
+    }
+    close_obj(&mut out, snap.counters.is_empty());
+
+    out.push_str("  \"gauges\": {");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        push_key(&mut out, i, k);
+        out.push_str(&fmt_f64(*v));
+    }
+    close_obj(&mut out, snap.gauges.is_empty());
+
+    out.push_str("  \"histograms\": {");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        push_key(&mut out, i, k);
+        out.push_str(&format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.buckets.iter().map(|(b, c)| format!("[{b}, {c}]")).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    close_obj(&mut out, snap.histograms.is_empty());
+
+    out.push_str("  \"spans\": {");
+    for (i, (k, s)) in snap.spans.iter().enumerate() {
+        push_key(&mut out, i, k);
+        let mean = if s.count == 0 { 0.0 } else { s.total_ns as f64 / s.count as f64 };
+        out.push_str(&format!(
+            "{{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            s.count,
+            s.total_ns,
+            fmt_f64(mean),
+            s.min_ns,
+            s.max_ns
+        ));
+    }
+    close_obj(&mut out, snap.spans.is_empty());
+
+    out.push_str("  \"series\": {");
+    for (i, (k, pts)) in snap.series.iter().enumerate() {
+        push_key(&mut out, i, k);
+        out.push('[');
+        for (j, (x, y)) in pts.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{}, {}]", fmt_f64(*x), fmt_f64(*y)));
+        }
+        out.push(']');
+    }
+    if snap.series.is_empty() {
+        out.push_str("}\n");
+    } else {
+        out.push_str("\n  }\n");
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+fn push_key(out: &mut String, i: usize, key: &str) {
+    if i > 0 {
+        out.push(',');
+    }
+    out.push_str("\n    ");
+    push_json_string(out, key);
+    out.push_str(": ");
+}
+
+fn close_obj(out: &mut String, empty: bool) {
+    if empty {
+        out.push_str("},\n");
+    } else {
+        out.push_str("\n  },\n");
+    }
+}
+
+/// Formats an `f64` for JSON: shortest round-trippable decimal via `{}`,
+/// always with a decimal point or exponent, `null` for non-finite values
+/// (JSON has no NaN/Infinity).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = v.to_string();
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Appends a JSON string literal (quoted, control characters escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn emits_all_sections_even_when_empty() {
+        let json = snapshot_to_json(&Snapshot::default());
+        for key in [
+            "\"schema\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"spans\"",
+            "\"series\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("nevermind-metrics/v1"));
+    }
+
+    #[test]
+    fn emits_populated_registry() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter("c").add(7);
+        reg.gauge("g").set(0.25);
+        reg.histogram("h").record(5);
+        reg.record_span("a/b", 1000);
+        reg.series("s").push(6.0, 1.5);
+        let json = reg.to_json();
+        assert!(json.contains("\"c\": 7"));
+        assert!(json.contains("\"g\": 0.25"));
+        assert!(json.contains("\"a/b\""));
+        assert!(json.contains("\"total_ns\": 1000"));
+        assert!(json.contains("[6.0, 1.5]"));
+    }
+
+    #[test]
+    fn float_formatting_round_trips_and_rejects_nonfinite() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        let tricky = 0.1 + 0.2;
+        assert_eq!(fmt_f64(tricky).parse::<f64>().expect("parses"), tricky);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,107 @@
+//! # nevermind-obs
+//!
+//! Zero-dependency observability for the NEVERMIND reproduction: a
+//! process-global [`MetricsRegistry`] holding counters, gauges, log-scale
+//! histograms and `(x, y)` series, plus a [`span!`] RAII timer that records
+//! nested wall-clock durations.
+//!
+//! Design constraints, in order:
+//!
+//! * **Negligible overhead when disabled.** Every recording macro guards on
+//!   one relaxed atomic load; a disabled [`span!`] never reads the clock.
+//! * **Cheap when enabled.** Metric values are plain atomics; name lookup
+//!   goes through a mutex-sharded map (16 shards keyed by name hash), and
+//!   hot paths record at call granularity, not per row.
+//! * **No dependencies.** JSON emission is hand-rolled ([`json`]); the
+//!   schema is documented there and pinned by round-trip tests against the
+//!   workspace's real JSON parser.
+//!
+//! ```
+//! nevermind_obs::set_enabled(true);
+//! {
+//!     let _outer = nevermind_obs::span!("fit");
+//!     let _inner = nevermind_obs::span!("encode"); // records as "fit/encode"
+//!     nevermind_obs::counter_add!("rows_encoded", 128);
+//! }
+//! let json = nevermind_obs::global().to_json();
+//! assert!(json.contains("fit/encode"));
+//! ```
+//!
+//! Span paths are per-thread: a span opened on a worker thread does not
+//! nest under its spawner's spans. Guards are expected to drop in LIFO
+//! order within a thread (the natural result of binding them to scopes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Series, Snapshot, SpanSnapshot,
+};
+pub use span::SpanGuard;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global registry (created disabled on first use).
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Whether the global registry is recording.
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Turns global recording on or off.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Opens a named RAII span; its wall-clock duration is recorded on drop
+/// under the `/`-joined path of the thread's open spans.
+///
+/// Returns a [`SpanGuard`]. When recording is disabled this is a single
+/// atomic load and no clock read.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// Adds to a named global counter (no-op while disabled).
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $n:expr) => {
+        if $crate::enabled() {
+            $crate::global().counter($name).add($n as u64);
+        }
+    };
+}
+
+/// Sets a named global gauge (no-op while disabled).
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            $crate::global().gauge($name).set($v as f64);
+        }
+    };
+}
+
+/// Records a value into a named global log-scale histogram (no-op while
+/// disabled).
+#[macro_export]
+macro_rules! histogram_record {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            $crate::global().histogram($name).record($v as u64);
+        }
+    };
+}

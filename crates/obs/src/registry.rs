@@ -1,0 +1,427 @@
+//! The metrics registry and its metric kinds.
+//!
+//! All metric values are lock-free atomics; only the name→handle maps take
+//! a (sharded) mutex, and callers on hot paths can cache the returned
+//! [`std::sync::Arc`] handles to skip even that.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous reading.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` counts values `v` with
+/// `2^(i-1) <= v < 2^i` (bucket 0 holds `v == 0`), so 64 buckets cover the
+/// whole `u64` range — nanosecond durations land around buckets 30–40.
+const N_BUCKETS: usize = 64;
+
+/// A log-scale histogram of `u64` samples (durations in nanoseconds, batch
+/// sizes, ...): per-bucket counts plus exact count/sum/min/max.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the log₂ bucket covering `v`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v).min(N_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (individual fields are read
+    /// independently; concurrent writers may skew them against each other).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    // Bucket upper bound: values in bucket i are < 2^i.
+                    (c > 0).then(|| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty log₂ buckets as `(lower_bound, count)`; a bucket with
+    /// lower bound `b > 0` covers `b <= v < 2b`, and bound 0 covers `v = 0`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Times the span closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all closures.
+    pub total_ns: u64,
+    /// Fastest single closure, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single closure, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// An append-only list of `(x, y)` points — per-week trajectories and the
+/// like, where the x axis is a day/week index rather than wall time.
+#[derive(Debug, Default)]
+pub struct Series(Mutex<Vec<(f64, f64)>>);
+
+impl Series {
+    /// Appends one point.
+    pub fn push(&self, x: f64, y: f64) {
+        self.0.lock().expect("series poisoned").push((x, y));
+    }
+
+    /// A copy of the accumulated points.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.0.lock().expect("series poisoned").clone()
+    }
+}
+
+const N_SHARDS: usize = 16;
+
+/// One shard of the name→handle maps.
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+    gauges: Mutex<HashMap<String, Arc<Gauge>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    spans: Mutex<HashMap<String, Arc<Histogram>>>,
+    series: Mutex<HashMap<String, Arc<Series>>>,
+}
+
+/// A registry of named metrics. Most code uses the process-global instance
+/// via [`crate::global`] and the recording macros; independent instances
+/// exist for tests.
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    shards: Vec<Shard>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a over the name: the std `RandomState` hasher would work, but its
+/// per-instance seeding makes shard placement differ between registries,
+/// which is pointlessly confusing under a debugger.
+fn shard_index(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % N_SHARDS
+}
+
+impl MetricsRegistry {
+    /// Creates an empty, disabled registry.
+    pub fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            shards: (0..N_SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Whether this registry is recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Accumulated values are kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Drops every accumulated metric (recording state is unchanged).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.counters.lock().expect("registry poisoned").clear();
+            s.gauges.lock().expect("registry poisoned").clear();
+            s.histograms.lock().expect("registry poisoned").clear();
+            s.spans.lock().expect("registry poisoned").clear();
+            s.series.lock().expect("registry poisoned").clear();
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[shard_index(name)]
+    }
+
+    fn get_or_insert<T: Default>(map: &Mutex<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        let mut m = map.lock().expect("registry poisoned");
+        if let Some(v) = m.get(name) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(T::default());
+        m.insert(name.to_string(), Arc::clone(&v));
+        v
+    }
+
+    /// The named counter (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.shard(name).counters, name)
+    }
+
+    /// The named gauge (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.shard(name).gauges, name)
+    }
+
+    /// The named histogram (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_insert(&self.shard(name).histograms, name)
+    }
+
+    /// The named series (created on first use).
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        Self::get_or_insert(&self.shard(name).series, name)
+    }
+
+    /// Records one closed span occurrence under a `/`-joined path. Usually
+    /// called by [`crate::SpanGuard`]'s drop, but public so harnesses with
+    /// dynamic phase names (the bench experiment loop) can record directly.
+    pub fn record_span(&self, path: &str, ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        Self::get_or_insert(&self.shard(path).spans, path).record(ns);
+    }
+
+    /// A point-in-time copy of everything, with deterministic (sorted) key
+    /// order.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for s in &self.shards {
+            for (k, v) in s.counters.lock().expect("registry poisoned").iter() {
+                snap.counters.insert(k.clone(), v.get());
+            }
+            for (k, v) in s.gauges.lock().expect("registry poisoned").iter() {
+                snap.gauges.insert(k.clone(), v.get());
+            }
+            for (k, v) in s.histograms.lock().expect("registry poisoned").iter() {
+                snap.histograms.insert(k.clone(), v.snapshot());
+            }
+            for (k, v) in s.spans.lock().expect("registry poisoned").iter() {
+                let h = v.snapshot();
+                snap.spans.insert(
+                    k.clone(),
+                    SpanSnapshot { count: h.count, total_ns: h.sum, min_ns: h.min, max_ns: h.max },
+                );
+            }
+            for (k, v) in s.series.lock().expect("registry poisoned").iter() {
+                snap.series.insert(k.clone(), v.points());
+            }
+        }
+        snap
+    }
+
+    /// Serializes a snapshot as one pretty-printed JSON document (see
+    /// [`crate::json`] for the schema).
+    pub fn to_json(&self) -> String {
+        crate::json::snapshot_to_json(&self.snapshot())
+    }
+}
+
+/// Deterministically-ordered copy of a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span timings by `/`-joined path.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Series points by name.
+    pub series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.counter("a").inc();
+        reg.counter("b").inc();
+        reg.gauge("g").set(2.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 4);
+        assert_eq!(snap.counters["b"], 1);
+        assert_eq!(snap.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 → bound 0; 1 → bound 1; 2,3 → bound 2; 4 → bound 4;
+        // 1024 → bound 1024; u64::MAX → top bucket (bound 2^62).
+        let bounds: Vec<u64> = s.buckets.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bounds, vec![0, 1, 2, 4, 1024, 1u64 << 62]);
+        let counts: Vec<u64> = s.buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 2, 1, 1, 1]);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, s.count, "every sample lands in exactly one bucket");
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn handles_are_shared_and_reset_clears() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("shared");
+        let c2 = reg.counter("shared");
+        c1.add(5);
+        assert_eq!(c2.get(), 5, "same underlying atomic");
+        reg.series("s").push(1.0, 2.0);
+        reg.reset();
+        assert!(reg.snapshot().counters.is_empty());
+        assert!(reg.snapshot().series.is_empty());
+    }
+
+    #[test]
+    fn record_span_respects_enabled() {
+        let reg = MetricsRegistry::new();
+        reg.record_span("x", 100);
+        assert!(reg.snapshot().spans.is_empty(), "disabled registry records nothing");
+        reg.set_enabled(true);
+        reg.record_span("x", 100);
+        reg.record_span("x", 300);
+        let s = &reg.snapshot().spans["x"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for name in ["", "a", "weekly/rank_week", "predictor/fit"] {
+            let i = shard_index(name);
+            assert!(i < N_SHARDS);
+            assert_eq!(i, shard_index(name));
+        }
+    }
+}

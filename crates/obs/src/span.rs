@@ -1,0 +1,116 @@
+//! RAII wall-clock spans with per-thread nesting.
+//!
+//! Entering a span pushes its name onto a thread-local stack; dropping the
+//! guard records the elapsed nanoseconds under the `/`-joined path of the
+//! stack at that moment ("fit/select_base") and pops. Nesting is therefore
+//! purely lexical and per-thread: spans opened on worker threads start
+//! their own root.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records its duration into the global registry on drop.
+///
+/// Created by [`crate::span!`]. When recording was disabled at entry the
+/// guard is inert: no clock read, no stack push, nothing recorded.
+#[must_use = "a span measures the scope that holds it; dropping it immediately records ~0ns"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` (use [`crate::span!`]).
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { start: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard { start: Some(Instant::now()) }
+    }
+
+    /// Wall-clock time since entry (zero for an inert guard) — lets callers
+    /// print progress lines from the same measurement the registry records.
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or_default()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        crate::global().record_span(&path, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The global registry's enabled flag is process-wide; serialize the
+    /// tests that toggle it.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn nested_spans_record_joined_paths() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::global().reset();
+        crate::set_enabled(true);
+        {
+            let _a = crate::span!("outer");
+            {
+                let _b = crate::span!("inner");
+            }
+            {
+                let _c = crate::span!("inner");
+            }
+        }
+        {
+            let _d = crate::span!("outer");
+        }
+        crate::set_enabled(false);
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.spans["outer/inner"].count, 2);
+        assert_eq!(snap.spans["outer"].count, 2);
+        assert!(
+            snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns,
+            "a parent span covers its children"
+        );
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        crate::global().reset();
+        let g = crate::span!("ghost");
+        assert_eq!(g.elapsed(), Duration::ZERO);
+        drop(g);
+        assert!(crate::global().snapshot().spans.is_empty());
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty(), "nothing pushed while disabled"));
+    }
+
+    #[test]
+    fn elapsed_is_monotone_while_open() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let g = crate::span!("timed");
+        let a = g.elapsed();
+        let b = g.elapsed();
+        assert!(b >= a);
+        drop(g);
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boosting-903c9b2cc7a99c0a.d: crates/bench/benches/boosting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboosting-903c9b2cc7a99c0a.rmeta: crates/bench/benches/boosting.rs Cargo.toml
+
+crates/bench/benches/boosting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

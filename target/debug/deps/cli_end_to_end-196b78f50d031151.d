@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_end_to_end-196b78f50d031151.d: crates/cli/tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-196b78f50d031151: crates/cli/tests/cli_end_to_end.rs
+
+crates/cli/tests/cli_end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_nevermind=/root/repo/target/debug/nevermind

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_end_to_end-4bedf87965fe1507.d: crates/cli/tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_end_to_end-4bedf87965fe1507.rmeta: crates/cli/tests/cli_end_to_end.rs Cargo.toml
+
+crates/cli/tests/cli_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_nevermind=placeholder:nevermind
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d38b44de5be30233.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d38b44de5be30233: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

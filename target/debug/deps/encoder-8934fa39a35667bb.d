@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoder-8934fa39a35667bb.d: crates/bench/benches/encoder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoder-8934fa39a35667bb.rmeta: crates/bench/benches/encoder.rs Cargo.toml
+
+crates/bench/benches/encoder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

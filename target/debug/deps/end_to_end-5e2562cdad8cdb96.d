@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5e2562cdad8cdb96.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5e2562cdad8cdb96: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

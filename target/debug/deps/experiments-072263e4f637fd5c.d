@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-072263e4f637fd5c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-072263e4f637fd5c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

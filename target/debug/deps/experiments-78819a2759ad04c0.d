@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-78819a2759ad04c0.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-78819a2759ad04c0: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

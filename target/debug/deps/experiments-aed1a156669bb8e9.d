@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-aed1a156669bb8e9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-aed1a156669bb8e9: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-20f152f2cd16740b.d: crates/core/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-20f152f2cd16740b: crates/core/../../tests/invariants.rs
+
+crates/core/../../tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-ad4b960bfcfc5337.d: crates/core/../../tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-ad4b960bfcfc5337.rmeta: crates/core/../../tests/invariants.rs Cargo.toml
+
+crates/core/../../tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nevermind_bench-5dddc9b77f5d1a2f.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/nevermind_bench-5dddc9b77f5d1a2f: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:

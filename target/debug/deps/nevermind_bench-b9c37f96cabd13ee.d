@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nevermind_bench-b9c37f96cabd13ee.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libnevermind_bench-b9c37f96cabd13ee.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libnevermind_bench-b9c37f96cabd13ee.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/nevermind_dslsim-5dc0d4d37217fb58.d: crates/dslsim/src/lib.rs crates/dslsim/src/config.rs crates/dslsim/src/customer.rs crates/dslsim/src/dispatch.rs crates/dslsim/src/disposition.rs crates/dslsim/src/export.rs crates/dslsim/src/fault.rs crates/dslsim/src/ids.rs crates/dslsim/src/measurement.rs crates/dslsim/src/outage.rs crates/dslsim/src/physics.rs crates/dslsim/src/profile.rs crates/dslsim/src/scenario.rs crates/dslsim/src/summary.rs crates/dslsim/src/ticket.rs crates/dslsim/src/topology.rs crates/dslsim/src/traffic.rs crates/dslsim/src/weather.rs crates/dslsim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnevermind_dslsim-5dc0d4d37217fb58.rmeta: crates/dslsim/src/lib.rs crates/dslsim/src/config.rs crates/dslsim/src/customer.rs crates/dslsim/src/dispatch.rs crates/dslsim/src/disposition.rs crates/dslsim/src/export.rs crates/dslsim/src/fault.rs crates/dslsim/src/ids.rs crates/dslsim/src/measurement.rs crates/dslsim/src/outage.rs crates/dslsim/src/physics.rs crates/dslsim/src/profile.rs crates/dslsim/src/scenario.rs crates/dslsim/src/summary.rs crates/dslsim/src/ticket.rs crates/dslsim/src/topology.rs crates/dslsim/src/traffic.rs crates/dslsim/src/weather.rs crates/dslsim/src/world.rs Cargo.toml
+
+crates/dslsim/src/lib.rs:
+crates/dslsim/src/config.rs:
+crates/dslsim/src/customer.rs:
+crates/dslsim/src/dispatch.rs:
+crates/dslsim/src/disposition.rs:
+crates/dslsim/src/export.rs:
+crates/dslsim/src/fault.rs:
+crates/dslsim/src/ids.rs:
+crates/dslsim/src/measurement.rs:
+crates/dslsim/src/outage.rs:
+crates/dslsim/src/physics.rs:
+crates/dslsim/src/profile.rs:
+crates/dslsim/src/scenario.rs:
+crates/dslsim/src/summary.rs:
+crates/dslsim/src/ticket.rs:
+crates/dslsim/src/topology.rs:
+crates/dslsim/src/traffic.rs:
+crates/dslsim/src/weather.rs:
+crates/dslsim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

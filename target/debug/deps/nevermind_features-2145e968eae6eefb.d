@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nevermind_features-2145e968eae6eefb.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/nevermind_features-2145e968eae6eefb: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/incremental.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nevermind_features-5b2ecd7b99a5a00e.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnevermind_features-5b2ecd7b99a5a00e.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs Cargo.toml
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/incremental.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nevermind_obs-bfe03e3aeb62a7d3.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnevermind_obs-bfe03e3aeb62a7d3.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-77e453d55c6a2c3a.d: crates/core/../../tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-77e453d55c6a2c3a.rmeta: crates/core/../../tests/observability.rs Cargo.toml
+
+crates/core/../../tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

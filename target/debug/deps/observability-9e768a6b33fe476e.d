@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-9e768a6b33fe476e.d: crates/core/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-9e768a6b33fe476e: crates/core/../../tests/observability.rs
+
+crates/core/../../tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_weekly-0dd97d7866ff9222.d: crates/bench/src/bin/profile_weekly.rs
+
+/root/repo/target/debug/deps/profile_weekly-0dd97d7866ff9222: crates/bench/src/bin/profile_weekly.rs
+
+crates/bench/src/bin/profile_weekly.rs:

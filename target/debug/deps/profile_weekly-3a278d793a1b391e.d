@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_weekly-3a278d793a1b391e.d: crates/bench/src/bin/profile_weekly.rs
+
+/root/repo/target/debug/deps/profile_weekly-3a278d793a1b391e: crates/bench/src/bin/profile_weekly.rs
+
+crates/bench/src/bin/profile_weekly.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_weekly-51f3fac449572955.d: crates/bench/src/bin/profile_weekly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_weekly-51f3fac449572955.rmeta: crates/bench/src/bin/profile_weekly.rs Cargo.toml
+
+crates/bench/src/bin/profile_weekly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

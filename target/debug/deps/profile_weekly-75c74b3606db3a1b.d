@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_weekly-75c74b3606db3a1b.d: crates/bench/src/bin/profile_weekly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_weekly-75c74b3606db3a1b.rmeta: crates/bench/src/bin/profile_weekly.rs Cargo.toml
+
+crates/bench/src/bin/profile_weekly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_weekly-f411462592a85fd3.d: crates/bench/src/bin/profile_weekly.rs
+
+/root/repo/target/debug/deps/profile_weekly-f411462592a85fd3: crates/bench/src/bin/profile_weekly.rs
+
+crates/bench/src/bin/profile_weekly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-224317ee685dd185.d: crates/ml/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-224317ee685dd185: crates/ml/tests/properties.rs
+
+crates/ml/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5ed56c86c414e8bc.d: crates/dslsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5ed56c86c414e8bc.rmeta: crates/dslsim/tests/properties.rs Cargo.toml
+
+crates/dslsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7a8664fcc93a2312.d: crates/dslsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7a8664fcc93a2312: crates/dslsim/tests/properties.rs
+
+crates/dslsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7bd8bfb977cbf9e4.d: crates/features/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7bd8bfb977cbf9e4: crates/features/tests/properties.rs
+
+crates/features/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d38a5e9115d329b2.d: crates/features/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d38a5e9115d329b2.rmeta: crates/features/tests/properties.rs Cargo.toml
+
+crates/features/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

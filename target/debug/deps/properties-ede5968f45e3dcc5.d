@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ede5968f45e3dcc5.d: crates/ml/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ede5968f45e3dcc5.rmeta: crates/ml/tests/properties.rs Cargo.toml
+
+crates/ml/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ranking-eb5b5aeaee563c4d.d: crates/bench/benches/ranking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libranking-eb5b5aeaee563c4d.rmeta: crates/bench/benches/ranking.rs Cargo.toml
+
+crates/bench/benches/ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenarios-c70dab9afa17f618.d: crates/core/../../tests/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-c70dab9afa17f618.rmeta: crates/core/../../tests/scenarios.rs Cargo.toml
+
+crates/core/../../tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

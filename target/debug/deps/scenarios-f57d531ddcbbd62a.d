@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-f57d531ddcbbd62a.d: crates/core/../../tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-f57d531ddcbbd62a: crates/core/../../tests/scenarios.rs
+
+crates/core/../../tests/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stump_binning_consistency-9c1e7bac34224fd2.d: crates/ml/tests/stump_binning_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstump_binning_consistency-9c1e7bac34224fd2.rmeta: crates/ml/tests/stump_binning_consistency.rs Cargo.toml
+
+crates/ml/tests/stump_binning_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stump_binning_consistency-d9bdec50bb57cfcb.d: crates/ml/tests/stump_binning_consistency.rs
+
+/root/repo/target/debug/deps/stump_binning_consistency-d9bdec50bb57cfcb: crates/ml/tests/stump_binning_consistency.rs
+
+crates/ml/tests/stump_binning_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weekly_rerank-753cd1697065f347.d: crates/bench/benches/weekly_rerank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweekly_rerank-753cd1697065f347.rmeta: crates/bench/benches/weekly_rerank.rs Cargo.toml
+
+crates/bench/benches/weekly_rerank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_assistant-021935ca61915676.d: crates/core/../../examples/dispatch_assistant.rs
+
+/root/repo/target/debug/examples/dispatch_assistant-021935ca61915676: crates/core/../../examples/dispatch_assistant.rs
+
+crates/core/../../examples/dispatch_assistant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dispatch_assistant-3aa40d3639629be4.d: crates/core/../../examples/dispatch_assistant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdispatch_assistant-3aa40d3639629be4.rmeta: crates/core/../../examples/dispatch_assistant.rs Cargo.toml
+
+crates/core/../../examples/dispatch_assistant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_dataset-520507e49afb8284.d: crates/core/../../examples/export_dataset.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_dataset-520507e49afb8284.rmeta: crates/core/../../examples/export_dataset.rs Cargo.toml
+
+crates/core/../../examples/export_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

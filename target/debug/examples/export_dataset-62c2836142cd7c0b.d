@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_dataset-62c2836142cd7c0b.d: crates/core/../../examples/export_dataset.rs
+
+/root/repo/target/debug/examples/export_dataset-62c2836142cd7c0b: crates/core/../../examples/export_dataset.rs
+
+crates/core/../../examples/export_dataset.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/outage_radar-8eda37d7cf3c720b.d: crates/core/../../examples/outage_radar.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboutage_radar-8eda37d7cf3c720b.rmeta: crates/core/../../examples/outage_radar.rs Cargo.toml
+
+crates/core/../../examples/outage_radar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

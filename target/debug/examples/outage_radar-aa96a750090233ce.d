@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_radar-aa96a750090233ce.d: crates/core/../../examples/outage_radar.rs
+
+/root/repo/target/debug/examples/outage_radar-aa96a750090233ce: crates/core/../../examples/outage_radar.rs
+
+crates/core/../../examples/outage_radar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/proactive_week-0ec7df76c8179e71.d: crates/core/../../examples/proactive_week.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproactive_week-0ec7df76c8179e71.rmeta: crates/core/../../examples/proactive_week.rs Cargo.toml
+
+crates/core/../../examples/proactive_week.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

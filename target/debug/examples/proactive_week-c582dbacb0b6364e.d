@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proactive_week-c582dbacb0b6364e.d: crates/core/../../examples/proactive_week.rs
+
+/root/repo/target/debug/examples/proactive_week-c582dbacb0b6364e: crates/core/../../examples/proactive_week.rs
+
+crates/core/../../examples/proactive_week.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cc58446a4d5f808f.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cc58446a4d5f808f: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

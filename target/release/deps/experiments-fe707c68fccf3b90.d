@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-fe707c68fccf3b90.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-fe707c68fccf3b90: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

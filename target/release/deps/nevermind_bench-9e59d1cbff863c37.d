@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nevermind_bench-9e59d1cbff863c37.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libnevermind_bench-9e59d1cbff863c37.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libnevermind_bench-9e59d1cbff863c37.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nevermind_features-236e696205e35630.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/release/deps/libnevermind_features-236e696205e35630.rlib: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/release/deps/libnevermind_features-236e696205e35630.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/incremental.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_weekly-9cd72133620dd5b8.d: crates/bench/src/bin/profile_weekly.rs
+
+/root/repo/target/release/deps/profile_weekly-9cd72133620dd5b8: crates/bench/src/bin/profile_weekly.rs
+
+crates/bench/src/bin/profile_weekly.rs:

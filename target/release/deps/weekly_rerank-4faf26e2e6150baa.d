@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weekly_rerank-4faf26e2e6150baa.d: crates/bench/benches/weekly_rerank.rs
+
+/root/repo/target/release/deps/weekly_rerank-4faf26e2e6150baa: crates/bench/benches/weekly_rerank.rs
+
+crates/bench/benches/weekly_rerank.rs:

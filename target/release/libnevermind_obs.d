@@ -1,0 +1,1 @@
+/root/repo/target/release/libnevermind_obs.rlib: /root/repo/crates/obs/src/json.rs /root/repo/crates/obs/src/lib.rs /root/repo/crates/obs/src/registry.rs /root/repo/crates/obs/src/span.rs

@@ -1,0 +1,163 @@
+//! Observability contract tests.
+//!
+//! Two guarantees the instrumentation layer must keep:
+//!
+//! 1. The metrics JSON the CLI's `--metrics` flag dumps round-trips through
+//!    a real JSON parser with the documented `nevermind-metrics/v1` shape
+//!    and the exact recorded values.
+//! 2. Turning the registry on does not change what the pipeline computes:
+//!    a [`WeeklyScorer`] ranking with metrics enabled is bit-identical to
+//!    one with metrics disabled (and to the batch [`TicketPredictor::rank`]
+//!    path).
+//!
+//! Both tests toggle the process-global registry, so they serialise on one
+//! mutex rather than trusting the harness to run them on separate processes.
+
+use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::predictor::{PredictorConfig, TicketPredictor};
+use nevermind::scoring::WeeklyScorer;
+use nevermind_dslsim::SimConfig;
+use std::sync::Mutex;
+
+/// Serialises tests that flip the process-global registry's enabled bit.
+static GLOBAL_REGISTRY: Mutex<()> = Mutex::new(());
+
+/// Object-member lookup; the vendored `Value` exposes `get` on `Map` only.
+fn get<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    v.as_object().and_then(|o| o.get(key))
+}
+
+#[test]
+fn metrics_json_round_trips_with_v1_schema() {
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let reg = nevermind_obs::global();
+    reg.reset();
+    reg.set_enabled(true);
+
+    reg.counter("test/rows").add(41);
+    reg.counter("test/rows").inc();
+    reg.gauge("test/budget").set(2.5);
+    reg.histogram("test/latency").record(3);
+    reg.histogram("test/latency").record(1000);
+    reg.record_span("fit/encode", 1_500);
+    reg.record_span("fit/encode", 500);
+    reg.series("test/weekly").push(1.0, 10.0);
+    reg.series("test/weekly").push(2.0, 7.5);
+
+    let json = reg.to_json();
+    reg.set_enabled(false);
+    reg.reset();
+
+    // The emitter is hand-rolled; the vendored serde_json parser is the
+    // independent check that its output is real JSON.
+    let doc = serde_json::parse(&json).expect("metrics dump must be valid JSON");
+    let top = doc.as_object().expect("top level is an object");
+    assert_eq!(
+        get(&doc, "schema").and_then(|v| v.as_str()),
+        Some("nevermind-metrics/v1"),
+        "schema marker"
+    );
+    for section in ["counters", "gauges", "histograms", "spans", "series"] {
+        assert!(
+            top.get(section).and_then(|v| v.as_object()).is_some(),
+            "section '{section}' must always be present as an object"
+        );
+    }
+
+    let counter = get(&doc, "counters").and_then(|c| get(c, "test/rows")).and_then(|v| v.as_f64());
+    assert_eq!(counter, Some(42.0), "counter value survives the round trip");
+    let gauge = get(&doc, "gauges").and_then(|g| get(g, "test/budget")).and_then(|v| v.as_f64());
+    assert_eq!(gauge, Some(2.5), "gauge value survives the round trip");
+
+    let hist = get(&doc, "histograms")
+        .and_then(|h| get(h, "test/latency"))
+        .and_then(|v| v.as_object())
+        .expect("histogram entry");
+    assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(hist.get("sum").and_then(|v| v.as_f64()), Some(1003.0));
+    assert_eq!(hist.get("min").and_then(|v| v.as_f64()), Some(3.0));
+    assert_eq!(hist.get("max").and_then(|v| v.as_f64()), Some(1000.0));
+    let buckets = hist.get("buckets").and_then(|v| v.as_array()).expect("bucket array");
+    let total: f64 = buckets
+        .iter()
+        .map(|pair| {
+            pair.as_array().expect("bucket is a [lower_bound, count] pair")[1].as_f64().unwrap()
+        })
+        .sum();
+    assert_eq!(total, 2.0, "bucket counts add up to the observation count");
+
+    let span = get(&doc, "spans")
+        .and_then(|s| get(s, "fit/encode"))
+        .and_then(|v| v.as_object())
+        .expect("span entry under its '/'-joined path");
+    assert_eq!(span.get("count").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(span.get("total_ns").and_then(|v| v.as_f64()), Some(2_000.0));
+    assert_eq!(span.get("mean_ns").and_then(|v| v.as_f64()), Some(1_000.0));
+    assert_eq!(span.get("min_ns").and_then(|v| v.as_f64()), Some(500.0));
+    assert_eq!(span.get("max_ns").and_then(|v| v.as_f64()), Some(1_500.0));
+
+    let series = get(&doc, "series")
+        .and_then(|s| get(s, "test/weekly"))
+        .and_then(|v| v.as_array())
+        .expect("series entry");
+    assert_eq!(series.len(), 2);
+    let p1 = series[1].as_array().expect("series point is an [x, y] pair");
+    assert_eq!(p1[0].as_f64(), Some(2.0));
+    assert_eq!(p1[1].as_f64(), Some(7.5));
+}
+
+#[test]
+fn instrumented_scoring_is_bit_identical() {
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    nevermind_obs::set_enabled(false);
+    nevermind_obs::global().reset();
+
+    let data = ExperimentData::simulate(SimConfig::small(77));
+    let split = SplitSpec::paper_like(&data);
+    let cfg = PredictorConfig {
+        iterations: 30,
+        selection_iterations: 3,
+        n_base: 12,
+        n_quadratic: 4,
+        n_product: 4,
+        selection_row_cap: 4_000,
+        ..PredictorConfig::default()
+    };
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+    let day = split.test_days[0];
+
+    let rank_once = || {
+        let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
+        engine.observe(&data.output.measurements, &data.output.tickets);
+        engine.rank_week(day)
+    };
+
+    let dark = rank_once();
+    nevermind_obs::set_enabled(true);
+    let lit = rank_once();
+    let batch = predictor.rank(&data, &[day]);
+    nevermind_obs::set_enabled(false);
+
+    assert_eq!(dark.rows, lit.rows);
+    assert_eq!(dark.labels, lit.labels);
+    assert_eq!(dark.rows, batch.rows);
+    for (r, (a, b)) in dark.probabilities.iter().zip(&lit.probabilities).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row {r}: {a} (dark) vs {b} (instrumented)");
+    }
+    for (r, (a, b)) in dark.probabilities.iter().zip(&batch.probabilities).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row {r}: {a} (dark) vs {b} (batch)");
+    }
+
+    // The instrumented pass must actually have recorded the hot-path span
+    // and counter — otherwise this test would vacuously compare two dark
+    // runs.
+    let snap = nevermind_obs::global().snapshot();
+    assert!(
+        snap.spans.keys().any(|k| k.contains("weekly/rank_week")),
+        "instrumented run recorded the rank_week span; saw {:?}",
+        snap.spans.keys().collect::<Vec<_>>()
+    );
+    let scored = snap.counters.get("weekly/lines_scored").copied().unwrap_or(0);
+    assert_eq!(scored as usize, lit.rows.len(), "lines_scored counter matches the ranked rows");
+    nevermind_obs::global().reset();
+}

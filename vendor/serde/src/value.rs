@@ -174,4 +174,3 @@ impl Value {
         matches!(self, Value::Null)
     }
 }
-
