@@ -12,6 +12,28 @@
 //! Both paths produce identical dispatch lists (pinned by tests in the
 //! `scoring` and `incremental` modules); this bench measures 20 consecutive
 //! Saturdays at 10k- and 100k-line populations.
+//!
+//! # Refreshing `BENCH_scoring.json`
+//!
+//! The repo root carries `BENCH_scoring.json`, a committed snapshot of this
+//! bench's medians (the "before" `rebuild_each_week` path, the "after"
+//! `incremental` path, and `incremental_instrumented` — the same path with
+//! the metrics registry live, whose delta against `incremental` is the
+//! instrumentation overhead). To refresh it after touching the scoring or
+//! observability hot paths:
+//!
+//! ```sh
+//! cargo bench -p nevermind-bench --bench weekly_rerank | tee /tmp/weekly.log
+//! ```
+//!
+//! then copy each reported median into the matching
+//! `results.<population>.<variant>` entry of `BENCH_scoring.json` (medians
+//! in milliseconds; the throughput lines are derived, don't store them),
+//! update `context` if the hardware changed, and sanity-check that
+//! `incremental_instrumented` stays within ~2% of `incremental` — that
+//! budget is what the README's observability section promises. Run on an
+//! otherwise idle machine; the vendored criterion stand-in reports the
+//! median of a small fixed sample count, so background load skews it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nevermind::pipeline::{ExperimentData, SplitSpec};

@@ -2,6 +2,7 @@
 
 pub mod locate;
 pub mod rank;
+pub mod report;
 pub mod simulate;
 pub mod train;
 pub mod trial;

@@ -1,0 +1,271 @@
+//! `nevermind report` — render a `--metrics` JSON dump as a terminal
+//! report: top spans by total time, per-week series as sparkline tables,
+//! and the model-health drift/calibration table with threshold breaches
+//! called out.
+//!
+//! Reads any `nevermind-metrics/v1` document, including pre-telemetry dumps
+//! (the sections it cannot find are reported as absent, not errors).
+
+use super::CliResult;
+use crate::args::Args;
+use serde_json::Value;
+
+/// How many spans the "top spans" table shows.
+const TOP_SPANS: usize = 12;
+/// Sparklines are downsampled to at most this many cells.
+const SPARK_WIDTH: usize = 48;
+
+/// Runs the subcommand. The dump path is the one positional argument.
+pub fn run(args: &Args, path: &str) -> CliResult {
+    args.reject_unknown(&["metrics"])?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = serde_json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    let doc = doc.as_object().ok_or("metrics document is not a JSON object")?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("<missing>");
+
+    println!("nevermind metrics report — {path} ({schema})");
+    render_spans(doc);
+    render_series(doc);
+    render_telemetry(doc);
+    Ok(())
+}
+
+fn render_spans(doc: &serde_json::Map) {
+    let Some(spans) = doc.get("spans").and_then(Value::as_object) else {
+        println!("\n(no spans section)");
+        return;
+    };
+    if spans.is_empty() {
+        println!("\n(no spans recorded)");
+        return;
+    }
+    let mut rows: Vec<(&str, f64, u64, f64)> = spans
+        .iter()
+        .filter_map(|(path, s)| {
+            let s = s.as_object()?;
+            let total_ns = s.get("total_ns")?.as_f64()?;
+            let count = s.get("count")?.as_u64()?;
+            let mean_ns = s.get("mean_ns").and_then(Value::as_f64).unwrap_or(0.0);
+            Some((path.as_str(), total_ns, count, mean_ns))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop spans by total time ({} of {})", rows.len().min(TOP_SPANS), rows.len());
+    println!("  {:>12}  {:>7}  {:>12}  path", "total", "calls", "mean");
+    for (path, total_ns, count, mean_ns) in rows.iter().take(TOP_SPANS) {
+        println!("  {:>12}  {count:>7}  {:>12}  {path}", fmt_ns(*total_ns), fmt_ns(*mean_ns));
+    }
+}
+
+fn render_series(doc: &serde_json::Map) {
+    let Some(series) = doc.get("series").and_then(Value::as_object) else {
+        println!("\n(no series section)");
+        return;
+    };
+    let mut printed_header = false;
+    for (name, points) in series.iter() {
+        let Some(points) = points.as_array() else { continue };
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter_map(|p| {
+                let p = p.as_array()?;
+                Some((p.first()?.as_f64()?, p.get(1)?.as_f64()?))
+            })
+            .collect();
+        if pts.is_empty() {
+            continue;
+        }
+        if !printed_header {
+            println!("\nper-week series");
+            printed_header = true;
+        }
+        let ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+        let (min, max) = min_max(&ys);
+        println!(
+            "  {name}: {} pts, x {:.0}→{:.0}, min {}, max {}, last {}",
+            pts.len(),
+            pts[0].0,
+            pts[pts.len() - 1].0,
+            fmt_val(min),
+            fmt_val(max),
+            fmt_val(ys[ys.len() - 1]),
+        );
+        println!("    {}", sparkline(&ys, SPARK_WIDTH));
+    }
+    if !printed_header {
+        println!("\n(no series recorded)");
+    }
+}
+
+fn render_telemetry(doc: &serde_json::Map) {
+    let Some(tele) = doc.get("telemetry").and_then(Value::as_object) else {
+        println!("\n(no telemetry section — dump predates model-health telemetry)");
+        return;
+    };
+    let status = tele.get("status").and_then(Value::as_str).unwrap_or("unknown");
+    let weeks = tele.get("weeks_observed").and_then(Value::as_u64).unwrap_or(0);
+    let breaches = tele.get("breaches").and_then(Value::as_u64).unwrap_or(0);
+    println!("\nmodel-health telemetry");
+    if status == "none" && weeks == 0 {
+        println!("  (none recorded — run a trial with --metrics to populate it)");
+        return;
+    }
+    println!(
+        "  status: {}   weeks observed: {weeks}   threshold breaches: {breaches}",
+        status.to_uppercase()
+    );
+
+    let threshold =
+        |key: &str| -> Option<f64> { tele.get("thresholds")?.as_object()?.get(key)?.as_f64() };
+    // Classic scorecard fallbacks, for dumps written without thresholds.
+    let psi_warn = threshold("psi_warning").unwrap_or(0.1);
+    let psi_alert = threshold("psi_alert").unwrap_or(0.25);
+    let ece_warn = threshold("ece_warning").unwrap_or(0.05);
+    let ece_alert = threshold("ece_alert").unwrap_or(0.15);
+    println!(
+        "  thresholds: PSI warn {psi_warn} / alert {psi_alert} · ECE warn {ece_warn} / alert {ece_alert}"
+    );
+
+    let Some(series) = tele.get("series").and_then(Value::as_object) else {
+        return;
+    };
+    if series.is_empty() {
+        return;
+    }
+    println!("  {:<34}  {:>9}  {:>9}  {:>9}  status", "metric", "last", "max", "mean");
+    for (name, summary) in series.iter() {
+        let Some(s) = summary.as_object() else { continue };
+        let last = s.get("last").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let max = s.get("max").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let mean = s.get("mean").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        // Drift metrics judge against PSI thresholds, calibration against
+        // ECE thresholds; everything else (brier, health) is informational.
+        let verdict = if name.starts_with("psi/") || name == "score_psi" {
+            classify(max, psi_warn, psi_alert)
+        } else if name == "ece" {
+            classify(max, ece_warn, ece_alert)
+        } else {
+            "-"
+        };
+        println!(
+            "  {:<34}  {:>9}  {:>9}  {:>9}  {verdict}",
+            name,
+            fmt_val(last),
+            fmt_val(max),
+            fmt_val(mean)
+        );
+    }
+}
+
+fn classify(value: f64, warn: f64, alert: f64) -> &'static str {
+    if !value.is_finite() {
+        "-"
+    } else if value >= alert {
+        "ALERT"
+    } else if value >= warn {
+        "warning"
+    } else {
+        "ok"
+    }
+}
+
+fn min_max(ys: &[f64]) -> (f64, f64) {
+    let min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min, max)
+}
+
+/// Renders values as 8-level unicode blocks, downsampled by chunk means
+/// when longer than `width`. Non-finite values render as spaces.
+fn sparkline(ys: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let cells: Vec<f64> = if ys.len() <= width {
+        ys.to_vec()
+    } else {
+        (0..width)
+            .map(|i| {
+                let lo = i * ys.len() / width;
+                let hi = ((i + 1) * ys.len() / width).max(lo + 1);
+                ys[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    };
+    let (min, max) = min_max(&cells);
+    let span = max - min;
+    cells
+        .iter()
+        .map(|&y| {
+            if !y.is_finite() {
+                ' '
+            } else if span <= 0.0 || !span.is_finite() {
+                BLOCKS[3]
+            } else {
+                let level = ((y - min) / span * 7.0).round() as usize;
+                BLOCKS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Human duration from nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Compact numeric cell: fixed-point for ordinary magnitudes, scientific
+/// for the tiny calibrated-probability scale, "n/a" for non-finite.
+fn fmt_val(v: f64) -> String {
+    if !v.is_finite() {
+        "n/a".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 0.001 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[0.0, 1.0], 48), "▁█");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0], 48), "▄▄▄");
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0], 48), "▁ █");
+        let long: Vec<f64> = (0..1000).map(f64::from).collect();
+        let s = sparkline(&long, 48);
+        assert_eq!(s.chars().count(), 48);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn classification_against_thresholds() {
+        assert_eq!(classify(0.05, 0.1, 0.25), "ok");
+        assert_eq!(classify(0.12, 0.1, 0.25), "warning");
+        assert_eq!(classify(0.30, 0.1, 0.25), "ALERT");
+        assert_eq!(classify(f64::NAN, 0.1, 0.25), "-");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ns(4.1e9), "4.10 s");
+        assert_eq!(fmt_ns(2.5e6), "2.5 ms");
+        assert_eq!(fmt_ns(900.0), "900 ns");
+        assert_eq!(fmt_val(0.1234), "0.123");
+        assert_eq!(fmt_val(0.000012), "1.2e-5");
+        assert_eq!(fmt_val(f64::NAN), "n/a");
+    }
+}

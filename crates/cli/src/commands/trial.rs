@@ -1,9 +1,12 @@
-//! `nevermind trial` — proactive-vs-reactive twin-world comparison.
+//! `nevermind trial` — proactive-vs-reactive twin-world comparison, with
+//! model-health telemetry and optional drift injection.
 
 use super::{sim_config_from, CliResult};
 use crate::args::Args;
-use nevermind::pipeline::run_proactive_trial;
+use nevermind::pipeline::{run_proactive_trial_with, TrialOptions};
 use nevermind::predictor::PredictorConfig;
+use nevermind::telemetry::TelemetryConfig;
+use nevermind_dslsim::scenario::Scenario;
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> CliResult {
@@ -15,6 +18,11 @@ pub fn run(args: &Args) -> CliResult {
         "warmup-weeks",
         "budget-fraction",
         "iterations",
+        "train-scenario",
+        "psi-warn",
+        "psi-alert",
+        "ece-warn",
+        "ece-alert",
         "metrics",
     ])?;
     let cfg = sim_config_from(args)?;
@@ -37,15 +45,39 @@ pub fn run(args: &Args) -> CliResult {
         ..PredictorConfig::default()
     };
 
+    // Drift injection: train the model in a *separate* world simulated from
+    // another scenario (same seed/scale/horizon), then score the live one —
+    // the telemetry must notice the mismatch.
+    let train_config = match args.get("train-scenario") {
+        None => None,
+        Some(name) => {
+            let scenario = Scenario::parse(name)
+                .ok_or_else(|| format!("unknown scenario '{name}' (see 'nevermind scenarios')"))?;
+            Some(scenario.config(cfg.seed, cfg.n_lines, cfg.days))
+        }
+    };
+    let defaults = TelemetryConfig::default();
+    let options = TrialOptions {
+        train_config,
+        telemetry: TelemetryConfig {
+            psi_warning: args.get_parsed_or("psi-warn", defaults.psi_warning)?,
+            psi_alert: args.get_parsed_or("psi-alert", defaults.psi_alert)?,
+            ece_warning: args.get_parsed_or("ece-warn", defaults.ece_warning)?,
+            ece_alert: args.get_parsed_or("ece-alert", defaults.ece_alert)?,
+            ..defaults
+        },
+    };
+
     eprintln!(
         "running twin worlds: {} lines, {} days, policy starts week {warmup} ...",
         cfg.n_lines, cfg.days
     );
     let span = nevermind_obs::span!("cli/trial");
-    let outcome = run_proactive_trial(cfg, &predictor_cfg, warmup);
+    let result = run_proactive_trial_with(cfg, &predictor_cfg, warmup, &options);
     eprintln!("trial finished in {:.1}s", span.elapsed().as_secs_f64());
     drop(span);
 
+    let outcome = &result.outcome;
     println!("policy active from day {}", outcome.policy_start_day);
     println!("reactive twin : {} customer-edge tickets", outcome.reactive_tickets);
     println!("proactive twin: {} customer-edge tickets", outcome.proactive_tickets);
@@ -64,5 +96,8 @@ pub fn run(args: &Args) -> CliResult {
         "churned customers: {} reactive vs {} proactive",
         outcome.reactive_churn, outcome.proactive_churn
     );
+    if let Some(report) = &result.telemetry {
+        println!("{}", report.summary());
+    }
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! nevermind rank     --data DIR/dataset.json --model FILE [--top N] [--explain N]
 //! nevermind locate   --data DIR/dataset.json [--line ID] [--top N]
 //! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W]
+//! nevermind report   METRICS_JSON
 //! nevermind scenarios
 //! ```
 //!
@@ -13,7 +14,8 @@
 //! `train` fits the Sec.-4 pipeline and writes a portable model JSON;
 //! `rank` spends the ATDS budget and can explain each pick; `locate` fits
 //! the Sec.-6 trouble locator and prints ranked dispositions for dispatches;
-//! `trial` runs the proactive-vs-reactive twin-world comparison.
+//! `trial` runs the proactive-vs-reactive twin-world comparison; `report`
+//! renders a `--metrics` dump (spans, series, model-health telemetry).
 
 mod args;
 mod commands;
@@ -33,10 +35,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if !parsed.positional().is_empty() {
+    // Only `report` takes a positional operand (the dump file to render);
+    // every other subcommand is flags-only.
+    let max_positional = usize::from(command == "report");
+    if parsed.positional().len() > max_positional {
         eprintln!(
             "error: unexpected argument '{}' (every option is a --flag)\n\n{USAGE}",
-            parsed.positional()[0]
+            parsed.positional()[max_positional]
         );
         std::process::exit(2);
     }
@@ -53,6 +58,10 @@ fn main() {
         "rank" => commands::rank::run(&parsed),
         "locate" => commands::locate::run(&parsed),
         "trial" => commands::trial::run(&parsed),
+        "report" => match parsed.positional().first() {
+            Some(path) => commands::report::run(&parsed, path),
+            None => Err("usage: nevermind report METRICS_JSON".into()),
+        },
         "scenarios" => commands::scenarios(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -85,10 +94,16 @@ USAGE:
   nevermind rank     --data FILE --model FILE [--top N] [--explain N]
   nevermind locate   --data FILE [--top N] [--dispatches N]
   nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
+                     [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
+                     [--ece-warn F] [--ece-alert F]
+  nevermind report   METRICS_JSON
   nevermind scenarios
 
 Every subcommand also accepts '--metrics PATH' to dump per-phase span
-timings, counters and per-week series as one JSON document on exit
-(see the README's Observability section for the schema).
+timings, counters, per-week series and model-health telemetry as one
+JSON document on exit (see the README's Observability section for the
+schema); 'nevermind report' renders such a dump as a terminal report.
+'trial --train-scenario NAME' trains the model in a separate world to
+inject drift that the telemetry must detect.
 
 Run 'nevermind scenarios' to list the named scenarios.";

@@ -25,8 +25,11 @@
 //! (BStump vs linear, Naive Bayes and CART under label noise), [`scoring`]
 //! holds the incremental weekly scoring engine (streaming encoder +
 //! compiled parallel scorer + partial top-`B` selection) that the
-//! operational loop re-ranks the population with, and [`pipeline`] wires
-//! everything to the simulator for the operational proactive loop.
+//! operational loop re-ranks the population with, [`telemetry`] watches the
+//! fitted model for input-feature drift, score-distribution shift and
+//! calibration decay against its training-window reference, and
+//! [`pipeline`] wires everything to the simulator for the operational
+//! proactive loop.
 //!
 //! ## Quickstart
 //!
@@ -57,8 +60,10 @@ pub mod locator;
 pub mod pipeline;
 pub mod predictor;
 pub mod scoring;
+pub mod telemetry;
 
 pub use locator::{LocatorConfig, TroubleLocator};
-pub use pipeline::{ExperimentData, SplitSpec};
+pub use pipeline::{ExperimentData, SplitSpec, TrialOptions, TrialResult};
 pub use predictor::{PredictorConfig, RankedPredictions, TicketPredictor};
 pub use scoring::WeeklyScorer;
+pub use telemetry::{HealthStatus, ModelHealthMonitor, TelemetryConfig, TelemetryReport};

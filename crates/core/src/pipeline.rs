@@ -163,6 +163,34 @@ impl ProactiveOutcome {
     }
 }
 
+/// Optional behaviors of [`run_proactive_trial_with`] beyond the paper's
+/// basic twin-world loop.
+#[derive(Debug, Clone, Default)]
+pub struct TrialOptions {
+    /// Simulator configuration for a *separate* training world. `None`
+    /// (the default, and the paper's protocol) trains on the live world's
+    /// own warm-up logs. `Some` generates an independent world from this
+    /// configuration, steps it through the same warm-up window, and trains
+    /// there — the drift-injection setup: a model trained on (say) the
+    /// baseline plant scoring an overprovisioned or storm-season live
+    /// world, which the model-health telemetry must flag.
+    pub train_config: Option<SimConfig>,
+    /// Thresholds and sizing for the model-health monitor. The monitor
+    /// itself runs only while [`nevermind_obs::enabled`] — with recording
+    /// off the trial is telemetry-free (and bit-identical either way).
+    pub telemetry: crate::telemetry::TelemetryConfig,
+}
+
+/// What [`run_proactive_trial_with`] hands back.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The proactive-vs-reactive outcome.
+    pub outcome: ProactiveOutcome,
+    /// Model-health summary; `None` when observability was disabled (the
+    /// full per-week series live in the global metrics registry).
+    pub telemetry: Option<crate::telemetry::TelemetryReport>,
+}
+
 /// Runs the operational NEVERMIND loop against a twin reactive baseline.
 ///
 /// Both runs share the simulator seed, so the plant, customers, faults and
@@ -174,6 +202,22 @@ pub fn run_proactive_trial(
     predictor_config: &crate::predictor::PredictorConfig,
     warmup_weeks: u32,
 ) -> ProactiveOutcome {
+    run_proactive_trial_with(sim_config, predictor_config, warmup_weeks, &TrialOptions::default())
+        .outcome
+}
+
+/// [`run_proactive_trial`] with [`TrialOptions`]: an optional separate
+/// training world (drift injection) and model-health telemetry. While
+/// observability is enabled, a [`crate::telemetry::ModelHealthMonitor`]
+/// snapshots the training reference at fit time and compares every scored
+/// week against it; the monitor only reads the scoring path, so rankings
+/// and dispatches are bit-identical with telemetry on or off.
+pub fn run_proactive_trial_with(
+    sim_config: SimConfig,
+    predictor_config: &crate::predictor::PredictorConfig,
+    warmup_weeks: u32,
+    options: &TrialOptions,
+) -> TrialResult {
     // Named to read cleanly under the CLI's `cli/trial` wrapper span
     // (`cli/trial/proactive_trial/...`) and standalone alike.
     let _trial_span = nevermind_obs::span!("proactive_trial");
@@ -198,20 +242,48 @@ pub fn run_proactive_trial(
         }
     }
 
-    // Train on the warm-up logs.
-    let warmup_data = ExperimentData {
-        config: sim_config.clone(),
-        topology: world.topology().clone(),
-        output: world.output().clone(),
+    // Train on warm-up logs: the live world's own (paper protocol), or a
+    // separately simulated world's (drift injection).
+    let train_data = match &options.train_config {
+        None => ExperimentData {
+            config: sim_config.clone(),
+            topology: world.topology().clone(),
+            output: world.output().clone(),
+        },
+        Some(train_cfg) => {
+            let _s = nevermind_obs::span!("train_world");
+            let mut train_cfg = train_cfg.clone();
+            // The training world only needs to exist through the warm-up.
+            train_cfg.days = train_cfg.days.min(sim_config.days);
+            let mut train_world = World::generate(train_cfg.clone());
+            while train_world.day() < policy_start_day {
+                train_world.step_day();
+            }
+            ExperimentData {
+                config: train_cfg,
+                topology: train_world.topology().clone(),
+                output: train_world.output().clone(),
+            }
+        }
     };
-    let mut warmup_for_split = warmup_data;
+    let mut train_for_split = train_data;
     // The split machinery needs the horizon to reflect data actually seen.
-    warmup_for_split.config.days = policy_start_day;
-    let split = SplitSpec::paper_like(&warmup_for_split);
+    train_for_split.config.days = policy_start_day;
+    let split = SplitSpec::paper_like(&train_for_split);
     let (predictor, _) = {
         let _s = nevermind_obs::span!("train");
-        crate::predictor::TicketPredictor::fit(&warmup_for_split, &split, predictor_config)
+        crate::predictor::TicketPredictor::fit(&train_for_split, &split, predictor_config)
     };
+
+    let mut monitor = nevermind_obs::enabled().then(|| {
+        crate::telemetry::ModelHealthMonitor::from_training(
+            &predictor,
+            &train_for_split,
+            &split,
+            world.topology().lines.len(),
+            &options.telemetry,
+        )
+    });
 
     // The incremental weekly scoring engine: rolling encoder state fed only
     // each week's fresh log events, compiled parallel stump evaluation, and
@@ -227,11 +299,14 @@ pub fn run_proactive_trial(
         if just_finished % 7 == 6 {
             // Rank on everything measured so far, dispatch the top budget.
             let week_started = std::time::Instant::now();
-            let to_dispatch = {
+            let ranking = {
                 let out = world.output();
                 scorer.observe(&out.measurements, &out.tickets);
-                scorer.top_lines(just_finished, budget)
+                scorer.rank_week(just_finished)
             };
+            let to_dispatch: Vec<_> =
+                ranking.top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect();
+            nevermind_obs::counter_add!("weekly/lines_dispatched", to_dispatch.len());
             if nevermind_obs::enabled() {
                 // Per-week trajectory: how long each Saturday re-rank took
                 // and how many trucks it sent, keyed by the finished day.
@@ -241,12 +316,21 @@ pub fn run_proactive_trial(
                 reg.series("trial/week_dispatches")
                     .push(f64::from(just_finished), to_dispatch.len() as f64);
             }
+            if let Some(mon) = monitor.as_mut() {
+                // The monitor's feature read re-encodes the just-ranked day
+                // (idempotent) and never feeds back into the ranking.
+                let feats = scorer.encode_features(just_finished, mon.monitored_columns());
+                mon.observe_week(just_finished, &ranking, &feats, &world.output().tickets);
+            }
             for line in to_dispatch {
                 world.schedule_proactive_dispatch(line, 2);
             }
         }
     }
     drop(_policy_span);
+
+    let telemetry =
+        monitor.map(|m| m.finish(&world.output().tickets, sim_config.days.saturating_sub(1)));
 
     let out = world.into_output();
     let proactive_tickets =
@@ -256,14 +340,17 @@ pub fn run_proactive_trial(
     let proactive_hits = proactive_notes.iter().filter(|n| n.disposition.is_some()).count();
     let proactive_churn = out.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
 
-    ProactiveOutcome {
-        policy_start_day,
-        reactive_tickets,
-        proactive_tickets,
-        proactive_dispatches,
-        proactive_hits,
-        reactive_churn,
-        proactive_churn,
+    TrialResult {
+        outcome: ProactiveOutcome {
+            policy_start_day,
+            reactive_tickets,
+            proactive_tickets,
+            proactive_dispatches,
+            proactive_hits,
+            reactive_churn,
+            proactive_churn,
+        },
+        telemetry,
     }
 }
 

@@ -25,6 +25,7 @@
 use crate::predictor::{RankedPredictions, TicketPredictor};
 use nevermind_dslsim::topology::Line;
 use nevermind_dslsim::{LineId, LineTest, Ticket};
+use nevermind_features::encode::EncodedDataset;
 use nevermind_features::{DerivedFeature, IncrementalEncoder};
 use nevermind_ml::data::{FeatureMatrix, FeatureMeta};
 use nevermind_ml::score::BatchScorer;
@@ -162,6 +163,17 @@ impl<'a> WeeklyScorer<'a> {
         let margins = self.scorer.margins_compact_parallel(&narrow, 0);
         let probabilities = self.predictor.calibration().probabilities(&margins);
         RankedPredictions::from_scores(base.rows, probabilities, base.data.y)
+    }
+
+    /// Encodes the requested base columns at `day` from the rolling state —
+    /// the model-health monitor's window into the live feature values.
+    ///
+    /// Re-encoding a day the engine already ranked is idempotent (the
+    /// incremental encoder's per-line state only prunes history that no
+    /// later window can read), so calling this after [`Self::rank_week`]
+    /// for the same Saturday cannot perturb that or any later ranking.
+    pub fn encode_features(&mut self, day: u32, cols: &[usize]) -> EncodedDataset {
+        self.encoder.encode_day_cols(day, cols)
     }
 
     /// The week's top-`budget` lines, best first — the dispatch list.

@@ -1,0 +1,507 @@
+//! Model-health telemetry: is the fitted ranker still operating under the
+//! conditions it was trained on?
+//!
+//! The paper trains once on a two-month window and shows prediction quality
+//! varying month to month as plant and seasonal conditions shift (Sec. 5).
+//! Operationally that is a silent failure mode: nothing in the weekly loop
+//! notices that the input distributions have walked away from the training
+//! window until dispatch precision has already sunk. [`ModelHealthMonitor`]
+//! closes that gap with the standard scorecard-monitoring recipe:
+//!
+//! * **Reference snapshot** ([`ModelHealthMonitor::from_training`]): right
+//!   after [`TicketPredictor`] is fitted, re-encode the *last* training
+//!   Saturday — a single whole-population snapshot, shaped exactly like
+//!   every weekly snapshot the monitor will compare against (earlier
+//!   training Saturdays can sit so close to the start of history that
+//!   windowed features are still NaN, which would read as huge permanent
+//!   drift) — and freeze per-feature quantile binnings and bin counts for
+//!   the monitored features, the calibrated-score distribution, and the
+//!   reference calibration quality (ECE).
+//! * **Weekly comparison** ([`ModelHealthMonitor::observe_week`]): every
+//!   scored Saturday, bin the live feature values and scores into the
+//!   *reference* bins and emit one PSI point per monitored feature
+//!   (`telemetry/psi/<feature>`) plus one for the score distribution
+//!   (`telemetry/score_psi`).
+//! * **Label maturation**: ticket labels for week `d` only close at
+//!   `d + horizon`; scored weeks are parked until their window closes, then
+//!   realized calibration is emitted (`telemetry/ece`, `telemetry/brier`,
+//!   keyed by the *scored* day).
+//! * **Health status**: each observation is classified against configurable
+//!   thresholds ([`TelemetryConfig`]), with a persistence debounce — a PSI
+//!   metric must stay over threshold for `persistence_weeks` consecutive
+//!   weeks before it escalates the status (drift persists; outage blips and
+//!   sparse-feature sampling noise do not). Per-week statuses land in the
+//!   `telemetry/health` series and the worst status seen is held sticky in
+//!   the `telemetry/health_status` gauge, which the JSON dump's `telemetry`
+//!   section and the `nevermind report` command surface.
+//!
+//! Everything is recorded through the global [`nevermind_obs`] registry, so
+//! any `--metrics` dump carries the full telemetry without extra plumbing.
+//! The monitor only ever *reads* the scoring path (its weekly feature
+//! values come from an extra idempotent encode of the already-ranked day),
+//! so rankings and dispatch decisions are bit-identical with and without it
+//! — pinned by the equivalence test in `tests/observability.rs`.
+
+use crate::pipeline::{ExperimentData, SplitSpec};
+use crate::predictor::{RankedPredictions, TicketPredictor};
+use nevermind_dslsim::Ticket;
+use nevermind_features::encode::EncodedDataset;
+use nevermind_features::BaseEncoder;
+use nevermind_ml::calibrate::{brier_score, expected_calibration_error};
+use nevermind_ml::drift::{bin_counts, psi, quantile_edges};
+
+/// Thresholds and sizing for the model-health monitor.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// PSI at or above this is a `warning` (scorecard convention: 0.1).
+    pub psi_warning: f64,
+    /// PSI at or above this is an `alert` (scorecard convention: 0.25).
+    pub psi_alert: f64,
+    /// Matured ECE at or above this is a `warning`.
+    pub ece_warning: f64,
+    /// Matured ECE at or above this is an `alert`.
+    pub ece_alert: f64,
+    /// Target in-range bin count for the PSI quantile binnings.
+    pub n_bins: usize,
+    /// How many of the predictor's selected base features to monitor
+    /// (selection order, i.e. strongest AP(N) first).
+    pub max_features: usize,
+    /// Consecutive over-threshold weeks required before a drift (PSI)
+    /// metric escalates the health status and counts a breach. Drift is
+    /// persistent by definition; single-week excursions (an outage event,
+    /// sampling noise on a sparse feature) stay visible in the series but
+    /// do not trip the status. `1` escalates immediately.
+    pub persistence_weeks: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            psi_warning: 0.1,
+            psi_alert: 0.25,
+            ece_warning: 0.05,
+            ece_alert: 0.15,
+            n_bins: 10,
+            max_features: 12,
+            persistence_weeks: 2,
+        }
+    }
+}
+
+/// Traffic-light model-health classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Everything within thresholds.
+    Healthy,
+    /// At least one metric crossed its warning threshold.
+    Warning,
+    /// At least one metric crossed its alert threshold.
+    Alert,
+}
+
+impl HealthStatus {
+    /// The gauge/series encoding (0 / 1 / 2), matching
+    /// [`nevermind_obs::json::health_status_name`].
+    pub fn as_f64(self) -> f64 {
+        match self {
+            HealthStatus::Healthy => 0.0,
+            HealthStatus::Warning => 1.0,
+            HealthStatus::Alert => 2.0,
+        }
+    }
+
+    /// Lower-case display name, identical to the JSON dump's `status`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Warning => "warning",
+            HealthStatus::Alert => "alert",
+        }
+    }
+
+    fn classify(value: f64, warning: f64, alert: f64) -> Self {
+        if value >= alert {
+            HealthStatus::Alert
+        } else if value >= warning {
+            HealthStatus::Warning
+        } else {
+            HealthStatus::Healthy
+        }
+    }
+}
+
+/// Reference state for one monitored feature. The corresponding base
+/// column index lives at the same position in
+/// [`ModelHealthMonitor::monitored_columns`].
+struct FeatureRef {
+    /// Encoder feature name (`ts:...`, `basic:...`).
+    name: String,
+    /// Quantile edges frozen from the training window.
+    edges: Vec<f64>,
+    /// Training-window counts over those edges (plus the NaN bucket).
+    ref_counts: Vec<u64>,
+    /// Consecutive weeks this feature's PSI has been over the warning
+    /// threshold (the persistence debounce).
+    streak: usize,
+}
+
+/// A scored week waiting for its label window to close.
+struct PendingWeek {
+    day: u32,
+    /// Row-aligned line indices and calibrated probabilities.
+    line_indices: Vec<usize>,
+    probabilities: Vec<f64>,
+}
+
+/// End-of-trial telemetry summary (the registry holds the full series).
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Worst status seen across all weeks and metrics.
+    pub status: HealthStatus,
+    /// Scored weeks compared against the reference.
+    pub weeks_observed: usize,
+    /// Individual warning/alert threshold crossings, summed over weeks.
+    pub breaches: u64,
+    /// The monitored feature with the largest PSI seen, if any week ran.
+    pub worst_feature: Option<(String, f64)>,
+    /// Largest score-distribution PSI seen.
+    pub max_score_psi: f64,
+    /// ECE of the most recently matured week, if any matured.
+    pub last_ece: Option<f64>,
+    /// Brier score of the most recently matured week, if any matured.
+    pub last_brier: Option<f64>,
+    /// ECE of the reference (training-window) ranking.
+    pub reference_ece: f64,
+}
+
+impl TelemetryReport {
+    /// One-line operator summary for CLI output.
+    pub fn summary(&self) -> String {
+        let worst = match &self.worst_feature {
+            Some((name, p)) => format!("worst feature PSI {p:.3} ({name})"),
+            None => "no weeks observed".to_string(),
+        };
+        let ece = match self.last_ece {
+            Some(e) => format!("{e:.4}"),
+            None => "pending".to_string(),
+        };
+        format!(
+            "model health: {} over {} weeks ({} breaches; {}; score PSI {:.3}; ECE {} vs {:.4} at fit)",
+            self.status.as_str(),
+            self.weeks_observed,
+            self.breaches,
+            worst,
+            self.max_score_psi,
+            ece,
+            self.reference_ece,
+        )
+    }
+}
+
+/// Drift/calibration monitor comparing every scored week against a frozen
+/// training-window reference. See the module docs for the design.
+pub struct ModelHealthMonitor {
+    config: TelemetryConfig,
+    horizon_days: u32,
+    features: Vec<FeatureRef>,
+    monitored_cols: Vec<usize>,
+    score_edges: Vec<f64>,
+    score_ref_counts: Vec<u64>,
+    score_streak: usize,
+    reference_ece: f64,
+    /// Per-line customer-edge ticket days, appended in arrival order.
+    ticket_days: Vec<Vec<u32>>,
+    ticket_cursor: usize,
+    pending: Vec<PendingWeek>,
+    weeks_observed: usize,
+    breaches: u64,
+    worst: HealthStatus,
+    worst_feature: Option<(String, f64)>,
+    max_score_psi: f64,
+    last_ece: Option<f64>,
+    last_brier: Option<f64>,
+}
+
+impl ModelHealthMonitor {
+    /// Captures the reference snapshot for a freshly fitted predictor:
+    /// re-encodes the last training Saturday of `train_data` (a single
+    /// population snapshot, directly comparable to each future weekly
+    /// snapshot), freezes quantile binnings for the monitored features and
+    /// the calibrated scores, and records the reference distributions and
+    /// thresholds into the global registry. `n_live_lines` sizes the ticket
+    /// index for the population the monitor will observe (which may come
+    /// from a different world than the training data — that mismatch is
+    /// exactly what it detects).
+    pub fn from_training(
+        predictor: &TicketPredictor,
+        train_data: &ExperimentData,
+        split: &SplitSpec,
+        n_live_lines: usize,
+        config: &TelemetryConfig,
+    ) -> Self {
+        let _span = nevermind_obs::span!("telemetry/reference");
+        let encoder = train_data.encoder(predictor.encoder_config().clone());
+        let reference_day = *split.train_days.last().expect("empty training window");
+        let base = encoder.encode(&[reference_day]);
+        let (meta, _) = BaseEncoder::base_meta();
+
+        let monitored_cols: Vec<usize> =
+            predictor.selected_base().iter().take(config.max_features).copied().collect();
+        let n_rows = base.data.len();
+        let features: Vec<FeatureRef> = monitored_cols
+            .iter()
+            .map(|&col| {
+                let values: Vec<f64> =
+                    (0..n_rows).map(|r| f64::from(base.data.x.row(r)[col])).collect();
+                let edges = quantile_edges(&values, config.n_bins);
+                let ref_counts = bin_counts(&edges, &values);
+                let name = meta[col].name.clone();
+                record_reference_distribution(&format!("telemetry/ref/{name}"), &values);
+                FeatureRef { name, edges, ref_counts, streak: 0 }
+            })
+            .collect();
+
+        let ranking = predictor.rank_encoded(&base);
+        let score_edges = quantile_edges(&ranking.probabilities, config.n_bins);
+        let score_ref_counts = bin_counts(&score_edges, &ranking.probabilities);
+        record_reference_distribution("telemetry/ref/score", &ranking.probabilities);
+        let reference_ece =
+            expected_calibration_error(&ranking.probabilities, &ranking.labels, config.n_bins);
+
+        let reg = nevermind_obs::global();
+        reg.gauge("telemetry/threshold/psi_warning").set(config.psi_warning);
+        reg.gauge("telemetry/threshold/psi_alert").set(config.psi_alert);
+        reg.gauge("telemetry/threshold/ece_warning").set(config.ece_warning);
+        reg.gauge("telemetry/threshold/ece_alert").set(config.ece_alert);
+        reg.gauge("telemetry/reference_ece").set(reference_ece);
+        reg.gauge("telemetry/health_status").set(HealthStatus::Healthy.as_f64());
+
+        Self {
+            config: config.clone(),
+            horizon_days: predictor.encoder_config().horizon_days,
+            features,
+            monitored_cols,
+            score_edges,
+            score_ref_counts,
+            score_streak: 0,
+            reference_ece,
+            ticket_days: vec![Vec::new(); n_live_lines],
+            ticket_cursor: 0,
+            pending: Vec::new(),
+            weeks_observed: 0,
+            breaches: 0,
+            worst: HealthStatus::Healthy,
+            worst_feature: None,
+            max_score_psi: 0.0,
+            last_ece: None,
+            last_brier: None,
+        }
+    }
+
+    /// The base columns to encode each week, aligned with the monitored
+    /// features — pass to `WeeklyScorer::encode_features`.
+    pub fn monitored_columns(&self) -> &[usize] {
+        &self.monitored_cols
+    }
+
+    /// Compares one scored Saturday against the reference. `ranking` is the
+    /// week's population ranking, `features` the same day's encoding of
+    /// [`Self::monitored_columns`] (columns aligned), and `tickets` the
+    /// world's full growing ticket log (a cursor skips what was already
+    /// seen). Returns the week's PSI-based status; calibration (ECE/Brier)
+    /// is emitted later, once the week's label window closes.
+    pub fn observe_week(
+        &mut self,
+        day: u32,
+        ranking: &RankedPredictions,
+        features: &EncodedDataset,
+        tickets: &[Ticket],
+    ) -> HealthStatus {
+        let _span = nevermind_obs::span!("telemetry/observe_week");
+        self.ingest_tickets(tickets);
+
+        let reg = nevermind_obs::global();
+        let persistence = self.config.persistence_weeks.max(1);
+        let mut week_status = HealthStatus::Healthy;
+        let mut week_breaches = 0u64;
+        let n_rows = features.data.len();
+        for (j, feat) in self.features.iter_mut().enumerate() {
+            let values: Vec<f64> =
+                (0..n_rows).map(|r| f64::from(features.data.x.row(r)[j])).collect();
+            let p = psi(&feat.ref_counts, &bin_counts(&feat.edges, &values));
+            reg.series(&format!("telemetry/psi/{}", feat.name)).push(f64::from(day), p);
+            let raw = HealthStatus::classify(p, self.config.psi_warning, self.config.psi_alert);
+            feat.streak = if raw > HealthStatus::Healthy { feat.streak + 1 } else { 0 };
+            if feat.streak >= persistence {
+                week_status = week_status.max(raw);
+                week_breaches += 1;
+            }
+            if self.worst_feature.as_ref().map_or(true, |(_, worst)| p > *worst) {
+                self.worst_feature = Some((feat.name.clone(), p));
+            }
+        }
+
+        let score_psi =
+            psi(&self.score_ref_counts, &bin_counts(&self.score_edges, &ranking.probabilities));
+        reg.series("telemetry/score_psi").push(f64::from(day), score_psi);
+        let live_scores = reg.distribution("telemetry/live/score", 0.0, 1.0, self.config.n_bins);
+        live_scores.record_all(&ranking.probabilities);
+        let raw = HealthStatus::classify(score_psi, self.config.psi_warning, self.config.psi_alert);
+        self.score_streak = if raw > HealthStatus::Healthy { self.score_streak + 1 } else { 0 };
+        if self.score_streak >= persistence {
+            week_status = week_status.max(raw);
+            week_breaches += 1;
+        }
+        self.max_score_psi = self.max_score_psi.max(score_psi);
+        self.breaches += week_breaches;
+        reg.counter("telemetry/breaches").add(week_breaches);
+
+        reg.series("telemetry/health").push(f64::from(day), week_status.as_f64());
+        reg.counter("telemetry/weeks_observed").inc();
+        self.weeks_observed += 1;
+        self.worst = self.worst.max(week_status);
+        reg.gauge("telemetry/health_status").set(self.worst.as_f64());
+
+        self.pending.push(PendingWeek {
+            day,
+            line_indices: ranking.rows.iter().map(|k| k.line.index()).collect(),
+            probabilities: ranking.probabilities.clone(),
+        });
+        self.mature_through(day);
+        week_status
+    }
+
+    /// Ingests any remaining tickets, matures every week whose label window
+    /// closed by `frontier_day` (the last simulated day), records the final
+    /// gauges, and returns the summary.
+    pub fn finish(mut self, tickets: &[Ticket], frontier_day: u32) -> TelemetryReport {
+        self.ingest_tickets(tickets);
+        self.mature_through(frontier_day);
+        let reg = nevermind_obs::global();
+        reg.gauge("telemetry/health_status").set(self.worst.as_f64());
+        TelemetryReport {
+            status: self.worst,
+            weeks_observed: self.weeks_observed,
+            breaches: self.breaches,
+            worst_feature: self.worst_feature,
+            max_score_psi: self.max_score_psi,
+            last_ece: self.last_ece,
+            last_brier: self.last_brier,
+            reference_ece: self.reference_ece,
+        }
+    }
+
+    fn ingest_tickets(&mut self, tickets: &[Ticket]) {
+        assert!(tickets.len() >= self.ticket_cursor, "ticket log must only grow");
+        for t in &tickets[self.ticket_cursor..] {
+            if t.is_customer_edge() {
+                let days = &mut self.ticket_days[t.line.index()];
+                // The simulator emits tickets in day order; keep the
+                // per-line lists sorted even if a source does not.
+                match days.last() {
+                    Some(&last) if last > t.day => {
+                        let at = days.partition_point(|&d| d <= t.day);
+                        days.insert(at, t.day);
+                    }
+                    _ => days.push(t.day),
+                }
+            }
+        }
+        self.ticket_cursor = tickets.len();
+    }
+
+    /// Emits realized calibration for every pending week whose label window
+    /// `(day, day + horizon]` lies fully within the ingested ticket range.
+    fn mature_through(&mut self, frontier_day: u32) {
+        let reg = nevermind_obs::global();
+        let horizon = self.horizon_days;
+        let mut still_pending = Vec::new();
+        for week in self.pending.drain(..) {
+            if week.day + horizon > frontier_day {
+                still_pending.push(week);
+                continue;
+            }
+            let labels: Vec<bool> = week
+                .line_indices
+                .iter()
+                .map(|&li| {
+                    let days = &self.ticket_days[li];
+                    let cut = days.partition_point(|&d| d <= week.day);
+                    days.get(cut).is_some_and(|&d| d <= week.day + horizon)
+                })
+                .collect();
+            let ece = expected_calibration_error(&week.probabilities, &labels, self.config.n_bins);
+            let brier = brier_score(&week.probabilities, &labels);
+            reg.series("telemetry/ece").push(f64::from(week.day), ece);
+            reg.series("telemetry/brier").push(f64::from(week.day), brier);
+            let status =
+                HealthStatus::classify(ece, self.config.ece_warning, self.config.ece_alert);
+            if status > HealthStatus::Healthy {
+                self.breaches += 1;
+                reg.counter("telemetry/breaches").inc();
+            }
+            self.worst = self.worst.max(status);
+            self.last_ece = Some(ece);
+            self.last_brier = Some(brier);
+        }
+        self.pending = still_pending;
+        reg.gauge("telemetry/health_status").set(self.worst.as_f64());
+    }
+}
+
+/// Records a value sample as a fixed-bin [`nevermind_obs::Distribution`]
+/// so the JSON dump's `distributions` section carries the actual reference
+/// shapes (the PSI math uses quantile bins; the dump uses equal-width bins
+/// over the finite value range, which is what a human wants to look at).
+fn record_reference_distribution(name: &str, values: &[f64]) {
+    let finite = values.iter().copied().filter(|v| v.is_finite());
+    let lo = finite.clone().fold(f64::INFINITY, f64::min);
+    let hi = finite.fold(f64::NEG_INFINITY, f64::max);
+    let (lo, hi) = if lo.is_finite() && hi.is_finite() && lo < hi { (lo, hi) } else { (0.0, 1.0) };
+    // Nudge the top edge so the observed maximum lands inside the last bin
+    // rather than in overflow.
+    let hi = hi + (hi - lo) * 1e-9 + f64::MIN_POSITIVE;
+    nevermind_obs::global().distribution(name, lo, hi, 20).record_all(values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_status_orders_and_classifies() {
+        assert!(HealthStatus::Healthy < HealthStatus::Warning);
+        assert!(HealthStatus::Warning < HealthStatus::Alert);
+        assert_eq!(HealthStatus::classify(0.05, 0.1, 0.25), HealthStatus::Healthy);
+        assert_eq!(HealthStatus::classify(0.1, 0.1, 0.25), HealthStatus::Warning);
+        assert_eq!(HealthStatus::classify(0.3, 0.1, 0.25), HealthStatus::Alert);
+        assert_eq!(HealthStatus::Alert.as_str(), "alert");
+        assert_eq!(HealthStatus::Warning.as_f64(), 1.0);
+    }
+
+    #[test]
+    fn default_thresholds_are_the_scorecard_convention() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.psi_warning, 0.1);
+        assert_eq!(cfg.psi_alert, 0.25);
+        assert!(cfg.max_features > 0 && cfg.n_bins >= 2);
+    }
+
+    #[test]
+    fn report_summary_mentions_the_status() {
+        let report = TelemetryReport {
+            status: HealthStatus::Warning,
+            weeks_observed: 4,
+            breaches: 3,
+            worst_feature: Some(("ts:snr_dn:mean".into(), 0.17)),
+            max_score_psi: 0.08,
+            last_ece: Some(0.004),
+            last_brier: Some(0.01),
+            reference_ece: 0.002,
+        };
+        let line = report.summary();
+        assert!(line.contains("warning"), "{line}");
+        assert!(line.contains("ts:snr_dn:mean"), "{line}");
+        assert!(line.contains("4 weeks"), "{line}");
+    }
+}

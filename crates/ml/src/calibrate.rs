@@ -162,6 +162,47 @@ pub fn reliability_curve(
         .collect()
 }
 
+/// Expected calibration error: the count-weighted mean absolute gap between
+/// predicted probability and realized positive rate across the equal-width
+/// bins of [`reliability_curve`].
+///
+/// `0` means perfectly calibrated; a model that says 0.9 when the truth is
+/// 0.5 scores 0.4. NaN predictions are skipped (as in the curve itself);
+/// returns 0 when nothing remains.
+pub fn expected_calibration_error(probabilities: &[f64], labels: &[bool], n_bins: usize) -> f64 {
+    let bins = reliability_curve(probabilities, labels, n_bins);
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|b| (b.count as f64 / total as f64) * (b.mean_predicted - b.empirical_rate).abs())
+        .sum()
+}
+
+/// Brier score: mean squared error of the predicted probabilities against
+/// the 0/1 outcomes. Lower is better; a clairvoyant model scores 0 and an
+/// always-0.5 model scores 0.25. NaN predictions are skipped; returns 0
+/// when nothing remains.
+pub fn brier_score(probabilities: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len(), "probability/label mismatch");
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (&p, &y) in probabilities.iter().zip(labels) {
+        if p.is_nan() {
+            continue;
+        }
+        let d = p - if y { 1.0 } else { 0.0 };
+        sum += d * d;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
 /// `log(1 + exp(x))` computed without overflow.
 #[inline]
 fn softplus(x: f64) -> f64 {
@@ -298,5 +339,41 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn rejects_empty_input() {
         let _ = PlattScale::fit(&[], &[]);
+    }
+
+    #[test]
+    fn ece_near_zero_for_calibrated_and_large_for_overconfident() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..20_000 {
+            let p: f64 = rng.random();
+            probs.push(p);
+            labels.push(rng.random_bool(p));
+        }
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece < 0.02, "calibrated model: ece = {ece}");
+
+        let over = vec![0.9; 1000];
+        let half: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&over, &half, 10);
+        assert!((ece - 0.4).abs() < 1e-9, "overconfident model: ece = {ece}");
+    }
+
+    #[test]
+    fn ece_skips_nans_and_handles_empty() {
+        assert_eq!(expected_calibration_error(&[], &[], 10), 0.0);
+        assert_eq!(expected_calibration_error(&[f64::NAN], &[true], 10), 0.0);
+        let ece = expected_calibration_error(&[0.5, f64::NAN], &[true, false], 10);
+        assert!((ece - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brier_score_known_values() {
+        assert_eq!(brier_score(&[], &[]), 0.0);
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0, "clairvoyant");
+        assert_eq!(brier_score(&[0.5, 0.5], &[true, false]), 0.25, "coin-flip");
+        let with_nan = brier_score(&[f64::NAN, 0.2], &[true, false]);
+        assert!((with_nan - 0.04).abs() < 1e-12);
     }
 }

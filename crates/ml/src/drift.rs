@@ -1,0 +1,191 @@
+//! Distribution-drift measurement: binning helpers and the population
+//! stability index (PSI).
+//!
+//! PSI is the standard scorecard-monitoring statistic: bin a reference
+//! population (here, the model's training window), count a comparison
+//! population (a scored week) into the *same* bins, and sum
+//! `(p_i - q_i) · ln(p_i / q_i)` over the bins. It is a symmetrized KL
+//! divergence, `0` when the distributions agree exactly, and in credit-risk
+//! practice `0.1` is the conventional "investigate" line and `0.25` the
+//! "act" line — the defaults `nevermind-core`'s health monitor adopts.
+//!
+//! Bins here are reference quantiles ([`quantile_edges`]) rather than
+//! equal-width, the classic PSI construction: it keeps every bin populated
+//! in the reference (expected share ≈ 1/k each), which matters for the
+//! heavily skewed line features (counters that are 0 for most lines,
+//! calibrated scores massed near the sub-1% base rate). NaNs — missing
+//! measurements, a first-class value in this workspace — count into a
+//! dedicated extra bin, so a drifting missing-data *rate* registers as
+//! drift too.
+
+/// Interior bin edges at the `1/k .. (k-1)/k` quantiles of `values`,
+/// deduplicated, NaNs ignored.
+///
+/// Returns at most `n_bins - 1` strictly increasing edges; fewer when the
+/// data has too few distinct values (a constant feature yields no edges —
+/// one bin — which makes its PSI trivially 0, the right answer for a
+/// feature that carries no distribution to drift). With edges `e_0 < … <
+/// e_{m-1}`, value `v` belongs to bin `i` where `i` is the number of edges
+/// `≤ v` — half-open `[e_{i-1}, e_i)` bins with open tails.
+pub fn quantile_edges(values: &[f64], n_bins: usize) -> Vec<f64> {
+    assert!(n_bins >= 1, "need at least one bin");
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let lo = sorted[0];
+    let mut edges = Vec::with_capacity(n_bins.saturating_sub(1));
+    for i in 1..n_bins {
+        // Nearest-rank quantile: cheap, deterministic, and ties collapse
+        // naturally in the dedup below. Edges equal to the minimum are
+        // dropped too — they would define a bin empty by construction.
+        let idx = (i * sorted.len() / n_bins).min(sorted.len() - 1);
+        let e = sorted[idx];
+        if e > lo && edges.last().map_or(true, |&last| e > last) {
+            edges.push(e);
+        }
+    }
+    edges
+}
+
+/// Counts `values` into the bins defined by `edges` (see
+/// [`quantile_edges`] for the bin convention). Returns the `edges.len() + 1`
+/// per-bin counts followed by one extra NaN-bucket count, so the result
+/// always has `edges.len() + 2` entries.
+pub fn bin_counts(edges: &[f64], values: &[f64]) -> Vec<u64> {
+    let mut counts = vec![0u64; edges.len() + 2];
+    let nan_bucket = edges.len() + 1;
+    for &v in values {
+        if v.is_nan() {
+            counts[nan_bucket] += 1;
+        } else {
+            let bin = edges.partition_point(|&e| e <= v);
+            counts[bin] += 1;
+        }
+    }
+    counts
+}
+
+/// Population stability index between two count vectors over the same bins.
+///
+/// Both vectors are normalized to proportions internally, with additive
+/// (Laplace) smoothing of half a count per bin so empty bins — inevitable
+/// with a NaN bucket that is usually empty — contribute finitely instead of
+/// an infinite log ratio.
+///
+/// # Panics
+/// If the vectors differ in length or either is all zero.
+pub fn psi(reference: &[u64], observed: &[u64]) -> f64 {
+    assert_eq!(reference.len(), observed.len(), "PSI needs identical binnings");
+    let ref_total: u64 = reference.iter().sum();
+    let obs_total: u64 = observed.iter().sum();
+    assert!(ref_total > 0 && obs_total > 0, "PSI needs non-empty populations");
+    let k = reference.len() as f64;
+    let mut sum = 0.0;
+    for (&r, &o) in reference.iter().zip(observed) {
+        let p = (r as f64 + 0.5) / (ref_total as f64 + 0.5 * k);
+        let q = (o as f64 + 0.5) / (obs_total as f64 + 0.5 * k);
+        sum += (p - q) * (p / q).ln();
+    }
+    sum
+}
+
+/// Convenience: [`quantile_edges`] on the reference, [`bin_counts`] on
+/// both, [`psi`] on the counts. `n_bins` is the target in-range bin count
+/// (10 is the scorecard convention).
+pub fn psi_from_samples(reference: &[f64], observed: &[f64], n_bins: usize) -> f64 {
+    let edges = quantile_edges(reference, n_bins);
+    psi(&bin_counts(&edges, reference), &bin_counts(&edges, observed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn gaussian(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Box–Muller is overkill; sum of uniforms is plenty for tests.
+        (0..n)
+            .map(|_| {
+                let s: f64 = (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0;
+                mean + sd * s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantile_edges_split_evenly_and_dedup() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let edges = quantile_edges(&values, 10);
+        assert_eq!(edges.len(), 9);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        let counts = bin_counts(&edges, &values);
+        assert_eq!(counts.len(), 11);
+        assert_eq!(*counts.last().unwrap(), 0, "no NaNs");
+        for &c in &counts[..10] {
+            assert_eq!(c, 100, "deciles of 1000 uniform values");
+        }
+
+        let constant = vec![7.0; 100];
+        assert!(quantile_edges(&constant, 10).is_empty(), "no distinct values, no edges");
+        assert!(quantile_edges(&[f64::NAN; 4], 10).is_empty());
+    }
+
+    #[test]
+    fn bin_counts_route_nans_to_the_extra_bucket() {
+        let counts = bin_counts(&[0.0, 1.0], &[-5.0, 0.0, 0.5, 1.0, f64::NAN, f64::NAN]);
+        assert_eq!(counts, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn psi_zero_for_identical_counts() {
+        let c = vec![10, 20, 30, 5, 0];
+        assert!(psi(&c, &c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psi_is_symmetric_and_positive() {
+        let a = vec![100, 200, 300];
+        let b = vec![300, 200, 100];
+        let p = psi(&a, &b);
+        assert!(p > 0.0);
+        assert!((p - psi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psi_grows_with_mean_shift() {
+        let reference = gaussian(20_000, 0.0, 1.0, 1);
+        let mut prev = 0.0;
+        for (i, shift) in [0.0, 0.25, 0.5, 1.0, 2.0].into_iter().enumerate() {
+            let observed = gaussian(20_000, shift, 1.0, 2);
+            let p = psi_from_samples(&reference, &observed, 10);
+            if i == 0 {
+                assert!(p < 0.01, "same distribution, different draw: psi = {p}");
+            } else {
+                assert!(p > prev, "psi must grow with the shift (shift {shift}: {p} <= {prev})");
+            }
+            prev = p;
+        }
+        assert!(prev > 0.25, "a two-sigma shift is far past the alert line, got {prev}");
+    }
+
+    #[test]
+    fn nan_rate_shift_registers_as_drift() {
+        let reference: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let mut observed = reference.clone();
+        for v in observed.iter_mut().take(300) {
+            *v = f64::NAN;
+        }
+        let p = psi_from_samples(&reference, &observed, 10);
+        assert!(p > 0.25, "30% of values going missing must alert, got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical binnings")]
+    fn psi_rejects_mismatched_lengths() {
+        psi(&[1, 2], &[1, 2, 3]);
+    }
+}

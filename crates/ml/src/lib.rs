@@ -9,7 +9,12 @@
 //!   stumps (the paper's classifier, after BoosTexter / Schapire–Singer), with
 //!   missing-value abstention and binned threshold search.
 //! * [`calibrate`] — Platt scaling (the paper's "logistic calibration") that
-//!   converts boosting margins into posterior probabilities.
+//!   converts boosting margins into posterior probabilities, plus the
+//!   calibration-quality metrics (reliability curve, expected calibration
+//!   error, Brier score) the model-health telemetry tracks over time.
+//! * [`drift`] — quantile binning and the population stability index (PSI)
+//!   for detecting input-feature and score-distribution drift between a
+//!   model's training window and later scoring weeks.
 //! * [`logistic`] — logistic regression via iteratively reweighted least
 //!   squares, with standard errors and Wald p-values (used for the combined
 //!   locator model, Eq. 2, and the Table-5 outage correlation).
@@ -45,6 +50,7 @@ pub mod boost;
 pub mod calibrate;
 pub mod cv;
 pub mod data;
+pub mod drift;
 pub mod entropy;
 pub mod linalg;
 pub mod logistic;
@@ -59,8 +65,9 @@ pub mod tree;
 
 pub use bayes::GaussianNb;
 pub use boost::{BStump, BoostConfig};
-pub use calibrate::PlattScale;
+pub use calibrate::{brier_score, expected_calibration_error, PlattScale};
 pub use data::{Dataset, FeatureKind, FeatureMatrix, FeatureMeta};
+pub use drift::{bin_counts, psi, psi_from_samples, quantile_edges};
 pub use logistic::{LogisticModel, LogisticRegression};
 pub use metrics::{auc, average_precision, precision_at_k, top_n_average_precision};
 pub use score::BatchScorer;

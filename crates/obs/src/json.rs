@@ -14,17 +14,56 @@
 //!   "spans":      { "<a/b/c>": { "count": 2, "total_ns": 100,
 //!                                 "mean_ns": 50.0,
 //!                                 "min_ns": 20, "max_ns": 80 } },
-//!   "series":     { "<name>": [[0.0, 1.5], [7.0, 2.5]] }
+//!   "series":     { "<name>": [[0.0, 1.5], [7.0, 2.5]] },
+//!   "distributions": { "<name>": { "min": 0.0, "max": 1.0, "counts": [3, 1],
+//!                                   "underflow": 0, "overflow": 0, "nan": 2 } },
+//!   "telemetry": { "status": "healthy", "weeks_observed": 12, "breaches": 0,
+//!                   "thresholds": { "psi_warning": 0.1 },
+//!                   "series": { "score_psi": { "points": 12, "last": 0.01,
+//!                                               "max": 0.03, "mean": 0.015 } } }
 //! }
 //! ```
 //!
-//! All five sections are always present (possibly empty). Histogram
-//! buckets are `[lower_bound, count]` pairs for the non-empty log₂
-//! buckets; span paths are `/`-joined nested span names. Non-finite floats
-//! never occur (gauges are the only `f64` inputs and are emitted via
-//! [`fmt_f64`], which maps them to `null`).
+//! All sections are always present (possibly empty). Histogram buckets are
+//! `[lower_bound, count]` pairs for the non-empty log₂ buckets; span paths
+//! are `/`-joined nested span names. Non-finite floats never occur (gauges
+//! and series are the only `f64` inputs and are emitted via [`fmt_f64`],
+//! which maps them to `null`).
+//!
+//! The `distributions` and `telemetry` sections were added after the first
+//! release of the schema. The addition is compatible — the schema string
+//! stays `nevermind-metrics/v1` and v1 readers, which ignore unknown keys,
+//! still parse every dump. `telemetry` is *derived*: it summarizes the
+//! model-health metrics that `nevermind-core`'s `ModelHealthMonitor`
+//! records under the `telemetry/` name prefix (status gauge, breach
+//! counter, per-week drift/calibration series), so any dump path that
+//! serializes the registry gets the section for free. When no telemetry
+//! was recorded it collapses to `{"status": "none", ...}`.
 
 use crate::registry::Snapshot;
+
+/// Gauge holding the worst health status seen (0 healthy / 1 warning /
+/// 2 alert), recorded by the model-health monitor in `nevermind-core`.
+pub const TELEMETRY_STATUS_GAUGE: &str = "telemetry/health_status";
+/// Counter of scored weeks the model-health monitor compared.
+pub const TELEMETRY_WEEKS_COUNTER: &str = "telemetry/weeks_observed";
+/// Counter of individual threshold breaches across all weeks and metrics.
+pub const TELEMETRY_BREACHES_COUNTER: &str = "telemetry/breaches";
+/// Name prefix for gauges holding the configured thresholds.
+pub const TELEMETRY_THRESHOLD_PREFIX: &str = "telemetry/threshold/";
+/// Name prefix for all model-health series (`telemetry/psi/<feature>`,
+/// `telemetry/score_psi`, `telemetry/ece`, `telemetry/brier`, ...).
+pub const TELEMETRY_SERIES_PREFIX: &str = "telemetry/";
+
+/// Renders a health-status gauge value as its JSON string form.
+pub fn health_status_name(v: f64) -> &'static str {
+    match v as i64 {
+        0 => "healthy",
+        1 => "warning",
+        2 => "alert",
+        _ => "unknown",
+    }
+}
 
 /// Serializes a snapshot as a pretty-printed (2-space) JSON document.
 pub fn snapshot_to_json(snap: &Snapshot) -> String {
@@ -87,13 +126,92 @@ pub fn snapshot_to_json(snap: &Snapshot) -> String {
         out.push(']');
     }
     if snap.series.is_empty() {
-        out.push_str("}\n");
+        out.push_str("},\n");
     } else {
-        out.push_str("\n  }\n");
+        out.push_str("\n  },\n");
     }
+
+    out.push_str("  \"distributions\": {");
+    for (i, (k, d)) in snap.distributions.iter().enumerate() {
+        push_key(&mut out, i, k);
+        out.push_str(&format!(
+            "{{\"min\": {}, \"max\": {}, \"counts\": [{}], \"underflow\": {}, \"overflow\": {}, \"nan\": {}}}",
+            fmt_f64(d.min),
+            fmt_f64(d.max),
+            d.counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+            d.underflow,
+            d.overflow,
+            d.nan
+        ));
+    }
+    close_obj(&mut out, snap.distributions.is_empty());
+
+    push_telemetry(&mut out, snap);
 
     out.push_str("}\n");
     out
+}
+
+/// Emits the derived `telemetry` section: a summary of everything recorded
+/// under the `telemetry/` name prefix (see the module docs).
+fn push_telemetry(out: &mut String, snap: &Snapshot) {
+    let status = match snap.gauges.get(TELEMETRY_STATUS_GAUGE) {
+        Some(&v) => health_status_name(v),
+        None => "none",
+    };
+    let weeks = snap.counters.get(TELEMETRY_WEEKS_COUNTER).copied().unwrap_or(0);
+    let breaches = snap.counters.get(TELEMETRY_BREACHES_COUNTER).copied().unwrap_or(0);
+    out.push_str(&format!(
+        "  \"telemetry\": {{\n    \"status\": \"{status}\",\n    \"weeks_observed\": {weeks},\n    \"breaches\": {breaches},\n"
+    ));
+
+    out.push_str("    \"thresholds\": {");
+    let thresholds: Vec<_> = snap
+        .gauges
+        .iter()
+        .filter_map(|(k, v)| Some((k.strip_prefix(TELEMETRY_THRESHOLD_PREFIX)?, *v)))
+        .collect();
+    for (i, (k, v)) in thresholds.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_string(out, k);
+        out.push_str(": ");
+        out.push_str(&fmt_f64(*v));
+    }
+    out.push_str("},\n");
+
+    out.push_str("    \"series\": {");
+    let tele_series: Vec<_> = snap
+        .series
+        .iter()
+        .filter_map(|(k, pts)| Some((k.strip_prefix(TELEMETRY_SERIES_PREFIX)?, pts)))
+        .filter(|(_, pts)| !pts.is_empty())
+        .collect();
+    for (i, (k, pts)) in tele_series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n      ");
+        push_json_string(out, k);
+        let ys = pts.iter().map(|&(_, y)| y);
+        let last = pts.last().map(|&(_, y)| y).unwrap_or(f64::NAN);
+        let max = ys.clone().fold(f64::NEG_INFINITY, f64::max);
+        let mean = ys.clone().sum::<f64>() / pts.len() as f64;
+        out.push_str(&format!(
+            ": {{\"points\": {}, \"last\": {}, \"max\": {}, \"mean\": {}}}",
+            pts.len(),
+            fmt_f64(last),
+            fmt_f64(max),
+            fmt_f64(mean)
+        ));
+    }
+    if tele_series.is_empty() {
+        out.push_str("}\n");
+    } else {
+        out.push_str("\n    }\n");
+    }
+    out.push_str("  }\n");
 }
 
 fn push_key(out: &mut String, i: usize, key: &str) {
@@ -160,10 +278,48 @@ mod tests {
             "\"histograms\"",
             "\"spans\"",
             "\"series\"",
+            "\"distributions\"",
+            "\"telemetry\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("nevermind-metrics/v1"));
+        assert!(json.contains("\"status\": \"none\""), "no telemetry recorded");
+    }
+
+    #[test]
+    fn emits_distributions_and_derived_telemetry() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        let d = reg.distribution("telemetry/live/score", 0.0, 1.0, 4);
+        d.record_all(&[0.1, 0.3, 0.9, f64::NAN]);
+        reg.gauge("telemetry/health_status").set(1.0);
+        reg.gauge("telemetry/threshold/psi_warning").set(0.1);
+        reg.counter("telemetry/weeks_observed").add(3);
+        reg.counter("telemetry/breaches").add(2);
+        reg.series("telemetry/score_psi").push(7.0, 0.05);
+        reg.series("telemetry/score_psi").push(14.0, 0.15);
+        let json = reg.to_json();
+        assert!(json.contains("\"counts\": [1, 1, 0, 1]"), "missing in {json}");
+        assert!(json.contains("\"nan\": 1"));
+        assert!(json.contains("\"status\": \"warning\""));
+        assert!(json.contains("\"weeks_observed\": 3"));
+        assert!(json.contains("\"breaches\": 2"));
+        assert!(json.contains("\"psi_warning\": 0.1"));
+        assert!(
+            json.contains(
+                "\"score_psi\": {\"points\": 2, \"last\": 0.15, \"max\": 0.15, \"mean\": 0.1}"
+            ),
+            "telemetry series summary missing in {json}"
+        );
+    }
+
+    #[test]
+    fn health_status_names() {
+        assert_eq!(health_status_name(0.0), "healthy");
+        assert_eq!(health_status_name(1.0), "warning");
+        assert_eq!(health_status_name(2.0), "alert");
+        assert_eq!(health_status_name(-3.0), "unknown");
     }
 
     #[test]

@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distribution;
 pub mod json;
 pub mod registry;
 pub mod span;
 
+pub use distribution::{Distribution, DistributionSnapshot};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Series, Snapshot, SpanSnapshot,
 };

@@ -6,7 +6,20 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::distribution::{Distribution, DistributionSnapshot};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+///
+/// Every lock in the registry guards a name→handle map or an append-only
+/// point list — plain data that is valid after any partial update — so a
+/// poisoned lock carries no torn invariant worth cascading a panic for.
+/// Without this, one panicking worker thread would permanently poison the
+/// process-global registry and crash every later recorder.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -171,12 +184,12 @@ pub struct Series(Mutex<Vec<(f64, f64)>>);
 impl Series {
     /// Appends one point.
     pub fn push(&self, x: f64, y: f64) {
-        self.0.lock().expect("series poisoned").push((x, y));
+        lock_recovering(&self.0).push((x, y));
     }
 
     /// A copy of the accumulated points.
     pub fn points(&self) -> Vec<(f64, f64)> {
-        self.0.lock().expect("series poisoned").clone()
+        lock_recovering(&self.0).clone()
     }
 }
 
@@ -190,6 +203,7 @@ struct Shard {
     histograms: Mutex<HashMap<String, Arc<Histogram>>>,
     spans: Mutex<HashMap<String, Arc<Histogram>>>,
     series: Mutex<HashMap<String, Arc<Series>>>,
+    distributions: Mutex<HashMap<String, Arc<Distribution>>>,
 }
 
 /// A registry of named metrics. Most code uses the process-global instance
@@ -241,11 +255,12 @@ impl MetricsRegistry {
     /// Drops every accumulated metric (recording state is unchanged).
     pub fn reset(&self) {
         for s in &self.shards {
-            s.counters.lock().expect("registry poisoned").clear();
-            s.gauges.lock().expect("registry poisoned").clear();
-            s.histograms.lock().expect("registry poisoned").clear();
-            s.spans.lock().expect("registry poisoned").clear();
-            s.series.lock().expect("registry poisoned").clear();
+            lock_recovering(&s.counters).clear();
+            lock_recovering(&s.gauges).clear();
+            lock_recovering(&s.histograms).clear();
+            lock_recovering(&s.spans).clear();
+            lock_recovering(&s.series).clear();
+            lock_recovering(&s.distributions).clear();
         }
     }
 
@@ -254,7 +269,7 @@ impl MetricsRegistry {
     }
 
     fn get_or_insert<T: Default>(map: &Mutex<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-        let mut m = map.lock().expect("registry poisoned");
+        let mut m = lock_recovering(map);
         if let Some(v) = m.get(name) {
             return Arc::clone(v);
         }
@@ -283,6 +298,21 @@ impl MetricsRegistry {
         Self::get_or_insert(&self.shard(name).series, name)
     }
 
+    /// The named fixed-bin distribution, created over `[min, max)` with
+    /// `n_bins` bins on first use. The binning parameters only matter on
+    /// that first call — later calls return the existing distribution
+    /// unchanged, whatever range they pass (like every other
+    /// created-on-first-use handle, the name identifies the metric).
+    pub fn distribution(&self, name: &str, min: f64, max: f64, n_bins: usize) -> Arc<Distribution> {
+        let mut m = lock_recovering(&self.shard(name).distributions);
+        if let Some(v) = m.get(name) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(Distribution::new(min, max, n_bins));
+        m.insert(name.to_string(), Arc::clone(&v));
+        v
+    }
+
     /// Records one closed span occurrence under a `/`-joined path. Usually
     /// called by [`crate::SpanGuard`]'s drop, but public so harnesses with
     /// dynamic phase names (the bench experiment loop) can record directly.
@@ -298,24 +328,27 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         for s in &self.shards {
-            for (k, v) in s.counters.lock().expect("registry poisoned").iter() {
+            for (k, v) in lock_recovering(&s.counters).iter() {
                 snap.counters.insert(k.clone(), v.get());
             }
-            for (k, v) in s.gauges.lock().expect("registry poisoned").iter() {
+            for (k, v) in lock_recovering(&s.gauges).iter() {
                 snap.gauges.insert(k.clone(), v.get());
             }
-            for (k, v) in s.histograms.lock().expect("registry poisoned").iter() {
+            for (k, v) in lock_recovering(&s.histograms).iter() {
                 snap.histograms.insert(k.clone(), v.snapshot());
             }
-            for (k, v) in s.spans.lock().expect("registry poisoned").iter() {
+            for (k, v) in lock_recovering(&s.spans).iter() {
                 let h = v.snapshot();
                 snap.spans.insert(
                     k.clone(),
                     SpanSnapshot { count: h.count, total_ns: h.sum, min_ns: h.min, max_ns: h.max },
                 );
             }
-            for (k, v) in s.series.lock().expect("registry poisoned").iter() {
+            for (k, v) in lock_recovering(&s.series).iter() {
                 snap.series.insert(k.clone(), v.points());
+            }
+            for (k, v) in lock_recovering(&s.distributions).iter() {
+                snap.distributions.insert(k.clone(), v.snapshot());
             }
         }
         snap
@@ -341,6 +374,8 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanSnapshot>,
     /// Series points by name.
     pub series: BTreeMap<String, Vec<(f64, f64)>>,
+    /// Fixed-bin distribution snapshots by name.
+    pub distributions: BTreeMap<String, DistributionSnapshot>,
 }
 
 #[cfg(test)]
@@ -414,6 +449,49 @@ mod tests {
         assert_eq!(s.total_ns, 400);
         assert_eq!(s.min_ns, 100);
         assert_eq!(s.max_ns, 300);
+    }
+
+    #[test]
+    fn distribution_params_apply_on_first_use_only() {
+        let reg = MetricsRegistry::new();
+        let d1 = reg.distribution("d", 0.0, 10.0, 5);
+        d1.record(3.0);
+        // Different parameters on a later call are ignored: same handle.
+        let d2 = reg.distribution("d", -100.0, 100.0, 50);
+        assert_eq!(d2.n_bins(), 5);
+        d2.record(3.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.distributions["d"].counts[1], 2);
+        reg.reset();
+        assert!(reg.snapshot().distributions.is_empty());
+    }
+
+    #[test]
+    fn recording_survives_a_poisoned_lock() {
+        // Poison a series lock and a shard map lock by panicking while
+        // holding the guards, then check the registry still records.
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.set_enabled(true);
+        let series = reg.series("poisoned-series");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = series.0.lock().expect("first lock is clean");
+            panic!("deliberate");
+        }));
+        assert!(r.is_err());
+        assert!(series.0.is_poisoned());
+        series.push(1.0, 2.0);
+        assert_eq!(series.points(), vec![(1.0, 2.0)]);
+
+        let shard = reg.shard("poisoned-map");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.counters.lock().expect("first lock is clean");
+            panic!("deliberate");
+        }));
+        assert!(r.is_err());
+        reg.counter("poisoned-map").add(3);
+        assert_eq!(reg.snapshot().counters["poisoned-map"], 3);
+        reg.reset();
+        assert!(reg.snapshot().counters.is_empty(), "reset works on poisoned locks too");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use nevermind::locator::{
 use nevermind::pipeline::ExperimentData;
 use nevermind_dslsim::SimConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = SimConfig::small(9);
     sim.n_lines = 6_000;
     sim.faults_per_line_year = 1.1;
@@ -34,10 +34,18 @@ fn main() {
     println!("\n--- sample dispatches from the held-out window ---");
     for (i, e) in examples.iter().take(5).enumerate() {
         let truth = e.disposition;
-        let basic_rank =
-            locator.basic_ranking().iter().position(|&d| d == truth).expect("ranked") + 1;
+        let basic_rank = locator
+            .basic_ranking()
+            .iter()
+            .position(|&d| d == truth)
+            .ok_or("disposition missing from the experience order")?
+            + 1;
         let combined = locator.rank_combined(ds.x.row(i));
-        let model_rank = combined.iter().position(|s| s.disposition == truth).expect("ranked") + 1;
+        let model_rank = combined
+            .iter()
+            .position(|s| s.disposition == truth)
+            .ok_or("disposition missing from the model ranking")?
+            + 1;
         println!(
             "\ndispatch to {} (day {}): true disposition {} — {}",
             e.line,
@@ -67,4 +75,5 @@ fn main() {
         "(paper: a maximum of 9 tests basic vs 4 with either model — half the \
          dispatch time saved)"
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use nevermind_dslsim::export::{export_csv_dir, export_jsonl, import_measurements
 use nevermind_dslsim::{SimConfig, World};
 use std::io::BufReader;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| "dataset_export".to_string());
     let dir = std::path::PathBuf::from(out_dir);
 
@@ -28,19 +28,17 @@ fn main() {
     );
 
     // CSV tables for spreadsheets / pandas / duckdb.
-    export_csv_dir(&dir, &output).expect("CSV export");
+    export_csv_dir(&dir, &output)?;
     println!("wrote CSV tables to {}/", dir.display());
 
     // JSONL for lossless round-trips.
     let jsonl_path = dir.join("measurements.jsonl");
-    let mut f = std::io::BufWriter::new(std::fs::File::create(&jsonl_path).expect("create"));
-    export_jsonl(&mut f, &output.measurements).expect("JSONL export");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&jsonl_path)?);
+    export_jsonl(&mut f, &output.measurements)?;
     drop(f);
 
     // Prove the round-trip.
-    let back =
-        import_measurements_jsonl(BufReader::new(std::fs::File::open(&jsonl_path).expect("open")))
-            .expect("JSONL import");
+    let back = import_measurements_jsonl(BufReader::new(std::fs::File::open(&jsonl_path)?))?;
     assert_eq!(back.len(), output.measurements.len());
     println!(
         "wrote + verified {} ({} records round-tripped losslessly)",
@@ -49,9 +47,10 @@ fn main() {
     );
 
     println!("\nfiles:");
-    for entry in std::fs::read_dir(&dir).expect("read dir") {
-        let entry = entry.expect("entry");
-        let meta = entry.metadata().expect("metadata");
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        let meta = entry.metadata()?;
         println!("  {:<24} {:>10} bytes", entry.file_name().to_string_lossy(), meta.len());
     }
+    Ok(())
 }

@@ -13,7 +13,7 @@ use nevermind::pipeline::{ExperimentData, SplitSpec};
 use nevermind::predictor::{PredictorConfig, TicketPredictor};
 use nevermind_dslsim::SimConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = SimConfig::small(33);
     sim.n_lines = 6_000;
     sim.days = 330;
@@ -37,7 +37,7 @@ fn main() {
     // prediction counts positively predict upcoming outages.
     let clusters = predictions_by_dslam(&data, &ranking, budget);
     let horizon = 28u32;
-    let last_test_day = *split.test_days.last().expect("test days");
+    let last_test_day = *split.test_days.last().ok_or("split produced no test days")?;
     let had_outage = |dslam: nevermind_dslsim::DslamId| {
         data.output.outage_events.iter().any(|e| {
             e.dslam == dslam && e.start >= split.test_days[0] && e.start < last_test_day + horizon
@@ -93,4 +93,5 @@ fn main() {
          separate trucks — some of them are one failing DSLAM card.",
         budget
     );
+    Ok(())
 }

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/nevermind-1f774ecbc262bd68.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
+/root/repo/target/debug/deps/nevermind-1f774ecbc262bd68.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/report.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnevermind-1f774ecbc262bd68.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
+/root/repo/target/debug/deps/libnevermind-1f774ecbc262bd68.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/report.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
 
 crates/cli/src/main.rs:
 crates/cli/src/args.rs:
 crates/cli/src/commands/mod.rs:
 crates/cli/src/commands/locate.rs:
 crates/cli/src/commands/rank.rs:
+crates/cli/src/commands/report.rs:
 crates/cli/src/commands/simulate.rs:
 crates/cli/src/commands/train.rs:
 crates/cli/src/commands/trial.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/nevermind-3a967ee2836af9bd.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs
+/root/repo/target/debug/deps/nevermind-3a967ee2836af9bd.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/report.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs
 
-/root/repo/target/debug/deps/nevermind-3a967ee2836af9bd: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs
+/root/repo/target/debug/deps/nevermind-3a967ee2836af9bd: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/report.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs
 
 crates/cli/src/main.rs:
 crates/cli/src/args.rs:
 crates/cli/src/commands/mod.rs:
 crates/cli/src/commands/locate.rs:
 crates/cli/src/commands/rank.rs:
+crates/cli/src/commands/report.rs:
 crates/cli/src/commands/simulate.rs:
 crates/cli/src/commands/train.rs:
 crates/cli/src/commands/trial.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/nevermind-857e3c9388352539.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
+/root/repo/target/debug/deps/nevermind-857e3c9388352539.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/report.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnevermind-857e3c9388352539.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
+/root/repo/target/debug/deps/libnevermind-857e3c9388352539.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/locate.rs crates/cli/src/commands/rank.rs crates/cli/src/commands/report.rs crates/cli/src/commands/simulate.rs crates/cli/src/commands/train.rs crates/cli/src/commands/trial.rs Cargo.toml
 
 crates/cli/src/main.rs:
 crates/cli/src/args.rs:
 crates/cli/src/commands/mod.rs:
 crates/cli/src/commands/locate.rs:
 crates/cli/src/commands/rank.rs:
+crates/cli/src/commands/report.rs:
 crates/cli/src/commands/simulate.rs:
 crates/cli/src/commands/train.rs:
 crates/cli/src/commands/trial.rs:

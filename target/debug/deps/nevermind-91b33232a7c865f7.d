@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/nevermind-91b33232a7c865f7.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs Cargo.toml
+/root/repo/target/debug/deps/nevermind-91b33232a7c865f7.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnevermind-91b33232a7c865f7.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs Cargo.toml
+/root/repo/target/debug/deps/libnevermind-91b33232a7c865f7.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
@@ -9,6 +9,7 @@ crates/core/src/locator.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/predictor.rs:
 crates/core/src/scoring.rs:
+crates/core/src/telemetry.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/nevermind-9d84383c8215fe45.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+/root/repo/target/debug/deps/nevermind-9d84383c8215fe45.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
 
-/root/repo/target/debug/deps/libnevermind-9d84383c8215fe45.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+/root/repo/target/debug/deps/libnevermind-9d84383c8215fe45.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
 
-/root/repo/target/debug/deps/libnevermind-9d84383c8215fe45.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+/root/repo/target/debug/deps/libnevermind-9d84383c8215fe45.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
@@ -11,3 +11,4 @@ crates/core/src/locator.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/predictor.rs:
 crates/core/src/scoring.rs:
+crates/core/src/telemetry.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/nevermind-d017cf15ad4e19ba.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+/root/repo/target/debug/deps/nevermind-d017cf15ad4e19ba.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
 
-/root/repo/target/debug/deps/nevermind-d017cf15ad4e19ba: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs
+/root/repo/target/debug/deps/nevermind-d017cf15ad4e19ba: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
@@ -9,3 +9,4 @@ crates/core/src/locator.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/predictor.rs:
 crates/core/src/scoring.rs:
+crates/core/src/telemetry.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nevermind-f41e338fbca43575.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libnevermind-f41e338fbca43575.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libnevermind-f41e338fbca43575.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/comparison.rs crates/core/src/locator.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/scoring.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/comparison.rs:
+crates/core/src/locator.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scoring.rs:
+crates/core/src/telemetry.rs:

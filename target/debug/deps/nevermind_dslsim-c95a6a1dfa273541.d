@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/nevermind_dslsim-c95a6a1dfa273541.d: crates/dslsim/src/lib.rs crates/dslsim/src/config.rs crates/dslsim/src/customer.rs crates/dslsim/src/dispatch.rs crates/dslsim/src/disposition.rs crates/dslsim/src/export.rs crates/dslsim/src/fault.rs crates/dslsim/src/ids.rs crates/dslsim/src/measurement.rs crates/dslsim/src/outage.rs crates/dslsim/src/physics.rs crates/dslsim/src/profile.rs crates/dslsim/src/scenario.rs crates/dslsim/src/summary.rs crates/dslsim/src/ticket.rs crates/dslsim/src/topology.rs crates/dslsim/src/traffic.rs crates/dslsim/src/weather.rs crates/dslsim/src/world.rs
+
+/root/repo/target/debug/deps/libnevermind_dslsim-c95a6a1dfa273541.rlib: crates/dslsim/src/lib.rs crates/dslsim/src/config.rs crates/dslsim/src/customer.rs crates/dslsim/src/dispatch.rs crates/dslsim/src/disposition.rs crates/dslsim/src/export.rs crates/dslsim/src/fault.rs crates/dslsim/src/ids.rs crates/dslsim/src/measurement.rs crates/dslsim/src/outage.rs crates/dslsim/src/physics.rs crates/dslsim/src/profile.rs crates/dslsim/src/scenario.rs crates/dslsim/src/summary.rs crates/dslsim/src/ticket.rs crates/dslsim/src/topology.rs crates/dslsim/src/traffic.rs crates/dslsim/src/weather.rs crates/dslsim/src/world.rs
+
+/root/repo/target/debug/deps/libnevermind_dslsim-c95a6a1dfa273541.rmeta: crates/dslsim/src/lib.rs crates/dslsim/src/config.rs crates/dslsim/src/customer.rs crates/dslsim/src/dispatch.rs crates/dslsim/src/disposition.rs crates/dslsim/src/export.rs crates/dslsim/src/fault.rs crates/dslsim/src/ids.rs crates/dslsim/src/measurement.rs crates/dslsim/src/outage.rs crates/dslsim/src/physics.rs crates/dslsim/src/profile.rs crates/dslsim/src/scenario.rs crates/dslsim/src/summary.rs crates/dslsim/src/ticket.rs crates/dslsim/src/topology.rs crates/dslsim/src/traffic.rs crates/dslsim/src/weather.rs crates/dslsim/src/world.rs
+
+crates/dslsim/src/lib.rs:
+crates/dslsim/src/config.rs:
+crates/dslsim/src/customer.rs:
+crates/dslsim/src/dispatch.rs:
+crates/dslsim/src/disposition.rs:
+crates/dslsim/src/export.rs:
+crates/dslsim/src/fault.rs:
+crates/dslsim/src/ids.rs:
+crates/dslsim/src/measurement.rs:
+crates/dslsim/src/outage.rs:
+crates/dslsim/src/physics.rs:
+crates/dslsim/src/profile.rs:
+crates/dslsim/src/scenario.rs:
+crates/dslsim/src/summary.rs:
+crates/dslsim/src/ticket.rs:
+crates/dslsim/src/topology.rs:
+crates/dslsim/src/traffic.rs:
+crates/dslsim/src/weather.rs:
+crates/dslsim/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nevermind_features-380996798f8467c3.d: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-380996798f8467c3.rlib: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libnevermind_features-380996798f8467c3.rmeta: crates/features/src/lib.rs crates/features/src/encode.rs crates/features/src/incremental.rs crates/features/src/indexes.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/encode.rs:
+crates/features/src/incremental.rs:
+crates/features/src/indexes.rs:
+crates/features/src/registry.rs:

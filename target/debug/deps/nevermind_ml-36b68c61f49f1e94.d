@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/nevermind_ml-36b68c61f49f1e94.d: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/nevermind_ml-36b68c61f49f1e94.d: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnevermind_ml-36b68c61f49f1e94.rmeta: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/libnevermind_ml-36b68c61f49f1e94.rmeta: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs Cargo.toml
 
 crates/ml/src/lib.rs:
 crates/ml/src/bayes.rs:
@@ -8,6 +8,7 @@ crates/ml/src/boost.rs:
 crates/ml/src/calibrate.rs:
 crates/ml/src/cv.rs:
 crates/ml/src/data.rs:
+crates/ml/src/drift.rs:
 crates/ml/src/entropy.rs:
 crates/ml/src/linalg.rs:
 crates/ml/src/logistic.rs:

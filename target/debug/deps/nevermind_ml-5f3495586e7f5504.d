@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/nevermind_ml-5f3495586e7f5504.d: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
+/root/repo/target/debug/deps/nevermind_ml-5f3495586e7f5504.d: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
 
-/root/repo/target/debug/deps/libnevermind_ml-5f3495586e7f5504.rlib: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
+/root/repo/target/debug/deps/libnevermind_ml-5f3495586e7f5504.rlib: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
 
-/root/repo/target/debug/deps/libnevermind_ml-5f3495586e7f5504.rmeta: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
+/root/repo/target/debug/deps/libnevermind_ml-5f3495586e7f5504.rmeta: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
 
 crates/ml/src/lib.rs:
 crates/ml/src/bayes.rs:
@@ -10,6 +10,7 @@ crates/ml/src/boost.rs:
 crates/ml/src/calibrate.rs:
 crates/ml/src/cv.rs:
 crates/ml/src/data.rs:
+crates/ml/src/drift.rs:
 crates/ml/src/entropy.rs:
 crates/ml/src/linalg.rs:
 crates/ml/src/logistic.rs:

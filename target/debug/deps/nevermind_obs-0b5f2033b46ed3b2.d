@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/nevermind_obs-0b5f2033b46ed3b2.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/nevermind_obs-0b5f2033b46ed3b2.d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/libnevermind_obs-0b5f2033b46ed3b2.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/libnevermind_obs-0b5f2033b46ed3b2.rlib: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/libnevermind_obs-0b5f2033b46ed3b2.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/libnevermind_obs-0b5f2033b46ed3b2.rmeta: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
+crates/obs/src/distribution.rs:
 crates/obs/src/json.rs:
 crates/obs/src/registry.rs:
 crates/obs/src/span.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/nevermind_obs-2b86688291f4253a.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/nevermind_obs-2b86688291f4253a.d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/libnevermind_obs-2b86688291f4253a.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/libnevermind_obs-2b86688291f4253a.rlib: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/libnevermind_obs-2b86688291f4253a.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/libnevermind_obs-2b86688291f4253a.rmeta: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
+crates/obs/src/distribution.rs:
 crates/obs/src/json.rs:
 crates/obs/src/registry.rs:
 crates/obs/src/span.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/nevermind_obs-3ac11e09b6803c55.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/nevermind_obs-3ac11e09b6803c55.d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnevermind_obs-3ac11e09b6803c55.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/libnevermind_obs-3ac11e09b6803c55.rmeta: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
 
 crates/obs/src/lib.rs:
+crates/obs/src/distribution.rs:
 crates/obs/src/json.rs:
 crates/obs/src/registry.rs:
 crates/obs/src/span.rs:

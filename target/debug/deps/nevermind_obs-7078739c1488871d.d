@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/nevermind_obs-7078739c1488871d.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/nevermind_obs-7078739c1488871d.d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/nevermind_obs-7078739c1488871d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/debug/deps/nevermind_obs-7078739c1488871d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
+crates/obs/src/distribution.rs:
 crates/obs/src/json.rs:
 crates/obs/src/registry.rs:
 crates/obs/src/span.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/nevermind_obs-bfe03e3aeb62a7d3.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/nevermind_obs-bfe03e3aeb62a7d3.d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnevermind_obs-bfe03e3aeb62a7d3.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/libnevermind_obs-bfe03e3aeb62a7d3.rmeta: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
 
 crates/obs/src/lib.rs:
+crates/obs/src/distribution.rs:
 crates/obs/src/json.rs:
 crates/obs/src/registry.rs:
 crates/obs/src/span.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-0390bfec17ed1c6c.d: crates/core/../../tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-0390bfec17ed1c6c: crates/core/../../tests/telemetry.rs
+
+crates/core/../../tests/telemetry.rs:

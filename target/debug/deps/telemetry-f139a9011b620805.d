@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-f139a9011b620805.d: crates/core/../../tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-f139a9011b620805.rmeta: crates/core/../../tests/telemetry.rs Cargo.toml
+
+crates/core/../../tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_assistant-9e8c1a530a44efce.d: crates/core/../../examples/dispatch_assistant.rs
+
+/root/repo/target/debug/examples/dispatch_assistant-9e8c1a530a44efce: crates/core/../../examples/dispatch_assistant.rs
+
+crates/core/../../examples/dispatch_assistant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_dataset-9766f187930262f1.d: crates/core/../../examples/export_dataset.rs
+
+/root/repo/target/debug/examples/export_dataset-9766f187930262f1: crates/core/../../examples/export_dataset.rs
+
+crates/core/../../examples/export_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_radar-639e4386c7f4441c.d: crates/core/../../examples/outage_radar.rs
+
+/root/repo/target/debug/examples/outage_radar-639e4386c7f4441c: crates/core/../../examples/outage_radar.rs
+
+crates/core/../../examples/outage_radar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proactive_week-19963966090f7ca0.d: crates/core/../../examples/proactive_week.rs
+
+/root/repo/target/debug/examples/proactive_week-19963966090f7ca0: crates/core/../../examples/proactive_week.rs
+
+crates/core/../../examples/proactive_week.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f6486119c50d4019.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f6486119c50d4019: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["nevermind_obs"];
+//{"start":21,"fragment_lengths":[15]}

@@ -1,0 +1,2 @@
+createSrcSidebar('[["nevermind_obs",["",[],["distribution.rs","json.rs","lib.rs","registry.rs","span.rs"]]]]');
+//{"start":19,"fragment_lengths":[88]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["nevermind_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/clone/trait.Clone.html\" title=\"trait core::clone::Clone\">Clone</a> for <a class=\"struct\" href=\"nevermind_obs/distribution/struct.DistributionSnapshot.html\" title=\"struct nevermind_obs::distribution::DistributionSnapshot\">DistributionSnapshot</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/clone/trait.Clone.html\" title=\"trait core::clone::Clone\">Clone</a> for <a class=\"struct\" href=\"nevermind_obs/registry/struct.HistogramSnapshot.html\" title=\"struct nevermind_obs::registry::HistogramSnapshot\">HistogramSnapshot</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/clone/trait.Clone.html\" title=\"trait core::clone::Clone\">Clone</a> for <a class=\"struct\" href=\"nevermind_obs/registry/struct.Snapshot.html\" title=\"struct nevermind_obs::registry::Snapshot\">Snapshot</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/clone/trait.Clone.html\" title=\"trait core::clone::Clone\">Clone</a> for <a class=\"struct\" href=\"nevermind_obs/registry/struct.SpanSnapshot.html\" title=\"struct nevermind_obs::registry::SpanSnapshot\">SpanSnapshot</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1246]}

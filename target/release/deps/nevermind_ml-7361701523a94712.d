@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/nevermind_ml-7361701523a94712.d: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
+/root/repo/target/release/deps/nevermind_ml-7361701523a94712.d: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
 
-/root/repo/target/release/deps/libnevermind_ml-7361701523a94712.rlib: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
+/root/repo/target/release/deps/libnevermind_ml-7361701523a94712.rlib: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
 
-/root/repo/target/release/deps/libnevermind_ml-7361701523a94712.rmeta: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
+/root/repo/target/release/deps/libnevermind_ml-7361701523a94712.rmeta: crates/ml/src/lib.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/calibrate.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/drift.rs crates/ml/src/entropy.rs crates/ml/src/linalg.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/rank.rs crates/ml/src/score.rs crates/ml/src/select.rs crates/ml/src/stats.rs crates/ml/src/stump.rs crates/ml/src/tree.rs
 
 crates/ml/src/lib.rs:
 crates/ml/src/bayes.rs:
@@ -10,6 +10,7 @@ crates/ml/src/boost.rs:
 crates/ml/src/calibrate.rs:
 crates/ml/src/cv.rs:
 crates/ml/src/data.rs:
+crates/ml/src/drift.rs:
 crates/ml/src/entropy.rs:
 crates/ml/src/linalg.rs:
 crates/ml/src/logistic.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/nevermind_obs-490601bf375233ed.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/release/deps/nevermind_obs-490601bf375233ed.d: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/release/deps/libnevermind_obs-490601bf375233ed.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/release/deps/libnevermind_obs-490601bf375233ed.rlib: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
-/root/repo/target/release/deps/libnevermind_obs-490601bf375233ed.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+/root/repo/target/release/deps/libnevermind_obs-490601bf375233ed.rmeta: crates/obs/src/lib.rs crates/obs/src/distribution.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
+crates/obs/src/distribution.rs:
 crates/obs/src/json.rs:
 crates/obs/src/registry.rs:
 crates/obs/src/span.rs:

@@ -1,0 +1,120 @@
+//! Model-health telemetry contract tests.
+//!
+//! Two guarantees the monitor must keep, both at full-trial scope:
+//!
+//! 1. **Observation is free**: running the twin-world trial with telemetry
+//!    on produces exactly the same operational outcome (dispatches, hits,
+//!    tickets, churn) as running it dark. The monitor only reads the
+//!    scoring path; if it perturbed a single ranking the two worlds would
+//!    diverge and the outcome counts would differ.
+//! 2. **Drift is detected, stability is not flagged**: scoring an
+//!    overprovisioned plant with a baseline-trained model must drive the
+//!    health status to warning/alert with nonzero PSI, while the
+//!    identically-seeded all-baseline trial stays healthy.
+//!
+//! Both tests flip the process-global registry's enabled bit, so they
+//! serialise on one mutex (same pattern as `tests/observability.rs`).
+
+use nevermind::pipeline::{run_proactive_trial_with, TrialOptions};
+use nevermind::predictor::PredictorConfig;
+use nevermind::telemetry::HealthStatus;
+use nevermind_dslsim::scenario::Scenario;
+use nevermind_dslsim::SimConfig;
+use std::sync::Mutex;
+
+static GLOBAL_REGISTRY: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 0x5EED_CA11;
+const LINES: usize = 800;
+const DAYS: u32 = 180;
+const WARMUP_WEEKS: u32 = 12;
+
+fn sim_config(scenario: &str) -> SimConfig {
+    Scenario::parse(scenario).expect("known scenario").config(SEED, LINES, DAYS)
+}
+
+fn predictor_config() -> PredictorConfig {
+    PredictorConfig {
+        iterations: 40,
+        budget_fraction: 0.01,
+        selection_row_cap: 8_000,
+        ..PredictorConfig::default()
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_trial() {
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let run = |enabled: bool| {
+        nevermind_obs::global().reset();
+        nevermind_obs::set_enabled(enabled);
+        let result = run_proactive_trial_with(
+            sim_config("baseline"),
+            &predictor_config(),
+            WARMUP_WEEKS,
+            &TrialOptions::default(),
+        );
+        nevermind_obs::set_enabled(false);
+        result
+    };
+
+    let dark = run(false);
+    let lit = run(true);
+    nevermind_obs::global().reset();
+
+    assert!(dark.telemetry.is_none(), "dark trial must not build a monitor");
+    let report = lit.telemetry.expect("instrumented trial must report telemetry");
+    assert!(report.weeks_observed > 0, "the monitor saw every policy week");
+
+    // Any ranking or dispatch difference would steer the proactive world
+    // onto a different trajectory, so equal outcome counts pin the whole
+    // weekly decision sequence.
+    let (a, b) = (&dark.outcome, &lit.outcome);
+    assert_eq!(a.policy_start_day, b.policy_start_day);
+    assert_eq!(a.proactive_dispatches, b.proactive_dispatches, "dispatch counts diverged");
+    assert_eq!(a.proactive_hits, b.proactive_hits, "dispatch targets diverged");
+    assert_eq!(a.proactive_tickets, b.proactive_tickets, "proactive world diverged");
+    assert_eq!(a.reactive_tickets, b.reactive_tickets, "reactive twin diverged");
+    assert_eq!(a.proactive_churn, b.proactive_churn);
+    assert_eq!(a.reactive_churn, b.reactive_churn);
+}
+
+#[test]
+fn drift_injection_alerts_while_stable_trial_stays_healthy() {
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let run = |live: &str, train: Option<&str>| {
+        nevermind_obs::global().reset();
+        nevermind_obs::set_enabled(true);
+        let options =
+            TrialOptions { train_config: train.map(sim_config), ..TrialOptions::default() };
+        let result =
+            run_proactive_trial_with(sim_config(live), &predictor_config(), WARMUP_WEEKS, &options);
+        nevermind_obs::set_enabled(false);
+        result.telemetry.expect("instrumented trial must report telemetry")
+    };
+
+    let stable = run("baseline", None);
+    let drifted = run("overprovisioned", Some("baseline"));
+    nevermind_obs::global().reset();
+
+    assert_eq!(
+        stable.status,
+        HealthStatus::Healthy,
+        "stable trial flagged itself: {}",
+        stable.summary()
+    );
+    assert_eq!(stable.breaches, 0, "stable trial counted breaches: {}", stable.summary());
+
+    assert!(
+        drifted.status >= HealthStatus::Warning,
+        "baseline-trained model on an overprovisioned plant went unnoticed: {}",
+        drifted.summary()
+    );
+    assert!(drifted.breaches > 0, "drift without breaches: {}", drifted.summary());
+    let (name, worst_psi) = drifted.worst_feature.as_ref().expect("weeks were observed");
+    assert!(
+        *worst_psi > stable.worst_feature.as_ref().map_or(0.0, |(_, p)| *p),
+        "drifted worst PSI {worst_psi} ({name}) should exceed the stable trial's"
+    );
+    assert!(*worst_psi > 0.25, "injected drift should be unmistakable, got {worst_psi}");
+}
