@@ -20,10 +20,11 @@ fn fixture() -> Fixture {
     sim.n_lines = 4_000;
     sim.days = 270;
     let data = ExperimentData::simulate(sim);
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
     let cfg =
         PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+    let (predictor, _) =
+        TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
     Fixture { data, split, predictor }
 }
 

@@ -50,10 +50,10 @@ const WEEKS: usize = 20;
 /// larger populations (features are per-line, so the model transfers).
 fn trained_predictor() -> TicketPredictor {
     let data = ExperimentData::simulate(SimConfig::small(11));
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
     let cfg =
         PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
-    TicketPredictor::fit(&data, &split, &cfg).0
+    TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data").0
 }
 
 struct Population {

@@ -7,10 +7,10 @@ use std::time::Instant;
 
 fn main() {
     let data = ExperimentData::simulate(SimConfig::small(11));
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits");
     let cfg =
         PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg).expect("well-formed data");
 
     let mut sim = SimConfig::small(12);
     sim.n_lines = 100_000;

@@ -78,7 +78,7 @@ impl Ctx {
     /// Simulates the world for a scale (no models fitted yet).
     pub fn new(scale: Scale, seed: u64) -> Self {
         let data = ExperimentData::simulate(scale.sim_config(seed));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("bench horizon fits the protocol");
         Self {
             scale,
             data,
@@ -95,6 +95,7 @@ impl Ctx {
         self.predictor.get_or_init(|| {
             eprintln!("[ctx] fitting ticket predictor ...");
             TicketPredictor::fit(&self.data, &self.split, &self.predictor_cfg)
+                .expect("bench data is well-formed")
         })
     }
 
@@ -134,7 +135,8 @@ impl Ctx {
         self.locator.get_or_init(|| {
             eprintln!("[ctx] fitting trouble locator ...");
             let (from, mid, end) = self.locator_windows();
-            let locator = TroubleLocator::fit(&self.data, from, mid, &self.scale.locator_config());
+            let locator = TroubleLocator::fit(&self.data, from, mid, &self.scale.locator_config())
+                .expect("bench window has dispatches");
             let eval = LocatorEvaluation::run(&locator, &self.data, mid, end);
             (locator, eval)
         })

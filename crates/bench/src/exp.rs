@@ -188,7 +188,8 @@ pub fn fig6(ctx: &Ctx) -> serde_json::Value {
             &ctx.predictor_cfg,
             *criterion,
             25,
-        );
+        )
+        .expect("bench data is well-formed");
         let ranking = p.rank(&ctx.data, &ctx.split.test_days);
         let curve = ranking.precision_curve(&cutoffs);
         let mut row = vec![name.to_string()];
@@ -237,7 +238,8 @@ pub fn fig7(ctx: &Ctx) -> serde_json::Value {
         &ctx.predictor_cfg,
         SelectionCriterion::TopNAp { n: sel_budget },
         ctx.predictor_cfg.n_base,
-    );
+    )
+    .expect("bench data is well-formed");
     let base_curve = base_only.rank(&ctx.data, &ctx.split.test_days).precision_curve(&cutoffs);
 
     let mut rows = Vec::new();
@@ -389,9 +391,7 @@ pub fn fig9(ctx: &Ctx) -> serde_json::Value {
             .iter()
             .filter(|d| d.location() == MajorLocation::HomeNetwork)
             .max_by(|a, b| {
-                locator.priors()[a.0 as usize]
-                    .partial_cmp(&locator.priors()[b.0 as usize])
-                    .expect("finite priors")
+                locator.priors()[a.0 as usize].total_cmp(&locator.priors()[b.0 as usize])
             })
             .unwrap_or(&locator.modeled_dispositions()[0])
     };
@@ -407,7 +407,7 @@ pub fn fig9(ctx: &Ctx) -> serde_json::Value {
         idx.sort_by(|&a, &b| {
             let wa = model.stumps()[a].s_gt.abs().max(model.stumps()[a].s_le.abs());
             let wb = model.stumps()[b].s_gt.abs().max(model.stumps()[b].s_le.abs());
-            wb.partial_cmp(&wa).expect("finite")
+            wb.total_cmp(&wa)
         });
         idx.iter()
             .take(6)

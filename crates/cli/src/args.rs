@@ -5,14 +5,14 @@ use std::collections::BTreeMap;
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, Default)]
-pub struct Args {
+pub(crate) struct Args {
     positional: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
 /// A parse/lookup failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArgError(pub String);
+pub(crate) struct ArgError(pub String);
 
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -28,7 +28,7 @@ impl Args {
     /// Every `--key` must be followed by a value; bare `--key` at the end
     /// or followed by another flag is an error (the CLI has no boolean
     /// flags — explicit values keep invocations self-documenting).
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+    pub(crate) fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
         while let Some(a) = iter.next() {
@@ -52,29 +52,29 @@ impl Args {
     }
 
     /// Positional arguments.
-    pub fn positional(&self) -> &[String] {
+    pub(crate) fn positional(&self) -> &[String] {
         &self.positional
     }
 
     /// A string flag.
-    pub fn get(&self, key: &str) -> Option<&str> {
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(|s| s.as_str())
     }
 
     /// A string flag with a default.
-    pub fn get_or(&self, key: &str, default: &str) -> String {
+    pub(crate) fn get_or(&self, key: &str, default: &str) -> String {
         self.get(key).unwrap_or(default).to_string()
     }
 
     /// A required string flag.
-    pub fn require(&self, key: &str) -> Result<String, ArgError> {
+    pub(crate) fn require(&self, key: &str) -> Result<String, ArgError> {
         self.get(key)
             .map(str::to_string)
             .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
     }
 
     /// A parsed numeric flag with a default.
-    pub fn get_parsed_or<T: std::str::FromStr>(
+    pub(crate) fn get_parsed_or<T: std::str::FromStr>(
         &self,
         key: &str,
         default: T,
@@ -86,7 +86,7 @@ impl Args {
     }
 
     /// Rejects unknown flags (call after reading all expected ones).
-    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+    pub(crate) fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
         for key in self.flags.keys() {
             if !known.contains(&key.as_str()) {
                 return Err(ArgError(format!(

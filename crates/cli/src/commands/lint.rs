@@ -1,0 +1,34 @@
+//! `nevermind lint` — run the workspace static analysis (see the
+//! `nevermind-lint` crate) from the main CLI.
+
+use super::CliResult;
+use crate::args::Args;
+use std::path::Path;
+
+/// Runs the subcommand.
+pub(crate) fn run(args: &Args) -> CliResult {
+    args.reject_unknown(&["root", "format", "out", "metrics"])?;
+    let _span = nevermind_obs::span!("cli/lint");
+    let root = args.get_or("root", ".");
+    let format = args.get_or("format", "text");
+    if format != "text" && format != "json" {
+        return Err(format!("--format must be 'text' or 'json', got '{format}'").into());
+    }
+
+    let report = nevermind_lint::lint_workspace(Path::new(&root))?;
+    let rendered = if format == "json" { report.render_json() } else { report.render_text() };
+    match args.get("out") {
+        Some(path) => nevermind_lint::engine::write_report(path, &rendered)?,
+        None => print!("{rendered}"),
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} lint diagnostic(s); fix them or acknowledge with \
+             `// lint:allow(<rule>) -- <reason>`",
+            report.diagnostics.len()
+        )
+        .into())
+    }
+}

@@ -8,7 +8,7 @@ use nevermind::locator::{
 };
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> CliResult {
+pub(crate) fn run(args: &Args) -> CliResult {
     args.reject_unknown(&["data", "top", "dispatches", "iterations", "metrics"])?;
     let _span = nevermind_obs::span!("cli/locate");
     let data = load_dataset(&args.require("data")?)?;
@@ -22,7 +22,7 @@ pub fn run(args: &Args) -> CliResult {
         ..LocatorConfig::default()
     };
     eprintln!("fitting the trouble locator on dispatches in [30, {mid}) ...");
-    let locator = TroubleLocator::fit(&data, 30, mid, &config);
+    let locator = TroubleLocator::fit(&data, 30, mid, &config)?;
     println!(
         "{} of 52 dispositions modeled from {} training dispatches",
         locator.modeled_dispositions().len(),

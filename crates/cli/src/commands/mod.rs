@@ -1,19 +1,20 @@
 //! CLI subcommand implementations.
 
-pub mod locate;
-pub mod rank;
-pub mod report;
-pub mod simulate;
-pub mod train;
-pub mod trial;
+pub(crate) mod lint;
+pub(crate) mod locate;
+pub(crate) mod rank;
+pub(crate) mod report;
+pub(crate) mod simulate;
+pub(crate) mod train;
+pub(crate) mod trial;
 
 use nevermind_dslsim::scenario::Scenario;
 
 /// Shared error type: user-facing message strings.
-pub type CliResult = Result<(), Box<dyn std::error::Error>>;
+pub(crate) type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// `nevermind scenarios` — list the named presets.
-pub fn scenarios(args: &crate::args::Args) -> CliResult {
+pub(crate) fn scenarios(args: &crate::args::Args) -> CliResult {
     args.reject_unknown(&["metrics"])?;
     println!("{:<18} description", "scenario");
     println!("{:<18} -----------", "--------");
@@ -25,7 +26,7 @@ pub fn scenarios(args: &crate::args::Args) -> CliResult {
 
 /// Dumps the global metrics registry as one JSON document at `path`
 /// (the `--metrics` flag every subcommand accepts).
-pub fn write_metrics(path: &str) -> CliResult {
+pub(crate) fn write_metrics(path: &str) -> CliResult {
     std::fs::write(path, nevermind_obs::global().to_json())
         .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
     eprintln!("wrote metrics to {path}");
@@ -33,7 +34,7 @@ pub fn write_metrics(path: &str) -> CliResult {
 }
 
 /// Resolves a scenario flag into a simulator config.
-pub fn sim_config_from(
+pub(crate) fn sim_config_from(
     args: &crate::args::Args,
 ) -> Result<nevermind_dslsim::SimConfig, Box<dyn std::error::Error>> {
     let name = args.get_or("scenario", "baseline");
@@ -48,7 +49,7 @@ pub fn sim_config_from(
 }
 
 /// Loads a dataset written by `nevermind simulate`.
-pub fn load_dataset(
+pub(crate) fn load_dataset(
     path: &str,
 ) -> Result<nevermind::pipeline::ExperimentData, Box<dyn std::error::Error>> {
     let file =

@@ -7,7 +7,7 @@ use nevermind::pipeline::SplitSpec;
 use nevermind::predictor::TicketPredictor;
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> CliResult {
+pub(crate) fn run(args: &Args) -> CliResult {
     args.reject_unknown(&["data", "model", "top", "explain", "metrics"])?;
     let _span = nevermind_obs::span!("cli/rank");
     let data = load_dataset(&args.require("data")?)?;
@@ -20,7 +20,7 @@ pub fn run(args: &Args) -> CliResult {
     let predictor: TicketPredictor = serde_json::from_reader(std::io::BufReader::new(file))
         .map_err(|e| format!("cannot parse model '{model_path}': {e}"))?;
 
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data)?;
     eprintln!("ranking test Saturdays {:?} ...", split.test_days);
     let ranking = predictor.rank(&data, &split.test_days);
 

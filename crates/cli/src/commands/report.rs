@@ -16,7 +16,7 @@ const TOP_SPANS: usize = 12;
 const SPARK_WIDTH: usize = 48;
 
 /// Runs the subcommand. The dump path is the one positional argument.
-pub fn run(args: &Args, path: &str) -> CliResult {
+pub(crate) fn run(args: &Args, path: &str) -> CliResult {
     args.reject_unknown(&["metrics"])?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let doc = serde_json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;

@@ -7,7 +7,7 @@ use nevermind_dslsim::export::export_csv_dir;
 use nevermind_dslsim::summary::OutputSummary;
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> CliResult {
+pub(crate) fn run(args: &Args) -> CliResult {
     args.reject_unknown(&["out", "scenario", "lines", "days", "seed", "metrics"])?;
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;

@@ -6,7 +6,7 @@ use nevermind::pipeline::SplitSpec;
 use nevermind::predictor::{PredictorConfig, TicketPredictor};
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> CliResult {
+pub(crate) fn run(args: &Args) -> CliResult {
     args.reject_unknown(&[
         "data",
         "model",
@@ -22,7 +22,7 @@ pub fn run(args: &Args) -> CliResult {
     let model_path = args.require("model")?;
 
     let data = load_dataset(&data_path)?;
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data)?;
     let config = PredictorConfig {
         iterations: args.get_parsed_or("iterations", 150usize)?,
         budget_fraction: args.get_parsed_or("budget-fraction", 0.01f64)?,
@@ -38,7 +38,7 @@ pub fn run(args: &Args) -> CliResult {
         split.train_days, split.selection_eval_days
     );
     let span = nevermind_obs::span!("cli/train");
-    let (predictor, report) = TicketPredictor::fit(&data, &split, &config);
+    let (predictor, report) = TicketPredictor::fit(&data, &split, &config)?;
     eprintln!("fit finished in {:.1}s", span.elapsed().as_secs_f64());
     drop(span);
 

@@ -9,7 +9,7 @@ use nevermind::telemetry::TelemetryConfig;
 use nevermind_dslsim::scenario::Scenario;
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> CliResult {
+pub(crate) fn run(args: &Args) -> CliResult {
     args.reject_unknown(&[
         "scenario",
         "lines",
@@ -73,7 +73,7 @@ pub fn run(args: &Args) -> CliResult {
         cfg.n_lines, cfg.days
     );
     let span = nevermind_obs::span!("cli/trial");
-    let result = run_proactive_trial_with(cfg, &predictor_cfg, warmup, &options);
+    let result = run_proactive_trial_with(cfg, &predictor_cfg, warmup, &options)?;
     eprintln!("trial finished in {:.1}s", span.elapsed().as_secs_f64());
     drop(span);
 

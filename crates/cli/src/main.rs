@@ -5,6 +5,7 @@
 //! nevermind train    --data DIR/dataset.json --model FILE [--iterations N] ...
 //! nevermind rank     --data DIR/dataset.json --model FILE [--top N] [--explain N]
 //! nevermind locate   --data DIR/dataset.json [--line ID] [--top N]
+//! nevermind lint     [--root PATH] [--format text|json] [--out FILE]
 //! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W]
 //! nevermind report   METRICS_JSON
 //! nevermind scenarios
@@ -15,7 +16,9 @@
 //! `rank` spends the ATDS budget and can explain each pick; `locate` fits
 //! the Sec.-6 trouble locator and prints ranked dispositions for dispatches;
 //! `trial` runs the proactive-vs-reactive twin-world comparison; `report`
-//! renders a `--metrics` dump (spans, series, model-health telemetry).
+//! renders a `--metrics` dump (spans, series, model-health telemetry);
+//! `lint` runs the workspace static analysis (determinism and robustness
+//! rules — see the `nevermind-lint` crate).
 
 mod args;
 mod commands;
@@ -57,6 +60,7 @@ fn main() {
         "train" => commands::train::run(&parsed),
         "rank" => commands::rank::run(&parsed),
         "locate" => commands::locate::run(&parsed),
+        "lint" => commands::lint::run(&parsed),
         "trial" => commands::trial::run(&parsed),
         "report" => match parsed.positional().first() {
             Some(path) => commands::report::run(&parsed, path),
@@ -97,6 +101,7 @@ USAGE:
                      [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
                      [--ece-warn F] [--ece-alert F]
   nevermind report   METRICS_JSON
+  nevermind lint     [--root PATH] [--format text|json] [--out FILE]
   nevermind scenarios
 
 Every subcommand also accepts '--metrics PATH' to dump per-phase span
@@ -104,6 +109,8 @@ timings, counters, per-week series and model-health telemetry as one
 JSON document on exit (see the README's Observability section for the
 schema); 'nevermind report' renders such a dump as a terminal report.
 'trial --train-scenario NAME' trains the model in a separate world to
-inject drift that the telemetry must detect.
+inject drift that the telemetry must detect. 'nevermind lint' walks the
+workspace sources and enforces the determinism/robustness rules
+(suppress a finding inline with '// lint:allow(<rule>) -- <reason>').
 
 Run 'nevermind scenarios' to list the named scenarios.";

@@ -97,6 +97,7 @@ pub fn outage_ivr_analysis(
     let mut counts = vec![0f64; n_dslams * prediction_days.len()];
     for (key, _, _) in &top {
         let dslam = data.topology.dslam_of(key.line);
+        // lint:allow(no-panic-in-lib) -- prediction_days was built from these very rows two lines up
         let di = prediction_days.binary_search(&key.day).expect("day known");
         counts[dslam.index() * prediction_days.len() + di] += 1.0;
     }
@@ -231,7 +232,7 @@ mod tests {
         let mut cfg = SimConfig::small(101);
         cfg.outages_per_dslam_year = 4.0; // make the Table-5 signal visible
         let data = ExperimentData::simulate(cfg);
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let pcfg = PredictorConfig {
             iterations: 60,
             selection_iterations: 4,
@@ -241,7 +242,8 @@ mod tests {
             selection_row_cap: 6_000,
             ..PredictorConfig::default()
         };
-        let (predictor, _) = TicketPredictor::fit(&data, &split, &pcfg);
+        let (predictor, _) =
+            TicketPredictor::fit(&data, &split, &pcfg).expect("well-formed training data");
         let ranking = predictor.rank(&data, &split.test_days);
         let budget = pcfg.budget(ranking.len());
         (data, ranking, budget)

@@ -222,7 +222,7 @@ mod tests {
         let mut sim = SimConfig::small(303);
         sim.n_lines = 2_500;
         let data = ExperimentData::simulate(sim);
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let cfg = PredictorConfig {
             iterations: 80,
             selection_iterations: 4,
@@ -232,7 +232,7 @@ mod tests {
             selection_row_cap: 6_000,
             ..PredictorConfig::default()
         };
-        let (p, _) = TicketPredictor::fit(&data, &split, &cfg);
+        let (p, _) = TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
         (data, split, cfg, p)
     }
 

@@ -40,11 +40,11 @@
 //!
 //! // Simulate a year of a 20k-line DSL network and split it like the paper.
 //! let data = ExperimentData::simulate(SimConfig::default());
-//! let split = SplitSpec::paper_like(&data);
+//! let split = SplitSpec::paper_like(&data).expect("default horizon fits the protocol");
 //!
 //! // Train the predictor and rank the test population.
 //! let cfg = PredictorConfig::default();
-//! let (predictor, report) = TicketPredictor::fit(&data, &split, &cfg);
+//! let (predictor, report) = TicketPredictor::fit(&data, &split, &cfg).expect("training data is well-formed");
 //! let ranking = predictor.rank(&data, &split.test_days);
 //! let budget = cfg.budget(ranking.len());
 //! println!("precision@{budget}: {:.3}", ranking.precision_at(budget));
@@ -56,12 +56,14 @@
 
 pub mod analysis;
 pub mod comparison;
+pub mod error;
 pub mod locator;
 pub mod pipeline;
 pub mod predictor;
 pub mod scoring;
 pub mod telemetry;
 
+pub use error::PipelineError;
 pub use locator::{LocatorConfig, TroubleLocator};
 pub use pipeline::{ExperimentData, SplitSpec, TrialOptions, TrialResult};
 pub use predictor::{PredictorConfig, RankedPredictions, TicketPredictor};

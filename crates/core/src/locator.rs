@@ -12,6 +12,7 @@
 //!   location classifier's score, exploiting the HN/F2/F1/DS hierarchy so
 //!   rare dispositions borrow strength from their location.
 
+use crate::error::PipelineError;
 use crate::pipeline::ExperimentData;
 use nevermind_dslsim::dispatch::DispositionNote;
 use nevermind_dslsim::disposition::{DispositionId, MajorLocation, N_DISPOSITIONS};
@@ -122,12 +123,21 @@ pub struct TroubleLocator {
 impl TroubleLocator {
     /// Fits flat and combined models on dispatches in `[from, to)`.
     ///
-    /// # Panics
-    /// Panics if the window contains no usable dispatch examples.
-    pub fn fit(data: &ExperimentData, from: u32, to: u32, config: &LocatorConfig) -> Self {
+    /// # Errors
+    /// Returns [`PipelineError::NoTrainingExamples`] when the window holds
+    /// no usable dispatch examples, or [`PipelineError::Calibration`] when
+    /// a per-disposition calibration fit is rejected.
+    pub fn fit(
+        data: &ExperimentData,
+        from: u32,
+        to: u32,
+        config: &LocatorConfig,
+    ) -> Result<Self, PipelineError> {
         let _span = nevermind_obs::span!("locator/fit");
         let examples = collect_dispatch_examples(&data.output.notes, from, to);
-        assert!(!examples.is_empty(), "no dispatch examples in [{from}, {to})");
+        if examples.is_empty() {
+            return Err(PipelineError::NoTrainingExamples { model: "trouble locator" });
+        }
 
         let encoder = data.encoder(config.encoder.clone());
         let keys: Vec<RowKey> =
@@ -168,7 +178,7 @@ impl TroubleLocator {
             let y: Vec<bool> = examples.iter().map(|e| e.disposition == d).collect();
             let (model, oof) =
                 fit_with_oof_margins(&assembled, &y, &boost_cfg, 0xD15_0000 + d.0 as u64);
-            flat_cal.push(PlattScale::fit(&oof, &y));
+            flat_cal.push(PlattScale::fit(&oof, &y)?);
             flat_models.push(model);
             flat_oof.push(oof);
         }
@@ -181,7 +191,7 @@ impl TroubleLocator {
             let y: Vec<bool> = examples.iter().map(|e| e.disposition.location() == loc).collect();
             let (model, oof) =
                 fit_with_oof_margins(&assembled, &y, &boost_cfg, 0x10C_0000 + loc as u64);
-            location_cal.push(PlattScale::fit(&oof, &y));
+            location_cal.push(PlattScale::fit(&oof, &y)?);
             location_models.push(model);
             location_oof.push(oof);
         }
@@ -204,7 +214,7 @@ impl TroubleLocator {
             *p /= total;
         }
 
-        Self {
+        Ok(Self {
             modeled,
             flat_models,
             flat_cal,
@@ -215,7 +225,7 @@ impl TroubleLocator {
             selected_derived,
             encoder_config: config.encoder.clone(),
             config: config.clone(),
-        }
+        })
     }
 
     /// Dispositions that carry their own model.
@@ -232,9 +242,7 @@ impl TroubleLocator {
     /// training frequency, ties by table order.
     pub fn basic_ranking(&self) -> Vec<DispositionId> {
         let mut ids: Vec<usize> = (0..N_DISPOSITIONS).collect();
-        ids.sort_by(|&a, &b| {
-            self.priors[b].partial_cmp(&self.priors[a]).expect("finite").then(a.cmp(&b))
-        });
+        ids.sort_by(|&a, &b| self.priors[b].total_cmp(&self.priors[a]).then(a.cmp(&b)));
         ids.into_iter().map(|i| DispositionId(i as u8)).collect()
     }
 
@@ -288,9 +296,7 @@ impl TroubleLocator {
         scores.sort_by(|a, b| {
             let ua = a.probability / a.disposition.info().test_minutes;
             let ub = b.probability / b.disposition.info().test_minutes;
-            ub.partial_cmp(&ua)
-                .expect("finite utilities")
-                .then(a.disposition.0.cmp(&b.disposition.0))
+            ub.total_cmp(&ua).then(a.disposition.0.cmp(&b.disposition.0))
         });
         scores
     }
@@ -375,15 +381,13 @@ fn assemble(base: &EncodedDataset, derived_feats: &[DerivedFeature]) -> Dataset 
 }
 
 fn location_index(loc: MajorLocation) -> usize {
+    // lint:allow(no-panic-in-lib) -- every MajorLocation is a member of ALL by definition
     MajorLocation::ALL.iter().position(|&l| l == loc).expect("location in ALL")
 }
 
 fn sort_scores(mut scores: Vec<DispositionScore>) -> Vec<DispositionScore> {
     scores.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .expect("finite probabilities")
-            .then(a.disposition.0.cmp(&b.disposition.0))
+        b.probability.total_cmp(&a.probability).then(a.disposition.0.cmp(&b.disposition.0))
     });
     scores
 }
@@ -460,6 +464,7 @@ impl LocatorEvaluation {
                 let combined = rank_of(&combined_scores, truth);
                 let cost_aware = rank_of(&cost_scores, truth);
                 let basic_rank =
+                    // lint:allow(no-panic-in-lib) -- basic_ranking always ranks all 52 dispositions
                     basic.iter().position(|&d| d == truth).expect("all dispositions ranked") + 1;
                 ExampleRanks {
                     disposition: truth,
@@ -493,6 +498,7 @@ impl LocatorEvaluation {
     /// testing other three locations").
     pub fn location_confusion(&self) -> [[usize; 4]; 4] {
         let idx = |l: MajorLocation| {
+            // lint:allow(no-panic-in-lib) -- every MajorLocation is a member of ALL by definition
             MajorLocation::ALL.iter().position(|&m| m == l).expect("known location")
         };
         let mut m = [[0usize; 4]; 4];
@@ -580,6 +586,7 @@ pub struct RankChangeBin {
 }
 
 fn rank_of(scores: &[DispositionScore], d: DispositionId) -> usize {
+    // lint:allow(no-panic-in-lib) -- rank lists always cover all 52 dispositions
     scores.iter().position(|s| s.disposition == d).expect("all dispositions scored") + 1
 }
 
@@ -615,7 +622,8 @@ mod tests {
     fn fitted() -> (ExperimentData, TroubleLocator) {
         let data = locator_world(91);
         let days = data.config.days;
-        let locator = TroubleLocator::fit(&data, 30, days / 2, &quick_cfg());
+        let locator =
+            TroubleLocator::fit(&data, 30, days / 2, &quick_cfg()).expect("window has dispatches");
         (data, locator)
     }
 

@@ -8,6 +8,7 @@
 //! strictly precedes selection evaluation, which strictly precedes the test
 //! window.
 
+use crate::error::PipelineError;
 use nevermind_dslsim::topology::Topology;
 use nevermind_dslsim::{SimConfig, SimOutput, World};
 use nevermind_features::encode::EncoderConfig;
@@ -76,20 +77,27 @@ impl SplitSpec {
     /// drive selection; the nine Saturdays before those train. Earlier
     /// weeks remain as history for the time-series features.
     ///
-    /// # Panics
-    /// Panics if the horizon is too short to fit the protocol.
-    pub fn paper_like(data: &ExperimentData) -> Self {
+    /// # Errors
+    /// Returns [`PipelineError::SplitTooShort`] if the horizon cannot fit
+    /// the protocol — e.g. a truncated week of measurements whose last
+    /// label window never closes.
+    pub fn paper_like(data: &ExperimentData) -> Result<Self, PipelineError> {
         Self::with_horizon(data, 28)
     }
 
     /// [`SplitSpec::paper_like`] with an explicit label horizon.
-    pub fn with_horizon(data: &ExperimentData, horizon_days: u32) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::SplitTooShort`] if the horizon is too
+    /// short for any of the three windows.
+    pub fn with_horizon(data: &ExperimentData, horizon_days: u32) -> Result<Self, PipelineError> {
         let usable = data.label_complete_saturdays(horizon_days);
-        assert!(
-            usable.len() >= 2,
-            "horizon too short: only {} label-complete Saturdays",
-            usable.len()
-        );
+        if usable.len() < 2 {
+            return Err(PipelineError::SplitTooShort {
+                window: "test",
+                detail: format!("only {} label-complete Saturdays", usable.len()),
+            });
+        }
         let n_test = 4.min(usable.len() / 4).max(1);
         let test_days: Vec<u32> = usable[usable.len() - n_test..].to_vec();
         let test_start = test_days[0];
@@ -97,10 +105,12 @@ impl SplitSpec {
         // Selection-eval windows must close before testing begins.
         let eval_candidates: Vec<u32> =
             usable.iter().copied().filter(|&d| d + horizon_days <= test_start).collect();
-        assert!(
-            !eval_candidates.is_empty(),
-            "horizon too short for a selection-eval window before day {test_start}"
-        );
+        if eval_candidates.is_empty() {
+            return Err(PipelineError::SplitTooShort {
+                window: "selection-eval",
+                detail: format!("no label window closes before test day {test_start}"),
+            });
+        }
         let n_eval = 4.min(eval_candidates.len() / 2).max(1);
         let selection_eval_days: Vec<u32> =
             eval_candidates[eval_candidates.len() - n_eval..].to_vec();
@@ -108,14 +118,16 @@ impl SplitSpec {
 
         let train_candidates: Vec<u32> =
             eval_candidates.iter().copied().filter(|&d| d < eval_start).collect();
-        assert!(
-            !train_candidates.is_empty(),
-            "horizon too short for a training window before day {eval_start}"
-        );
+        if train_candidates.is_empty() {
+            return Err(PipelineError::SplitTooShort {
+                window: "training",
+                detail: format!("no Saturday left before selection-eval day {eval_start}"),
+            });
+        }
         let n_train = 9.min(train_candidates.len());
         let train_days: Vec<u32> = train_candidates[train_candidates.len() - n_train..].to_vec();
 
-        Self { train_days, selection_eval_days, test_days }
+        Ok(Self { train_days, selection_eval_days, test_days })
     }
 }
 
@@ -197,13 +209,17 @@ pub struct TrialResult {
 /// weather are identical; the only difference is the weekly proactive
 /// dispatches. The predictor is trained once, on the logs available at the
 /// end of the warm-up window, then applied every following Saturday.
+///
+/// # Errors
+/// Returns [`PipelineError`] when the warm-up exceeds the horizon or the
+/// warm-up logs cannot support training (split or calibration failure).
 pub fn run_proactive_trial(
     sim_config: SimConfig,
     predictor_config: &crate::predictor::PredictorConfig,
     warmup_weeks: u32,
-) -> ProactiveOutcome {
+) -> Result<ProactiveOutcome, PipelineError> {
     run_proactive_trial_with(sim_config, predictor_config, warmup_weeks, &TrialOptions::default())
-        .outcome
+        .map(|r| r.outcome)
 }
 
 /// [`run_proactive_trial`] with [`TrialOptions`]: an optional separate
@@ -212,17 +228,26 @@ pub fn run_proactive_trial(
 /// snapshots the training reference at fit time and compares every scored
 /// week against it; the monitor only reads the scoring path, so rankings
 /// and dispatches are bit-identical with telemetry on or off.
+///
+/// # Errors
+/// Returns [`PipelineError`] when the warm-up exceeds the horizon or the
+/// warm-up logs cannot support training (split or calibration failure).
 pub fn run_proactive_trial_with(
     sim_config: SimConfig,
     predictor_config: &crate::predictor::PredictorConfig,
     warmup_weeks: u32,
     options: &TrialOptions,
-) -> TrialResult {
+) -> Result<TrialResult, PipelineError> {
     // Named to read cleanly under the CLI's `cli/trial` wrapper span
     // (`cli/trial/proactive_trial/...`) and standalone alike.
     let _trial_span = nevermind_obs::span!("proactive_trial");
     let policy_start_day = warmup_weeks * 7;
-    assert!(policy_start_day < sim_config.days, "warm-up longer than the horizon");
+    if policy_start_day >= sim_config.days {
+        return Err(PipelineError::WarmupExceedsHorizon {
+            policy_start_day,
+            days: sim_config.days,
+        });
+    }
 
     // Reactive baseline.
     let baseline = {
@@ -269,10 +294,10 @@ pub fn run_proactive_trial_with(
     let mut train_for_split = train_data;
     // The split machinery needs the horizon to reflect data actually seen.
     train_for_split.config.days = policy_start_day;
-    let split = SplitSpec::paper_like(&train_for_split);
+    let split = SplitSpec::paper_like(&train_for_split)?;
     let (predictor, _) = {
         let _s = nevermind_obs::span!("train");
-        crate::predictor::TicketPredictor::fit(&train_for_split, &split, predictor_config)
+        crate::predictor::TicketPredictor::fit(&train_for_split, &split, predictor_config)?
     };
 
     let mut monitor = nevermind_obs::enabled().then(|| {
@@ -298,7 +323,9 @@ pub fn run_proactive_trial_with(
         let just_finished = world.day() - 1;
         if just_finished % 7 == 6 {
             // Rank on everything measured so far, dispatch the top budget.
-            let week_started = std::time::Instant::now();
+            // The stopwatch is inert (no clock read) while observability is
+            // off, so timing can never perturb the model path.
+            let week_timer = nevermind_obs::Stopwatch::start();
             let ranking = {
                 let out = world.output();
                 scorer.observe(&out.measurements, &out.tickets);
@@ -307,12 +334,11 @@ pub fn run_proactive_trial_with(
             let to_dispatch: Vec<_> =
                 ranking.top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect();
             nevermind_obs::counter_add!("weekly/lines_dispatched", to_dispatch.len());
-            if nevermind_obs::enabled() {
+            if let Some(rank_ms) = week_timer.elapsed_ms() {
                 // Per-week trajectory: how long each Saturday re-rank took
                 // and how many trucks it sent, keyed by the finished day.
                 let reg = nevermind_obs::global();
-                reg.series("trial/week_rank_ms")
-                    .push(f64::from(just_finished), week_started.elapsed().as_secs_f64() * 1e3);
+                reg.series("trial/week_rank_ms").push(f64::from(just_finished), rank_ms);
                 reg.series("trial/week_dispatches")
                     .push(f64::from(just_finished), to_dispatch.len() as f64);
             }
@@ -340,7 +366,7 @@ pub fn run_proactive_trial_with(
     let proactive_hits = proactive_notes.iter().filter(|n| n.disposition.is_some()).count();
     let proactive_churn = out.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
 
-    TrialResult {
+    Ok(TrialResult {
         outcome: ProactiveOutcome {
             policy_start_day,
             reactive_tickets,
@@ -351,7 +377,7 @@ pub fn run_proactive_trial_with(
             proactive_churn,
         },
         telemetry,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -365,7 +391,7 @@ mod tests {
     #[test]
     fn split_windows_are_ordered_and_disjoint() {
         let data = small_data();
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits");
         assert!(!split.train_days.is_empty());
         assert!(!split.selection_eval_days.is_empty());
         assert!(!split.test_days.is_empty());
@@ -380,7 +406,7 @@ mod tests {
     #[test]
     fn split_days_are_saturdays_with_complete_labels() {
         let data = small_data();
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits");
         for &d in split.train_days.iter().chain(&split.selection_eval_days).chain(&split.test_days)
         {
             assert_eq!(d % 7, 6, "day {d} not a Saturday");
@@ -405,7 +431,7 @@ mod tests {
                 days: 420,
             },
         };
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits");
         assert_eq!(split.train_days.len(), 9);
         assert_eq!(split.selection_eval_days.len(), 4);
         assert_eq!(split.test_days.len(), 4);
@@ -455,8 +481,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "horizon too short")]
     fn split_rejects_tiny_horizons() {
+        // A malformed (truncated) week of measurements: the horizon ends
+        // before enough label windows close. This must surface as an error
+        // the weekly loop can log and skip — never a panic mid-dispatch.
         let mut cfg = SimConfig::small(1);
         cfg.days = 60;
         let data = ExperimentData {
@@ -473,6 +501,16 @@ mod tests {
                 days: 60,
             },
         };
-        let _ = SplitSpec::paper_like(&data);
+        let err = SplitSpec::paper_like(&data).expect_err("60 days cannot fit the protocol");
+        assert!(matches!(err, PipelineError::SplitTooShort { .. }), "unexpected error: {err}");
+        assert!(err.to_string().contains("horizon too short"), "{err}");
+    }
+
+    #[test]
+    fn trial_rejects_warmup_past_horizon() {
+        let cfg = SimConfig::small(31);
+        let err = run_proactive_trial(cfg, &crate::predictor::PredictorConfig::default(), 600)
+            .expect_err("warm-up of 600 weeks cannot fit a 31-line small world");
+        assert!(matches!(err, PipelineError::WarmupExceedsHorizon { .. }), "{err}");
     }
 }

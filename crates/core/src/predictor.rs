@@ -17,6 +17,7 @@
 //! Ranking the population is then a single pass: encode, assemble the
 //! selected columns, sum stump scores, calibrate, sort.
 
+use crate::error::PipelineError;
 use crate::pipeline::{ExperimentData, SplitSpec};
 use nevermind_features::encode::{
     all_products, all_quadratics, derive, EncodedDataset, EncoderConfig, RowKey,
@@ -223,11 +224,16 @@ pub struct TicketPredictor {
 
 impl TicketPredictor {
     /// Fits the full paper pipeline on the given split.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::Calibration`] when the selection-eval
+    /// window yields no calibratable margins (empty window or a non-finite
+    /// margin from corrupted measurements).
     pub fn fit(
         data: &ExperimentData,
         split: &SplitSpec,
         config: &PredictorConfig,
-    ) -> (Self, SelectionReport) {
+    ) -> Result<(Self, SelectionReport), PipelineError> {
         let _fit_span = nevermind_obs::span!("predictor/fit");
         let encoder = data.encoder(config.encoder.clone());
         let (base_train, base_eval) = {
@@ -319,7 +325,7 @@ impl TicketPredictor {
             let _s = nevermind_obs::span!("calibrate");
             let eval_assembled = assemble_with(&base_eval, &selected_base, &selected_derived);
             let eval_margins = model.margins(&eval_assembled.x);
-            PlattScale::fit(&eval_margins, &eval_assembled.y)
+            PlattScale::fit(&eval_margins, &eval_assembled.y)?
         };
         nevermind_obs::counter_add!(
             "predictor/features_selected",
@@ -333,7 +339,7 @@ impl TicketPredictor {
             selected_derived,
             encoder_config: config.encoder.clone(),
         };
-        (predictor, report)
+        Ok((predictor, report))
     }
 
     /// Selects the boosting iteration count by k-fold cross-validation on
@@ -344,15 +350,19 @@ impl TicketPredictor {
     ///
     /// Feature selection is run once on the full candidate space first, so
     /// the CV sees the same feature set the final model will use.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError`] when the preparatory fit fails (see
+    /// [`TicketPredictor::fit`]).
     pub fn select_iterations_cv(
         data: &ExperimentData,
         split: &SplitSpec,
         config: &PredictorConfig,
         candidates: &[usize],
         k_folds: usize,
-    ) -> usize {
+    ) -> Result<usize, PipelineError> {
         let (predictor, _) =
-            Self::fit(data, split, &PredictorConfig { iterations: 1, ..config.clone() });
+            Self::fit(data, split, &PredictorConfig { iterations: 1, ..config.clone() })?;
         let encoder = data.encoder(config.encoder.clone());
         let base_train = encoder.encode(&split.train_days);
         let assembled = predictor.assemble(&base_train);
@@ -362,27 +372,31 @@ impl TicketPredictor {
             smoothing: None,
             parallel: true,
         };
-        nevermind_ml::cv::select_iterations(
+        Ok(nevermind_ml::cv::select_iterations(
             &assembled,
             candidates,
             k_folds,
             config.budget_fraction,
             &boost_cfg,
             config.seed ^ 0xCF,
-        )
+        ))
     }
 
     /// Fits with a fixed base-only feature set chosen by an arbitrary
     /// Table-4 criterion — the Fig. 6 comparison ("for each feature
     /// selection method, the top 50 features are selected ... and a
     /// classifier is constructed using these 50 features").
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::Calibration`] when the selection-eval
+    /// window yields no calibratable margins.
     pub fn fit_base_only(
         data: &ExperimentData,
         split: &SplitSpec,
         config: &PredictorConfig,
         criterion: SelectionCriterion,
         top_k: usize,
-    ) -> Self {
+    ) -> Result<Self, PipelineError> {
         let encoder = data.encoder(config.encoder.clone());
         let base_train = encoder.encode(&split.train_days);
         let base_eval = encoder.encode(&split.selection_eval_days);
@@ -408,14 +422,14 @@ impl TicketPredictor {
         let model = BStump::fit(&train_assembled, &boost_cfg);
         let eval_assembled = assemble_with(&base_eval, &selected_base, &[]);
         let margins = model.margins(&eval_assembled.x);
-        let calibration = PlattScale::fit(&margins, &eval_assembled.y);
-        Self {
+        let calibration = PlattScale::fit(&margins, &eval_assembled.y)?;
+        Ok(Self {
             model,
             calibration,
             selected_base,
             selected_derived: Vec::new(),
             encoder_config: config.encoder.clone(),
-        }
+        })
     }
 
     /// Projects a base-encoded dataset onto the selected feature space
@@ -464,9 +478,7 @@ impl TicketPredictor {
                 contribution,
             })
             .collect();
-        out.sort_by(|a, b| {
-            b.contribution.abs().partial_cmp(&a.contribution.abs()).expect("finite contributions")
-        });
+        out.sort_by(|a, b| b.contribution.abs().total_cmp(&a.contribution.abs()));
         out
     }
 
@@ -573,15 +585,13 @@ fn take_rows(ds: &EncodedDataset, rows: Vec<usize>) -> EncodedDataset {
 /// Top-`k` feature indices by score (positive scores only).
 fn top_scores(scores: &[FeatureScore], k: usize) -> Vec<usize> {
     let mut ranked: Vec<&FeatureScore> = scores.iter().filter(|s| s.score > 0.0).collect();
-    ranked.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).expect("finite").then(a.feature.cmp(&b.feature))
-    });
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.feature.cmp(&b.feature)));
     ranked.into_iter().take(k).map(|s| s.feature).collect()
 }
 
 fn top_derived(feats: &[DerivedFeature], scores: &[f64], k: usize) -> Vec<DerivedFeature> {
     let mut idx: Vec<usize> = (0..feats.len()).filter(|&i| scores[i] > 0.0).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     idx.into_iter().take(k).map(|i| feats[i]).collect()
 }
 
@@ -636,9 +646,9 @@ mod tests {
 
     fn fitted() -> (ExperimentData, SplitSpec, TicketPredictor, SelectionReport) {
         let data = ExperimentData::simulate(SimConfig::small(77));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let cfg = quick_config();
-        let (p, r) = TicketPredictor::fit(&data, &split, &cfg);
+        let (p, r) = TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
         (data, split, p, r)
     }
 
@@ -715,7 +725,7 @@ mod tests {
     #[test]
     fn base_only_fit_works_for_all_criteria() {
         let data = ExperimentData::simulate(SimConfig::small(78));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let mut cfg = quick_config();
         cfg.iterations = 30;
         for criterion in [
@@ -725,7 +735,8 @@ mod tests {
             SelectionCriterion::Pca { components: 5 },
             SelectionCriterion::GainRatio { bins: 16 },
         ] {
-            let p = TicketPredictor::fit_base_only(&data, &split, &cfg, criterion, 15);
+            let p = TicketPredictor::fit_base_only(&data, &split, &cfg, criterion, 15)
+                .expect("well-formed training data");
             let ranking = p.rank(&data, &split.test_days);
             assert_eq!(ranking.len(), data.config.n_lines * split.test_days.len());
             assert_eq!(p.selected_base().len(), 15);
@@ -757,10 +768,11 @@ mod tests {
     #[test]
     fn cv_iteration_selection_prefers_nontrivial_depth() {
         let data = ExperimentData::simulate(SimConfig::small(80));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let mut cfg = quick_config();
         cfg.iterations = 40;
-        let best = TicketPredictor::select_iterations_cv(&data, &split, &cfg, &[1, 60], 3);
+        let best = TicketPredictor::select_iterations_cv(&data, &split, &cfg, &[1, 60], 3)
+            .expect("well-formed training data");
         // A single-stump model ranks by one feature only and cannot cover
         // the multi-metric signal; CV must pick the deeper candidate.
         assert_eq!(best, 60);
@@ -769,7 +781,7 @@ mod tests {
     #[test]
     fn subsample_keeps_positives() {
         let data = ExperimentData::simulate(SimConfig::small(79));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let encoder = data.encoder(EncoderConfig::default());
         let base = encoder.encode(&split.train_days);
         let n_pos = base.data.n_positive();

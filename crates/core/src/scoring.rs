@@ -93,6 +93,7 @@ impl<'a> WeeklyScorer<'a> {
             .collect();
         needed.sort_unstable();
         needed.dedup();
+        // lint:allow(no-panic-in-lib) -- needed was built as the sorted union of plan columns above
         let slot_of = |c: usize| needed.binary_search(&c).expect("needed covers the plan");
         let plan: Vec<Source> = plan
             .iter()
@@ -195,7 +196,7 @@ mod tests {
     #[test]
     fn weekly_engine_matches_batch_ranking() {
         let data = ExperimentData::simulate(SimConfig::small(88));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let cfg = PredictorConfig {
             iterations: 40,
             selection_iterations: 4,
@@ -205,7 +206,8 @@ mod tests {
             selection_row_cap: 5_000,
             ..PredictorConfig::default()
         };
-        let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+        let (predictor, _) =
+            TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
 
         let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
         engine.observe(&data.output.measurements, &data.output.tickets);
@@ -227,7 +229,7 @@ mod tests {
     #[test]
     fn observe_is_cursor_idempotent() {
         let data = ExperimentData::simulate(SimConfig::small(89));
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let cfg = PredictorConfig {
             iterations: 20,
             selection_iterations: 3,
@@ -237,7 +239,8 @@ mod tests {
             selection_row_cap: 4_000,
             ..PredictorConfig::default()
         };
-        let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+        let (predictor, _) =
+            TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
 
         // Observing the same grown slices repeatedly must not double-ingest.
         let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);

@@ -241,6 +241,7 @@ impl ModelHealthMonitor {
     ) -> Self {
         let _span = nevermind_obs::span!("telemetry/reference");
         let encoder = train_data.encoder(predictor.encoder_config().clone());
+        // lint:allow(no-panic-in-lib) -- SplitSpec constructors reject empty training windows
         let reference_day = *split.train_days.last().expect("empty training window");
         let base = encoder.encode(&[reference_day]);
         let (meta, _) = BaseEncoder::base_meta();

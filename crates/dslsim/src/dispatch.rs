@@ -62,9 +62,7 @@ pub struct DispatchOutcome {
 /// frequency). Ties break by table order.
 pub fn basic_order(prior_counts: &[f64; N_DISPOSITIONS]) -> Vec<DispositionId> {
     let mut ids: Vec<usize> = (0..N_DISPOSITIONS).collect();
-    ids.sort_by(|&a, &b| {
-        prior_counts[b].partial_cmp(&prior_counts[a]).expect("finite priors").then(a.cmp(&b))
-    });
+    ids.sort_by(|&a, &b| prior_counts[b].total_cmp(&prior_counts[a]).then(a.cmp(&b)));
     ids.into_iter().map(|i| DispositionId(i as u8)).collect()
 }
 
@@ -143,6 +141,7 @@ pub fn run_dispatch<R: Rng>(
         .iter()
         .map(|&fi| faults[fi].disposition)
         .min_by_key(|d| d.location())
+        // lint:allow(no-panic-in-lib) -- found_idx above proves live holds at least one fault
         .expect("live is non-empty");
 
     let mut recorded =

@@ -77,6 +77,7 @@ impl LineMetric {
     /// Index of this metric in the canonical order.
     #[inline]
     pub fn index(self) -> usize {
+        // lint:allow(no-panic-in-lib) -- every Metric is a member of ALL by definition
         Self::ALL.iter().position(|&m| m == self).expect("metric in ALL")
     }
 

@@ -85,6 +85,7 @@ impl OutputSummary {
                     let li = MajorLocation::ALL
                         .iter()
                         .position(|&l| l == d.location())
+                        // lint:allow(no-panic-in-lib) -- every MajorLocation is a member of ALL by definition
                         .expect("known location");
                     location_counts[li] += 1;
                     if n.tests_performed == 0 {

@@ -206,6 +206,7 @@ impl World {
     pub fn generate(config: SimConfig) -> Self {
         let _span = nevermind_obs::span!("sim/generate");
         if let Err(e) = config.validate() {
+            // lint:allow(no-panic-in-lib) -- documented # Panics contract; a bad config is a programmer error, not operational data
             panic!("invalid SimConfig: {e}");
         }
         let topology = Topology::generate(&config, subseed(config.seed, 1));

@@ -472,7 +472,7 @@ mod tests {
         let enc =
             BaseEncoder::new(&lines, &out.measurements, &out.tickets, EncoderConfig::default());
         let day = 20 * 7 + 6;
-        let measured: std::collections::HashSet<LineId> =
+        let measured: std::collections::BTreeSet<LineId> =
             out.measurements.iter().filter(|m| m.day == day).map(|m| m.line).collect();
         let ds = enc.encode(&[day]);
         let row_idx =
@@ -511,9 +511,9 @@ mod tests {
         let day = 20 * 7 + 6;
         let ds = enc.encode(&[day]);
         // A line measured both this week and last week.
-        let this_week: std::collections::HashMap<LineId, &LineTest> =
+        let this_week: std::collections::BTreeMap<LineId, &LineTest> =
             out.measurements.iter().filter(|m| m.day == day).map(|m| (m.line, m)).collect();
-        let last_week: std::collections::HashMap<LineId, &LineTest> =
+        let last_week: std::collections::BTreeMap<LineId, &LineTest> =
             out.measurements.iter().filter(|m| m.day == day - 7).map(|m| (m.line, m)).collect();
         let line = *this_week
             .keys()

@@ -29,7 +29,7 @@ fn lines() -> Vec<Line> {
 fn measurements() -> impl Strategy<Value = Vec<LineTest>> {
     prop::collection::vec((0u32..N_LINES as u32, 0u32..30, -10.0f32..10.0), 0..120).prop_map(
         |tuples| {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             tuples
                 .into_iter()
                 .filter(|(l, w, _)| seen.insert((*l, *w)))

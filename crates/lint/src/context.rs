@@ -1,0 +1,106 @@
+//! Maps a workspace-relative path to the lint context that decides which
+//! rules apply: which crate the file belongs to and whether it is library
+//! source, a test, a bench or an example.
+
+/// Where in a crate a file lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` — library (or binary) source.
+    Src,
+    /// `crates/<name>/tests/**` or the workspace `tests/`.
+    Tests,
+    /// `crates/<name>/benches/**`.
+    Benches,
+    /// Workspace `examples/`.
+    Examples,
+}
+
+/// The lint context of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Crate directory name (`core`, `ml`, ...); `None` for workspace-level
+    /// tests and examples.
+    pub crate_name: Option<String>,
+    /// Directory class within the crate/workspace.
+    pub kind: FileKind,
+}
+
+/// Crates whose `src` must stay panic-free: everything operational data
+/// flows through. The CLI and bench harness may panic at the edge.
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "dslsim", "features", "ml", "obs", "lint"];
+
+/// Crates on the scoring/ranking path, where unordered-collection iteration
+/// can leak into ranked output (or make tests flaky).
+pub const ORDERED_CRATES: &[&str] = &["core", "features", "ml"];
+
+/// Crates allowed to read the wall clock: observability owns time, and the
+/// CLI/bench surfaces report it. Model code must stay replayable.
+pub const WALLCLOCK_CRATES: &[&str] = &["obs", "cli", "bench"];
+
+/// Classifies a workspace-relative path (`/`-separated); `None` means the
+/// file is out of scope (vendored stubs, build artifacts, fixtures).
+pub fn classify(rel_path: &str) -> Option<FileContext> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, dir, ..] => {
+            // Lint fixtures intentionally contain violations.
+            if parts.contains(&"fixtures") {
+                return None;
+            }
+            let kind = match *dir {
+                "src" => FileKind::Src,
+                "tests" => FileKind::Tests,
+                "benches" => FileKind::Benches,
+                "examples" => FileKind::Examples,
+                _ => return None,
+            };
+            Some(FileContext { crate_name: Some((*krate).to_string()), kind })
+        }
+        ["tests", ..] => Some(FileContext { crate_name: None, kind: FileKind::Tests }),
+        ["examples", ..] => Some(FileContext { crate_name: None, kind: FileKind::Examples }),
+        _ => None,
+    }
+}
+
+impl FileContext {
+    /// Whether the file's crate is in `set`.
+    pub fn crate_in(&self, set: &[&str]) -> bool {
+        self.crate_name.as_deref().is_some_and(|c| set.contains(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_table() {
+        let ml = classify("crates/ml/src/stump.rs").expect("in scope");
+        assert_eq!(ml.crate_name.as_deref(), Some("ml"));
+        assert_eq!(ml.kind, FileKind::Src);
+
+        let t = classify("crates/dslsim/tests/properties.rs").expect("in scope");
+        assert_eq!(t.kind, FileKind::Tests);
+
+        let b = classify("crates/bench/benches/ranking.rs").expect("in scope");
+        assert_eq!(b.kind, FileKind::Benches);
+
+        let root_test = classify("tests/determinism.rs").expect("in scope");
+        assert_eq!(root_test.crate_name, None);
+        assert_eq!(root_test.kind, FileKind::Tests);
+
+        let ex = classify("examples/quickstart.rs").expect("in scope");
+        assert_eq!(ex.kind, FileKind::Examples);
+    }
+
+    #[test]
+    fn out_of_scope_paths() {
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/bad.rs").is_none());
+        assert!(classify("crates/cli/Cargo.toml").is_none());
+        assert!(classify("target/debug/build/foo.rs").is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Structured diagnostics and their text/JSON renderings.
+
+/// One finding: a rule violation (or a suppression-hygiene problem) at a
+/// specific source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// Severity label; every shipped rule is an `error` (the gate runs with
+    /// deny-warnings semantics), but the field keeps the schema honest.
+    pub severity: &'static str,
+    /// Human-facing explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: error[rule]: message` — the compiler-style line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.file, self.line, self.col, self.severity, self.rule, self.message
+        )
+    }
+
+    /// The diagnostic as one JSON object.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            json_string(&self.file),
+            self.line,
+            self.col,
+            json_string(self.rule),
+            json_string(self.severity),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for JSON output (the tool is zero-dependency, so the
+/// emitter is hand-rolled like `nevermind-obs`'s).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderings() {
+        let d = Diagnostic {
+            file: "crates/ml/src/x.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "no-panic-in-lib",
+            severity: "error",
+            message: "don't".into(),
+        };
+        assert_eq!(d.render_text(), "crates/ml/src/x.rs:3:9: error[no-panic-in-lib]: don't");
+        let json = d.render_json();
+        assert!(json.contains("\"rule\":\"no-panic-in-lib\""));
+        assert!(json.contains("\"line\":3"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,175 @@
+//! Workspace walker and report assembly.
+
+use crate::context::classify;
+use crate::diag::Diagnostic;
+use crate::lexer::lex;
+use crate::rules::check_file;
+use crate::suppress;
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Surviving (non-suppressed) diagnostics, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were in scope.
+    pub files_scanned: usize,
+    /// How many diagnostics `lint:allow` annotations suppressed.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Whether the gate passes (no surviving diagnostics).
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Compiler-style text rendering, one line per diagnostic plus a
+    /// summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} diagnostic(s), {} suppressed\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// One machine-readable JSON document (schema `nevermind-lint/v1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"nevermind-lint/v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&d.render_json());
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Lints every in-scope `.rs` file under `root` (a workspace checkout).
+///
+/// In scope: `crates/*/{src,tests,benches}/**`, the workspace `tests/` and
+/// `examples/`. Out of scope: `vendor/` (API stand-ins), `target/`, and the
+/// lint crate's own `tests/fixtures/` (which contain violations on
+/// purpose).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    // Deterministic order regardless of directory-entry order.
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut suppressed = 0usize;
+    for path in files {
+        let rel = rel_path(root, &path);
+        let Some(ctx) = classify(&rel) else { continue };
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        let lexed = lex(&src);
+        let raw = check_file(&rel, &ctx, &lexed);
+        let (kept, n) = suppress::apply(&rel, &lexed.comments, raw);
+        diagnostics.extend(kept);
+        suppressed += n;
+        files_scanned += 1;
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(LintReport { diagnostics, files_scanned, suppressed })
+}
+
+/// Recursively collects `.rs` files, skipping directories that are never in
+/// scope.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("failed to read entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path (falls back to the full path when
+/// `path` is not under `root`).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Writes `contents` to `path` (used by the CLI's `--out` flag).
+pub fn write_report(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("failed to write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_shape() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                file: "crates/ml/src/x.rs".into(),
+                line: 1,
+                col: 2,
+                rule: "seeded-rng-only",
+                severity: "error",
+                message: "no \"entropy\"".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"schema\": \"nevermind-lint/v1\""));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\\\"entropy\\\""));
+        let text = report.render_text();
+        assert!(text.contains("crates/ml/src/x.rs:1:2"));
+        assert!(text.contains("1 diagnostic(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = LintReport { diagnostics: vec![], files_scanned: 0, suppressed: 0 };
+        assert!(report.clean());
+        assert!(report.render_json().contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,426 @@
+//! A small hand-rolled Rust lexer: just enough tokenization to match
+//! paths, method calls and attributes without ever confusing source code
+//! with the contents of string literals or comments.
+//!
+//! The lexer is deliberately lossy — numeric values, string contents and
+//! punctuation spelling beyond single characters are irrelevant to the
+//! rules — but it is *exact* about what is code and what is not: nested
+//! block comments, raw strings with arbitrary `#` fences, byte strings,
+//! char literals and lifetimes are all recognized, so a rule can never
+//! fire on text inside a literal or a comment.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, `{`, ...).
+    Punct(char),
+    /// String, raw-string, byte-string or char literal (contents dropped).
+    Literal,
+    /// Numeric literal (value dropped).
+    Number,
+    /// Lifetime (`'a`, `'static`; name dropped).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind; identifiers carry their text.
+    pub kind: TokKind,
+    /// Identifier text (empty for non-identifiers).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment, preserved verbatim for suppression parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// Whether any code token precedes it on the same line (a trailing
+    /// comment annotates its own line; a standalone one, the next line).
+    pub trailing: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order (block comments keep only their first line
+    /// position; suppressions are line comments by convention).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`, splitting code tokens from comments.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut last_code_line: u32 = 0;
+
+    // Manual cursor: every branch below advances `i` and keeps line/col in
+    // sync via `bump`. Closures can't borrow the counters mutably while the
+    // main loop also uses them, so the bookkeeping is written out inline.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tok_line, tok_col) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!();
+            }
+            out.comments.push(Comment {
+                text,
+                line: tok_line,
+                trailing: last_code_line == tok_line,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push('/');
+                    bump!();
+                    text.push('*');
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    text.push('*');
+                    bump!();
+                    text.push('/');
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line: tok_line,
+                trailing: last_code_line == tok_line,
+            });
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#, rb is
+        // not legal Rust but harmless to accept.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && chars[j] != c {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < chars.len() && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let raw = c == 'r' || (i + 1 < chars.len() && chars[i + 1] == 'r');
+            if j < chars.len() && chars[j] == '"' && (raw || hashes == 0) {
+                // Consume prefix up to and including the opening quote.
+                while i <= j {
+                    bump!();
+                }
+                if raw {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    while i < chars.len() {
+                        if chars[i] == '"'
+                            && chars[i + 1..].iter().take(hashes).filter(|&&h| h == '#').count()
+                                == hashes
+                        {
+                            bump!();
+                            for _ in 0..hashes {
+                                if i < chars.len() {
+                                    bump!();
+                                }
+                            }
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    // Plain byte string with escapes.
+                    consume_string(&chars, &mut i, &mut line, &mut col);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+                last_code_line = line;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // Plain strings.
+        if c == '"' {
+            bump!();
+            consume_string(&chars, &mut i, &mut line, &mut col);
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: tok_line,
+                col: tok_col,
+            });
+            last_code_line = line;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match next {
+                Some(n) if n == '_' || n.is_alphabetic() => after != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                bump!(); // '
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    bump!();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::new(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            } else {
+                // Char literal: 'x', '\n', '\u{1F600}', '\''.
+                bump!(); // opening '
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!();
+                        if i < chars.len() {
+                            bump!();
+                        }
+                    } else if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            last_code_line = line;
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if c == '_' || c.is_alphabetic() {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                text.push(chars[i]);
+                bump!();
+            }
+            out.tokens.push(Tok { kind: TokKind::Ident, text, line: tok_line, col: tok_col });
+            last_code_line = line;
+            continue;
+        }
+
+        // Numbers (value irrelevant; `.` joins only when starting a decimal
+        // part so `0..10` stays three tokens).
+        if c.is_ascii_digit() {
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                bump!();
+            }
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                bump!();
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    bump!();
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Number,
+                text: String::new(),
+                line: tok_line,
+                col: tok_col,
+            });
+            last_code_line = line;
+            continue;
+        }
+
+        // Everything else: single punctuation character.
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line: tok_line,
+            col: tok_col,
+        });
+        last_code_line = line;
+        bump!();
+    }
+
+    out
+}
+
+/// Consumes the body of a non-raw string literal; the cursor must sit just
+/// past the opening quote, and ends just past the closing quote.
+fn consume_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let mut bump = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                bump(i);
+                if *i < chars.len() {
+                    bump(i);
+                }
+            }
+            '"' => {
+                bump(i);
+                break;
+            }
+            _ => bump(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"
+            // unwrap() in a comment must not tokenize
+            /* panic!("x") in a block comment /* nested unwrap() */ either */
+            let s = "calling .unwrap() inside a string";
+            let r = r#inner#;
+            let done = finish();
+        "#;
+        // `r#inner#` above is not valid Rust but exercises the `r`-prefix
+        // fallthrough; what matters is that no `unwrap`/`panic` ident leaks.
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unwrap" || t == "panic"), "{ids:?}");
+        assert!(ids.iter().any(|t| t == "finish"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let x = r##\"unwrap() \"# still inside\"##; after();";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unwrap"), "{ids:?}");
+        assert!(ids.iter().any(|t| t == "after"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let literals = lexed.tokens.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lifetimes, 2, "{:?}", lexed.tokens);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn escaped_quote_chars() {
+        let src = r"let q = '\''; let n = '\n'; g();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "q", "let", "n", "g"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "ab\n  cd.ef()";
+        let lexed = lex(src);
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        let cd = lexed.tokens.iter().find(|t| t.is_ident("cd")).expect("cd");
+        assert_eq!((cd.line, cd.col), (2, 3));
+        let ef = lexed.tokens.iter().find(|t| t.is_ident("ef")).expect("ef");
+        assert_eq!((ef.line, ef.col), (2, 6));
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_numbers() {
+        let src = "for i in 0..10 { f(1.5e3); }";
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "{:?}", lexed.tokens);
+    }
+
+    #[test]
+    fn byte_strings_and_b_idents() {
+        let src = "let s = b\"unwrap()\"; let b = before;";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unwrap"));
+        assert!(ids.iter().any(|t| t == "before"));
+    }
+}

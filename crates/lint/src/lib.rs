@@ -1,0 +1,39 @@
+//! # nevermind-lint
+//!
+//! Zero-dependency static analysis for the NEVERMIND workspace: a
+//! hand-rolled Rust lexer (no `syn` is vendored) plus a token-level rule
+//! engine enforcing the invariants the compiler cannot see —
+//!
+//! * rankings must be **bit-identical** across scoring paths, so nothing on
+//!   the scoring path may iterate unordered collections or read wall
+//!   clocks;
+//! * the pipeline must **degrade gracefully** instead of crashing
+//!   mid-dispatch, so library crates may not `unwrap`/`expect`/`panic!` on
+//!   operational data and float ordering must be `total_cmp` (the NaN-AP
+//!   panic class);
+//! * simulated worlds must **replay** from a seed, so ambient entropy
+//!   (`thread_rng`, `from_entropy`, `OsRng`) is banned everywhere.
+//!
+//! Violations that are genuinely safe are acknowledged inline — with a
+//! mandatory written reason:
+//!
+//! ```text
+//! let v = xs.first().unwrap(); // lint:allow(no-panic-in-lib) -- xs checked non-empty above
+//! ```
+//!
+//! Run it as `nevermind lint` or `cargo run -p nevermind-lint`; `--format
+//! json` emits one `nevermind-lint/v1` document for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use diag::Diagnostic;
+pub use engine::{lint_workspace, LintReport};
+pub use rules::RULES;

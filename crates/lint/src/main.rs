@@ -1,0 +1,70 @@
+//! `nevermind-lint` — standalone entry point for the workspace static
+//! analysis (the `nevermind lint` subcommand wraps the same library).
+//!
+//! ```text
+//! nevermind-lint [--root PATH] [--format text|json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when any non-suppressed
+//! diagnostic survives, 2 on usage errors.
+
+use std::path::PathBuf;
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => std::process::exit(i32::from(!clean)),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut out_file: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--root" => root = PathBuf::from(iter.next().ok_or("--root needs a value")?),
+            "--format" => format = iter.next().ok_or("--format needs a value")?,
+            "--out" => out_file = Some(iter.next().ok_or("--out needs a value")?),
+            "--json" => format = "json".to_string(),
+            "--list-rules" => {
+                for r in nevermind_lint::RULES {
+                    println!("{:<26} {}", r.id, r.summary);
+                }
+                return Ok(true);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if format != "text" && format != "json" {
+        return Err(format!("--format must be 'text' or 'json', got '{format}'"));
+    }
+
+    let report = nevermind_lint::lint_workspace(&root)?;
+    let rendered = if format == "json" { report.render_json() } else { report.render_text() };
+    match out_file {
+        Some(path) => nevermind_lint::engine::write_report(&path, &rendered)?,
+        None => print!("{rendered}"),
+    }
+    Ok(report.clean())
+}
+
+const USAGE: &str = "\
+nevermind-lint — workspace static analysis for determinism and robustness
+
+USAGE:
+  nevermind-lint [--root PATH] [--format text|json] [--out FILE]
+  nevermind-lint --list-rules
+
+Suppress a finding inline, with a mandatory reason:
+  // lint:allow(<rule>) -- <why this is safe>
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage error.";

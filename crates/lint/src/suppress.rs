@@ -1,0 +1,197 @@
+//! Inline suppression: `// lint:allow(<rule>[, <rule>...]) -- <reason>`.
+//!
+//! A trailing comment suppresses matching diagnostics on its own line; a
+//! standalone comment suppresses them on the next line. The `-- reason` is
+//! mandatory — an allow without a written justification is itself a
+//! diagnostic, as is one naming an unknown rule or suppressing nothing
+//! (dead annotations rot fast).
+
+use crate::diag::Diagnostic;
+use crate::lexer::Comment;
+use crate::rules::rule_info;
+
+/// The marker that introduces a suppression inside a comment.
+const MARKER: &str = "lint:allow(";
+
+/// One parsed `lint:allow` annotation.
+#[derive(Debug)]
+struct Suppression {
+    /// Rules it names.
+    rules: Vec<String>,
+    /// Line whose diagnostics it suppresses.
+    covers_line: u32,
+    /// Where the annotation itself lives (for hygiene diagnostics).
+    at_line: u32,
+    /// Whether it suppressed at least one diagnostic.
+    used: bool,
+}
+
+/// Applies suppressions from `comments` to `diags`, returning the surviving
+/// diagnostics (hygiene problems appended) and the number suppressed.
+pub fn apply(
+    rel_path: &str,
+    comments: &[Comment],
+    diags: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut hygiene: Vec<Diagnostic> = Vec::new();
+    let mut problem = |line: u32, rule: &'static str, message: String| {
+        hygiene.push(Diagnostic {
+            file: rel_path.to_string(),
+            line,
+            col: 1,
+            rule,
+            severity: "error",
+            message,
+        });
+    };
+
+    for c in comments {
+        // Suppressions live in plain `//` comments only: doc comments
+        // (`///`, `//!`) and block comments are prose and may *mention* the
+        // syntax (as this sentence just did) without enacting it.
+        if !c.text.starts_with("//") || c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(start) = c.text.find(MARKER) else { continue };
+        let after = &c.text[start + MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            problem(
+                c.line,
+                "suppression-malformed",
+                "lint:allow(...) is missing its closing parenthesis".into(),
+            );
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            problem(c.line, "suppression-malformed", "lint:allow() names no rule".into());
+            continue;
+        }
+        for r in &rules {
+            if rule_info(r).is_none() {
+                problem(
+                    c.line,
+                    "suppression-unknown-rule",
+                    format!("lint:allow names unknown rule '{r}' (run with --list-rules)"),
+                );
+            }
+        }
+        let tail = after[close + 1..].trim();
+        let reason_ok =
+            tail.strip_prefix("--").map(str::trim).is_some_and(|reason| !reason.is_empty());
+        if !reason_ok {
+            problem(
+                c.line,
+                "suppression-missing-reason",
+                "lint:allow must carry a justification: `// lint:allow(<rule>) -- <why this is safe>`"
+                    .into(),
+            );
+        }
+        let covers_line = if c.trailing { c.line } else { c.line + 1 };
+        suppressions.push(Suppression { rules, covers_line, at_line: c.line, used: false });
+    }
+
+    let before = diags.len();
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for d in diags {
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.covers_line == d.line && s.rules.iter().any(|r| r == d.rule));
+        match suppressed {
+            Some(s) => s.used = true,
+            None => kept.push(d),
+        }
+    }
+    let n_suppressed = before - kept.len();
+
+    for s in &suppressions {
+        if !s.used && s.rules.iter().all(|r| rule_info(r).is_some()) {
+            problem(
+                s.at_line,
+                "suppression-unused",
+                format!(
+                    "lint:allow({}) suppresses nothing on line {}; remove the stale annotation",
+                    s.rules.join(", "),
+                    s.covers_line
+                ),
+            );
+        }
+    }
+
+    kept.extend(hygiene);
+    kept.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (kept, n_suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileContext, FileKind};
+    use crate::lexer::lex;
+    use crate::rules::check_file;
+
+    fn run(src: &str) -> (Vec<Diagnostic>, usize) {
+        let ctx = FileContext { crate_name: Some("ml".into()), kind: FileKind::Src };
+        let lexed = lex(src);
+        let diags = check_file("crates/ml/src/x.rs", &ctx, &lexed);
+        apply("crates/ml/src/x.rs", &lexed.comments, diags)
+    }
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses() {
+        let src = "fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() } // lint:allow(no-panic-in-lib) -- caller checks non-empty\n";
+        let (kept, n) = run(src);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "// lint:allow(no-panic-in-lib) -- infallible by construction\nfn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n";
+        let (kept, n) = run(src);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_its_own_diagnostic() {
+        let src = "fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() } // lint:allow(no-panic-in-lib)\n";
+        let (kept, n) = run(src);
+        assert_eq!(n, 1, "the violation is still suppressed");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].rule, "suppression-missing-reason");
+    }
+
+    #[test]
+    fn unknown_rule_and_unused_are_reported() {
+        let src = "// lint:allow(no-such-rule) -- oops\nfn g() {}\n// lint:allow(seeded-rng-only) -- nothing here\nfn h() {}\n";
+        let (kept, n) = run(src);
+        assert_eq!(n, 0);
+        let rules: Vec<&str> = kept.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"suppression-unknown-rule"), "{kept:?}");
+        assert!(rules.contains(&"suppression-unused"), "{kept:?}");
+    }
+
+    #[test]
+    fn doc_comments_never_enact_suppressions() {
+        let src = "/// Example: `// lint:allow(no-panic-in-lib) -- reason`\nfn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n";
+        let (kept, n) = run(src);
+        assert_eq!(n, 0, "doc comment must not suppress");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].rule, "no-panic-in-lib");
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_rules_or_lines() {
+        let src = "// lint:allow(total-cmp-for-floats) -- wrong rule\nfn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n";
+        let (kept, _) = run(src);
+        let rules: Vec<&str> = kept.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"no-panic-in-lib"), "{kept:?}");
+        assert!(rules.contains(&"suppression-unused"), "{kept:?}");
+    }
+}

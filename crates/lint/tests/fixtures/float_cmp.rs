@@ -1,0 +1,8 @@
+// Fixture: partial_cmp on floats fires total-cmp-for-floats (line 4);
+// total_cmp does not (line 7).
+fn bad(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+fn good(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,10 @@
+// Fixture: .lock().unwrap() fires no-poisoning-lock-unwrap (and
+// no-panic-in-lib); recovering from poisoning does not fire the lock rule.
+use std::sync::Mutex;
+
+fn bad(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+fn good(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,23 @@
+// Fixture: nothing here may fire no-panic-in-lib.
+fn a(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+// The word unwrap() in a comment is prose, not code.
+fn b() -> &'static str {
+    "call .unwrap() at your peril; panic!(now)"
+}
+fn c(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

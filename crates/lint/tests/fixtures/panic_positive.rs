@@ -1,0 +1,17 @@
+// Fixture: every line here must fire no-panic-in-lib when classified as
+// library-crate src.
+fn a(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+fn b(v: &[u32]) -> u32 {
+    v.first().copied().expect("non-empty")
+}
+fn c() {
+    panic!("boom");
+}
+fn d() {
+    todo!()
+}
+fn e() {
+    unimplemented!()
+}

@@ -1,0 +1,11 @@
+// Fixture: ambient entropy fires seeded-rng-only; seeding from a constant
+// does not.
+fn bad_thread() {
+    let _ = rand::thread_rng();
+}
+fn bad_entropy() {
+    let _ = rand_chacha::ChaCha8Rng::from_entropy();
+}
+fn good() {
+    let _ = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+}

@@ -1,0 +1,9 @@
+// Fixture: a violation acknowledged with a reasoned lint:allow survives as
+// zero diagnostics; one without a reason keeps a hygiene diagnostic.
+fn acknowledged(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() // lint:allow(no-panic-in-lib) -- fixture: caller checks non-empty
+}
+// lint:allow(no-panic-in-lib)
+fn missing_reason(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

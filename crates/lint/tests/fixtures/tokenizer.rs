@@ -1,0 +1,19 @@
+// Fixture: every banned name below lives only inside strings, raw strings,
+// or comments — the tokenizer must hide all of them, so this file is clean.
+// .unwrap() panic!() HashMap thread_rng Instant::now partial_cmp
+fn strings() -> Vec<&'static str> {
+    vec![
+        "x.unwrap()",
+        "panic!(\"no\")",
+        "HashMap::new()",
+        "thread_rng()",
+        "Instant::now()",
+        "a.partial_cmp(&b)",
+        ".lock().unwrap()",
+        "from_entropy()",
+    ]
+}
+/* block comment: .unwrap() and SystemTime::now() are prose here too */
+fn raw() -> &'static str {
+    r#"even in raw strings: .expect("x") and HashSet"#
+}

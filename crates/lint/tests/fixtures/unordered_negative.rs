@@ -1,0 +1,14 @@
+// Fixture: ordered collections never fire no-unordered-iteration, and the
+// words HashMap/HashSet in strings or comments are prose.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn a() -> BTreeMap<u32, f64> {
+    BTreeMap::new()
+}
+fn b() -> BTreeSet<u32> {
+    BTreeSet::new()
+}
+fn c() -> &'static str {
+    "HashMap iteration order is nondeterministic; HashSet too"
+}

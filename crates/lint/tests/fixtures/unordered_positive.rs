@@ -1,0 +1,11 @@
+// Fixture: HashMap/HashSet in an ordered crate must fire
+// no-unordered-iteration.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn a() -> HashMap<u32, f64> {
+    HashMap::new()
+}
+fn b() -> HashSet<u32> {
+    HashSet::new()
+}

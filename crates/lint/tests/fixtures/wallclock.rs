@@ -1,0 +1,10 @@
+// Fixture: clock reads in model-crate src fire no-wallclock-in-model.
+fn bad_instant() -> std::time::Instant {
+    std::time::Instant::now()
+}
+fn bad_system_time() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+fn good() -> &'static str {
+    "Instant::now() in a string is prose"
+}

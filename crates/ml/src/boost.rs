@@ -255,6 +255,7 @@ fn search_parallel(
             .map(|fs| scope.spawn(move || search_serial(binned, fs, y, weights, smoothing)))
             .collect();
         for h in handles {
+            // lint:allow(no-panic-in-lib) -- re-raises a worker-thread panic instead of deadlocking
             per_chunk.push(h.join().expect("stump search thread panicked"));
         }
     });

@@ -9,6 +9,47 @@
 use crate::stats::sigmoid;
 use serde::{Deserialize, Serialize};
 
+/// Why a calibration fit was rejected before any Newton step ran.
+///
+/// Calibration sits downstream of feature extraction, so malformed
+/// operational data (an empty evaluation window, a NaN margin from a
+/// corrupted measurement) surfaces here first; returning it as an error lets
+/// the pipeline skip the week instead of crashing mid-dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrateError {
+    /// No `(margin, label)` pairs at all — e.g. an evaluation window that
+    /// contains zero scored line-days.
+    Empty,
+    /// `margins` and `labels` disagree in length.
+    LengthMismatch {
+        /// Number of margins supplied.
+        margins: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A margin is NaN or infinite (index of the first offender).
+    NonFiniteMargin {
+        /// Index of the first non-finite margin.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot calibrate on empty data"),
+            Self::LengthMismatch { margins, labels } => {
+                write!(f, "margin/label mismatch: {margins} margins vs {labels} labels")
+            }
+            Self::NonFiniteMargin { index } => {
+                write!(f, "non-finite margin at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
 /// A fitted sigmoid map `p = σ(a·margin + b)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlattScale {
@@ -21,12 +62,24 @@ pub struct PlattScale {
 impl PlattScale {
     /// Fits the sigmoid on `(margin, label)` pairs.
     ///
-    /// # Panics
-    /// Panics if the slices differ in length or are empty.
-    pub fn fit(margins: &[f64], labels: &[bool]) -> Self {
+    /// # Errors
+    /// Returns [`CalibrateError`] when the slices differ in length, are
+    /// empty, or contain a non-finite margin — all symptoms of a malformed
+    /// week of measurements that should be skipped, not panicked on.
+    pub fn fit(margins: &[f64], labels: &[bool]) -> Result<Self, CalibrateError> {
         let _span = nevermind_obs::span!("ml/platt_fit");
-        assert_eq!(margins.len(), labels.len(), "margin/label mismatch");
-        assert!(!margins.is_empty(), "cannot calibrate on empty data");
+        if margins.len() != labels.len() {
+            return Err(CalibrateError::LengthMismatch {
+                margins: margins.len(),
+                labels: labels.len(),
+            });
+        }
+        if margins.is_empty() {
+            return Err(CalibrateError::Empty);
+        }
+        if let Some(index) = margins.iter().position(|m| !m.is_finite()) {
+            return Err(CalibrateError::NonFiniteMargin { index });
+        }
 
         let n_pos = labels.iter().filter(|&&y| y).count() as f64;
         let n_neg = labels.len() as f64 - n_pos;
@@ -100,7 +153,7 @@ impl PlattScale {
             }
         }
 
-        Self { a, b }
+        Ok(Self { a, b })
     }
 
     /// Maps a raw margin to a calibrated probability.
@@ -237,7 +290,7 @@ mod tests {
     #[test]
     fn recovers_generating_sigmoid() {
         let (m, y) = synthetic(20_000, 1);
-        let platt = PlattScale::fit(&m, &y);
+        let platt = PlattScale::fit(&m, &y).expect("valid synthetic data");
         assert!((platt.a - 2.0).abs() < 0.15, "a = {}", platt.a);
         assert!((platt.b + 1.0).abs() < 0.15, "b = {}", platt.b);
     }
@@ -245,7 +298,7 @@ mod tests {
     #[test]
     fn probabilities_monotone_in_margin() {
         let (m, y) = synthetic(5000, 2);
-        let platt = PlattScale::fit(&m, &y);
+        let platt = PlattScale::fit(&m, &y).expect("valid synthetic data");
         assert!(platt.a > 0.0, "positive slope expected");
         let lo = platt.probability(-1.0);
         let hi = platt.probability(1.0);
@@ -255,7 +308,7 @@ mod tests {
     #[test]
     fn calibrated_probabilities_are_in_range() {
         let (m, y) = synthetic(1000, 3);
-        let platt = PlattScale::fit(&m, &y);
+        let platt = PlattScale::fit(&m, &y).expect("valid synthetic data");
         for &margin in &m {
             let p = platt.probability(margin);
             assert!((0.0..=1.0).contains(&p));
@@ -274,7 +327,7 @@ mod tests {
             margins.push(m);
             labels.push(y);
         }
-        let platt = PlattScale::fit(&margins, &labels);
+        let platt = PlattScale::fit(&margins, &labels).expect("valid synthetic data");
         // Average predicted probability should be near the base rate.
         let avg: f64 =
             margins.iter().map(|&m| platt.probability(m)).sum::<f64>() / margins.len() as f64;
@@ -286,7 +339,7 @@ mod tests {
         // All negatives: the fit must not diverge and must emit low probs.
         let margins = vec![-1.0, 0.0, 1.0, 2.0];
         let labels = vec![false; 4];
-        let platt = PlattScale::fit(&margins, &labels);
+        let platt = PlattScale::fit(&margins, &labels).expect("valid synthetic data");
         for &m in &margins {
             assert!(platt.probability(m) < 0.5);
         }
@@ -295,7 +348,7 @@ mod tests {
     #[test]
     fn batch_matches_scalar() {
         let (m, y) = synthetic(200, 5);
-        let platt = PlattScale::fit(&m, &y);
+        let platt = PlattScale::fit(&m, &y).expect("valid synthetic data");
         let batch = platt.probabilities(&m);
         for (i, &margin) in m.iter().enumerate() {
             assert_eq!(batch[i], platt.probability(margin));
@@ -336,9 +389,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn rejects_empty_input() {
-        let _ = PlattScale::fit(&[], &[]);
+        assert_eq!(PlattScale::fit(&[], &[]), Err(CalibrateError::Empty));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert_eq!(
+            PlattScale::fit(&[0.5], &[true, false]),
+            Err(CalibrateError::LengthMismatch { margins: 1, labels: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_margins() {
+        // A corrupted measurement propagating a NaN margin must surface as
+        // a recoverable error, not a diverged or silently wrong fit.
+        assert_eq!(
+            PlattScale::fit(&[0.2, f64::NAN, 0.4], &[true, false, true]),
+            Err(CalibrateError::NonFiniteMargin { index: 1 })
+        );
+        assert_eq!(
+            PlattScale::fit(&[f64::INFINITY], &[true]),
+            Err(CalibrateError::NonFiniteMargin { index: 0 })
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn entropy2(p: f64) -> f64 {
 pub fn quantile_bins(values: &[f64], n_bins: usize) -> (Vec<usize>, usize) {
     assert!(n_bins >= 2, "need at least two bins");
     let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    present.sort_by(f64::total_cmp);
 
     // Quantile edges, deduplicated.
     let mut edges: Vec<f64> = Vec::new();

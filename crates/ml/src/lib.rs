@@ -65,7 +65,7 @@ pub mod tree;
 
 pub use bayes::GaussianNb;
 pub use boost::{BStump, BoostConfig};
-pub use calibrate::{brier_score, expected_calibration_error, PlattScale};
+pub use calibrate::{brier_score, expected_calibration_error, CalibrateError, PlattScale};
 pub use data::{Dataset, FeatureKind, FeatureMatrix, FeatureMeta};
 pub use drift::{bin_counts, psi, psi_from_samples, quantile_edges};
 pub use logistic::{LogisticModel, LogisticRegression};

@@ -30,7 +30,7 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
 
     // Ascending order; assign midranks to tied blocks.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
     while i < idx.len() {
@@ -184,6 +184,7 @@ pub fn precision_curve(scores: &[f64], labels: &[bool], cutoffs: &[usize]) -> Ve
     let mut cum = Vec::with_capacity(order.len() + 1);
     cum.push(0usize);
     for &i in &order {
+        // lint:allow(no-panic-in-lib) -- cum is seeded with a 0 before the loop
         cum.push(cum.last().expect("non-empty") + usize::from(labels[i]));
     }
     for &k in cutoffs {

@@ -55,7 +55,7 @@ fn cmp_desc(a: f64, b: f64) -> std::cmp::Ordering {
         (true, true) => std::cmp::Ordering::Equal,
         (true, false) => std::cmp::Ordering::Greater, // NaN after b
         (false, true) => std::cmp::Ordering::Less,
-        (false, false) => b.partial_cmp(&a).expect("both finite or inf"),
+        (false, false) => b.total_cmp(&a),
     }
 }
 

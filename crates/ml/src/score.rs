@@ -66,9 +66,7 @@ impl BatchScorer {
         for s in model.stumps() {
             match features.iter_mut().find(|(f, _)| *f == s.feature) {
                 Some((_, ts)) => {
-                    if let Err(pos) = ts.binary_search_by(|t| {
-                        t.partial_cmp(&s.threshold).expect("finite threshold")
-                    }) {
+                    if let Err(pos) = ts.binary_search_by(|t| t.total_cmp(&s.threshold)) {
                         ts.insert(pos, s.threshold);
                     }
                 }
@@ -81,10 +79,12 @@ impl BatchScorer {
             .stumps()
             .iter()
             .map(|s| {
+                // lint:allow(no-panic-in-lib) -- features was compiled from this very stump list
                 let slot = features.iter().position(|(f, _)| *f == s.feature).expect("compiled");
                 let ts = &features[slot].1;
                 let p = ts
-                    .binary_search_by(|t| t.partial_cmp(&s.threshold).expect("finite"))
+                    .binary_search_by(|t| t.total_cmp(&s.threshold))
+                    // lint:allow(no-panic-in-lib) -- the threshold was inserted into ts during compilation above
                     .expect("own threshold present");
                 let mut lut: Vec<f64> =
                     (0..=ts.len()).map(|b| if b <= p { s.s_le } else { s.s_gt }).collect();

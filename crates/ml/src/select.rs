@@ -118,9 +118,7 @@ pub fn select_top_k(
     config: &SelectConfig,
 ) -> Vec<usize> {
     let mut scores = score_features(train, eval, criterion, config);
-    scores.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).expect("scores are finite").then(a.feature.cmp(&b.feature))
-    });
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.feature.cmp(&b.feature)));
     scores.into_iter().take(k).map(|s| s.feature).collect()
 }
 

@@ -165,7 +165,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    v.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -202,7 +202,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 
 fn midranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite values"));
+    idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
     let mut ranks = vec![0f64; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -249,7 +249,7 @@ impl Ecdf {
     /// Builds an ECDF from observations; `NaN`s are dropped.
     pub fn new(mut xs: Vec<f64>) -> Self {
         xs.retain(|x| !x.is_nan());
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        xs.sort_by(f64::total_cmp);
         Self { sorted: xs }
     }
 

@@ -71,7 +71,7 @@ impl BinnedFeature {
         if present.is_empty() {
             return Self { edges: vec![0.0], bin_of_row: vec![MISSING_BIN; values.len()] };
         }
-        present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        present.sort_by(f32::total_cmp);
 
         // Quantile cut points; dedup keeps edges strictly increasing.
         let mut edges: Vec<f32> = Vec::with_capacity(n_bins);
@@ -84,7 +84,9 @@ impl BinnedFeature {
             }
         }
         // Make sure the last edge covers the maximum value.
+        // lint:allow(no-panic-in-lib) -- the is_empty early-return above guarantees a last element
         let max = *present.last().expect("non-empty");
+        // lint:allow(no-panic-in-lib) -- the quantile loop always pushes at least one edge
         if *edges.last().expect("at least one edge") < max {
             edges.push(max);
         }
@@ -234,7 +236,7 @@ pub fn best_stump(
     candidate_features
         .iter()
         .filter_map(|&f| best_stump_for_feature(f, binned.feature(f), labels, weights, smoothing))
-        .min_by(|a, b| a.z.partial_cmp(&b.z).expect("Z is finite"))
+        .min_by(|a, b| a.z.total_cmp(&b.z))
 }
 
 #[cfg(test)]

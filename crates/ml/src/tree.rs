@@ -186,7 +186,7 @@ fn find_best_split(
         if values.len() < 2 {
             continue;
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        values.sort_by(f32::total_cmp);
         values.dedup();
         if values.len() < 2 {
             continue;

@@ -65,6 +65,32 @@ pub fn set_enabled(on: bool) {
     global().set_enabled(on);
 }
 
+/// A wall-clock timer that is inert while recording is disabled.
+///
+/// Model code must not read the clock (timing jitter must never be able to
+/// leak into a ranking), so instead of `std::time::Instant::now()` it
+/// starts a `Stopwatch`: when recording is off no clock is read and
+/// [`Stopwatch::elapsed_ms`] returns `None`, which keeps the disabled path
+/// free of syscalls and makes "this duration exists only as telemetry"
+/// visible in the type.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<std::time::Instant>);
+
+impl Stopwatch {
+    /// Starts the timer — reads the clock only while recording is enabled.
+    #[must_use]
+    pub fn start() -> Self {
+        Self(enabled().then(std::time::Instant::now))
+    }
+
+    /// Milliseconds since [`Stopwatch::start`], or `None` when recording
+    /// was disabled at start time.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> Option<f64> {
+        self.0.map(|t| t.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
 /// Opens a named RAII span; its wall-clock duration is recorded on drop
 /// under the `/`-joined path of the thread's open spans.
 ///

@@ -474,6 +474,7 @@ mod tests {
         reg.set_enabled(true);
         let series = reg.series("poisoned-series");
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // lint:allow(no-poisoning-lock-unwrap) -- this test poisons the lock on purpose
             let _guard = series.0.lock().expect("first lock is clean");
             panic!("deliberate");
         }));
@@ -484,6 +485,7 @@ mod tests {
 
         let shard = reg.shard("poisoned-map");
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // lint:allow(no-poisoning-lock-unwrap) -- this test poisons the lock on purpose
             let _guard = shard.counters.lock().expect("first lock is clean");
             panic!("deliberate");
         }));

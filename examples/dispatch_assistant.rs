@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mid = data.config.days * 2 / 3;
     let cfg = LocatorConfig { iterations: 80, ..LocatorConfig::default() };
     println!("fitting the trouble locator on dispatches before day {mid} ...");
-    let locator = TroubleLocator::fit(&data, 30, mid, &cfg);
+    let locator = TroubleLocator::fit(&data, 30, mid, &cfg).expect("window has dispatches");
     println!(
         "  -> {} of 52 dispositions have enough history for their own model",
         locator.modeled_dispositions().len()

@@ -23,11 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = ExperimentData::simulate(sim);
     println!("  -> {} DSLAM outages occurred", data.output.outage_events.len());
 
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
     let cfg =
         PredictorConfig { iterations: 120, selection_row_cap: 8_000, ..PredictorConfig::default() };
     println!("fitting the ticket predictor ...");
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+    let (predictor, _) =
+        TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
     let ranking = predictor.rank(&data, &split.test_days);
     let budget = cfg.budget(ranking.len());
 

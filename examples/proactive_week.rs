@@ -31,7 +31,8 @@ fn main() {
         "running twin worlds ({} lines, {} days, policy starts week {warmup_weeks}) ...",
         sim.n_lines, sim.days
     );
-    let outcome = run_proactive_trial(sim, &predictor_cfg, warmup_weeks);
+    let outcome =
+        run_proactive_trial(sim, &predictor_cfg, warmup_weeks).expect("trial config is valid");
 
     println!("\n--- outcome after day {} ---", outcome.policy_start_day);
     println!("reactive twin   : {} customer-edge tickets", outcome.reactive_tickets);

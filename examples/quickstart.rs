@@ -26,7 +26,7 @@ fn main() {
 
     // 2. Split time like the paper: history -> train -> selection-eval ->
     //    test, each strictly later than the last.
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
     println!(
         "training Saturdays: {:?}\ntest Saturdays:     {:?}",
         split.train_days, split.test_days
@@ -39,7 +39,8 @@ fn main() {
         ..PredictorConfig::default()
     };
     println!("fitting the ticket predictor ...");
-    let (predictor, report) = TicketPredictor::fit(&data, &split, &cfg);
+    let (predictor, report) =
+        TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
     println!(
         "  -> {} features selected ({} base + {} derived), selection AP budget {}",
         report.n_selected(),

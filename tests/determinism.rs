@@ -59,11 +59,11 @@ fn different_seeds_different_worlds() {
 #[test]
 fn identical_fits_identical_rankings() {
     let data = ExperimentData::simulate(sim(31));
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
     let cfg = quick_predictor_cfg();
 
-    let (p1, r1) = TicketPredictor::fit(&data, &split, &cfg);
-    let (p2, r2) = TicketPredictor::fit(&data, &split, &cfg);
+    let (p1, r1) = TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
+    let (p2, r2) = TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
 
     assert_eq!(r1.selected_base, r2.selected_base);
     assert_eq!(r1.selected_derived, r2.selected_derived);
@@ -77,8 +77,9 @@ fn identical_fits_identical_rankings() {
 #[test]
 fn serialized_model_reproduces_ranking() {
     let data = ExperimentData::simulate(sim(41));
-    let split = SplitSpec::paper_like(&data);
-    let (p, _) = TicketPredictor::fit(&data, &split, &quick_predictor_cfg());
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+    let (p, _) = TicketPredictor::fit(&data, &split, &quick_predictor_cfg())
+        .expect("well-formed training data");
 
     let json = serde_json::to_string(&p).expect("serialize");
     let restored: TicketPredictor = serde_json::from_str(&json).expect("deserialize");

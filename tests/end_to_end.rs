@@ -23,7 +23,7 @@ fn fixture() -> &'static Fixture {
         sim.days = 300;
         sim.outages_per_dslam_year = 2.0;
         let data = ExperimentData::simulate(sim);
-        let split = SplitSpec::paper_like(&data);
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
         let cfg = PredictorConfig {
             iterations: 100,
             selection_iterations: 6,
@@ -33,7 +33,8 @@ fn fixture() -> &'static Fixture {
             selection_row_cap: 8_000,
             ..PredictorConfig::default()
         };
-        let (predictor, report) = TicketPredictor::fit(&data, &split, &cfg);
+        let (predictor, report) =
+            TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
         let ranking = predictor.rank(&data, &split.test_days);
         Fixture { data, cfg, report, ranking }
     })
@@ -114,7 +115,7 @@ fn locator_improves_on_experience_ranking() {
     let days = f.data.config.days;
     let mid = days * 2 / 3;
     let cfg = LocatorConfig { iterations: 50, min_examples: 10, ..LocatorConfig::default() };
-    let locator = TroubleLocator::fit(&f.data, 30, mid, &cfg);
+    let locator = TroubleLocator::fit(&f.data, 30, mid, &cfg).expect("window has dispatches");
     let eval = LocatorEvaluation::run(&locator, &f.data, mid, days);
     assert!(!eval.per_example.is_empty());
     let mean_basic: f64 = eval.per_example.iter().map(|e| e.basic as f64).sum::<f64>()
@@ -143,7 +144,8 @@ fn proactive_loop_reduces_tickets() {
         budget_fraction: 0.015,
         ..PredictorConfig::default()
     };
-    let outcome = nevermind::pipeline::run_proactive_trial(sim, &cfg, 28);
+    let outcome =
+        nevermind::pipeline::run_proactive_trial(sim, &cfg, 28).expect("trial config is valid");
     assert!(outcome.proactive_dispatches > 0);
     assert!(
         outcome.proactive_tickets < outcome.reactive_tickets,

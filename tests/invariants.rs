@@ -84,7 +84,7 @@ proptest! {
         let v_lo = quantile(&xs, lo);
         let v_hi = quantile(&xs, hi);
         prop_assert!(v_lo <= v_hi + 1e-9);
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        xs.sort_by(f64::total_cmp);
         prop_assert!(v_lo >= xs[0] - 1e-9 && v_hi <= xs[xs.len() - 1] + 1e-9);
     }
 
@@ -92,7 +92,7 @@ proptest! {
     fn ecdf_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
         let e = Ecdf::new(xs.clone());
         let mut grid: Vec<f64> = xs.clone();
-        grid.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        grid.sort_by(f64::total_cmp);
         let mut prev = 0.0;
         for &x in &grid {
             let v = e.eval(x);
@@ -124,7 +124,7 @@ proptest! {
             .map(|(i, &m)| m + ((i as u64 * 31 + seedlike) % 7) as f64 - 3.0 > 0.0)
             .collect();
         if labels.iter().any(|&y| y) && labels.iter().any(|&y| !y) {
-            let platt = PlattScale::fit(&margins, &labels);
+            let platt = PlattScale::fit(&margins, &labels).expect("finite synthetic margins");
             prop_assert!(platt.a >= 0.0, "slope {}", platt.a);
             prop_assert!(platt.probability(-5.0) <= platt.probability(5.0) + 1e-12);
         }

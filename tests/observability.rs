@@ -113,7 +113,7 @@ fn instrumented_scoring_is_bit_identical() {
     nevermind_obs::global().reset();
 
     let data = ExperimentData::simulate(SimConfig::small(77));
-    let split = SplitSpec::paper_like(&data);
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
     let cfg = PredictorConfig {
         iterations: 30,
         selection_iterations: 3,
@@ -123,7 +123,8 @@ fn instrumented_scoring_is_bit_identical() {
         selection_row_cap: 4_000,
         ..PredictorConfig::default()
     };
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &cfg);
+    let (predictor, _) =
+        TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
     let day = split.test_days[0];
 
     let rank_once = || {

@@ -19,8 +19,9 @@ fn quick_cfg() -> PredictorConfig {
 
 fn run_scenario(s: Scenario) -> (f64, f64) {
     let data = ExperimentData::simulate(s.config(71, 2_000, 270));
-    let split = SplitSpec::paper_like(&data);
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &quick_cfg());
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+    let (predictor, _) =
+        TicketPredictor::fit(&data, &split, &quick_cfg()).expect("well-formed training data");
     let ranking = predictor.rank(&data, &split.test_days);
     let budget = quick_cfg().budget(ranking.len());
     let base_rate =
@@ -53,8 +54,9 @@ fn quiet_network_with_rare_positives_does_not_collapse() {
     // nor emit NaN probabilities, and should still enrich the top of the
     // ranking.
     let data = ExperimentData::simulate(Scenario::QuietNetwork.config(72, 2_000, 270));
-    let split = SplitSpec::paper_like(&data);
-    let (predictor, _) = TicketPredictor::fit(&data, &split, &quick_cfg());
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+    let (predictor, _) =
+        TicketPredictor::fit(&data, &split, &quick_cfg()).expect("well-formed training data");
     let ranking = predictor.rank(&data, &split.test_days);
     assert!(ranking.probabilities.iter().all(|p| p.is_finite()));
     let base_rate =

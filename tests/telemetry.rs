@@ -53,7 +53,8 @@ fn telemetry_does_not_perturb_the_trial() {
             &predictor_config(),
             WARMUP_WEEKS,
             &TrialOptions::default(),
-        );
+        )
+        .expect("trial config is valid");
         nevermind_obs::set_enabled(false);
         result
     };
@@ -88,7 +89,8 @@ fn drift_injection_alerts_while_stable_trial_stays_healthy() {
         let options =
             TrialOptions { train_config: train.map(sim_config), ..TrialOptions::default() };
         let result =
-            run_proactive_trial_with(sim_config(live), &predictor_config(), WARMUP_WEEKS, &options);
+            run_proactive_trial_with(sim_config(live), &predictor_config(), WARMUP_WEEKS, &options)
+                .expect("trial config is valid");
         nevermind_obs::set_enabled(false);
         result.telemetry.expect("instrumented trial must report telemetry")
     };
