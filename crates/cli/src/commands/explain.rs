@@ -1,0 +1,210 @@
+//! `nevermind explain` — render one line's causal chain from a
+//! `nevermind-trace/v1` JSONL export: why it ranked where it did (top
+//! stump contributions), the calibration step, the dispatch decision, and
+//! what the truck found.
+
+use super::CliResult;
+use crate::args::Args;
+use serde_json::Value;
+
+/// One parsed trace event.
+pub(crate) struct Event {
+    pub(crate) seq: u64,
+    pub(crate) kind: String,
+    pub(crate) line: Option<u64>,
+    pub(crate) day: Option<u64>,
+    pub(crate) fields: Value,
+}
+
+impl Event {
+    pub(crate) fn f64(&self, name: &str) -> Option<f64> {
+        self.fields.as_object()?.get(name)?.as_f64()
+    }
+
+    pub(crate) fn u64(&self, name: &str) -> Option<u64> {
+        self.fields.as_object()?.get(name)?.as_u64()
+    }
+
+    pub(crate) fn str(&self, name: &str) -> Option<&str> {
+        self.fields.as_object()?.get(name)?.as_str()
+    }
+}
+
+/// Runs the subcommand.
+pub(crate) fn run(args: &Args) -> CliResult {
+    args.reject_unknown(&["trace", "line", "metrics", "trace-sample"])?;
+    let _span = nevermind_obs::span!("cli/explain");
+    let path = args.require("trace")?;
+    let line_arg = args.require("line")?;
+    // Accept both the raw index and the Display form ("LineId#7").
+    let line: u64 = line_arg
+        .strip_prefix("LineId#")
+        .unwrap_or(&line_arg)
+        .parse()
+        .map_err(|_| format!("--line must be a line index (got '{line_arg}')"))?;
+
+    let events = load_trace(&path)?;
+    let ours: Vec<&Event> = events.iter().filter(|e| e.line == Some(line)).collect();
+    if ours.is_empty() {
+        let mut traced: Vec<u64> = events.iter().filter_map(|e| e.line).collect();
+        traced.sort_unstable();
+        traced.dedup();
+        return Err(format!(
+            "no trace events for line {line}; the trace covers {} lines \
+             (raise --trace-sample or dispatch budgets to trace more)",
+            traced.len()
+        )
+        .into());
+    }
+
+    println!("decision provenance for line {line} — {path} (nevermind-trace/v1)");
+
+    // Weekly ranking chains, in day order (rank is the chain's anchor).
+    let mut rank_days: Vec<u64> =
+        ours.iter().filter(|e| e.kind == "rank").filter_map(|e| e.day).collect();
+    rank_days.sort_unstable();
+    rank_days.dedup();
+    for day in &rank_days {
+        render_week(&ours, *day);
+    }
+    if rank_days.is_empty() {
+        println!("\n(no ranking events for this line — it was never scored while traced)");
+    }
+
+    // The closed loop: dispatches scheduled and what the trucks found.
+    let mut printed_visits = false;
+    for e in &ours {
+        match e.kind.as_str() {
+            "dispatch" => {
+                println!(
+                    "\ndispatch scheduled on day {} (due day {}{})",
+                    e.day.unwrap_or(0),
+                    e.u64("due_day").unwrap_or(0),
+                    if e.u64("proactive") == Some(1) { ", proactive" } else { "" },
+                );
+            }
+            "visit" => {
+                printed_visits = true;
+                let found = e.u64("found_fault") == Some(1);
+                println!(
+                    "truck roll on day {} ({}): disposition {} ({}) after {} tests, {:.0} minutes",
+                    e.day.unwrap_or(0),
+                    if e.u64("proactive") == Some(1) { "proactive" } else { "reactive" },
+                    e.str("disposition").unwrap_or("?"),
+                    if found { "found a fault" } else { "no fault found" },
+                    e.u64("tests_performed").unwrap_or(0),
+                    e.f64("minutes_spent").unwrap_or(0.0),
+                );
+            }
+            _ => {}
+        }
+    }
+    if !printed_visits {
+        println!("\n(no technician visit recorded for this line in the trace window)");
+    }
+
+    // Trouble-locator terms, if the trace carries any for this line.
+    let locates: Vec<&&Event> = ours.iter().filter(|e| e.kind == "locate").collect();
+    if !locates.is_empty() {
+        println!("\ntrouble locator (flat vs combined posteriors)");
+        println!("  {:<20} {:>12} {:>12}  location", "disposition", "flat P", "combined P");
+        for e in locates {
+            println!(
+                "  {:<20} {:>12.4} {:>12.4}  {}",
+                e.str("disposition").unwrap_or("?"),
+                e.f64("flat_probability").unwrap_or(f64::NAN),
+                e.f64("combined_probability").unwrap_or(f64::NAN),
+                e.str("location").unwrap_or("?"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Renders one ranked week's chain: rank line, stump contributions,
+/// calibration step.
+fn render_week(ours: &[&Event], day: u64) {
+    let at_day = |kind: &str| -> Vec<&&Event> {
+        ours.iter().filter(|e| e.kind == kind && e.day == Some(day)).collect()
+    };
+    let Some(rank) = at_day("rank").first().copied() else { return };
+    let dispatched = rank.u64("dispatched") == Some(1);
+    println!(
+        "\nweek ending day {day}: rank {} · P(ticket) = {:.4} · {}",
+        rank.u64("rank").unwrap_or(0),
+        rank.f64("probability").unwrap_or(f64::NAN),
+        if dispatched { "DISPATCHED" } else { "not dispatched" },
+    );
+    if let Some(score) = at_day("score").first() {
+        println!(
+            "  ensemble margin {:+.4} over {} stumps; top contributions:",
+            score.f64("margin").unwrap_or(f64::NAN),
+            score.u64("stumps").unwrap_or(0),
+        );
+    }
+    let mut stumps = at_day("stump");
+    stumps.sort_by_key(|e| e.u64("order").unwrap_or(u64::MAX));
+    for e in stumps {
+        println!(
+            "    #{} {:<40} value {:>10.3}  thr {:>10.3}  vote {:+.4}",
+            e.u64("order").unwrap_or(0) + 1,
+            e.str("name").unwrap_or("?"),
+            e.f64("value").unwrap_or(f64::NAN),
+            e.f64("threshold").unwrap_or(f64::NAN),
+            e.f64("vote").unwrap_or(f64::NAN),
+        );
+    }
+    if let Some(cal) = at_day("calibrate").first() {
+        println!(
+            "  calibration: sigmoid({} * margin + {}) = {:.4}",
+            trim(cal.f64("a").unwrap_or(f64::NAN)),
+            trim(cal.f64("b").unwrap_or(f64::NAN)),
+            cal.f64("probability").unwrap_or(f64::NAN),
+        );
+    }
+}
+
+fn trim(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Loads and schema-checks a `nevermind-trace/v1` JSONL file.
+pub(crate) fn load_trace(path: &str) -> Result<Vec<Event>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| format!("'{path}' is empty"))?;
+    let header = serde_json::parse(header)
+        .map_err(|e| format!("cannot parse trace header in '{path}': {e}"))?;
+    let schema = header
+        .as_object()
+        .and_then(|h| h.get("schema"))
+        .and_then(Value::as_str)
+        .unwrap_or("<missing>");
+    if schema != "nevermind-trace/v1" {
+        return Err(format!(
+            "'{path}' is not a nevermind-trace/v1 file (schema: {schema}); \
+             produce one with '--trace PATH' on any subcommand"
+        )
+        .into());
+    }
+    let mut events = Vec::new();
+    for (i, raw) in lines.enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::parse(raw)
+            .map_err(|e| format!("cannot parse trace event on line {} of '{path}': {e}", i + 2))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("trace event on line {} of '{path}' is not an object", i + 2))?;
+        events.push(Event {
+            seq: obj.get("seq").and_then(Value::as_u64).unwrap_or(0),
+            kind: obj.get("kind").and_then(Value::as_str).unwrap_or("").to_string(),
+            line: obj.get("line").and_then(Value::as_u64),
+            day: obj.get("day").and_then(Value::as_u64),
+            fields: obj.get("fields").cloned().unwrap_or(Value::Null),
+        });
+    }
+    events.sort_by_key(|e| e.seq);
+    Ok(events)
+}

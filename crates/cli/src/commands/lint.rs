@@ -7,7 +7,7 @@ use std::path::Path;
 
 /// Runs the subcommand.
 pub(crate) fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["root", "format", "out", "metrics"])?;
+    args.reject_unknown(&["root", "format", "out", "metrics", "trace", "trace-sample"])?;
     let _span = nevermind_obs::span!("cli/lint");
     let root = args.get_or("root", ".");
     let format = args.get_or("format", "text");

@@ -9,7 +9,15 @@ use nevermind::locator::{
 
 /// Runs the subcommand.
 pub(crate) fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["data", "top", "dispatches", "iterations", "metrics"])?;
+    args.reject_unknown(&[
+        "data",
+        "top",
+        "dispatches",
+        "iterations",
+        "metrics",
+        "trace",
+        "trace-sample",
+    ])?;
     let _span = nevermind_obs::span!("cli/locate");
     let data = load_dataset(&args.require("data")?)?;
     let top: usize = args.get_parsed_or("top", 5usize)?;
@@ -42,7 +50,9 @@ pub(crate) fn run(args: &Args) -> CliResult {
             e.day,
             e.disposition.info().code
         );
-        for s in locator.rank_combined(ds.x.row(i)).iter().take(top) {
+        // Tag the locator's trace events with the dispatch they explain.
+        let ranked = locator.rank_combined_traced(ds.x.row(i), Some((e.line.0, e.day)));
+        for s in ranked.iter().take(top) {
             let marker = if s.disposition == e.disposition { "  <-- true" } else { "" };
             println!(
                 "  {:<20} P = {:.3} ({}){marker}",

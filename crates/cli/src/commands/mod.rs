@@ -1,5 +1,6 @@
 //! CLI subcommand implementations.
 
+pub(crate) mod explain;
 pub(crate) mod lint;
 pub(crate) mod locate;
 pub(crate) mod rank;
@@ -15,7 +16,7 @@ pub(crate) type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// `nevermind scenarios` — list the named presets.
 pub(crate) fn scenarios(args: &crate::args::Args) -> CliResult {
-    args.reject_unknown(&["metrics"])?;
+    args.reject_unknown(&["metrics", "trace", "trace-sample"])?;
     println!("{:<18} description", "scenario");
     println!("{:<18} -----------", "--------");
     for s in Scenario::ALL {
@@ -30,6 +31,15 @@ pub(crate) fn write_metrics(path: &str) -> CliResult {
     std::fs::write(path, nevermind_obs::global().to_json())
         .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
     eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
+/// Dumps the global trace buffer as one `nevermind-trace/v1` JSONL
+/// document at `path` (the `--trace` flag every subcommand accepts).
+pub(crate) fn write_trace(path: &str) -> CliResult {
+    std::fs::write(path, nevermind_obs::trace::global().to_jsonl())
+        .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+    eprintln!("wrote trace to {path}");
     Ok(())
 }
 

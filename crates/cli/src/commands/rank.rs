@@ -8,7 +8,7 @@ use nevermind::predictor::TicketPredictor;
 
 /// Runs the subcommand.
 pub(crate) fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["data", "model", "top", "explain", "metrics"])?;
+    args.reject_unknown(&["data", "model", "top", "explain", "metrics", "trace", "trace-sample"])?;
     let _span = nevermind_obs::span!("cli/rank");
     let data = load_dataset(&args.require("data")?)?;
     let model_path = args.require("model")?;
@@ -36,6 +36,26 @@ pub(crate) fn run(args: &Args) -> CliResult {
     }
     let budget = ((ranking.len() as f64) * 0.01).ceil() as usize;
     println!("\nprecision@{budget} (1% budget) = {:.1}%", 100.0 * ranking.precision_at(budget));
+
+    // With `--trace`, emit the provenance chain for every printed row so
+    // `nevermind explain` can reconstruct the batch ranking too.
+    if nevermind_obs::trace::enabled() {
+        let encoder = data.encoder(Default::default());
+        let base = encoder.encode(&split.test_days);
+        let assembled = predictor.assemble(&base);
+        let names = predictor.assembled_feature_names();
+        for (i, (key, prob, _)) in ranking.top_rows(top).into_iter().enumerate() {
+            if let Some(row_idx) = base.rows.iter().position(|r| *r == key) {
+                nevermind::provenance::emit_scored_line(
+                    &predictor,
+                    &names,
+                    assembled.x.row(row_idx),
+                    (key.line.0, key.day),
+                    (i + 1, prob, i < budget),
+                );
+            }
+        }
+    }
 
     if explain > 0 {
         let encoder = data.encoder(Default::default());

@@ -16,9 +16,14 @@ const TOP_SPANS: usize = 12;
 const SPARK_WIDTH: usize = 48;
 
 /// Runs the subcommand. The dump path is the one positional argument.
+/// Accepts both `nevermind-metrics/v1` JSON dumps and `nevermind-trace/v1`
+/// JSONL exports (detected from the header line).
 pub(crate) fn run(args: &Args, path: &str) -> CliResult {
-    args.reject_unknown(&["metrics"])?;
+    args.reject_unknown(&["metrics", "trace", "trace-sample"])?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if is_trace_file(&text) {
+        return render_trace(path);
+    }
     let doc = serde_json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
     let doc = doc.as_object().ok_or("metrics document is not a JSON object")?;
     let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("<missing>");
@@ -234,6 +239,69 @@ fn fmt_val(v: f64) -> String {
     } else {
         format!("{v:.1e}")
     }
+}
+
+/// True when the text's first line is a `nevermind-trace/v1` header.
+fn is_trace_file(text: &str) -> bool {
+    let Some(first) = text.lines().next() else { return false };
+    serde_json::parse(first).ok().is_some_and(|v| {
+        v.as_object()
+            .and_then(|o| o.get("schema"))
+            .and_then(Value::as_str)
+            .is_some_and(|s| s == "nevermind-trace/v1")
+    })
+}
+
+/// Summarizes a `nevermind-trace/v1` export: events by kind, then the
+/// proactive dispatch → technician disposition confusion counts.
+fn render_trace(path: &str) -> CliResult {
+    let events = super::explain::load_trace(path)?;
+    println!("nevermind trace report — {path} (nevermind-trace/v1)");
+
+    // Events by kind, most frequent first (name-ordered ties).
+    let mut kinds: Vec<(String, usize)> = Vec::new();
+    for e in &events {
+        match kinds.iter_mut().find(|(k, _)| *k == e.kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((e.kind.clone(), 1)),
+        }
+    }
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("\n{} events by kind", events.len());
+    for (kind, n) in &kinds {
+        println!("  {n:>7}  {kind}");
+    }
+
+    // Close the loop: what did proactive truck rolls actually find?
+    let proactive: Vec<_> =
+        events.iter().filter(|e| e.kind == "visit" && e.u64("proactive") == Some(1)).collect();
+    println!("\nproactive dispatch outcomes");
+    if proactive.is_empty() {
+        println!("  dispatched lines visited: 0");
+        println!("  fault-found precision: n/a");
+    } else {
+        let mut by_disposition: Vec<(String, usize)> = Vec::new();
+        let mut found = 0usize;
+        for v in &proactive {
+            if v.u64("found_fault") == Some(1) {
+                found += 1;
+            }
+            let code = v.str("disposition").unwrap_or("?").to_string();
+            match by_disposition.iter_mut().find(|(c, _)| *c == code) {
+                Some((_, n)) => *n += 1,
+                None => by_disposition.push((code, 1)),
+            }
+        }
+        by_disposition.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        println!("  dispatched lines visited: {}", proactive.len());
+        let precision = found as f64 / proactive.len() as f64;
+        println!("  fault-found precision: {precision:.3} ({found}/{})", proactive.len());
+        println!("  disposition counts:");
+        for (code, n) in &by_disposition {
+            println!("    {n:>7}  {code}");
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -8,7 +8,16 @@ use nevermind_dslsim::summary::OutputSummary;
 
 /// Runs the subcommand.
 pub(crate) fn run(args: &Args) -> CliResult {
-    args.reject_unknown(&["out", "scenario", "lines", "days", "seed", "metrics"])?;
+    args.reject_unknown(&[
+        "out",
+        "scenario",
+        "lines",
+        "days",
+        "seed",
+        "metrics",
+        "trace",
+        "trace-sample",
+    ])?;
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;
 

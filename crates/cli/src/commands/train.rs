@@ -17,6 +17,8 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "n-product",
         "selection-row-cap",
         "metrics",
+        "trace",
+        "trace-sample",
     ])?;
     let data_path = args.require("data")?;
     let model_path = args.require("model")?;

@@ -24,6 +24,8 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "ece-warn",
         "ece-alert",
         "metrics",
+        "trace",
+        "trace-sample",
     ])?;
     let cfg = sim_config_from(args)?;
     let mut warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;

@@ -7,7 +7,8 @@
 //! nevermind locate   --data DIR/dataset.json [--line ID] [--top N]
 //! nevermind lint     [--root PATH] [--format text|json] [--out FILE]
 //! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W]
-//! nevermind report   METRICS_JSON
+//! nevermind explain  --trace FILE --line ID
+//! nevermind report   METRICS_OR_TRACE
 //! nevermind scenarios
 //! ```
 //!
@@ -16,9 +17,11 @@
 //! `rank` spends the ATDS budget and can explain each pick; `locate` fits
 //! the Sec.-6 trouble locator and prints ranked dispositions for dispatches;
 //! `trial` runs the proactive-vs-reactive twin-world comparison; `report`
-//! renders a `--metrics` dump (spans, series, model-health telemetry);
-//! `lint` runs the workspace static analysis (determinism and robustness
-//! rules — see the `nevermind-lint` crate).
+//! renders a `--metrics` dump (spans, series, model-health telemetry) or
+//! summarizes a `--trace` export; `explain` renders one line's decision
+//! provenance (stump contributions, calibration, rank, dispatch, truck-roll
+//! outcome) from a trace file; `lint` runs the workspace static analysis
+//! (determinism and robustness rules — see the `nevermind-lint` crate).
 
 mod args;
 mod commands;
@@ -55,6 +58,25 @@ fn main() {
     nevermind_obs::set_enabled(true);
     let metrics_path = parsed.get("metrics").map(str::to_string);
 
+    // `--trace PATH` turns on decision-provenance tracing and exports the
+    // event buffer as nevermind-trace/v1 JSONL on successful exit. For
+    // `explain` the flag names the *input* trace, so it must not re-enable
+    // tracing (or the export would clobber the file being explained).
+    let trace_path =
+        (command != "explain").then(|| parsed.get("trace").map(str::to_string)).flatten();
+    if trace_path.is_some() {
+        nevermind_obs::trace::set_enabled(true);
+        match parsed.get("trace-sample").map(str::parse::<usize>) {
+            None => {}
+            Some(Ok(k)) => nevermind_obs::trace::global()
+                .set_policy(nevermind_obs::trace::TracePolicy { reservoir_per_week: k }),
+            Some(Err(_)) => {
+                eprintln!("error: --trace-sample must be a non-negative integer\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let result = match command.as_str() {
         "simulate" => commands::simulate::run(&parsed),
         "train" => commands::train::run(&parsed),
@@ -66,6 +88,7 @@ fn main() {
             Some(path) => commands::report::run(&parsed, path),
             None => Err("usage: nevermind report METRICS_JSON".into()),
         },
+        "explain" => commands::explain::run(&parsed),
         "scenarios" => commands::scenarios(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -87,6 +110,12 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(path) = trace_path {
+        if let Err(e) = commands::write_trace(&path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -100,7 +129,8 @@ USAGE:
   nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
                      [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
                      [--ece-warn F] [--ece-alert F]
-  nevermind report   METRICS_JSON
+  nevermind explain  --trace FILE --line ID
+  nevermind report   METRICS_JSON_OR_TRACE_JSONL
   nevermind lint     [--root PATH] [--format text|json] [--out FILE]
   nevermind scenarios
 
@@ -108,6 +138,12 @@ Every subcommand also accepts '--metrics PATH' to dump per-phase span
 timings, counters, per-week series and model-health telemetry as one
 JSON document on exit (see the README's Observability section for the
 schema); 'nevermind report' renders such a dump as a terminal report.
+Every subcommand likewise accepts '--trace PATH' to record decision
+provenance (per-line stump contributions, calibration, rank, dispatch
+cutoff, technician disposition) as nevermind-trace/v1 JSONL, with
+'--trace-sample N' extra non-dispatched lines traced per week;
+'nevermind explain --trace FILE --line ID' then renders one line's full
+causal chain, and 'nevermind report FILE' summarizes a trace file.
 'trial --train-scenario NAME' trains the model in a separate world to
 inject drift that the telemetry must detect. 'nevermind lint' walks the
 workspace sources and enforces the determinism/robustness rules

@@ -9,7 +9,13 @@ fn bin() -> Command {
 }
 
 fn work_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("nevermind-cli-test-{}", std::process::id()));
+    named_work_dir("flow")
+}
+
+/// Per-test scratch dirs: tests run concurrently in one process, so each
+/// needs its own directory to create and remove.
+fn named_work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nevermind-cli-test-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create work dir");
     dir
 }
@@ -104,6 +110,121 @@ fn full_cli_workflow() {
     assert!(out.status.success(), "locate failed: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("tests to locate 50%"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_workflow_trial_explain_report() {
+    let dir = named_work_dir("trace");
+    let trace = dir.join("trial.trace.jsonl");
+
+    // A traced trial long enough for several policy Saturdays and for the
+    // scheduled trucks to actually roll before the horizon.
+    let out = bin()
+        .args([
+            "trial",
+            "--lines",
+            "300",
+            "--days",
+            "160",
+            "--warmup-weeks",
+            "14",
+            "--trace",
+            trace.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run trial");
+    assert!(out.status.success(), "trial failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists(), "trace written");
+
+    // The export leads with the schema header and carries dispatch events.
+    let jsonl = std::fs::read_to_string(&trace).expect("read trace");
+    let header = jsonl.lines().next().expect("header");
+    assert!(header.contains("\"schema\":\"nevermind-trace/v1\""), "{header}");
+    let dispatched_line = jsonl
+        .lines()
+        .find(|l| l.contains("\"kind\":\"dispatch\""))
+        .and_then(|l| {
+            let rest = l.split("\"line\":").nth(1)?;
+            rest.split(|c: char| !c.is_ascii_digit()).next().map(str::to_string)
+        })
+        .expect("a dispatch event with a line id");
+
+    // explain renders the dispatched line's full causal chain.
+    let out = bin()
+        .args(["explain", "--trace", trace.to_str().expect("utf8"), "--line", &dispatched_line])
+        .output()
+        .expect("run explain");
+    assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in
+        ["decision provenance", "DISPATCHED", "top contributions", "calibration", "truck roll"]
+    {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+
+    // explain on an untraced line fails with guidance, not a panic.
+    let out = bin()
+        .args(["explain", "--trace", trace.to_str().expect("utf8"), "--line", "999999"])
+        .output()
+        .expect("run explain");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no trace events for line 999999"));
+
+    // report summarizes the same file: kinds and the dispatch confusion.
+    let out = bin().args(["report", trace.to_str().expect("utf8")]).output().expect("run report");
+    assert!(out.status.success(), "report failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["events by kind", "dispatch_week", "proactive dispatch outcomes", "precision"] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_edge_cases_do_not_panic() {
+    let dir = named_work_dir("report");
+
+    // Empty metrics file: a clean parse error, not a panic.
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "").expect("write");
+    let out = bin().args(["report", empty.to_str().expect("utf8")]).output().expect("run");
+    assert!(!out.status.success(), "empty file must be an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot parse"), "clean error, got: {stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Metrics dump with no telemetry section: reported as absent, exit 0.
+    let bare = dir.join("bare.json");
+    std::fs::write(
+        &bare,
+        r#"{"schema":"nevermind-metrics/v1","counters":{},"gauges":{},"histograms":{},"spans":{},"series":{}}"#,
+    )
+    .expect("write");
+    let out = bin().args(["report", bare.to_str().expect("utf8")]).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(no telemetry section"), "{stdout}");
+
+    // Trace file with zero dispatched lines: precision renders as n/a,
+    // no divide-by-zero, exit 0.
+    let quiet = dir.join("quiet.trace.jsonl");
+    std::fs::write(
+        &quiet,
+        concat!(
+            "{\"schema\":\"nevermind-trace/v1\",\"events\":2,\"dropped\":0,\"reservoir_per_week\":5}\n",
+            "{\"seq\":0,\"kind\":\"dispatch_week\",\"day\":104,\"fields\":{\"population\":300,\"budget\":3,\"dispatched\":0}}\n",
+            "{\"seq\":1,\"kind\":\"visit\",\"line\":7,\"day\":12,\"fields\":{\"proactive\":0,\"found_fault\":1,\"disposition\":\"F1-STUB\",\"tests_performed\":9,\"minutes_spent\":120.0}}\n",
+        ),
+    )
+    .expect("write");
+    let out = bin().args(["report", quiet.to_str().expect("utf8")]).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dispatched lines visited: 0"), "{stdout}");
+    assert!(stdout.contains("fault-found precision: n/a"), "{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

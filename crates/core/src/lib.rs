@@ -60,6 +60,7 @@ pub mod error;
 pub mod locator;
 pub mod pipeline;
 pub mod predictor;
+pub mod provenance;
 pub mod scoring;
 pub mod telemetry;
 

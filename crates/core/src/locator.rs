@@ -270,15 +270,44 @@ impl TroubleLocator {
 
     /// Combined-model (Eq. 2) posterior ranking for one assembled row.
     pub fn rank_combined(&self, row: &[f32]) -> Vec<DispositionScore> {
+        self.rank_combined_traced(row, None)
+    }
+
+    /// [`Self::rank_combined`] with decision provenance: while tracing is
+    /// enabled, emits one `"locate"` event per modeled disposition with
+    /// the flat-vs-combined posterior terms (flat margin and posterior,
+    /// location margin, fused posterior), keyed by `provenance`'s
+    /// `(line, day)` when given. The returned ranking is bit-identical to
+    /// [`Self::rank_combined`]; with tracing disabled the extra cost is
+    /// one relaxed atomic load.
+    pub fn rank_combined_traced(
+        &self,
+        row: &[f32],
+        provenance: Option<(u32, u32)>,
+    ) -> Vec<DispositionScore> {
         let _span = nevermind_obs::span!("locator/rank_combined");
         nevermind_obs::counter_add!("locator/inferences", 1);
+        let tracing = nevermind_obs::trace::enabled();
         let mut scores = self.prior_scores();
         let loc_margins: Vec<f64> = self.location_models.iter().map(|m| m.margin(row)).collect();
         for (mi, &d) in self.modeled.iter().enumerate() {
             let flat_margin = self.flat_models[mi].margin(row);
             let loc_margin = loc_margins[location_index(d.location())];
-            scores[d.0 as usize].probability =
-                self.combine[mi].probability(&[flat_margin, loc_margin]);
+            let combined = self.combine[mi].probability(&[flat_margin, loc_margin]);
+            scores[d.0 as usize].probability = combined;
+            if tracing {
+                let mut event = nevermind_obs::trace::TraceEvent::new("locate")
+                    .attr("disposition", d.info().code)
+                    .attr("location", d.location().label())
+                    .attr("flat_margin", flat_margin)
+                    .attr("flat_probability", self.flat_cal[mi].probability(flat_margin))
+                    .attr("loc_margin", loc_margin)
+                    .attr("combined_probability", combined);
+                if let Some((line, day)) = provenance {
+                    event = event.line(line).day(day);
+                }
+                nevermind_obs::trace::global().emit(event);
+            }
         }
         sort_scores(scores)
     }

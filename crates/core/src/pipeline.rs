@@ -249,10 +249,18 @@ pub fn run_proactive_trial_with(
         });
     }
 
-    // Reactive baseline.
+    // Reactive baseline. The twin is a counterfactual: its technician
+    // visits answer to no rank or dispatch decision an operator could ask
+    // about, and at scale they would flood the bounded trace ring before
+    // the proactive world even starts — so decision tracing is suspended
+    // for its lifetime (deterministically: plain flag save/restore).
     let baseline = {
         let _s = nevermind_obs::span!("baseline_world");
-        World::generate(sim_config.clone()).run()
+        let tracing = nevermind_obs::trace::enabled();
+        nevermind_obs::trace::set_enabled(false);
+        let out = World::generate(sim_config.clone()).run();
+        nevermind_obs::trace::set_enabled(tracing);
+        out
     };
     let reactive_tickets =
         baseline.customer_edge_tickets().filter(|t| t.day >= policy_start_day).count();
@@ -280,10 +288,15 @@ pub fn run_proactive_trial_with(
             let mut train_cfg = train_cfg.clone();
             // The training world only needs to exist through the warm-up.
             train_cfg.days = train_cfg.days.min(sim_config.days);
+            // Like the baseline: a drift-injection world's visits are not
+            // part of the live policy's story, so they are not traced.
+            let tracing = nevermind_obs::trace::enabled();
+            nevermind_obs::trace::set_enabled(false);
             let mut train_world = World::generate(train_cfg.clone());
             while train_world.day() < policy_start_day {
                 train_world.step_day();
             }
+            nevermind_obs::trace::set_enabled(tracing);
             ExperimentData {
                 config: train_cfg,
                 topology: train_world.topology().clone(),
@@ -348,6 +361,16 @@ pub fn run_proactive_trial_with(
                 let feats = scorer.encode_features(just_finished, mon.monitored_columns());
                 mon.observe_week(just_finished, &ranking, &feats, &world.output().tickets);
             }
+            // Decision provenance: the week's cutoff decision plus per-line
+            // stump/calibration/rank chains for the dispatched head and a
+            // sampled reservoir. Reads the ranking; never changes it.
+            crate::provenance::emit_week_trace(
+                &scorer,
+                &predictor,
+                &ranking,
+                budget,
+                just_finished,
+            );
             for line in to_dispatch {
                 world.schedule_proactive_dispatch(line, 2);
             }

@@ -55,6 +55,15 @@ pub struct WeeklyScorer<'a> {
     needed: Vec<usize>,
     /// Column metadata for the narrow gathered matrix.
     narrow_meta: Vec<FeatureMeta>,
+    /// Assembled-space column index per narrow slot (the ensemble's used
+    /// columns, in slot order) — the key for re-expanding a narrow row.
+    used: Vec<usize>,
+    /// Width of the predictor's assembled feature space.
+    n_assembled: usize,
+    /// The most recent week's narrow matrix, retained only while decision
+    /// tracing is enabled so [`Self::traced_assembled_row`] can explain
+    /// lines without re-encoding anything.
+    last_narrow: Option<FeatureMatrix>,
     meas_cursor: usize,
     ticket_cursor: usize,
 }
@@ -105,6 +114,8 @@ impl<'a> WeeklyScorer<'a> {
             .collect();
         let narrow_meta =
             (0..plan.len()).map(|i| FeatureMeta::continuous(format!("used{i}"))).collect();
+        let used: Vec<usize> = scorer.used_columns().collect();
+        let n_assembled = n_base + predictor.selected_derived().len();
         Self {
             predictor,
             encoder: IncrementalEncoder::new(lines, predictor.encoder_config().clone()),
@@ -112,6 +123,9 @@ impl<'a> WeeklyScorer<'a> {
             plan,
             needed,
             narrow_meta,
+            used,
+            n_assembled,
+            last_narrow: None,
             meas_cursor: 0,
             ticket_cursor: 0,
         }
@@ -163,7 +177,31 @@ impl<'a> WeeklyScorer<'a> {
         let narrow = FeatureMatrix::new(n_rows, self.narrow_meta.clone(), values);
         let margins = self.scorer.margins_compact_parallel(&narrow, 0);
         let probabilities = self.predictor.calibration().probabilities(&margins);
+        // Retain the narrow matrix only while decision tracing wants to
+        // explain lines afterwards; with tracing off this is one relaxed
+        // atomic load and the matrix drops as before.
+        self.last_narrow = nevermind_obs::trace::enabled().then_some(narrow);
         RankedPredictions::from_scores(base.rows, probabilities, base.data.y)
+    }
+
+    /// Re-expands row `row` of the most recent traced [`Self::rank_week`]
+    /// into the predictor's assembled feature space, for
+    /// [`TicketPredictor::explain`]. Columns the ensemble never reads come
+    /// back as `NaN` (no stump touches them, so their contribution is
+    /// exactly zero); used columns carry the very values the week's
+    /// margins were computed from, so the reconstructed margin is
+    /// bit-identical to the ranking's. Returns `None` when tracing was off
+    /// during the last ranking or `row` is out of range.
+    pub fn traced_assembled_row(&self, row: usize) -> Option<Vec<f32>> {
+        let narrow = self.last_narrow.as_ref()?;
+        if row >= narrow.n_rows() {
+            return None;
+        }
+        let mut assembled = vec![f32::NAN; self.n_assembled];
+        for (slot, &col) in self.used.iter().enumerate() {
+            assembled[col] = narrow.get(row, slot);
+        }
+        Some(assembled)
     }
 
     /// Encodes the requested base columns at `day` from the rolling state —

@@ -350,12 +350,19 @@ impl World {
         }
         self.dispatch_scheduled[line.index()] = true;
         nevermind_obs::counter_add!("sim/proactive_scheduled", 1);
-        self.pending.push(PendingDispatch {
-            due_day: self.day + delay_days.max(1),
-            line,
-            ticket: None,
-            proactive: true,
-        });
+        let due_day = self.day + delay_days.max(1);
+        if nevermind_obs::trace::enabled() {
+            // Decision provenance: the dispatch that a later "visit" event
+            // (same line, first due day at or after this one) answers to.
+            nevermind_obs::trace::global().emit(
+                nevermind_obs::trace::TraceEvent::new("dispatch")
+                    .line(line.0)
+                    .day(self.day)
+                    .attr("due_day", due_day)
+                    .attr("proactive", true),
+            );
+        }
+        self.pending.push(PendingDispatch { due_day, line, ticket: None, proactive: true });
     }
 
     /// Runs the remaining horizon reactively and returns the logs.
@@ -625,6 +632,22 @@ impl World {
             );
             if let Some(d) = outcome.note.disposition {
                 self.priors[d.0 as usize] += 1.0;
+            }
+            if nevermind_obs::trace::enabled() {
+                // Close the provenance loop: what the truck found, keyed
+                // back to the originating "dispatch" event by line (and to
+                // the week's "rank" event for proactive visits).
+                let note = &outcome.note;
+                nevermind_obs::trace::global().emit(
+                    nevermind_obs::trace::TraceEvent::new("visit")
+                        .line(note.line.0)
+                        .day(day)
+                        .attr("proactive", note.proactive)
+                        .attr("found_fault", note.disposition.is_some())
+                        .attr("disposition", note.disposition.map_or("none", |d| d.info().code))
+                        .attr("tests_performed", note.tests_performed)
+                        .attr("minutes_spent", note.minutes_spent),
+                );
             }
             self.out.notes.push(outcome.note);
             self.dispatch_scheduled[li] = false;

@@ -41,6 +41,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "no-poisoning-lock-unwrap",
         summary: "use a poisoning-recovering lock helper instead of .lock().unwrap()",
     },
+    RuleInfo {
+        id: "trace-event-fields-are-static",
+        summary: "trace event field names (.attr(...)) must be string literals, not runtime-formatted",
+    },
 ];
 
 /// Returns the rule table entry for `id`, if any.
@@ -160,6 +164,22 @@ pub fn check_file(rel_path: &str, ctx: &FileContext, lexed: &Lexed) -> Vec<Diagn
                 t,
                 "no-poisoning-lock-unwrap",
                 ".lock().unwrap() propagates mutex poisoning into a crash cascade; use a lock_recovering helper (see nevermind-obs)"
+                    .to_string(),
+            );
+        }
+
+        // --- trace-event-fields-are-static ---------------------------------
+        // A runtime-formatted field name (`.attr(format!("f{i}"), ...)`)
+        // fractures the nevermind-trace/v1 vocabulary: `explain`/`report`
+        // match fields by name, so names must be compile-time constants.
+        if t.text == "attr"
+            && method_call(toks, i)
+            && toks.get(i + 2).is_some_and(|a| a.kind != TokKind::Literal)
+        {
+            emit(
+                t,
+                "trace-event-fields-are-static",
+                "trace event field names must be string literals so the nevermind-trace/v1 vocabulary stays enumerable; put variability in the field value"
                     .to_string(),
             );
         }
@@ -343,6 +363,25 @@ mod tests {
         // A recovering helper that *handles* the poison arm is clean.
         let ok = "fn f(m: &Mutex<u32>) { let g = match m.lock() { Ok(g) => g, Err(p) => p.into_inner() }; }";
         assert_eq!(check(ok, &cli).len(), 0);
+    }
+
+    #[test]
+    fn attr_field_names_must_be_literals() {
+        let cli = FileContext { crate_name: Some("cli".into()), kind: FileKind::Src };
+        // Literal names are fine, wherever the call appears.
+        let ok = r#"fn f(ev: TraceEvent) { ev.attr("margin", 1.0).attr("rank", 3u32); }"#;
+        assert_eq!(check(ok, &cli).len(), 0);
+        // Runtime-formatted or variable names fracture the schema.
+        let bad = r#"fn f(ev: TraceEvent, name: &'static str, i: usize) {
+            ev.attr(name, 1.0);
+            ev.attr(format!("f{i}"), 2.0);
+        }"#;
+        let diags = check(bad, &cli);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "trace-event-fields-are-static"));
+        // Unrelated `attr` identifiers (fields, paths) are not method calls.
+        let unrelated = "fn f(a: Attr) { let x = a.attr; attr(1); }";
+        assert_eq!(check(unrelated, &cli).len(), 0);
     }
 
     #[test]

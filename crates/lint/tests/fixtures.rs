@@ -145,6 +145,20 @@ fn suppression_fixture_reasoned_allow_wins_reasonless_does_not() {
 }
 
 #[test]
+fn trace_fields_fixture_flags_dynamic_names_everywhere() {
+    // The trace vocabulary is global: emission sites live in core, dslsim,
+    // ml *and* the cli, so the rule is not scoped to a crate list.
+    for rel in ["crates/core/src/fixture.rs", "crates/cli/src/fixture.rs", "tests/fixture.rs"] {
+        let diags = lint_as("trace_fields.rs", rel);
+        let fired: Vec<_> =
+            diags.iter().filter(|d| d.rule == "trace-event-fields-are-static").collect();
+        assert_eq!(fired.len(), 3, "variable, format!, and &format! names at {rel}: {diags:?}");
+        // The literal-name chain and the unrelated `.attr` field are clean.
+        assert!(fired.iter().all(|d| d.line == 8 || d.line == 10 || d.line == 12), "{diags:?}");
+    }
+}
+
+#[test]
 fn tokenizer_fixture_proves_strings_and_comments_never_match() {
     for rel in ["crates/ml/src/fixture.rs", "crates/core/src/fixture.rs"] {
         let diags = lint_as("tokenizer.rs", rel);

@@ -1,0 +1,19 @@
+//! Fixture for `trace-event-fields-are-static`: field names passed to
+//! `.attr(...)` must be string literals.
+
+fn emit(ev: nevermind_obs::trace::TraceEvent, name: &'static str, i: usize) {
+    // Clean: literal names keep the nevermind-trace/v1 vocabulary closed.
+    let ev = ev.attr("margin", 1.5).attr("rank", 3u32);
+    // Violation: a variable name is opaque to `explain`/`report`.
+    let ev = ev.attr(name, 1.0);
+    // Violation: runtime formatting mints unbounded field names.
+    let ev = ev.attr(format!("feature_{i}"), 2.0);
+    // Violation: a reference to a formatted name is just as opaque.
+    let _ = ev.attr(&format!("f{i}")[..], 3.0);
+}
+
+// Unrelated `attr` identifiers are not trace field names.
+fn not_a_trace_call(node: &Node) -> u32 {
+    let attr = node.attr;
+    attr
+}

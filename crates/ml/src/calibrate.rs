@@ -166,6 +166,27 @@ impl PlattScale {
     pub fn probabilities(&self, margins: &[f64]) -> Vec<f64> {
         margins.iter().map(|&m| self.probability(m)).collect()
     }
+
+    /// Like [`Self::probability`], additionally emitting a `"calibrate"`
+    /// decision-provenance event carrying the Platt coefficients and the
+    /// margin→probability step, keyed by line and simulated day. The
+    /// returned value is bit-identical to [`Self::probability`]; with
+    /// tracing disabled the extra cost is one relaxed atomic load.
+    pub fn probability_traced(&self, margin: f64, line: u32, day: u32) -> f64 {
+        let p = self.probability(margin);
+        if nevermind_obs::trace::enabled() {
+            nevermind_obs::trace::global().emit(
+                nevermind_obs::trace::TraceEvent::new("calibrate")
+                    .line(line)
+                    .day(day)
+                    .attr("margin", margin)
+                    .attr("a", self.a)
+                    .attr("b", self.b)
+                    .attr("probability", p),
+            );
+        }
+        p
+    }
 }
 
 /// One bin of a reliability (calibration) curve.

@@ -247,7 +247,7 @@ pub fn fmt_f64(v: f64) -> String {
 }
 
 /// Appends a JSON string literal (quoted, control characters escaped).
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -30,6 +30,11 @@
 //! Span paths are per-thread: a span opened on a worker thread does not
 //! nest under its spawner's spans. Guards are expected to drop in LIFO
 //! order within a thread (the natural result of binding them to scopes).
+//!
+//! Aggregates answer "how much"; the sibling [`trace`] module answers
+//! "*why this line*" — a bounded ring of typed decision-provenance events
+//! with its own independent enable flag and a JSONL export
+//! (`nevermind-trace/v1`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@ pub mod distribution;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use distribution::{Distribution, DistributionSnapshot};
 pub use registry::{

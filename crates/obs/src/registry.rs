@@ -17,7 +17,7 @@ use crate::distribution::{Distribution, DistributionSnapshot};
 /// poisoned lock carries no torn invariant worth cascading a panic for.
 /// Without this, one panicking worker thread would permanently poison the
 /// process-global registry and crash every later recorder.
-fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 

@@ -1,0 +1,220 @@
+//! Decision-provenance contract tests.
+//!
+//! Three guarantees the tracing layer must keep:
+//!
+//! 1. **Determinism** — two identically-seeded trials with tracing enabled
+//!    produce byte-identical `nevermind-trace/v1` JSONL (no wall-clock
+//!    fields; the `no-wallclock-in-model` lint rule keeps the emit paths
+//!    honest, this test keeps the bytes honest).
+//! 2. **Non-interference** — enabling tracing does not change a single
+//!    trial outcome; the trace only *reads* the decisions it describes.
+//! 3. **Reconstructability** — for a dispatched line the export carries the
+//!    full causal chain (`score` → `stump`* → `calibrate` → `rank` →
+//!    `dispatch` → `visit`), the calibrated probability is bit-identical to
+//!    the ranked one, and the whole document parses as real JSON.
+//!
+//! All tests flip the process-global trace buffer's enabled bit, so they
+//! serialise on one mutex (same pattern as `tests/observability.rs`).
+
+use nevermind::pipeline::{run_proactive_trial, ProactiveOutcome};
+use nevermind::predictor::PredictorConfig;
+use nevermind::provenance::TOP_STUMPS;
+use nevermind_dslsim::scenario::Scenario;
+use nevermind_dslsim::SimConfig;
+use serde_json::Value;
+use std::sync::Mutex;
+
+static GLOBAL_TRACE: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 0x5EED_CA11;
+const LINES: usize = 300;
+const DAYS: u32 = 160;
+const WARMUP_WEEKS: u32 = 14;
+
+fn sim_config() -> SimConfig {
+    Scenario::parse("baseline").expect("known scenario").config(SEED, LINES, DAYS)
+}
+
+fn predictor_config() -> PredictorConfig {
+    PredictorConfig {
+        iterations: 40,
+        budget_fraction: 0.01,
+        selection_row_cap: 8_000,
+        ..PredictorConfig::default()
+    }
+}
+
+/// Runs one seeded trial with tracing toggled, returning the outcome and
+/// the JSONL export (empty when tracing was off).
+fn traced_trial(enabled: bool) -> (ProactiveOutcome, String) {
+    let buf = nevermind_obs::trace::global();
+    buf.reset();
+    nevermind_obs::trace::set_enabled(enabled);
+    let outcome = run_proactive_trial(sim_config(), &predictor_config(), WARMUP_WEEKS)
+        .expect("trial config is valid");
+    let jsonl = buf.to_jsonl();
+    nevermind_obs::trace::set_enabled(false);
+    buf.reset();
+    (outcome, jsonl)
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object().and_then(|o| o.get(key))
+}
+
+/// One parsed event: (kind, line, day, fields).
+struct Ev {
+    kind: String,
+    line: Option<u64>,
+    day: Option<u64>,
+    fields: Value,
+}
+
+impl Ev {
+    fn f(&self, name: &str) -> Option<f64> {
+        get(&self.fields, name).and_then(Value::as_f64)
+    }
+    fn u(&self, name: &str) -> Option<u64> {
+        get(&self.fields, name).and_then(Value::as_u64)
+    }
+}
+
+/// Parses a JSONL export through the vendored (independent) JSON parser.
+fn parse_events(jsonl: &str) -> Vec<Ev> {
+    let mut lines = jsonl.lines();
+    let header = serde_json::parse(lines.next().expect("header line")).expect("header is JSON");
+    assert_eq!(
+        get(&header, "schema").and_then(Value::as_str),
+        Some("nevermind-trace/v1"),
+        "schema marker"
+    );
+    let events: Vec<Ev> = lines
+        .map(|l| {
+            let v = serde_json::parse(l).expect("every event line is JSON");
+            Ev {
+                kind: get(&v, "kind").and_then(Value::as_str).expect("kind").to_string(),
+                line: get(&v, "line").and_then(Value::as_u64),
+                day: get(&v, "day").and_then(Value::as_u64),
+                fields: get(&v, "fields").cloned().expect("fields object"),
+            }
+        })
+        .collect();
+    assert_eq!(
+        get(&header, "events").and_then(Value::as_u64),
+        Some(events.len() as u64),
+        "header event count matches body"
+    );
+    events
+}
+
+#[test]
+fn trace_events_are_deterministic() {
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+    let (_, first) = traced_trial(true);
+    let (_, second) = traced_trial(true);
+    assert!(!first.is_empty() && first.lines().count() > 1, "trace must carry events");
+    assert_eq!(first, second, "identically-seeded traced trials must export identical bytes");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_trial() {
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+    let (dark, empty) = traced_trial(false);
+    let (lit, jsonl) = traced_trial(true);
+    assert_eq!(empty.lines().count(), 1, "disabled tracing must export a bare header");
+    assert!(jsonl.lines().count() > 1, "enabled tracing must export events");
+    assert_eq!(dark.proactive_dispatches, lit.proactive_dispatches);
+    assert_eq!(dark.proactive_hits, lit.proactive_hits);
+    assert_eq!(dark.proactive_tickets, lit.proactive_tickets);
+    assert_eq!(dark.reactive_tickets, lit.reactive_tickets);
+    assert_eq!(dark.proactive_churn, lit.proactive_churn);
+}
+
+#[test]
+fn dispatched_line_chain_is_reconstructable() {
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+    let (outcome, jsonl) = traced_trial(true);
+    assert!(outcome.proactive_dispatches > 0, "the trial must dispatch for this test to bite");
+    let events = parse_events(&jsonl);
+
+    // Every kind the pipeline promises shows up.
+    for kind in ["dispatch_week", "score", "stump", "calibrate", "rank", "dispatch", "visit"] {
+        assert!(events.iter().any(|e| e.kind == kind), "missing '{kind}' events");
+    }
+
+    // Anchor on a dispatched rank event and walk its whole chain.
+    let rank = events
+        .iter()
+        .find(|e| e.kind == "rank" && e.u("dispatched") == Some(1))
+        .expect("a dispatched rank event");
+    let (line, day) = (rank.line.expect("rank has line"), rank.day.expect("rank has day"));
+    let same = |e: &&Ev| e.line == Some(line) && e.day == Some(day);
+
+    let score = events.iter().filter(|e| e.kind == "score").find(same).expect("score event");
+    assert!(score.f("margin").expect("margin").is_finite());
+    assert!(score.u("stumps").expect("stump count") > 0);
+
+    let stumps: Vec<&Ev> = events.iter().filter(|e| e.kind == "stump" && same(e)).collect();
+    assert!(
+        (1..=TOP_STUMPS).contains(&stumps.len()),
+        "top stump contributions, at most {TOP_STUMPS}: got {}",
+        stumps.len()
+    );
+    for s in &stumps {
+        assert!(s.f("vote").expect("vote") != 0.0, "abstaining stumps are not contributions");
+        assert!(s.f("threshold").is_some() && s.u("feature").is_some());
+        assert!(get(&s.fields, "name").and_then(Value::as_str).is_some());
+    }
+    // Strongest first.
+    let votes: Vec<f64> = stumps.iter().map(|s| s.f("vote").expect("vote").abs()).collect();
+    assert!(votes.windows(2).all(|w| w[0] >= w[1]), "votes ordered by |vote|: {votes:?}");
+
+    // The calibration step reproduces the ranked probability bit-for-bit.
+    let cal = events.iter().filter(|e| e.kind == "calibrate").find(same).expect("calibrate event");
+    let (cal_p, rank_p) =
+        (cal.f("probability").expect("cal p"), rank.f("probability").expect("rank p"));
+    assert_eq!(
+        cal_p.to_bits(),
+        rank_p.to_bits(),
+        "calibrated and ranked probabilities must be bit-identical"
+    );
+    assert_eq!(
+        get(&cal.fields, "a").and_then(Value::as_f64).map(f64::is_finite),
+        Some(true),
+        "Platt slope travels with the event"
+    );
+
+    // The decision closes the loop: a dispatch within the following week,
+    // and a proactive truck roll on its due day.
+    let dispatch = events
+        .iter()
+        .filter(|e| e.kind == "dispatch" && e.line == Some(line))
+        .find(|e| e.day.is_some_and(|d| d > day && d <= day + 7))
+        .expect("dispatch scheduled the week after the ranking");
+    let due = dispatch.u("due_day").expect("due_day");
+    let visit = events
+        .iter()
+        .filter(|e| e.kind == "visit" && e.line == Some(line) && e.u("proactive") == Some(1))
+        .find(|e| e.day == Some(due))
+        .expect("proactive visit on the due day");
+    let disposition =
+        get(&visit.fields, "disposition").and_then(Value::as_str).expect("disposition code");
+    assert_eq!(
+        visit.u("found_fault") == Some(1),
+        disposition != "none",
+        "found_fault must agree with the disposition code"
+    );
+
+    // The cutoff decision is recorded for the same week.
+    let week = events
+        .iter()
+        .find(|e| e.kind == "dispatch_week" && e.day == Some(day))
+        .expect("dispatch_week event");
+    assert_eq!(week.u("population"), Some(LINES as u64), "whole population ranked");
+    assert!(week.u("dispatched").expect("dispatched count") >= 1);
+    assert!(week.f("cutoff_probability").expect("cutoff") <= 1.0, "cutoff is a probability");
+    assert!(
+        rank_p >= week.f("cutoff_probability").expect("cutoff"),
+        "a dispatched line sits at or above the cutoff"
+    );
+}
