@@ -1,0 +1,88 @@
+//! Sharded plant stepping: wall-clock scaling of `World::run` with the
+//! shard count.
+//!
+//! The simulator partitions the plant by DSLAM subtree; each shard owns its
+//! lines' state and steps on its own scoped thread, with per-day buffer
+//! merges (see DESIGN.md "Sharded plant"). The output is bit-identical for
+//! every shard count — pinned by `crates/dslsim/tests/sharding.rs` — so
+//! this bench measures pure execution policy: how much wall clock the
+//! barrier-and-merge structure recovers on the available cores.
+//!
+//! Like `weekly_rerank`, samples are interleaved round-robin across shard
+//! counts so slow machine-state drift is shared rather than landing on
+//! whichever variant runs first.
+//!
+//! # Refreshing `BENCH_sim.json`
+//!
+//! ```sh
+//! cargo bench -p nevermind-bench --bench sim_shards | tee /tmp/sim_shards.log
+//! # the million-line row (long; budget RAM accordingly):
+//! NEVERMIND_BENCH_LINES=1000000 NEVERMIND_BENCH_SAMPLES=1 \
+//!     cargo bench -p nevermind-bench --bench sim_shards
+//! ```
+//!
+//! then copy each median into `results.<lines>.shards_<n>_ms` of
+//! `BENCH_sim.json` and update `context` if the hardware changed. On a
+//! single-core box the shard counts tie (scoped threads time-slice one
+//! CPU); record the honest numbers with `context.cores` so readers can
+//! tell scaling data from serialization overhead data.
+
+use nevermind_dslsim::{SimConfig, World};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        (s[mid - 1] + s[mid]) / 2.0
+    }
+}
+
+fn main() {
+    let n_lines = env_usize("NEVERMIND_BENCH_LINES", 100_000);
+    let samples = env_usize("NEVERMIND_BENCH_SAMPLES", 3);
+    let mut cfg = SimConfig::small(0xB51D);
+    cfg.n_lines = n_lines;
+    cfg.days = 364; // 52 weeks: the ISSUE's operational-year yardstick.
+
+    println!(
+        "== sim_shards @ {n_lines} lines, {} days, {samples} paired samples, shards {SHARD_COUNTS:?} ==",
+        cfg.days
+    );
+    let mut timings: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); SHARD_COUNTS.len()];
+    // One untimed warm-up at one shard so page-cache/allocator first-touch
+    // costs are not attributed to the first timed variant.
+    black_box(World::generate(cfg.clone()).run());
+    for _ in 0..samples {
+        for (vi, &shards) in SHARD_COUNTS.iter().enumerate() {
+            let start = Instant::now();
+            let out = World::generate(cfg.clone()).with_shards(shards).run();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            black_box(out.measurements.len());
+            timings[vi].push(ms);
+        }
+    }
+    let mut base = f64::NAN;
+    for (vi, &shards) in SHARD_COUNTS.iter().enumerate() {
+        let med = median(&timings[vi]);
+        if shards == 1 {
+            base = med;
+        }
+        let all: Vec<String> = timings[vi].iter().map(|t| format!("{t:.0}")).collect();
+        println!(
+            "sim_shards/{n_lines}/shards_{shards}: median {med:.1} ms  speedup {:.2}x  (samples: {})",
+            base / med,
+            all.join(", ")
+        );
+    }
+}

@@ -14,16 +14,24 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "lines",
         "days",
         "seed",
+        "shards",
         "metrics",
         "trace",
         "trace-sample",
     ])?;
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;
+    let shards: usize = args.get_parsed_or("shards", 1usize)?;
 
-    eprintln!("simulating {} lines over {} days (seed {}) ...", cfg.n_lines, cfg.days, cfg.seed);
+    eprintln!(
+        "simulating {} lines over {} days (seed {}, {shards} shard{}) ...",
+        cfg.n_lines,
+        cfg.days,
+        cfg.seed,
+        if shards == 1 { "" } else { "s" }
+    );
     let span = nevermind_obs::span!("cli/simulate");
-    let data = ExperimentData::simulate(cfg.clone());
+    let data = ExperimentData::simulate_sharded(cfg.clone(), shards);
     eprintln!("simulation finished in {:.1}s", span.elapsed().as_secs_f64());
     drop(span);
 

@@ -15,6 +15,7 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "lines",
         "days",
         "seed",
+        "shards",
         "warmup-weeks",
         "budget-fraction",
         "iterations",
@@ -59,6 +60,7 @@ pub(crate) fn run(args: &Args) -> CliResult {
         }
     };
     let defaults = TelemetryConfig::default();
+    let shards: usize = args.get_parsed_or("shards", 0usize)?;
     let options = TrialOptions {
         train_config,
         telemetry: TelemetryConfig {
@@ -68,11 +70,15 @@ pub(crate) fn run(args: &Args) -> CliResult {
             ece_alert: args.get_parsed_or("ece-alert", defaults.ece_alert)?,
             ..defaults
         },
+        shards,
     };
 
     eprintln!(
-        "running twin worlds: {} lines, {} days, policy starts week {warmup} ...",
-        cfg.n_lines, cfg.days
+        "running twin worlds: {} lines, {} days, policy starts week {warmup}, {} shard{} ...",
+        cfg.n_lines,
+        cfg.days,
+        shards.max(1),
+        if shards.max(1) == 1 { "" } else { "s" }
     );
     let span = nevermind_obs::span!("cli/trial");
     let result = run_proactive_trial_with(cfg, &predictor_cfg, warmup, &options)?;

@@ -1,12 +1,12 @@
 //! `nevermind` — command-line interface to the NEVERMIND reproduction.
 //!
 //! ```text
-//! nevermind simulate --out DIR [--scenario S] [--lines N] [--days D] [--seed S]
+//! nevermind simulate --out DIR [--scenario S] [--lines N] [--days D] [--seed S] [--shards N]
 //! nevermind train    --data DIR/dataset.json --model FILE [--iterations N] ...
 //! nevermind rank     --data DIR/dataset.json --model FILE [--top N] [--explain N]
 //! nevermind locate   --data DIR/dataset.json [--line ID] [--top N]
 //! nevermind lint     [--root PATH] [--format text|json] [--out FILE]
-//! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W]
+//! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W] [--shards N]
 //! nevermind explain  --trace FILE --line ID
 //! nevermind report   METRICS_OR_TRACE
 //! nevermind scenarios
@@ -122,12 +122,12 @@ const USAGE: &str = "\
 nevermind — proactive DSL troubleshooting (CoNEXT 2010 reproduction)
 
 USAGE:
-  nevermind simulate --out DIR [--scenario NAME] [--lines N] [--days D] [--seed S]
+  nevermind simulate --out DIR [--scenario NAME] [--lines N] [--days D] [--seed S] [--shards N]
   nevermind train    --data FILE --model FILE [--iterations N] [--budget-fraction F]
   nevermind rank     --data FILE --model FILE [--top N] [--explain N]
   nevermind locate   --data FILE [--top N] [--dispatches N]
   nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
-                     [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
+                     [--shards N] [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
                      [--ece-warn F] [--ece-alert F]
   nevermind explain  --trace FILE --line ID
   nevermind report   METRICS_JSON_OR_TRACE_JSONL
@@ -145,7 +145,9 @@ cutoff, technician disposition) as nevermind-trace/v1 JSONL, with
 'nevermind explain --trace FILE --line ID' then renders one line's full
 causal chain, and 'nevermind report FILE' summarizes a trace file.
 'trial --train-scenario NAME' trains the model in a separate world to
-inject drift that the telemetry must detect. 'nevermind lint' walks the
+inject drift that the telemetry must detect. '--shards N' (simulate,
+trial) steps the plant N DSLAM-subtree shards in parallel and runs the
+weekly scoring stages N-way; outputs are bit-identical for every N. 'nevermind lint' walks the
 workspace sources and enforces the determinism/robustness rules
 (suppress a finding inline with '// lint:allow(<rule>) -- <reason>').
 

@@ -32,7 +32,15 @@ pub struct ExperimentData {
 impl ExperimentData {
     /// Simulates a full reactive horizon (the paper's offline setting).
     pub fn simulate(config: SimConfig) -> Self {
-        let world = World::generate(config.clone());
+        Self::simulate_sharded(config, 1)
+    }
+
+    /// [`ExperimentData::simulate`] stepping the plant `shards` DSLAM-subtree
+    /// shards at a time. Bit-identical to the serial run for any shard
+    /// count (`0` is treated as `1`); pinned by the dslsim equivalence
+    /// tests.
+    pub fn simulate_sharded(config: SimConfig, shards: usize) -> Self {
+        let world = World::generate(config.clone()).with_shards(shards.max(1));
         let topology = world.topology().clone();
         let output = world.run();
         Self { config, topology, output }
@@ -191,6 +199,12 @@ pub struct TrialOptions {
     /// itself runs only while [`nevermind_obs::enabled`] — with recording
     /// off the trial is telemetry-free (and bit-identical either way).
     pub telemetry: crate::telemetry::TelemetryConfig,
+    /// Shard-parallelism degree for the simulated worlds and the weekly
+    /// scoring engine. `0` (the default) runs everything serial; `n >= 1`
+    /// steps the plant `n` DSLAM-subtree shards at a time and pins `n`-way
+    /// parallelism on every weekly stage. Outcomes are bit-identical for
+    /// every setting — sharding is an execution detail.
+    pub shards: usize,
 }
 
 /// What [`run_proactive_trial_with`] hands back.
@@ -241,6 +255,7 @@ pub fn run_proactive_trial_with(
     // Named to read cleanly under the CLI's `cli/trial` wrapper span
     // (`cli/trial/proactive_trial/...`) and standalone alike.
     let _trial_span = nevermind_obs::span!("proactive_trial");
+    let shards = options.shards.max(1);
     let policy_start_day = warmup_weeks * 7;
     if policy_start_day >= sim_config.days {
         return Err(PipelineError::WarmupExceedsHorizon {
@@ -258,7 +273,7 @@ pub fn run_proactive_trial_with(
         let _s = nevermind_obs::span!("baseline_world");
         let tracing = nevermind_obs::trace::enabled();
         nevermind_obs::trace::set_enabled(false);
-        let out = World::generate(sim_config.clone()).run();
+        let out = World::generate(sim_config.clone()).with_shards(shards).run();
         nevermind_obs::trace::set_enabled(tracing);
         out
     };
@@ -267,7 +282,7 @@ pub fn run_proactive_trial_with(
     let reactive_churn = baseline.churn_events.iter().filter(|c| c.day >= policy_start_day).count();
 
     // Proactive run.
-    let mut world = World::generate(sim_config.clone());
+    let mut world = World::generate(sim_config.clone()).with_shards(shards);
     {
         let _s = nevermind_obs::span!("warmup");
         while world.day() < policy_start_day {
@@ -292,7 +307,7 @@ pub fn run_proactive_trial_with(
             // part of the live policy's story, so they are not traced.
             let tracing = nevermind_obs::trace::enabled();
             nevermind_obs::trace::set_enabled(false);
-            let mut train_world = World::generate(train_cfg.clone());
+            let mut train_world = World::generate(train_cfg.clone()).with_shards(shards);
             while train_world.day() < policy_start_day {
                 train_world.step_day();
             }
@@ -329,6 +344,7 @@ pub fn run_proactive_trial_with(
     // with `predictor.rank`, without the weekly clone of the growing logs.
     let lines = world.topology().lines.clone();
     let mut scorer = crate::scoring::WeeklyScorer::new(&predictor, &lines);
+    scorer.set_shards(options.shards);
     let budget = predictor_config.budget(lines.len());
     let _policy_span = nevermind_obs::span!("policy_loop");
     while world.day() < sim_config.days {
@@ -344,8 +360,11 @@ pub fn run_proactive_trial_with(
                 scorer.observe(&out.measurements, &out.tickets);
                 scorer.rank_week(just_finished)
             };
-            let to_dispatch: Vec<_> =
-                ranking.top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect();
+            let to_dispatch: Vec<_> = ranking
+                .top_rows_sharded(budget, shards)
+                .into_iter()
+                .map(|(key, _, _)| key.line)
+                .collect();
             nevermind_obs::counter_add!("weekly/lines_dispatched", to_dispatch.len());
             if let Some(rank_ms) = week_timer.elapsed_ms() {
                 // Per-week trajectory: how long each Saturday re-rank took

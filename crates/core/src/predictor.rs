@@ -27,7 +27,7 @@ use nevermind_ml::boost::{BStump, BoostConfig};
 use nevermind_ml::calibrate::PlattScale;
 use nevermind_ml::data::Dataset;
 use nevermind_ml::metrics;
-use nevermind_ml::rank::top_k;
+use nevermind_ml::rank::{top_k, top_k_sharded};
 use nevermind_ml::select::{score_features, FeatureScore, SelectConfig, SelectionCriterion};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -183,6 +183,16 @@ impl RankedPredictions {
     /// argsort — ties keep row order, `NaN` sorts last.
     pub fn top_rows(&self, n: usize) -> Vec<(RowKey, f64, bool)> {
         top_k(&self.probabilities, n)
+            .into_iter()
+            .map(|i| (self.rows[i], self.probabilities[i], self.labels[i]))
+            .collect()
+    }
+
+    /// [`Self::top_rows`] with the selection fanned out over `shards`
+    /// scoped threads (merge-based top-`B`). Bit-identical to the serial
+    /// result for any shard count — see `nevermind_ml::rank::top_k_sharded`.
+    pub fn top_rows_sharded(&self, n: usize, shards: usize) -> Vec<(RowKey, f64, bool)> {
+        top_k_sharded(&self.probabilities, n, shards)
             .into_iter()
             .map(|i| (self.rows[i], self.probabilities[i], self.labels[i]))
             .collect()
@@ -678,6 +688,16 @@ mod tests {
         let b = predictor.rank(&data, &split.test_days);
         assert_eq!(a.probabilities, b.probabilities);
         assert_eq!(a.top_rows(10), b.top_rows(10));
+    }
+
+    #[test]
+    fn sharded_top_rows_match_serial() {
+        let (data, split, predictor, _) = fitted();
+        let ranking = predictor.rank(&data, &split.test_days);
+        let serial = ranking.top_rows(50);
+        for shards in [1usize, 2, 7, 16] {
+            assert_eq!(serial, ranking.top_rows_sharded(50, shards), "{shards} shards");
+        }
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct WeeklyScorer<'a> {
     /// tracing is enabled so [`Self::traced_assembled_row`] can explain
     /// lines without re-encoding anything.
     last_narrow: Option<FeatureMatrix>,
+    /// Shard-parallelism degree. `0` (the default) keeps the legacy
+    /// behaviour: serial ingest/encode, auto-threaded margins, serial
+    /// top-`B`. `>= 1` pins that many shards on every stage. Every stage
+    /// is bit-identical across settings, so this is pure execution policy.
+    shards: usize,
     meas_cursor: usize,
     ticket_cursor: usize,
 }
@@ -126,9 +131,24 @@ impl<'a> WeeklyScorer<'a> {
             used,
             n_assembled,
             last_narrow: None,
+            shards: 0,
             meas_cursor: 0,
             ticket_cursor: 0,
         }
+    }
+
+    /// Sets the shard-parallelism degree for every weekly stage (ingest,
+    /// encode, margins, top-`B`). `0` restores the legacy policy (serial
+    /// ingest/encode, auto-threaded margins). Rankings are bit-identical
+    /// for every setting — shard count is an execution detail, pinned by
+    /// the equivalence tests below.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
+    }
+
+    /// The configured shard-parallelism degree (`0` = legacy/auto).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Ingests whatever the logs have accrued since the last call. Pass the
@@ -143,7 +163,11 @@ impl<'a> WeeklyScorer<'a> {
             measurements.len() >= self.meas_cursor && tickets.len() >= self.ticket_cursor,
             "logs must only grow between observations"
         );
-        self.encoder.ingest(&measurements[self.meas_cursor..], &tickets[self.ticket_cursor..]);
+        self.encoder.ingest_sharded(
+            &measurements[self.meas_cursor..],
+            &tickets[self.ticket_cursor..],
+            self.shards.max(1),
+        );
         self.meas_cursor = measurements.len();
         self.ticket_cursor = tickets.len();
     }
@@ -162,7 +186,7 @@ impl<'a> WeeklyScorer<'a> {
     /// [`BatchScorer::margins_compact_parallel`].
     pub fn rank_week(&mut self, day: u32) -> RankedPredictions {
         let _span = nevermind_obs::span!("weekly/rank_week");
-        let base = self.encoder.encode_day_cols(day, &self.needed);
+        let base = self.encoder.encode_day_cols_sharded(day, &self.needed, self.shards.max(1));
         let n_rows = base.data.len();
         nevermind_obs::counter_add!("weekly/lines_scored", n_rows);
         let mut values = Vec::with_capacity(n_rows * self.plan.len());
@@ -175,7 +199,7 @@ impl<'a> WeeklyScorer<'a> {
             }));
         }
         let narrow = FeatureMatrix::new(n_rows, self.narrow_meta.clone(), values);
-        let margins = self.scorer.margins_compact_parallel(&narrow, 0);
+        let margins = self.scorer.margins_compact_parallel(&narrow, self.shards);
         let probabilities = self.predictor.calibration().probabilities(&margins);
         // Retain the narrow matrix only while decision tracing wants to
         // explain lines afterwards; with tracing off this is one relaxed
@@ -217,8 +241,13 @@ impl<'a> WeeklyScorer<'a> {
 
     /// The week's top-`budget` lines, best first — the dispatch list.
     pub fn top_lines(&mut self, day: u32, budget: usize) -> Vec<LineId> {
-        let top: Vec<LineId> =
-            self.rank_week(day).top_rows(budget).into_iter().map(|(key, _, _)| key.line).collect();
+        let shards = self.shards.max(1);
+        let top: Vec<LineId> = self
+            .rank_week(day)
+            .top_rows_sharded(budget, shards)
+            .into_iter()
+            .map(|(key, _, _)| key.line)
+            .collect();
         nevermind_obs::counter_add!("weekly/lines_dispatched", top.len());
         top
     }
@@ -249,6 +278,11 @@ mod tests {
 
         let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
         engine.observe(&data.output.measurements, &data.output.tickets);
+        // A second engine running every stage shard-parallel must agree
+        // bit-for-bit with both the legacy engine and the batch ranking.
+        let mut sharded = WeeklyScorer::new(&predictor, &data.topology.lines);
+        sharded.set_shards(7);
+        sharded.observe(&data.output.measurements, &data.output.tickets);
 
         for &day in split.test_days.iter().take(2) {
             let batch = predictor.rank(&data, &[day]);
@@ -261,6 +295,19 @@ mod tests {
             }
             let budget = cfg.budget(batch.len());
             assert_eq!(batch.top_rows(budget), streaming.top_rows(budget), "day {day}");
+
+            let shard_ranked = sharded.rank_week(day);
+            assert_eq!(batch.rows, shard_ranked.rows, "day {day}: sharded rows");
+            for (r, (a, b)) in
+                batch.probabilities.iter().zip(&shard_ranked.probabilities).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "day {day} sharded row {r}: {a} vs {b}");
+            }
+            assert_eq!(
+                batch.top_rows(budget),
+                shard_ranked.top_rows_sharded(budget, 7),
+                "day {day}: sharded top-B"
+            );
         }
     }
 

@@ -23,14 +23,18 @@
 //!   ([`traffic`]).
 //!
 //! The whole simulation is deterministic given [`config::SimConfig::seed`]:
-//! every subsystem draws from its own ChaCha8 stream, so changing one
-//! subsystem's draw pattern does not perturb the others.
+//! every (subsystem, DSLAM subtree) pair draws from its own ChaCha8 stream,
+//! so changing one subsystem's draw pattern does not perturb the others —
+//! and the draw sequence is a property of the plant, not of how it is
+//! partitioned across threads.
 //!
 //! The entry point is [`world::World`]: build one with
 //! [`world::World::generate`], then either [`world::World::run`] it for a
 //! full reactive year (the paper's offline setting) or drive it day by day
 //! with [`world::World::step_day`] and inject proactive dispatches (the
-//! operational NEVERMIND loop).
+//! operational NEVERMIND loop). [`world::World::with_shards`] steps the
+//! plant as N DSLAM-subtree shards on scoped threads, bit-identical to the
+//! serial run for every shard count (see `tests/sharding.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,6 +15,21 @@
 //!   yourself, inspect [`World::output`] after each Saturday, and inject
 //!   [`World::schedule_proactive_dispatch`] calls for the predictor's
 //!   top-ranked lines.
+//!
+//! # Sharded stepping
+//!
+//! The plant is partitioned by DSLAM subtree into [`World::with_shards`]
+//! contiguous shards. Every DSLAM owns five ChaCha8 streams (fault,
+//! customer, measure, dispatch, misc), each seeded
+//! `subseed(subseed(world_seed, subsystem), dslam_id)` — so the draw
+//! sequence behind any line depends only on its DSLAM, never on how many
+//! shards the plant happens to be split into. `step_day` steps shards on
+//! scoped threads, each writing tickets, notes, measurements, traffic and
+//! trace events into a private per-day buffer; the buffers are merged in
+//! shard order (= plant line order) with ticket ids renumbered at the
+//! merge. The one-shard path runs the identical buffer-and-merge code
+//! inline, which is what makes `--shards N` bit-identical to serial for
+//! every `N` (see `tests/sharding.rs`).
 
 use crate::config::{DayOfWeek, SimConfig};
 use crate::customer::{generate_customers, Customer};
@@ -102,6 +117,54 @@ struct LineHazard {
     extra_construction: f64,
 }
 
+/// One DSLAM subtree's RNG streams, derived `seed → subsystem → dslam`.
+///
+/// Deriving per-DSLAM (not per-shard) is what makes the draw sequence a
+/// property of the plant rather than of the partition: shard boundaries
+/// can move freely without perturbing a single sample.
+struct SubtreeRngs {
+    fault: ChaCha8Rng,
+    customer: ChaCha8Rng,
+    measure: ChaCha8Rng,
+    dispatch: ChaCha8Rng,
+    misc: ChaCha8Rng,
+}
+
+impl SubtreeRngs {
+    fn new(seed: u64, dslam: u32) -> Self {
+        let stream =
+            |s: u64| ChaCha8Rng::seed_from_u64(subseed(subseed(seed, s), u64::from(dslam)));
+        Self {
+            fault: stream(5),
+            customer: stream(6),
+            measure: stream(7),
+            dispatch: stream(8),
+            misc: stream(9),
+        }
+    }
+}
+
+/// Mutable per-line and per-DSLAM state, split into shard slices each day.
+struct PlantState {
+    /// Per line: fault history.
+    faults: Vec<Vec<Fault>>,
+    /// Per line: first day the customer noticed the current problem.
+    aware_since: Vec<Option<u32>>,
+    /// Per line: contract terminated.
+    churned: Vec<bool>,
+    /// Per line: trailing 8-day usage window (bit 0 = today).
+    usage_bits: Vec<u8>,
+    /// Per line: the at-most-one scheduled truck roll.
+    pending: Vec<Option<PendingDispatch>>,
+    /// Per DSLAM: subsystem RNG streams.
+    rngs: Vec<SubtreeRngs>,
+    /// Per DSLAM: outage calls that became tickets (u16 + saturation so a
+    /// very large DSLAM in a long outage can neither wrap nor panic).
+    outage_reports: Vec<u16>,
+    /// Per DSLAM: the IVR announcement is up.
+    outage_known: Vec<bool>,
+}
+
 /// The running simulation.
 pub struct World {
     config: SimConfig,
@@ -110,29 +173,90 @@ pub struct World {
     calendar: ExogenousCalendar,
     outages: OutageSchedule,
 
-    faults: Vec<Vec<Fault>>,
     hazards: Vec<LineHazard>,
     mean_base_hazard: f64,
+    /// Per line: covered by the BRAS traffic sample.
+    traffic_covered: Vec<bool>,
 
-    aware_since: Vec<Option<u32>>,
-    churned: Vec<bool>,
-    usage_bits: Vec<u8>,
-    dispatch_scheduled: Vec<bool>,
-    pending: Vec<PendingDispatch>,
+    state: PlantState,
     priors: [f64; N_DISPOSITIONS],
 
-    outage_reports: Vec<u8>,
-    outage_known: Vec<bool>,
-
+    shards: usize,
     day: u32,
     next_ticket: u32,
     out: SimOutput,
+}
 
-    rng_fault: ChaCha8Rng,
-    rng_customer: ChaCha8Rng,
-    rng_measure: ChaCha8Rng,
-    rng_dispatch: ChaCha8Rng,
-    rng_misc: ChaCha8Rng,
+/// Read-only context shared by all shards during one day.
+#[derive(Clone, Copy)]
+struct StepCtx<'a> {
+    config: &'a SimConfig,
+    topology: &'a Topology,
+    customers: &'a [Customer],
+    calendar: &'a ExogenousCalendar,
+    outages: &'a OutageSchedule,
+    hazards: &'a [LineHazard],
+    traffic_covered: &'a [bool],
+    mean_base_hazard: f64,
+    /// Day-start snapshot: every shard triages with the same priors.
+    priors: [f64; N_DISPOSITIONS],
+    day: u32,
+    trace: bool,
+}
+
+/// One shard's slice of the mutable plant state: a contiguous DSLAM range
+/// and the contiguous line range it terminates.
+struct ShardMut<'a> {
+    first_dslam: usize,
+    first_line: usize,
+    faults: &'a mut [Vec<Fault>],
+    aware_since: &'a mut [Option<u32>],
+    churned: &'a mut [bool],
+    usage_bits: &'a mut [u8],
+    pending: &'a mut [Option<PendingDispatch>],
+    rngs: &'a mut [SubtreeRngs],
+    outage_reports: &'a mut [u16],
+    outage_known: &'a mut [bool],
+}
+
+/// Everything a shard produced in one day, merged in shard order.
+///
+/// Ticket ids are shard-local indices into `tickets` until the merge
+/// assigns each shard a contiguous global id block; `remote_notes` and
+/// `new_pending` carry the local index so the merge can patch them.
+struct DayBuffer {
+    tickets: Vec<(LineId, TicketCategory)>,
+    /// Remote-fix notes (advance phase), with the local ticket index.
+    remote_notes: Vec<(DispositionNote, u32)>,
+    /// Truck-roll notes (dispatch phase); their tickets are already global.
+    visit_notes: Vec<DispositionNote>,
+    /// Reactive dispatches queued today, with the local ticket index.
+    new_pending: Vec<(PendingDispatch, u32)>,
+    ivr_calls: Vec<IvrCall>,
+    churn_events: Vec<ChurnEvent>,
+    measurements: Vec<LineTest>,
+    traffic: Vec<(LineId, u32)>,
+    trace: Vec<nevermind_obs::trace::TraceEvent>,
+    /// Disposition prior increments, replayed as exact `+1.0` sequences at
+    /// the merge so the f64 op sequence is identical for any shard count.
+    prior_counts: [u32; N_DISPOSITIONS],
+}
+
+impl Default for DayBuffer {
+    fn default() -> Self {
+        Self {
+            tickets: Vec::new(),
+            remote_notes: Vec::new(),
+            visit_notes: Vec::new(),
+            new_pending: Vec::new(),
+            ivr_calls: Vec::new(),
+            churn_events: Vec::new(),
+            measurements: Vec::new(),
+            traffic: Vec::new(),
+            trace: Vec::new(),
+            prior_counts: [0; N_DISPOSITIONS],
+        }
+    }
 }
 
 /// Samples the disposition for a new fault under current conditions.
@@ -197,6 +321,407 @@ fn subseed(master: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Fraction of the trailing seven days the customer was online, in [0, 1].
+///
+/// The `u8` window holds eight days of history; the Saturday test reads
+/// only the trailing seven. (Bug fix: the eighth bit used to leak into the
+/// count, so an always-on customer measured 8/7 ≈ 1.14.)
+fn weekly_usage(bits: u8) -> f64 {
+    f64::from((bits & 0x7F).count_ones()) / 7.0
+}
+
+/// Daily fault-onset probability under the hazard normalization.
+///
+/// Guards the degenerate all-zero-hazard plant: `mean_base_hazard == 0`
+/// would otherwise turn the division into NaN and poison `random_bool`.
+fn fault_onset_prob(daily_rate: f64, total_hazard: f64, mean_base_hazard: f64) -> f64 {
+    if mean_base_hazard <= 0.0 {
+        return 0.0;
+    }
+    (daily_rate * total_hazard / mean_base_hazard).clamp(0.0, 1.0)
+}
+
+/// Splits `n_dslams` DSLAMs into at most `n_shards` contiguous,
+/// near-equal, non-empty ranges.
+fn shard_bounds(n_dslams: usize, n_shards: usize) -> Vec<(usize, usize)> {
+    let k = n_shards.clamp(1, n_dslams.max(1));
+    (0..k).map(|s| (s * n_dslams / k, (s + 1) * n_dslams / k)).collect()
+}
+
+/// Carves the plant state into per-shard mutable slices along `bounds`.
+fn split_shards<'a>(
+    topology: &Topology,
+    bounds: &[(usize, usize)],
+    state: &'a mut PlantState,
+) -> Vec<ShardMut<'a>> {
+    let n_lines = topology.lines.len();
+    // First line terminated at or after DSLAM `d`.
+    let line_at = |d: usize| -> usize {
+        if d >= topology.dslams.len() {
+            n_lines
+        } else {
+            topology.dslams[d].first_line.index()
+        }
+    };
+    let mut faults = state.faults.as_mut_slice();
+    let mut aware_since = state.aware_since.as_mut_slice();
+    let mut churned = state.churned.as_mut_slice();
+    let mut usage_bits = state.usage_bits.as_mut_slice();
+    let mut pending = state.pending.as_mut_slice();
+    let mut rngs = state.rngs.as_mut_slice();
+    let mut outage_reports = state.outage_reports.as_mut_slice();
+    let mut outage_known = state.outage_known.as_mut_slice();
+    macro_rules! take {
+        ($slice:ident, $n:expr) => {{
+            let (head, tail) = std::mem::take(&mut $slice).split_at_mut($n);
+            $slice = tail;
+            head
+        }};
+    }
+    let mut shards = Vec::with_capacity(bounds.len());
+    for &(d0, d1) in bounds {
+        let first_line = line_at(d0);
+        let n_l = line_at(d1) - first_line;
+        let n_d = d1 - d0;
+        shards.push(ShardMut {
+            first_dslam: d0,
+            first_line,
+            faults: take!(faults, n_l),
+            aware_since: take!(aware_since, n_l),
+            churned: take!(churned, n_l),
+            usage_bits: take!(usage_bits, n_l),
+            pending: take!(pending, n_l),
+            rngs: take!(rngs, n_d),
+            outage_reports: take!(outage_reports, n_d),
+            outage_known: take!(outage_known, n_d),
+        });
+    }
+    shards
+}
+
+/// One shard's full day: outage bookkeeping, per-line advancement, due
+/// dispatches, and (Saturdays) line tests.
+fn step_shard(ctx: &StepCtx<'_>, shard: &mut ShardMut<'_>, buf: &mut DayBuffer) {
+    refresh_outage_state(ctx, shard);
+    advance_lines(ctx, shard, buf);
+    process_dispatches(ctx, shard, buf);
+    if DayOfWeek::of(ctx.day).is_test_day() {
+        run_line_tests(ctx, shard, buf);
+    }
+}
+
+/// Resets IVR counters at outage boundaries.
+fn refresh_outage_state(ctx: &StepCtx<'_>, shard: &mut ShardMut<'_>) {
+    for d in 0..shard.outage_reports.len() {
+        let dslam = DslamId((shard.first_dslam + d) as u32);
+        if !ctx.outages.is_down(dslam, ctx.day) {
+            shard.outage_reports[d] = 0;
+            shard.outage_known[d] = false;
+        }
+    }
+}
+
+/// Per-line daily processing: usage, fault onsets/healing, awareness,
+/// calls and tickets, traffic.
+fn advance_lines(ctx: &StepCtx<'_>, shard: &mut ShardMut<'_>, buf: &mut DayBuffer) {
+    let day = ctx.day;
+    let daily_rate = ctx.config.faults_per_line_year / 365.0;
+
+    for d in 0..shard.rngs.len() {
+        let dslam_id = DslamId((shard.first_dslam + d) as u32);
+        let dslam = ctx.topology.dslam(dslam_id);
+        let region = dslam.region;
+        let dslam_down = ctx.outages.is_down(dslam_id, day);
+        let dslam_stress = ctx.outages.stress(dslam_id, day);
+
+        for line_id in dslam.lines() {
+            let gi = line_id.index();
+            let li = gi - shard.first_line;
+
+            // Churned customers are gone: no usage, no problems noticed,
+            // no calls. The copper stays in the plant but the service is
+            // disconnected.
+            if shard.churned[li] {
+                shard.usage_bits[li] <<= 1;
+                record_traffic(ctx, buf, line_id, false, &mut shard.rngs[d].misc);
+                continue;
+            }
+
+            let customer = &ctx.customers[gi];
+
+            // --- usage ---
+            let used = customer.uses_service(day, &mut shard.rngs[d].customer);
+            shard.usage_bits[li] = (shard.usage_bits[li] << 1) | u8::from(used);
+
+            // --- fault self-healing ---
+            for f in shard.faults[li].iter_mut() {
+                if f.repaired_day.is_none() && f.onset_day <= day {
+                    let heal_p = match f.disposition.info().class {
+                        FaultClass::Hard => 0.002,
+                        FaultClass::Intermittent => 0.02,
+                        FaultClass::Degraded => 0.018,
+                    };
+                    if shard.rngs[d].fault.random_bool(heal_p) {
+                        f.repaired_day = Some(day);
+                    }
+                }
+            }
+
+            // --- fault onset ---
+            let active_count = shard.faults[li].iter().filter(|f| f.active(day)).count();
+            if active_count < 3 {
+                let h = &ctx.hazards[gi];
+                let wet = ctx.calendar.is_wet(region, day);
+                let constr = ctx.calendar.is_construction(dslam_id, day);
+                let mut total = h.sum_base;
+                if wet {
+                    total += h.extra_wet;
+                }
+                if constr {
+                    total += h.extra_construction;
+                }
+                let p = fault_onset_prob(daily_rate, total, ctx.mean_base_hazard);
+                if shard.rngs[d].fault.random_bool(p) {
+                    if let Some(fault) = sample_new_fault(
+                        &ctx.topology.lines[gi],
+                        &shard.faults[li],
+                        day,
+                        wet,
+                        constr,
+                        &mut shard.rngs[d].fault,
+                    ) {
+                        shard.faults[li].push(fault);
+                    }
+                }
+            }
+
+            // --- outage handling (overrides individual awareness) ---
+            if dslam_down {
+                if used && !customer.is_away(day) {
+                    // The service is dead; the customer calls with outage
+                    // urgency modulated by the weekly pattern.
+                    let p = customer.call_prob(day, 1.0, ctx.config.report_base_prob * 1.6);
+                    if shard.rngs[d].customer.random_bool(p) {
+                        if shard.outage_known[d] {
+                            buf.ivr_calls.push(IvrCall { line: line_id, day });
+                        } else {
+                            buf.tickets.push((line_id, TicketCategory::Outage));
+                            shard.outage_reports[d] = shard.outage_reports[d].saturating_add(1);
+                            if shard.outage_reports[d] >= 3 {
+                                shard.outage_known[d] = true;
+                            }
+                        }
+                    }
+                }
+                // No individual fault reporting while the DSLAM is down.
+                record_traffic(ctx, buf, line_id, false, &mut shard.rngs[d].misc);
+                continue;
+            }
+
+            // --- awareness & reporting of line faults ---
+            // A degrading DSLAM card is user-visible too: sporadic drops in
+            // the precursor window produce some genuine pre-outage
+            // customer-edge tickets (and keep the measurement pattern from
+            // being a pure no-ticket signature).
+            let stress_perceived = 0.55 * dslam_stress * stress_susceptibility(line_id);
+            let perceived = shard.faults[li]
+                .iter()
+                .map(|f| f.perceived_severity(day))
+                .fold(stress_perceived, f64::max);
+            if perceived <= 0.0 {
+                shard.aware_since[li] = None;
+            } else {
+                if shard.aware_since[li].is_none() && used && perceived > customer.tolerance {
+                    shard.aware_since[li] = Some(day);
+                }
+                if let Some(since) = shard.aware_since[li] {
+                    let p = customer.call_prob(day, perceived, ctx.config.report_base_prob);
+                    if shard.rngs[d].customer.random_bool(p) {
+                        let local_ticket = buf.tickets.len() as u32;
+                        buf.tickets.push((line_id, TicketCategory::CustomerEdge));
+                        handle_customer_edge_ticket(ctx, shard, buf, d, li, local_ticket);
+                    }
+                    // A problem the customer has been living with for more
+                    // than a week starts burning goodwill; eventually they
+                    // terminate the contract.
+                    if day.saturating_sub(since) > 7 {
+                        let p_churn = customer.churn_propensity * 0.012;
+                        if shard.rngs[d].customer.random_bool(p_churn) {
+                            shard.churned[li] = true;
+                            buf.churn_events.push(ChurnEvent { line: line_id, day });
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // --- non-technical tickets ---
+            let p_nt = ctx.config.non_technical_tickets_per_line_year / 365.0;
+            if shard.rngs[d].misc.random_bool(p_nt.clamp(0.0, 1.0)) {
+                buf.tickets.push((line_id, TicketCategory::NonTechnical));
+            }
+
+            // --- traffic ---
+            let hard_down = shard.faults[li].iter().any(|f| {
+                f.active(day)
+                    && f.disposition.info().class == FaultClass::Hard
+                    && f.severity(day) > 0.8
+            });
+            record_traffic(ctx, buf, line_id, used && !hard_down, &mut shard.rngs[d].misc);
+        }
+    }
+}
+
+/// ATDS triage of a fresh customer-edge ticket: remote resolution or a
+/// field dispatch in 1–3 days (unless one is already scheduled).
+fn handle_customer_edge_ticket(
+    ctx: &StepCtx<'_>,
+    shard: &mut ShardMut<'_>,
+    buf: &mut DayBuffer,
+    d: usize,
+    li: usize,
+    local_ticket: u32,
+) {
+    if shard.pending[li].is_some() {
+        return; // repeat ticket while a visit is pending
+    }
+    let day = ctx.day;
+    let line_id = LineId((shard.first_line + li) as u32);
+    // Remote resolution path (configuration fixes, reboots).
+    if shard.rngs[d].dispatch.random_bool(0.15) {
+        let live_closest = shard.faults[li]
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.active(day))
+            .min_by_key(|(_, f)| f.disposition.location())
+            .map(|(i, _)| i);
+        if let Some(fi) = live_closest {
+            let disposition = shard.faults[li][fi].disposition;
+            // Remote fixes reliably handle only configuration-style
+            // problems; hardware faults bounce back to a dispatch.
+            if matches!(disposition.info().class, FaultClass::Degraded) {
+                shard.faults[li][fi].repaired_day = Some(day + 1);
+                buf.prior_counts[disposition.0 as usize] += 1;
+                buf.remote_notes.push((
+                    DispositionNote {
+                        ticket: None, // local id; patched to global at merge
+                        line: line_id,
+                        day: day + 1,
+                        disposition: Some(disposition),
+                        tests_performed: 0,
+                        minutes_spent: 0.0,
+                        proactive: false,
+                    },
+                    local_ticket,
+                ));
+                return;
+            }
+        }
+    }
+    let delay = shard.rngs[d].dispatch.random_range(1..=3u32);
+    buf.new_pending.push((
+        PendingDispatch { due_day: day + delay, line: line_id, ticket: None, proactive: false },
+        local_ticket,
+    ));
+}
+
+/// Runs all dispatches due today, in line order within the shard.
+fn process_dispatches(ctx: &StepCtx<'_>, shard: &mut ShardMut<'_>, buf: &mut DayBuffer) {
+    let day = ctx.day;
+    // All of today's visits triage with the day-start priors snapshot, so
+    // the disposition check order cannot depend on the shard partition.
+    let order = basic_order(&ctx.priors);
+    for li in 0..shard.pending.len() {
+        if !shard.pending[li].as_ref().is_some_and(|p| p.due_day <= day) {
+            continue;
+        }
+        let Some(p) = shard.pending[li].take() else {
+            continue;
+        };
+        let d = ctx.topology.lines[shard.first_line + li].dslam.index() - shard.first_dslam;
+        let outcome = run_dispatch(
+            p.line,
+            &mut shard.faults[li],
+            day,
+            &order,
+            p.ticket,
+            p.proactive,
+            &mut shard.rngs[d].dispatch,
+        );
+        if let Some(found) = outcome.note.disposition {
+            buf.prior_counts[found.0 as usize] += 1;
+        }
+        if ctx.trace {
+            // Close the provenance loop: what the truck found, keyed
+            // back to the originating "dispatch" event by line (and to
+            // the week's "rank" event for proactive visits).
+            let note = &outcome.note;
+            buf.trace.push(
+                nevermind_obs::trace::TraceEvent::new("visit")
+                    .line(note.line.0)
+                    .day(day)
+                    .attr("proactive", note.proactive)
+                    .attr("found_fault", note.disposition.is_some())
+                    .attr("disposition", note.disposition.map_or("none", |dd| dd.info().code))
+                    .attr("tests_performed", note.tests_performed)
+                    .attr("minutes_spent", note.minutes_spent),
+            );
+        }
+        buf.visit_notes.push(outcome.note);
+    }
+}
+
+/// Saturday line tests across the shard.
+fn run_line_tests(ctx: &StepCtx<'_>, shard: &mut ShardMut<'_>, buf: &mut DayBuffer) {
+    let day = ctx.day;
+    for d in 0..shard.rngs.len() {
+        let dslam_id = DslamId((shard.first_dslam + d) as u32);
+        let dslam = ctx.topology.dslam(dslam_id);
+        let down = ctx.outages.is_down(dslam_id, day);
+        let raw_stress = ctx.outages.stress(dslam_id, day);
+
+        for line_id in dslam.lines() {
+            let gi = line_id.index();
+            let li = gi - shard.first_line;
+            if shard.churned[li] {
+                continue; // service disconnected: the test gets no answer
+            }
+            let line = &ctx.topology.lines[gi];
+            let customer = &ctx.customers[gi];
+            let used_today = shard.usage_bits[li] & 1 == 1;
+
+            // Customer-side modem silence first.
+            let p_off = customer.modem_off_prob(day, used_today);
+            if shard.rngs[d].measure.random_bool(p_off) {
+                continue;
+            }
+
+            let stress = if down { 1.0 } else { raw_stress * stress_susceptibility(line_id) };
+            let effects = combine_effects(line, &shard.faults[li], day, stress);
+            if !modem_answers(&effects, &mut shard.rngs[d].measure) {
+                continue;
+            }
+            let usage = weekly_usage(shard.usage_bits[li]);
+            let values = synthesize(line, &effects, usage, &mut shard.rngs[d].measure);
+            buf.measurements.push(LineTest { line: line_id, day, values });
+        }
+    }
+}
+
+fn record_traffic(
+    ctx: &StepCtx<'_>,
+    buf: &mut DayBuffer,
+    line: LineId,
+    active: bool,
+    rng: &mut ChaCha8Rng,
+) {
+    if !ctx.traffic_covered[line.index()] {
+        return;
+    }
+    let kb = if active { rng.random_range(200..8_000u32) } else { 0 };
+    buf.traffic.push((line, kb));
+}
+
 impl World {
     /// Builds a world from the configuration. Deterministic in
     /// `config.seed`.
@@ -247,33 +772,40 @@ impl World {
             hazards.iter().map(|h| h.sum_base).sum::<f64>() / hazards.len().max(1) as f64;
 
         // Traffic is sampled for the lines under the first N BRAS servers.
-        let sampled_lines: Vec<LineId> = topology
+        let traffic_covered: Vec<bool> = topology
             .lines
             .iter()
-            .filter(|l| topology.bras_of(l.id).index() < config.traffic_bras_sample)
-            .map(|l| l.id)
+            .map(|l| topology.bras_of(l.id).index() < config.traffic_bras_sample)
             .collect();
+        let sampled_lines: Vec<LineId> =
+            topology.lines.iter().filter(|l| traffic_covered[l.id.index()]).map(|l| l.id).collect();
         let traffic = TrafficTable::new(sampled_lines, config.days);
 
         let n_lines = topology.lines.len();
         let n_dslams = topology.dslams.len();
         let outage_events = outages.events().to_vec();
+        let rngs: Vec<SubtreeRngs> =
+            (0..n_dslams).map(|d| SubtreeRngs::new(config.seed, d as u32)).collect();
 
         Self {
             customers,
             calendar,
             outages,
-            faults: vec![Vec::new(); n_lines],
             hazards,
             mean_base_hazard,
-            aware_since: vec![None; n_lines],
-            churned: vec![false; n_lines],
-            usage_bits: vec![0; n_lines],
-            dispatch_scheduled: vec![false; n_lines],
-            pending: Vec::new(),
+            traffic_covered,
+            state: PlantState {
+                faults: vec![Vec::new(); n_lines],
+                aware_since: vec![None; n_lines],
+                churned: vec![false; n_lines],
+                usage_bits: vec![0; n_lines],
+                pending: vec![None; n_lines],
+                rngs,
+                outage_reports: vec![0; n_dslams],
+                outage_known: vec![false; n_dslams],
+            },
             priors: taxonomy_priors(),
-            outage_reports: vec![0; n_dslams],
-            outage_known: vec![false; n_dslams],
+            shards: 1,
             day: 0,
             next_ticket: 0,
             out: SimOutput {
@@ -286,14 +818,25 @@ impl World {
                 churn_events: Vec::new(),
                 days: config.days,
             },
-            rng_fault: ChaCha8Rng::seed_from_u64(subseed(config.seed, 5)),
-            rng_customer: ChaCha8Rng::seed_from_u64(subseed(config.seed, 6)),
-            rng_measure: ChaCha8Rng::seed_from_u64(subseed(config.seed, 7)),
-            rng_dispatch: ChaCha8Rng::seed_from_u64(subseed(config.seed, 8)),
-            rng_misc: ChaCha8Rng::seed_from_u64(subseed(config.seed, 9)),
             topology,
             config,
         }
+    }
+
+    /// Returns the world stepping with `shards` parallel shards (clamped
+    /// to at least 1; shards beyond the DSLAM count are merged away).
+    ///
+    /// Sharding is an execution detail, not a modelling one: any shard
+    /// count produces bit-identical [`SimOutput`] logs and trace bytes.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Number of shards [`World::step_day`] splits the plant into.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The configuration the world was built from.
@@ -328,27 +871,27 @@ impl World {
 
     /// Whether the customer on a line has churned.
     pub fn has_churned(&self, line: LineId) -> bool {
-        self.churned[line.index()]
+        self.state.churned[line.index()]
     }
 
     /// Ground-truth view: live (active, unrepaired) faults on a line.
     /// Used by evaluation code, never by the learning pipeline.
     pub fn live_faults(&self, line: LineId) -> Vec<&Fault> {
-        self.faults[line.index()].iter().filter(|f| f.active(self.day)).collect()
+        self.state.faults[line.index()].iter().filter(|f| f.active(self.day)).collect()
     }
 
     /// Full fault history of a line (ground truth for evaluation).
     pub fn fault_history(&self, line: LineId) -> &[Fault] {
-        &self.faults[line.index()]
+        &self.state.faults[line.index()]
     }
 
     /// Schedules a proactive (NEVERMIND) dispatch for `line`, `delay_days`
     /// from now. Ignored if a dispatch is already scheduled for the line.
     pub fn schedule_proactive_dispatch(&mut self, line: LineId, delay_days: u32) {
-        if self.dispatch_scheduled[line.index()] {
+        let li = line.index();
+        if self.state.pending[li].is_some() {
             return;
         }
-        self.dispatch_scheduled[line.index()] = true;
         nevermind_obs::counter_add!("sim/proactive_scheduled", 1);
         let due_day = self.day + delay_days.max(1);
         if nevermind_obs::trace::enabled() {
@@ -362,7 +905,8 @@ impl World {
                     .attr("proactive", true),
             );
         }
-        self.pending.push(PendingDispatch { due_day, line, ticket: None, proactive: true });
+        self.state.pending[li] =
+            Some(PendingDispatch { due_day, line, ticket: None, proactive: true });
     }
 
     /// Runs the remaining horizon reactively and returns the logs.
@@ -374,7 +918,8 @@ impl World {
         self.out
     }
 
-    /// Advances the simulation by one day.
+    /// Advances the simulation by one day, stepping each shard on its own
+    /// scoped thread and merging the per-shard buffers in shard order.
     ///
     /// # Panics
     /// Panics if stepped past the configured horizon.
@@ -383,316 +928,93 @@ impl World {
         nevermind_obs::counter_add!("sim/days_stepped", 1);
         assert!(self.day < self.config.days, "stepped past the simulation horizon");
         let day = self.day;
-        let dow = DayOfWeek::of(day);
 
-        self.refresh_outage_state(day);
-        self.advance_lines(day);
-        self.process_dispatches(day);
-        if dow.is_test_day() {
-            self.run_line_tests(day);
+        let ctx = StepCtx {
+            config: &self.config,
+            topology: &self.topology,
+            customers: &self.customers,
+            calendar: &self.calendar,
+            outages: &self.outages,
+            hazards: &self.hazards,
+            traffic_covered: &self.traffic_covered,
+            mean_base_hazard: self.mean_base_hazard,
+            priors: self.priors,
+            day,
+            trace: nevermind_obs::trace::enabled(),
+        };
+        let bounds = shard_bounds(self.topology.dslams.len(), self.shards);
+        let mut bufs: Vec<DayBuffer> = bounds.iter().map(|_| DayBuffer::default()).collect();
+        let mut shards = split_shards(&self.topology, &bounds, &mut self.state);
+        if shards.len() == 1 {
+            // Same buffer-and-merge path as the threaded case, inline.
+            step_shard(&ctx, &mut shards[0], &mut bufs[0]);
+        } else {
+            let ctx = &ctx;
+            std::thread::scope(|scope| {
+                for (shard, buf) in shards.iter_mut().zip(bufs.iter_mut()) {
+                    scope.spawn(move || step_shard(ctx, shard, buf));
+                }
+            });
         }
-
+        drop(shards);
+        self.merge_day(day, bufs);
         self.day += 1;
     }
 
-    /// Resets IVR counters at outage boundaries.
-    fn refresh_outage_state(&mut self, day: u32) {
-        for dslam in 0..self.topology.dslams.len() {
-            let down = self.outages.is_down(DslamId(dslam as u32), day);
-            if !down {
-                self.outage_reports[dslam] = 0;
-                self.outage_known[dslam] = false;
+    /// Folds the per-shard day buffers into the global logs and state, in
+    /// shard order — which, because shards are contiguous DSLAM ranges, is
+    /// plant line order within each record kind.
+    fn merge_day(&mut self, day: u32, mut bufs: Vec<DayBuffer>) {
+        // Ticket ids: each shard's buffer gets the next contiguous block.
+        let mut bases = Vec::with_capacity(bufs.len());
+        for buf in &bufs {
+            bases.push(self.next_ticket);
+            for &(line, category) in &buf.tickets {
+                self.out.tickets.push(Ticket { id: self.next_ticket, line, day, category });
+                self.next_ticket += 1;
             }
         }
-    }
-
-    /// Per-line daily processing: usage, fault onsets/healing, awareness,
-    /// calls and tickets, traffic.
-    fn advance_lines(&mut self, day: u32) {
-        let n_lines = self.topology.lines.len();
-        let daily_rate = self.config.faults_per_line_year / 365.0;
-
-        for li in 0..n_lines {
-            let line_id = LineId(li as u32);
-
-            // Churned customers are gone: no usage, no problems noticed,
-            // no calls. The copper stays in the plant but the service is
-            // disconnected.
-            if self.churned[li] {
-                self.usage_bits[li] <<= 1;
-                self.record_traffic(li, day, false);
-                continue;
+        // Notes keep their two producer phases separate: every shard's
+        // remote fixes (advance phase) land before any shard's truck rolls
+        // (dispatch phase), matching the single-shard emission order.
+        for (buf, &base) in bufs.iter_mut().zip(&bases) {
+            for (mut note, local) in buf.remote_notes.drain(..) {
+                note.ticket = Some(base + local);
+                self.out.notes.push(note);
             }
-
-            let dslam = self.topology.lines[li].dslam;
-            let region = self.topology.dslam(dslam).region;
-
-            // --- usage ---
-            let used = self.customers[li].uses_service(day, &mut self.rng_customer);
-            self.usage_bits[li] = (self.usage_bits[li] << 1) | u8::from(used);
-
-            // --- fault self-healing ---
-            for f in self.faults[li].iter_mut() {
-                if f.repaired_day.is_none() && f.onset_day <= day {
-                    let heal_p = match f.disposition.info().class {
-                        FaultClass::Hard => 0.002,
-                        FaultClass::Intermittent => 0.02,
-                        FaultClass::Degraded => 0.018,
-                    };
-                    if self.rng_fault.random_bool(heal_p) {
-                        f.repaired_day = Some(day);
-                    }
-                }
-            }
-
-            // --- fault onset ---
-            let active_count = self.faults[li].iter().filter(|f| f.active(day)).count();
-            if active_count < 3 {
-                let h = &self.hazards[li];
-                let wet = self.calendar.is_wet(region, day);
-                let constr = self.calendar.is_construction(dslam, day);
-                let mut total = h.sum_base;
-                if wet {
-                    total += h.extra_wet;
-                }
-                if constr {
-                    total += h.extra_construction;
-                }
-                let p = (daily_rate * total / self.mean_base_hazard).clamp(0.0, 1.0);
-                if self.rng_fault.random_bool(p) {
-                    if let Some(fault) = sample_new_fault(
-                        &self.topology.lines[li],
-                        &self.faults[li],
-                        day,
-                        wet,
-                        constr,
-                        &mut self.rng_fault,
-                    ) {
-                        self.faults[li].push(fault);
-                    }
-                }
-            }
-
-            // --- outage handling (overrides individual awareness) ---
-            let di = dslam.index();
-            if self.outages.is_down(dslam, day) {
-                if used && !self.customers[li].is_away(day) {
-                    // The service is dead; the customer calls with outage
-                    // urgency modulated by the weekly pattern.
-                    let p =
-                        self.customers[li].call_prob(day, 1.0, self.config.report_base_prob * 1.6);
-                    if self.rng_customer.random_bool(p) {
-                        if self.outage_known[di] {
-                            self.out.ivr_calls.push(IvrCall { line: line_id, day });
-                        } else {
-                            self.issue_ticket(line_id, day, TicketCategory::Outage);
-                            self.outage_reports[di] += 1;
-                            if self.outage_reports[di] >= 3 {
-                                self.outage_known[di] = true;
-                            }
-                        }
-                    }
-                }
-                // No individual fault reporting while the DSLAM is down.
-                self.record_traffic(li, day, false);
-                continue;
-            }
-
-            // --- awareness & reporting of line faults ---
-            // A degrading DSLAM card is user-visible too: sporadic drops in
-            // the precursor window produce some genuine pre-outage
-            // customer-edge tickets (and keep the measurement pattern from
-            // being a pure no-ticket signature).
-            let stress_perceived =
-                0.55 * self.outages.stress(dslam, day) * stress_susceptibility(line_id);
-            let perceived = self.faults[li]
-                .iter()
-                .map(|f| f.perceived_severity(day))
-                .fold(stress_perceived, f64::max);
-            if perceived <= 0.0 {
-                self.aware_since[li] = None;
-            } else {
-                if self.aware_since[li].is_none()
-                    && used
-                    && perceived > self.customers[li].tolerance
-                {
-                    self.aware_since[li] = Some(day);
-                }
-                if let Some(since) = self.aware_since[li] {
-                    let p =
-                        self.customers[li].call_prob(day, perceived, self.config.report_base_prob);
-                    if self.rng_customer.random_bool(p) {
-                        let ticket_id =
-                            self.issue_ticket(line_id, day, TicketCategory::CustomerEdge);
-                        self.handle_customer_edge_ticket(li, day, ticket_id);
-                    }
-                    // A problem the customer has been living with for more
-                    // than a week starts burning goodwill; eventually they
-                    // terminate the contract.
-                    if day.saturating_sub(since) > 7 {
-                        let p_churn = self.customers[li].churn_propensity * 0.012;
-                        if self.rng_customer.random_bool(p_churn) {
-                            self.churned[li] = true;
-                            self.out.churn_events.push(ChurnEvent { line: line_id, day });
-                            continue;
-                        }
-                    }
-                }
-            }
-
-            // --- non-technical tickets ---
-            let p_nt = self.config.non_technical_tickets_per_line_year / 365.0;
-            if self.rng_misc.random_bool(p_nt.clamp(0.0, 1.0)) {
-                self.issue_ticket(line_id, day, TicketCategory::NonTechnical);
-            }
-
-            // --- traffic ---
-            let hard_down = self.faults[li].iter().any(|f| {
-                f.active(day)
-                    && f.disposition.info().class == FaultClass::Hard
-                    && f.severity(day) > 0.8
-            });
-            self.record_traffic(li, day, used && !hard_down);
         }
-    }
-
-    fn issue_ticket(&mut self, line: LineId, day: u32, category: TicketCategory) -> u32 {
-        let id = self.next_ticket;
-        self.next_ticket += 1;
-        self.out.tickets.push(Ticket { id, line, day, category });
-        id
-    }
-
-    /// ATDS triage of a fresh customer-edge ticket: remote resolution or a
-    /// field dispatch in 1–3 days (unless one is already scheduled).
-    fn handle_customer_edge_ticket(&mut self, li: usize, day: u32, ticket_id: u32) {
-        if self.dispatch_scheduled[li] {
-            return; // repeat ticket while a visit is pending
+        for buf in &mut bufs {
+            self.out.notes.append(&mut buf.visit_notes);
         }
-        // Remote resolution path (configuration fixes, reboots).
-        if self.rng_dispatch.random_bool(0.15) {
-            let live_closest = self.faults[li]
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| f.active(day))
-                .min_by_key(|(_, f)| f.disposition.location())
-                .map(|(i, _)| i);
-            if let Some(fi) = live_closest {
-                let disposition = self.faults[li][fi].disposition;
-                // Remote fixes reliably handle only configuration-style
-                // problems; hardware faults bounce back to a dispatch.
-                if matches!(disposition.info().class, FaultClass::Degraded) {
-                    self.faults[li][fi].repaired_day = Some(day + 1);
-                    self.priors[disposition.0 as usize] += 1.0;
-                    self.out.notes.push(DispositionNote {
-                        ticket: Some(ticket_id),
-                        line: LineId(li as u32),
-                        day: day + 1,
-                        disposition: Some(disposition),
-                        tests_performed: 0,
-                        minutes_spent: 0.0,
-                        proactive: false,
-                    });
-                    return;
+        for (buf, &base) in bufs.iter_mut().zip(&bases) {
+            for (mut p, local) in buf.new_pending.drain(..) {
+                p.ticket = Some(base + local);
+                let li = p.line.index();
+                self.state.pending[li] = Some(p);
+            }
+        }
+        for buf in &mut bufs {
+            self.out.ivr_calls.append(&mut buf.ivr_calls);
+            self.out.churn_events.append(&mut buf.churn_events);
+            self.out.measurements.append(&mut buf.measurements);
+            for (line, kb) in buf.traffic.drain(..) {
+                self.out.traffic.record(line, day, kb);
+            }
+        }
+        // Priors advance by replaying each increment as `+1.0`: the same
+        // f64 op sequence regardless of how the counts were partitioned.
+        for buf in &bufs {
+            for (di, &count) in buf.prior_counts.iter().enumerate() {
+                for _ in 0..count {
+                    self.priors[di] += 1.0;
                 }
             }
         }
-        self.dispatch_scheduled[li] = true;
-        let delay = self.rng_dispatch.random_range(1..=3u32);
-        self.pending.push(PendingDispatch {
-            due_day: day + delay,
-            line: LineId(li as u32),
-            ticket: Some(ticket_id),
-            proactive: false,
-        });
-    }
-
-    /// Runs all dispatches due today.
-    fn process_dispatches(&mut self, day: u32) {
-        let mut due = Vec::new();
-        self.pending.retain(|p| {
-            if p.due_day <= day {
-                due.push(p.clone());
-                false
-            } else {
-                true
+        for buf in &mut bufs {
+            for ev in buf.trace.drain(..) {
+                nevermind_obs::trace::global().emit(ev);
             }
-        });
-        for p in due {
-            let li = p.line.index();
-            let order = basic_order(&self.priors);
-            let outcome = run_dispatch(
-                p.line,
-                &mut self.faults[li],
-                day,
-                &order,
-                p.ticket,
-                p.proactive,
-                &mut self.rng_dispatch,
-            );
-            if let Some(d) = outcome.note.disposition {
-                self.priors[d.0 as usize] += 1.0;
-            }
-            if nevermind_obs::trace::enabled() {
-                // Close the provenance loop: what the truck found, keyed
-                // back to the originating "dispatch" event by line (and to
-                // the week's "rank" event for proactive visits).
-                let note = &outcome.note;
-                nevermind_obs::trace::global().emit(
-                    nevermind_obs::trace::TraceEvent::new("visit")
-                        .line(note.line.0)
-                        .day(day)
-                        .attr("proactive", note.proactive)
-                        .attr("found_fault", note.disposition.is_some())
-                        .attr("disposition", note.disposition.map_or("none", |d| d.info().code))
-                        .attr("tests_performed", note.tests_performed)
-                        .attr("minutes_spent", note.minutes_spent),
-                );
-            }
-            self.out.notes.push(outcome.note);
-            self.dispatch_scheduled[li] = false;
         }
-    }
-
-    /// Saturday line tests across the whole plant.
-    fn run_line_tests(&mut self, day: u32) {
-        for li in 0..self.topology.lines.len() {
-            if self.churned[li] {
-                continue; // service disconnected: the test gets no answer
-            }
-            let line = &self.topology.lines[li];
-            let customer = &self.customers[li];
-            let used_today = self.usage_bits[li] & 1 == 1;
-
-            // Customer-side modem silence first.
-            let p_off = customer.modem_off_prob(day, used_today);
-            if self.rng_measure.random_bool(p_off) {
-                continue;
-            }
-
-            let raw_stress = self.outages.stress(line.dslam, day);
-            let stress = if self.outages.is_down(line.dslam, day) {
-                1.0
-            } else {
-                raw_stress * stress_susceptibility(line.id)
-            };
-            let effects = combine_effects(line, &self.faults[li], day, stress);
-            if !modem_answers(&effects, &mut self.rng_measure) {
-                continue;
-            }
-            let weekly_usage = f64::from(self.usage_bits[li].count_ones()) / 7.0;
-            let values = synthesize(line, &effects, weekly_usage, &mut self.rng_measure);
-            self.out.measurements.push(LineTest { line: line.id, day, values });
-        }
-    }
-
-    fn record_traffic(&mut self, li: usize, day: u32, active: bool) {
-        let line_id = LineId(li as u32);
-        if !self.out.traffic.covers(line_id) {
-            return;
-        }
-        let kb = if active { self.rng_misc.random_range(200..8_000u32) } else { 0 };
-        self.out.traffic.record(line_id, day, kb);
     }
 }
 
@@ -905,5 +1227,110 @@ mod tests {
         let (s, e) = vacations[0];
         let total = out.traffic.total_in_window(line, s, e).expect("covered");
         assert_eq!(total, 0, "traffic during vacation");
+    }
+
+    #[test]
+    fn weekly_usage_reads_only_the_trailing_seven_days() {
+        // Regression: an always-on customer carries eight set bits in the
+        // u8 window, but a week has seven days — the old 8/7 ≈ 1.14 bug.
+        assert_eq!(weekly_usage(0b1111_1111), 1.0, "always-on measures exactly 1.0");
+        assert_eq!(weekly_usage(0b0111_1111), 1.0);
+        assert_eq!(weekly_usage(0b1000_0000), 0.0, "the eighth (oldest) day is out of window");
+        assert_eq!(weekly_usage(0), 0.0);
+        for bits in 0..=u8::MAX {
+            let u = weekly_usage(bits);
+            assert!((0.0..=1.0).contains(&u), "usage {u} out of [0,1] for bits {bits:#010b}");
+        }
+    }
+
+    #[test]
+    fn fault_onset_prob_guards_degenerate_hazard() {
+        // A plant whose every line has zero base hazard must simply never
+        // fault — not feed NaN into `random_bool`.
+        let p = fault_onset_prob(0.55 / 365.0, 0.0, 0.0);
+        assert_eq!(p, 0.0);
+        assert!(fault_onset_prob(0.01, 2.0, 1.0) > 0.0);
+        assert!(fault_onset_prob(0.01, 2.0, 1.0) <= 1.0);
+        assert!(fault_onset_prob(f64::MAX, f64::MAX, 1.0) == 1.0, "clamped");
+    }
+
+    #[test]
+    fn outage_report_counter_saturates_instead_of_wrapping() {
+        // Regression for the u8 `+= 1` overflow: pin the counter at the
+        // numeric ceiling and push one more report through a live outage.
+        let mut cfg = SimConfig::small(77);
+        cfg.n_lines = 300;
+        cfg.lines_per_dslam = 300;
+        cfg.days = 60;
+        // Rate ≥ 365/yr clamps the daily outage probability to 1.0, so an
+        // outage is guaranteed to start on day 0.
+        cfg.outages_per_dslam_year = 400.0;
+        let mut world = World::generate(cfg);
+        assert!(world.outages.is_down(DslamId(0), 0), "outage must start on day 0");
+        world.state.outage_reports[0] = u16::MAX;
+        world.step_day();
+        // The counter held (or was consumed by the IVR flip) — it did not
+        // wrap to a small value that would lose outage awareness.
+        assert!(
+            world.state.outage_known[0] || world.state.outage_reports[0] == u16::MAX,
+            "counter wrapped: {}",
+            world.state.outage_reports[0]
+        );
+    }
+
+    #[test]
+    fn large_dslam_survives_repeated_outages() {
+        // A 300-line DSLAM hammered by outages for two months: every
+        // outage day can add reports, and the run must neither panic nor
+        // lose IVR suppression.
+        let mut cfg = SimConfig::small(78);
+        cfg.n_lines = 300;
+        cfg.lines_per_dslam = 300;
+        cfg.days = 60;
+        cfg.outages_per_dslam_year = 400.0;
+        let out = World::generate(cfg).run();
+        let outage_tickets =
+            out.tickets.iter().filter(|t| t.category == TicketCategory::Outage).count();
+        assert!(outage_tickets > 0, "outage tickets before the IVR");
+        assert!(!out.ivr_calls.is_empty(), "IVR suppression engaged");
+    }
+
+    #[test]
+    fn shard_bounds_cover_and_clamp() {
+        assert_eq!(shard_bounds(10, 1), vec![(0, 10)]);
+        assert_eq!(shard_bounds(10, 3), vec![(0, 3), (3, 6), (6, 10)]);
+        // More shards than DSLAMs: clamp to one DSLAM per shard.
+        assert_eq!(shard_bounds(2, 7), vec![(0, 1), (1, 2)]);
+        assert_eq!(shard_bounds(0, 4), vec![(0, 0)]);
+        for n in [1usize, 5, 42, 100] {
+            for k in [1usize, 2, 7, 16] {
+                let b = shard_bounds(n, k);
+                assert_eq!(b[0].0, 0);
+                assert_eq!(b[b.len() - 1].1, n);
+                for w in b.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                    assert!(w[0].0 < w[0].1, "non-empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        // The in-crate smoke check; the exhaustive JSON-level equality
+        // lives in tests/sharding.rs.
+        let cfg = SimConfig::small(90);
+        let serial = World::generate(cfg.clone()).run();
+        let sharded = World::generate(cfg).with_shards(4).run();
+        assert_eq!(serial.tickets.len(), sharded.tickets.len());
+        assert_eq!(serial.measurements.len(), sharded.measurements.len());
+        for (a, b) in serial.measurements.iter().zip(&sharded.measurements) {
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.values, b.values);
+        }
+        for (a, b) in serial.tickets.iter().zip(&sharded.tickets) {
+            assert_eq!((a.id, a.line, a.day, a.category), (b.id, b.line, b.day, b.category));
+        }
     }
 }

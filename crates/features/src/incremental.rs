@@ -23,11 +23,19 @@
 //! `BaseEncoder` would compute over the same ingested logs — both encoders
 //! funnel into the same row-fill routine, and the equivalence is pinned by
 //! tests.
+//!
+//! Both phases shard by contiguous line ranges
+//! ([`IncrementalEncoder::ingest_sharded`],
+//! [`IncrementalEncoder::encode_day_cols_sharded`]): per-line state is
+//! independent, so each scoped thread owns a disjoint slice of it and
+//! writes a disjoint slice of the output — the serial and sharded paths
+//! run the identical per-line routine, which keeps every shard count
+//! bit-identical.
 
 use crate::encode::{days_since_ticket, fill_row_except_ts, EncodedDataset, EncoderConfig, RowKey};
 use crate::BaseEncoder;
 use nevermind_dslsim::topology::Line;
-use nevermind_dslsim::{LineTest, Ticket, N_METRICS};
+use nevermind_dslsim::{LineId, LineTest, Ticket, N_METRICS};
 use nevermind_ml::data::{Dataset, FeatureMatrix};
 use std::collections::VecDeque;
 
@@ -41,6 +49,31 @@ struct LineState {
     tickets: Vec<u32>,
 }
 
+impl LineState {
+    /// Appends one measurement; panics if it rewinds the line's history.
+    fn push_test(&mut self, line: LineId, day: u32, values: [f32; N_METRICS]) {
+        if let Some(&(last_day, _)) = self.tests.back() {
+            assert!(
+                day >= last_day,
+                "line {line} measurements must arrive in day order ({day} after {last_day})",
+            );
+        }
+        self.tests.push_back((day, values));
+    }
+
+    /// Records one customer-edge ticket day, tolerating mildly
+    /// out-of-order batches by insertion.
+    fn push_ticket(&mut self, day: u32) {
+        match self.tickets.last() {
+            Some(&last) if day < last => {
+                let pos = self.tickets.partition_point(|&d| d <= day);
+                self.tickets.insert(pos, day);
+            }
+            _ => self.tickets.push(day),
+        }
+    }
+}
+
 /// Streaming counterpart of [`BaseEncoder`]: ingest log events as they
 /// happen, encode the population at the current Saturday from rolling
 /// per-line state.
@@ -49,6 +82,72 @@ pub struct IncrementalEncoder<'a> {
     config: EncoderConfig,
     state: Vec<LineState>,
     last_encoded: u32,
+}
+
+/// Encodes one line into `values_out` (one slot per requested column),
+/// returning its row key and label — the single per-line routine behind
+/// both the serial and the sharded encode paths.
+#[allow(clippy::too_many_arguments)] // internal: the flattened per-line hot path
+fn encode_line_into(
+    line: &Line,
+    st: &mut LineState,
+    day: u32,
+    window_start: u32,
+    cols: &[usize],
+    lanes: &[usize],
+    config: &EncoderConfig,
+    scratch: &mut [f32],
+    values_out: &mut [f32],
+) -> (RowKey, bool) {
+    while st.tests.front().is_some_and(|&(d, _)| d < window_start) {
+        st.tests.pop_front();
+    }
+    let st = &*st;
+
+    // Tests strictly before `day` are history; one at `day` is the
+    // current test (ingesting ahead of the encode day is allowed —
+    // later events are simply not visible yet).
+    let cut = st.tests.partition_point(|&(d, _)| d < day);
+    let cur = st.tests.get(cut).filter(|&&(d, _)| d == day).map(|(_, v)| v);
+    let prev = cut
+        .checked_sub(1)
+        .map(|i| &st.tests[i])
+        .filter(|&&(d, _)| day - d <= config.delta_max_lookback_days)
+        .map(|(_, v)| v);
+    let last_ticket = {
+        let c = st.tickets.partition_point(|&d| d < day + 1);
+        c.checked_sub(1).map(|i| st.tickets[i])
+    };
+    scratch.fill(f32::NAN);
+    fill_row_except_ts(
+        line,
+        day,
+        cur,
+        prev,
+        cut,
+        days_since_ticket(last_ticket, day),
+        config,
+        scratch,
+    );
+    if let Some(cur) = cur {
+        if !lanes.is_empty() && cut >= config.min_history_tests {
+            // The window's first `cut` tests, as the deque's (up to
+            // two) contiguous runs — plain slices keep the fused
+            // lane loop vectorisable.
+            let (a, b) = st.tests.as_slices();
+            let (ha, hb) =
+                if cut <= a.len() { (&a[..cut], &b[..0]) } else { (a, &b[..cut - a.len()]) };
+            fill_ts_fused(ha, hb, cur, lanes, scratch);
+        }
+    }
+    for (slot, &c) in values_out.iter_mut().zip(cols) {
+        *slot = scratch[c];
+    }
+
+    // The paper's label window `(day, day + horizon]`.
+    let c = st.tickets.partition_point(|&d| d <= day);
+    let label = st.tickets.get(c).is_some_and(|&d| d <= day + config.horizon_days);
+    (RowKey { line: line.id, day }, label)
 }
 
 impl<'a> IncrementalEncoder<'a> {
@@ -74,35 +173,50 @@ impl<'a> IncrementalEncoder<'a> {
     /// # Panics
     /// Panics if a line's measurements arrive out of chronological order.
     pub fn ingest(&mut self, measurements: &[LineTest], tickets: &[Ticket]) {
+        self.ingest_sharded(measurements, tickets, 1);
+    }
+
+    /// [`IncrementalEncoder::ingest`] fanned out over `shards` scoped
+    /// threads. Per-line state is independent, so each thread filters the
+    /// batch to its own contiguous line range and applies exactly the
+    /// serial per-event routine — any shard count leaves identical state.
+    ///
+    /// # Panics
+    /// Panics under [`IncrementalEncoder::ingest`]'s conditions.
+    pub fn ingest_sharded(&mut self, measurements: &[LineTest], tickets: &[Ticket], shards: usize) {
         let _span = nevermind_obs::span!("features/ingest");
         nevermind_obs::counter_add!("features/events_ingested", measurements.len() + tickets.len());
-        for m in measurements {
-            let st = &mut self.state[m.line.index()];
-            if let Some(&(last_day, _)) = st.tests.back() {
-                assert!(
-                    m.day >= last_day,
-                    "line {} measurements must arrive in day order ({} after {})",
-                    m.line,
-                    m.day,
-                    last_day
-                );
-            }
-            st.tests.push_back((m.day, m.values));
-        }
-        for t in tickets {
-            if !t.is_customer_edge() {
-                continue;
-            }
-            let days = &mut self.state[t.line.index()].tickets;
-            match days.last() {
-                // Tolerate mildly out-of-order ticket batches by insertion.
-                Some(&last) if t.day < last => {
-                    let pos = days.partition_point(|&d| d <= t.day);
-                    days.insert(pos, t.day);
+        let n = self.state.len();
+        let shards = shards.clamp(1, n.max(1));
+        let apply = |state: &mut [LineState], lo: usize, hi: usize| {
+            for m in measurements {
+                let li = m.line.index();
+                if (lo..hi).contains(&li) {
+                    state[li - lo].push_test(m.line, m.day, m.values);
                 }
-                _ => days.push(t.day),
             }
+            for t in tickets {
+                let li = t.line.index();
+                if t.is_customer_edge() && (lo..hi).contains(&li) {
+                    state[li - lo].push_ticket(t.day);
+                }
+            }
+        };
+        if shards == 1 {
+            apply(&mut self.state, 0, n);
+            return;
         }
+        std::thread::scope(|scope| {
+            let mut rest = self.state.as_mut_slice();
+            for s in 0..shards {
+                let lo = s * n / shards;
+                let hi = (s + 1) * n / shards;
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+                rest = tail;
+                let apply = &apply;
+                scope.spawn(move || apply(chunk, lo, hi));
+            }
+        });
     }
 
     /// Encodes one row per line at the given Saturday, exactly as
@@ -132,6 +246,23 @@ impl<'a> IncrementalEncoder<'a> {
     /// Panics under [`IncrementalEncoder::encode_day`]'s conditions, or if
     /// a column index is out of range.
     pub fn encode_day_cols(&mut self, day: u32, cols: &[usize]) -> EncodedDataset {
+        self.encode_day_cols_sharded(day, cols, 1)
+    }
+
+    /// [`IncrementalEncoder::encode_day_cols`] fanned out over `shards`
+    /// scoped threads, each encoding a contiguous line range into a
+    /// disjoint slice of the output matrix. Bit-identical to the serial
+    /// encode for any shard count: both paths run the same per-line
+    /// routine, and rows never interact.
+    ///
+    /// # Panics
+    /// Panics under [`IncrementalEncoder::encode_day_cols`]'s conditions.
+    pub fn encode_day_cols_sharded(
+        &mut self,
+        day: u32,
+        cols: &[usize],
+        shards: usize,
+    ) -> EncodedDataset {
         let _span = nevermind_obs::span!("features/encode_day");
         nevermind_obs::counter_add!("features/rows_encoded", self.lines.len());
         assert_eq!(day % 7, 6, "prediction day {day} is not a Saturday");
@@ -156,64 +287,59 @@ impl<'a> IncrementalEncoder<'a> {
             .collect();
 
         let n_rows = self.lines.len();
-        let mut values = Vec::with_capacity(n_rows * cols.len());
-        let mut rows = Vec::with_capacity(n_rows);
-        let mut labels = Vec::with_capacity(n_rows);
-        let mut scratch = vec![f32::NAN; n_full];
+        let shards = shards.clamp(1, n_rows.max(1));
         let window_start = day.saturating_sub(self.config.history_weeks as u32 * 7);
+        let mut values = vec![0.0f32; n_rows * cols.len()];
+        let mut rows = vec![RowKey { line: LineId(0), day }; n_rows];
+        let mut labels = vec![false; n_rows];
 
-        for line in self.lines.iter() {
-            let st = &mut self.state[line.id.index()];
-            while st.tests.front().is_some_and(|&(d, _)| d < window_start) {
-                st.tests.pop_front();
+        let encode_range = |state: &mut [LineState],
+                            vals: &mut [f32],
+                            rks: &mut [RowKey],
+                            lbs: &mut [bool],
+                            lo: usize| {
+            let mut scratch = vec![f32::NAN; n_full];
+            for (k, st) in state.iter_mut().enumerate() {
+                let (rk, label) = encode_line_into(
+                    &self.lines[lo + k],
+                    st,
+                    day,
+                    window_start,
+                    cols,
+                    &lanes,
+                    &self.config,
+                    &mut scratch,
+                    &mut vals[k * cols.len()..(k + 1) * cols.len()],
+                );
+                rks[k] = rk;
+                lbs[k] = label;
             }
-            let st = &self.state[line.id.index()];
-
-            // Tests strictly before `day` are history; one at `day` is the
-            // current test (ingesting ahead of the encode day is allowed —
-            // later events are simply not visible yet).
-            let cut = st.tests.partition_point(|&(d, _)| d < day);
-            let cur = st.tests.get(cut).filter(|&&(d, _)| d == day).map(|(_, v)| v);
-            let prev = cut
-                .checked_sub(1)
-                .map(|i| &st.tests[i])
-                .filter(|&&(d, _)| day - d <= self.config.delta_max_lookback_days)
-                .map(|(_, v)| v);
-            let last_ticket = {
-                let c = st.tickets.partition_point(|&d| d < day + 1);
-                c.checked_sub(1).map(|i| st.tickets[i])
-            };
-            scratch.fill(f32::NAN);
-            fill_row_except_ts(
-                line,
-                day,
-                cur,
-                prev,
-                cut,
-                days_since_ticket(last_ticket, day),
-                &self.config,
-                &mut scratch,
-            );
-            if let Some(cur) = cur {
-                if !lanes.is_empty() && cut >= self.config.min_history_tests {
-                    // The window's first `cut` tests, as the deque's (up to
-                    // two) contiguous runs — plain slices keep the fused
-                    // lane loop vectorisable.
-                    let (a, b) = st.tests.as_slices();
-                    let (ha, hb) = if cut <= a.len() {
-                        (&a[..cut], &b[..0])
-                    } else {
-                        (a, &b[..cut - a.len()])
-                    };
-                    fill_ts_fused(ha, hb, cur, &lanes, &mut scratch);
+        };
+        if shards == 1 {
+            encode_range(&mut self.state, &mut values, &mut rows, &mut labels, 0);
+        } else {
+            std::thread::scope(|scope| {
+                let mut state_rest = self.state.as_mut_slice();
+                let mut values_rest = values.as_mut_slice();
+                let mut rows_rest = rows.as_mut_slice();
+                let mut labels_rest = labels.as_mut_slice();
+                for s in 0..shards {
+                    let lo = s * n_rows / shards;
+                    let hi = (s + 1) * n_rows / shards;
+                    let n = hi - lo;
+                    let (st, tail) = std::mem::take(&mut state_rest).split_at_mut(n);
+                    state_rest = tail;
+                    let (vals, tail) =
+                        std::mem::take(&mut values_rest).split_at_mut(n * cols.len());
+                    values_rest = tail;
+                    let (rks, tail) = std::mem::take(&mut rows_rest).split_at_mut(n);
+                    rows_rest = tail;
+                    let (lbs, tail) = std::mem::take(&mut labels_rest).split_at_mut(n);
+                    labels_rest = tail;
+                    let encode_range = &encode_range;
+                    scope.spawn(move || encode_range(st, vals, rks, lbs, lo));
                 }
-            }
-            values.extend(cols.iter().map(|&c| scratch[c]));
-            rows.push(RowKey { line: line.id, day });
-
-            // The paper's label window `(day, day + horizon]`.
-            let c = st.tickets.partition_point(|&d| d <= day);
-            labels.push(st.tickets.get(c).is_some_and(|&d| d <= day + self.config.horizon_days));
+            });
         }
 
         EncodedDataset {
@@ -347,6 +473,37 @@ mod tests {
             let a = truncated.encode(&[day]);
             let b = inc.encode_day(day);
             assert_encodings_identical(&a, &b, &format!("frontier day {day}"));
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_and_encode_match_serial() {
+        // The sharding contract at the encoder level: weekly sharded
+        // ingest + sharded encode, bit-identical to the serial pair for
+        // shard counts {2, 7, 16}.
+        let (lines, out) = sim(25);
+        let cfg = EncoderConfig::default();
+        let mut serial = IncrementalEncoder::new(&lines, cfg.clone());
+        let mut sharded: Vec<IncrementalEncoder> =
+            [2usize, 7, 16].iter().map(|_| IncrementalEncoder::new(&lines, cfg.clone())).collect();
+        let (mut m_cursor, mut t_cursor) = (0usize, 0usize);
+
+        for day in (6..out.days).step_by(7).skip(4).take(8) {
+            let m_end = out.measurements.partition_point(|m| m.day <= day);
+            let t_end = out.tickets.partition_point(|t| t.day <= day);
+            let (ms, ts) = (&out.measurements[m_cursor..m_end], &out.tickets[t_cursor..t_end]);
+            serial.ingest(ms, ts);
+            let want = serial.encode_day(day);
+            for (enc, &n) in sharded.iter_mut().zip(&[2usize, 7, 16]) {
+                enc.ingest_sharded(ms, ts, n);
+                let got = enc.encode_day_cols_sharded(
+                    day,
+                    &(0..BaseEncoder::base_meta().0.len()).collect::<Vec<_>>(),
+                    n,
+                );
+                assert_encodings_identical(&want, &got, &format!("day {day}, {n} shards"));
+            }
+            (m_cursor, t_cursor) = (m_end, t_end);
         }
     }
 

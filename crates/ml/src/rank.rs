@@ -38,6 +38,49 @@ pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     idx
 }
 
+/// [`top_k`] computed shard-parallel: contiguous chunks select their local
+/// top `k` on scoped threads, then the merged candidate pool is selected
+/// again under the same total order.
+///
+/// Bit-identical to [`top_k`] for every `n_shards` (any global top-`k`
+/// index is necessarily in its own chunk's top `k`, and the final
+/// selection applies the identical index-augmented comparator), so the
+/// weekly budgeted ranking can scale with the plant shards without
+/// perturbing a single rank. `n_shards` is clamped to `[1, len]`.
+pub fn top_k_sharded(scores: &[f64], k: usize, n_shards: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let shards = n_shards.clamp(1, scores.len());
+    let total = |&a: &usize, &b: &usize| cmp_desc(scores[a], scores[b]).then(a.cmp(&b));
+    if shards == 1 {
+        return top_k(scores, k);
+    }
+    let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    std::thread::scope(|scope| {
+        for (s, out) in per_shard.iter_mut().enumerate() {
+            let lo = s * scores.len() / shards;
+            let hi = (s + 1) * scores.len() / shards;
+            scope.spawn(move || {
+                let mut idx: Vec<usize> = (lo..hi).collect();
+                if k < idx.len() {
+                    idx.select_nth_unstable_by(k - 1, total);
+                    idx.truncate(k);
+                }
+                *out = idx;
+            });
+        }
+    });
+    let mut candidates: Vec<usize> = per_shard.into_iter().flatten().collect();
+    if k < candidates.len() {
+        candidates.select_nth_unstable_by(k - 1, total);
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable_by(total);
+    candidates
+}
+
 /// 1-based rank of each item under descending score order (rank 1 = best).
 /// Ties receive distinct ranks in original order (competition-free ranking).
 pub fn ranks_desc(scores: &[f64]) -> Vec<usize> {
@@ -114,6 +157,38 @@ mod tests {
         for k in 0..=s.len() {
             assert_eq!(top_k(&s, k), full[..k], "k = {k}");
         }
+    }
+
+    #[test]
+    fn top_k_sharded_matches_top_k_exactly() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xB22);
+        for trial in 0..30 {
+            let n = rng.random_range(1..500usize);
+            let scores: Vec<f64> = (0..n)
+                .map(|_| match rng.random_range(0..5u32) {
+                    0 => f64::NAN,
+                    // Coarse grid forces plenty of exact ties.
+                    _ => f64::from(rng.random_range(0..6u32)) / 6.0,
+                })
+                .collect();
+            let k = rng.random_range(0..=n);
+            let serial = top_k(&scores, k);
+            for shards in [1usize, 2, 7, 16, 64] {
+                assert_eq!(
+                    top_k_sharded(&scores, k, shards),
+                    serial,
+                    "trial {trial}, k = {k}, shards = {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_sharded_handles_edges() {
+        assert!(top_k_sharded(&[], 3, 4).is_empty());
+        assert!(top_k_sharded(&[0.5], 0, 4).is_empty());
+        assert_eq!(top_k_sharded(&[0.5], 9, 9), vec![0]);
     }
 
     #[test]

@@ -91,6 +91,36 @@ fn serialized_model_reproduces_ranking() {
 }
 
 #[test]
+fn sharded_simulation_matches_serial() {
+    // Shard-parallel stepping is an execution detail: the full serialized
+    // output (measurements, tickets with ids, notes, IVR, churn, traffic)
+    // must be byte-identical for every shard count.
+    let serial = ExperimentData::simulate(sim(61));
+    let serial_json = serde_json::to_string(&serial.output).expect("output serializes");
+    for shards in [2usize, 7, 16] {
+        let sharded = ExperimentData::simulate_sharded(sim(61), shards);
+        let sharded_json = serde_json::to_string(&sharded.output).expect("output serializes");
+        assert_eq!(serial_json, sharded_json, "SimOutput diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn sharded_ranking_matches_serial() {
+    // The model side of the sharding contract: a predictor trained once
+    // must hand back the same budgeted head whether selection is serial
+    // or shard-parallel.
+    let data = ExperimentData::simulate(sim(71));
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+    let (p, _) = TicketPredictor::fit(&data, &split, &quick_predictor_cfg())
+        .expect("well-formed training data");
+    let ranking = p.rank(&data, &split.test_days);
+    let serial = ranking.top_rows(40);
+    for shards in [1usize, 2, 7, 16] {
+        assert_eq!(serial, ranking.top_rows_sharded(40, shards), "top-B diverged at {shards}");
+    }
+}
+
+#[test]
 fn step_and_run_agree() {
     // Stepping a world day by day must produce the same logs as run().
     let cfg = sim(51);

@@ -16,7 +16,9 @@
 //! All tests flip the process-global trace buffer's enabled bit, so they
 //! serialise on one mutex (same pattern as `tests/observability.rs`).
 
-use nevermind::pipeline::{run_proactive_trial, ProactiveOutcome};
+use nevermind::pipeline::{
+    run_proactive_trial, run_proactive_trial_with, ProactiveOutcome, TrialOptions,
+};
 use nevermind::predictor::PredictorConfig;
 use nevermind::provenance::TOP_STUMPS;
 use nevermind_dslsim::scenario::Scenario;
@@ -114,6 +116,37 @@ fn trace_events_are_deterministic() {
     let (_, second) = traced_trial(true);
     assert!(!first.is_empty() && first.lines().count() > 1, "trace must carry events");
     assert_eq!(first, second, "identically-seeded traced trials must export identical bytes");
+}
+
+#[test]
+fn sharded_trial_exports_identical_trace_bytes() {
+    // Sharding the plant and the weekly scorer is pure execution policy:
+    // the decision-provenance export — every rank, score, dispatch and
+    // visit event, in order — must be byte-identical to the serial trial's.
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+    let run = |shards: usize| {
+        let buf = nevermind_obs::trace::global();
+        buf.reset();
+        nevermind_obs::trace::set_enabled(true);
+        let options = TrialOptions { shards, ..TrialOptions::default() };
+        let result =
+            run_proactive_trial_with(sim_config(), &predictor_config(), WARMUP_WEEKS, &options)
+                .expect("trial config is valid");
+        let jsonl = buf.to_jsonl();
+        nevermind_obs::trace::set_enabled(false);
+        buf.reset();
+        (result.outcome, jsonl)
+    };
+    let (serial_outcome, serial_jsonl) = run(1);
+    assert!(serial_jsonl.lines().count() > 1, "trace must carry events");
+    let (sharded_outcome, sharded_jsonl) = run(4);
+    assert_eq!(serial_outcome.proactive_dispatches, sharded_outcome.proactive_dispatches);
+    assert_eq!(serial_outcome.proactive_tickets, sharded_outcome.proactive_tickets);
+    assert_eq!(serial_outcome.reactive_tickets, sharded_outcome.reactive_tickets);
+    assert_eq!(
+        serial_jsonl, sharded_jsonl,
+        "sharded trial must export byte-identical nevermind-trace/v1"
+    );
 }
 
 #[test]
