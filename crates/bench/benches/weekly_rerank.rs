@@ -138,10 +138,11 @@ fn incremental(p: &Population, predictor: &TicketPredictor) -> usize {
     dispatched
 }
 
-/// The incremental path with decision-provenance tracing live: the scorer
-/// retains the week's narrow matrix and `emit_week_trace` writes the
-/// dispatch-cutoff, score, stump, calibrate and rank events for the
-/// dispatched head plus the reservoir sample — what `trial --trace` pays.
+/// The incremental path with decision-provenance tracing live:
+/// `emit_week_trace` borrows the week's frame from the scorer's feature
+/// store (no extra materialization) and writes the dispatch-cutoff, score,
+/// stump, calibrate and rank events for the dispatched head plus the
+/// reservoir sample — what `trial --trace` pays.
 fn incremental_traced(p: &Population, predictor: &TicketPredictor) -> usize {
     let mut scorer = WeeklyScorer::new(predictor, &p.topology.lines);
     let mut dispatched = 0;

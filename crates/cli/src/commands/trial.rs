@@ -7,6 +7,7 @@ use nevermind::pipeline::{run_proactive_trial_with, TrialOptions};
 use nevermind::predictor::PredictorConfig;
 use nevermind::telemetry::TelemetryConfig;
 use nevermind_dslsim::scenario::Scenario;
+use nevermind_features::FeatureStore;
 
 /// Runs the subcommand.
 pub(crate) fn run(args: &Args) -> CliResult {
@@ -27,6 +28,9 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "metrics",
         "trace",
         "trace-sample",
+        "stop-after-week",
+        "store-out",
+        "resume-from",
     ])?;
     let cfg = sim_config_from(args)?;
     let mut warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;
@@ -59,6 +63,27 @@ pub(crate) fn run(args: &Args) -> CliResult {
             Some(scenario.config(cfg.seed, cfg.n_lines, cfg.days))
         }
     };
+    // Checkpoint/resume: `--store-out` keeps every ranked week's feature
+    // frame and writes the store to disk; `--resume-from` loads such a
+    // store so the trial adopts the checkpointed frames instead of
+    // re-encoding them. File IO stays here in the CLI — core only sees
+    // bytes.
+    let stop_after_week: Option<u32> = match args.get("stop-after-week") {
+        None => None,
+        Some(_) => Some(args.get_parsed_or("stop-after-week", 0u32)?),
+    };
+    let store_out = args.get("store-out").map(str::to_owned);
+    let resume_store = match args.get("resume-from") {
+        None => None,
+        Some(path) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read store '{path}': {e}"))?;
+            Some(
+                FeatureStore::import(&bytes)
+                    .map_err(|e| format!("cannot load store '{path}': {e}"))?,
+            )
+        }
+    };
     let defaults = TelemetryConfig::default();
     let shards: usize = args.get_parsed_or("shards", 0usize)?;
     let options = TrialOptions {
@@ -71,6 +96,9 @@ pub(crate) fn run(args: &Args) -> CliResult {
             ..defaults
         },
         shards,
+        stop_after_week,
+        resume_store,
+        keep_store: store_out.is_some(),
     };
 
     eprintln!(
@@ -84,6 +112,21 @@ pub(crate) fn run(args: &Args) -> CliResult {
     let result = run_proactive_trial_with(cfg, &predictor_cfg, warmup, &options)?;
     eprintln!("trial finished in {:.1}s", span.elapsed().as_secs_f64());
     drop(span);
+
+    if let Some(path) = &store_out {
+        let store = result
+            .store
+            .as_ref()
+            .ok_or_else(|| "trial did not return a store despite --store-out".to_string())?;
+        let bytes = store.export();
+        std::fs::write(path, &bytes).map_err(|e| format!("cannot write store '{path}': {e}"))?;
+        eprintln!(
+            "wrote {} ranked-week frame{} ({} bytes) to {path}",
+            store.frames().len(),
+            if store.frames().len() == 1 { "" } else { "s" },
+            bytes.len()
+        );
+    }
 
     let outcome = &result.outcome;
     println!("policy active from day {}", outcome.policy_start_day);

@@ -291,12 +291,48 @@ mod tests {
     }
 
     #[test]
-    fn weekly_histogram_shows_monday_peak() {
+    fn weekly_histogram_pins_the_sec33_shape() {
+        // The histogram indexes buckets by `day % 7`; the simulator defines
+        // `day % 7 == 0` as Sunday (`DayOfWeek::of`) and draws calls with
+        // Monday-peak / Saturday-trough weights. This test pins the
+        // day-of-week mapping between the two: if either side ever shifted
+        // its convention, the observed peak and trough would land on the
+        // wrong buckets.
+        use nevermind_dslsim::config::DayOfWeek;
         let (data, _, _) = setup();
         let hist = weekly_ticket_histogram(&data);
         let total: usize = hist.iter().sum();
         assert!(total > 0);
-        assert!(hist[1] > hist[6], "Monday {} vs Saturday {}", hist[1], hist[6]);
+
+        let argmax = (0..7).max_by_key(|&d| hist[d]).expect("seven buckets");
+        let argmin = (0..7).min_by_key(|&d| hist[d]).expect("seven buckets");
+        let weight_argmax = (0..7u32)
+            .max_by(|&a, &b| {
+                DayOfWeek::of(a).call_weight().total_cmp(&DayOfWeek::of(b).call_weight())
+            })
+            .expect("seven days") as usize;
+        let weight_argmin = (0..7u32)
+            .min_by(|&a, &b| {
+                DayOfWeek::of(a).call_weight().total_cmp(&DayOfWeek::of(b).call_weight())
+            })
+            .expect("seven days") as usize;
+        assert_eq!(argmax, weight_argmax, "peak bucket must be the max-weight day: {hist:?}");
+        assert_eq!(argmin, weight_argmin, "trough bucket must be the min-weight day: {hist:?}");
+        // And in the paper's calendar terms: Monday peak (bucket 1),
+        // Saturday trough (bucket 6), whole weekend below every weekday.
+        assert_eq!(argmax, 1, "Sec. 3.3: tickets peak on Monday: {hist:?}");
+        assert_eq!(argmin, 6, "Sec. 3.3: tickets bottom out on Saturday: {hist:?}");
+        for weekday in 1..6 {
+            assert!(hist[0] < hist[weekday], "Sunday below weekday {weekday}: {hist:?}");
+            assert!(hist[6] < hist[weekday], "Saturday below weekday {weekday}: {hist:?}");
+        }
+        // The Monday spike is a real spike: its share sits near the
+        // configured 1.65/7 ≈ 0.24 of the week's tickets.
+        let monday_share = hist[1] as f64 / total as f64;
+        assert!(
+            (0.18..0.32).contains(&monday_share),
+            "Monday share {monday_share:.3} strays from the configured weight"
+        );
     }
 
     #[test]

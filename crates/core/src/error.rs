@@ -34,6 +34,12 @@ pub enum PipelineError {
         /// Simulated horizon length in days.
         days: u32,
     },
+    /// A resume checkpoint's feature store does not fit this trial —
+    /// different encoder configuration, population size, or lane set.
+    StoreMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -52,6 +58,9 @@ impl std::fmt::Display for PipelineError {
                     "warm-up longer than the horizon: policy would start day \
                      {policy_start_day} of {days}"
                 )
+            }
+            Self::StoreMismatch { detail } => {
+                write!(f, "resume store does not match this trial: {detail}")
             }
         }
     }

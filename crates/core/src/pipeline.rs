@@ -205,6 +205,23 @@ pub struct TrialOptions {
     /// parallelism on every weekly stage. Outcomes are bit-identical for
     /// every setting — sharding is an execution detail.
     pub shards: usize,
+    /// Stop the trial after ranking calendar week `w` (the Saturday `7w +
+    /// 6`) instead of running the full horizon — the checkpointing half of
+    /// mid-horizon resume. `None` runs to the end. Both simulated worlds
+    /// stop at the same frontier, so the partial outcome is still a fair
+    /// proactive-vs-reactive comparison over the truncated window.
+    pub stop_after_week: Option<u32>,
+    /// Frames from a previous (stopped) trial's store. Each ranked
+    /// Saturday whose frame is present is *adopted* instead of re-encoded
+    /// — reproducing the checkpointed run bit-for-bit — and later weeks
+    /// fall back to encoding. The store must match the resumed trial's
+    /// encoder configuration, population and lane set
+    /// ([`PipelineError::StoreMismatch`] otherwise).
+    pub resume_store: Option<nevermind_features::FeatureStore>,
+    /// Retain every ranked week's frame and return the store in
+    /// [`TrialResult::store`] (for `--store-out` export). The default
+    /// keeps only the latest frame resident.
+    pub keep_store: bool,
 }
 
 /// What [`run_proactive_trial_with`] hands back.
@@ -215,6 +232,9 @@ pub struct TrialResult {
     /// Model-health summary; `None` when observability was disabled (the
     /// full per-week series live in the global metrics registry).
     pub telemetry: Option<crate::telemetry::TelemetryReport>,
+    /// Every ranked week's feature frame, when [`TrialOptions::keep_store`]
+    /// asked for it — export with `FeatureStore::export` to checkpoint.
+    pub store: Option<nevermind_features::FeatureStore>,
 }
 
 /// Runs the operational NEVERMIND loop against a twin reactive baseline.
@@ -263,6 +283,14 @@ pub fn run_proactive_trial_with(
             days: sim_config.days,
         });
     }
+    // A stop-after-week checkpoint truncates both worlds at the day after
+    // its Saturday; `None` runs the configured horizon. The simulator
+    // config is untouched either way, so a resumed trial regenerates the
+    // *identical* world and the stored frames line up bit-for-bit.
+    let end_day = match options.stop_after_week {
+        Some(w) => sim_config.days.min((w + 1) * 7),
+        None => sim_config.days,
+    };
 
     // Reactive baseline. The twin is a counterfactual: its technician
     // visits answer to no rank or dispatch decision an operator could ask
@@ -273,7 +301,11 @@ pub fn run_proactive_trial_with(
         let _s = nevermind_obs::span!("baseline_world");
         let tracing = nevermind_obs::trace::enabled();
         nevermind_obs::trace::set_enabled(false);
-        let out = World::generate(sim_config.clone()).with_shards(shards).run();
+        let mut baseline_world = World::generate(sim_config.clone()).with_shards(shards);
+        while baseline_world.day() < end_day {
+            baseline_world.step_day();
+        }
+        let out = baseline_world.into_output();
         nevermind_obs::trace::set_enabled(tracing);
         out
     };
@@ -345,9 +377,45 @@ pub fn run_proactive_trial_with(
     let lines = world.topology().lines.clone();
     let mut scorer = crate::scoring::WeeklyScorer::new(&predictor, &lines);
     scorer.set_shards(options.shards);
+    // The health monitor's watched columns ride in the weekly store frames
+    // (one lane each) so it can bin them zero-copy. Tracked whether or not
+    // observability is on: the lane set — and any exported store bytes —
+    // must be a function of the configuration alone.
+    let monitored: Vec<usize> =
+        predictor.selected_base().iter().take(options.telemetry.max_features).copied().collect();
+    scorer.track_columns(&monitored);
+    if options.keep_store {
+        scorer.set_retention(nevermind_features::Retention::All);
+    }
+    if let Some(resume) = &options.resume_store {
+        if !resume.matches_config(predictor.encoder_config()) {
+            return Err(PipelineError::StoreMismatch {
+                detail: "checkpoint was written under a different encoder configuration".into(),
+            });
+        }
+        if resume.n_lines() != lines.len() {
+            return Err(PipelineError::StoreMismatch {
+                detail: format!(
+                    "checkpoint covers {} lines, this trial has {}",
+                    resume.n_lines(),
+                    lines.len()
+                ),
+            });
+        }
+        if resume.cols() != scorer.store().cols() {
+            return Err(PipelineError::StoreMismatch {
+                detail:
+                    "checkpoint tracks a different lane set (model or telemetry sizing changed)"
+                        .into(),
+            });
+        }
+        for frame in resume.clone().into_frames() {
+            scorer.preload_frame(frame);
+        }
+    }
     let budget = predictor_config.budget(lines.len());
     let _policy_span = nevermind_obs::span!("policy_loop");
-    while world.day() < sim_config.days {
+    while world.day() < end_day {
         world.step_day();
         let just_finished = world.day() - 1;
         if just_finished % 7 == 6 {
@@ -375,10 +443,10 @@ pub fn run_proactive_trial_with(
                     .push(f64::from(just_finished), to_dispatch.len() as f64);
             }
             if let Some(mon) = monitor.as_mut() {
-                // The monitor's feature read re-encodes the just-ranked day
-                // (idempotent) and never feeds back into the ranking.
-                let feats = scorer.encode_features(just_finished, mon.monitored_columns());
-                mon.observe_week(just_finished, &ranking, &feats, &world.output().tickets);
+                // The monitor bins its watched lanes straight out of the
+                // week's store frame — the same memory the ranking was
+                // scored from; it never feeds back into the ranking.
+                mon.observe_week(just_finished, &ranking, scorer.store(), &world.output().tickets);
             }
             // Decision provenance: the week's cutoff decision plus per-line
             // stump/calibration/rank chains for the dispatched head and a
@@ -397,8 +465,8 @@ pub fn run_proactive_trial_with(
     }
     drop(_policy_span);
 
-    let telemetry =
-        monitor.map(|m| m.finish(&world.output().tickets, sim_config.days.saturating_sub(1)));
+    let telemetry = monitor.map(|m| m.finish(&world.output().tickets, end_day.saturating_sub(1)));
+    let store = options.keep_store.then(|| scorer.into_store());
 
     let out = world.into_output();
     let proactive_tickets =
@@ -419,6 +487,7 @@ pub fn run_proactive_trial_with(
             proactive_churn,
         },
         telemetry,
+        store,
     })
 }
 

@@ -7,32 +7,46 @@
 //! population — the weekly cost grows with elapsed time and is dominated by
 //! work whose result never changes.
 //!
-//! [`WeeklyScorer`] glues together the three incremental pieces:
+//! [`WeeklyScorer`] glues together the incremental pieces:
 //!
 //! * [`IncrementalEncoder`] — per-line rolling state fed only the *new*
 //!   log events each week, borrowed straight from the world's output
 //!   (cursors remember how far previous weeks got; nothing is cloned);
+//! * [`FeatureStore`] — the engine's single per-week materialization: the
+//!   encoder writes the week's tracked base columns into the store's
+//!   lane-major frame once, and every downstream reader — stump scoring,
+//!   telemetry PSI binning, provenance re-expansion — borrows lane slices
+//!   from that same frame instead of keeping its own copy;
 //! * [`BatchScorer`] — the predictor's stump ensemble compiled once into
-//!   per-stump bin→score lookup tables, evaluated over row chunks on
-//!   scoped threads, bit-identical to the serial per-row path;
+//!   per-stump bin→score lookup tables, evaluated straight off the store's
+//!   lanes via [`BatchScorer::margins_gather_parallel`] (derived features
+//!   computed on the fly by the same `f32` arithmetic as the batch
+//!   `derive` pass), bit-identical to the serial per-row path;
 //! * partial top-`B` selection — [`RankedPredictions::top_rows`] selects
 //!   the budgeted head without sorting the whole population.
 //!
 //! Each piece is individually bit-compatible with its batch counterpart, so
 //! a [`WeeklyScorer`] ranking is exactly what [`TicketPredictor::rank`]
 //! would produce over the same logs — pinned by the tests below.
+//!
+//! The store also makes the weekly loop checkpointable:
+//! [`WeeklyScorer::preload_frame`] queues frames imported from a
+//! `nevermind-store/v1` document, and [`WeeklyScorer::rank_week`] adopts a
+//! queued frame in place of encoding when the days match — reproducing the
+//! uninterrupted run's rankings byte-for-byte (the frame carries exactly
+//! the values and labels the encoder would have produced).
 
 use crate::predictor::{RankedPredictions, TicketPredictor};
 use nevermind_dslsim::topology::Line;
 use nevermind_dslsim::{LineId, LineTest, Ticket};
-use nevermind_features::encode::EncodedDataset;
-use nevermind_features::{DerivedFeature, IncrementalEncoder};
-use nevermind_ml::data::{FeatureMatrix, FeatureMeta};
+use nevermind_features::encode::RowKey;
+use nevermind_features::{DerivedFeature, FeatureStore, IncrementalEncoder, Retention, WeekFrame};
 use nevermind_ml::score::BatchScorer;
+use std::collections::VecDeque;
 
-/// Where one of the ensemble's used features comes from, in terms of the
-/// *base* encoding — the gather plan that lets [`WeeklyScorer::rank_week`]
-/// skip materialising the full assembled matrix.
+/// Where one of the ensemble's used features comes from — the gather plan
+/// that lets [`WeeklyScorer::rank_week`] score straight off the store's
+/// lanes without materialising the assembled feature space.
 #[derive(Debug, Clone, Copy)]
 enum Source {
     /// A selected base column, verbatim.
@@ -46,24 +60,23 @@ enum Source {
 /// Streaming population ranker for the weekly proactive loop.
 pub struct WeeklyScorer<'a> {
     predictor: &'a TicketPredictor,
+    lines: &'a [Line],
     encoder: IncrementalEncoder<'a>,
     scorer: BatchScorer,
-    /// Per used-feature slot: how to compute it from a *needed-column* row.
+    /// Per used-feature slot, in *base-column* space — the invariant form
+    /// the lane-space plan is rebuilt from when the tracked set changes.
+    plan_base: Vec<Source>,
+    /// Per used-feature slot: how to compute it from the store's lanes.
     plan: Vec<Source>,
-    /// The distinct base columns the plan reads, sorted — the only columns
-    /// the encoder is asked to materialise each week.
-    needed: Vec<usize>,
-    /// Column metadata for the narrow gathered matrix.
-    narrow_meta: Vec<FeatureMeta>,
-    /// Assembled-space column index per narrow slot (the ensemble's used
-    /// columns, in slot order) — the key for re-expanding a narrow row.
+    /// Assembled-space column index per used-feature slot — the key for
+    /// re-expanding a scored row for explanation.
     used: Vec<usize>,
     /// Width of the predictor's assembled feature space.
     n_assembled: usize,
-    /// The most recent week's narrow matrix, retained only while decision
-    /// tracing is enabled so [`Self::traced_assembled_row`] can explain
-    /// lines without re-encoding anything.
-    last_narrow: Option<FeatureMatrix>,
+    /// The week-major columnar store every reader borrows from.
+    store: FeatureStore,
+    /// Checkpointed frames waiting to be adopted, ascending by day.
+    pending: VecDeque<WeekFrame>,
     /// Shard-parallelism degree. `0` (the default) keeps the legacy
     /// behaviour: serial ingest/encode, auto-threaded margins, serial
     /// top-`B`. `>= 1` pins that many shards on every stage. Every stage
@@ -77,12 +90,13 @@ impl<'a> WeeklyScorer<'a> {
     /// Builds the engine for a trained predictor over a fixed plant. The
     /// stump ensemble is compiled to lookup tables here, once, along with a
     /// gather plan mapping each used feature back to the base columns it is
-    /// derived from — the full assembled feature space (all selected base +
-    /// derived columns) is never materialised per week.
+    /// derived from; the store tracks exactly those columns (until
+    /// [`WeeklyScorer::track_columns`] widens it) — the full assembled
+    /// feature space is never materialised per week.
     pub fn new(predictor: &'a TicketPredictor, lines: &'a [Line]) -> Self {
         let scorer = BatchScorer::new(predictor.model());
         let n_base = predictor.selected_base().len();
-        let plan: Vec<Source> = scorer
+        let plan_base: Vec<Source> = scorer
             .used_columns()
             .map(|c| {
                 if c < n_base {
@@ -95,10 +109,8 @@ impl<'a> WeeklyScorer<'a> {
                 }
             })
             .collect();
-        // Collapse the plan's base-column references to the distinct set the
-        // encoder must produce, then rewrite the plan against that narrow
-        // column space.
-        let mut needed: Vec<usize> = plan
+        // The distinct base columns the plan reads become the store's lanes.
+        let mut needed: Vec<usize> = plan_base
             .iter()
             .flat_map(|src| match *src {
                 Source::Base(c) | Source::Quadratic(c) => vec![c],
@@ -107,34 +119,116 @@ impl<'a> WeeklyScorer<'a> {
             .collect();
         needed.sort_unstable();
         needed.dedup();
-        // lint:allow(no-panic-in-lib) -- needed was built as the sorted union of plan columns above
-        let slot_of = |c: usize| needed.binary_search(&c).expect("needed covers the plan");
-        let plan: Vec<Source> = plan
-            .iter()
-            .map(|src| match *src {
-                Source::Base(c) => Source::Base(slot_of(c)),
-                Source::Quadratic(c) => Source::Quadratic(slot_of(c)),
-                Source::Product(a, b) => Source::Product(slot_of(a), slot_of(b)),
-            })
-            .collect();
-        let narrow_meta =
-            (0..plan.len()).map(|i| FeatureMeta::continuous(format!("used{i}"))).collect();
+        let store = FeatureStore::new(lines.len(), &needed, predictor.encoder_config());
+        let plan = Self::lane_plan(&plan_base, &store);
         let used: Vec<usize> = scorer.used_columns().collect();
         let n_assembled = n_base + predictor.selected_derived().len();
         Self {
             predictor,
+            lines,
             encoder: IncrementalEncoder::new(lines, predictor.encoder_config().clone()),
             scorer,
+            plan_base,
             plan,
-            needed,
-            narrow_meta,
             used,
             n_assembled,
-            last_narrow: None,
+            store,
+            pending: VecDeque::new(),
             shards: 0,
             meas_cursor: 0,
             ticket_cursor: 0,
         }
+    }
+
+    /// Rewrites a base-column plan against the store's lane space.
+    fn lane_plan(plan_base: &[Source], store: &FeatureStore) -> Vec<Source> {
+        // lint:allow(no-panic-in-lib) -- the store's lanes are built as a superset of the plan's columns
+        let lane = |c: usize| store.lane_of(c).expect("store tracks every plan column");
+        plan_base
+            .iter()
+            .map(|src| match *src {
+                Source::Base(c) => Source::Base(lane(c)),
+                Source::Quadratic(c) => Source::Quadratic(lane(c)),
+                Source::Product(a, b) => Source::Product(lane(a), lane(b)),
+            })
+            .collect()
+    }
+
+    /// Widens the store to additionally track the given base columns —
+    /// how the model-health monitor gets its watched features into the
+    /// weekly frame so it can bin them without a second encode. The lane
+    /// set (and with it the store's exported bytes) is the sorted union of
+    /// the ensemble's needs and these extras.
+    ///
+    /// # Panics
+    /// Panics if a week has already been ranked or preloaded — the lane
+    /// layout must be fixed before the first frame exists.
+    pub fn track_columns(&mut self, cols: &[usize]) {
+        assert!(
+            self.store.frames().is_empty() && self.pending.is_empty(),
+            "track columns before the first ranked or preloaded week"
+        );
+        let mut all: Vec<usize> = self.store.cols().to_vec();
+        all.extend_from_slice(cols);
+        all.sort_unstable();
+        all.dedup();
+        let retention = self.store.retention();
+        self.store = FeatureStore::new(self.lines.len(), &all, self.predictor.encoder_config());
+        self.store.set_retention(retention);
+        self.plan = Self::lane_plan(&self.plan_base, &self.store);
+    }
+
+    /// Sets the store's frame retention ([`Retention::Latest`] by default;
+    /// [`Retention::All`] keeps every ranked week for checkpoint export).
+    pub fn set_retention(&mut self, retention: Retention) {
+        self.store.set_retention(retention);
+    }
+
+    /// The engine's feature store (its lanes, frames, and export).
+    pub fn store(&self) -> &FeatureStore {
+        &self.store
+    }
+
+    /// Consumes the engine, yielding the store — how a checkpointing trial
+    /// takes the retained frames without copying them.
+    pub fn into_store(self) -> FeatureStore {
+        self.store
+    }
+
+    /// Resident bytes of retained per-week feature state. Under
+    /// [`Retention::Latest`] this is one frame regardless of tracing —
+    /// the regression guard for the old traced-clone double retention.
+    pub fn retained_bytes(&self) -> usize {
+        self.store.resident_bytes()
+            + self.pending.iter().map(WeekFrame::resident_bytes).sum::<usize>()
+    }
+
+    /// Queues a checkpointed frame for adoption: when
+    /// [`WeeklyScorer::rank_week`] reaches the frame's day it uses the
+    /// frame instead of encoding, skipping the encode cost and reproducing
+    /// the checkpointed run's ranking bit-for-bit. Frames whose day the
+    /// loop has already passed are silently discarded at rank time.
+    ///
+    /// # Panics
+    /// Panics if the frame's shape does not match the store's lanes and
+    /// population, its day is not a Saturday, or preloads are not ascending
+    /// by day.
+    pub fn preload_frame(&mut self, frame: WeekFrame) {
+        assert_eq!(frame.n_lines(), self.lines.len(), "preloaded frame must cover the plant");
+        assert!(
+            frame.n_lines() == 0 || frame.n_lanes() == self.store.n_lanes(),
+            "preloaded frame must carry one lane per tracked column"
+        );
+        assert_eq!(frame.day() % 7, 6, "preloaded frame day {} is not a Saturday", frame.day());
+        if let Some(back) = self.pending.back() {
+            assert!(
+                frame.day() > back.day(),
+                "preloaded frames must ascend by day ({} after {})",
+                frame.day(),
+                back.day()
+            );
+        }
+        self.pending.push_back(frame);
     }
 
     /// Sets the shard-parallelism degree for every weekly stage (ingest,
@@ -176,67 +270,80 @@ impl<'a> WeeklyScorer<'a> {
     /// rolling state. Equivalent to [`TicketPredictor::rank`] over the
     /// observed logs, at a per-week cost independent of elapsed time.
     ///
-    /// Instead of assembling the predictor's full feature space, the encoder
-    /// materialises only the base columns the ensemble reads (time-series
-    /// z-score lanes are independent Welford streams, so the subset stays
-    /// bit-identical per column), and only the ensemble's used features are
-    /// gathered from them (with derived columns computed by the same `f32`
-    /// arithmetic as the batch `derive` pass, so margins stay bit-identical)
-    /// into a narrow matrix scored via
-    /// [`BatchScorer::margins_compact_parallel`].
+    /// The encoder writes the store's tracked lanes for the week (one
+    /// frame; time-series z-score lanes are independent Welford streams,
+    /// so the subset stays bit-identical per column) — or, if a
+    /// checkpointed frame for this day was preloaded, that frame is
+    /// adopted and the encode skipped. Margins are then gathered straight
+    /// off the frame's lanes: base features read the lane (missing bits
+    /// restore the encoder's `NaN`), derived features multiply lane values
+    /// with the same `f32` arithmetic as the batch `derive` pass, so the
+    /// margins stay bit-identical to the batch ranking. No per-week matrix
+    /// is materialised, traced or not.
     pub fn rank_week(&mut self, day: u32) -> RankedPredictions {
         let _span = nevermind_obs::span!("weekly/rank_week");
-        let base = self.encoder.encode_day_cols_sharded(day, &self.needed, self.shards.max(1));
-        let n_rows = base.data.len();
-        nevermind_obs::counter_add!("weekly/lines_scored", n_rows);
-        let mut values = Vec::with_capacity(n_rows * self.plan.len());
-        for r in 0..n_rows {
-            let row = base.data.x.row(r);
-            values.extend(self.plan.iter().map(|src| match *src {
-                Source::Base(c) => row[c],
-                Source::Quadratic(c) => row[c] * row[c],
-                Source::Product(a, b) => row[a] * row[b],
-            }));
+        while self.pending.front().is_some_and(|f| f.day() < day) {
+            self.pending.pop_front();
         }
-        let narrow = FeatureMatrix::new(n_rows, self.narrow_meta.clone(), values);
-        let margins = self.scorer.margins_compact_parallel(&narrow, self.shards);
+        if self.pending.front().is_some_and(|f| f.day() == day) {
+            // lint:allow(no-panic-in-lib) -- the front's presence was checked on the line above
+            let frame = self.pending.pop_front().expect("front frame checked");
+            nevermind_obs::counter_add!("weekly/frames_adopted", 1);
+            self.store.adopt_frame(frame);
+        } else {
+            let ds =
+                self.encoder.encode_day_cols_sharded(day, self.store.cols(), self.shards.max(1));
+            self.store.ingest_frame(day, &ds);
+        }
+        let n_rows = self.lines.len();
+        nevermind_obs::counter_add!("weekly/lines_scored", n_rows);
+        // lint:allow(no-panic-in-lib) -- this week's frame was ingested or adopted just above
+        let frame = self.store.latest().expect("frame for the ranked week");
+        let plan = &self.plan;
+        let fill = |slot: usize, rows: std::ops::Range<usize>, out: &mut [f32]| match plan[slot] {
+            Source::Base(l) => frame.fill_restored(l, rows, out),
+            Source::Quadratic(l) => {
+                frame.fill_restored(l, rows, out);
+                for o in out.iter_mut() {
+                    *o = *o * *o;
+                }
+            }
+            Source::Product(a, b) => {
+                frame.fill_restored(a, rows.clone(), out);
+                frame.mul_restored(b, rows, out);
+            }
+        };
+        let margins = self.scorer.margins_gather_parallel(n_rows, self.shards, &fill);
         let probabilities = self.predictor.calibration().probabilities(&margins);
-        // Retain the narrow matrix only while decision tracing wants to
-        // explain lines afterwards; with tracing off this is one relaxed
-        // atomic load and the matrix drops as before.
-        self.last_narrow = nevermind_obs::trace::enabled().then_some(narrow);
-        RankedPredictions::from_scores(base.rows, probabilities, base.data.y)
+        let rows: Vec<RowKey> = self.lines.iter().map(|l| RowKey { line: l.id, day }).collect();
+        RankedPredictions::from_scores(rows, probabilities, frame.labels_vec())
     }
 
-    /// Re-expands row `row` of the most recent traced [`Self::rank_week`]
+    /// Re-expands row `row` of the most recent [`Self::rank_week`] frame
     /// into the predictor's assembled feature space, for
     /// [`TicketPredictor::explain`]. Columns the ensemble never reads come
     /// back as `NaN` (no stump touches them, so their contribution is
-    /// exactly zero); used columns carry the very values the week's
-    /// margins were computed from, so the reconstructed margin is
-    /// bit-identical to the ranking's. Returns `None` when tracing was off
-    /// during the last ranking or `row` is out of range.
+    /// exactly zero); used columns are regathered from the store's lanes by
+    /// the very plan the week's margins were computed with, so the
+    /// reconstructed margin is bit-identical to the ranking's. Returns
+    /// `None` before the first ranked week or when `row` is out of range.
     pub fn traced_assembled_row(&self, row: usize) -> Option<Vec<f32>> {
-        let narrow = self.last_narrow.as_ref()?;
-        if row >= narrow.n_rows() {
+        let frame = self.store.latest()?;
+        if row >= frame.n_lines() {
             return None;
         }
         let mut assembled = vec![f32::NAN; self.n_assembled];
         for (slot, &col) in self.used.iter().enumerate() {
-            assembled[col] = narrow.get(row, slot);
+            assembled[col] = match self.plan[slot] {
+                Source::Base(l) => frame.value(l, row),
+                Source::Quadratic(l) => {
+                    let v = frame.value(l, row);
+                    v * v
+                }
+                Source::Product(a, b) => frame.value(a, row) * frame.value(b, row),
+            };
         }
         Some(assembled)
-    }
-
-    /// Encodes the requested base columns at `day` from the rolling state —
-    /// the model-health monitor's window into the live feature values.
-    ///
-    /// Re-encoding a day the engine already ranked is idempotent (the
-    /// incremental encoder's per-line state only prunes history that no
-    /// later window can read), so calling this after [`Self::rank_week`]
-    /// for the same Saturday cannot perturb that or any later ranking.
-    pub fn encode_features(&mut self, day: u32, cols: &[usize]) -> EncodedDataset {
-        self.encoder.encode_day_cols(day, cols)
     }
 
     /// The week's top-`budget` lines, best first — the dispatch list.
@@ -278,9 +385,12 @@ mod tests {
 
         let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
         engine.observe(&data.output.measurements, &data.output.tickets);
-        // A second engine running every stage shard-parallel must agree
-        // bit-for-bit with both the legacy engine and the batch ranking.
+        // A second engine running every stage shard-parallel — and tracking
+        // extra telemetry lanes, which widens the store but must not perturb
+        // the plan's values — must agree bit-for-bit with both the legacy
+        // engine and the batch ranking.
         let mut sharded = WeeklyScorer::new(&predictor, &data.topology.lines);
+        sharded.track_columns(&predictor.selected_base()[..4.min(predictor.selected_base().len())]);
         sharded.set_shards(7);
         sharded.observe(&data.output.measurements, &data.output.tickets);
 
@@ -309,6 +419,11 @@ mod tests {
                 "day {day}: sharded top-B"
             );
         }
+        // Steady-state retention is exactly one frame per engine, and the
+        // widened store's frame is bigger only by its extra lanes.
+        assert_eq!(engine.store().frames().len(), 1);
+        assert_eq!(sharded.store().frames().len(), 1);
+        assert!(sharded.retained_bytes() >= engine.retained_bytes());
     }
 
     #[test]
@@ -340,5 +455,65 @@ mod tests {
         let batch = predictor.rank(&data, &[day]);
         let streaming = engine.rank_week(day);
         assert_eq!(batch.probabilities, streaming.probabilities);
+    }
+
+    #[test]
+    fn preloaded_frames_reproduce_encoded_rankings() {
+        let data = ExperimentData::simulate(SimConfig::small(90));
+        let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+        let cfg = PredictorConfig {
+            iterations: 25,
+            selection_iterations: 3,
+            n_base: 12,
+            n_quadratic: 4,
+            n_product: 4,
+            selection_row_cap: 4_000,
+            ..PredictorConfig::default()
+        };
+        let (predictor, _) =
+            TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
+        let days: Vec<u32> = split.test_days.iter().copied().take(3).collect();
+        assert!(days.len() >= 2, "need at least two test Saturdays");
+
+        // Reference run, retaining every frame (the checkpoint writer).
+        let mut reference = WeeklyScorer::new(&predictor, &data.topology.lines);
+        reference.set_retention(Retention::All);
+        reference.observe(&data.output.measurements, &data.output.tickets);
+        let reference_ranks: Vec<RankedPredictions> =
+            days.iter().map(|&d| reference.rank_week(d)).collect();
+
+        // Resumed run: adopt the exported frames via the binary format
+        // instead of encoding, plus one stale frame that must be skipped.
+        let bytes = reference.store().export();
+        let imported = FeatureStore::import(&bytes).expect("checkpoint parses");
+        let mut resumed = WeeklyScorer::new(&predictor, &data.topology.lines);
+        resumed.observe(&data.output.measurements, &data.output.tickets);
+        for frame in imported.into_frames() {
+            resumed.preload_frame(frame);
+        }
+        for (day, reference_rank) in days.iter().skip(1).zip(reference_ranks.iter().skip(1)) {
+            let resumed_rank = resumed.rank_week(*day);
+            assert_eq!(reference_rank.rows, resumed_rank.rows, "day {day}: rows");
+            assert_eq!(reference_rank.labels, resumed_rank.labels, "day {day}: labels");
+            for (r, (a, b)) in
+                reference_rank.probabilities.iter().zip(&resumed_rank.probabilities).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "day {day} row {r}: {a} vs {b}");
+            }
+        }
+        // Past the preloaded horizon the engine falls back to encoding and
+        // still matches a fresh engine.
+        if let Some(&later) = split.test_days.get(3) {
+            let mut fresh = WeeklyScorer::new(&predictor, &data.topology.lines);
+            fresh.observe(&data.output.measurements, &data.output.tickets);
+            for &d in &days {
+                fresh.rank_week(d);
+            }
+            assert_eq!(
+                fresh.rank_week(later).probabilities,
+                resumed.rank_week(later).probabilities,
+                "post-checkpoint weeks must re-encode identically"
+            );
+        }
     }
 }

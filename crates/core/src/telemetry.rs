@@ -37,18 +37,25 @@
 //!
 //! Everything is recorded through the global [`nevermind_obs`] registry, so
 //! any `--metrics` dump carries the full telemetry without extra plumbing.
-//! The monitor only ever *reads* the scoring path (its weekly feature
-//! values come from an extra idempotent encode of the already-ranked day),
-//! so rankings and dispatch decisions are bit-identical with and without it
-//! — pinned by the equivalence test in `tests/observability.rs`.
+//! The monitor only ever *reads* the scoring path — its weekly feature
+//! values are borrowed straight from the week's
+//! [`nevermind_features::FeatureStore`] frame (the very lanes the ranking
+//! was scored from; no second encode) — so rankings and dispatch decisions
+//! are bit-identical with and without it, pinned by the equivalence test
+//! in `tests/observability.rs`.
+//!
+//! A week can be *empty* — zero lines, or a population whose scored
+//! distribution carries no mass — and a PSI against an empty population is
+//! undefined ([`nevermind_ml::drift::PsiError`]). The monitor records such
+//! weeks in the `telemetry/psi_skipped` counter, leaves the persistence
+//! streaks untouched, and keeps the trial alive instead of panicking.
 
 use crate::pipeline::{ExperimentData, SplitSpec};
 use crate::predictor::{RankedPredictions, TicketPredictor};
 use nevermind_dslsim::Ticket;
-use nevermind_features::encode::EncodedDataset;
-use nevermind_features::BaseEncoder;
+use nevermind_features::{BaseEncoder, FeatureStore};
 use nevermind_ml::calibrate::{brier_score, expected_calibration_error};
-use nevermind_ml::drift::{bin_counts, psi, quantile_edges};
+use nevermind_ml::drift::{bin_counts, bin_counts_from, psi, quantile_edges};
 
 /// Thresholds and sizing for the model-health monitor.
 #[derive(Debug, Clone)]
@@ -299,37 +306,60 @@ impl ModelHealthMonitor {
         }
     }
 
-    /// The base columns to encode each week, aligned with the monitored
-    /// features — pass to `WeeklyScorer::encode_features`.
+    /// The base columns the monitor bins each week, aligned with the
+    /// monitored features — pass to `WeeklyScorer::track_columns` so the
+    /// weekly store frames carry these lanes.
     pub fn monitored_columns(&self) -> &[usize] {
         &self.monitored_cols
     }
 
     /// Compares one scored Saturday against the reference. `ranking` is the
-    /// week's population ranking, `features` the same day's encoding of
-    /// [`Self::monitored_columns`] (columns aligned), and `tickets` the
+    /// week's population ranking, `store` the weekly scorer's feature store
+    /// — the monitor borrows the ranked day's frame and bins each monitored
+    /// column's lane directly, so the week's values are read zero-copy from
+    /// the same memory the ranking was scored from. `tickets` is the
     /// world's full growing ticket log (a cursor skips what was already
     /// seen). Returns the week's PSI-based status; calibration (ECE/Brier)
     /// is emitted later, once the week's label window closes.
+    ///
+    /// A PSI that is undefined for the week — an empty population, a
+    /// scored distribution with no mass — is counted in
+    /// `telemetry/psi_skipped` and leaves that metric's persistence streak
+    /// untouched (an empty week is no evidence of drift either way).
+    ///
+    /// # Panics
+    /// Panics if the store does not hold `day`'s frame or does not track
+    /// every monitored column — wiring errors, not data states.
     pub fn observe_week(
         &mut self,
         day: u32,
         ranking: &RankedPredictions,
-        features: &EncodedDataset,
+        store: &FeatureStore,
         tickets: &[Ticket],
     ) -> HealthStatus {
         let _span = nevermind_obs::span!("telemetry/observe_week");
         self.ingest_tickets(tickets);
 
+        let frame = store
+            .latest()
+            .filter(|f| f.day() == day)
+            // lint:allow(no-panic-in-lib) -- the weekly loop always ranks `day` (filling its frame) before observing it
+            .expect("the observed day's frame must be resident in the store");
+
         let reg = nevermind_obs::global();
         let persistence = self.config.persistence_weeks.max(1);
         let mut week_status = HealthStatus::Healthy;
         let mut week_breaches = 0u64;
-        let n_rows = features.data.len();
         for (j, feat) in self.features.iter_mut().enumerate() {
-            let values: Vec<f64> =
-                (0..n_rows).map(|r| f64::from(features.data.x.row(r)[j])).collect();
-            let p = psi(&feat.ref_counts, &bin_counts(&feat.edges, &values));
+            let lane = store
+                .lane_of(self.monitored_cols[j])
+                // lint:allow(no-panic-in-lib) -- the pipeline tracks every monitored column in the store
+                .expect("store tracks every monitored column");
+            let counts = bin_counts_from(&feat.edges, frame.lane_f64(lane));
+            let Ok(p) = psi(&feat.ref_counts, &counts) else {
+                reg.counter("telemetry/psi_skipped").inc();
+                continue;
+            };
             reg.series(&format!("telemetry/psi/{}", feat.name)).push(f64::from(day), p);
             let raw = HealthStatus::classify(p, self.config.psi_warning, self.config.psi_alert);
             feat.streak = if raw > HealthStatus::Healthy { feat.streak + 1 } else { 0 };
@@ -342,18 +372,28 @@ impl ModelHealthMonitor {
             }
         }
 
-        let score_psi =
-            psi(&self.score_ref_counts, &bin_counts(&self.score_edges, &ranking.probabilities));
-        reg.series("telemetry/score_psi").push(f64::from(day), score_psi);
         let live_scores = reg.distribution("telemetry/live/score", 0.0, 1.0, self.config.n_bins);
         live_scores.record_all(&ranking.probabilities);
-        let raw = HealthStatus::classify(score_psi, self.config.psi_warning, self.config.psi_alert);
-        self.score_streak = if raw > HealthStatus::Healthy { self.score_streak + 1 } else { 0 };
-        if self.score_streak >= persistence {
-            week_status = week_status.max(raw);
-            week_breaches += 1;
+        match psi(&self.score_ref_counts, &bin_counts(&self.score_edges, &ranking.probabilities)) {
+            Ok(score_psi) => {
+                reg.series("telemetry/score_psi").push(f64::from(day), score_psi);
+                let raw = HealthStatus::classify(
+                    score_psi,
+                    self.config.psi_warning,
+                    self.config.psi_alert,
+                );
+                self.score_streak =
+                    if raw > HealthStatus::Healthy { self.score_streak + 1 } else { 0 };
+                if self.score_streak >= persistence {
+                    week_status = week_status.max(raw);
+                    week_breaches += 1;
+                }
+                self.max_score_psi = self.max_score_psi.max(score_psi);
+            }
+            Err(_) => {
+                reg.counter("telemetry/psi_skipped").inc();
+            }
         }
-        self.max_score_psi = self.max_score_psi.max(score_psi);
         self.breaches += week_breaches;
         reg.counter("telemetry/breaches").add(week_breaches);
 

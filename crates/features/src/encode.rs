@@ -174,6 +174,25 @@ impl<'a> BaseEncoder<'a> {
         self.encode_rows(&keys)
     }
 
+    /// Encodes the whole population at `day` directly into `store` — the
+    /// batch writer of the week-major [`crate::FeatureStore`]. Fills only
+    /// the store's tracked lanes; the ingested frame is byte-identical to
+    /// what [`crate::IncrementalEncoder::encode_week_into`] writes over the
+    /// same logs (both writers funnel through
+    /// [`crate::FeatureStore::ingest_frame`]).
+    ///
+    /// # Panics
+    /// Panics if `day` is not a Saturday or the store's shape does not
+    /// match this encoder's population.
+    pub fn encode_week_into<'s>(
+        &self,
+        day: u32,
+        store: &'s mut crate::FeatureStore,
+    ) -> &'s crate::store::WeekFrame {
+        let ds = self.encode(&[day]).select_columns(store.cols());
+        store.ingest_frame(day, &ds)
+    }
+
     /// Encodes exactly the requested `(line, Saturday)` rows — used by the
     /// trouble locator, whose rows are dispatch events rather than whole
     /// population sweeps.

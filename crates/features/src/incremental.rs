@@ -249,6 +249,26 @@ impl<'a> IncrementalEncoder<'a> {
         self.encode_day_cols_sharded(day, cols, 1)
     }
 
+    /// Encodes the population at `day` directly into `store` — the
+    /// streaming writer of the week-major [`crate::FeatureStore`]. Encodes
+    /// exactly the store's tracked lanes (sharded) and ingests the result;
+    /// byte-identical to [`crate::BaseEncoder::encode_week_into`] over the
+    /// same logs, because both writers funnel through
+    /// [`crate::FeatureStore::ingest_frame`].
+    ///
+    /// # Panics
+    /// Panics under [`IncrementalEncoder::encode_day_cols`]'s conditions,
+    /// or if the store's shape does not match this encoder's population.
+    pub fn encode_week_into<'s>(
+        &mut self,
+        day: u32,
+        shards: usize,
+        store: &'s mut crate::FeatureStore,
+    ) -> &'s crate::store::WeekFrame {
+        let ds = self.encode_day_cols_sharded(day, store.cols(), shards);
+        store.ingest_frame(day, &ds)
+    }
+
     /// [`IncrementalEncoder::encode_day_cols`] fanned out over `shards`
     /// scoped threads, each encoding a contiguous line range into a
     /// disjoint slice of the output matrix. Bit-identical to the serial

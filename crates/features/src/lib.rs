@@ -22,8 +22,10 @@
 //! [`indexes`] holds the measurement/ticket lookup structures shared with
 //! the core crate, [`encode`] the offline batch encoder, [`incremental`]
 //! its streaming counterpart for the weekly operational loop (rolling
-//! per-line state instead of full-log re-scans), and [`registry`] the
-//! feature taxonomy.
+//! per-line state instead of full-log re-scans), [`store`] the week-major
+//! columnar [`FeatureStore`] both encoders write and every downstream
+//! reader (scoring, telemetry, provenance) borrows zero-copy, and
+//! [`registry`] the feature taxonomy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,8 +34,10 @@ pub mod encode;
 pub mod incremental;
 pub mod indexes;
 pub mod registry;
+pub mod store;
 
 pub use encode::{BaseEncoder, EncodedDataset};
 pub use incremental::IncrementalEncoder;
 pub use indexes::{MeasurementIndex, TicketIndex};
 pub use registry::{DerivedFeature, FeatureClass};
+pub use store::{FeatureStore, Retention, StoreError, WeekFrame};

@@ -17,6 +17,44 @@
 //! measurements, a first-class value in this workspace — count into a
 //! dedicated extra bin, so a drifting missing-data *rate* registers as
 //! drift too.
+//!
+//! A PSI between populations one of which is *empty* is undefined — there
+//! is no distribution to compare. That is a real operational state (a
+//! zero-scored week near the end of a short horizon, an empty plant), so
+//! [`psi`] reports it as a typed [`PsiError`] instead of panicking, and the
+//! health monitor upstream records the week as skipped.
+
+/// Why a PSI could not be computed. Both cases are states of the *data*,
+/// not programming errors, so they surface as values the monitor can route
+/// (skip the week, keep the streak) rather than panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsiError {
+    /// The two count vectors describe different binnings.
+    LengthMismatch {
+        /// Bins in the reference vector.
+        reference: usize,
+        /// Bins in the observed vector.
+        observed: usize,
+    },
+    /// The reference counts sum to zero — no reference population.
+    EmptyReference,
+    /// The observed counts sum to zero — no observed population.
+    EmptyObserved,
+}
+
+impl std::fmt::Display for PsiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch { reference, observed } => {
+                write!(f, "PSI needs identical binnings ({reference} reference bins vs {observed} observed)")
+            }
+            Self::EmptyReference => write!(f, "PSI undefined: reference population is empty"),
+            Self::EmptyObserved => write!(f, "PSI undefined: observed population is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PsiError {}
 
 /// Interior bin edges at the `1/k .. (k-1)/k` quantiles of `values`,
 /// deduplicated, NaNs ignored.
@@ -54,9 +92,15 @@ pub fn quantile_edges(values: &[f64], n_bins: usize) -> Vec<f64> {
 /// per-bin counts followed by one extra NaN-bucket count, so the result
 /// always has `edges.len() + 2` entries.
 pub fn bin_counts(edges: &[f64], values: &[f64]) -> Vec<u64> {
+    bin_counts_from(edges, values.iter().copied())
+}
+
+/// [`bin_counts`] over any `f64` stream — how the health monitor counts a
+/// feature-store lane without materializing it into a slice first.
+pub fn bin_counts_from(edges: &[f64], values: impl IntoIterator<Item = f64>) -> Vec<u64> {
     let mut counts = vec![0u64; edges.len() + 2];
     let nan_bucket = edges.len() + 1;
-    for &v in values {
+    for v in values {
         if v.is_nan() {
             counts[nan_bucket] += 1;
         } else {
@@ -74,13 +118,24 @@ pub fn bin_counts(edges: &[f64], values: &[f64]) -> Vec<u64> {
 /// with a NaN bucket that is usually empty — contribute finitely instead of
 /// an infinite log ratio.
 ///
-/// # Panics
-/// If the vectors differ in length or either is all zero.
-pub fn psi(reference: &[u64], observed: &[u64]) -> f64 {
-    assert_eq!(reference.len(), observed.len(), "PSI needs identical binnings");
+/// # Errors
+/// [`PsiError`] when the vectors differ in length or either population is
+/// empty (all-zero counts) — states in which no PSI is defined.
+pub fn psi(reference: &[u64], observed: &[u64]) -> Result<f64, PsiError> {
+    if reference.len() != observed.len() {
+        return Err(PsiError::LengthMismatch {
+            reference: reference.len(),
+            observed: observed.len(),
+        });
+    }
     let ref_total: u64 = reference.iter().sum();
     let obs_total: u64 = observed.iter().sum();
-    assert!(ref_total > 0 && obs_total > 0, "PSI needs non-empty populations");
+    if ref_total == 0 {
+        return Err(PsiError::EmptyReference);
+    }
+    if obs_total == 0 {
+        return Err(PsiError::EmptyObserved);
+    }
     let k = reference.len() as f64;
     let mut sum = 0.0;
     for (&r, &o) in reference.iter().zip(observed) {
@@ -88,13 +143,20 @@ pub fn psi(reference: &[u64], observed: &[u64]) -> f64 {
         let q = (o as f64 + 0.5) / (obs_total as f64 + 0.5 * k);
         sum += (p - q) * (p / q).ln();
     }
-    sum
+    Ok(sum)
 }
 
 /// Convenience: [`quantile_edges`] on the reference, [`bin_counts`] on
 /// both, [`psi`] on the counts. `n_bins` is the target in-range bin count
 /// (10 is the scorecard convention).
-pub fn psi_from_samples(reference: &[f64], observed: &[f64], n_bins: usize) -> f64 {
+///
+/// # Errors
+/// [`PsiError`] when either sample is empty.
+pub fn psi_from_samples(
+    reference: &[f64],
+    observed: &[f64],
+    n_bins: usize,
+) -> Result<f64, PsiError> {
     let edges = quantile_edges(reference, n_bins);
     psi(&bin_counts(&edges, reference), &bin_counts(&edges, observed))
 }
@@ -141,18 +203,26 @@ mod tests {
     }
 
     #[test]
+    fn bin_counts_from_matches_the_slice_path() {
+        let edges = [0.0, 1.0, 2.5];
+        let values = [-1.0, 0.0, 0.3, 1.0, 2.4, 2.5, 9.0, f64::NAN];
+        let streamed = bin_counts_from(&edges, values.iter().copied());
+        assert_eq!(streamed, bin_counts(&edges, &values));
+    }
+
+    #[test]
     fn psi_zero_for_identical_counts() {
         let c = vec![10, 20, 30, 5, 0];
-        assert!(psi(&c, &c).abs() < 1e-12);
+        assert!(psi(&c, &c).expect("non-empty").abs() < 1e-12);
     }
 
     #[test]
     fn psi_is_symmetric_and_positive() {
         let a = vec![100, 200, 300];
         let b = vec![300, 200, 100];
-        let p = psi(&a, &b);
+        let p = psi(&a, &b).expect("non-empty");
         assert!(p > 0.0);
-        assert!((p - psi(&b, &a)).abs() < 1e-12);
+        assert!((p - psi(&b, &a).expect("non-empty")).abs() < 1e-12);
     }
 
     #[test]
@@ -161,7 +231,7 @@ mod tests {
         let mut prev = 0.0;
         for (i, shift) in [0.0, 0.25, 0.5, 1.0, 2.0].into_iter().enumerate() {
             let observed = gaussian(20_000, shift, 1.0, 2);
-            let p = psi_from_samples(&reference, &observed, 10);
+            let p = psi_from_samples(&reference, &observed, 10).expect("non-empty samples");
             if i == 0 {
                 assert!(p < 0.01, "same distribution, different draw: psi = {p}");
             } else {
@@ -179,13 +249,22 @@ mod tests {
         for v in observed.iter_mut().take(300) {
             *v = f64::NAN;
         }
-        let p = psi_from_samples(&reference, &observed, 10);
+        let p = psi_from_samples(&reference, &observed, 10).expect("non-empty samples");
         assert!(p > 0.25, "30% of values going missing must alert, got {p}");
     }
 
     #[test]
-    #[should_panic(expected = "identical binnings")]
-    fn psi_rejects_mismatched_lengths() {
-        psi(&[1, 2], &[1, 2, 3]);
+    fn psi_reports_undefined_inputs_as_typed_errors() {
+        assert_eq!(
+            psi(&[1, 2], &[1, 2, 3]),
+            Err(PsiError::LengthMismatch { reference: 2, observed: 3 })
+        );
+        assert_eq!(psi(&[0, 0], &[1, 2]), Err(PsiError::EmptyReference));
+        assert_eq!(psi(&[1, 2], &[0, 0]), Err(PsiError::EmptyObserved));
+        assert_eq!(psi_from_samples(&[], &[1.0], 10), Err(PsiError::EmptyReference));
+        assert_eq!(psi_from_samples(&[1.0], &[], 10), Err(PsiError::EmptyObserved));
+        // An all-NaN week still has a population — it lives in the NaN
+        // bucket — so its PSI is defined.
+        assert!(psi_from_samples(&[1.0, 2.0], &[f64::NAN; 3], 10).is_ok());
     }
 }

@@ -25,6 +25,9 @@
 use crate::boost::BStump;
 use crate::data::FeatureMatrix;
 
+/// Cache-sized row block both scoring loops work in.
+const BLOCK: usize = 256;
+
 /// One compiled stump: which reduced feature it reads and its bin→score
 /// table.
 #[derive(Debug, Clone)]
@@ -139,6 +142,95 @@ impl BatchScorer {
         self.margins_parallel_with(x, n_threads, ColumnLayout::Compact)
     }
 
+    /// Margins gathered straight from a columnar source, with no
+    /// materialized matrix at all: for each used feature (slot order) and
+    /// each row block, `fill(slot, rows, out)` writes the feature's values
+    /// for those rows into `out` (`NaN` = missing, any payload). This is
+    /// how the weekly engine scores a `FeatureStore` week — the closure
+    /// reads borrowed lane slices and computes derived features on the fly.
+    ///
+    /// Bit-identical to [`BatchScorer::margins`] over a matrix carrying the
+    /// same values: binning is per-value, and the per-row LUT accumulation
+    /// runs in the identical boosting order.
+    pub fn margins_gather<F>(&self, n_rows: usize, fill: &F) -> Vec<f64>
+    where
+        F: Fn(usize, std::ops::Range<usize>, &mut [f32]),
+    {
+        let mut out = vec![0.0f64; n_rows];
+        self.score_rows_gather(0, &mut out, fill);
+        out
+    }
+
+    /// [`BatchScorer::margins_gather`] with row chunks spread over
+    /// `n_threads` scoped threads (`0` = available parallelism). Each
+    /// thread gathers and scores a disjoint row range, so the result is
+    /// bit-identical to the serial path for any thread count.
+    pub fn margins_gather_parallel<F>(&self, n_rows: usize, n_threads: usize, fill: &F) -> Vec<f64>
+    where
+        F: Fn(usize, std::ops::Range<usize>, &mut [f32]) + Sync,
+    {
+        let n_threads = if n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            n_threads
+        }
+        .min(n_rows.max(1));
+        let mut out = vec![0.0f64; n_rows];
+        if n_threads <= 1 {
+            self.score_rows_gather(0, &mut out, fill);
+            return out;
+        }
+
+        let chunk = n_rows.div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f64] = &mut out;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let len = chunk.min(rest.len());
+                let (slice, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let first_row = start;
+                scope.spawn(move || self.score_rows_gather(first_row, slice, fill));
+                start += len;
+            }
+        });
+        out
+    }
+
+    /// Scores rows `first_row..first_row + out.len()` into `out`, pulling
+    /// feature values through `fill` one (slot, block) at a time.
+    fn score_rows_gather<F>(&self, first_row: usize, out: &mut [f64], fill: &F)
+    where
+        F: Fn(usize, std::ops::Range<usize>, &mut [f32]),
+    {
+        let n_feat = self.features.len();
+        let mut bins = vec![0u32; BLOCK * n_feat];
+        let mut vals = vec![0.0f32; BLOCK];
+        for (block_idx, block) in out.chunks_mut(BLOCK).enumerate() {
+            let base = first_row + block_idx * BLOCK;
+            let n = block.len();
+            for (slot, (_, ts)) in self.features.iter().enumerate() {
+                let vals = &mut vals[..n];
+                fill(slot, base..base + n, vals);
+                for (i, &v) in vals.iter().enumerate() {
+                    bins[i * n_feat + slot] = if v.is_nan() {
+                        ts.len() as u32 + 1 // missing bin: last LUT entry
+                    } else {
+                        ts.partition_point(|&t| t < v) as u32
+                    };
+                }
+            }
+            for (i, acc) in block.iter_mut().enumerate() {
+                let row_bins = &bins[i * n_feat..(i + 1) * n_feat];
+                let mut m = 0.0f64;
+                for s in &self.stumps {
+                    m += s.lut[row_bins[s.slot as usize] as usize];
+                }
+                *acc = m;
+            }
+        }
+    }
+
     fn margins_parallel_with(
         &self,
         x: &FeatureMatrix,
@@ -185,7 +277,6 @@ impl BatchScorer {
         out: &mut [f64],
         layout: ColumnLayout,
     ) {
-        const BLOCK: usize = 256;
         let n_feat = self.features.len();
         let mut bins = vec![0u32; BLOCK * n_feat];
         for (block_idx, block) in out.chunks_mut(BLOCK).enumerate() {
@@ -331,6 +422,49 @@ mod tests {
         ] {
             for (r, (a, b)) in full.iter().zip(&serial).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "{label} row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_margins_match_full_matrix_for_any_thread_count() {
+        let train = noisy_dataset(1100, 6, 49);
+        let model = BStump::fit(&train, &BoostConfig::with_iterations(100));
+        let scorer = BatchScorer::new(&model);
+        let test = noisy_dataset(733, 6, 50); // odd count: uneven chunks
+        let full = scorer.margins(&test.x);
+
+        // Columnar source: one lane per used feature, NaNs re-canonicalized
+        // to the default payload — gather scoring must not care which NaN
+        // the encoder produced.
+        let cols: Vec<usize> = scorer.used_columns().collect();
+        let lanes: Vec<Vec<f32>> = cols
+            .iter()
+            .map(|&c| {
+                (0..test.len())
+                    .map(|r| {
+                        let v = test.x.row(r)[c];
+                        if v.is_nan() {
+                            f32::NAN
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let fill = |slot: usize, rows: std::ops::Range<usize>, out: &mut [f32]| {
+            out.copy_from_slice(&lanes[slot][rows]);
+        };
+
+        let serial = scorer.margins_gather(test.len(), &fill);
+        for (r, (a, b)) in full.iter().zip(&serial).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "serial gather row {r}: {a} vs {b}");
+        }
+        for threads in [0, 2, 3, 7, 64] {
+            let parallel = scorer.margins_gather_parallel(test.len(), threads, &fill);
+            for (r, (a, b)) in full.iter().zip(&parallel).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, row {r}");
             }
         }
     }

@@ -1,0 +1,134 @@
+//! Mid-horizon checkpoint/resume contract tests.
+//!
+//! A trial stopped after week `w` with its ranked-week frames kept
+//! (`TrialOptions::stop_after_week` + `keep_store`), exported through the
+//! `nevermind-store/v1` bytes, and resumed in a fresh process-equivalent
+//! trial (`resume_store`) must reproduce the *uninterrupted* trial exactly:
+//! the same outcome counters and a byte-identical decision-provenance
+//! export. Resume adopts the checkpointed frames instead of re-encoding
+//! them, so this is the end-to-end statement that adopted frames carry the
+//! same bytes the encoder would have produced.
+//!
+//! Tests flip the process-global trace buffer, so they serialise on one
+//! mutex (same pattern as `tests/trace.rs`).
+
+use nevermind::pipeline::{run_proactive_trial_with, ProactiveOutcome, TrialOptions, TrialResult};
+use nevermind::predictor::PredictorConfig;
+use nevermind::PipelineError;
+use nevermind_dslsim::scenario::Scenario;
+use nevermind_dslsim::SimConfig;
+use nevermind_features::FeatureStore;
+use std::sync::Mutex;
+
+static GLOBAL_TRACE: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 0x0C0F_FEE5;
+const LINES: usize = 300;
+const DAYS: u32 = 160;
+const WARMUP_WEEKS: u32 = 14;
+const STOP_WEEK: u32 = 17;
+
+fn sim_config() -> SimConfig {
+    Scenario::parse("baseline").expect("known scenario").config(SEED, LINES, DAYS)
+}
+
+fn predictor_config() -> PredictorConfig {
+    PredictorConfig {
+        iterations: 40,
+        budget_fraction: 0.01,
+        selection_row_cap: 8_000,
+        ..PredictorConfig::default()
+    }
+}
+
+/// Runs one traced trial, returning the result and the JSONL export.
+fn traced_trial(options: &TrialOptions) -> (TrialResult, String) {
+    let buf = nevermind_obs::trace::global();
+    buf.reset();
+    nevermind_obs::trace::set_enabled(true);
+    let result = run_proactive_trial_with(sim_config(), &predictor_config(), WARMUP_WEEKS, options)
+        .expect("trial config is valid");
+    let jsonl = buf.to_jsonl();
+    nevermind_obs::trace::set_enabled(false);
+    buf.reset();
+    (result, jsonl)
+}
+
+fn assert_outcomes_equal(a: &ProactiveOutcome, b: &ProactiveOutcome, ctx: &str) {
+    assert_eq!(a.policy_start_day, b.policy_start_day, "{ctx}: policy start");
+    assert_eq!(a.reactive_tickets, b.reactive_tickets, "{ctx}: reactive tickets");
+    assert_eq!(a.proactive_tickets, b.proactive_tickets, "{ctx}: proactive tickets");
+    assert_eq!(a.proactive_dispatches, b.proactive_dispatches, "{ctx}: dispatches");
+    assert_eq!(a.proactive_hits, b.proactive_hits, "{ctx}: hits");
+    assert_eq!(a.reactive_churn, b.reactive_churn, "{ctx}: reactive churn");
+    assert_eq!(a.proactive_churn, b.proactive_churn, "{ctx}: proactive churn");
+}
+
+#[test]
+fn checkpointed_trial_resumes_byte_identically() {
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+
+    // Reference: the uninterrupted trial.
+    let (full, full_jsonl) = traced_trial(&TrialOptions::default());
+    assert!(full_jsonl.lines().count() > 1, "trace must carry events");
+
+    // Checkpoint: stop after week STOP_WEEK, keeping every ranked frame.
+    let stop_options = TrialOptions {
+        stop_after_week: Some(STOP_WEEK),
+        keep_store: true,
+        ..TrialOptions::default()
+    };
+    let (stopped, _stopped_jsonl) = traced_trial(&stop_options);
+    let store = stopped.store.expect("keep_store must return the store");
+    // Ranked Saturdays in [policy start, stop frontier): one frame each.
+    let expected_frames: Vec<u32> =
+        (WARMUP_WEEKS * 7..(STOP_WEEK + 1) * 7).filter(|d| d % 7 == 6).collect();
+    assert_eq!(
+        store.frames().iter().map(|f| f.day()).collect::<Vec<_>>(),
+        expected_frames,
+        "one frame per ranked Saturday up to the stop"
+    );
+    assert!(
+        stopped.outcome.proactive_tickets <= full.outcome.proactive_tickets,
+        "a truncated horizon cannot see more tickets than the full one"
+    );
+
+    // Resume through the wire format — exactly what `--store-out` /
+    // `--resume-from` ship between processes.
+    let bytes = store.export();
+    let reloaded = FeatureStore::import(&bytes).expect("own export must import");
+    let resume_options = TrialOptions { resume_store: Some(reloaded), ..TrialOptions::default() };
+    let (resumed, resumed_jsonl) = traced_trial(&resume_options);
+
+    assert_outcomes_equal(&full.outcome, &resumed.outcome, "resumed vs uninterrupted");
+    assert_eq!(
+        full_jsonl, resumed_jsonl,
+        "resumed trial must export byte-identical nevermind-trace/v1"
+    );
+}
+
+#[test]
+fn mismatched_store_is_rejected_not_adopted() {
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+
+    // A checkpoint from a *different* population size must be refused up
+    // front — silently re-encoding (or worse, adopting misaligned rows)
+    // would corrupt the trial.
+    let small_cfg = Scenario::parse("baseline").expect("known scenario").config(SEED, 120, DAYS);
+    let options = TrialOptions {
+        stop_after_week: Some(STOP_WEEK),
+        keep_store: true,
+        ..TrialOptions::default()
+    };
+    let small = run_proactive_trial_with(small_cfg, &predictor_config(), WARMUP_WEEKS, &options)
+        .expect("trial config is valid");
+    let store = small.store.expect("keep_store must return the store");
+
+    let resume = TrialOptions { resume_store: Some(store), ..TrialOptions::default() };
+    let err = run_proactive_trial_with(sim_config(), &predictor_config(), WARMUP_WEEKS, &resume)
+        .expect_err("a 120-line store must not resume a 300-line trial");
+    assert!(
+        matches!(err, PipelineError::StoreMismatch { .. }),
+        "expected StoreMismatch, got {err:?}"
+    );
+}

@@ -15,11 +15,14 @@
 //! Both tests flip the process-global registry's enabled bit, so they
 //! serialise on one mutex (same pattern as `tests/observability.rs`).
 
-use nevermind::pipeline::{run_proactive_trial_with, TrialOptions};
-use nevermind::predictor::PredictorConfig;
-use nevermind::telemetry::HealthStatus;
+use nevermind::pipeline::{run_proactive_trial_with, ExperimentData, SplitSpec, TrialOptions};
+use nevermind::predictor::{PredictorConfig, RankedPredictions};
+use nevermind::telemetry::{HealthStatus, ModelHealthMonitor, TelemetryConfig};
+use nevermind::TicketPredictor;
 use nevermind_dslsim::scenario::Scenario;
 use nevermind_dslsim::SimConfig;
+use nevermind_features::encode::BaseEncoder;
+use nevermind_features::FeatureStore;
 use std::sync::Mutex;
 
 static GLOBAL_REGISTRY: Mutex<()> = Mutex::new(());
@@ -78,6 +81,62 @@ fn telemetry_does_not_perturb_the_trial() {
     assert_eq!(a.reactive_tickets, b.reactive_tickets, "reactive twin diverged");
     assert_eq!(a.proactive_churn, b.proactive_churn);
     assert_eq!(a.reactive_churn, b.reactive_churn);
+}
+
+#[test]
+fn zero_scored_week_is_skipped_not_fatal() {
+    // Regression: a week with nothing to score — an empty plant, a horizon
+    // tail with no ranked rows — used to panic inside the PSI computation
+    // (a distribution with zero mass has no PSI). The monitor must instead
+    // count the week as skipped, keep its persistence streaks untouched,
+    // and stay healthy.
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    nevermind_obs::global().reset();
+    nevermind_obs::set_enabled(true);
+
+    let data = ExperimentData::simulate(SimConfig::small(0xE0));
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+    let cfg = PredictorConfig {
+        iterations: 20,
+        selection_iterations: 3,
+        n_base: 10,
+        n_quadratic: 4,
+        n_product: 4,
+        selection_row_cap: 4_000,
+        ..PredictorConfig::default()
+    };
+    let (predictor, _) =
+        TicketPredictor::fit(&data, &split, &cfg).expect("well-formed training data");
+    let tele = TelemetryConfig::default();
+    // `n_live_lines = 0`: the monitor will watch an empty population.
+    let mut monitor = ModelHealthMonitor::from_training(&predictor, &data, &split, 0, &tele);
+
+    // An empty-population store with the observed day's (empty) frame
+    // resident, exactly as the weekly scorer would leave it.
+    let day = *split.test_days.first().expect("test window has Saturdays");
+    let mut lanes: Vec<usize> = monitor.monitored_columns().to_vec();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut store = FeatureStore::new(0, &lanes, predictor.encoder_config());
+    BaseEncoder::new(&[], &[], &[], predictor.encoder_config().clone())
+        .encode_week_into(day, &mut store);
+    let empty_ranking = RankedPredictions::from_scores(Vec::new(), Vec::new(), Vec::new());
+
+    let status = monitor.observe_week(day, &empty_ranking, &store, &[]);
+    assert_eq!(status, HealthStatus::Healthy, "an empty week is no evidence of drift");
+
+    let reg = nevermind_obs::global();
+    let skipped = reg.counter("telemetry/psi_skipped").get();
+    // Every monitored feature plus the score distribution had no PSI.
+    assert_eq!(skipped, monitor.monitored_columns().len() as u64 + 1);
+    assert_eq!(reg.counter("telemetry/breaches").get(), 0);
+
+    let report = monitor.finish(&[], day);
+    nevermind_obs::set_enabled(false);
+    nevermind_obs::global().reset();
+    assert_eq!(report.weeks_observed, 1, "the skipped week still counts as observed");
+    assert_eq!(report.status, HealthStatus::Healthy, "{}", report.summary());
+    assert_eq!(report.breaches, 0);
 }
 
 #[test]

@@ -164,6 +164,54 @@ fn tracing_does_not_perturb_the_trial() {
 }
 
 #[test]
+fn tracing_retains_no_extra_feature_bytes() {
+    // Regression: emitting provenance used to retain a second narrow
+    // feature matrix alongside the scoring engine's own copy whenever the
+    // trace flag was on. Both now borrow the same store frame, so the
+    // engine's retained footprint must not depend on tracing at all.
+    let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
+    use nevermind::pipeline::{ExperimentData, SplitSpec};
+    use nevermind::{TicketPredictor, WeeklyScorer};
+
+    let data = ExperimentData::simulate(sim_config());
+    let split = SplitSpec::paper_like(&data).expect("horizon fits the protocol");
+    let (predictor, _) = TicketPredictor::fit(&data, &split, &predictor_config())
+        .expect("well-formed training data");
+    let day = *split.test_days.first().expect("test window has Saturdays");
+
+    let run = |traced: bool| {
+        let buf = nevermind_obs::trace::global();
+        buf.reset();
+        nevermind_obs::trace::set_enabled(traced);
+        let mut engine = WeeklyScorer::new(&predictor, &data.topology.lines);
+        engine.observe(&data.output.measurements, &data.output.tickets);
+        let ranking = engine.rank_week(day);
+        let bytes = engine.retained_bytes();
+        let store_bytes = engine.store().resident_bytes();
+        let assembled = engine.traced_assembled_row(0).expect("row 0 exists after ranking");
+        nevermind_obs::trace::set_enabled(false);
+        buf.reset();
+        (bytes, store_bytes, ranking, assembled)
+    };
+
+    let (dark_bytes, dark_store, dark_rank, dark_row) = run(false);
+    let (lit_bytes, lit_store, lit_rank, lit_row) = run(true);
+    assert_eq!(
+        dark_bytes, lit_bytes,
+        "tracing must not retain extra feature bytes (the old trace-gated clone)"
+    );
+    assert_eq!(dark_bytes, dark_store, "the store is the engine's only retained materialization");
+    assert_eq!(lit_bytes, lit_store);
+    // And the borrow-only path serves identical data either way.
+    assert_eq!(dark_rank.probabilities, lit_rank.probabilities);
+    assert_eq!(
+        dark_row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        lit_row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "assembled trace rows must be bit-identical with tracing on or off"
+    );
+}
+
+#[test]
 fn dispatched_line_chain_is_reconstructable() {
     let _guard = GLOBAL_TRACE.lock().unwrap_or_else(|p| p.into_inner());
     let (outcome, jsonl) = traced_trial(true);
