@@ -33,10 +33,13 @@
 //! then copy each reported median into the matching
 //! `results.<population>.<variant>` entry of `BENCH_scoring.json` (medians
 //! in milliseconds), update `context` if the hardware changed, and
-//! sanity-check the two overhead budgets the README promises:
-//! `incremental_instrumented` within ~2% of `incremental`, and
-//! `incremental_traced` (metrics *and* decision-provenance tracing live)
-//! within 5%. Run on an otherwise idle machine.
+//! sanity-check the three overhead budgets the README promises:
+//! `incremental_instrumented` within ~2% of `incremental`,
+//! `incremental_profiled` (metrics plus the continuous span profiler
+//! sweeping at its default cadence) within 5%, and `incremental_traced`
+//! (metrics *and*
+//! decision-provenance tracing live) within 5%. Run on an otherwise idle
+//! machine.
 
 use nevermind::pipeline::{ExperimentData, SplitSpec};
 use nevermind::predictor::{PredictorConfig, TicketPredictor};
@@ -241,6 +244,21 @@ fn main() {
             nevermind_obs::set_enabled(false);
             n
         };
+        // Metrics live *and* the continuous span profiler sweeping at the
+        // CLI's default cadence: the paired delta against `incremental`
+        // is what `--profile` costs the hot path (budgeted < 5%).
+        // Start/stop per sample mirrors the CLI, which brings the sampler
+        // up for the whole run.
+        let mut profiled = || {
+            nevermind_obs::set_enabled(true);
+            nevermind_obs::profile::global()
+                .start(nevermind_obs::profile::Profiler::DEFAULT_INTERVAL)
+                .expect("sampler thread starts");
+            let n = incremental(&p, &predictor);
+            nevermind_obs::profile::global().stop();
+            nevermind_obs::set_enabled(false);
+            n
+        };
         // Metrics *and* tracing live; the ring is reset each call so every
         // sample pays the same allocation pattern.
         let mut traced = || {
@@ -261,6 +279,7 @@ fn main() {
         }
         variants.push(("incremental", &mut incr));
         variants.push(("incremental_instrumented", &mut instrumented));
+        variants.push(("incremental_profiled", &mut profiled));
         variants.push(("incremental_traced", &mut traced));
         run_paired(n_lines, samples, &mut variants);
     }

@@ -14,6 +14,96 @@ use nevermind_dslsim::scenario::Scenario;
 /// Shared error type: user-facing message strings.
 pub(crate) type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// A typed "recognized family, unsupported version" failure for
+/// `nevermind-*` schema strings — a named error, never a panic, so a
+/// dump from a newer build degrades into an actionable message.
+#[derive(Debug)]
+pub(crate) struct SchemaError {
+    /// The schema string found in the file.
+    pub(crate) found: String,
+    /// Schemas this build understands.
+    pub(crate) supported: &'static [&'static str],
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schema error: unsupported schema '{}'; this build reads {}",
+            self.found,
+            self.supported.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The live observability plane behind `--obs-listen ADDR` and
+/// `--profile PATH` on long-running subcommands (`trial`, `simulate`).
+///
+/// `--obs-listen` binds the [`nevermind_obs::ObsServer`] HTTP endpoint
+/// (and turns the trace ring on so `/trace/tail` and `/explain` have
+/// events to serve); either flag starts the continuous span profiler so
+/// `/profile` answers live and `--profile PATH` gets a collapsed-stack
+/// dump on exit. Neither perturbs outcomes: the server only reads
+/// snapshots, the profiler only observes span stacks, and the extra
+/// status line goes to stderr.
+pub(crate) struct ObsPlane {
+    server: Option<nevermind_obs::ObsServer>,
+    profile_out: Option<String>,
+    started_profiler: bool,
+}
+
+impl ObsPlane {
+    /// Reads `--obs-listen` / `--profile` and brings the plane up.
+    /// Returns an inert plane when neither flag is present.
+    pub(crate) fn start(args: &crate::args::Args) -> Result<ObsPlane, Box<dyn std::error::Error>> {
+        let profile_out = args.get("profile").map(str::to_owned);
+        let server = match args.get("obs-listen") {
+            None => None,
+            Some(addr) => {
+                nevermind_obs::trace::set_enabled(true);
+                let server = nevermind_obs::ObsServer::start(addr)?;
+                eprintln!(
+                    "obs: live observability plane on http://{} \
+                     (/metrics /health /trace/tail /explain /profile)",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+        };
+        let started_profiler = server.is_some() || profile_out.is_some();
+        if started_profiler {
+            nevermind_obs::profile::global()
+                .start(nevermind_obs::profile::Profiler::DEFAULT_INTERVAL)
+                .map_err(|e| format!("cannot start span profiler: {e}"))?;
+        }
+        Ok(ObsPlane { server, profile_out, started_profiler })
+    }
+
+    /// Tears the plane down: stops the sampler, writes the `--profile`
+    /// dump if requested, and shuts the HTTP listener down.
+    pub(crate) fn finish(self) -> CliResult {
+        if self.started_profiler {
+            nevermind_obs::profile::global().stop();
+        }
+        if let Some(path) = &self.profile_out {
+            let dump = nevermind_obs::profile::global().collapsed();
+            std::fs::write(path, &dump)
+                .map_err(|e| format!("cannot write profile '{path}': {e}"))?;
+            eprintln!(
+                "wrote {} collapsed stack{} to {path} (flamegraph.pl / inferno format)",
+                dump.lines().count(),
+                if dump.lines().count() == 1 { "" } else { "s" }
+            );
+        }
+        if let Some(server) = self.server {
+            server.stop();
+        }
+        Ok(())
+    }
+}
+
 /// `nevermind scenarios` — list the named presets.
 pub(crate) fn scenarios(args: &crate::args::Args) -> CliResult {
     args.reject_unknown(&["metrics", "trace", "trace-sample"])?;

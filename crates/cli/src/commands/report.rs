@@ -5,8 +5,12 @@
 //!
 //! Reads any `nevermind-metrics/v1` document, including pre-telemetry dumps
 //! (the sections it cannot find are reported as absent, not errors).
+//! Dumps from a *newer* schema version fail with a named
+//! [`SchemaError`], never a parse panic. `--profile FILE` instead renders
+//! a collapsed-stack profiler dump (`frame;frame N`, as written by
+//! `--profile` on `trial`/`simulate` or served at `GET /profile`).
 
-use super::CliResult;
+use super::{CliResult, SchemaError};
 use crate::args::Args;
 use serde_json::Value;
 
@@ -14,24 +18,136 @@ use serde_json::Value;
 const TOP_SPANS: usize = 12;
 /// Sparklines are downsampled to at most this many cells.
 const SPARK_WIDTH: usize = 48;
+/// How many frames the profile self-time table shows.
+const TOP_FRAMES: usize = 20;
 
-/// Runs the subcommand. The dump path is the one positional argument.
-/// Accepts both `nevermind-metrics/v1` JSON dumps and `nevermind-trace/v1`
-/// JSONL exports (detected from the header line).
-pub(crate) fn run(args: &Args, path: &str) -> CliResult {
-    args.reject_unknown(&["metrics", "trace", "trace-sample"])?;
+/// Schemas the positional-dump path understands.
+const SUPPORTED: &[&str] = &["nevermind-metrics/v1", "nevermind-trace/v1"];
+
+/// Runs the subcommand. The dump path is the one positional argument;
+/// `--profile FILE` is the flag-selected alternative mode. Positional
+/// dumps may be `nevermind-metrics/v1` JSON or `nevermind-trace/v1`
+/// JSONL (detected from the header line).
+pub(crate) fn run(args: &Args, path: Option<&str>) -> CliResult {
+    args.reject_unknown(&["metrics", "trace", "trace-sample", "profile"])?;
+    let profile = args.get("profile");
+    let path = match (path, profile) {
+        (Some(_), Some(_)) => {
+            return Err("pass either a dump path or --profile FILE, not both".into())
+        }
+        (None, Some(profile)) => return render_profile(profile),
+        (None, None) => {
+            return Err("usage: nevermind report METRICS_OR_TRACE | --profile FILE".into())
+        }
+        (Some(path), None) => path,
+    };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-    if is_trace_file(&text) {
-        return render_trace(path);
+    match header_schema(&text).as_deref() {
+        // A JSONL header on the first line decides the format outright.
+        Some("nevermind-trace/v1") => return render_trace(path),
+        Some(schema) if schema.starts_with("nevermind-") && !SUPPORTED.contains(&schema) => {
+            return Err(SchemaError { found: schema.to_string(), supported: SUPPORTED }.into());
+        }
+        _ => {}
     }
     let doc = serde_json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
     let doc = doc.as_object().ok_or("metrics document is not a JSON object")?;
     let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("<missing>");
+    if schema.starts_with("nevermind-") && !SUPPORTED.contains(&schema) {
+        return Err(SchemaError { found: schema.to_string(), supported: SUPPORTED }.into());
+    }
 
     println!("nevermind metrics report — {path} ({schema})");
     render_spans(doc);
     render_series(doc);
     render_telemetry(doc);
+    Ok(())
+}
+
+/// The schema string of a single-line JSON header, when the text starts
+/// with one (JSONL exports do; pretty-printed metrics dumps do not).
+fn header_schema(text: &str) -> Option<String> {
+    let first = text.lines().next()?;
+    let v = serde_json::parse(first).ok()?;
+    Some(v.as_object()?.get("schema")?.as_str()?.to_string())
+}
+
+/// Renders a collapsed-stack profile: total samples, distinct stacks,
+/// and the top frames by self time (samples where the frame was the
+/// innermost open span) alongside total time (samples where it was open
+/// at any depth).
+fn render_profile(path: &str) -> CliResult {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if let Some(schema) = header_schema(&text) {
+        // A nevermind JSON dump was passed where collapsed stacks belong.
+        return Err(SchemaError {
+            found: schema,
+            supported: &["collapsed stacks (frame;frame N), as written by --profile"],
+        }
+        .into());
+    }
+    let mut total_samples = 0u64;
+    let mut stacks = 0usize;
+    // (frame, self_samples, total_samples), insertion-ordered.
+    let mut frames: Vec<(String, u64, u64)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = line
+            .rsplit_once(' ')
+            .and_then(|(stack, count)| Some((stack, count.parse::<u64>().ok()?)));
+        let Some((stack, count)) = parsed else {
+            return Err(format!(
+                "'{path}' line {} is not a collapsed stack ('frame;frame N'): {line}",
+                i + 1
+            )
+            .into());
+        };
+        total_samples += count;
+        stacks += 1;
+        let mut seen: Vec<&str> = Vec::new();
+        let mut leaf = "";
+        for frame in stack.split(';') {
+            leaf = frame;
+            // Recursion repeats a frame within one stack; count its
+            // total once.
+            if !seen.contains(&frame) {
+                seen.push(frame);
+            }
+        }
+        for frame in seen {
+            match frames.iter_mut().find(|(f, _, _)| f == frame) {
+                Some(row) => row.2 += count,
+                None => frames.push((frame.to_string(), 0, count)),
+            }
+        }
+        if let Some(row) = frames.iter_mut().find(|(f, _, _)| f == leaf) {
+            row.1 += count;
+        }
+    }
+    println!("nevermind profile report — {path} ({total_samples} samples, {stacks} stacks)");
+    if total_samples == 0 {
+        println!(
+            "\n(no samples — was the profiler running? start it with --profile or --obs-listen)"
+        );
+        return Ok(());
+    }
+    frames.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let pct = |n: u64| 100.0 * n as f64 / total_samples as f64;
+    println!("\ntop frames by self samples ({} of {})", frames.len().min(TOP_FRAMES), frames.len());
+    println!("  {:>7}  {:>8}  {:>7}  {:>8}  frame", "self%", "self", "total%", "total");
+    for (frame, self_n, total_n) in frames.iter().take(TOP_FRAMES) {
+        println!(
+            "  {:>6.1}%  {:>8}  {:>6.1}%  {:>8}  {}",
+            pct(*self_n),
+            self_n,
+            pct(*total_n),
+            total_n,
+            frame
+        );
+    }
     Ok(())
 }
 
@@ -241,17 +357,6 @@ fn fmt_val(v: f64) -> String {
     }
 }
 
-/// True when the text's first line is a `nevermind-trace/v1` header.
-fn is_trace_file(text: &str) -> bool {
-    let Some(first) = text.lines().next() else { return false };
-    serde_json::parse(first).ok().is_some_and(|v| {
-        v.as_object()
-            .and_then(|o| o.get("schema"))
-            .and_then(Value::as_str)
-            .is_some_and(|s| s == "nevermind-trace/v1")
-    })
-}
-
 /// Summarizes a `nevermind-trace/v1` export: events by kind, then the
 /// proactive dispatch → technician disposition confusion counts.
 fn render_trace(path: &str) -> CliResult {
@@ -335,5 +440,30 @@ mod tests {
         assert_eq!(fmt_val(0.1234), "0.123");
         assert_eq!(fmt_val(0.000012), "1.2e-5");
         assert_eq!(fmt_val(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn header_schema_detection() {
+        assert_eq!(
+            header_schema("{\"schema\":\"nevermind-trace/v1\",\"events\":0}\n").as_deref(),
+            Some("nevermind-trace/v1")
+        );
+        assert_eq!(
+            header_schema("{\"schema\":\"nevermind-trace/v9\"}\n{}\n").as_deref(),
+            Some("nevermind-trace/v9")
+        );
+        // Pretty-printed metrics dumps start with a bare brace.
+        assert_eq!(header_schema("{\n  \"schema\": \"nevermind-metrics/v1\"\n}\n"), None);
+        assert_eq!(header_schema("weekly/rank_week;score 42\n"), None);
+        assert_eq!(header_schema(""), None);
+    }
+
+    #[test]
+    fn schema_error_is_named_and_lists_supported_versions() {
+        let e = SchemaError { found: "nevermind-metrics/v9".to_string(), supported: SUPPORTED };
+        let msg = e.to_string();
+        assert!(msg.starts_with("schema error:"), "{msg}");
+        assert!(msg.contains("nevermind-metrics/v9"), "{msg}");
+        assert!(msg.contains("nevermind-metrics/v1"), "{msg}");
     }
 }

@@ -1,6 +1,6 @@
 //! `nevermind simulate` — generate a dataset and write it to disk.
 
-use super::{sim_config_from, CliResult};
+use super::{sim_config_from, CliResult, ObsPlane};
 use crate::args::Args;
 use nevermind::pipeline::ExperimentData;
 use nevermind_dslsim::export::export_csv_dir;
@@ -18,10 +18,13 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "metrics",
         "trace",
         "trace-sample",
+        "obs-listen",
+        "profile",
     ])?;
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;
     let shards: usize = args.get_parsed_or("shards", 1usize)?;
+    let plane = ObsPlane::start(args)?;
 
     eprintln!(
         "simulating {} lines over {} days (seed {}, {shards} shard{}) ...",
@@ -49,5 +52,5 @@ pub(crate) fn run(args: &Args) -> CliResult {
         dataset_path.display(),
         out_dir.display()
     );
-    Ok(())
+    plane.finish()
 }

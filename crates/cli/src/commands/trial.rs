@@ -1,7 +1,7 @@
 //! `nevermind trial` — proactive-vs-reactive twin-world comparison, with
 //! model-health telemetry and optional drift injection.
 
-use super::{sim_config_from, CliResult};
+use super::{sim_config_from, CliResult, ObsPlane};
 use crate::args::Args;
 use nevermind::pipeline::{run_proactive_trial_with, TrialOptions};
 use nevermind::predictor::PredictorConfig;
@@ -31,6 +31,8 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "stop-after-week",
         "store-out",
         "resume-from",
+        "obs-listen",
+        "profile",
     ])?;
     let cfg = sim_config_from(args)?;
     let mut warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;
@@ -101,6 +103,11 @@ pub(crate) fn run(args: &Args) -> CliResult {
         keep_store: store_out.is_some(),
     };
 
+    // The live observability plane (`--obs-listen` / `--profile`) comes up
+    // before the run and is torn down after the outcome prints, so a
+    // scraper can watch the whole trial.
+    let plane = ObsPlane::start(args)?;
+
     eprintln!(
         "running twin worlds: {} lines, {} days, policy starts week {warmup}, {} shard{} ...",
         cfg.n_lines,
@@ -150,5 +157,5 @@ pub(crate) fn run(args: &Args) -> CliResult {
     if let Some(report) = &result.telemetry {
         println!("{}", report.summary());
     }
-    Ok(())
+    plane.finish()
 }

@@ -84,10 +84,7 @@ fn main() {
         "locate" => commands::locate::run(&parsed),
         "lint" => commands::lint::run(&parsed),
         "trial" => commands::trial::run(&parsed),
-        "report" => match parsed.positional().first() {
-            Some(path) => commands::report::run(&parsed, path),
-            None => Err("usage: nevermind report METRICS_JSON".into()),
-        },
+        "report" => commands::report::run(&parsed, parsed.positional().first().map(String::as_str)),
         "explain" => commands::explain::run(&parsed),
         "scenarios" => commands::scenarios(&parsed),
         "help" | "--help" | "-h" => {
@@ -128,9 +125,9 @@ USAGE:
   nevermind locate   --data FILE [--top N] [--dispatches N]
   nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
                      [--shards N] [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
-                     [--ece-warn F] [--ece-alert F]
+                     [--ece-warn F] [--ece-alert F] [--obs-listen ADDR] [--profile PATH]
   nevermind explain  --trace FILE --line ID
-  nevermind report   METRICS_JSON_OR_TRACE_JSONL
+  nevermind report   METRICS_JSON_OR_TRACE_JSONL | --profile COLLAPSED_STACKS
   nevermind lint     [--root PATH] [--format text|json] [--out FILE]
   nevermind scenarios
 
@@ -150,5 +147,13 @@ trial) steps the plant N DSLAM-subtree shards in parallel and runs the
 weekly scoring stages N-way; outputs are bit-identical for every N. 'nevermind lint' walks the
 workspace sources and enforces the determinism/robustness rules
 (suppress a finding inline with '// lint:allow(<rule>) -- <reason>').
+'--obs-listen ADDR' (simulate, trial) serves the live observability
+plane over HTTP while the run is in flight: /metrics (JSON, or
+?format=prom for Prometheus), /health, /trace/tail?n=N,
+/explain?line=ID and /profile — bind 127.0.0.1:0 for an ephemeral port
+(printed on stderr). '--profile PATH' samples every thread's open span
+stack continuously and writes a flamegraph-compatible collapsed-stack
+dump on exit; 'nevermind report --profile PATH' renders it. Neither
+flag changes outcomes: runs are byte-identical with the plane on or off.
 
 Run 'nevermind scenarios' to list the named scenarios.";

@@ -126,6 +126,32 @@ impl HealthStatus {
         }
     }
 
+    /// The inverse of [`Self::as_f64`]: decodes a gauge/series value
+    /// back into a status (`None` for anything outside the encoding).
+    pub fn from_f64(v: f64) -> Option<HealthStatus> {
+        if v == 0.0 {
+            Some(HealthStatus::Healthy)
+        } else if v == 1.0 {
+            Some(HealthStatus::Warning)
+        } else if v == 2.0 {
+            Some(HealthStatus::Alert)
+        } else {
+            None
+        }
+    }
+
+    /// The status currently held in the global registry's sticky
+    /// `telemetry/health_status` gauge — the same value the live
+    /// plane's `GET /health` endpoint maps to an HTTP status code —
+    /// or `None` when no model-health monitor has recorded yet.
+    pub fn live() -> Option<HealthStatus> {
+        let snap = nevermind_obs::global().snapshot();
+        snap.gauges
+            .get(nevermind_obs::json::TELEMETRY_STATUS_GAUGE)
+            .copied()
+            .and_then(Self::from_f64)
+    }
+
     fn classify(value: f64, warning: f64, alert: f64) -> Self {
         if value >= alert {
             HealthStatus::Alert

@@ -45,6 +45,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "trace-event-fields-are-static",
         summary: "trace event field names (.attr(...)) must be string literals, not runtime-formatted",
     },
+    RuleInfo {
+        id: "no-blocking-in-sampler",
+        summary: "profiler sampler regions (`mod sampler`) must not touch the metrics registry or allocate per sample",
+    },
 ];
 
 /// Returns the rule table entry for `id`, if any.
@@ -58,6 +62,8 @@ pub fn check_file(rel_path: &str, ctx: &FileContext, lexed: &Lexed) -> Vec<Diagn
     let toks = &lexed.tokens;
     let test_ranges = cfg_test_ranges(toks);
     let in_test_code = |i: usize| -> bool { test_ranges.iter().any(|&(a, b)| i >= a && i <= b) };
+    let sampler_ranges = mod_sampler_ranges(toks);
+    let in_sampler = |i: usize| -> bool { sampler_ranges.iter().any(|&(a, b)| i >= a && i <= b) };
 
     let panic_rule = ctx.kind == FileKind::Src && ctx.crate_in(PANIC_FREE_CRATES);
     let ordered_rule = ctx.crate_in(ORDERED_CRATES);
@@ -183,6 +189,59 @@ pub fn check_file(rel_path: &str, ctx: &FileContext, lexed: &Lexed) -> Vec<Diagn
                     .to_string(),
             );
         }
+
+        // --- no-blocking-in-sampler ----------------------------------------
+        // The profiler's sweep loop (`mod sampler`) runs between every pair
+        // of samples on every instrumented thread's critical path: touching
+        // the sharded metrics registry from it can block workers mid-span,
+        // and per-sample allocation turns a 1ms cadence into allocator
+        // pressure. The loop may only read its own pre-registered stacks
+        // into a reusable scratch buffer.
+        if in_sampler(i) {
+            const REGISTRY_CALLS: &[&str] = &[
+                "counter",
+                "gauge",
+                "histogram",
+                "series",
+                "distribution",
+                "record_span",
+                "snapshot",
+                "to_json",
+            ];
+            const ALLOC_CALLS: &[&str] = &["to_string", "to_owned", "to_vec"];
+            const BANNED_MACROS: &[&str] =
+                &["counter_add", "gauge_set", "histogram_record", "span", "format", "vec"];
+            if method_call(toks, i) && REGISTRY_CALLS.contains(&t.text.as_str()) {
+                emit(
+                    t,
+                    "no-blocking-in-sampler",
+                    format!(
+                        ".{}() reaches the metrics registry from the sampler hot loop and can block every instrumented thread; the sweep may only read its own registered stacks",
+                        t.text
+                    ),
+                );
+            }
+            if method_call(toks, i) && ALLOC_CALLS.contains(&t.text.as_str()) {
+                emit(
+                    t,
+                    "no-blocking-in-sampler",
+                    format!(
+                        ".{}() allocates on every sample; reuse a scratch buffer and clone only when a novel stack shape appears",
+                        t.text
+                    ),
+                );
+            }
+            if macro_bang(toks, i) && BANNED_MACROS.contains(&t.text.as_str()) {
+                emit(
+                    t,
+                    "no-blocking-in-sampler",
+                    format!(
+                        "{}! records metrics or allocates inside the sampler hot loop; the sweep must stay off the registry and allocation-free per sample",
+                        t.text
+                    ),
+                );
+            }
+        }
     }
     out
 }
@@ -242,6 +301,33 @@ fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
             ranges.push((attr_start, j.min(toks.len().saturating_sub(1))));
             i = j + 1;
         }
+    }
+    ranges
+}
+
+/// Token-index ranges covered by `mod sampler { ... }` items — the profiler
+/// sweep loop, where registry access and per-sample allocation are banned.
+/// The rule keys on the module name by convention: any sampler hot loop in
+/// this workspace must live in a module called `sampler` to get coverage.
+fn mod_sampler_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("mod") && toks[i + 1].is_ident("sampler") {
+            // Skip to the module body; `mod sampler;` declarations have no
+            // body to scan.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = matching(toks, j, '{', '}').unwrap_or(toks.len() - 1);
+                ranges.push((i, end));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
     }
     ranges
 }
@@ -382,6 +468,30 @@ mod tests {
         // Unrelated `attr` identifiers (fields, paths) are not method calls.
         let unrelated = "fn f(a: Attr) { let x = a.attr; attr(1); }";
         assert_eq!(check(unrelated, &cli).len(), 0);
+    }
+
+    #[test]
+    fn sampler_rule_scopes_to_mod_sampler_bodies() {
+        let obs = FileContext { crate_name: Some("obs".into()), kind: FileKind::Src };
+        let bad = r#"
+            mod sampler {
+                fn run() {
+                    let c = super::global().counter("obs/sweeps");
+                    let s = format!("sweep {}", 1);
+                }
+            }
+            fn outside() {
+                let c = global().counter("obs/other");
+                let s = format!("fine {}", 1);
+            }
+        "#;
+        let diags = check(bad, &obs);
+        let fired: Vec<_> = diags.iter().filter(|d| d.rule == "no-blocking-in-sampler").collect();
+        assert_eq!(fired.len(), 2, "counter + format! inside the module only: {diags:?}");
+        assert!(fired.iter().all(|d| d.line == 4 || d.line == 5), "{diags:?}");
+        // A body-less declaration has nothing to scan.
+        let decl = r#"mod sampler; fn f() { global().counter("x"); }"#;
+        assert!(check(decl, &obs).is_empty(), "mod sampler; must not blanket the file");
     }
 
     #[test]

@@ -159,6 +159,23 @@ fn trace_fields_fixture_flags_dynamic_names_everywhere() {
 }
 
 #[test]
+fn sampler_fixture_flags_the_sweep_loop_only() {
+    let diags = lint_as("sampler.rs", "crates/obs/src/fixture.rs");
+    let fired: Vec<_> = diags.iter().filter(|d| d.rule == "no-blocking-in-sampler").collect();
+    assert_eq!(
+        fired.len(),
+        5,
+        "counter, snapshot, format!, to_string, span! inside mod sampler: {diags:?}"
+    );
+    // Lines 7-11 are the sampler body; the look-alike module and the
+    // top-level function reuse the same tokens and must stay clean.
+    assert!(fired.iter().all(|d| (7..=11).contains(&d.line)), "{diags:?}");
+    // The rule is about the sweep loop wherever it lives, not a crate list.
+    let diags = lint_as("sampler.rs", "crates/cli/src/fixture.rs");
+    assert_eq!(diags.iter().filter(|d| d.rule == "no-blocking-in-sampler").count(), 5, "{diags:?}");
+}
+
+#[test]
 fn tokenizer_fixture_proves_strings_and_comments_never_match() {
     for rel in ["crates/ml/src/fixture.rs", "crates/core/src/fixture.rs"] {
         let diags = lint_as("tokenizer.rs", rel);

@@ -1,0 +1,29 @@
+// Fixture: registry access and per-sample allocation inside `mod sampler`
+// fire no-blocking-in-sampler; the same tokens outside the sampler region
+// are clean (the rule is scoped to the profiler sweep loop, not the crate).
+mod sampler {
+    pub(super) fn run(stop: &std::sync::atomic::AtomicBool) {
+        let reg = crate::global();
+        reg.counter("obs/sweeps").add(1);
+        let snap = reg.snapshot();
+        let label = format!("sweep {}", snap.counters.len());
+        let owned = label.to_string();
+        crate::span!("obs/sample");
+        drop((stop, owned));
+    }
+}
+
+mod sampler_adjacent {
+    // A module whose name merely *contains* "sampler" is out of scope.
+    pub(super) fn tick() {
+        let reg = crate::global();
+        reg.counter("obs/other").add(1);
+    }
+}
+
+fn outside() {
+    let reg = crate::global();
+    reg.counter("obs/outside").add(1);
+    let s = format!("fine {}", 1).to_string();
+    drop(s);
+}

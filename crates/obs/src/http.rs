@@ -1,0 +1,553 @@
+//! The live observability plane: a zero-dependency HTTP/1.1 endpoint
+//! over the process-global registry, trace ring, and profiler.
+//!
+//! PRs 2–5 built the metrics registry, model-health telemetry, and the
+//! decision-provenance trace ring, but all of them exported *post
+//! mortem* — a dump on exit. [`ObsServer`] serves the same data live
+//! from inside a running `trial`/`simulate` (and, eventually,
+//! `nevermind serve`):
+//!
+//! | Endpoint                  | Body                                        |
+//! |---------------------------|---------------------------------------------|
+//! | `GET /metrics`            | `nevermind-metrics/v1` JSON                 |
+//! | `GET /metrics?format=prom`| Prometheus text exposition (v0.0.4)         |
+//! | `GET /health`             | telemetry status JSON; `alert` ⇒ HTTP 503   |
+//! | `GET /trace/tail?n=N`     | newest N ring events, `nevermind-trace/v1`  |
+//! | `GET /explain?line=ID`    | one line's causal chain, rendered as text   |
+//! | `GET /profile`            | collapsed-stack profiler dump (`a;b;c N`)   |
+//!
+//! The server is hand-rolled on [`std::net::TcpListener`] — request line
+//! plus headers only, one thread per connection, `Connection: close` — in
+//! the workspace's no-ecosystem-crates discipline. Every handler reads a
+//! point-in-time snapshot and serializes off-lock, so a scraper polling
+//! `/metrics` never stalls recorders (see
+//! [`crate::MetricsRegistry::snapshot`]).
+//!
+//! **Determinism:** handlers only *read* shared state — registry
+//! snapshots, trace-ring copies, profiler aggregates. Nothing flows from
+//! the server back into the pipeline, so a run with the plane attached
+//! produces byte-identical outcomes and trace exports to one without
+//! (pinned in `tests/observability.rs`).
+
+use crate::trace::{FieldValue, TraceEvent};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Longest request head (request line + headers) the server reads.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection socket timeout: a stalled client cannot pin its
+/// handler thread for longer than this.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default event count for `/trace/tail` when `n` is absent.
+const DEFAULT_TAIL: usize = 100;
+
+/// A running observability endpoint bound to one local address.
+///
+/// Binding `127.0.0.1:0` picks an ephemeral port; [`ObsServer::local_addr`]
+/// reports the bound one. Dropping the server (or calling
+/// [`ObsServer::stop`]) shuts the accept loop down and joins it.
+pub struct ObsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`, or `127.0.0.1:0` for an
+    /// ephemeral port) and starts the accept loop on a background thread.
+    pub fn start(addr: &str) -> Result<ObsServer, String> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| format!("cannot bind obs listener '{addr}': {e}"))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve obs listener address: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("obs-http".to_string())
+            .spawn(move || accept_loop(&listener, &loop_stop))
+            .map_err(|e| format!("cannot spawn obs accept thread: {e}"))?;
+        Ok(ObsServer { local_addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    /// In-flight handler threads finish their one response and exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.accept_thread.take() else { return };
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop blocks in accept(); a throwaway connection
+        // wakes it so it can observe the stop flag.
+        if let Ok(s) = TcpStream::connect(self.local_addr) {
+            drop(s);
+        }
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts until the stop flag is set, spawning one detached handler
+/// thread per connection.
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = thread::Builder::new()
+            .name("obs-http-conn".to_string())
+            .spawn(move || handle_connection(stream));
+    }
+}
+
+/// Reads one request head and writes one response.
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Some(head) = read_request_head(&mut stream) else { return };
+    let response = match parse_request_line(&head) {
+        None => Response::text(400, "malformed request line\n"),
+        Some((method, _)) if method != "GET" => Response::text(405, "only GET is supported\n"),
+        Some((_, target)) => route(target),
+    };
+    response.write_to(&mut stream);
+}
+
+/// Reads until the blank line ending the headers, EOF, or the size cap.
+/// The server never reads a body (every endpoint is GET).
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(chunk.get(..n)?);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    String::from_utf8(buf).ok()
+}
+
+/// Splits `GET /path?query HTTP/1.1` into `("GET", "/path?query")`.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    Some((method, target))
+}
+
+/// Looks a query parameter up in the `?k=v&k=v` part of a target.
+/// Values are taken verbatim (no percent-decoding — every parameter the
+/// plane understands is a plain integer or keyword).
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+/// One HTTP response about to be written.
+struct Response {
+    code: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn new(code: u16, content_type: &'static str, body: String) -> Response {
+        Response { code, content_type, body }
+    }
+
+    fn text(code: u16, body: &str) -> Response {
+        Response::new(code, "text/plain; charset=utf-8", body.to_string())
+    }
+
+    fn json(code: u16, body: String) -> Response {
+        Response::new(code, "application/json", body)
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) {
+        let reason = match self.code {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.code,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(self.body.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+/// Dispatches one request target to its endpoint.
+fn route(target: &str) -> Response {
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    match path {
+        "/" => Response::text(
+            200,
+            "nevermind live observability plane\n\
+             endpoints:\n\
+             GET /metrics             nevermind-metrics/v1 JSON\n\
+             GET /metrics?format=prom Prometheus text exposition\n\
+             GET /health              telemetry status (alert => 503)\n\
+             GET /trace/tail?n=N      newest N trace events (JSONL)\n\
+             GET /explain?line=ID     one line's causal chain (text)\n\
+             GET /profile             collapsed-stack profiler dump\n",
+        ),
+        "/metrics" => match query_param(query, "format") {
+            Some("prom") => Response::new(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::json::snapshot_to_prometheus(&crate::global().snapshot()),
+            ),
+            Some(other) => {
+                Response::text(400, &format!("unknown metrics format '{other}' (try prom)\n"))
+            }
+            None => Response::json(200, crate::global().to_json()),
+        },
+        "/health" => respond_health(),
+        "/trace/tail" => {
+            let n = match query_param(query, "n") {
+                None => DEFAULT_TAIL,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::text(
+                            400,
+                            &format!("n must be a non-negative integer (got '{raw}')\n"),
+                        )
+                    }
+                },
+            };
+            Response::new(
+                200,
+                "application/jsonl; charset=utf-8",
+                crate::trace::global().tail_jsonl(n),
+            )
+        }
+        "/explain" => respond_explain(query),
+        "/profile" => Response::text(200, &crate::profile::global().collapsed()),
+        _ => Response::text(404, &format!("no such endpoint: {path}\n")),
+    }
+}
+
+/// `GET /health`: the derived telemetry status as JSON, mapped to
+/// HTTP 200 (healthy / warning / none) or 503 (alert) so a load balancer
+/// or alertmanager can act on the status code alone.
+fn respond_health() -> Response {
+    let snap = crate::global().snapshot();
+    let status = match snap.gauges.get(crate::json::TELEMETRY_STATUS_GAUGE) {
+        Some(&v) => crate::json::health_status_name(v),
+        None => "none",
+    };
+    let weeks = snap.counters.get(crate::json::TELEMETRY_WEEKS_COUNTER).copied().unwrap_or(0);
+    let breaches = snap.counters.get(crate::json::TELEMETRY_BREACHES_COUNTER).copied().unwrap_or(0);
+    let mut body = String::with_capacity(256);
+    body.push_str("{\n  \"schema\": \"nevermind-health/v1\",\n  \"status\": \"");
+    body.push_str(status);
+    body.push_str("\",\n  \"weeks_observed\": ");
+    body.push_str(&weeks.to_string());
+    body.push_str(",\n  \"breaches\": ");
+    body.push_str(&breaches.to_string());
+    body.push_str(",\n  \"thresholds\": {");
+    let thresholds: Vec<(&str, f64)> = snap
+        .gauges
+        .iter()
+        .filter_map(|(k, v)| Some((k.strip_prefix(crate::json::TELEMETRY_THRESHOLD_PREFIX)?, *v)))
+        .collect();
+    for (i, (k, v)) in thresholds.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        crate::json::push_json_string(&mut body, k);
+        body.push_str(": ");
+        body.push_str(&crate::json::fmt_f64(*v));
+    }
+    body.push_str("},\n  \"breached_series\": {");
+    // Every telemetry series whose worst value crossed its warning
+    // threshold, with that worst value — the "what breached" detail the
+    // status code compresses away.
+    let worst = |name: &str| -> Option<f64> {
+        let pts = snap.series.get(name)?;
+        pts.iter().map(|&(_, y)| y).reduce(f64::max)
+    };
+    let threshold_of = |series: &str| -> Option<f64> {
+        let key = match series {
+            s if s.starts_with("telemetry/psi/") || s == "telemetry/score_psi" => "psi_warning",
+            "telemetry/ece" => "ece_warning",
+            _ => return None,
+        };
+        thresholds.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    };
+    let mut first = true;
+    for name in snap.series.keys() {
+        let (Some(w), Some(t)) = (worst(name), threshold_of(name)) else { continue };
+        if w < t {
+            continue;
+        }
+        if !first {
+            body.push_str(", ");
+        }
+        first = false;
+        crate::json::push_json_string(&mut body, name);
+        body.push_str(": ");
+        body.push_str(&crate::json::fmt_f64(w));
+    }
+    body.push_str("}\n}\n");
+    let code = if status == "alert" { 503 } else { 200 };
+    Response::json(code, body)
+}
+
+/// `GET /explain?line=ID`: renders the line's causal chain from the live
+/// trace ring (the `nevermind explain` view without the file round-trip).
+fn respond_explain(query: &str) -> Response {
+    let Some(raw) = query_param(query, "line") else {
+        return Response::text(400, "missing ?line=ID\n");
+    };
+    let Ok(line) = raw.strip_prefix("LineId#").unwrap_or(raw).parse::<u32>() else {
+        return Response::text(400, &format!("line must be a line index (got '{raw}')\n"));
+    };
+    let events = crate::trace::global().snapshot();
+    match render_explain(&events, line) {
+        Some(text) => Response::text(200, &text),
+        None => {
+            let mut traced: Vec<u32> = events.iter().filter_map(|e| e.line).collect();
+            traced.sort_unstable();
+            traced.dedup();
+            Response::text(
+                404,
+                &format!(
+                    "no trace events for line {line}; the live ring covers {} lines\n",
+                    traced.len()
+                ),
+            )
+        }
+    }
+}
+
+/// Renders one line's causal chain — ranked weeks with stump
+/// contributions and calibration, then dispatches and truck rolls — from
+/// an in-memory event slice. Returns `None` when the slice holds no
+/// events for `line`. This is the live-ring counterpart of the
+/// `nevermind explain` file renderer, shared by `GET /explain`.
+pub fn render_explain(events: &[TraceEvent], line: u32) -> Option<String> {
+    let ours: Vec<&TraceEvent> = events.iter().filter(|e| e.line == Some(line)).collect();
+    if ours.is_empty() {
+        return None;
+    }
+    let mut out = format!("decision provenance for line {line} — live trace ring\n");
+
+    let f64_of = |e: &TraceEvent, name: &str| -> f64 {
+        e.field(name).and_then(FieldValue::as_f64).unwrap_or(f64::NAN)
+    };
+    let u64_of = |e: &TraceEvent, name: &str| -> u64 {
+        e.field(name).and_then(FieldValue::as_f64).map(|v| v as u64).unwrap_or(0)
+    };
+    let str_of = |e: &TraceEvent, name: &str| -> String {
+        match e.field(name) {
+            Some(FieldValue::Text(s)) => s.clone(),
+            _ => "?".to_string(),
+        }
+    };
+
+    let mut rank_days: Vec<u32> =
+        ours.iter().filter(|e| e.kind == "rank").filter_map(|e| e.day).collect();
+    rank_days.sort_unstable();
+    rank_days.dedup();
+    for day in &rank_days {
+        let at_day = |kind: &str| -> Vec<&&TraceEvent> {
+            ours.iter().filter(|e| e.kind == kind && e.day == Some(*day)).collect()
+        };
+        let Some(rank) = at_day("rank").first().copied() else { continue };
+        let dispatched = u64_of(rank, "dispatched") == 1;
+        out.push_str(&format!(
+            "\nweek ending day {day}: rank {} · P(ticket) = {:.4} · {}\n",
+            u64_of(rank, "rank"),
+            f64_of(rank, "probability"),
+            if dispatched { "DISPATCHED" } else { "not dispatched" },
+        ));
+        if let Some(score) = at_day("score").first() {
+            out.push_str(&format!(
+                "  ensemble margin {:+.4} over {} stumps; top contributions:\n",
+                f64_of(score, "margin"),
+                u64_of(score, "stumps"),
+            ));
+        }
+        let mut stumps = at_day("stump");
+        stumps.sort_by_key(|e| u64_of(e, "order"));
+        for e in stumps {
+            out.push_str(&format!(
+                "    #{} {:<40} value {:>10.3}  thr {:>10.3}  vote {:+.4}\n",
+                u64_of(e, "order") + 1,
+                str_of(e, "name"),
+                f64_of(e, "value"),
+                f64_of(e, "threshold"),
+                f64_of(e, "vote"),
+            ));
+        }
+        if let Some(cal) = at_day("calibrate").first() {
+            out.push_str(&format!(
+                "  calibration: sigmoid({:.4} * margin + {:.4}) = {:.4}\n",
+                f64_of(cal, "a"),
+                f64_of(cal, "b"),
+                f64_of(cal, "probability"),
+            ));
+        }
+    }
+    if rank_days.is_empty() {
+        out.push_str("\n(no ranking events for this line — it was never scored while traced)\n");
+    }
+
+    let mut printed_visits = false;
+    for e in &ours {
+        match e.kind {
+            "dispatch" => {
+                out.push_str(&format!(
+                    "\ndispatch scheduled on day {} (due day {}{})\n",
+                    e.day.unwrap_or(0),
+                    u64_of(e, "due_day"),
+                    if u64_of(e, "proactive") == 1 { ", proactive" } else { "" },
+                ));
+            }
+            "visit" => {
+                printed_visits = true;
+                let found = u64_of(e, "found_fault") == 1;
+                out.push_str(&format!(
+                    "truck roll on day {} ({}): disposition {} ({}) after {} tests, {:.0} minutes\n",
+                    e.day.unwrap_or(0),
+                    if u64_of(e, "proactive") == 1 { "proactive" } else { "reactive" },
+                    str_of(e, "disposition"),
+                    if found { "found a fault" } else { "no fault found" },
+                    u64_of(e, "tests_performed"),
+                    f64_of(e, "minutes_spent"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if !printed_visits {
+        out.push_str("\n(no technician visit recorded for this line in the trace window)\n");
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_and_query_parsing() {
+        assert_eq!(
+            parse_request_line("GET /metrics?format=prom HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/metrics?format=prom"))
+        );
+        assert_eq!(parse_request_line(""), None);
+        assert_eq!(query_param("format=prom&n=5", "n"), Some("5"));
+        assert_eq!(query_param("format=prom", "n"), None);
+        assert_eq!(query_param("", "n"), None);
+    }
+
+    #[test]
+    fn routes_reject_unknown_paths_and_bad_params() {
+        assert_eq!(route("/nope").code, 404);
+        assert_eq!(route("/metrics?format=xml").code, 400);
+        assert_eq!(route("/trace/tail?n=minus").code, 400);
+        assert_eq!(route("/explain").code, 400);
+        assert_eq!(route("/explain?line=abc").code, 400);
+        assert_eq!(route("/").code, 200);
+    }
+
+    #[test]
+    fn explain_renders_a_causal_chain_from_ring_events() {
+        let events = vec![
+            TraceEvent::new("rank")
+                .line(7)
+                .day(209)
+                .attr("rank", 3u64)
+                .attr("probability", 0.81)
+                .attr("dispatched", 1u64),
+            TraceEvent::new("score").line(7).day(209).attr("margin", 1.5).attr("stumps", 40u64),
+            TraceEvent::new("stump")
+                .line(7)
+                .day(209)
+                .attr("order", 0u64)
+                .attr("name", "wretrx_z")
+                .attr("value", 3.2)
+                .attr("threshold", 1.1)
+                .attr("vote", 0.4),
+            TraceEvent::new("dispatch")
+                .line(7)
+                .day(209)
+                .attr("due_day", 212u64)
+                .attr("proactive", 1u64),
+            TraceEvent::new("visit")
+                .line(7)
+                .day(211)
+                .attr("proactive", 1u64)
+                .attr("found_fault", 1u64)
+                .attr("disposition", "HN")
+                .attr("tests_performed", 3u64)
+                .attr("minutes_spent", 45.0),
+        ];
+        let text = render_explain(&events, 7).expect("line 7 is traced");
+        assert!(text.contains("week ending day 209: rank 3"), "{text}");
+        assert!(text.contains("DISPATCHED"), "{text}");
+        assert!(text.contains("wretrx_z"), "{text}");
+        assert!(text.contains("dispatch scheduled on day 209 (due day 212, proactive)"), "{text}");
+        assert!(text.contains("disposition HN (found a fault)"), "{text}");
+        assert!(render_explain(&events, 8).is_none());
+    }
+
+    #[test]
+    fn server_round_trips_over_a_real_socket() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let fetch = |target: &str| -> String {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let req = format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n");
+            s.write_all(req.as_bytes()).expect("send");
+            let mut body = String::new();
+            s.read_to_string(&mut body).expect("read");
+            body
+        };
+        let index = fetch("/");
+        assert!(index.starts_with("HTTP/1.1 200 OK\r\n"), "{index}");
+        assert!(index.contains("GET /metrics"), "{index}");
+        let missing = fetch("/nothing-here");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let health = fetch("/health");
+        assert!(health.contains("\"schema\": \"nevermind-health/v1\""), "{health}");
+        server.stop();
+    }
+}

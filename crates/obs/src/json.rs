@@ -214,6 +214,172 @@ fn push_telemetry(out: &mut String, snap: &Snapshot) {
     out.push_str("  }\n");
 }
 
+/// Serializes a snapshot in the Prometheus text exposition format
+/// (version 0.0.4), for `GET /metrics?format=prom` on the live
+/// observability plane.
+///
+/// Registry names are free-form (`weekly/rank_week`), which Prometheus
+/// metric names cannot hold, so instead of lossy name-mangling every
+/// metric is exported under a fixed family with the registry name as a
+/// label:
+///
+/// ```text
+/// nevermind_counter{name="weekly/lines_scored"} 42
+/// nevermind_gauge{name="telemetry/health_status"} 1
+/// nevermind_histogram_bucket{name="h",le="3"} 5
+/// nevermind_span_count{path="fit/encode"} 12
+/// ```
+///
+/// Histograms export cumulatively with `le` upper bounds derived from the
+/// log₂ buckets (`le="2b-1"` for lower bound `b`, `le="0"` for the zero
+/// bucket, the top bucket folded into `le="+Inf"`). Span durations stay
+/// in nanoseconds (`_total_ns`), not the conventional seconds; series
+/// export only their last point and length (a scrape cannot carry
+/// history); distributions export their count/underflow/overflow/NaN
+/// tallies. Output order is deterministic (snapshot maps are sorted).
+pub fn snapshot_to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    family(&mut out, "nevermind_counter", "counter", "Registry counters by name.");
+    for (k, v) in &snap.counters {
+        sample(&mut out, "nevermind_counter", &[("name", k)], &v.to_string());
+    }
+
+    family(&mut out, "nevermind_gauge", "gauge", "Registry gauges by name.");
+    for (k, v) in &snap.gauges {
+        sample(&mut out, "nevermind_gauge", &[("name", k)], &fmt_prom_f64(*v));
+    }
+
+    family(
+        &mut out,
+        "nevermind_histogram",
+        "histogram",
+        "Registry log2-bucket histograms by name.",
+    );
+    for (k, h) in &snap.histograms {
+        let mut cumulative = 0u64;
+        for &(bound, count) in &h.buckets {
+            cumulative += count;
+            // The top log₂ bucket has no exact finite upper bound once
+            // clamping folds 2^63.. into it; +Inf below covers it.
+            if bound >= 1u64 << 62 {
+                continue;
+            }
+            let le = if bound == 0 { 0 } else { 2 * bound - 1 };
+            sample(
+                &mut out,
+                "nevermind_histogram_bucket",
+                &[("name", k), ("le", &le.to_string())],
+                &cumulative.to_string(),
+            );
+        }
+        sample(
+            &mut out,
+            "nevermind_histogram_bucket",
+            &[("name", k), ("le", "+Inf")],
+            &h.count.to_string(),
+        );
+        sample(&mut out, "nevermind_histogram_sum", &[("name", k)], &h.sum.to_string());
+        sample(&mut out, "nevermind_histogram_count", &[("name", k)], &h.count.to_string());
+    }
+
+    family(&mut out, "nevermind_span_count", "counter", "Span closures by /-joined path.");
+    for (k, s) in &snap.spans {
+        sample(&mut out, "nevermind_span_count", &[("path", k)], &s.count.to_string());
+    }
+    family(
+        &mut out,
+        "nevermind_span_total_ns",
+        "counter",
+        "Total span wall-clock nanoseconds by /-joined path.",
+    );
+    for (k, s) in &snap.spans {
+        sample(&mut out, "nevermind_span_total_ns", &[("path", k)], &s.total_ns.to_string());
+    }
+
+    family(&mut out, "nevermind_series_points", "gauge", "Points accumulated per series.");
+    for (k, pts) in &snap.series {
+        sample(&mut out, "nevermind_series_points", &[("name", k)], &pts.len().to_string());
+    }
+    family(&mut out, "nevermind_series_last", "gauge", "Last value of each series.");
+    for (k, pts) in &snap.series {
+        if let Some(&(_, y)) = pts.last() {
+            sample(&mut out, "nevermind_series_last", &[("name", k)], &fmt_prom_f64(y));
+        }
+    }
+
+    family(
+        &mut out,
+        "nevermind_distribution_count",
+        "counter",
+        "In-range samples per fixed-bin distribution.",
+    );
+    for (k, d) in &snap.distributions {
+        let count: u64 = d.counts.iter().sum();
+        sample(&mut out, "nevermind_distribution_count", &[("name", k)], &count.to_string());
+        sample(&mut out, "nevermind_distribution_nan", &[("name", k)], &d.nan.to_string());
+    }
+    out
+}
+
+/// Emits the `# HELP` / `# TYPE` preamble for one metric family.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Emits one `name{label="value",...} value` sample line.
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: &str) {
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        push_prom_label_value(out, v);
+        out.push('"');
+    }
+    out.push_str("} ");
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escapes a label value per the text exposition format: backslash,
+/// double quote, and newline.
+fn push_prom_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a Prometheus sample value — unlike JSON, the text
+/// format spells non-finite values out.
+fn fmt_prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
 fn push_key(out: &mut String, i: usize, key: &str) {
     if i > 0 {
         out.push(',');
@@ -354,5 +520,49 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn prometheus_families_and_label_escaping() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter("weekly/lines_scored").add(42);
+        reg.gauge("telemetry/health_status").set(1.0);
+        reg.gauge("weird\"name\\x").set(f64::NAN);
+        reg.record_span("fit/encode", 1000);
+        reg.series("telemetry/score_psi").push(7.0, 0.05);
+        let prom = snapshot_to_prometheus(&reg.snapshot());
+        assert!(prom.contains("# TYPE nevermind_counter counter"), "{prom}");
+        assert!(prom.contains("nevermind_counter{name=\"weekly/lines_scored\"} 42"), "{prom}");
+        assert!(prom.contains("nevermind_gauge{name=\"telemetry/health_status\"} 1"), "{prom}");
+        assert!(prom.contains("nevermind_gauge{name=\"weird\\\"name\\\\x\"} NaN"), "{prom}");
+        assert!(prom.contains("nevermind_span_count{path=\"fit/encode\"} 1"), "{prom}");
+        assert!(prom.contains("nevermind_span_total_ns{path=\"fit/encode\"} 1000"), "{prom}");
+        assert!(prom.contains("nevermind_series_last{name=\"telemetry/score_psi\"} 0.05"));
+        // Every line is a comment or a `name{labels} value` sample.
+        for line in prom.lines() {
+            assert!(
+                line.starts_with("# ") || (line.contains("} ") && line.contains('{')),
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_with_inf() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        let h = reg.histogram("h");
+        for v in [0u64, 1, 2, 3, 4, u64::MAX] {
+            h.record(v);
+        }
+        let prom = snapshot_to_prometheus(&reg.snapshot());
+        // 0 → le 0; 1 → le 1; {2,3} → le 3; 4 → le 7; MAX only in +Inf.
+        assert!(prom.contains("nevermind_histogram_bucket{name=\"h\",le=\"0\"} 1"), "{prom}");
+        assert!(prom.contains("nevermind_histogram_bucket{name=\"h\",le=\"1\"} 2"), "{prom}");
+        assert!(prom.contains("nevermind_histogram_bucket{name=\"h\",le=\"3\"} 4"), "{prom}");
+        assert!(prom.contains("nevermind_histogram_bucket{name=\"h\",le=\"7\"} 5"), "{prom}");
+        assert!(prom.contains("nevermind_histogram_bucket{name=\"h\",le=\"+Inf\"} 6"), "{prom}");
+        assert!(prom.contains("nevermind_histogram_count{name=\"h\"} 6"), "{prom}");
     }
 }

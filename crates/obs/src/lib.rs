@@ -35,17 +35,26 @@
 //! "*why this line*" — a bounded ring of typed decision-provenance events
 //! with its own independent enable flag and a JSONL export
 //! (`nevermind-trace/v1`).
+//!
+//! Both surfaces — plus a continuous span-stack [`profile`]r — are also
+//! servable *live* from inside a running process: [`http::ObsServer`] is
+//! a zero-dependency HTTP endpoint answering `/metrics` (JSON or
+//! Prometheus text), `/health`, `/trace/tail`, `/explain`, and
+//! `/profile` from point-in-time snapshots, without perturbing the run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod http;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
 pub use distribution::{Distribution, DistributionSnapshot};
+pub use http::ObsServer;
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Series, Snapshot, SpanSnapshot,
 };

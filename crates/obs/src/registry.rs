@@ -325,30 +325,40 @@ impl MetricsRegistry {
 
     /// A point-in-time copy of everything, with deterministic (sorted) key
     /// order.
+    ///
+    /// Only `(name, handle)` pairs are copied while a sharded name-map
+    /// lock is held; the values themselves — histogram bucket arrays,
+    /// whole series point lists — are read *after* the map lock drops, so
+    /// a live exporter (the `/metrics` endpoint polling every second)
+    /// never stalls recorders for longer than a map clone. Per-handle
+    /// reads are atomics or take only that one metric's own lock.
     pub fn snapshot(&self) -> Snapshot {
+        fn handles<T>(map: &Mutex<HashMap<String, Arc<T>>>) -> Vec<(String, Arc<T>)> {
+            lock_recovering(map).iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        }
         let mut snap = Snapshot::default();
         for s in &self.shards {
-            for (k, v) in lock_recovering(&s.counters).iter() {
-                snap.counters.insert(k.clone(), v.get());
+            for (k, v) in handles(&s.counters) {
+                snap.counters.insert(k, v.get());
             }
-            for (k, v) in lock_recovering(&s.gauges).iter() {
-                snap.gauges.insert(k.clone(), v.get());
+            for (k, v) in handles(&s.gauges) {
+                snap.gauges.insert(k, v.get());
             }
-            for (k, v) in lock_recovering(&s.histograms).iter() {
-                snap.histograms.insert(k.clone(), v.snapshot());
+            for (k, v) in handles(&s.histograms) {
+                snap.histograms.insert(k, v.snapshot());
             }
-            for (k, v) in lock_recovering(&s.spans).iter() {
+            for (k, v) in handles(&s.spans) {
                 let h = v.snapshot();
                 snap.spans.insert(
-                    k.clone(),
+                    k,
                     SpanSnapshot { count: h.count, total_ns: h.sum, min_ns: h.min, max_ns: h.max },
                 );
             }
-            for (k, v) in lock_recovering(&s.series).iter() {
-                snap.series.insert(k.clone(), v.points());
+            for (k, v) in handles(&s.series) {
+                snap.series.insert(k, v.points());
             }
-            for (k, v) in lock_recovering(&s.distributions).iter() {
-                snap.distributions.insert(k.clone(), v.snapshot());
+            for (k, v) in handles(&s.distributions) {
+                snap.distributions.insert(k, v.snapshot());
             }
         }
         snap
@@ -494,6 +504,69 @@ mod tests {
         assert_eq!(reg.snapshot().counters["poisoned-map"], 3);
         reg.reset();
         assert!(reg.snapshot().counters.is_empty(), "reset works on poisoned locks too");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_at_powers_of_two() {
+        // Bucket 0 holds only v == 0.
+        let h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.snapshot().buckets, vec![(0, 1)]);
+
+        // Every power of two 2^k starts its own bucket (lower bound 2^k)
+        // and 2^k - 1 falls in the previous one (lower bound 2^(k-1)).
+        for k in 1..63u32 {
+            let v = 1u64 << k;
+            let h = Histogram::default();
+            h.record(v);
+            h.record(v - 1);
+            let s = h.snapshot();
+            let prev_bound = 1u64 << (k - 1);
+            assert_eq!(s.buckets, vec![(prev_bound, 1), (v, 1)], "k = {k}");
+            assert_eq!((s.min, s.max), (v - 1, v));
+        }
+
+        // 1 is the sole member of the bound-1 bucket (1 <= v < 2).
+        let h = Histogram::default();
+        h.record(1);
+        assert_eq!(h.snapshot().buckets, vec![(1, 1)]);
+
+        // The top bucket (bound 2^62 after clamping) absorbs everything
+        // from 2^63 upward, including u64::MAX — no overflow, no panic.
+        let h = Histogram::default();
+        h.record(1u64 << 63);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(1u64 << 62, 2)]);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn live_export_survives_poisoned_locks() {
+        // A reader (snapshot / JSON export) must recover, not panic, when
+        // a recorder thread died holding a shard map lock or a series'
+        // own lock — the live /metrics endpoint keeps serving.
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.set_enabled(true);
+        reg.counter("poisoned-reader").add(7);
+        let series = reg.series("poisoned-reader-series");
+        series.push(1.0, 2.0);
+        let shard = reg.shard("poisoned-reader");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // lint:allow(no-poisoning-lock-unwrap) -- this test poisons the locks on purpose
+            let _map = shard.counters.lock().expect("first lock is clean");
+            // lint:allow(no-poisoning-lock-unwrap) -- this test poisons the locks on purpose
+            let _inner = series.0.lock().expect("first lock is clean");
+            panic!("deliberate");
+        }));
+        assert!(r.is_err());
+        assert!(shard.counters.is_poisoned() && series.0.is_poisoned());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["poisoned-reader"], 7);
+        assert_eq!(snap.series["poisoned-reader-series"], vec![(1.0, 2.0)]);
+        let json = reg.to_json();
+        assert!(json.contains("\"poisoned-reader\": 7"));
     }
 
     #[test]

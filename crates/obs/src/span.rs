@@ -17,20 +17,31 @@ thread_local! {
 ///
 /// Created by [`crate::span!`]. When recording was disabled at entry the
 /// guard is inert: no clock read, no stack push, nothing recorded.
+///
+/// While the [`crate::profile`] sampler is running, entry additionally
+/// mirrors the name onto a per-thread stack the sampler reads; when it is
+/// not (the common case), that costs one relaxed atomic load. The guard
+/// remembers whether it mirrored, so pushes and pops stay balanced even
+/// when the profiler starts or stops mid-span.
 #[must_use = "a span measures the scope that holds it; dropping it immediately records ~0ns"]
 #[derive(Debug)]
 pub struct SpanGuard {
     start: Option<Instant>,
+    profiled: bool,
 }
 
 impl SpanGuard {
     /// Opens a span named `name` (use [`crate::span!`]).
     pub fn enter(name: &'static str) -> SpanGuard {
         if !crate::enabled() {
-            return SpanGuard { start: None };
+            return SpanGuard { start: None, profiled: false };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
-        SpanGuard { start: Some(Instant::now()) }
+        let profiled = crate::profile::enabled();
+        if profiled {
+            crate::profile::push_frame(name);
+        }
+        SpanGuard { start: Some(Instant::now()), profiled }
     }
 
     /// Wall-clock time since entry (zero for an inert guard) — lets callers
@@ -44,6 +55,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if self.profiled {
+            crate::profile::pop_frame();
+        }
         let path = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = stack.join("/");

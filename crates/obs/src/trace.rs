@@ -326,16 +326,27 @@ impl TraceBuffer {
     /// Exports the buffer as `nevermind-trace/v1` JSON Lines: a header
     /// object followed by one object per event, oldest first.
     pub fn to_jsonl(&self) -> String {
+        self.tail_jsonl(usize::MAX)
+    }
+
+    /// Exports at most the newest `n` events as `nevermind-trace/v1`
+    /// JSON Lines (same shape as [`Self::to_jsonl`]; the header's
+    /// `events` count reflects the tail). Events older than the tail
+    /// count as dropped, so `dropped + events` stays the total emitted.
+    /// This is the `GET /trace/tail?n=N` endpoint's backing export.
+    pub fn tail_jsonl(&self, n: usize) -> String {
         let ring = lock_recovering(&self.ring);
-        let mut out = String::with_capacity(96 + ring.len() * 96);
+        let take = ring.len().min(n);
+        let skip = ring.len() - take;
+        let mut out = String::with_capacity(96 + take * 96);
         out.push_str("{\"schema\":\"nevermind-trace/v1\",\"events\":");
-        out.push_str(&ring.len().to_string());
+        out.push_str(&take.to_string());
         out.push_str(",\"dropped\":");
-        out.push_str(&self.dropped().to_string());
+        out.push_str(&(self.dropped() + skip as u64).to_string());
         out.push_str(",\"reservoir_per_week\":");
         out.push_str(&self.policy().reservoir_per_week.to_string());
         out.push_str("}\n");
-        for event in ring.iter() {
+        for event in ring.iter().skip(skip) {
             event.push_json_line(&mut out);
         }
         out
@@ -455,6 +466,26 @@ mod tests {
              \"fields\":{\"margin\":-1.5,\"name\":\"wretrx_z\",\"rank\":3}}"
         );
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn tail_export_keeps_newest_events_and_counts_the_rest_dropped() {
+        let buf = TraceBuffer::new(8);
+        buf.set_enabled(true);
+        for i in 0..5u32 {
+            buf.emit(TraceEvent::new("rank").line(i));
+        }
+        let tail = buf.tail_jsonl(2);
+        let mut lines = tail.lines();
+        let header = lines.next().expect("header");
+        assert!(header.contains("\"events\":2"), "{header}");
+        assert!(header.contains("\"dropped\":3"), "{header}");
+        let bodies: Vec<&str> = lines.collect();
+        assert_eq!(bodies.len(), 2);
+        assert!(bodies[0].contains("\"seq\":3"));
+        assert!(bodies[1].contains("\"seq\":4"));
+        // A tail wider than the ring is the full export.
+        assert_eq!(buf.tail_jsonl(100), buf.to_jsonl());
     }
 
     #[test]

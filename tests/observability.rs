@@ -13,11 +13,15 @@
 //! Both tests toggle the process-global registry, so they serialise on one
 //! mutex rather than trusting the harness to run them on separate processes.
 
-use nevermind::pipeline::{ExperimentData, SplitSpec};
+use nevermind::pipeline::{run_proactive_trial_with, ExperimentData, SplitSpec, TrialOptions};
 use nevermind::predictor::{PredictorConfig, TicketPredictor};
 use nevermind::scoring::WeeklyScorer;
+use nevermind_dslsim::scenario::Scenario;
 use nevermind_dslsim::SimConfig;
-use std::sync::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Serialises tests that flip the process-global registry's enabled bit.
 static GLOBAL_REGISTRY: Mutex<()> = Mutex::new(());
@@ -161,4 +165,160 @@ fn instrumented_scoring_is_bit_identical() {
     let scored = snap.counters.get("weekly/lines_scored").copied().unwrap_or(0);
     assert_eq!(scored as usize, lit.rows.len(), "lines_scored counter matches the ranked rows");
     nevermind_obs::global().reset();
+}
+
+/// One blocking HTTP/1.1 GET against the live plane; returns (status code,
+/// body). The server always answers `Connection: close`, so reading to EOF
+/// is the whole exchange.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to the obs server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let code: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (code, body)
+}
+
+/// The tentpole guarantee: serving the live plane — HTTP server up, the
+/// continuous profiler sweeping every 250µs, and a scraper hammering all
+/// five endpoints throughout — changes *nothing* the trial computes. The
+/// outcome counts and the full nevermind-trace/v1 export are byte-identical
+/// to a plane-off run, and every endpoint answers with a well-formed
+/// payload while the trial is in flight.
+#[test]
+fn live_plane_is_invisible_to_outcomes_and_traces() {
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    const SEED: u64 = 0x5EED_CA11;
+    let run_trial = || {
+        nevermind_obs::global().reset();
+        nevermind_obs::trace::global().reset();
+        let cfg = Scenario::parse("baseline").expect("known scenario").config(SEED, 800, 180);
+        let predictor_cfg = PredictorConfig {
+            iterations: 40,
+            budget_fraction: 0.01,
+            selection_row_cap: 8_000,
+            ..PredictorConfig::default()
+        };
+        run_proactive_trial_with(cfg, &predictor_cfg, 12, &TrialOptions::default())
+            .expect("trial config is valid")
+    };
+
+    // Baseline: metrics and tracing on (the CLI enables both for a traced
+    // run), but no HTTP server and no profiler.
+    nevermind_obs::set_enabled(true);
+    nevermind_obs::trace::set_enabled(true);
+    let off = run_trial();
+    let trace_off = nevermind_obs::trace::global().to_jsonl();
+
+    // Plane on: server + sampler + a scraper thread polling mid-run.
+    let server = nevermind_obs::ObsServer::start("127.0.0.1:0").expect("ephemeral-port bind");
+    let addr = server.local_addr();
+    nevermind_obs::profile::global()
+        .start(std::time::Duration::from_micros(250))
+        .expect("sampler thread starts");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut polled = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for path in
+                    ["/metrics", "/metrics?format=prom", "/health", "/trace/tail?n=25", "/profile"]
+                {
+                    let (code, _) = http_get(addr, path);
+                    assert!(code == 200 || code == 503, "{path} answered {code} mid-run");
+                    polled += 1;
+                }
+            }
+            polled
+        })
+    };
+    let on = run_trial();
+    stop.store(true, Ordering::Relaxed);
+    let polled = scraper.join().expect("scraper thread");
+    assert!(polled >= 5, "the scraper must have exercised every endpoint mid-run");
+
+    // Every endpoint answers with a payload that parses under its schema.
+    let (code, body) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    let doc = serde_json::parse(&body).expect("/metrics body is valid JSON");
+    assert_eq!(
+        get(&doc, "schema").and_then(|v| v.as_str()),
+        Some("nevermind-metrics/v1"),
+        "live /metrics carries the schema marker"
+    );
+    assert!(
+        get(&doc, "telemetry").and_then(|v| v.as_object()).is_some(),
+        "a telemetry-bearing trial exposes the telemetry section live"
+    );
+
+    let (code, body) = http_get(addr, "/metrics?format=prom");
+    assert_eq!(code, 200);
+    let mut samples = 0usize;
+    for line in body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bare line {line:?}"));
+        assert!(value.parse::<f64>().is_ok() || value == "NaN", "unparseable sample {line:?}");
+        samples += 1;
+    }
+    assert!(samples > 0, "the prom exposition must carry samples after a trial");
+
+    let (code, body) = http_get(addr, "/health");
+    assert_eq!(code, 200, "a healthy baseline trial must not answer 503");
+    let doc = serde_json::parse(&body).expect("/health body is valid JSON");
+    assert_eq!(get(&doc, "schema").and_then(|v| v.as_str()), Some("nevermind-health/v1"));
+    assert_eq!(get(&doc, "status").and_then(|v| v.as_str()), Some("healthy"));
+
+    let (code, body) = http_get(addr, "/trace/tail?n=25");
+    assert_eq!(code, 200);
+    let header = body.lines().next().expect("tail export has a header");
+    assert!(header.contains("\"schema\":\"nevermind-trace/v1\""), "{header}");
+    assert!(header.contains("\"events\":25"), "{header}");
+    assert_eq!(body.lines().count(), 26, "header plus exactly n events");
+
+    let dispatched = nevermind_obs::trace::global()
+        .snapshot()
+        .iter()
+        .find(|e| e.kind == "dispatch")
+        .and_then(|e| e.line)
+        .expect("a trial dispatches at least one traced line");
+    let (code, body) = http_get(addr, &format!("/explain?line={dispatched}"));
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains(&format!("line {dispatched}")), "explain names its line: {body}");
+    assert!(
+        body.to_lowercase().contains("dispatch"),
+        "explain walks to the dispatch decision: {body}"
+    );
+
+    let (code, body) = http_get(addr, "/profile");
+    assert_eq!(code, 200);
+    assert!(!body.is_empty(), "a 250µs sampler over a whole trial collects stacks");
+    for line in body.lines() {
+        let (_, count) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad stack {line:?}"));
+        assert!(count.parse::<u64>().is_ok(), "collapsed-stack count in {line:?}");
+    }
+
+    let trace_on = nevermind_obs::trace::global().to_jsonl();
+    nevermind_obs::profile::global().stop();
+    server.stop();
+    nevermind_obs::trace::set_enabled(false);
+    nevermind_obs::set_enabled(false);
+    nevermind_obs::global().reset();
+    nevermind_obs::trace::global().reset();
+
+    // Byte-identical decisions: every outcome count and the full trace.
+    let (a, b) = (&off.outcome, &on.outcome);
+    assert_eq!(a.policy_start_day, b.policy_start_day);
+    assert_eq!(a.proactive_dispatches, b.proactive_dispatches, "dispatch counts diverged");
+    assert_eq!(a.proactive_hits, b.proactive_hits, "dispatch targets diverged");
+    assert_eq!(a.proactive_tickets, b.proactive_tickets, "proactive world diverged");
+    assert_eq!(a.reactive_tickets, b.reactive_tickets, "reactive twin diverged");
+    assert_eq!(a.proactive_churn, b.proactive_churn);
+    assert_eq!(a.reactive_churn, b.reactive_churn);
+    assert_eq!(trace_off, trace_on, "trace exports must be byte-identical plane on/off");
 }
