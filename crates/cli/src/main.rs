@@ -5,7 +5,7 @@
 //! nevermind train    --data DIR/dataset.json --model FILE [--iterations N] ...
 //! nevermind rank     --data DIR/dataset.json --model FILE [--top N] [--explain N]
 //! nevermind locate   --data DIR/dataset.json [--line ID] [--top N]
-//! nevermind lint     [--root PATH] [--format text|json] [--out FILE]
+//! nevermind lint     [--root PATH] [--format text|json] [--out FILE] [--rules a,b]
 //! nevermind trial    [--scenario S] [--lines N] [--days D] [--warmup-weeks W] [--shards N]
 //! nevermind explain  --trace FILE --line ID
 //! nevermind report   METRICS_OR_TRACE
@@ -128,7 +128,8 @@ USAGE:
                      [--ece-warn F] [--ece-alert F] [--obs-listen ADDR] [--profile PATH]
   nevermind explain  --trace FILE --line ID
   nevermind report   METRICS_JSON_OR_TRACE_JSONL | --profile COLLAPSED_STACKS
-  nevermind lint     [--root PATH] [--format text|json] [--out FILE]
+  nevermind lint     [--root PATH] [--format text|json] [--out FILE] [--rules a,b]
+                     [--list-rules true]
   nevermind scenarios
 
 Every subcommand also accepts '--metrics PATH' to dump per-phase span
@@ -145,8 +146,11 @@ causal chain, and 'nevermind report FILE' summarizes a trace file.
 inject drift that the telemetry must detect. '--shards N' (simulate,
 trial) steps the plant N DSLAM-subtree shards in parallel and runs the
 weekly scoring stages N-way; outputs are bit-identical for every N. 'nevermind lint' walks the
-workspace sources and enforces the determinism/robustness rules
-(suppress a finding inline with '// lint:allow(<rule>) -- <reason>').
+workspace sources and enforces the determinism/robustness rules — token
+bans plus call-graph passes for lock order, effects under locks, schema
+drift and hash-iteration nondeterminism ('--rules a,b' runs a subset,
+'--list-rules true' enumerates them; suppress a finding inline with
+'// lint:allow(<rule>) -- <reason>').
 '--obs-listen ADDR' (simulate, trial) serves the live observability
 plane over HTTP while the run is in flight: /metrics (JSON, or
 ?format=prom for Prometheus), /health, /trace/tail?n=N,

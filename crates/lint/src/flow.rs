@@ -1,0 +1,390 @@
+//! The `nondeterminism-dataflow` pass: intra-function taint tracking that
+//! values derived from `HashMap`/`HashSet` iteration do not reach
+//! trace/export/score sinks without an intervening sort.
+//!
+//! The `no-unordered-iteration` token rule already bans hash collections
+//! outright on the scoring path; this pass covers the crates that *are*
+//! allowed to use them (obs aggregates samples in a `HashMap` for good
+//! reason) and checks the export discipline instead: iterate, **sort**,
+//! then serialize. `Profiler::collapsed` is the canonical clean shape —
+//! collect under the lock, `lines.sort()`, then render.
+//!
+//! Mechanics, deliberately approximate but deterministic:
+//!
+//! * an ident is **hash-typed** when its `let`/param type mentions
+//!   `HashMap`/`HashSet`, its initializer does, or it is a lock guard over
+//!   a (crate-wide unique) hash-typed field;
+//! * iteration methods (`iter`, `keys`, `values`, `drain`, ...) on a
+//!   hash-typed receiver make the statement's bindings **tainted**, and
+//!   taint propagates to any later binding whose statement mentions a
+//!   tainted ident;
+//! * a statement that sorts (`sort*` call) or lands in a B-tree
+//!   (`BTreeMap`/`BTreeSet` in the type or turbofish) **sanitizes**;
+//! * a **sink** call (`emit`, `attr`, `push_json*`, `record_span`,
+//!   `push_str`, `write!`/`writeln!`) whose arguments or receiver mention
+//!   a tainted ident is a diagnostic.
+
+use crate::context::FileKind;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{Block, Call, Op, Stmt};
+use crate::semantic::CrateModel;
+use std::collections::BTreeSet;
+
+/// Iteration methods whose order is the hash map's internal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Calls that put data on an externally visible surface: trace events,
+/// JSON/collapsed exports, span records, and string/stream rendering.
+const SINKS: &[&str] = &[
+    "emit",
+    "attr",
+    "push_json_line",
+    "push_json",
+    "push_json_string",
+    "record_span",
+    "push_str",
+    "write",
+    "writeln",
+];
+
+/// Type names whose mention marks a value hash-typed.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Runs the pass over one crate model's `src` files.
+pub fn analyze_flow(model: &CrateModel<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for fu in &model.files {
+        if fu.ctx.kind != FileKind::Src {
+            continue;
+        }
+        for f in &fu.parsed.fns {
+            if f.is_test || f.name == "lock_recovering" {
+                continue;
+            }
+            let Some(body) = f.body.as_ref() else { continue };
+            let mut env = Env {
+                model,
+                toks: &fu.lexed.tokens,
+                rel: &fu.rel,
+                hashy: BTreeSet::new(),
+                tainted: BTreeSet::new(),
+                diags: &mut diags,
+            };
+            for p in &f.params {
+                if HASH_TYPES.iter().any(|h| p.ty.contains(h)) {
+                    env.hashy.insert(p.name.clone());
+                }
+            }
+            env.walk(body);
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    diags
+}
+
+struct Env<'a, 'd> {
+    model: &'a CrateModel<'a>,
+    toks: &'a [Tok],
+    rel: &'a str,
+    hashy: BTreeSet<String>,
+    tainted: BTreeSet<String>,
+    diags: &'d mut Vec<Diagnostic>,
+}
+
+impl Env<'_, '_> {
+    /// Whether `name` is hash-typed here: a local/param marked hashy, or a
+    /// crate-wide unique struct field of hash type.
+    fn is_hashy(&self, name: &str) -> bool {
+        self.hashy.contains(name) || self.model.field_ty_mentions(name, HASH_TYPES)
+    }
+
+    /// Whether any ident token in `span` is in `set`-like predicate.
+    fn span_mentions(&self, span: (usize, usize), pred: impl Fn(&str) -> bool) -> bool {
+        self.toks
+            .get(span.0..span.1)
+            .is_some_and(|ts| ts.iter().any(|t| t.kind == TokKind::Ident && pred(&t.text)))
+    }
+
+    /// Whether an iteration call on a hash-typed receiver appears in these
+    /// ops (recursing through nested blocks).
+    fn has_hash_source(&self, ops: &[Op]) -> bool {
+        ops.iter().any(|op| match op {
+            Op::Call(c) => {
+                c.is_method
+                    && ITER_METHODS.contains(&c.name.as_str())
+                    && c.recv.last().is_some_and(|r| self.is_hashy(r))
+            }
+            Op::Block(b) => b.stmts.iter().any(|s| self.has_hash_source(&s.ops)),
+            Op::Str(_) => false,
+        })
+    }
+
+    fn walk(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        // A sanitizing statement: sorted, or collected into an ordered map.
+        let sanitized = stmt
+            .let_ty
+            .as_deref()
+            .is_some_and(|t| t.contains("BTreeMap") || t.contains("BTreeSet"))
+            || self.span_mentions(stmt.span, |id| {
+                id == "BTreeMap" || id == "BTreeSet" || id.starts_with("sort")
+            });
+
+        if stmt.is_for {
+            // Loop-head source or tainted mention taints the bindings
+            // before the body runs.
+            let head_ops: Vec<&Op> =
+                stmt.ops.iter().take_while(|op| !matches!(op, Op::Block(_))).collect();
+            let head_source = head_ops.iter().any(|op| {
+                if let Op::Call(c) = op {
+                    c.is_method
+                        && ITER_METHODS.contains(&c.name.as_str())
+                        && c.recv.last().is_some_and(|r| self.is_hashy(r))
+                } else {
+                    false
+                }
+            });
+            let mention = self.span_mentions(stmt.span, |id| self.tainted.contains(id));
+            if (head_source || mention) && !sanitized {
+                for l in &stmt.lets {
+                    self.tainted.insert(l.clone());
+                }
+            }
+        }
+
+        // Nested blocks first: inner statements establish their own
+        // bindings (and taint) that the enclosing `let` decision reads.
+        for op in &stmt.ops {
+            if let Op::Block(b) = op {
+                self.walk(b);
+            }
+        }
+
+        // Hash-typed bindings: an annotation or literal `HashMap`/`HashSet`
+        // mention, or an alias/guard of a hash-typed thing — but *not* an
+        // iteration-derived value (`let v: Vec<_> = m.iter().collect()` is
+        // tainted data, not a hash container).
+        if !stmt.lets.is_empty() && !stmt.is_for {
+            let ty_hashy =
+                stmt.let_ty.as_deref().is_some_and(|t| HASH_TYPES.iter().any(|h| t.contains(h)));
+            let init_hashy = ty_hashy
+                || self.span_mentions(stmt.span, |id| HASH_TYPES.contains(&id))
+                || (self.span_mentions(stmt.span, |id| self.is_hashy(id))
+                    && !self.has_hash_source(&stmt.ops));
+            if init_hashy {
+                for l in &stmt.lets {
+                    self.hashy.insert(l.clone());
+                }
+            }
+        }
+
+        // Sink checks on this statement's own calls.
+        for op in &stmt.ops {
+            if let Op::Call(c) = op {
+                self.check_sink(c);
+            }
+        }
+
+        // Statement-form sort: `lines.sort();` cleans the receiver.
+        if stmt.lets.is_empty() {
+            for op in &stmt.ops {
+                if let Op::Call(c) = op {
+                    if c.is_method && c.name.starts_with("sort") {
+                        if let Some(r) = c.recv.last() {
+                            self.tainted.remove(r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Taint propagation into bindings.
+        if !stmt.is_for && !stmt.lets.is_empty() {
+            let source = self.has_hash_source(&stmt.ops);
+            let mention = self.span_mentions(stmt.span, |id| self.tainted.contains(id));
+            if sanitized {
+                for l in &stmt.lets {
+                    self.tainted.remove(l);
+                }
+            } else if source || mention {
+                for l in &stmt.lets {
+                    self.tainted.insert(l.clone());
+                }
+            }
+        }
+    }
+
+    fn check_sink(&mut self, call: &Call) {
+        if !SINKS.contains(&call.name.as_str()) {
+            return;
+        }
+        let arg_tainted = self.toks.get(call.args.0..call.args.1).is_some_and(|ts| {
+            ts.iter().any(|t| t.kind == TokKind::Ident && self.tainted.contains(&t.text))
+        });
+        let recv_tainted = call.recv.last().is_some_and(|r| self.tainted.contains(r));
+        // Direct form: `emit(m.iter().collect())` — a hash source right in
+        // the argument list.
+        let direct = self.toks.get(call.args.0..call.args.1).is_some_and(|ts| {
+            ts.iter().enumerate().any(|(k, t)| {
+                t.kind == TokKind::Ident
+                    && self.is_hashy(&t.text)
+                    && ts.get(k + 1).is_some_and(|d| d.is_punct('.'))
+                    && ts.get(k + 2).is_some_and(|m| {
+                        m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+                    })
+            })
+        });
+        if arg_tainted || recv_tainted || direct {
+            let bang = if call.is_macro { "!" } else { "()" };
+            self.diags.push(Diagnostic {
+                file: self.rel.to_string(),
+                line: call.line,
+                col: call.col,
+                rule: "nondeterminism-dataflow",
+                severity: "error",
+                message: format!(
+                    "value derived from HashMap/HashSet iteration reaches {}{bang} without an intervening sort; sort (or collect into a BTreeMap/BTreeSet) before exporting",
+                    call.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::semantic::FileUnit;
+
+    fn run(krate: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        let unit = FileUnit {
+            rel: format!("crates/{krate}/src/lib.rs"),
+            ctx: FileContext { crate_name: Some(krate.to_string()), kind: FileKind::Src },
+            lexed,
+            parsed,
+        };
+        let files = vec![&unit];
+        let model = CrateModel::build(krate, files);
+        analyze_flow(&model)
+    }
+
+    #[test]
+    fn unsorted_hash_iteration_reaching_export_is_flagged() {
+        let src = r#"
+            struct P { samples: Mutex<HashMap<Vec<u64>, u64>> }
+            impl P {
+                fn collapsed(&self) -> String {
+                    let lines: Vec<(String, u64)> = {
+                        let samples = lock_recovering(&self.samples);
+                        samples.iter().map(|(stack, n)| (stack.join(";"), *n)).collect()
+                    };
+                    let mut out = String::new();
+                    for (stack, n) in lines.iter() {
+                        out.push_str(&stack);
+                    }
+                    out
+                }
+            }
+        "#;
+        let diags = run("obs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "nondeterminism-dataflow");
+        assert!(diags[0].message.contains("push_str"));
+    }
+
+    #[test]
+    fn sorting_before_export_is_clean() {
+        let src = r#"
+            struct P { samples: Mutex<HashMap<Vec<u64>, u64>> }
+            impl P {
+                fn collapsed(&self) -> String {
+                    let mut lines: Vec<(String, u64)> = {
+                        let samples = lock_recovering(&self.samples);
+                        samples.iter().map(|(stack, n)| (stack.join(";"), *n)).collect()
+                    };
+                    lines.sort();
+                    let mut out = String::new();
+                    for (stack, n) in lines.iter() {
+                        out.push_str(&stack);
+                    }
+                    out
+                }
+            }
+        "#;
+        let diags = run("obs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn param_typed_maps_taint_trace_sinks() {
+        let src = r#"
+            fn export(m: &HashMap<String, u64>, ev: &mut TraceEvent) {
+                for (k, v) in m.iter() {
+                    ev.attr(k, *v);
+                }
+            }
+        "#;
+        let diags = run("cli", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("attr"));
+    }
+
+    #[test]
+    fn collecting_into_btreemap_sanitizes() {
+        let src = r#"
+            fn export(m: &HashMap<String, u64>, ev: &mut TraceEvent) {
+                let ordered: BTreeMap<&String, &u64> = m.iter().collect();
+                for (k, v) in ordered.iter() {
+                    ev.attr(k, **v);
+                }
+            }
+        "#;
+        let diags = run("cli", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn direct_iteration_in_sink_args_is_flagged() {
+        let src = r#"
+            fn export(m: &HashSet<String>, out: &mut String) {
+                out.push_str(&m.iter().next().cloned().unwrap_or_default());
+            }
+        "#;
+        let diags = run("cli", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_never_tainted() {
+        let src = r#"
+            fn export(m: &BTreeMap<String, u64>, out: &mut String) {
+                for (k, v) in m.iter() {
+                    out.push_str(k);
+                }
+            }
+        "#;
+        let diags = run("cli", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -2,12 +2,14 @@
 //! paths, method calls and attributes without ever confusing source code
 //! with the contents of string literals or comments.
 //!
-//! The lexer is deliberately lossy — numeric values, string contents and
-//! punctuation spelling beyond single characters are irrelevant to the
-//! rules — but it is *exact* about what is code and what is not: nested
-//! block comments, raw strings with arbitrary `#` fences, byte strings,
-//! char literals and lifetimes are all recognized, so a rule can never
-//! fire on text inside a literal or a comment.
+//! The lexer is deliberately lossy — numeric values and punctuation
+//! spelling beyond single characters are irrelevant to the rules — but it
+//! is *exact* about what is code and what is not: nested block comments,
+//! raw strings with arbitrary `#` fences, byte strings, char literals and
+//! lifetimes are all recognized, so a rule can never fire on text inside a
+//! literal or a comment. String-literal *contents* are preserved verbatim
+//! (escape sequences unprocessed) because the `schema-drift` pass reads
+//! schema identifiers, trace kinds and metric names out of them.
 
 /// What kind of token was lexed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +18,8 @@ pub enum TokKind {
     Ident,
     /// A single punctuation character (`.`, `(`, `!`, `{`, ...).
     Punct(char),
-    /// String, raw-string, byte-string or char literal (contents dropped).
+    /// String, raw-string, byte-string or char literal (contents kept
+    /// verbatim, delimiters and `r#` fences stripped, escapes unprocessed).
     Literal,
     /// Numeric literal (value dropped).
     Number,
@@ -29,7 +32,8 @@ pub enum TokKind {
 pub struct Tok {
     /// Token kind; identifiers carry their text.
     pub kind: TokKind,
-    /// Identifier text (empty for non-identifiers).
+    /// Identifier text, or a string/char literal's verbatim contents
+    /// (empty for punctuation, numbers and lifetimes).
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -169,6 +173,7 @@ pub fn lex(src: &str) -> Lexed {
                 while i <= j {
                     bump!();
                 }
+                let mut text = String::new();
                 if raw {
                     // Raw string: ends at `"` followed by `hashes` hashes.
                     while i < chars.len() {
@@ -184,18 +189,14 @@ pub fn lex(src: &str) -> Lexed {
                             }
                             break;
                         }
+                        text.push(chars[i]);
                         bump!();
                     }
                 } else {
                     // Plain byte string with escapes.
-                    consume_string(&chars, &mut i, &mut line, &mut col);
+                    consume_string(&chars, &mut i, &mut line, &mut col, &mut text);
                 }
-                out.tokens.push(Tok {
-                    kind: TokKind::Literal,
-                    text: String::new(),
-                    line: tok_line,
-                    col: tok_col,
-                });
+                out.tokens.push(Tok { kind: TokKind::Literal, text, line: tok_line, col: tok_col });
                 last_code_line = line;
                 continue;
             }
@@ -205,13 +206,9 @@ pub fn lex(src: &str) -> Lexed {
         // Plain strings.
         if c == '"' {
             bump!();
-            consume_string(&chars, &mut i, &mut line, &mut col);
-            out.tokens.push(Tok {
-                kind: TokKind::Literal,
-                text: String::new(),
-                line: tok_line,
-                col: tok_col,
-            });
+            let mut text = String::new();
+            consume_string(&chars, &mut i, &mut line, &mut col, &mut text);
+            out.tokens.push(Tok { kind: TokKind::Literal, text, line: tok_line, col: tok_col });
             last_code_line = line;
             continue;
         }
@@ -237,26 +234,25 @@ pub fn lex(src: &str) -> Lexed {
                 });
             } else {
                 // Char literal: 'x', '\n', '\u{1F600}', '\''.
+                let mut text = String::new();
                 bump!(); // opening '
                 while i < chars.len() {
                     if chars[i] == '\\' {
+                        text.push(chars[i]);
                         bump!();
                         if i < chars.len() {
+                            text.push(chars[i]);
                             bump!();
                         }
                     } else if chars[i] == '\'' {
                         bump!();
                         break;
                     } else {
+                        text.push(chars[i]);
                         bump!();
                     }
                 }
-                out.tokens.push(Tok {
-                    kind: TokKind::Literal,
-                    text: String::new(),
-                    line: tok_line,
-                    col: tok_col,
-                });
+                out.tokens.push(Tok { kind: TokKind::Literal, text, line: tok_line, col: tok_col });
             }
             last_code_line = line;
             continue;
@@ -311,8 +307,9 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// Consumes the body of a non-raw string literal; the cursor must sit just
-/// past the opening quote, and ends just past the closing quote.
-fn consume_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+/// past the opening quote, and ends just past the closing quote. The body
+/// (escape sequences as written, closing quote excluded) lands in `text`.
+fn consume_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32, text: &mut String) {
     let mut bump = |i: &mut usize| {
         if chars[*i] == '\n' {
             *line += 1;
@@ -325,8 +322,10 @@ fn consume_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) 
     while *i < chars.len() {
         match chars[*i] {
             '\\' => {
+                text.push(chars[*i]);
                 bump(i);
                 if *i < chars.len() {
+                    text.push(chars[*i]);
                     bump(i);
                 }
             }
@@ -334,7 +333,10 @@ fn consume_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) 
                 bump(i);
                 break;
             }
-            _ => bump(i),
+            c => {
+                text.push(c);
+                bump(i);
+            }
         }
     }
 }
@@ -422,5 +424,73 @@ mod tests {
         let ids = idents(src);
         assert!(!ids.iter().any(|t| t == "unwrap"));
         assert!(ids.iter().any(|t| t == "before"));
+    }
+
+    fn literals(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Literal).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn string_contents_are_preserved_verbatim() {
+        let src = r#"let s = "nevermind-trace/v1"; let e = "a\"b\n";"#;
+        assert_eq!(literals(src), vec!["nevermind-trace/v1", "a\\\"b\\n"]);
+    }
+
+    #[test]
+    fn raw_string_contents_keep_inner_quotes_and_hashes() {
+        // The `"#` inside must not terminate the `##`-fenced literal, and
+        // the token must carry the exact inner text (no escape processing).
+        let src = "let x = r##\"keep \"# this\\n\"##; done();";
+        assert_eq!(literals(src), vec!["keep \"# this\\n"]);
+        assert!(idents(src).iter().any(|t| t == "done"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_carry_contents() {
+        let src = "let a = b\"bytes()\"; let c = br#\"raw \" bytes\"#; go();";
+        assert_eq!(literals(src), vec!["bytes()", "raw \" bytes"]);
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "bytes"), "{ids:?}");
+        assert!(ids.iter().any(|t| t == "go"));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_positions_in_sync() {
+        let src = "let x = r#\"line one\nline two\"#;\nafter();";
+        let lexed = lex(src);
+        let after = lexed.tokens.iter().find(|t| t.is_ident("after")).expect("after");
+        assert_eq!((after.line, after.col), (3, 1), "{:?}", lexed.tokens);
+        assert_eq!(literals(src), vec!["line one\nline two"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        // Depth bookkeeping: `/* a /* b */ c */` is ONE comment; code after
+        // the outer close must tokenize again.
+        let src = "before(); /* outer /* inner unwrap() */ tail panic!() */ after();";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["before", "after"], "{ids:?}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn adjacent_block_comment_openers_track_depth() {
+        // `/*/` must not close anything: the `/` belongs to the body.
+        let src = "/*/ still a comment */ x(); /**/ y();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["x", "y"], "{ids:?}");
+    }
+
+    #[test]
+    fn char_literals_carry_contents() {
+        let src = r"let a = 'x'; let b = '\n';";
+        assert_eq!(literals(src), vec!["x", "\\n"]);
     }
 }

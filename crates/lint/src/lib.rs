@@ -1,18 +1,28 @@
 //! # nevermind-lint
 //!
 //! Zero-dependency static analysis for the NEVERMIND workspace: a
-//! hand-rolled Rust lexer (no `syn` is vendored) plus a token-level rule
-//! engine enforcing the invariants the compiler cannot see —
+//! hand-rolled Rust lexer and recursive-descent parser (no `syn` is
+//! vendored) feeding a token-level rule engine plus four semantic passes
+//! over per-crate symbol tables and call graphs. Together they enforce the
+//! invariants the compiler cannot see —
 //!
 //! * rankings must be **bit-identical** across scoring paths, so nothing on
 //!   the scoring path may iterate unordered collections or read wall
-//!   clocks;
+//!   clocks, and HashMap-derived values must be sorted before they reach a
+//!   trace/export sink (`nondeterminism-dataflow`);
 //! * the pipeline must **degrade gracefully** instead of crashing
 //!   mid-dispatch, so library crates may not `unwrap`/`expect`/`panic!` on
 //!   operational data and float ordering must be `total_cmp` (the NaN-AP
 //!   panic class);
 //! * simulated worlds must **replay** from a seed, so ambient entropy
-//!   (`thread_rng`, `from_entropy`, `OsRng`) is banned everywhere.
+//!   (`thread_rng`, `from_entropy`, `OsRng`) is banned everywhere;
+//! * the observability plane must stay **deadlock-free and responsive**:
+//!   lock acquisition order must be acyclic across the crate call graph
+//!   (`lock-order`) and no I/O or unbounded serialization may run while a
+//!   lock is held (`no-side-effects-under-lock`);
+//! * the **wire vocabulary is a contract**: every schema string, trace-event
+//!   kind and metric name in code must match the documented registry in
+//!   README.md/DESIGN.md, in both directions (`schema-drift`).
 //!
 //! Violations that are genuinely safe are acknowledged inline — with a
 //! mandatory written reason:
@@ -22,7 +32,9 @@
 //! ```
 //!
 //! Run it as `nevermind lint` or `cargo run -p nevermind-lint`; `--format
-//! json` emits one `nevermind-lint/v1` document for CI.
+//! json` emits one `nevermind-lint/v2` document for CI with per-pass
+//! wall-clock timings and call-graph statistics. `--rules a,b` restricts
+//! the run to the named rules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +42,14 @@
 pub mod context;
 pub mod diag;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod schema;
+pub mod semantic;
 pub mod suppress;
 
 pub use diag::Diagnostic;
-pub use engine::{lint_workspace, LintReport};
+pub use engine::{lint_workspace, lint_workspace_with, LintOptions, LintReport};
 pub use rules::RULES;

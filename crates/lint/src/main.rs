@@ -2,7 +2,8 @@
 //! analysis (the `nevermind lint` subcommand wraps the same library).
 //!
 //! ```text
-//! nevermind-lint [--root PATH] [--format text|json] [--out FILE] [--list-rules]
+//! nevermind-lint [--root PATH] [--format text|json] [--out FILE]
+//!                [--rules a,b] [--list-rules]
 //! ```
 //!
 //! Exits 0 when the workspace is clean, 1 when any non-suppressed
@@ -24,6 +25,7 @@ fn run(args: Vec<String>) -> Result<bool, String> {
     let mut root = PathBuf::from(".");
     let mut format = "text".to_string();
     let mut out_file: Option<String> = None;
+    let mut opts = nevermind_lint::LintOptions::default();
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -31,6 +33,10 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             "--format" => format = iter.next().ok_or("--format needs a value")?,
             "--out" => out_file = Some(iter.next().ok_or("--out needs a value")?),
             "--json" => format = "json".to_string(),
+            "--rules" => {
+                let csv = iter.next().ok_or("--rules needs a comma-separated rule list")?;
+                opts = nevermind_lint::LintOptions::with_rules(&csv)?;
+            }
             "--list-rules" => {
                 for r in nevermind_lint::RULES {
                     println!("{:<26} {}", r.id, r.summary);
@@ -48,7 +54,7 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         return Err(format!("--format must be 'text' or 'json', got '{format}'"));
     }
 
-    let report = nevermind_lint::lint_workspace(&root)?;
+    let report = nevermind_lint::lint_workspace_with(&root, &opts)?;
     let rendered = if format == "json" { report.render_json() } else { report.render_text() };
     match out_file {
         Some(path) => nevermind_lint::engine::write_report(&path, &rendered)?,
@@ -61,8 +67,12 @@ const USAGE: &str = "\
 nevermind-lint — workspace static analysis for determinism and robustness
 
 USAGE:
-  nevermind-lint [--root PATH] [--format text|json] [--out FILE]
+  nevermind-lint [--root PATH] [--format text|json] [--out FILE] [--rules a,b]
   nevermind-lint --list-rules
+
+--rules runs only the named rules (comma-separated; unknown names are a
+usage error). The suppression-unused hygiene check is skipped under a
+filter, since allows for out-of-filter rules would look stale.
 
 Suppress a finding inline, with a mandatory reason:
   // lint:allow(<rule>) -- <why this is safe>

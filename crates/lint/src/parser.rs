@@ -1,0 +1,1157 @@
+//! A lightweight recursive-descent parser over the token stream: just
+//! enough structure for the semantic passes — items (modules, fns, impls,
+//! use-decls, struct fields), statement-split function bodies, and the
+//! calls/string literals inside them, all spanned back to source positions.
+//!
+//! The parser is deliberately approximate where precision doesn't pay:
+//! closures, struct literals and match bodies all parse as nested blocks,
+//! expression statements split on `;` (and on `,`/`}` at block depth), and
+//! types are flattened to ident strings. It is *exact* about the things the
+//! passes key on: which fn a call appears in, whether the call is a method
+//! or a path call, what the receiver chain is, the token right after the
+//! argument list (guard-binding vs temporary), and test scoping
+//! (`#[cfg(test)]` / `#[test]` items are marked, not dropped).
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed source file: every fn (at any nesting depth) plus the
+/// struct-field and use-decl tables the symbol layer consumes.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All functions with bodies, in source order (nested fns included).
+    pub fns: Vec<FnDef>,
+    /// Named struct fields: `(field_name, flattened_type)`.
+    pub fields: Vec<(String, String)>,
+    /// `use` paths, `::`-joined.
+    pub uses: Vec<String>,
+}
+
+/// One function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The fn name.
+    pub name: String,
+    /// Enclosing `impl` type name, when inside an impl block.
+    pub self_ty: Option<String>,
+    /// Whether the fn (or an enclosing item) is `#[test]` / `#[cfg(test)]`.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared parameters (a `self` receiver appears as name `self`).
+    pub params: Vec<Param>,
+    /// The body. `None` for trait-method signatures.
+    pub body: Option<Block>,
+}
+
+/// One fn parameter: the binding name and its flattened type text
+/// (idents joined by spaces, e.g. `& Mutex < HashMap < String , u64 > >`
+/// flattens to `Mutex HashMap String u64`).
+#[derive(Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers; `_` patterns keep the first
+    /// ident or are empty).
+    pub name: String,
+    /// Flattened type idents, space-joined.
+    pub ty: String,
+}
+
+/// A `{ ... }` region: statements in order.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements (approximate split; see module docs).
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement: its bindings plus the ops (calls, string literals,
+/// nested blocks) encountered left to right.
+#[derive(Debug, Default)]
+pub struct Stmt {
+    /// Names bound by `let` patterns (or `for`/`while let` bindings).
+    pub lets: Vec<String>,
+    /// Flattened `let` type annotation, when present.
+    pub let_ty: Option<String>,
+    /// Whether the bindings come from a `for ... in` loop head (loop
+    /// bindings are iteration values, not lock guards).
+    pub is_for: bool,
+    /// Ops in source order.
+    pub ops: Vec<Op>,
+    /// Token index range of the whole statement (nested blocks included) —
+    /// the dataflow pass scans it for ident mentions.
+    pub span: (usize, usize),
+}
+
+/// One interesting thing inside a statement.
+#[derive(Debug)]
+pub enum Op {
+    /// A call (function, method or macro).
+    Call(Call),
+    /// A string literal (verbatim contents).
+    Str(StrLit),
+    /// A nested `{ ... }` region (block expression, closure body, match
+    /// body, struct literal — all treated alike).
+    Block(Block),
+}
+
+/// What follows a call's closing parenthesis — distinguishes a guard that
+/// lives to the end of the statement's binding (`let g = m.lock();`) from a
+/// temporary dropped at the end of the statement (`m.lock().push(x)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum After {
+    /// `;` — the call result is the whole initializer.
+    Semi,
+    /// `.` or `?` — the result is further chained.
+    Chain,
+    /// Anything else (operator, `)`, `,`, `}`).
+    Other,
+}
+
+/// One call site.
+#[derive(Debug)]
+pub struct Call {
+    /// Callee name (method name, fn name, or macro name).
+    pub name: String,
+    /// Path qualifier directly before `::name(` (`TraceEvent::new` →
+    /// `TraceEvent`; multi-segment paths keep only the last segment).
+    pub qual: Option<String>,
+    /// Whether this is a `.name(...)` method call.
+    pub is_method: bool,
+    /// Receiver chain for method calls: `a.b.c.name()` → `["a","b","c"]`.
+    /// Empty when the receiver is not a simple ident/field chain.
+    pub recv: Vec<String>,
+    /// Whether this is a `name!(...)` macro invocation.
+    pub is_macro: bool,
+    /// 1-based source line/column of the callee name.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Token index range of the arguments (exclusive of delimiters).
+    pub args: (usize, usize),
+    /// What follows the closing delimiter.
+    pub after: After,
+}
+
+/// One string literal occurrence.
+#[derive(Debug)]
+pub struct StrLit {
+    /// Verbatim contents (escapes unprocessed).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Token index in the file's token stream.
+    pub tok: usize,
+}
+
+/// Parses one lexed file into the item structures above.
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut p = Parser { toks, i: 0 };
+    p.items(&mut out, false, None);
+    out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn at(&self, k: usize) -> Option<&Tok> {
+        self.toks.get(self.i + k)
+    }
+
+    fn is_punct(&self, k: usize, c: char) -> bool {
+        self.at(k).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_ident(&self, k: usize, name: &str) -> bool {
+        self.at(k).is_some_and(|t| t.is_ident(name))
+    }
+
+    /// Consumes a run of `#[...]` attributes; true if any marks test code.
+    fn attrs(&mut self) -> bool {
+        let mut is_test = false;
+        while self.is_punct(0, '#') && (self.is_punct(1, '[') || self.is_punct(2, '[')) {
+            // `#[attr]` or `#![attr]`.
+            let open = if self.is_punct(1, '[') { self.i + 1 } else { self.i + 2 };
+            let Some(close) = matching(self.toks, open, '[', ']') else {
+                self.i = open + 1;
+                return is_test;
+            };
+            is_test |= attr_is_test(&self.toks[open + 1..close]);
+            self.i = close + 1;
+        }
+        is_test
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(super)`, `pub(in path)`.
+    fn visibility(&mut self) {
+        if self.is_ident(0, "pub") {
+            self.i += 1;
+            if self.is_punct(0, '(') {
+                if let Some(close) = matching(self.toks, self.i, '(', ')') {
+                    self.i = close + 1;
+                }
+            }
+        }
+    }
+
+    /// Parses items until `}` at this nesting level (or EOF).
+    fn items(&mut self, out: &mut ParsedFile, in_test: bool, self_ty: Option<&str>) {
+        while self.i < self.toks.len() {
+            if self.is_punct(0, '}') {
+                return;
+            }
+            let item_test = in_test | self.attrs();
+            self.visibility();
+            let Some(t) = self.at(0) else { return };
+            if t.kind != TokKind::Ident {
+                // A stray brace group at item level (e.g. the body of an
+                // unrecognized construct) is skipped whole, so its closing
+                // `}` can never terminate this nesting level early.
+                if t.is_punct('{') {
+                    match matching(self.toks, self.i, '{', '}') {
+                        Some(close) => self.i = close + 1,
+                        None => self.i = self.toks.len(),
+                    }
+                } else {
+                    self.i += 1;
+                }
+                continue;
+            }
+            // Item-level macro invocations (`thread_local! { ... }`,
+            // `lazy_static! { ... }`) would otherwise leak their braces
+            // into item scanning.
+            if self.at(1).is_some_and(|n| n.is_punct('!')) && self.is_punct(2, '{') {
+                match matching(self.toks, self.i + 2, '{', '}') {
+                    Some(close) => self.i = close + 1,
+                    None => self.i = self.toks.len(),
+                }
+                continue;
+            }
+            match t.text.as_str() {
+                "mod" => self.item_mod(out, item_test),
+                "fn" => self.item_fn(out, item_test, self_ty),
+                "impl" => self.item_impl(out, item_test),
+                "use" => self.item_use(out),
+                "struct" => self.item_struct(out),
+                "enum" | "trait" | "union" | "extern" | "macro_rules" => self.skip_braced_item(),
+                "static" | "const" | "type" => {
+                    // `const fn` / `static ref`-style: only skip to `;` when
+                    // this really is a value/type item.
+                    self.i += 1;
+                    if self.is_ident(0, "fn") {
+                        self.item_fn(out, item_test, self_ty);
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                // Modifiers before `fn`: loop again, keywords will land on it.
+                "unsafe" | "async" => self.i += 1,
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn item_mod(&mut self, out: &mut ParsedFile, in_test: bool) {
+        self.i += 1; // mod
+        let is_sampler_etc = self.at(0).is_some_and(|t| t.kind == TokKind::Ident);
+        if is_sampler_etc {
+            self.i += 1; // name
+        }
+        if self.is_punct(0, ';') {
+            self.i += 1;
+            return;
+        }
+        if self.is_punct(0, '{') {
+            let Some(close) = matching(self.toks, self.i, '{', '}') else {
+                self.i = self.toks.len();
+                return;
+            };
+            self.i += 1;
+            self.items(out, in_test, None);
+            self.i = close + 1;
+        }
+    }
+
+    fn item_use(&mut self, out: &mut ParsedFile) {
+        self.i += 1; // use
+        let mut path = Vec::new();
+        while self.i < self.toks.len() && !self.is_punct(0, ';') {
+            if let Some(t) = self.at(0) {
+                if t.kind == TokKind::Ident {
+                    path.push(t.text.clone());
+                }
+            }
+            self.i += 1;
+        }
+        self.i += 1; // ;
+        if !path.is_empty() {
+            out.uses.push(path.join("::"));
+        }
+    }
+
+    fn item_struct(&mut self, out: &mut ParsedFile) {
+        self.i += 1; // struct
+        self.i += 1; // name
+                     // Skip generics and a possible where clause, then look at the body.
+        let mut angle = 0i64;
+        while self.i < self.toks.len() {
+            let Some(t) = self.at(0) else { break };
+            match t.kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') => angle -= 1,
+                TokKind::Punct(';') => {
+                    // Unit struct or tuple struct terminator.
+                    self.i += 1;
+                    return;
+                }
+                TokKind::Punct('(') if angle == 0 => {
+                    // Tuple struct: unnamed fields carry no symbol info.
+                    if let Some(close) = matching(self.toks, self.i, '(', ')') {
+                        self.i = close + 1;
+                        continue;
+                    }
+                    self.i = self.toks.len();
+                    return;
+                }
+                TokKind::Punct('{') if angle == 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        let Some(close) = matching(self.toks, self.i, '{', '}') else {
+            self.i = self.toks.len();
+            return;
+        };
+        // Named fields: `name: Type,` split on `,` at depth 0.
+        let mut k = self.i + 1;
+        while k < close {
+            // Skip field attrs and visibility.
+            while self.toks[k].is_punct('#')
+                && self.toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+            {
+                match matching(self.toks, k + 1, '[', ']') {
+                    Some(c) => k = c + 1,
+                    None => break,
+                }
+            }
+            if self.toks[k].is_ident("pub") {
+                k += 1;
+                if self.toks.get(k).is_some_and(|t| t.is_punct('(')) {
+                    if let Some(c) = matching(self.toks, k, '(', ')') {
+                        k = c + 1;
+                    }
+                }
+            }
+            let name = match self.toks.get(k) {
+                Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                _ => {
+                    k += 1;
+                    continue;
+                }
+            };
+            k += 1;
+            if !self.toks.get(k).is_some_and(|t| t.is_punct(':')) {
+                continue;
+            }
+            k += 1;
+            // Flatten the type up to the next `,` at depth 0.
+            let mut depth = 0i64;
+            let mut ty = Vec::new();
+            while k < close {
+                let t = &self.toks[k];
+                match t.kind {
+                    TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    TokKind::Punct(',') if depth == 0 => break,
+                    TokKind::Ident => ty.push(t.text.clone()),
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1; // ,
+            out.fields.push((name, ty.join(" ")));
+        }
+        self.i = close + 1;
+    }
+
+    fn item_impl(&mut self, out: &mut ParsedFile, in_test: bool) {
+        let start = self.i;
+        self.i += 1; // impl
+                     // Header runs to the first `{` outside angle brackets.
+        let mut angle = 0i64;
+        let mut body = None;
+        while self.i < self.toks.len() {
+            let Some(t) = self.at(0) else { break };
+            match t.kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') => angle -= 1,
+                TokKind::Punct('{') if angle <= 0 => {
+                    body = Some(self.i);
+                    break;
+                }
+                TokKind::Punct(';') => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        let Some(body) = body else {
+            self.i = self.toks.len();
+            return;
+        };
+        // Self type: first ident after `for` (trait impls), else first
+        // ident after `impl` and its generics.
+        let header = &self.toks[start + 1..body];
+        let mut self_ty = None;
+        let mut depth = 0i64;
+        let mut after_for = false;
+        for t in header {
+            match t.kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => depth -= 1,
+                TokKind::Ident if t.text == "for" && depth == 0 => after_for = true,
+                TokKind::Ident if t.text == "where" && depth == 0 => break,
+                TokKind::Ident if depth == 0 => {
+                    if after_for {
+                        self_ty = Some(t.text.clone());
+                        break;
+                    }
+                    if self_ty.is_none() {
+                        self_ty = Some(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `impl Trait for Type` keeps the *last* candidate: re-scan found it
+        // above — when `for` appeared, the ident right after it won.
+        let Some(close) = matching(self.toks, body, '{', '}') else {
+            self.i = self.toks.len();
+            return;
+        };
+        self.i = body + 1;
+        self.items(out, in_test, self_ty.as_deref());
+        self.i = close + 1;
+    }
+
+    /// Skips an item that ends at a matching `{ ... }` (or `;`).
+    fn skip_braced_item(&mut self) {
+        while self.i < self.toks.len() {
+            if self.is_punct(0, ';') {
+                self.i += 1;
+                return;
+            }
+            if self.is_punct(0, '{') {
+                match matching(self.toks, self.i, '{', '}') {
+                    Some(close) => self.i = close + 1,
+                    None => self.i = self.toks.len(),
+                }
+                return;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i64;
+        while self.i < self.toks.len() {
+            let Some(t) = self.at(0) else { break };
+            match t.kind {
+                TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(';') if depth == 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    fn item_fn(&mut self, out: &mut ParsedFile, is_test: bool, self_ty: Option<&str>) {
+        let fn_line = self.at(0).map_or(0, |t| t.line);
+        self.i += 1; // fn
+        let name = match self.at(0) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        self.i += 1;
+        // Generics between name and `(` contain no parens.
+        while self.i < self.toks.len() && !self.is_punct(0, '(') {
+            if self.is_punct(0, '{') || self.is_punct(0, ';') {
+                return; // malformed; bail without consuming the brace
+            }
+            self.i += 1;
+        }
+        let Some(params_close) = matching(self.toks, self.i, '(', ')') else {
+            self.i = self.toks.len();
+            return;
+        };
+        let params = parse_params(&self.toks[self.i + 1..params_close], self_ty);
+        self.i = params_close + 1;
+        // Return type / where clause: run to the body `{` or a `;` (trait
+        // signature). `->` lexes as `-` `>`, so track angle depth of `<`
+        // minus bare `>` conservatively via paren/bracket only — return
+        // types never contain bare `{` before the body.
+        while self.i < self.toks.len() && !self.is_punct(0, '{') && !self.is_punct(0, ';') {
+            self.i += 1;
+        }
+        if self.is_punct(0, ';') {
+            self.i += 1;
+            out.fns.push(FnDef {
+                name,
+                self_ty: self_ty.map(str::to_string),
+                is_test,
+                line: fn_line,
+                params,
+                body: None,
+            });
+            return;
+        }
+        if !self.is_punct(0, '{') {
+            out.fns.push(FnDef {
+                name,
+                self_ty: self_ty.map(str::to_string),
+                is_test,
+                line: fn_line,
+                params,
+                body: None,
+            });
+            return;
+        }
+        let body = self.block(out, is_test, self_ty);
+        out.fns.push(FnDef {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            is_test,
+            line: fn_line,
+            params,
+            body: Some(body),
+        });
+    }
+
+    /// Parses a `{ ... }` region; the cursor sits on the opening brace and
+    /// ends just past the matching close. Nested `fn` items are hoisted
+    /// into `out` as their own definitions.
+    fn block(&mut self, out: &mut ParsedFile, in_test: bool, self_ty: Option<&str>) -> Block {
+        let Some(close) = matching(self.toks, self.i, '{', '}') else {
+            self.i = self.toks.len();
+            return Block::default();
+        };
+        self.i += 1; // {
+        let mut block = Block::default();
+        while self.i < close {
+            // Nested items inside bodies: local fns get hoisted; local use
+            // decls are skipped.
+            if self.is_ident(0, "fn") {
+                self.item_fn(out, in_test, self_ty);
+                continue;
+            }
+            if self.is_ident(0, "use") {
+                self.skip_to_semi();
+                continue;
+            }
+            if self.is_punct(0, '#') && self.is_punct(1, '[') {
+                self.attrs();
+                continue;
+            }
+            if self.is_punct(0, ';') || self.is_punct(0, ',') {
+                self.i += 1;
+                continue;
+            }
+            let start = self.i;
+            let mut stmt = self.stmt(out, close, in_test, self_ty);
+            stmt.span = (start, self.i);
+            block.stmts.push(stmt);
+        }
+        self.i = close + 1;
+        block
+    }
+
+    /// Parses one statement: optional `let`/`for` bindings, then a linear
+    /// op scan to the statement end (`;`/`,` at depth 0, or the block
+    /// close). Nested braces recurse as blocks.
+    fn stmt(
+        &mut self,
+        out: &mut ParsedFile,
+        limit: usize,
+        in_test: bool,
+        self_ty: Option<&str>,
+    ) -> Stmt {
+        let mut stmt = Stmt::default();
+
+        if self.is_ident(0, "let") {
+            self.i += 1;
+            self.let_bindings(&mut stmt, limit);
+        } else if self.is_ident(0, "for") {
+            stmt.is_for = true;
+            self.i += 1;
+            // Bindings up to `in` at depth 0.
+            let mut depth = 0i64;
+            while self.i < limit {
+                let Some(t) = self.at(0) else { break };
+                match t.kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    TokKind::Ident if depth == 0 && t.text == "in" => {
+                        self.i += 1;
+                        break;
+                    }
+                    TokKind::Ident if t.text != "mut" && t.text != "ref" && t.text != "_" => {
+                        stmt.lets.push(t.text.clone());
+                    }
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        } else if self.is_ident(0, "while") && self.is_ident(1, "let") {
+            self.i += 2;
+            self.let_bindings(&mut stmt, limit);
+        } else if (self.is_ident(0, "if") && self.is_ident(1, "let"))
+            || (self.is_ident(0, "else") && self.is_ident(1, "if") && self.is_ident(2, "let"))
+        {
+            // `if let PAT = expr {` — bindings are block-local but the
+            // over-approximation (statement-scoped) is harmless here.
+            self.i += if self.is_ident(0, "if") { 2 } else { 3 };
+            self.let_bindings(&mut stmt, limit);
+        }
+
+        // Expression scan.
+        let mut depth = 0i64;
+        while self.i < limit {
+            let Some(t) = self.at(0) else { break };
+            match t.kind {
+                TokKind::Punct(';') | TokKind::Punct(',') if depth == 0 => {
+                    self.i += 1;
+                    return stmt;
+                }
+                TokKind::Punct('(') | TokKind::Punct('[') => {
+                    depth += 1;
+                    self.i += 1;
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') => {
+                    depth -= 1;
+                    self.i += 1;
+                }
+                TokKind::Punct('{') => {
+                    let inner = self.block(out, in_test, self_ty);
+                    stmt.ops.push(Op::Block(inner));
+                    if depth == 0 {
+                        // Block expression at statement level: continue only
+                        // through chains and else-branches.
+                        if self.is_punct(0, ';') {
+                            self.i += 1;
+                            return stmt;
+                        }
+                        if self.is_ident(0, "else") {
+                            continue;
+                        }
+                        if self.is_punct(0, '.') || self.is_punct(0, '?') {
+                            continue;
+                        }
+                        return stmt;
+                    }
+                }
+                TokKind::Literal => {
+                    stmt.ops.push(Op::Str(StrLit {
+                        text: t.text.clone(),
+                        line: t.line,
+                        col: t.col,
+                        tok: self.i,
+                    }));
+                    self.i += 1;
+                }
+                TokKind::Ident => {
+                    let is_fn_kw = t.text == "fn";
+                    if let Some(call) = self.call_at() {
+                        // Step *into* the arguments so nested calls and
+                        // literals register as later ops in this stmt.
+                        let brace_args = self.toks[call.args.0 - 1].is_punct('{');
+                        stmt.ops.push(Op::Call(call));
+                        if brace_args {
+                            // Macro with `{ ... }` args: recurse as a block
+                            // so brace matching stays consistent.
+                            self.i -= 1; // back onto `{`
+                            let inner = self.block(out, in_test, self_ty);
+                            stmt.ops.push(Op::Block(inner));
+                        } else {
+                            // The cursor sits just past the opening `(`/`[`;
+                            // account for it so the matching close balances.
+                            depth += 1;
+                        }
+                    } else if is_fn_kw {
+                        self.item_fn(out, in_test, self_ty);
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                _ => self.i += 1,
+            }
+        }
+        stmt
+    }
+
+    /// Consumes `PAT [: TY] =` after a `let`, recording binding names and
+    /// the flattened type annotation. Leaves the cursor on the initializer
+    /// expression (or the statement terminator for `let x;`).
+    fn let_bindings(&mut self, stmt: &mut Stmt, limit: usize) {
+        let mut depth = 0i64;
+        while self.i < limit {
+            let Some(t) = self.at(0) else { break };
+            match t.kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(':') if depth == 0 => {
+                    self.i += 1;
+                    stmt.let_ty = Some(self.flatten_ty(limit));
+                    continue;
+                }
+                TokKind::Punct('=') if depth == 0 => {
+                    self.i += 1;
+                    return;
+                }
+                TokKind::Punct(';') if depth == 0 => return,
+                TokKind::Punct('{') if depth == 0 => return, // if/while let body
+                TokKind::Ident
+                    if !matches!(t.text.as_str(), "mut" | "ref" | "_" | "Some" | "Ok" | "Err") =>
+                {
+                    stmt.lets.push(t.text.clone());
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Flattens a type annotation (cursor just past `:`) up to the `=` or
+    /// statement end at depth 0, angle-bracket aware.
+    fn flatten_ty(&mut self, limit: usize) -> String {
+        let mut depth = 0i64;
+        let mut ty = Vec::new();
+        while self.i < limit {
+            let Some(t) = self.at(0) else { break };
+            match t.kind {
+                TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('=') | TokKind::Punct(';') | TokKind::Punct('{') if depth <= 0 => {
+                    break;
+                }
+                TokKind::Ident => ty.push(t.text.clone()),
+                _ => {}
+            }
+            self.i += 1;
+        }
+        ty.join(" ")
+    }
+
+    /// If the cursor sits on a call's callee ident, builds the [`Call`] and
+    /// advances just past the opening delimiter (so the argument tokens are
+    /// scanned as ops too). Returns `None` for non-call idents.
+    fn call_at(&mut self) -> Option<Call> {
+        let t = self.at(0)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        // Keyword idents are never callees.
+        if matches!(
+            t.text.as_str(),
+            "if" | "else" | "match" | "while" | "for" | "loop" | "return" | "let" | "move" | "in"
+        ) {
+            return None;
+        }
+        let (is_macro, open_at) = if self.is_punct(1, '!')
+            && (self.is_punct(2, '(') || self.is_punct(2, '[') || self.is_punct(2, '{'))
+        {
+            (true, self.i + 2)
+        } else if self.is_punct(1, '(') {
+            (false, self.i + 1)
+        } else if self.is_punct(1, ':') && self.is_punct(2, ':') && self.is_punct(3, '<') {
+            // Turbofish: `collect::<Vec<_>>()`.
+            let close_angle = matching(self.toks, self.i + 3, '<', '>')?;
+            if !self.toks.get(close_angle + 1).is_some_and(|t| t.is_punct('(')) {
+                return None;
+            }
+            (false, close_angle + 1)
+        } else {
+            return None;
+        };
+        let open_char = match self.toks[open_at].kind {
+            TokKind::Punct(c) => c,
+            _ => return None,
+        };
+        let close_char = match open_char {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        let close = matching(self.toks, open_at, open_char, close_char)?;
+        let after = match self.toks.get(close + 1) {
+            Some(t) if t.is_punct(';') => After::Semi,
+            Some(t) if t.is_punct('.') || t.is_punct('?') => After::Chain,
+            _ => After::Other,
+        };
+
+        let prev = self.i.checked_sub(1).map(|k| &self.toks[k]);
+        let is_method = prev.is_some_and(|p| p.is_punct('.'));
+        let mut qual = None;
+        if !is_method
+            && self.i >= 3
+            && self.toks[self.i - 1].is_punct(':')
+            && self.toks[self.i - 2].is_punct(':')
+            && self.toks[self.i - 3].kind == TokKind::Ident
+        {
+            qual = Some(self.toks[self.i - 3].text.clone());
+        }
+        // Receiver chain for `a.b.c.name(...)`.
+        let mut recv = Vec::new();
+        if is_method {
+            let mut k = self.i - 1; // the `.`
+            loop {
+                if k == 0 {
+                    break;
+                }
+                let before = &self.toks[k - 1];
+                if before.kind == TokKind::Ident {
+                    recv.push(before.text.clone());
+                    if k >= 2 && self.toks[k - 2].is_punct('.') {
+                        k -= 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            recv.reverse();
+        }
+
+        let call = Call {
+            name: t.text.clone(),
+            qual,
+            is_method,
+            recv,
+            is_macro,
+            line: t.line,
+            col: t.col,
+            args: (open_at + 1, close),
+            after,
+        };
+        self.i = open_at + 1;
+        Some(call)
+    }
+}
+
+/// Splits a parameter list on `,` at depth 0 into `(name, type)` pairs.
+fn parse_params(toks: &[Tok], self_ty: Option<&str>) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut k = 0usize;
+    while k < toks.len() {
+        // One parameter: pattern idents up to `:`, then the flattened type
+        // up to `,` at depth 0.
+        let mut name = String::new();
+        let mut is_self = false;
+        let mut depth = 0i64;
+        while k < toks.len() {
+            let t = &toks[k];
+            match t.kind {
+                TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(':') if depth == 0 => {
+                    k += 1;
+                    break;
+                }
+                TokKind::Punct(',') if depth == 0 => break,
+                TokKind::Ident if t.text == "self" => {
+                    is_self = true;
+                    name = "self".to_string();
+                }
+                TokKind::Ident if name.is_empty() && t.text != "mut" && t.text != "ref" => {
+                    name = t.text.clone();
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let mut ty = Vec::new();
+        let mut depth = 0i64;
+        while k < toks.len() {
+            let t = &toks[k];
+            match t.kind {
+                TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(',') if depth == 0 => break,
+                TokKind::Ident => ty.push(t.text.clone()),
+                _ => {}
+            }
+            k += 1;
+        }
+        k += 1; // ,
+        if !name.is_empty() {
+            let ty = if is_self { self_ty.unwrap_or("").to_string() } else { ty.join(" ") };
+            params.push(Param { name, ty });
+        }
+    }
+    params
+}
+
+/// Exact `cfg(test)` or bare `test` attribute bodies only (mirrors
+/// `rules::attr_is_test`; kept local so the parser stays standalone).
+fn attr_is_test(body: &[Tok]) -> bool {
+    match body {
+        [t] => t.is_ident("test"),
+        [c, open, t, close] => {
+            c.is_ident("cfg") && open.is_punct('(') && t.is_ident("test") && close.is_punct(')')
+        }
+        _ => false,
+    }
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`.
+pub(crate) fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The last path-segment ident at depth 0 inside a token range — used to
+/// name a lock from its mutex expression (`&self.ring` → `ring`,
+/// `&stack.frames` → `frames`, `map` → `map`).
+pub fn last_path_ident(toks: &[Tok], range: (usize, usize)) -> Option<String> {
+    let mut depth = 0i64;
+    let mut last = None;
+    for t in toks.get(range.0..range.1)?.iter() {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('>') => depth -= 1,
+            TokKind::Ident if depth == 0 => last = Some(t.text.clone()),
+            _ => {}
+        }
+    }
+    last
+}
+
+/// The leading simple path of a call-argument range (`&self.samples` →
+/// `["self", "samples"]`), or empty when the expression is not a plain
+/// (referenced) ident/field chain.
+pub fn arg_path(toks: &[Tok], range: (usize, usize)) -> Vec<String> {
+    let mut path = Vec::new();
+    let Some(slice) = toks.get(range.0..range.1) else { return path };
+    let mut expect_ident = true;
+    for t in slice {
+        match t.kind {
+            TokKind::Punct('&') | TokKind::Punct('*') if path.is_empty() => {}
+            TokKind::Ident if expect_ident && t.text != "mut" => {
+                path.push(t.text.clone());
+                expect_ident = false;
+            }
+            TokKind::Punct('.') if !expect_ident => expect_ident = true,
+            _ => return Vec::new(),
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src).tokens)
+    }
+
+    fn find<'a>(pf: &'a ParsedFile, name: &str) -> &'a FnDef {
+        pf.fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("fn {name} not parsed"))
+    }
+
+    fn calls(block: &Block, out: &mut Vec<String>) {
+        for s in &block.stmts {
+            for op in &s.ops {
+                match op {
+                    Op::Call(c) => out.push(c.name.clone()),
+                    Op::Block(b) => calls(b, out),
+                    Op::Str(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fns_impls_and_params() {
+        let src = r"
+            impl Registry {
+                pub fn counter(&self, name: &str) -> Counter { self.shard(name).get() }
+            }
+            fn free(map: &Mutex<HashMap<String, u64>>) {}
+        ";
+        let pf = parse_src(src);
+        let c = find(&pf, "counter");
+        assert_eq!(c.self_ty.as_deref(), Some("Registry"));
+        assert_eq!(c.params.len(), 2);
+        assert_eq!(c.params[0].name, "self");
+        assert_eq!(c.params[1].name, "name");
+        let f = find(&pf, "free");
+        assert_eq!(f.params[0].ty, "Mutex HashMap String u64");
+    }
+
+    #[test]
+    fn trait_impl_self_type_follows_for() {
+        let src = "impl Default for Gauge { fn default() -> Self { Gauge::new() } }";
+        let pf = parse_src(src);
+        assert_eq!(find(&pf, "default").self_ty.as_deref(), Some("Gauge"));
+        let generic = "impl<T> From<T> for Wrapper { fn from(t: T) -> Self { Wrapper(t) } }";
+        let pf = parse_src(generic);
+        assert_eq!(find(&pf, "from").self_ty.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn calls_record_shape_and_after_token() {
+        let src = r#"
+            fn f(&self) {
+                let g = lock_recovering(&self.ring);
+                g.push_back(ev);
+                TraceEvent::new("score").attr("rank", 1);
+            }
+        "#;
+        let pf = parse_src(src);
+        let body = find(&pf, "f").body.as_ref().expect("body");
+        let s0 = &body.stmts[0];
+        assert_eq!(s0.lets, vec!["g"]);
+        let Op::Call(lock) = &s0.ops[0] else { panic!("{s0:?}") };
+        assert_eq!(lock.name, "lock_recovering");
+        assert!(!lock.is_method);
+        assert_eq!(lock.after, After::Semi);
+        let Op::Call(push) = &body.stmts[1].ops[0] else { panic!() };
+        assert!(push.is_method);
+        assert_eq!(push.recv, vec!["g"]);
+        let Op::Call(new) = &body.stmts[2].ops[0] else { panic!() };
+        assert_eq!(new.qual.as_deref(), Some("TraceEvent"));
+        assert_eq!(new.after, After::Chain);
+    }
+
+    #[test]
+    fn nested_blocks_and_macro_args_are_scanned() {
+        let src = r#"
+            fn f(out: &mut String) {
+                let v = { compute(1) };
+                write!(out, "{}", render(v)).ok();
+                items.iter().map(|x| { shape(x) }).collect::<Vec<_>>();
+            }
+        "#;
+        let pf = parse_src(src);
+        let mut seen = Vec::new();
+        calls(find(&pf, "f").body.as_ref().expect("body"), &mut seen);
+        for want in ["compute", "write", "render", "iter", "map", "shape", "collect"] {
+            assert!(seen.iter().any(|c| c == want), "missing {want} in {seen:?}");
+        }
+    }
+
+    #[test]
+    fn test_items_are_marked_not_dropped() {
+        let src = r"
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn t() {}
+            }
+        ";
+        let pf = parse_src(src);
+        assert!(!find(&pf, "prod").is_test);
+        assert!(find(&pf, "helper").is_test);
+        assert!(find(&pf, "t").is_test);
+    }
+
+    #[test]
+    fn struct_fields_flatten_types() {
+        let src = r"
+            pub struct Profiler {
+                threads: Mutex<Vec<Arc<SharedStack>>>,
+                samples: Mutex<HashMap<Vec<&'static str>, u64>>,
+            }
+            struct Unit;
+            struct Tuple(u32, u32);
+        ";
+        let pf = parse_src(src);
+        assert_eq!(pf.fields.len(), 2, "{:?}", pf.fields);
+        assert_eq!(pf.fields[0].0, "threads");
+        assert!(pf.fields[1].1.contains("HashMap"), "{:?}", pf.fields);
+    }
+
+    #[test]
+    fn for_loops_mark_loop_bindings() {
+        let src = "fn f(m: &BTreeMap<u32, u32>) { for (k, v) in m.iter() { use_it(k, v); } }";
+        let pf = parse_src(src);
+        let body = find(&pf, "f").body.as_ref().expect("body");
+        let s0 = &body.stmts[0];
+        assert!(s0.is_for);
+        assert_eq!(s0.lets, vec!["k", "v"]);
+        let Op::Call(iter) = &s0.ops[0] else { panic!("{s0:?}") };
+        assert_eq!(iter.name, "iter");
+        assert_eq!(iter.recv, vec!["m"]);
+    }
+
+    #[test]
+    fn lock_name_helpers() {
+        let lexed = lex("lock_recovering(&self.ring)");
+        let toks = &lexed.tokens;
+        // args range: past `(` to before `)`.
+        assert_eq!(last_path_ident(toks, (2, toks.len() - 1)).as_deref(), Some("ring"));
+        assert_eq!(arg_path(toks, (2, toks.len() - 1)), vec!["self", "ring"]);
+        let call = lex("f(a.b(), c)");
+        assert!(arg_path(&call.tokens, (2, call.tokens.len() - 1)).is_empty());
+    }
+
+    #[test]
+    fn item_level_macro_braces_do_not_end_item_scanning() {
+        // Regression: `thread_local! { ... }` used to leak its `{ ... }`
+        // into item scanning, whose closing brace then terminated the
+        // whole level — every item after the macro was dropped.
+        let src = r"
+            fn before() {}
+            thread_local! {
+                static STACK: std::cell::OnceCell<Arc<SharedStack>> =
+                    const { std::cell::OnceCell::new() };
+            }
+            fn after() { lock_recovering(&self.frames).pop(); }
+            mod inner {
+                thread_local! { static T: u32 = 0; }
+                fn in_mod() {}
+            }
+        ";
+        let pf = parse_src(src);
+        let names: Vec<&str> = pf.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["before", "after", "in_mod"], "{names:?}");
+    }
+
+    #[test]
+    fn drop_and_temporaries() {
+        let src = r"
+            fn f(&self) {
+                lock_recovering(&self.worker).take();
+                drop(samples);
+            }
+        ";
+        let pf = parse_src(src);
+        let body = find(&pf, "f").body.as_ref().expect("body");
+        let Op::Call(lock) = &body.stmts[0].ops[0] else { panic!() };
+        assert_eq!(lock.after, After::Chain);
+        assert!(body.stmts[0].lets.is_empty());
+        let Op::Call(d) = &body.stmts[1].ops[0] else { panic!() };
+        assert_eq!(d.name, "drop");
+    }
+}

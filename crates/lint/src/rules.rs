@@ -49,6 +49,22 @@ pub const RULES: &[RuleInfo] = &[
         id: "no-blocking-in-sampler",
         summary: "profiler sampler regions (`mod sampler`) must not touch the metrics registry or allocate per sample",
     },
+    RuleInfo {
+        id: "lock-order",
+        summary: "lock acquisition order must be acyclic across the crate call graph (deadlock risk)",
+    },
+    RuleInfo {
+        id: "no-side-effects-under-lock",
+        summary: "obs code must not do I/O or unbounded serialization while holding a lock",
+    },
+    RuleInfo {
+        id: "schema-drift",
+        summary: "wire schemas, trace kinds and metric names in code must match the documented registry",
+    },
+    RuleInfo {
+        id: "nondeterminism-dataflow",
+        summary: "HashMap/HashSet iteration output must be sorted before reaching trace/export/score sinks",
+    },
 ];
 
 /// Returns the rule table entry for `id`, if any.
@@ -259,7 +275,7 @@ fn macro_bang(toks: &[Tok], i: usize) -> bool {
 /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items (test
 /// modules and functions inside library source), where the panic and
 /// wall-clock rules do not apply.
-fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {

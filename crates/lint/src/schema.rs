@@ -1,0 +1,409 @@
+//! The `schema-drift` pass: the wire vocabulary the code actually speaks —
+//! `nevermind-*/vN` schema identifiers, trace-event kinds, and
+//! metric/span name literals — diffed against the documented registry in
+//! DESIGN.md, in both directions.
+//!
+//! The documented sets live in fenced blocks introduced by an HTML marker
+//! comment, so prose stays prose and the lists stay machine-checkable:
+//!
+//! ````text
+//! <!-- lint:schema-registry(trace-kinds) -->
+//! ```text
+//! dispatch
+//! score
+//! ```
+//! ````
+//!
+//! Categories: `schemas`, `trace-kinds`, `metric-names`. An entry
+//! containing `<` (e.g. `telemetry/psi/<feature>`) is a **wildcard**: it
+//! documents a runtime-formatted family, matches any code literal starting
+//! with its prefix, and is exempt from the docs→code direction (there is
+//! no single literal to find).
+//!
+//! Additionally, *every* `nevermind-*/vN` mention anywhere in the checked
+//! docs must name a schema the code emits — stale prose references (the
+//! classic `vN` bump miss) fail the gate too.
+//!
+//! Extraction is token-level over `src` files only, skipping
+//! `#[cfg(test)]` regions: test fixtures legitimately invent kinds.
+
+use crate::context::FileKind;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::cfg_test_ranges;
+use crate::semantic::FileUnit;
+use std::collections::BTreeMap;
+
+/// Registry methods whose first-argument literal is a metric name.
+const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram", "series", "distribution"];
+/// Macros whose first-argument literal is a metric/span name.
+const METRIC_MACROS: &[&str] = &["counter_add", "gauge_set", "histogram_record", "span"];
+
+/// One extracted or documented vocabulary item.
+type Sites = BTreeMap<String, (String, u32, u32)>;
+
+/// The three vocabularies extracted from code.
+#[derive(Debug, Default)]
+pub struct CodeVocab {
+    /// `nevermind-*/vN` schema identifiers (from any string literal).
+    pub schemas: Sites,
+    /// `TraceEvent::new("kind")` literals.
+    pub trace_kinds: Sites,
+    /// Metric/span name literals.
+    pub metric_names: Sites,
+}
+
+/// Extracts the code-side vocabulary from `src` files (test regions and
+/// non-src files skipped).
+pub fn extract_code_vocab(units: &[&FileUnit]) -> CodeVocab {
+    let mut vocab = CodeVocab::default();
+    for fu in units {
+        if fu.ctx.kind != FileKind::Src {
+            continue;
+        }
+        let toks = &fu.lexed.tokens;
+        let test_ranges = cfg_test_ranges(toks);
+        let in_test = |i: usize| test_ranges.iter().any(|&(a, b)| i >= a && i <= b);
+        for (i, t) in toks.iter().enumerate() {
+            if in_test(i) {
+                continue;
+            }
+            match t.kind {
+                TokKind::Literal => {
+                    for schema in schema_mentions(&t.text) {
+                        vocab
+                            .schemas
+                            .entry(schema)
+                            .or_insert_with(|| (fu.rel.clone(), t.line, t.col));
+                    }
+                }
+                TokKind::Ident => {
+                    // `TraceEvent::new("kind")`.
+                    if t.text == "new"
+                        && i >= 3
+                        && toks[i - 1].is_punct(':')
+                        && toks[i - 2].is_punct(':')
+                        && toks[i - 3].is_ident("TraceEvent")
+                        && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+                    {
+                        if let Some(lit) = toks.get(i + 2).filter(|l| l.kind == TokKind::Literal) {
+                            vocab
+                                .trace_kinds
+                                .entry(lit.text.clone())
+                                .or_insert_with(|| (fu.rel.clone(), lit.line, lit.col));
+                        }
+                    }
+                    // `.counter("name")` etc.
+                    if METRIC_METHODS.contains(&t.text.as_str())
+                        && i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+                    {
+                        if let Some(lit) = toks.get(i + 2).filter(|l| l.kind == TokKind::Literal) {
+                            vocab
+                                .metric_names
+                                .entry(lit.text.clone())
+                                .or_insert_with(|| (fu.rel.clone(), lit.line, lit.col));
+                        }
+                    }
+                    // `counter_add!("name", ...)`, `span!("name")`.
+                    if METRIC_MACROS.contains(&t.text.as_str())
+                        && toks.get(i + 1).is_some_and(|p| p.is_punct('!'))
+                        && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+                    {
+                        if let Some(lit) = toks.get(i + 3).filter(|l| l.kind == TokKind::Literal) {
+                            vocab
+                                .metric_names
+                                .entry(lit.text.clone())
+                                .or_insert_with(|| (fu.rel.clone(), lit.line, lit.col));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    vocab
+}
+
+/// All `nevermind-<word>/v<digits>` substrings of `text`.
+fn schema_mentions(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let needle = b"nevermind-";
+    let mut i = 0usize;
+    while i + needle.len() < bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        let mut j = i + needle.len();
+        let word_start = j;
+        while j < bytes.len() && bytes[j].is_ascii_lowercase() {
+            j += 1;
+        }
+        if j == word_start || j + 1 >= bytes.len() || bytes[j] != b'/' || bytes[j + 1] != b'v' {
+            i += 1;
+            continue;
+        }
+        let mut k = j + 2;
+        let digits_start = k;
+        while k < bytes.len() && bytes[k].is_ascii_digit() {
+            k += 1;
+        }
+        if k == digits_start {
+            i += 1;
+            continue;
+        }
+        if let Ok(s) = std::str::from_utf8(&bytes[i..k]) {
+            out.push(s.to_string());
+        }
+        i = k;
+    }
+    out
+}
+
+/// One documented vocabulary: exact entries plus wildcard prefixes.
+#[derive(Debug, Default)]
+struct DocSet {
+    exact: Sites,
+    /// `(prefix, file, line)` for entries containing `<`.
+    wildcards: Vec<(String, String, u32)>,
+}
+
+impl DocSet {
+    fn matches(&self, item: &str) -> bool {
+        self.exact.contains_key(item)
+            || self.wildcards.iter().any(|(p, _, _)| !p.is_empty() && item.starts_with(p.as_str()))
+    }
+}
+
+/// Parses the `<!-- lint:schema-registry(<category>) -->` blocks out of the
+/// documentation files (`(path, contents)` pairs).
+fn parse_docs(docs: &[(String, String)]) -> BTreeMap<String, DocSet> {
+    let mut sets: BTreeMap<String, DocSet> = BTreeMap::new();
+    const MARKER: &str = "<!-- lint:schema-registry(";
+    for (path, text) in docs {
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((_, line)) = lines.next() {
+            let trimmed = line.trim();
+            let Some(rest) = trimmed.strip_prefix(MARKER) else { continue };
+            let Some(close) = rest.find(')') else { continue };
+            let category = rest[..close].trim().to_string();
+            let set = sets.entry(category).or_default();
+            // Skip to the opening fence, collect until the closing fence.
+            for (_, l) in lines.by_ref() {
+                if l.trim_start().starts_with("```") {
+                    break;
+                }
+            }
+            for (n, l) in lines.by_ref() {
+                let entry = l.trim();
+                if entry.starts_with("```") {
+                    break;
+                }
+                if entry.is_empty() || entry.starts_with('#') {
+                    continue;
+                }
+                let lineno = (n + 1) as u32;
+                if entry.contains('<') {
+                    let prefix = entry.split('<').next().unwrap_or("").to_string();
+                    set.wildcards.push((prefix, path.clone(), lineno));
+                } else {
+                    set.exact.entry(entry.to_string()).or_insert_with(|| (path.clone(), lineno, 1));
+                }
+            }
+        }
+    }
+    sets
+}
+
+/// Diffs the code vocabulary against the documented registry, both ways,
+/// and checks every prose `nevermind-*/vN` mention against the code set.
+pub fn analyze_schema(units: &[&FileUnit], docs: &[(String, String)]) -> Vec<Diagnostic> {
+    let vocab = extract_code_vocab(units);
+    let sets = parse_docs(docs);
+    let empty = DocSet::default();
+    let mut diags = Vec::new();
+
+    let mut check = |category: &str, code: &Sites, label: &str| {
+        let documented = sets.get(category).unwrap_or(&empty);
+        for (item, (file, line, col)) in code {
+            if !documented.matches(item) {
+                diags.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    col: *col,
+                    rule: "schema-drift",
+                    severity: "error",
+                    message: format!(
+                        "{label} '{item}' is not in the documented schema-registry({category}) block; add it to DESIGN.md (or remove it from the code)"
+                    ),
+                });
+            }
+        }
+        for (item, (file, line, _)) in &documented.exact {
+            if !code.contains_key(item) {
+                diags.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    col: 1,
+                    rule: "schema-drift",
+                    severity: "error",
+                    message: format!(
+                        "documented {label} '{item}' no longer appears in the code; update the schema-registry({category}) block"
+                    ),
+                });
+            }
+        }
+    };
+    check("schemas", &vocab.schemas, "schema identifier");
+    check("trace-kinds", &vocab.trace_kinds, "trace-event kind");
+    check("metric-names", &vocab.metric_names, "metric/span name");
+
+    // Prose mentions: any `nevermind-*/vN` string in the docs must be a
+    // schema the code emits (stale version references fail here).
+    for (path, text) in docs {
+        for (n, line) in text.lines().enumerate() {
+            for mention in schema_mentions(line) {
+                if !vocab.schemas.contains_key(&mention) {
+                    diags.push(Diagnostic {
+                        file: path.clone(),
+                        line: (n + 1) as u32,
+                        col: 1,
+                        rule: "schema-drift",
+                        severity: "error",
+                        message: format!(
+                            "doc mentions schema '{mention}' which the code does not emit; the reference is stale (or the code dropped a schema the docs still promise)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    diags.dedup();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        FileUnit {
+            rel: rel.to_string(),
+            ctx: FileContext { crate_name: Some("obs".to_string()), kind: FileKind::Src },
+            lexed,
+            parsed,
+        }
+    }
+
+    const GOOD_DOC: &str = "\
+# Design\n\
+<!-- lint:schema-registry(schemas) -->\n\
+```text\n\
+nevermind-trace/v1\n\
+```\n\
+<!-- lint:schema-registry(trace-kinds) -->\n\
+```text\n\
+score\n\
+```\n\
+<!-- lint:schema-registry(metric-names) -->\n\
+```text\n\
+sim/weeks\n\
+telemetry/psi/<feature>\n\
+```\n";
+
+    fn src_unit() -> FileUnit {
+        unit(
+            "crates/obs/src/x.rs",
+            r#"
+            fn f(reg: &Registry) {
+                let doc = "nevermind-trace/v1";
+                let ev = TraceEvent::new("score");
+                reg.counter("sim/weeks").add(1);
+                counter_add!("telemetry/psi/psi_min");
+            }
+            "#,
+        )
+    }
+
+    #[test]
+    fn matching_registry_is_clean() {
+        let u = src_unit();
+        let docs = vec![("DESIGN.md".to_string(), GOOD_DOC.to_string())];
+        let diags = analyze_schema(&[&u], &docs);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wildcard_covers_formatted_family_members() {
+        let u = src_unit();
+        // `telemetry/psi/psi_min` only matches via the wildcard entry.
+        let doc = GOOD_DOC.replace("telemetry/psi/<feature>\n", "");
+        let docs = vec![("DESIGN.md".to_string(), doc)];
+        let diags = analyze_schema(&[&u], &docs);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("telemetry/psi/psi_min"));
+    }
+
+    #[test]
+    fn undocumented_code_vocab_is_flagged_both_ways() {
+        let u = src_unit();
+        let drifted = GOOD_DOC.replace("score", "scored_week");
+        let docs = vec![("DESIGN.md".to_string(), drifted)];
+        let diags = analyze_schema(&[&u], &docs);
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("'score' is not in the documented")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("'scored_week' no longer appears")), "{msgs:?}");
+    }
+
+    #[test]
+    fn stale_prose_schema_mention_is_flagged() {
+        let u = src_unit();
+        let mut doc = GOOD_DOC.to_string();
+        doc.push_str("\nThe exporter emits one nevermind-trace/v9 document.\n");
+        let docs = vec![("README.md".to_string(), doc)];
+        let diags = analyze_schema(&[&u], &docs);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("nevermind-trace/v9"));
+        assert_eq!(diags[0].file, "README.md");
+    }
+
+    #[test]
+    fn test_regions_do_not_contribute_vocabulary() {
+        let u = unit(
+            "crates/obs/src/y.rs",
+            r#"
+            fn f() { let _ = TraceEvent::new("score"); }
+            #[cfg(test)]
+            mod tests {
+                fn t() {
+                    let _ = TraceEvent::new("test_only_kind");
+                    let doc = "nevermind-madeup/v9";
+                }
+            }
+            "#,
+        );
+        let vocab = extract_code_vocab(&[&u]);
+        assert!(vocab.trace_kinds.contains_key("score"));
+        assert!(!vocab.trace_kinds.contains_key("test_only_kind"), "{vocab:?}");
+        assert!(vocab.schemas.is_empty(), "{vocab:?}");
+    }
+
+    #[test]
+    fn schema_mention_scanner() {
+        assert_eq!(
+            schema_mentions("emits nevermind-metrics/v1 and nevermind-lint/v2 docs"),
+            vec!["nevermind-metrics/v1".to_string(), "nevermind-lint/v2".to_string()]
+        );
+        assert!(schema_mentions("plain nevermind- prefix and nevermind-x/vv").is_empty());
+    }
+}

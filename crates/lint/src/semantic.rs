@@ -1,0 +1,903 @@
+//! Per-crate symbol table, intra-crate call graph, and the lock passes.
+//!
+//! The model is built from the parsed files of one crate at a time (the
+//! workspace's concurrency all lives inside single crates — `obs` today,
+//! `serve` tomorrow), then two passes walk every non-test `src` function:
+//!
+//! * **lock-order** — tracks which named locks are held at each point,
+//!   adds acquisition edges (`held → newly-acquired`) both for direct
+//!   acquisitions and, via the call graph's transitive may-acquire sets,
+//!   for calls made while holding, and flags any cycle in the resulting
+//!   acquisition graph as a deadlock risk.
+//! * **no-side-effects-under-lock** — inside `nevermind-obs`, no I/O and
+//!   no unbounded serialization/allocation while a lock is held (the rule
+//!   PR 8's off-lock registry snapshot fix established by hand).
+//!
+//! Locks are named after the mutex expression that acquires them: the last
+//! path segment of `lock_recovering(&self.ring)` is `ring`, of
+//! `lock_recovering(map)` is `map`, and `m.lock()` names `m`. Named-field
+//! mutexes therefore collapse by field name across instances — exactly the
+//! granularity the deadlock argument needs, since every instance of a
+//! shard map is acquired through the same code paths.
+//!
+//! Method calls resolve by name against the crate's fn table, except for
+//! ubiquitous std names (`len`, `iter`, `insert`, ...) which would alias
+//! unrelated crate methods; `self.m(...)` resolves only against the
+//! enclosing impl type. Unresolved calls contribute no edges — the passes
+//! stay sound for intra-crate lock discipline, which is where every lock
+//! in this workspace lives.
+
+use crate::context::{FileContext, FileKind};
+use crate::diag::Diagnostic;
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parser::{arg_path, last_path_ident, Block, Call, FnDef, Op, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One analyzed file: everything the semantic passes need, built once by
+/// the engine's (parallel) frontend.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Lint context (crate, kind).
+    pub ctx: FileContext,
+    /// Token/comment stream.
+    pub lexed: Lexed,
+    /// Item tree.
+    pub parsed: ParsedFile,
+}
+
+/// Method names that are overwhelmingly std-library vocabulary: never
+/// resolved against the crate fn table (a crate method that happens to
+/// share one of these names is analyzed at its own definition instead).
+const STD_METHODS: &[&str] = &[
+    "all",
+    "any",
+    "as_slice",
+    "as_str",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "collect",
+    "contains",
+    "copied",
+    "drain",
+    "entry",
+    "enumerate",
+    "extend",
+    "extend_from_slice",
+    "filter",
+    "find",
+    "flat_map",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "parse",
+    "pop",
+    "pop_front",
+    "push",
+    "push_back",
+    "push_str",
+    "remove",
+    "retain",
+    "rev",
+    "rsplit",
+    "skip",
+    "sort",
+    "sort_by",
+    "split",
+    "store",
+    "take",
+    "then",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "unwrap_or",
+    "values",
+    "with",
+    "with_capacity",
+    "zip",
+];
+
+/// Function identifier inside a [`CrateModel`]: `(file index, fn index)`.
+pub type FnId = (usize, usize);
+
+/// The per-crate symbol table and call graph.
+pub struct CrateModel<'a> {
+    /// Crate directory name.
+    pub name: String,
+    /// Analyzed `src` files of the crate.
+    pub files: Vec<&'a FileUnit>,
+    /// Fn name → definitions (test fns included; passes filter).
+    pub by_name: BTreeMap<String, Vec<FnId>>,
+    /// Merged struct-field types: field name → `Some(type)` when the name
+    /// is unique crate-wide, `None` on conflicting definitions.
+    pub fields: BTreeMap<String, Option<String>>,
+    /// Resolved call edges (caller → callee), for the report's stats.
+    pub call_edges: usize,
+}
+
+impl<'a> CrateModel<'a> {
+    /// Builds the model over one crate's `src` files.
+    pub fn build(name: &str, files: Vec<&'a FileUnit>) -> CrateModel<'a> {
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut fields: BTreeMap<String, Option<String>> = BTreeMap::new();
+        for (fi, fu) in files.iter().enumerate() {
+            for (ni, f) in fu.parsed.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, ni));
+            }
+            for (fname, fty) in &fu.parsed.fields {
+                match fields.get_mut(fname) {
+                    None => {
+                        fields.insert(fname.clone(), Some(fty.clone()));
+                    }
+                    Some(slot) => {
+                        if slot.as_deref() != Some(fty.as_str()) {
+                            *slot = None; // conflicting definitions: unknown
+                        }
+                    }
+                }
+            }
+        }
+        CrateModel { name: name.to_string(), files, by_name, fields, call_edges: 0 }
+    }
+
+    /// The fn definition for an id.
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        &self.files[id.0].parsed.fns[id.1]
+    }
+
+    /// Whether the unique crate-wide type of `field` mentions any of
+    /// `needles` (used for hash-typed lookups).
+    pub fn field_ty_mentions(&self, field: &str, needles: &[&str]) -> bool {
+        self.fields
+            .get(field)
+            .and_then(|t| t.as_deref())
+            .is_some_and(|t| needles.iter().any(|n| t.contains(n)))
+    }
+
+    /// Resolves a call to candidate definitions (possibly several — the
+    /// union is the conservative choice for may-acquire propagation).
+    pub fn resolve(&self, call: &Call, caller_self_ty: Option<&str>) -> Vec<FnId> {
+        // The poison-recovering primitive is modeled as an acquisition, not
+        // a call; its own body would otherwise contribute a `lock()` edge.
+        if call.name == "lock_recovering" || call.name == "drop" {
+            return Vec::new();
+        }
+        let Some(cands) = self.by_name.get(&call.name) else { return Vec::new() };
+        if call.is_method {
+            if STD_METHODS.contains(&call.name.as_str()) {
+                return Vec::new();
+            }
+            if call.recv.first().map(String::as_str) == Some("self") {
+                // `self.m(...)`: only the enclosing impl type's methods.
+                return cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fn_def(id).self_ty.as_deref() == caller_self_ty)
+                    .collect();
+            }
+            // Unknown receiver: any crate method of that name.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fn_def(id).params.first().is_some_and(|p| p.name == "self"))
+                .collect();
+        }
+        match call.qual.as_deref() {
+            Some("Self") => cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fn_def(id).self_ty.as_deref() == caller_self_ty)
+                .collect(),
+            Some(q) => {
+                // `Type::name(...)`: prefer impl-type matches; fall back to
+                // free fns for module-qualified calls (`sampler::run`).
+                let typed: Vec<FnId> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fn_def(id).self_ty.as_deref() == Some(q))
+                    .collect();
+                if !typed.is_empty() {
+                    return typed;
+                }
+                if self
+                    .by_name
+                    .values()
+                    .flatten()
+                    .any(|&id| self.fn_def(id).self_ty.as_deref() == Some(q))
+                {
+                    // The qualifier names a known crate type but this
+                    // method isn't on it (e.g. a std trait method).
+                    return Vec::new();
+                }
+                cands.iter().copied().filter(|&id| self.fn_def(id).self_ty.is_none()).collect()
+            }
+            None => cands.iter().copied().filter(|&id| self.fn_def(id).self_ty.is_none()).collect(),
+        }
+    }
+}
+
+/// One held lock during a region walk.
+#[derive(Debug, Clone)]
+struct Held {
+    name: String,
+    /// The `let` binding holding the guard (`drop(binding)` releases it);
+    /// `None` for statement-scoped temporaries.
+    binding: Option<String>,
+}
+
+/// A lock-acquisition edge with its representative source position.
+#[derive(Debug)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    col: u32,
+    /// `via`: the call chain note for deferred (call-graph) edges.
+    via: Option<String>,
+}
+
+/// One recorded acquisition-edge site: `(file, line, col, via-note)`.
+type EdgeSite = (String, u32, u32, Option<String>);
+
+/// A call made while holding locks, resolved once may-acquire sets reach
+/// their fixpoint: `(held locks, callee id, file, line, col, callee name)`.
+type DeferredCall = (Vec<String>, FnId, String, u32, u32, String);
+
+/// What the crate-level lock analysis produced.
+pub struct LockAnalysis {
+    /// Diagnostics from both lock passes.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Distinct lock names seen.
+    pub locks: usize,
+    /// Distinct acquisition-order edges.
+    pub lock_edges: usize,
+    /// Non-test fns walked.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+}
+
+/// I/O and serialization vocabulary banned while holding a lock in
+/// `nevermind-obs`: socket/file writes plus the workspace's JSON/export
+/// entry points, which serialize unbounded state and belong off-lock (the
+/// registry snapshot reads values only after copying handles out).
+const UNDER_LOCK_BANNED_MACROS: &[&str] =
+    &["write", "writeln", "print", "println", "eprint", "eprintln", "format"];
+const UNDER_LOCK_BANNED_CALLS: &[&str] = &[
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read_to_string",
+    "to_json",
+    "to_jsonl",
+    "snapshot_to_json",
+    "push_json_line",
+    "push_json",
+    "collapsed",
+];
+const UNDER_LOCK_BANNED_QUALS: &[&str] = &["TcpStream", "TcpListener", "File", "OpenOptions", "fs"];
+
+/// Direct I/O vocabulary for the transitive side-effect closure (a call
+/// made under a lock to a fn that transitively does I/O is flagged too).
+const IO_MACROS: &[&str] = &["write", "writeln", "print", "println", "eprint", "eprintln"];
+const IO_CALLS: &[&str] = &["write_all", "write_fmt", "flush", "read_to_string"];
+
+/// Runs the lock-order and under-lock passes over one crate.
+pub fn analyze_locks(model: &CrateModel<'_>) -> LockAnalysis {
+    let mut diags = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    // Deferred: calls made while holding locks, resolved via may-acquire.
+    let mut deferred: Vec<DeferredCall> = Vec::new();
+    let mut functions = 0usize;
+    let mut call_edges = 0usize;
+
+    // Which fns get walked: non-test fns with bodies in src files, except
+    // the lock primitive itself.
+    let in_scope = |model: &CrateModel<'_>, id: FnId| -> bool {
+        let f = model.fn_def(id);
+        model.files[id.0].ctx.kind == FileKind::Src
+            && !f.is_test
+            && f.body.is_some()
+            && f.name != "lock_recovering"
+    };
+
+    // Per-fn direct acquisitions and direct side effects, for the
+    // transitive closures.
+    let mut direct_acquire: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+    let mut direct_io: BTreeSet<FnId> = BTreeSet::new();
+    let mut calls_of: BTreeMap<FnId, BTreeSet<FnId>> = BTreeMap::new();
+
+    let obs_rules = model.name == "obs";
+
+    for (fi, fu) in model.files.iter().enumerate() {
+        for (ni, f) in fu.parsed.fns.iter().enumerate() {
+            let id: FnId = (fi, ni);
+            if !in_scope(model, id) {
+                continue;
+            }
+            functions += 1;
+            let Some(body) = f.body.as_ref() else { continue };
+            let mut walker = Walker {
+                model,
+                fu,
+                f,
+                id,
+                held: Vec::new(),
+                edges: &mut edges,
+                deferred: &mut deferred,
+                diags: &mut diags,
+                direct_acquire: BTreeSet::new(),
+                direct_io: false,
+                callees: BTreeSet::new(),
+                obs_rules,
+            };
+            walker.walk_block(body);
+            let Walker { direct_acquire: da, direct_io: io, callees, .. } = walker;
+            call_edges += callees.len();
+            if io {
+                direct_io.insert(id);
+            }
+            calls_of.insert(id, callees);
+            direct_acquire.insert(id, da);
+        }
+    }
+
+    // Fixpoint: transitive may-acquire and may-do-io per fn.
+    let mut may_acquire = direct_acquire.clone();
+    let mut may_io = direct_io.clone();
+    loop {
+        let mut changed = false;
+        for (id, callees) in &calls_of {
+            for callee in callees {
+                let add: Vec<String> = may_acquire
+                    .get(callee)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                if !add.is_empty() {
+                    if let Some(mine) = may_acquire.get_mut(id) {
+                        for l in add {
+                            changed |= mine.insert(l);
+                        }
+                    }
+                }
+                if may_io.contains(callee) && may_io.insert(*id) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Expand deferred call edges through the may-acquire sets, and flag
+    // transitive I/O under a held lock (obs only).
+    for (held, callee, file, line, col, callee_name) in deferred {
+        if let Some(acquires) = may_acquire.get(&callee) {
+            for l in acquires {
+                for h in &held {
+                    edges.push(Edge {
+                        from: h.clone(),
+                        to: l.clone(),
+                        file: file.clone(),
+                        line,
+                        col,
+                        via: Some(callee_name.clone()),
+                    });
+                }
+            }
+        }
+        if obs_rules && may_io.contains(&callee) {
+            diags.push(Diagnostic {
+                file: file.clone(),
+                line,
+                col,
+                rule: "no-side-effects-under-lock",
+                severity: "error",
+                message: format!(
+                    "call to {callee_name}() does I/O while '{}' is held; move the I/O outside the locked region",
+                    held.join("', '")
+                ),
+            });
+        }
+    }
+
+    // Acquisition graph: dedupe edges, detect cycles.
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut lock_names: BTreeSet<String> = BTreeSet::new();
+    for set in may_acquire.values() {
+        lock_names.extend(set.iter().cloned());
+    }
+    edges.sort_by(|a, b| {
+        (&a.from, &a.to, &a.file, a.line, a.col).cmp(&(&b.from, &b.to, &b.file, b.line, b.col))
+    });
+    let mut edge_sites: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for e in &edges {
+        lock_names.insert(e.from.clone());
+        lock_names.insert(e.to.clone());
+        adj.entry(e.from.clone()).or_default().insert(e.to.clone());
+        edge_sites
+            .entry((e.from.clone(), e.to.clone()))
+            .or_insert_with(|| (e.file.clone(), e.line, e.col, e.via.clone()));
+    }
+    let lock_edges = edge_sites.len();
+
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((from, to), (file, line, col, via)) in &edge_sites {
+        // An edge a→b closes a cycle when b reaches a (b == a included:
+        // re-acquiring a non-reentrant mutex self-deadlocks).
+        if let Some(mut path) = reach_path(&adj, to, from) {
+            // path: to .. from; cycle nodes: from → to → ... (from repeats
+            // only in the rendering).
+            if path.last().map(String::as_str) == Some(from.as_str()) && path.len() > 1 {
+                path.pop();
+            }
+            let mut cycle: Vec<String> = Vec::with_capacity(path.len() + 1);
+            cycle.push(from.clone());
+            if path.first().map(String::as_str) != Some(from.as_str()) {
+                cycle.extend(path);
+            }
+            let key = canonical_cycle(&cycle);
+            if !reported.insert(key) {
+                continue;
+            }
+            let via_note =
+                via.as_ref().map(|v| format!(" (via call to {v}())")).unwrap_or_default();
+            diags.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                col: *col,
+                rule: "lock-order",
+                severity: "error",
+                message: format!(
+                    "lock acquisition cycle {} -> {}{}: threads taking these locks in different orders can deadlock; pick one global order",
+                    cycle.join(" -> "),
+                    cycle.first().map(String::as_str).unwrap_or(""),
+                    via_note
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    LockAnalysis { diagnostics: diags, locks: lock_names.len(), lock_edges, functions, call_edges }
+}
+
+/// Shortest path `from → ... → to` in the acquisition graph (BFS), as the
+/// node list starting at `from` and ending at `to`.
+fn reach_path(
+    adj: &BTreeMap<String, BTreeSet<String>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    queue.push_back(from.to_string());
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    seen.insert(from.to_string());
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            // Rebuild path.
+            let mut path = vec![cur.clone()];
+            let mut node = cur;
+            while let Some(p) = parent.get(&node) {
+                path.push(p.clone());
+                node = p.clone();
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(nexts) = adj.get(&cur) {
+            for n in nexts {
+                if seen.insert(n.clone()) {
+                    parent.insert(n.clone(), cur.clone());
+                    queue.push_back(n.clone());
+                }
+            }
+        }
+    }
+    // Self-cycle check: `from == to` handled above only if `to` was pushed;
+    // the first pop compares equal, so a→a returns [a]. Nothing more here.
+    None
+}
+
+/// Canonical form of a cycle (smallest rotation), for dedup across the
+/// multiple edges that witness the same cycle.
+fn canonical_cycle(cycle: &[String]) -> Vec<String> {
+    if cycle.is_empty() {
+        return Vec::new();
+    }
+    let n = cycle.len();
+    let mut best: Option<Vec<String>> = None;
+    for start in 0..n {
+        let rot: Vec<String> = (0..n).map(|k| cycle[(start + k) % n].clone()).collect();
+        if best.as_ref().map_or(true, |b| &rot < b) {
+            best = Some(rot);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+/// The shared region walker for both lock passes.
+struct Walker<'m, 'a, 'o> {
+    model: &'m CrateModel<'a>,
+    fu: &'a FileUnit,
+    f: &'a FnDef,
+    id: FnId,
+    held: Vec<Held>,
+    edges: &'o mut Vec<Edge>,
+    deferred: &'o mut Vec<DeferredCall>,
+    diags: &'o mut Vec<Diagnostic>,
+    direct_acquire: BTreeSet<String>,
+    direct_io: bool,
+    callees: BTreeSet<FnId>,
+    obs_rules: bool,
+}
+
+impl Walker<'_, '_, '_> {
+    fn walk_block(&mut self, block: &Block) {
+        let entry = self.held.len();
+        for stmt in &block.stmts {
+            let stmt_entry = self.held.len();
+            let guard_binding = if stmt.is_for { None } else { stmt.lets.first().cloned() };
+            for op in &stmt.ops {
+                match op {
+                    Op::Block(inner) => self.walk_block(inner),
+                    Op::Str(_) => {}
+                    Op::Call(call) => self.visit_call(call, guard_binding.as_deref()),
+                }
+            }
+            // Statement-scoped temporaries release here.
+            self.held.truncate_retain(stmt_entry, |h| h.binding.is_some());
+        }
+        // Block-scoped let guards release at the block's end.
+        self.held.truncate(entry);
+    }
+
+    fn visit_call(&mut self, call: &Call, guard_binding: Option<&str>) {
+        let toks = &self.fu.lexed.tokens;
+        // Release: `drop(binding)`.
+        if !call.is_method && call.name == "drop" {
+            if let [only] = arg_path(toks, call.args).as_slice() {
+                if let Some(pos) =
+                    self.held.iter().rposition(|h| h.binding.as_deref() == Some(only.as_str()))
+                {
+                    self.held.remove(pos);
+                }
+            }
+            return;
+        }
+        // Acquisition: the recovering helper or a raw `.lock()`.
+        let acquired = if !call.is_method && call.name == "lock_recovering" {
+            lock_name_from_args(toks, call.args, self.f)
+        } else if call.is_method && call.name == "lock" {
+            call.recv.last().cloned()
+        } else {
+            None
+        };
+        if let Some(name) = acquired {
+            for h in &self.held {
+                self.edges.push(Edge {
+                    from: h.name.clone(),
+                    to: name.clone(),
+                    file: self.fu.rel.clone(),
+                    line: call.line,
+                    col: call.col,
+                    via: None,
+                });
+            }
+            self.direct_acquire.insert(name.clone());
+            // `let g = lock(...);` → guard lives until block end or
+            // `drop(g)`; anything else is a statement-scoped temporary.
+            let binding = match (call.after, guard_binding) {
+                (crate::parser::After::Semi, Some(b)) => Some(b.to_string()),
+                _ => None,
+            };
+            self.held.push(Held { name, binding });
+            return;
+        }
+
+        // Side effects (direct): obs under-lock rule + transitive seed.
+        let banned_direct = (call.is_macro
+            && UNDER_LOCK_BANNED_MACROS.contains(&call.name.as_str()))
+            || (!call.is_macro && UNDER_LOCK_BANNED_CALLS.contains(&call.name.as_str()))
+            || call.qual.as_deref().is_some_and(|q| UNDER_LOCK_BANNED_QUALS.contains(&q));
+        let is_io = (call.is_macro && IO_MACROS.contains(&call.name.as_str()))
+            || (!call.is_macro && IO_CALLS.contains(&call.name.as_str()))
+            || call.qual.as_deref().is_some_and(|q| UNDER_LOCK_BANNED_QUALS.contains(&q));
+        if is_io {
+            self.direct_io = true;
+        }
+        if self.obs_rules && banned_direct && !self.held.is_empty() {
+            let held: Vec<&str> = self.held.iter().map(|h| h.name.as_str()).collect();
+            let bang = if call.is_macro { "!" } else { "()" };
+            self.diags.push(Diagnostic {
+                file: self.fu.rel.clone(),
+                line: call.line,
+                col: call.col,
+                rule: "no-side-effects-under-lock",
+                severity: "error",
+                message: format!(
+                    "{}{bang} runs I/O or unbounded serialization while '{}' is held, stalling every thread that touches the lock; copy the data out and do this after the guard drops",
+                    call.name,
+                    held.join("', '")
+                ),
+            });
+        }
+
+        // Call-graph edge.
+        let targets = self.model.resolve(call, self.f.self_ty.as_deref());
+        for t in targets {
+            if t == self.id {
+                continue; // recursion adds nothing to may-acquire
+            }
+            self.callees.insert(t);
+            if !self.held.is_empty() {
+                let held: Vec<String> = self.held.iter().map(|h| h.name.clone()).collect();
+                self.deferred.push((
+                    held,
+                    t,
+                    self.fu.rel.clone(),
+                    call.line,
+                    call.col,
+                    call.name.clone(),
+                ));
+            }
+        }
+    }
+}
+
+/// Names the lock acquired by `lock_recovering(<expr>)` from its argument:
+/// the last depth-0 path ident (`&self.ring` → `ring`), or `<Ty>.<n>` for
+/// tuple-field mutexes (`&self.0` on `impl Series` → `Series.0`).
+fn lock_name_from_args(toks: &[Tok], args: (usize, usize), f: &FnDef) -> Option<String> {
+    // Tuple-field access: the arg range ends `. <number>`.
+    if args.1 >= 2 && args.1 - args.0 >= 2 {
+        let last = &toks[args.1 - 1];
+        if last.kind == TokKind::Number && toks[args.1 - 2].is_punct('.') {
+            let ty = f.self_ty.as_deref().unwrap_or("tuple");
+            return Some(format!("{ty}.{}", "0"));
+        }
+    }
+    last_path_ident(toks, args)
+}
+
+/// `Vec::truncate` that keeps elements below `from` untouched and retains
+/// only `keep`-matching elements at or above it (used to expire statement
+/// temporaries while leaving let-bound guards in place).
+trait TruncateRetain<T> {
+    fn truncate_retain(&mut self, from: usize, keep: impl Fn(&T) -> bool);
+}
+
+impl<T> TruncateRetain<T> for Vec<T> {
+    fn truncate_retain(&mut self, from: usize, keep: impl Fn(&T) -> bool) {
+        let mut k = from;
+        while k < self.len() {
+            if keep(&self[k]) {
+                k += 1;
+            } else {
+                self.remove(k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileKind;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn unit(rel: &str, krate: &str, src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        FileUnit {
+            rel: rel.to_string(),
+            ctx: FileContext { crate_name: Some(krate.to_string()), kind: FileKind::Src },
+            lexed,
+            parsed,
+        }
+    }
+
+    fn analyze(krate: &str, src: &str) -> LockAnalysis {
+        let u = unit(&format!("crates/{krate}/src/lib.rs"), krate, src);
+        let files = vec![&u];
+        let model = CrateModel::build(krate, files);
+        analyze_locks(&model)
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = r"
+            fn sweep(&self) {
+                let threads = lock_recovering(&self.threads);
+                let samples = lock_recovering(&self.samples);
+                drop(samples);
+                drop(threads);
+            }
+            fn other(&self) {
+                let threads = lock_recovering(&self.threads);
+                let samples = lock_recovering(&self.samples);
+            }
+        ";
+        let out = analyze("obs", a);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.locks, 2);
+        assert_eq!(out.lock_edges, 1);
+    }
+
+    #[test]
+    fn direct_two_lock_cycle_is_flagged() {
+        let src = r"
+            fn ab(&self) {
+                let a = lock_recovering(&self.alpha);
+                let b = lock_recovering(&self.beta);
+            }
+            fn ba(&self) {
+                let b = lock_recovering(&self.beta);
+                let a = lock_recovering(&self.alpha);
+            }
+        ";
+        let out = analyze("core", src);
+        let cycles: Vec<_> = out.diagnostics.iter().filter(|d| d.rule == "lock-order").collect();
+        assert_eq!(cycles.len(), 1, "{:?}", out.diagnostics);
+        assert!(cycles[0].message.contains("alpha"), "{:?}", cycles[0]);
+        assert!(cycles[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn cycle_through_call_graph_is_flagged() {
+        let src = r"
+            fn touch_alpha(&self) {
+                let a = lock_recovering(&self.alpha);
+            }
+            fn holds_beta_then_calls(&self) {
+                let b = lock_recovering(&self.beta);
+                self.touch_alpha();
+            }
+            fn holds_alpha_then_beta(&self) {
+                let a = lock_recovering(&self.alpha);
+                let b = lock_recovering(&self.beta);
+            }
+        ";
+        let src = &format!("impl S {{ {src} }}");
+        let out = analyze("core", src);
+        let cycles: Vec<_> = out.diagnostics.iter().filter(|d| d.rule == "lock-order").collect();
+        assert_eq!(cycles.len(), 1, "{:?}", out.diagnostics);
+        assert!(cycles[0].message.contains("alpha") && cycles[0].message.contains("beta"));
+        // Both the direct alpha→beta edge and the call-graph beta→alpha
+        // edge must exist for the cycle to close.
+        assert_eq!(out.lock_edges, 2);
+    }
+
+    #[test]
+    fn drop_releases_before_reacquire() {
+        let src = r"
+            fn ok(&self) {
+                let a = lock_recovering(&self.alpha);
+                drop(a);
+                let b = lock_recovering(&self.beta);
+            }
+            fn also_ok(&self) {
+                let b = lock_recovering(&self.beta);
+                drop(b);
+                let a = lock_recovering(&self.alpha);
+            }
+        ";
+        let out = analyze("core", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.lock_edges, 0);
+    }
+
+    #[test]
+    fn temporaries_release_at_statement_end() {
+        let src = r"
+            fn ok(&self) {
+                lock_recovering(&self.alpha).push(1);
+                lock_recovering(&self.beta).push(2);
+            }
+            fn rev(&self) {
+                lock_recovering(&self.beta).push(2);
+                lock_recovering(&self.alpha).push(1);
+            }
+        ";
+        let out = analyze("core", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn serialization_under_lock_flagged_in_obs_only() {
+        let src = r#"
+            fn export(&self) -> String {
+                let ring = lock_recovering(&self.ring);
+                let mut out = String::new();
+                for event in ring.iter() {
+                    event.push_json_line(&mut out);
+                }
+                out
+            }
+        "#;
+        let out = analyze("obs", src);
+        let hits: Vec<_> =
+            out.diagnostics.iter().filter(|d| d.rule == "no-side-effects-under-lock").collect();
+        assert_eq!(hits.len(), 1, "{:?}", out.diagnostics);
+        assert!(hits[0].message.contains("'ring'"), "{:?}", hits[0]);
+        // Same code outside obs: the rule is scoped.
+        assert!(analyze("cli", src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn off_lock_serialization_is_clean() {
+        let src = r#"
+            fn export(&self) -> String {
+                let events: Vec<TraceEvent> = {
+                    let ring = lock_recovering(&self.ring);
+                    ring.iter().cloned().collect()
+                };
+                let mut out = String::new();
+                for event in events.iter() {
+                    event.push_json_line(&mut out);
+                }
+                out
+            }
+        "#;
+        let out = analyze("obs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn transitive_io_under_lock_flagged() {
+        let src = r#"
+            fn log_line(&self, sock: &mut TcpStream, line: &str) {
+                sock.write_all(line.as_bytes());
+            }
+            fn bad(&self, sock: &mut TcpStream) {
+                let g = lock_recovering(&self.state);
+                self.log_line(sock, "held");
+            }
+        "#;
+        let src = &format!("impl S {{ {src} }}");
+        let out = analyze("obs", src);
+        let hits: Vec<_> =
+            out.diagnostics.iter().filter(|d| d.rule == "no-side-effects-under-lock").collect();
+        assert_eq!(hits.len(), 1, "{:?}", out.diagnostics);
+        assert!(hits[0].message.contains("log_line"), "{:?}", hits[0]);
+    }
+
+    #[test]
+    fn test_fns_are_out_of_scope() {
+        let src = r"
+            #[cfg(test)]
+            mod tests {
+                fn ab() { let a = GLOBAL.lock(); let b = OTHER.lock(); }
+                fn ba() { let b = OTHER.lock(); let a = GLOBAL.lock(); }
+            }
+        ";
+        let out = analyze("obs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+}

@@ -28,10 +28,15 @@ struct Suppression {
 
 /// Applies suppressions from `comments` to `diags`, returning the surviving
 /// diagnostics (hygiene problems appended) and the number suppressed.
+///
+/// `check_unused` disables the `suppression-unused` hygiene rule; the engine
+/// turns it off under a `--rules` filter, where allows for out-of-filter
+/// rules would otherwise look stale.
 pub fn apply(
     rel_path: &str,
     comments: &[Comment],
     diags: Vec<Diagnostic>,
+    check_unused: bool,
 ) -> (Vec<Diagnostic>, usize) {
     let mut suppressions: Vec<Suppression> = Vec::new();
     let mut hygiene: Vec<Diagnostic> = Vec::new();
@@ -110,7 +115,7 @@ pub fn apply(
     let n_suppressed = before - kept.len();
 
     for s in &suppressions {
-        if !s.used && s.rules.iter().all(|r| rule_info(r).is_some()) {
+        if check_unused && !s.used && s.rules.iter().all(|r| rule_info(r).is_some()) {
             problem(
                 s.at_line,
                 "suppression-unused",
@@ -139,7 +144,16 @@ mod tests {
         let ctx = FileContext { crate_name: Some("ml".into()), kind: FileKind::Src };
         let lexed = lex(src);
         let diags = check_file("crates/ml/src/x.rs", &ctx, &lexed);
-        apply("crates/ml/src/x.rs", &lexed.comments, diags)
+        apply("crates/ml/src/x.rs", &lexed.comments, diags, true)
+    }
+
+    #[test]
+    fn unused_check_is_skippable_for_rule_filters() {
+        let src = "// lint:allow(seeded-rng-only) -- rule outside the filter\nfn h() {}\n";
+        let lexed = lex(src);
+        let (kept, n) = apply("crates/ml/src/x.rs", &lexed.comments, Vec::new(), false);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Doc-sync: the README's "Static analysis" rule table must list exactly
+//! the rules the linter enforces, so `--list-rules`, the docs and the
+//! engine never drift apart.
+
+use nevermind_lint::RULES;
+use std::collections::BTreeSet;
+
+#[test]
+fn readme_rule_table_matches_the_rules_table() {
+    let path = format!("{}/../../README.md", env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+
+    // Only the "Static analysis" section holds the rule table; other
+    // sections use the same | `code` | row shape for different content.
+    let start = readme.find("## Static analysis").expect("README has a Static analysis section");
+    let section = &readme[start..];
+    let section = match section[3..].find("\n## ") {
+        Some(end) => &section[..end + 3],
+        None => section,
+    };
+
+    // Rows of the rule table look like: | `rule-id` | invariant ... |
+    let documented: BTreeSet<&str> = section
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("| `")?;
+            let (id, _) = rest.split_once('`')?;
+            Some(id)
+        })
+        .collect();
+
+    let enforced: BTreeSet<&str> = RULES.iter().map(|r| r.id).collect();
+    let missing: Vec<&&str> = enforced.difference(&documented).collect();
+    let stale: Vec<&&str> = documented.difference(&enforced).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "README rule table out of sync: missing {missing:?}, stale {stale:?}"
+    );
+    assert_eq!(documented.len(), RULES.len(), "one row per rule");
+}

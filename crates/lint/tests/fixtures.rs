@@ -19,7 +19,7 @@ fn lint_as(fixture: &str, rel_path: &str) -> Vec<Diagnostic> {
     let ctx = classify(rel_path).unwrap_or_else(|| panic!("{rel_path} must classify"));
     let lexed = lex(&src);
     let raw = check_file(rel_path, &ctx, &lexed);
-    let (kept, _) = suppress::apply(rel_path, &lexed.comments, raw);
+    let (kept, _) = suppress::apply(rel_path, &lexed.comments, raw, true);
     kept
 }
 

@@ -1,0 +1,33 @@
+//! Clean lock usage: every path acquires `alpha` before `beta`, and the
+//! sweep drops its first guard before taking the next — no cycle.
+
+struct Registry {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    fn forward(&self) {
+        let a = lock_recovering(&self.alpha);
+        let b = lock_recovering(&self.beta);
+        b.len();
+        a.len();
+    }
+
+    fn also_forward(&self) {
+        let a = lock_recovering(&self.alpha);
+        self.touch_beta();
+        a.len();
+    }
+
+    fn sequential(&self) {
+        let b = lock_recovering(&self.beta);
+        drop(b);
+        let a = lock_recovering(&self.alpha);
+        a.len();
+    }
+
+    fn touch_beta(&self) {
+        lock_recovering(&self.beta).clear();
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded `lock-order` violation: two paths acquire the same pair of
+//! locks in opposite orders, one of them through a call-graph edge.
+
+struct Registry {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    fn forward(&self) {
+        let a = lock_recovering(&self.alpha);
+        let b = lock_recovering(&self.beta);
+        b.len();
+        a.len();
+    }
+
+    fn backward(&self) {
+        let b = lock_recovering(&self.beta);
+        self.touch_alpha();
+        b.len();
+    }
+
+    fn touch_alpha(&self) {
+        lock_recovering(&self.alpha).clear();
+    }
+}

@@ -1,0 +1,16 @@
+//! Clean hash-iteration flows: a sort before the sink, and an ordered
+//! container that never taints.
+
+fn export_sorted(counts: &HashMap<String, u64>, buf: &TraceBuffer) {
+    let mut lines: Vec<String> = counts.iter().map(|(k, v)| format!("{k} {v}")).collect();
+    lines.sort();
+    for line in &lines {
+        buf.emit(TraceEvent::new("score").attr("name", line.clone()));
+    }
+}
+
+fn export_ordered(counts: &BTreeMap<String, u64>, buf: &TraceBuffer) {
+    for (k, v) in counts.iter() {
+        buf.emit(TraceEvent::new("score").attr("name", k.clone()).attr("count", *v));
+    }
+}

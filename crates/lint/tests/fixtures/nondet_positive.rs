@@ -1,0 +1,9 @@
+//! Seeded `nondeterminism-dataflow` violation: HashMap iteration output
+//! reaches a trace sink without an intervening sort.
+
+fn export(counts: &HashMap<String, u64>, buf: &TraceBuffer) {
+    let lines: Vec<String> = counts.iter().map(|(k, v)| format!("{k} {v}")).collect();
+    for line in &lines {
+        buf.emit(TraceEvent::new("score").attr("name", line.clone()));
+    }
+}

@@ -1,0 +1,10 @@
+//! Vocabulary producer for the `schema-drift` fixtures: one schema
+//! string, one trace kind, one metric name. The tests pair this file
+//! with `schema_doc_good.md` (in sync) and `schema_doc_drifted.md`
+//! (missing the metric, promising a schema the code dropped).
+
+fn describe(reg: &Registry, buf: &TraceBuffer) -> &'static str {
+    reg.counter("fixture/widgets").add(1);
+    buf.emit(TraceEvent::new("fixture_kind").attr("schema", "nevermind-fixture/v3"));
+    "nevermind-fixture/v3"
+}

@@ -1,0 +1,29 @@
+//! Pass-level suppression hygiene: the first export acknowledges its
+//! under-lock serialization with a reasoned allow; the second tries the
+//! same without a reason, which is itself a diagnostic.
+
+struct Buffer {
+    ring: Mutex<Vec<Event>>,
+}
+
+impl Buffer {
+    fn export_acknowledged(&self) -> String {
+        let ring = lock_recovering(&self.ring);
+        let mut out = String::new();
+        for event in ring.iter() {
+            // lint:allow(no-side-effects-under-lock) -- fixture: ring is bounded to 4 entries
+            event.push_json_line(&mut out);
+        }
+        out
+    }
+
+    fn export_reasonless(&self) -> String {
+        let ring = lock_recovering(&self.ring);
+        let mut out = String::new();
+        for event in ring.iter() {
+            // lint:allow(no-side-effects-under-lock)
+            event.push_json_line(&mut out);
+        }
+        out
+    }
+}

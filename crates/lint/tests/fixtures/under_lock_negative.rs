@@ -1,0 +1,20 @@
+//! Clean export shape: copy the data out inside a nested block so the
+//! guard drops, then serialize off-lock.
+
+struct Buffer {
+    ring: Mutex<Vec<Event>>,
+}
+
+impl Buffer {
+    fn export(&self) -> String {
+        let tail = {
+            let ring = lock_recovering(&self.ring);
+            ring.iter().cloned().collect::<Vec<Event>>()
+        };
+        let mut out = String::new();
+        for event in &tail {
+            event.push_json_line(&mut out);
+        }
+        out
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded `no-side-effects-under-lock` violations (meaningful only when
+//! linted as `nevermind-obs` source): serialization and socket I/O while
+//! a guard is live.
+
+struct Buffer {
+    ring: Mutex<Vec<Event>>,
+}
+
+impl Buffer {
+    fn export(&self) -> String {
+        let ring = lock_recovering(&self.ring);
+        let mut out = String::new();
+        for event in ring.iter() {
+            event.push_json_line(&mut out);
+        }
+        out
+    }
+
+    fn stream(&self, sock: &mut TcpStream) {
+        let ring = lock_recovering(&self.ring);
+        sock.write_all(b"hello").ok();
+        ring.len();
+    }
+}

@@ -1,0 +1,131 @@
+//! Fixture self-tests for the semantic passes: each pass must catch its
+//! seeded violation (positive fixture) and stay silent on the clean
+//! counterpart (negative fixture), through the same frontend the engine
+//! uses — including pass-level `lint:allow` suppression hygiene.
+
+use nevermind_lint::context::classify;
+use nevermind_lint::flow::analyze_flow;
+use nevermind_lint::lexer::lex;
+use nevermind_lint::parser::parse;
+use nevermind_lint::schema::analyze_schema;
+use nevermind_lint::semantic::{analyze_locks, CrateModel, FileUnit};
+use nevermind_lint::suppress;
+use nevermind_lint::Diagnostic;
+
+fn fixture_text(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lexes and parses a fixture as if it lived at `rel_path`.
+fn unit(fixture: &str, rel_path: &str) -> FileUnit {
+    let src = fixture_text(fixture);
+    let ctx = classify(rel_path).unwrap_or_else(|| panic!("{rel_path} must classify"));
+    let lexed = lex(&src);
+    let parsed = parse(&lexed.tokens);
+    FileUnit { rel: rel_path.to_string(), ctx, lexed, parsed }
+}
+
+fn lock_diags(fixture: &str, rel_path: &str, krate: &str) -> Vec<Diagnostic> {
+    let u = unit(fixture, rel_path);
+    let model = CrateModel::build(krate, vec![&u]);
+    analyze_locks(&model).diagnostics
+}
+
+#[test]
+fn lock_cycle_positive_flags_the_two_lock_cycle() {
+    let diags = lock_diags("lock_cycle_positive.rs", "crates/obs/src/fixture.rs", "obs");
+    let cycles: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+    assert!(!cycles.is_empty(), "{diags:?}");
+    assert!(
+        cycles.iter().any(|d| d.message.contains("alpha") && d.message.contains("beta")),
+        "cycle names both locks: {cycles:?}"
+    );
+}
+
+#[test]
+fn lock_cycle_negative_is_clean() {
+    let diags = lock_diags("lock_cycle_negative.rs", "crates/obs/src/fixture.rs", "obs");
+    assert!(diags.iter().all(|d| d.rule != "lock-order"), "{diags:?}");
+}
+
+#[test]
+fn under_lock_positive_flags_serialization_and_socket_io() {
+    let diags = lock_diags("under_lock_positive.rs", "crates/obs/src/fixture.rs", "obs");
+    let fired: Vec<&Diagnostic> =
+        diags.iter().filter(|d| d.rule == "no-side-effects-under-lock").collect();
+    assert_eq!(fired.len(), 2, "push_json_line and write_all: {diags:?}");
+}
+
+#[test]
+fn under_lock_rule_is_scoped_to_obs() {
+    let diags = lock_diags("under_lock_positive.rs", "crates/cli/src/fixture.rs", "cli");
+    assert!(diags.iter().all(|d| d.rule != "no-side-effects-under-lock"), "{diags:?}");
+}
+
+#[test]
+fn under_lock_negative_copy_out_shape_is_clean() {
+    let diags = lock_diags("under_lock_negative.rs", "crates/obs/src/fixture.rs", "obs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn nondet_positive_flags_unsorted_hash_iteration_export() {
+    let u = unit("nondet_positive.rs", "crates/obs/src/fixture.rs");
+    let model = CrateModel::build("obs", vec![&u]);
+    let diags = analyze_flow(&model);
+    assert!(diags.iter().any(|d| d.rule == "nondeterminism-dataflow"), "{diags:?}");
+}
+
+#[test]
+fn nondet_negative_sorted_and_ordered_flows_are_clean() {
+    let u = unit("nondet_negative.rs", "crates/obs/src/fixture.rs");
+    let model = CrateModel::build("obs", vec![&u]);
+    let diags = analyze_flow(&model);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn schema_fixture_is_clean_against_the_good_doc() {
+    let u = unit("schema_vocab.rs", "crates/obs/src/fixture.rs");
+    let docs = vec![("DESIGN.md".to_string(), fixture_text("schema_doc_good.md"))];
+    let diags = analyze_schema(&[&u], &docs);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn schema_fixture_fails_on_the_drifted_doc_in_both_directions() {
+    let u = unit("schema_vocab.rs", "crates/obs/src/fixture.rs");
+    let docs = vec![("DESIGN.md".to_string(), fixture_text("schema_doc_drifted.md"))];
+    let diags = analyze_schema(&[&u], &docs);
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(diags.iter().all(|d| d.rule == "schema-drift"), "{diags:?}");
+    // Code → docs: the metric the registry omits.
+    assert!(msgs.iter().any(|m| m.contains("'fixture/widgets'")), "{msgs:?}");
+    // Docs → code: the trace kind the code never emits.
+    assert!(msgs.iter().any(|m| m.contains("'retired_kind'")), "{msgs:?}");
+    // Prose: the retired schema version still promised in the text.
+    assert!(msgs.iter().any(|m| m.contains("'nevermind-fixture/v2'")), "{msgs:?}");
+}
+
+#[test]
+fn semantic_diagnostics_honor_reasoned_allows_and_flag_reasonless_ones() {
+    let u = unit("semantic_suppressed.rs", "crates/obs/src/fixture.rs");
+    let model = CrateModel::build("obs", vec![&u]);
+    let raw = analyze_locks(&model).diagnostics;
+    assert_eq!(
+        raw.iter().filter(|d| d.rule == "no-side-effects-under-lock").count(),
+        2,
+        "both exports violate before suppression: {raw:?}"
+    );
+    let (kept, suppressed) = suppress::apply(&u.rel, &u.lexed.comments, raw, true);
+    assert_eq!(suppressed, 2, "both allows suppress their line: {kept:?}");
+    assert!(
+        kept.iter().any(|d| d.rule == "suppression-missing-reason"),
+        "the reasonless allow is itself flagged: {kept:?}"
+    );
+    assert!(
+        kept.iter().all(|d| d.rule != "no-side-effects-under-lock"),
+        "no violation survives unsuppressed: {kept:?}"
+    );
+}

@@ -335,18 +335,24 @@ impl TraceBuffer {
     /// count as dropped, so `dropped + events` stays the total emitted.
     /// This is the `GET /trace/tail?n=N` endpoint's backing export.
     pub fn tail_jsonl(&self, n: usize) -> String {
-        let ring = lock_recovering(&self.ring);
-        let take = ring.len().min(n);
-        let skip = ring.len() - take;
-        let mut out = String::with_capacity(96 + take * 96);
+        // Copy the tail out under the lock, serialize after the guard
+        // drops: JSON rendering is O(events) and would otherwise stall
+        // every recording thread for the whole export.
+        let (tail, skip) = {
+            let ring = lock_recovering(&self.ring);
+            let take = ring.len().min(n);
+            let skip = ring.len() - take;
+            (ring.iter().skip(skip).cloned().collect::<Vec<TraceEvent>>(), skip)
+        };
+        let mut out = String::with_capacity(96 + tail.len() * 96);
         out.push_str("{\"schema\":\"nevermind-trace/v1\",\"events\":");
-        out.push_str(&take.to_string());
+        out.push_str(&tail.len().to_string());
         out.push_str(",\"dropped\":");
         out.push_str(&(self.dropped() + skip as u64).to_string());
         out.push_str(",\"reservoir_per_week\":");
         out.push_str(&self.policy().reservoir_per_week.to_string());
         out.push_str("}\n");
-        for event in ring.iter().skip(skip) {
+        for event in &tail {
             event.push_json_line(&mut out);
         }
         out
@@ -486,6 +492,42 @@ mod tests {
         assert!(bodies[1].contains("\"seq\":4"));
         // A tail wider than the ring is the full export.
         assert_eq!(buf.tail_jsonl(100), buf.to_jsonl());
+    }
+
+    #[test]
+    fn off_lock_export_is_byte_identical_to_reference_rendering() {
+        // Regression: tail_jsonl used to serialize while holding the ring
+        // lock; it now copies the tail out first. The export must stay
+        // byte-for-byte what serializing under the lock produced,
+        // including ring eviction and the tail-widened dropped count.
+        let buf = TraceBuffer::new(4);
+        buf.set_enabled(true);
+        for i in 0..7u32 {
+            buf.emit(
+                TraceEvent::new("score").line(i).day(100 + i).attr("margin", f64::from(i) / 4.0),
+            );
+        }
+        // Capacity 4, 7 emits: seqs 3..=7 minus evictions → ring holds 3..7.
+        let full = buf.to_jsonl();
+        let mut reference = String::from(
+            "{\"schema\":\"nevermind-trace/v1\",\"events\":4,\"dropped\":3,\
+             \"reservoir_per_week\":5}\n",
+        );
+        for event in buf.snapshot() {
+            event.push_json_line(&mut reference);
+        }
+        assert_eq!(full, reference);
+
+        // The 2-tail drops two more events into the header's count.
+        let tail = buf.tail_jsonl(2);
+        let mut tail_reference = String::from(
+            "{\"schema\":\"nevermind-trace/v1\",\"events\":2,\"dropped\":5,\
+             \"reservoir_per_week\":5}\n",
+        );
+        for event in buf.snapshot().into_iter().skip(2) {
+            event.push_json_line(&mut tail_reference);
+        }
+        assert_eq!(tail, tail_reference);
     }
 
     #[test]
