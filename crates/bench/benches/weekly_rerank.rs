@@ -36,10 +36,11 @@
 //! sanity-check the three overhead budgets the README promises:
 //! `incremental_instrumented` within ~2% of `incremental`,
 //! `incremental_profiled` (metrics plus the continuous span profiler
-//! sweeping at its default cadence) within 5%, and `incremental_traced`
-//! (metrics *and*
-//! decision-provenance tracing live) within 5%. Run on an otherwise idle
-//! machine.
+//! sweeping at its default cadence) within 5%, `incremental_traced`
+//! (metrics *and* decision-provenance tracing live) within 5%, and
+//! `incremental_history` (metrics plus the history ring folding a full
+//! registry snapshot on every ranked Saturday) within 5%. Run on an
+//! otherwise idle machine.
 
 use nevermind::pipeline::{ExperimentData, SplitSpec};
 use nevermind::predictor::{PredictorConfig, TicketPredictor};
@@ -159,6 +160,23 @@ fn incremental_traced(p: &Population, predictor: &TicketPredictor) -> usize {
     dispatched
 }
 
+/// The incremental path with the metrics-history ring live: after each
+/// ranked Saturday, `history::tick` folds a full registry snapshot into
+/// the day/week window rings — the snapshot cadence `--history on` adds
+/// to the operational loop (in the real trial the tick runs per simulated
+/// day; the weekly fold here is the one that lands on the scoring path).
+fn incremental_history(p: &Population, predictor: &TicketPredictor) -> usize {
+    let mut scorer = WeeklyScorer::new(predictor, &p.topology.lines);
+    let mut dispatched = 0;
+    for &day in &p.saturdays {
+        let (m_end, t_end) = frontier(&p.output, day);
+        scorer.observe(&p.output.measurements[..m_end], &p.output.tickets[..t_end]);
+        dispatched += scorer.top_lines(day, p.budget).len();
+        nevermind_obs::history::tick(u64::from(day));
+    }
+    dispatched
+}
+
 /// Milliseconds of one timed call.
 fn time_ms(f: &mut dyn FnMut() -> usize) -> f64 {
     let start = Instant::now();
@@ -270,6 +288,17 @@ fn main() {
             nevermind_obs::set_enabled(false);
             n
         };
+        // Metrics *and* the history ring live; the ring is reset each call
+        // so every sample folds the same window structure from scratch.
+        let mut history = || {
+            nevermind_obs::set_enabled(true);
+            nevermind_obs::history::global().reset();
+            nevermind_obs::history::set_enabled(true);
+            let n = incremental_history(&p, &predictor);
+            nevermind_obs::history::set_enabled(false);
+            nevermind_obs::set_enabled(false);
+            n
+        };
         // The rebuild baseline at 1M lines costs minutes per Saturday and
         // its asymptotics are already pinned by the 10k/100k rows — the
         // million-line row measures only the incremental engine.
@@ -281,6 +310,7 @@ fn main() {
         variants.push(("incremental_instrumented", &mut instrumented));
         variants.push(("incremental_profiled", &mut profiled));
         variants.push(("incremental_traced", &mut traced));
+        variants.push(("incremental_history", &mut history));
         run_paired(n_lines, samples, &mut variants);
     }
 }

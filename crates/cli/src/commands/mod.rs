@@ -66,7 +66,7 @@ impl ObsPlane {
                 let server = nevermind_obs::ObsServer::start(addr)?;
                 eprintln!(
                     "obs: live observability plane on http://{} \
-                     (/metrics /health /trace/tail /explain /profile)",
+                     (/metrics /health /history /alerts /trace/tail /explain /profile)",
                     server.local_addr()
                 );
                 Some(server)
@@ -104,6 +104,58 @@ impl ObsPlane {
     }
 }
 
+/// Brings up the deterministic metrics-history layer behind `--history
+/// on|off` and `--rules PATH` (long-running subcommands: `trial`,
+/// `simulate`).
+///
+/// `--rules PATH` parses a zero-dependency rule file (recording rules,
+/// `for`-duration alert rules, SLO error-budget objectives — see the
+/// README's "Metrics history & alerting" section for the grammar) and
+/// installs it as the global rule engine, which implies `--history on`.
+/// The history ring snapshots the registry on *simulated* day ticks, so
+/// everything it retains — and every alert transition the engine takes —
+/// is byte-reproducible across reruns and shard counts, and outcomes are
+/// byte-identical with the layer on or off.
+pub(crate) fn setup_history(args: &crate::args::Args) -> CliResult {
+    let rules = match args.get("rules") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read rules '{path}': {e}"))?;
+            let rules = nevermind_obs::rules::parse_rules(&text)
+                .map_err(|e| format!("cannot parse rules '{path}': {e}"))?;
+            Some((path.to_string(), rules))
+        }
+    };
+    let history_on = match args.get("history") {
+        None => rules.is_some(),
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(format!("--history takes 'on' or 'off', not '{other}'").into());
+        }
+    };
+    if let Some((path, rules)) = rules {
+        if !history_on {
+            return Err(
+                format!("--rules '{path}' needs the history layer; drop '--history off'").into()
+            );
+        }
+        eprintln!(
+            "obs: installed rules from {path} ({} recording, {} alert, {} slo)",
+            rules.records.len(),
+            rules.alerts.len(),
+            rules.slos.len()
+        );
+        nevermind_obs::rules::install(rules);
+    }
+    nevermind_obs::history::set_enabled(history_on);
+    if history_on {
+        eprintln!("obs: metrics history ring enabled (day + week resolutions, sim-time ticks)");
+    }
+    Ok(())
+}
+
 /// `nevermind scenarios` — list the named presets.
 pub(crate) fn scenarios(args: &crate::args::Args) -> CliResult {
     args.reject_unknown(&["metrics", "trace", "trace-sample"])?;
@@ -118,7 +170,11 @@ pub(crate) fn scenarios(args: &crate::args::Args) -> CliResult {
 /// Dumps the global metrics registry as one JSON document at `path`
 /// (the `--metrics` flag every subcommand accepts).
 pub(crate) fn write_metrics(path: &str) -> CliResult {
-    std::fs::write(path, nevermind_obs::global().to_json())
+    // History-aware export: when the history layer ran, the dump grows a
+    // `nevermind-history/v1` section (windowed aggregates + alert states);
+    // when it didn't, the document is byte-identical to the plain form.
+    let snap = nevermind_obs::global().snapshot();
+    std::fs::write(path, nevermind_obs::json::snapshot_to_json_with_history(&snap))
         .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
     eprintln!("wrote metrics to {path}");
     Ok(())

@@ -1,7 +1,9 @@
 //! `nevermind report` — render a `--metrics` JSON dump as a terminal
 //! report: top spans by total time, per-week series as sparkline tables,
-//! and the model-health drift/calibration table with threshold breaches
-//! called out.
+//! the model-health drift/calibration table with threshold breaches
+//! called out, and — for dumps written with `--history` — the
+//! `nevermind-history/v1` section as week-window sparklines plus the
+//! alert scoreboard and transition timeline.
 //!
 //! Reads any `nevermind-metrics/v1` document, including pre-telemetry dumps
 //! (the sections it cannot find are reported as absent, not errors).
@@ -61,6 +63,7 @@ pub(crate) fn run(args: &Args, path: Option<&str>) -> CliResult {
     render_spans(doc);
     render_series(doc);
     render_telemetry(doc);
+    render_history(doc);
     Ok(())
 }
 
@@ -275,6 +278,109 @@ fn render_telemetry(doc: &serde_json::Map) {
             fmt_val(max),
             fmt_val(mean)
         );
+    }
+}
+
+/// Renders the optional `nevermind-history/v1` section of a metrics dump:
+/// week-window sparklines per retained series, then — when a rule engine
+/// ran — the alert/SLO scoreboard and the transition timeline recorded in
+/// the engine's notification log. Dumps written without `--history` have
+/// no section and print nothing here.
+fn render_history(doc: &serde_json::Map) {
+    let Some(hist) = doc.get("history").and_then(Value::as_object) else { return };
+    let schema = hist.get("schema").and_then(Value::as_str).unwrap_or("<missing>");
+    if schema != "nevermind-history/v1" {
+        println!("\n(history section has unsupported schema '{schema}'; skipping)");
+        return;
+    }
+    let ticks = hist.get("ticks").and_then(Value::as_u64).unwrap_or(0);
+    println!("\nmetrics history ({ticks} sim-day ticks, week windows)");
+    let mut printed_series = false;
+    if let Some(series) = hist.get("series").and_then(Value::as_object) {
+        for (name, rings) in series.iter() {
+            let Some(weeks) =
+                rings.as_object().and_then(|r| r.get("week")).and_then(Value::as_array)
+            else {
+                continue;
+            };
+            // A window is [start_day, min, max, sum, count, last]; the
+            // sparkline plots the per-window mean.
+            let ys: Vec<f64> = weeks
+                .iter()
+                .filter_map(|w| {
+                    let w = w.as_array()?;
+                    let sum = w.get(3)?.as_f64()?;
+                    let count = w.get(4)?.as_f64()?;
+                    Some(if count > 0.0 { sum / count } else { f64::NAN })
+                })
+                .collect();
+            if ys.is_empty() {
+                continue;
+            }
+            printed_series = true;
+            let (min, max) = min_max(&ys);
+            println!(
+                "  {name}: {} windows, min {}, max {}, last {}",
+                ys.len(),
+                fmt_val(min),
+                fmt_val(max),
+                fmt_val(ys[ys.len() - 1]),
+            );
+            println!("    {}", sparkline(&ys, SPARK_WIDTH));
+        }
+    }
+    if !printed_series {
+        println!("  (no series retained)");
+    }
+
+    let Some(alerting) = hist.get("alerting").and_then(Value::as_object) else { return };
+    let firing = alerting.get("firing").and_then(Value::as_u64).unwrap_or(0);
+    let evals = alerting.get("evaluations").and_then(Value::as_u64).unwrap_or(0);
+    println!("\nalerting — {evals} evaluations, {firing} firing");
+    if let Some(alerts) = alerting.get("alerts").and_then(Value::as_array) {
+        for a in alerts {
+            let Some(a) = a.as_object() else { continue };
+            let name = a.get("name").and_then(Value::as_str).unwrap_or("?");
+            let state = a.get("state").and_then(Value::as_str).unwrap_or("?");
+            let severity = a.get("severity").and_then(Value::as_str).unwrap_or("?");
+            let value = a.get("value").and_then(Value::as_f64).unwrap_or(f64::NAN);
+            let threshold = a.get("threshold").and_then(Value::as_f64).unwrap_or(f64::NAN);
+            println!(
+                "  alert {name} [{severity}]: {}  (value {}, threshold {})",
+                if state == "firing" { "FIRING" } else { state },
+                fmt_val(value),
+                fmt_val(threshold)
+            );
+        }
+    }
+    if let Some(slos) = alerting.get("slos").and_then(Value::as_array) {
+        for s in slos {
+            let Some(s) = s.as_object() else { continue };
+            let name = s.get("name").and_then(Value::as_str).unwrap_or("?");
+            let status = s.get("status").and_then(Value::as_str).unwrap_or("?");
+            let burn = s.get("burn").and_then(Value::as_f64).unwrap_or(f64::NAN);
+            let objective = s.get("objective").and_then(Value::as_f64).unwrap_or(f64::NAN);
+            println!(
+                "  slo {name}: {status}  (burn {}, objective {})",
+                fmt_val(burn),
+                fmt_val(objective)
+            );
+        }
+    }
+    let Some(notes) = alerting.get("notifications").and_then(Value::as_array) else { return };
+    if notes.is_empty() {
+        println!("  timeline: (no transitions recorded)");
+        return;
+    }
+    println!("  timeline:");
+    for n in notes {
+        let Some(n) = n.as_object() else { continue };
+        let day = n.get("day").and_then(Value::as_u64).unwrap_or(0);
+        let Some(f) = n.get("fields").and_then(Value::as_object) else { continue };
+        let rule = f.get("rule").and_then(Value::as_str).unwrap_or("?");
+        let from = f.get("from").and_then(Value::as_str).unwrap_or("?");
+        let to = f.get("to").and_then(Value::as_str).unwrap_or("?");
+        println!("    day {day:>4}  {rule}: {from} -> {to}");
     }
 }
 

@@ -20,10 +20,13 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "trace-sample",
         "obs-listen",
         "profile",
+        "rules",
+        "history",
     ])?;
     let out_dir = std::path::PathBuf::from(args.require("out")?);
     let cfg = sim_config_from(args)?;
     let shards: usize = args.get_parsed_or("shards", 1usize)?;
+    super::setup_history(args)?;
     let plane = ObsPlane::start(args)?;
 
     eprintln!(

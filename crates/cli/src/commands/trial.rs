@@ -33,6 +33,8 @@ pub(crate) fn run(args: &Args) -> CliResult {
         "resume-from",
         "obs-listen",
         "profile",
+        "rules",
+        "history",
     ])?;
     let cfg = sim_config_from(args)?;
     let mut warmup: u32 = args.get_parsed_or("warmup-weeks", 30u32)?;
@@ -105,7 +107,10 @@ pub(crate) fn run(args: &Args) -> CliResult {
 
     // The live observability plane (`--obs-listen` / `--profile`) comes up
     // before the run and is torn down after the outcome prints, so a
-    // scraper can watch the whole trial.
+    // scraper can watch the whole trial. The metrics-history layer
+    // (`--history` / `--rules`) likewise starts first so the earliest
+    // simulated day already lands in the ring.
+    super::setup_history(args)?;
     let plane = ObsPlane::start(args)?;
 
     eprintln!(

@@ -126,6 +126,7 @@ USAGE:
   nevermind trial    [--scenario NAME] [--lines N] [--days D] [--seed S] [--warmup-weeks W]
                      [--shards N] [--train-scenario NAME] [--psi-warn F] [--psi-alert F]
                      [--ece-warn F] [--ece-alert F] [--obs-listen ADDR] [--profile PATH]
+                     [--history on|off] [--rules PATH]
   nevermind explain  --trace FILE --line ID
   nevermind report   METRICS_JSON_OR_TRACE_JSONL | --profile COLLAPSED_STACKS
   nevermind lint     [--root PATH] [--format text|json] [--out FILE] [--rules a,b]
@@ -153,11 +154,18 @@ drift and hash-iteration nondeterminism ('--rules a,b' runs a subset,
 '// lint:allow(<rule>) -- <reason>').
 '--obs-listen ADDR' (simulate, trial) serves the live observability
 plane over HTTP while the run is in flight: /metrics (JSON, or
-?format=prom for Prometheus), /health, /trace/tail?n=N,
-/explain?line=ID and /profile — bind 127.0.0.1:0 for an ephemeral port
-(printed on stderr). '--profile PATH' samples every thread's open span
-stack continuously and writes a flamegraph-compatible collapsed-stack
-dump on exit; 'nevermind report --profile PATH' renders it. Neither
-flag changes outcomes: runs are byte-identical with the plane on or off.
+?format=prom for Prometheus), /health, /history?series=NAME&r=day|week,
+/alerts, /trace/tail?n=N, /explain?line=ID and /profile — bind
+127.0.0.1:0 for an ephemeral port (printed on stderr). '--profile PATH'
+samples every thread's open span stack continuously and writes a
+flamegraph-compatible collapsed-stack dump on exit. '--history on'
+(simulate, trial) retains windowed metric aggregates in a fixed-capacity
+ring clocked on simulated days; '--rules PATH' loads recording rules,
+for-duration alert rules and SLO burn-rate objectives evaluated on that
+history (implies --history on; firing alerts flip /health to 503), and
+the '--metrics' dump grows a nevermind-history/v1 section that
+'nevermind report' renders as sparklines plus an alert timeline. None of
+these flags change outcomes: runs are byte-identical with the plane,
+history and rules on or off.
 
 Run 'nevermind scenarios' to list the named scenarios.";

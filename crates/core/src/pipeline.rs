@@ -301,11 +301,16 @@ pub fn run_proactive_trial_with(
         let _s = nevermind_obs::span!("baseline_world");
         let tracing = nevermind_obs::trace::enabled();
         nevermind_obs::trace::set_enabled(false);
+        // Likewise the metrics-history ring: the twin's days would otherwise
+        // interleave with (and displace) the live world's windows.
+        let history = nevermind_obs::history::enabled();
+        nevermind_obs::history::set_enabled(false);
         let mut baseline_world = World::generate(sim_config.clone()).with_shards(shards);
         while baseline_world.day() < end_day {
             baseline_world.step_day();
         }
         let out = baseline_world.into_output();
+        nevermind_obs::history::set_enabled(history);
         nevermind_obs::trace::set_enabled(tracing);
         out
     };
@@ -339,10 +344,13 @@ pub fn run_proactive_trial_with(
             // part of the live policy's story, so they are not traced.
             let tracing = nevermind_obs::trace::enabled();
             nevermind_obs::trace::set_enabled(false);
+            let history = nevermind_obs::history::enabled();
+            nevermind_obs::history::set_enabled(false);
             let mut train_world = World::generate(train_cfg.clone()).with_shards(shards);
             while train_world.day() < policy_start_day {
                 train_world.step_day();
             }
+            nevermind_obs::history::set_enabled(history);
             nevermind_obs::trace::set_enabled(tracing);
             ExperimentData {
                 config: train_cfg,

@@ -959,6 +959,11 @@ impl World {
         drop(shards);
         self.merge_day(day, bufs);
         self.day += 1;
+        // History snapshots are clocked on *simulated* days — the only time
+        // source the model is allowed to observe — so the ring store and any
+        // rule evaluations it triggers are byte-reproducible across reruns
+        // and shard counts.
+        nevermind_obs::history::tick(u64::from(day));
     }
 
     /// Folds the per-shard day buffers into the global logs and state, in
@@ -984,6 +989,14 @@ impl World {
             }
         }
         for buf in &mut bufs {
+            if nevermind_obs::enabled() {
+                for note in buf.visit_notes.iter().filter(|n| n.proactive) {
+                    nevermind_obs::counter_add!("sim/proactive_visits", 1);
+                    if note.disposition.is_some() {
+                        nevermind_obs::counter_add!("sim/proactive_hits", 1);
+                    }
+                }
+            }
             self.out.notes.append(&mut buf.visit_notes);
         }
         for (buf, &base) in bufs.iter_mut().zip(&bases) {

@@ -11,7 +11,9 @@
 //! |---------------------------|---------------------------------------------|
 //! | `GET /metrics`            | `nevermind-metrics/v1` JSON                 |
 //! | `GET /metrics?format=prom`| Prometheus text exposition (v0.0.4)         |
-//! | `GET /health`             | telemetry status JSON; `alert` ⇒ HTTP 503   |
+//! | `GET /health`             | telemetry + alert status; alerting ⇒ 503    |
+//! | `GET /history?series=NAME&r=RES` | windowed series, `nevermind-history/v1` |
+//! | `GET /alerts`             | alert/SLO states + notifications            |
 //! | `GET /trace/tail?n=N`     | newest N ring events, `nevermind-trace/v1`  |
 //! | `GET /explain?line=ID`    | one line's causal chain, rendered as text   |
 //! | `GET /profile`            | collapsed-stack profiler dump (`a;b;c N`)   |
@@ -44,6 +46,10 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
 /// Default event count for `/trace/tail` when `n` is absent.
 const DEFAULT_TAIL: usize = 100;
+/// Largest `/trace/tail?n=` a client may ask for; the ring itself is
+/// orders of magnitude smaller, so anything past this is a typo or a
+/// probe, and gets a typed 400 instead of a silently clamped export.
+const MAX_TAIL: usize = 1_000_000;
 
 /// A running observability endpoint bound to one local address.
 ///
@@ -220,7 +226,9 @@ fn route(target: &str) -> Response {
              endpoints:\n\
              GET /metrics             nevermind-metrics/v1 JSON\n\
              GET /metrics?format=prom Prometheus text exposition\n\
-             GET /health              telemetry status (alert => 503)\n\
+             GET /health              telemetry + alert status (alerting => 503)\n\
+             GET /history?series=NAME&r=day|week  windowed history (nevermind-history/v1)\n\
+             GET /alerts              alert/SLO states + notification log\n\
              GET /trace/tail?n=N      newest N trace events (JSONL)\n\
              GET /explain?line=ID     one line's causal chain (text)\n\
              GET /profile             collapsed-stack profiler dump\n",
@@ -234,13 +242,30 @@ fn route(target: &str) -> Response {
             Some(other) => {
                 Response::text(400, &format!("unknown metrics format '{other}' (try prom)\n"))
             }
-            None => Response::json(200, crate::global().to_json()),
+            None => Response::json(
+                200,
+                crate::json::snapshot_to_json_with_history(&crate::global().snapshot()),
+            ),
         },
         "/health" => respond_health(),
+        "/history" => respond_history(query),
+        "/alerts" => Response::json(200, crate::rules::alerts_json()),
         "/trace/tail" => {
             let n = match query_param(query, "n") {
                 None => DEFAULT_TAIL,
                 Some(raw) => match raw.parse::<usize>() {
+                    Ok(0) => {
+                        return Response::text(
+                            400,
+                            "n must be at least 1 (an empty tail has no header to validate)\n",
+                        )
+                    }
+                    Ok(n) if n > MAX_TAIL => {
+                        return Response::text(
+                            400,
+                            &format!("n must be at most {MAX_TAIL} (got {n})\n"),
+                        )
+                    }
                     Ok(n) => n,
                     Err(_) => {
                         return Response::text(
@@ -262,9 +287,42 @@ fn route(target: &str) -> Response {
     }
 }
 
+/// `GET /history?series=NAME&r=day|week`: one series' retained windows
+/// from the global history store; without `series=`, the index of
+/// captured series names. Unknown resolutions are a typed 400, an
+/// uncaptured series a 404.
+fn respond_history(query: &str) -> Response {
+    let resolution = match query_param(query, "r") {
+        None => crate::history::Resolution::Week,
+        Some(raw) => match crate::history::Resolution::parse(raw) {
+            Some(r) => r,
+            None => {
+                return Response::text(
+                    400,
+                    &format!("unknown resolution '{raw}' (try r=day or r=week)\n"),
+                )
+            }
+        },
+    };
+    match query_param(query, "series") {
+        None => Response::json(200, crate::history::global().index_json()),
+        Some(name) => match crate::history::global().series_json(name, resolution) {
+            Some(body) => Response::json(200, body),
+            None => Response::text(
+                404,
+                &format!(
+                    "series '{name}' was never captured (GET /history lists the {} known)\n",
+                    crate::history::global().names().len()
+                ),
+            ),
+        },
+    }
+}
+
 /// `GET /health`: the derived telemetry status as JSON, mapped to
-/// HTTP 200 (healthy / warning / none) or 503 (alert) so a load balancer
-/// or alertmanager can act on the status code alone.
+/// HTTP 200 (healthy / warning / none) or 503 (alert, or any rule-engine
+/// alert firing) so a load balancer or alertmanager can act on the
+/// status code alone.
 fn respond_health() -> Response {
     let snap = crate::global().snapshot();
     let status = match snap.gauges.get(crate::json::TELEMETRY_STATUS_GAUGE) {
@@ -273,6 +331,7 @@ fn respond_health() -> Response {
     };
     let weeks = snap.counters.get(crate::json::TELEMETRY_WEEKS_COUNTER).copied().unwrap_or(0);
     let breaches = snap.counters.get(crate::json::TELEMETRY_BREACHES_COUNTER).copied().unwrap_or(0);
+    let alerts_firing = crate::rules::firing_count();
     let mut body = String::with_capacity(256);
     body.push_str("{\n  \"schema\": \"nevermind-health/v1\",\n  \"status\": \"");
     body.push_str(status);
@@ -280,6 +339,8 @@ fn respond_health() -> Response {
     body.push_str(&weeks.to_string());
     body.push_str(",\n  \"breaches\": ");
     body.push_str(&breaches.to_string());
+    body.push_str(",\n  \"alerts_firing\": ");
+    body.push_str(&alerts_firing.to_string());
     body.push_str(",\n  \"thresholds\": {");
     let thresholds: Vec<(&str, f64)> = snap
         .gauges
@@ -325,7 +386,7 @@ fn respond_health() -> Response {
         body.push_str(&crate::json::fmt_f64(w));
     }
     body.push_str("}\n}\n");
-    let code = if status == "alert" { 503 } else { 200 };
+    let code = if status == "alert" || alerts_firing > 0 { 503 } else { 200 };
     Response::json(code, body)
 }
 
@@ -486,6 +547,44 @@ mod tests {
         assert_eq!(route("/explain").code, 400);
         assert_eq!(route("/explain?line=abc").code, 400);
         assert_eq!(route("/").code, 200);
+    }
+
+    #[test]
+    fn query_param_edge_cases_get_typed_400s_not_empty_bodies() {
+        // Every rejection is a 400 with a human-readable reason — never
+        // an empty 200 the caller has to disambiguate.
+        for target in [
+            "/trace/tail?n=0",
+            "/trace/tail?n=184467440737095516",
+            "/trace/tail?n=-3",
+            "/trace/tail?n=",
+            "/metrics?format=",
+            "/metrics?format=yaml",
+            "/history?r=hour",
+            "/history?r=",
+            "/explain",
+            "/explain?line=",
+        ] {
+            let r = route(target);
+            assert_eq!(r.code, 400, "{target} should be a typed 400");
+            assert!(!r.body.trim().is_empty(), "{target} 400 carries a reason");
+        }
+        // The happy paths around those edges still answer.
+        assert_eq!(route("/trace/tail?n=1").code, 200);
+        assert_eq!(route("/trace/tail").code, 200);
+    }
+
+    #[test]
+    fn history_and_alerts_routes_serve_schema_tagged_payloads() {
+        let index = route("/history");
+        assert_eq!(index.code, 200);
+        assert!(index.body.contains("\"schema\":\"nevermind-history/v1\""), "{}", index.body);
+        assert_eq!(route("/history?series=never-captured-series-xyz").code, 404);
+        let alerts = route("/alerts");
+        assert_eq!(alerts.code, 200);
+        assert!(alerts.body.contains("nevermind-history/v1"), "{}", alerts.body);
+        assert!(route("/").body.contains("GET /alerts"), "index lists the new endpoints");
+        assert!(route("/").body.contains("GET /history"), "index lists the new endpoints");
     }
 
     #[test]

@@ -67,6 +67,26 @@ pub fn health_status_name(v: f64) -> &'static str {
 
 /// Serializes a snapshot as a pretty-printed (2-space) JSON document.
 pub fn snapshot_to_json(snap: &Snapshot) -> String {
+    render_snapshot(snap, None)
+}
+
+/// Like [`snapshot_to_json`], plus a `history` section
+/// (`nevermind-history/v1`: windowed series, alert states, SLO burn
+/// rates, notifications) when the global history layer is enabled. Dump
+/// paths (`--metrics`, the `/metrics` endpoint) call this so history
+/// rides along for free; with the layer off the output is byte-identical
+/// to [`snapshot_to_json`].
+pub fn snapshot_to_json_with_history(snap: &Snapshot) -> String {
+    let history = crate::history::enabled().then(|| {
+        let alerting = crate::rules::installed().map(|e| e.status_json("    "));
+        crate::history::global().section_json("  ", alerting.as_deref())
+    });
+    render_snapshot(snap, history.as_deref())
+}
+
+/// Shared renderer behind the two public serializers; `history` is a
+/// pre-rendered section object to splice in, if any.
+fn render_snapshot(snap: &Snapshot, history: Option<&str>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"schema\": \"nevermind-metrics/v1\",\n");
 
@@ -145,6 +165,12 @@ pub fn snapshot_to_json(snap: &Snapshot) -> String {
         ));
     }
     close_obj(&mut out, snap.distributions.is_empty());
+
+    if let Some(h) = history {
+        out.push_str("  \"history\": ");
+        out.push_str(h);
+        out.push_str(",\n");
+    }
 
     push_telemetry(&mut out, snap);
 
@@ -317,6 +343,18 @@ pub fn snapshot_to_prometheus(snap: &Snapshot) -> String {
     for (k, d) in &snap.distributions {
         let count: u64 = d.counts.iter().sum();
         sample(&mut out, "nevermind_distribution_count", &[("name", k)], &count.to_string());
+    }
+    // Its own family preamble: the exposition format requires every
+    // sample to follow a `# TYPE` for its metric name (a bare
+    // `nevermind_distribution_nan` sample under the `_count` family is
+    // exactly the kind of drift the conformance test pins).
+    family(
+        &mut out,
+        "nevermind_distribution_nan",
+        "counter",
+        "NaN observations per fixed-bin distribution.",
+    );
+    for (k, d) in &snap.distributions {
         sample(&mut out, "nevermind_distribution_nan", &[("name", k)], &d.nan.to_string());
     }
     out
@@ -546,6 +584,130 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn prometheus_conformance_audit() {
+        // Pins the text exposition format (v0.0.4) invariants end to end
+        // over one of every metric kind, including hostile names:
+        // * every sample follows a `# HELP`/`# TYPE` preamble for its
+        //   family (histogram samples under the base family name);
+        // * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* — free-form
+        //   registry names ride in labels, never in the metric name;
+        // * label values escape backslash, quote, and newline;
+        // * every value parses (NaN/+Inf/-Inf spelled out);
+        // * histogram buckets are cumulative and monotone, end at +Inf
+        //   with the total count, and carry `_sum`/`_count` pairs.
+        use std::collections::{BTreeMap, BTreeSet};
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter("weekly/lines_scored").add(42);
+        reg.counter("evil\"name\\with\nnewline").add(1);
+        reg.gauge("g").set(f64::NEG_INFINITY);
+        let h = reg.histogram("h");
+        for v in [0u64, 1, 5, 1u64 << 40, u64::MAX] {
+            h.record(v);
+        }
+        reg.record_span("a/b", 1234);
+        reg.series("s").push(1.0, 2.0);
+        reg.distribution("d", 0.0, 1.0, 4).record_all(&[0.2, f64::NAN, 7.0]);
+        let prom = snapshot_to_prometheus(&reg.snapshot());
+
+        let mut typed = BTreeSet::new();
+        let mut helped = BTreeSet::new();
+        let mut buckets: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        let mut sample_names = BTreeSet::new();
+        for line in prom.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().expect("family name").to_string();
+                let kind = it.next().expect("family kind");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "unknown family kind: {line}"
+                );
+                typed.insert(name);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(rest.split(' ').next().expect("family name").to_string());
+                continue;
+            }
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            let open = line.find('{').expect("every sample is labelled");
+            let name = &line[..open];
+            assert!(
+                name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "unsanitized metric name: {name}"
+            );
+            sample_names.insert(name.to_string());
+            let close = line.rfind('}').expect("labels close");
+            let labels = &line[open + 1..close];
+            assert!(
+                !labels.contains('\n') && !labels.contains("\"\""),
+                "label escaping broke: {line}"
+            );
+            let value = line[close + 1..].trim();
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "unparseable sample value: {line}"
+            );
+            if name == "nevermind_histogram_bucket" {
+                let le = labels
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .expect("bucket has le");
+                buckets
+                    .entry(labels.split("name=\"").nth(1).unwrap_or("").to_string())
+                    .or_default()
+                    .push((le.to_string(), value.parse().expect("bucket count")));
+            }
+        }
+        // Family preambles: every sample belongs to a declared family
+        // (histogram samples under the base family), and HELP/TYPE pair up.
+        assert_eq!(typed, helped, "HELP and TYPE lines pair up per family");
+        for name in &sample_names {
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| name.strip_suffix(suf).filter(|b| typed.contains(*b)))
+                .unwrap_or(name);
+            assert!(typed.contains(family), "sample {name} has no family preamble");
+        }
+        // Cumulative monotone buckets ending at +Inf with the count.
+        let h_buckets = buckets.iter().find(|(k, _)| k.starts_with("h\"")).expect("h buckets").1;
+        assert!(h_buckets.windows(2).all(|w| w[0].1 <= w[1].1), "not cumulative: {h_buckets:?}");
+        assert_eq!(h_buckets.last().expect("buckets").0, "+Inf");
+        assert_eq!(h_buckets.last().expect("buckets").1, 5);
+        assert!(prom.contains("nevermind_histogram_sum{name=\"h\"}"), "{prom}");
+        assert!(prom.contains("nevermind_histogram_count{name=\"h\"} 5"), "{prom}");
+        // The hostile counter name survives only via label escaping.
+        assert!(
+            prom.contains("nevermind_counter{name=\"evil\\\"name\\\\with\\nnewline\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("nevermind_gauge{name=\"g\"} -Inf"), "{prom}");
+        // The regression this audit was written for: NaN tallies get
+        // their own family, not a ride under nevermind_distribution_count.
+        assert!(prom.contains("# TYPE nevermind_distribution_nan counter"), "{prom}");
+        assert!(prom.contains("nevermind_distribution_nan{name=\"d\"} 1"), "{prom}");
+    }
+
+    #[test]
+    fn metrics_dump_grows_a_history_section_only_when_enabled() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter("c").add(2);
+        let snap = reg.snapshot();
+        // This test must not depend on (or perturb) the process-global
+        // history flag, so it only exercises the disabled path here; the
+        // enabled path is covered by tests/observability.rs against the
+        // real global store.
+        if !crate::history::enabled() {
+            assert_eq!(snapshot_to_json_with_history(&snap), snapshot_to_json(&snap));
+        }
+        assert!(!snapshot_to_json(&snap).contains("\"history\""));
     }
 
     #[test]

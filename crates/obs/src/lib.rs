@@ -39,17 +39,27 @@
 //! Both surfaces — plus a continuous span-stack [`profile`]r — are also
 //! servable *live* from inside a running process: [`http::ObsServer`] is
 //! a zero-dependency HTTP endpoint answering `/metrics` (JSON or
-//! Prometheus text), `/health`, `/trace/tail`, `/explain`, and
-//! `/profile` from point-in-time snapshots, without perturbing the run.
+//! Prometheus text), `/health`, `/history`, `/alerts`, `/trace/tail`,
+//! `/explain`, and `/profile` from point-in-time snapshots, without
+//! perturbing the run.
+//!
+//! Snapshots forget the past the moment they're read; the [`history`]
+//! module retains it — a downsampling ring store ticked on simulated
+//! days — and [`rules`] layers recording rules, `for`-duration alert
+//! rules, and SLO error-budget burn rates on top, all deterministic
+//! (never wall-clocked) so history exports and alert transitions are
+//! byte-reproducible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod history;
 pub mod http;
 pub mod json;
 pub mod profile;
 pub mod registry;
+pub mod rules;
 pub mod span;
 pub mod trace;
 

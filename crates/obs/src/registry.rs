@@ -161,6 +161,28 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`): the lower bound of the
+    /// log₂ bucket holding the `ceil(q·count)`-th sample, with the exact
+    /// max returned from the top occupied bucket. Used by the rule
+    /// engine's `hist_p99(...)` selector. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &(bound, c)) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                if i + 1 == self.buckets.len() {
+                    return self.max as f64;
+                }
+                return bound as f64;
+            }
+        }
+        self.max as f64
+    }
 }
 
 /// Aggregate timing of one span path.

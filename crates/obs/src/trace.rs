@@ -182,7 +182,7 @@ impl TraceEvent {
         self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
     }
 
-    fn push_json_line(&self, out: &mut String) {
+    pub(crate) fn push_json_line(&self, out: &mut String) {
         out.push_str("{\"seq\":");
         out.push_str(&self.seq.to_string());
         out.push_str(",\"kind\":");

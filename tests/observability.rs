@@ -10,7 +10,14 @@
 //!    one with metrics disabled (and to the batch [`TicketPredictor::rank`]
 //!    path).
 //!
-//! Both tests toggle the process-global registry, so they serialise on one
+//! 3. The metrics-history ring and the rule engine on top of it observe
+//!    without participating: a drift trial's outcomes and trace export are
+//!    byte-identical with history + alerting on or off, the retained
+//!    windows and alert transitions are byte-identical across reruns and
+//!    shard counts, and an injected drift scenario reproducibly walks an
+//!    alert pending → firing and flips the live `/health` endpoint to 503.
+//!
+//! The tests toggle the process-global registry, so they serialise on one
 //! mutex rather than trusting the harness to run them on separate processes.
 
 use nevermind::pipeline::{run_proactive_trial_with, ExperimentData, SplitSpec, TrialOptions};
@@ -18,6 +25,7 @@ use nevermind::predictor::{PredictorConfig, TicketPredictor};
 use nevermind::scoring::WeeklyScorer;
 use nevermind_dslsim::scenario::Scenario;
 use nevermind_dslsim::SimConfig;
+use proptest::prelude::*;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -321,4 +329,258 @@ fn live_plane_is_invisible_to_outcomes_and_traces() {
     assert_eq!(a.proactive_churn, b.proactive_churn);
     assert_eq!(a.reactive_churn, b.reactive_churn);
     assert_eq!(trace_off, trace_on, "trace exports must be byte-identical plane on/off");
+}
+
+/// Rules the drift test installs: a recording rule deriving dispatch
+/// precision, a `for`-duration alert on the sticky model-health gauge
+/// (0 healthy / 1 warning / 2 alert), and an SLO burn-rate objective.
+const DRIFT_RULES: &str = "\
+record dispatch/precision = counter(sim/proactive_hits) / counter(sim/proactive_visits)
+alert model/health_degraded if gauge(telemetry/health_status) >= 1 for 2 severity critical
+slo dispatch/precision_objective objective 0.3 good counter(sim/proactive_hits) total counter(sim/proactive_visits) window 8
+";
+
+/// The history/alerting guarantee: a drift-injected trial (trained on
+/// `baseline`, run on `overprovisioned` — the telemetry must escalate)
+/// computes byte-identical outcomes and traces with the history ring and
+/// rule engine on or off; the retained windows and alert transitions are
+/// byte-identical across reruns and shard counts; the drift drives the
+/// health alert pending → firing; and `/history`, `/alerts`, `/health`
+/// serve it all live, with `/health` answering 503 while the alert fires.
+#[test]
+fn history_and_alerting_fire_on_drift_without_touching_outcomes() {
+    let _guard = GLOBAL_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    const SEED: u64 = 0x5EED_CA11;
+    let run_drift_trial = |shards: usize| {
+        nevermind_obs::global().reset();
+        nevermind_obs::trace::global().reset();
+        let live = Scenario::parse("overprovisioned").expect("known").config(SEED, 800, 180);
+        let train = Scenario::parse("baseline").expect("known").config(SEED, 800, 180);
+        let predictor_cfg = PredictorConfig {
+            iterations: 40,
+            budget_fraction: 0.01,
+            selection_row_cap: 8_000,
+            ..PredictorConfig::default()
+        };
+        let options = TrialOptions { train_config: Some(train), shards, ..TrialOptions::default() };
+        run_proactive_trial_with(live, &predictor_cfg, 12, &options).expect("valid drift trial")
+    };
+    let install_fresh_rules = || {
+        let rules = nevermind_obs::rules::parse_rules(DRIFT_RULES).expect("rules parse");
+        nevermind_obs::rules::install(rules);
+        nevermind_obs::history::global().reset();
+        nevermind_obs::history::set_enabled(true);
+    };
+
+    nevermind_obs::set_enabled(true);
+    nevermind_obs::trace::set_enabled(true);
+
+    // Dark run: metrics + tracing on, history layer off, no rules.
+    nevermind_obs::rules::clear();
+    nevermind_obs::history::set_enabled(false);
+    let off = run_drift_trial(1);
+    let trace_off = nevermind_obs::trace::global().to_jsonl();
+
+    // Lit run: history ring + rule engine + live server, a scraper
+    // polling the new endpoints mid-run.
+    install_fresh_rules();
+    let server = nevermind_obs::ObsServer::start("127.0.0.1:0").expect("ephemeral-port bind");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut polled = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for path in ["/history", "/alerts", "/health"] {
+                    let (code, _) = http_get(addr, path);
+                    assert!(code == 200 || code == 503, "{path} answered {code} mid-run");
+                    polled += 1;
+                }
+            }
+            polled
+        })
+    };
+    let on = run_drift_trial(1);
+    stop.store(true, Ordering::Relaxed);
+    let polled = scraper.join().expect("scraper thread");
+    assert!(polled >= 3, "the scraper must have exercised the new endpoints mid-run");
+    let trace_on = nevermind_obs::trace::global().to_jsonl();
+    let history_one = nevermind_obs::history::global().section_json("", None);
+    let alerts_one = nevermind_obs::rules::alerts_json();
+
+    // The injected drift must have walked the health alert to firing …
+    assert!(
+        nevermind_obs::rules::firing_count() >= 1,
+        "the drift scenario must fire the model-health alert: {alerts_one}"
+    );
+    let engine = nevermind_obs::rules::installed().expect("engine installed");
+    let status = engine.status_json("");
+    assert!(status.contains("\"state\": \"firing\""), "{status}");
+    assert!(
+        status.contains("\"from\":\"pending\"") && status.contains("\"to\":\"firing\""),
+        "the notification log must record the pending -> firing transition: {status}"
+    );
+
+    // … and the live plane serves it: /alerts reports the firing rule,
+    // /health answers 503, /history serves the recorded series.
+    let (code, body) = http_get(addr, "/alerts");
+    assert_eq!(code, 200, "{body}");
+    let doc = serde_json::parse(&body).expect("/alerts body is valid JSON");
+    assert_eq!(get(&doc, "schema").and_then(|v| v.as_str()), Some("nevermind-history/v1"));
+    assert!(
+        get(&doc, "firing").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+        "/alerts reports the firing count: {body}"
+    );
+
+    let (code, body) = http_get(addr, "/health");
+    assert_eq!(code, 503, "a firing alert flips /health to 503: {body}");
+    let doc = serde_json::parse(&body).expect("/health body is valid JSON");
+    assert!(
+        get(&doc, "alerts_firing").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+        "/health carries the firing-alert count: {body}"
+    );
+
+    let (code, body) = http_get(addr, "/history");
+    assert_eq!(code, 200, "{body}");
+    let doc = serde_json::parse(&body).expect("/history index is valid JSON");
+    assert_eq!(get(&doc, "schema").and_then(|v| v.as_str()), Some("nevermind-history/v1"));
+    let series = get(&doc, "series").and_then(|v| v.as_array()).expect("series list");
+    assert!(
+        series.iter().any(|s| s.as_str() == Some("dispatch/precision")),
+        "the recording rule's derived series is retained: {body}"
+    );
+
+    let (code, body) = http_get(addr, "/history?series=dispatch/precision&r=week");
+    assert_eq!(code, 200, "{body}");
+    let doc = serde_json::parse(&body).expect("/history series payload is valid JSON");
+    let windows = get(&doc, "windows").and_then(|v| v.as_array()).expect("windows array");
+    assert!(!windows.is_empty(), "week windows were retained: {body}");
+
+    let (code, body) = http_get(addr, "/history?series=no/such/series&r=week");
+    assert_eq!(code, 404, "unknown series is a 404, not a panic: {body}");
+    server.stop();
+
+    // Shard-count invariance: a fresh engine, the same rules, two shards —
+    // the history export and every alert transition are byte-identical.
+    install_fresh_rules();
+    let two = run_drift_trial(2);
+    let history_two = nevermind_obs::history::global().section_json("", None);
+    let alerts_two = nevermind_obs::rules::alerts_json();
+
+    nevermind_obs::rules::clear();
+    nevermind_obs::history::set_enabled(false);
+    nevermind_obs::history::global().reset();
+    nevermind_obs::trace::set_enabled(false);
+    nevermind_obs::set_enabled(false);
+    nevermind_obs::global().reset();
+    nevermind_obs::trace::global().reset();
+
+    // Byte-identical decisions with the layer on or off, and across shards.
+    for (label, other) in [("history on", &on.outcome), ("2 shards", &two.outcome)] {
+        let a = &off.outcome;
+        assert_eq!(a.policy_start_day, other.policy_start_day, "{label}");
+        assert_eq!(a.proactive_dispatches, other.proactive_dispatches, "{label}");
+        assert_eq!(a.proactive_hits, other.proactive_hits, "{label}");
+        assert_eq!(a.proactive_tickets, other.proactive_tickets, "{label}");
+        assert_eq!(a.reactive_tickets, other.reactive_tickets, "{label}");
+        assert_eq!(a.proactive_churn, other.proactive_churn, "{label}");
+        assert_eq!(a.reactive_churn, other.reactive_churn, "{label}");
+    }
+    assert_eq!(trace_off, trace_on, "trace exports must be byte-identical history on/off");
+    assert_eq!(history_one, history_two, "history export must not depend on shard count");
+    assert_eq!(alerts_one, alerts_two, "alert transitions must not depend on shard count");
+    // Sanity: the trial's own telemetry saw the drift (that is what the
+    // alert rule keyed on).
+    let report = on.telemetry.as_ref().expect("drift trial reports telemetry");
+    assert!(report.weeks_observed > 0);
+}
+
+/// Reference model for [`nevermind_obs::rules::step_alert`]: tracks the
+/// run of consecutive true evaluations.
+fn consecutive_trues(conds: &[bool]) -> Vec<u32> {
+    let mut run = 0u32;
+    conds
+        .iter()
+        .map(|&c| {
+            run = if c { run + 1 } else { 0 };
+            run
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The alert state machine honours its `for`-duration hysteresis on
+    /// every condition sequence: it never reaches `Firing` without
+    /// `max(for, 1)` consecutive true evaluations, a false evaluation
+    /// always leaves `Firing` (no flapping into `Pending`), and
+    /// `Resolved` appears only immediately after `Firing`.
+    #[test]
+    fn alert_state_machine_honours_for_duration(
+        conds in prop::collection::vec(any::<bool>(), 1..200),
+        for_ticks in 0u32..6,
+    ) {
+        use nevermind_obs::rules::{step_alert, AlertState};
+        let runs = consecutive_trues(&conds);
+        let mut state = AlertState::Inactive;
+        let mut ticks = 0u32;
+        for (i, &cond) in conds.iter().enumerate() {
+            let prev = state;
+            let (next, next_ticks) = step_alert(state, ticks, cond, for_ticks);
+            if next == AlertState::Firing {
+                prop_assert!(cond, "step {i}: fired on a false evaluation");
+                prop_assert!(
+                    runs[i] >= for_ticks.max(1),
+                    "step {i}: fired after {} consecutive trues, for={for_ticks}",
+                    runs[i]
+                );
+            }
+            if !cond {
+                prop_assert!(
+                    matches!(next, AlertState::Inactive | AlertState::Resolved),
+                    "step {i}: a false evaluation must quench, got {next:?}"
+                );
+            }
+            if next == AlertState::Resolved {
+                prop_assert_eq!(
+                    prev, AlertState::Firing,
+                    "step {i}: resolved without having fired"
+                );
+            }
+            if prev == AlertState::Firing && cond {
+                prop_assert_eq!(next, AlertState::Firing, "step {i}: flapped out of firing");
+            }
+            state = next;
+            ticks = next_ticks;
+        }
+    }
+
+    /// Once the condition holds for `for` straight evaluations the alert
+    /// *must* fire — hysteresis delays, it never suppresses.
+    #[test]
+    fn alert_fires_exactly_after_the_for_duration(for_ticks in 0u32..8) {
+        use nevermind_obs::rules::{step_alert, AlertState};
+        let mut state = AlertState::Inactive;
+        let mut ticks = 0u32;
+        let need = for_ticks.max(1);
+        for i in 1..=need {
+            let (next, next_ticks) = step_alert(state, ticks, true, for_ticks);
+            if i < need {
+                prop_assert_eq!(next, AlertState::Pending, "tick {i} of {need}");
+            } else {
+                prop_assert_eq!(next, AlertState::Firing, "tick {i} of {need}");
+            }
+            state = next;
+            ticks = next_ticks;
+        }
+        // One false evaluation resolves; the next true starts over.
+        let (resolved, t) = step_alert(state, ticks, false, for_ticks);
+        prop_assert_eq!(resolved, AlertState::Resolved);
+        let (restart, _) = step_alert(resolved, t, true, for_ticks);
+        let expected =
+            if for_ticks <= 1 { AlertState::Firing } else { AlertState::Pending };
+        prop_assert_eq!(restart, expected, "re-entry honours the for-duration again");
+    }
 }
